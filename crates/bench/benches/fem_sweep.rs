@@ -1,0 +1,34 @@
+//! Benchmarks a focus-exposure-matrix sweep over an isolated line (the
+//! primitive behind experiment F5).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use postopc_geom::{Polygon, Rect};
+use postopc_litho::{
+    cutline, AerialImage, FocusExposureMatrix, ResistModel, SimulationSpec,
+};
+
+fn bench_fem(c: &mut Criterion) {
+    let line = Polygon::from(Rect::new(-45, -600, 45, 600).expect("rect"));
+    let window = Rect::new(-300, -300, 300, 300).expect("rect");
+    let resist = ResistModel::standard();
+    let mut group = c.benchmark_group("fem");
+    group.sample_size(10);
+    group.bench_function("5x3_line_cd_sweep", |b| {
+        b.iter(|| {
+            FocusExposureMatrix::sweep(
+                vec![-150.0, -75.0, 0.0, 75.0, 150.0],
+                vec![0.94, 1.0, 1.06],
+                |conditions| {
+                    let spec = SimulationSpec::nominal().with_conditions(*conditions);
+                    let image = AerialImage::simulate(&spec, &[line.clone()], window)?;
+                    cutline::measure_cd(&image, &resist, (0.0, 0.0), (1.0, 0.0), 150.0)
+                },
+            )
+            .expect("sweep succeeds")
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fem);
+criterion_main!(benches);

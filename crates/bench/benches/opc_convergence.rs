@@ -1,0 +1,41 @@
+//! Benchmarks the model-OPC feedback loop: cost per iteration count on a
+//! dense three-line pattern (backs experiment T1 and DESIGN ablation #3).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use postopc_geom::{Polygon, Rect};
+use postopc_opc::{model, ModelOpcConfig};
+
+fn targets() -> Vec<Polygon> {
+    vec![
+        Polygon::from(Rect::new(-45, -300, 45, 300).expect("rect")),
+        Polygon::from(Rect::new(-325, -300, -235, 300).expect("rect")),
+        Polygon::from(Rect::new(235, -300, 325, 300).expect("rect")),
+    ]
+}
+
+fn bench_opc_convergence(c: &mut Criterion) {
+    let window = Rect::new(-450, -450, 450, 450).expect("rect");
+    let targets = targets();
+    let mut group = c.benchmark_group("model_opc");
+    group.sample_size(10);
+    for iterations in [1usize, 3, 6] {
+        group.bench_with_input(
+            BenchmarkId::new("iterations", iterations),
+            &iterations,
+            |b, &iters| {
+                let cfg = ModelOpcConfig {
+                    iterations: iters,
+                    ..ModelOpcConfig::standard()
+                };
+                b.iter(|| {
+                    model::correct(&cfg, std::hint::black_box(&targets), &[], window)
+                        .expect("opc converges")
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_opc_convergence);
+criterion_main!(benches);

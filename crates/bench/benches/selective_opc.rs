@@ -1,0 +1,40 @@
+//! Benchmarks the selective-OPC cost asymmetry (experiment T7): rule-only
+//! vs selective vs model-everywhere on a small job.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use postopc_geom::{Polygon, Rect};
+use postopc_opc::{model, rules, selective, ModelOpcConfig, RuleOpcConfig};
+
+fn lines() -> Vec<Polygon> {
+    (0..4)
+        .map(|i| Polygon::from(Rect::new(i * 280, -300, i * 280 + 90, 300).expect("rect")))
+        .collect()
+}
+
+fn bench_selective(c: &mut Criterion) {
+    let window = Rect::new(-300, -450, 1200, 450).expect("rect");
+    let all = lines();
+    let model_cfg = ModelOpcConfig {
+        iterations: 3,
+        ..ModelOpcConfig::standard()
+    };
+    let rule_cfg = RuleOpcConfig::standard();
+    let mut group = c.benchmark_group("selective_opc");
+    group.sample_size(10);
+    group.bench_function("rule_only", |b| {
+        b.iter(|| rules::correct(&rule_cfg, std::hint::black_box(&all), &[]).expect("rule"));
+    });
+    group.bench_function("selective_1_of_4", |b| {
+        b.iter(|| {
+            selective::correct(&model_cfg, &rule_cfg, &all[..1], &all[1..], &[], window)
+                .expect("selective")
+        });
+    });
+    group.bench_function("model_all_4", |b| {
+        b.iter(|| model::correct(&model_cfg, &all, &[], window).expect("model"));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_selective);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! # postopc-bench
+//!
+//! The benchmark harness of the reproduction: one function per table and
+//! figure of the DAC 2005 evaluation (as reconstructed in `DESIGN.md`),
+//! shared between the `repro` binary and the Criterion benches.
+//!
+//! Run everything with:
+//!
+//! ```bash
+//! cargo run --release -p postopc-bench --bin repro -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+
+use postopc_layout::{generate, Design, PlacementOptions, TechRules};
+
+/// Compiles the composite evaluation design (adder + multiplier + random
+/// logic; see [`generate::paper_testcase`]).
+///
+/// # Panics
+///
+/// Panics if generation fails (impossible for valid seeds) — the harness
+/// is a binary context where aborting is the right failure mode.
+pub fn evaluation_design(seed: u64) -> Design {
+    // 70% row utilization: filler gaps give gates diverse lithographic
+    // contexts (dense vs semi-isolated neighbourhoods), as in real designs.
+    Design::compile_with(
+        generate::paper_testcase(seed).expect("testcase generates"),
+        TechRules::n90(),
+        &PlacementOptions {
+            utilization: 0.7,
+            seed,
+        },
+    )
+    .expect("testcase compiles")
+}
+
+/// Compiles the speed-path-farm design used by the criticality-reordering
+/// experiment: parallel near-identical chains in diverse placement
+/// contexts (70% utilization).
+///
+/// # Panics
+///
+/// Panics if generation fails (impossible for sane sizes).
+pub fn farm_design(paths: usize, depth: usize, seed: u64) -> Design {
+    // 85% utilization: enough filler gaps for context diversity without
+    // letting random wirelength dominate the drawn slack spread.
+    Design::compile_with(
+        generate::speed_path_farm(paths, depth, seed).expect("farm generates"),
+        TechRules::n90(),
+        &PlacementOptions {
+            utilization: 0.85,
+            seed,
+        },
+    )
+    .expect("farm compiles")
+}
+
+/// Compiles a random-logic design of roughly `gates` gates.
+///
+/// # Panics
+///
+/// Panics if generation fails (impossible for sane sizes).
+pub fn random_design(gates: usize, seed: u64) -> Design {
+    Design::compile(
+        generate::random_logic(&generate::RandomLogicSpec {
+            gates,
+            inputs: 16,
+            depth_bias: 2.0,
+            seed,
+        })
+        .expect("random logic generates"),
+        TechRules::n90(),
+    )
+    .expect("random logic compiles")
+}

@@ -1,0 +1,85 @@
+//! Error types for critical-dimension extraction.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by CD extraction.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CdexError {
+    /// Lithography measurement failed (feature missing at a cutline).
+    Litho(postopc_litho::LithoError),
+    /// Device-model reduction failed.
+    Device(postopc_device::DeviceError),
+    /// An extraction parameter was out of range.
+    InvalidConfig {
+        /// Parameter name.
+        name: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
+    /// The gate channel printed nowhere along any slice — a catastrophic
+    /// pinch that would be a manufacturing kill, not a timing shift.
+    GateMissing {
+        /// Channel center x in nm.
+        x_nm: f64,
+        /// Channel center y in nm.
+        y_nm: f64,
+    },
+}
+
+impl fmt::Display for CdexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdexError::Litho(e) => write!(f, "lithography error: {e}"),
+            CdexError::Device(e) => write!(f, "device model error: {e}"),
+            CdexError::InvalidConfig { name, value } => {
+                write!(f, "invalid extraction parameter {name} = {value}")
+            }
+            CdexError::GateMissing { x_nm, y_nm } => {
+                write!(f, "gate channel failed to print near ({x_nm}, {y_nm})")
+            }
+        }
+    }
+}
+
+impl Error for CdexError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CdexError::Litho(e) => Some(e),
+            CdexError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<postopc_litho::LithoError> for CdexError {
+    fn from(e: postopc_litho::LithoError) -> Self {
+        CdexError::Litho(e)
+    }
+}
+
+impl From<postopc_device::DeviceError> for CdexError {
+    fn from(e: postopc_device::DeviceError) -> Self {
+        CdexError::Device(e)
+    }
+}
+
+/// Convenience result alias for the cdex crate.
+pub type Result<T> = std::result::Result<T, CdexError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = CdexError::GateMissing { x_nm: 1.0, y_nm: 2.0 };
+        assert!(e.to_string().contains("(1, 2)"));
+        let l = CdexError::from(postopc_litho::LithoError::NoContourCrossing {
+            x_nm: 0.0,
+            y_nm: 0.0,
+        });
+        assert!(l.source().is_some());
+    }
+}

@@ -1,0 +1,53 @@
+//! # postopc-cdex
+//!
+//! Post-OPC critical-dimension extraction: the measurement layer of the
+//! DAC 2005 flow. Given an aerial image of the (OPC-corrected) mask and a
+//! transistor-site cross-reference, this crate:
+//!
+//! 1. slices each printed channel with cutlines along the transistor
+//!    width ([`measure_gate_slices`]);
+//! 2. reduces the slice stack to an equivalent rectangular transistor —
+//!    separate delay and leakage lengths — per the companion paper's
+//!    non-rectangular-gate method ([`extract_gate`]);
+//! 3. measures printed wire widths for the multi-layer extension
+//!    ([`measure_wire_width`]);
+//! 4. summarizes CD populations ([`CdStatistics`], experiment T2).
+//!
+//! # Example
+//!
+//! ```
+//! use postopc_cdex::{extract_gate, MeasureConfig};
+//! use postopc_device::{MosKind, ProcessParams};
+//! use postopc_geom::{Polygon, Rect};
+//! use postopc_layout::{GateId, TransistorSite};
+//! use postopc_litho::{AerialImage, ResistModel, SimulationSpec};
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let poly = Polygon::from(Rect::new(-45, -500, 45, 500)?);
+//! let image = AerialImage::simulate(&SimulationSpec::nominal(), &[poly],
+//!     Rect::new(-300, -400, 300, 400)?)?;
+//! let site = TransistorSite {
+//!     gate: GateId(0), kind: MosKind::Nmos,
+//!     channel: Rect::new(-45, -210, 45, 210)?,
+//!     width_nm: 420.0, drawn_l_nm: 90.0, finger: 0,
+//! };
+//! let extracted = extract_gate(&MeasureConfig::standard(), &ProcessParams::n90(),
+//!     &image, &ResistModel::standard(), &site)?;
+//! println!("L_delay = {:.1} nm, L_leak = {:.1} nm",
+//!     extracted.equivalent.l_delay_nm, extracted.equivalent.l_leakage_nm);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+mod equivalent;
+mod error;
+mod measure;
+mod stats;
+mod wires;
+
+pub use equivalent::{extract_gate, ExtractedGate};
+pub use error::{CdexError, Result};
+pub use measure::{measure_gate_slices, MeasureConfig};
+pub use stats::CdStatistics;
+pub use wires::measure_wire_width;

@@ -1,0 +1,111 @@
+//! Critical-dimension statistics across a population of extracted gates —
+//! experiment T2's machinery.
+
+use crate::equivalent::ExtractedGate;
+
+/// Summary statistics of a CD population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CdStatistics {
+    /// Number of gates in the population.
+    pub count: usize,
+    /// Mean delay-equivalent length, in nm.
+    pub mean_nm: f64,
+    /// Standard deviation, in nm.
+    pub std_nm: f64,
+    /// Minimum, in nm.
+    pub min_nm: f64,
+    /// Maximum, in nm.
+    pub max_nm: f64,
+}
+
+impl CdStatistics {
+    /// Computes statistics over the delay-equivalent lengths of a gate
+    /// population. Returns `None` for an empty population.
+    pub fn of(gates: &[ExtractedGate]) -> Option<CdStatistics> {
+        if gates.is_empty() {
+            return None;
+        }
+        let values: Vec<f64> = gates.iter().map(|g| g.equivalent.l_delay_nm).collect();
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        Some(CdStatistics {
+            count: values.len(),
+            mean_nm: mean,
+            std_nm: var.sqrt(),
+            min_nm: values.iter().copied().fold(f64::MAX, f64::min),
+            max_nm: values.iter().copied().fold(f64::MIN, f64::max),
+        })
+    }
+
+    /// Histogram of delay-equivalent lengths as `(bin_center_nm, count)`.
+    pub fn histogram(gates: &[ExtractedGate], bin_nm: f64) -> Vec<(f64, usize)> {
+        if gates.is_empty() || bin_nm <= 0.0 {
+            return Vec::new();
+        }
+        let values: Vec<f64> = gates.iter().map(|g| g.equivalent.l_delay_nm).collect();
+        let min = values.iter().copied().fold(f64::MAX, f64::min);
+        let max = values.iter().copied().fold(f64::MIN, f64::max);
+        let first = (min / bin_nm).floor() as i64;
+        let last = (max / bin_nm).floor() as i64;
+        let mut bins = vec![0usize; (last - first + 1) as usize];
+        let top = bins.len() - 1;
+        for v in values {
+            let b = ((v / bin_nm).floor() as i64 - first) as usize;
+            bins[b.min(top)] += 1;
+        }
+        bins.into_iter()
+            .enumerate()
+            .map(|(i, c)| (((first + i as i64) as f64 + 0.5) * bin_nm, c))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_device::{EquivalentGate, GateSlice, MosKind};
+    use postopc_geom::Rect;
+    use postopc_layout::{GateId, TransistorSite};
+
+    fn fake_gate(l: f64) -> ExtractedGate {
+        ExtractedGate {
+            site: TransistorSite {
+                gate: GateId(0),
+                kind: MosKind::Nmos,
+                channel: Rect::new(0, 0, 90, 420).expect("rect"),
+                width_nm: 420.0,
+                drawn_l_nm: 90.0,
+                finger: 0,
+            },
+            slices: vec![GateSlice { w_nm: 420.0, l_nm: l }],
+            equivalent: EquivalentGate {
+                w_nm: 420.0,
+                l_delay_nm: l,
+                l_leakage_nm: l - 0.5,
+            },
+        }
+    }
+
+    #[test]
+    fn stats_of_population() {
+        let gates: Vec<ExtractedGate> = [88.0, 90.0, 92.0].map(fake_gate).to_vec();
+        let s = CdStatistics::of(&gates).expect("non-empty");
+        assert_eq!(s.count, 3);
+        assert!((s.mean_nm - 90.0).abs() < 1e-12);
+        assert!((s.std_nm - (8.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min_nm, 88.0);
+        assert_eq!(s.max_nm, 92.0);
+        assert!(CdStatistics::of(&[]).is_none());
+    }
+
+    #[test]
+    fn histogram_total_matches_population() {
+        let gates: Vec<ExtractedGate> = [85.0, 88.5, 90.0, 90.4, 95.0].map(fake_gate).to_vec();
+        let h = CdStatistics::histogram(&gates, 2.0);
+        let total: usize = h.iter().map(|&(_, c)| c).sum();
+        assert_eq!(total, 5);
+        assert!(CdStatistics::histogram(&gates, 0.0).is_empty());
+        assert!(CdStatistics::histogram(&[], 1.0).is_empty());
+    }
+}

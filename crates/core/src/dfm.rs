@@ -1,0 +1,204 @@
+//! Design-intent feedback to OPC — the paper's closing proposal,
+//! generalized from binary tagging to priority tiers.
+//!
+//! "By passing design intent to process/OPC engineers, selective OPC can
+//! be applied to improve CD variation control based on gates' functions."
+//! Here the *function* is timing criticality: gates are classified by the
+//! slack of their output nets, and each tier gets a different correction
+//! recipe (model OPC / rule OPC / none).
+
+use crate::error::Result;
+use crate::extract::{extract_gates, ExtractionConfig, ExtractionOutcome, OpcMode};
+use crate::tags::TagSet;
+use postopc_layout::{Design, GateId};
+use postopc_sta::TimingReport;
+use std::collections::HashMap;
+
+/// The correction tier a gate is assigned to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpcPriority {
+    /// Timing-critical: model-based OPC, always extracted.
+    Critical,
+    /// Ordinary logic: rule-based OPC, extracted.
+    Standard,
+    /// Large-slack logic: default correction, not extracted.
+    Relaxed,
+}
+
+/// Per-gate design intent derived from a timing report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DfmIntent {
+    priorities: HashMap<GateId, OpcPriority>,
+}
+
+impl DfmIntent {
+    /// Classifies every gate by the slack of its output net:
+    /// `slack < critical_margin_ps` → critical,
+    /// `slack < standard_margin_ps` → standard, else relaxed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `critical_margin_ps > standard_margin_ps` (an inverted
+    /// classification is a caller bug, not data).
+    pub fn classify(
+        design: &Design,
+        report: &TimingReport,
+        critical_margin_ps: f64,
+        standard_margin_ps: f64,
+    ) -> DfmIntent {
+        assert!(
+            critical_margin_ps <= standard_margin_ps,
+            "critical margin {critical_margin_ps} must not exceed standard margin {standard_margin_ps}"
+        );
+        let mut priorities = HashMap::new();
+        for (gi, gate) in design.netlist().gates().iter().enumerate() {
+            let slack = report.slack_ps(gate.output);
+            let priority = if slack < critical_margin_ps {
+                OpcPriority::Critical
+            } else if slack < standard_margin_ps {
+                OpcPriority::Standard
+            } else {
+                OpcPriority::Relaxed
+            };
+            priorities.insert(GateId(gi as u32), priority);
+        }
+        DfmIntent { priorities }
+    }
+
+    /// The priority of a gate (gates outside the design default to
+    /// relaxed).
+    pub fn priority(&self, gate: GateId) -> OpcPriority {
+        self.priorities
+            .get(&gate)
+            .copied()
+            .unwrap_or(OpcPriority::Relaxed)
+    }
+
+    /// The tag set of one tier.
+    pub fn tier(&self, priority: OpcPriority) -> TagSet {
+        let mut tags = TagSet::new();
+        for (&gate, &p) in &self.priorities {
+            if p == priority {
+                tags.insert(gate);
+            }
+        }
+        tags
+    }
+
+    /// Gate counts per tier: `(critical, standard, relaxed)`.
+    pub fn census(&self) -> (usize, usize, usize) {
+        let mut counts = (0, 0, 0);
+        for &p in self.priorities.values() {
+            match p {
+                OpcPriority::Critical => counts.0 += 1,
+                OpcPriority::Standard => counts.1 += 1,
+                OpcPriority::Relaxed => counts.2 += 1,
+            }
+        }
+        counts
+    }
+}
+
+/// Runs tiered extraction: model-OPC extraction on the critical tier and
+/// rule-OPC extraction on the standard tier, merged into one annotation
+/// (relaxed gates keep drawn dimensions).
+///
+/// # Errors
+///
+/// Propagates extraction errors from either tier.
+pub fn extract_with_intent(
+    design: &Design,
+    base: &ExtractionConfig,
+    intent: &DfmIntent,
+) -> Result<ExtractionOutcome> {
+    let mut critical_cfg = base.clone();
+    critical_cfg.opc_mode = OpcMode::Model;
+    let mut standard_cfg = base.clone();
+    standard_cfg.opc_mode = OpcMode::Rule;
+    let critical = extract_gates(design, &critical_cfg, &intent.tier(OpcPriority::Critical))?;
+    let standard = extract_gates(design, &standard_cfg, &intent.tier(OpcPriority::Standard))?;
+    // Merge: the tiers are disjoint by construction.
+    let mut annotation = critical.annotation;
+    for (&gate, ann) in standard.annotation.gates() {
+        annotation.set_gate(gate, ann.clone());
+    }
+    let mut stats = critical.stats;
+    stats.gates_extracted += standard.stats.gates_extracted;
+    stats.gates_failed += standard.stats.gates_failed;
+    stats.windows += standard.stats.windows;
+    stats.opc_simulations += standard.stats.opc_simulations;
+    stats.opc_fragment_moves += standard.stats.opc_fragment_moves;
+    stats.extracted.extend(standard.stats.extracted);
+    Ok(ExtractionOutcome { annotation, stats })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_device::ProcessParams;
+    use postopc_layout::{generate, TechRules};
+    use postopc_sta::TimingModel;
+
+    fn setup() -> (Design, TimingReport) {
+        let design = Design::compile(
+            generate::ripple_carry_adder(2).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let model = TimingModel::new(&design, ProcessParams::n90(), 600.0).expect("model");
+        let report = model.analyze(None).expect("analysis");
+        (design, report)
+    }
+
+    #[test]
+    fn classification_partitions_the_design() {
+        let (design, report) = setup();
+        // Pick margins from the actual per-gate slack distribution so all
+        // three tiers are non-empty regardless of design scale.
+        let mut slacks: Vec<f64> = design
+            .netlist()
+            .gates()
+            .iter()
+            .map(|g| report.slack_ps(g.output))
+            .collect();
+        slacks.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let critical_margin = slacks[slacks.len() / 4] + 1e-9;
+        let standard_margin = slacks[3 * slacks.len() / 4] + 1e-9;
+        let intent = DfmIntent::classify(&design, &report, critical_margin, standard_margin);
+        let (c, s, r) = intent.census();
+        assert_eq!(c + s + r, design.netlist().gate_count());
+        assert!(c > 0, "the worst path's gates must classify critical");
+        assert!(r > 0, "large-slack gates must classify relaxed");
+        // Tiers are disjoint.
+        let critical = intent.tier(OpcPriority::Critical);
+        let standard = intent.tier(OpcPriority::Standard);
+        for g in critical.sorted() {
+            assert!(!standard.contains(g));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_margins_panic() {
+        let (design, report) = setup();
+        let _ = DfmIntent::classify(&design, &report, 100.0, 50.0);
+    }
+
+    #[test]
+    fn tiered_extraction_merges_both_tiers() {
+        let (design, report) = setup();
+        let worst = report.worst_slack_ps();
+        let intent = DfmIntent::classify(&design, &report, worst + 30.0, worst + 150.0);
+        let mut base = ExtractionConfig::standard();
+        base.model_opc.iterations = 2;
+        let out = extract_with_intent(&design, &base, &intent).expect("extraction");
+        let (c, s, _) = intent.census();
+        assert_eq!(out.annotation.gate_count(), c + s);
+        // Critical tier used model OPC (simulations > 0); standard did not
+        // add model simulations.
+        assert!(out.stats.opc_simulations > 0);
+        for gate in intent.tier(OpcPriority::Relaxed).sorted() {
+            assert!(out.annotation.gate(gate).is_none());
+        }
+    }
+}

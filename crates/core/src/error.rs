@@ -1,0 +1,86 @@
+//! Error type of the integrated post-OPC timing flow.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the end-to-end flow.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FlowError {
+    /// Layout/netlist substrate failure.
+    Layout(postopc_layout::LayoutError),
+    /// Lithography simulation failure.
+    Litho(postopc_litho::LithoError),
+    /// OPC failure.
+    Opc(postopc_opc::OpcError),
+    /// CD extraction failure.
+    Cdex(postopc_cdex::CdexError),
+    /// Timing analysis failure.
+    Sta(postopc_sta::StaError),
+    /// Geometry failure.
+    Geometry(postopc_geom::GeomError),
+    /// A flow configuration value was out of range.
+    InvalidConfig(String),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::Layout(e) => write!(f, "layout error: {e}"),
+            FlowError::Litho(e) => write!(f, "lithography error: {e}"),
+            FlowError::Opc(e) => write!(f, "opc error: {e}"),
+            FlowError::Cdex(e) => write!(f, "extraction error: {e}"),
+            FlowError::Sta(e) => write!(f, "timing error: {e}"),
+            FlowError::Geometry(e) => write!(f, "geometry error: {e}"),
+            FlowError::InvalidConfig(reason) => write!(f, "invalid flow configuration: {reason}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Layout(e) => Some(e),
+            FlowError::Litho(e) => Some(e),
+            FlowError::Opc(e) => Some(e),
+            FlowError::Cdex(e) => Some(e),
+            FlowError::Sta(e) => Some(e),
+            FlowError::Geometry(e) => Some(e),
+            FlowError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+macro_rules! from_error {
+    ($variant:ident, $ty:ty) => {
+        impl From<$ty> for FlowError {
+            fn from(e: $ty) -> Self {
+                FlowError::$variant(e)
+            }
+        }
+    };
+}
+
+from_error!(Layout, postopc_layout::LayoutError);
+from_error!(Litho, postopc_litho::LithoError);
+from_error!(Opc, postopc_opc::OpcError);
+from_error!(Cdex, postopc_cdex::CdexError);
+from_error!(Sta, postopc_sta::StaError);
+from_error!(Geometry, postopc_geom::GeomError);
+
+/// Convenience result alias for the flow crate.
+pub type Result<T> = std::result::Result<T, FlowError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_sources() {
+        let e: FlowError = postopc_geom::GeomError::InvalidResolution(0.0).into();
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("geometry"));
+        let c = FlowError::InvalidConfig("bad".into());
+        assert!(c.source().is_none());
+    }
+}

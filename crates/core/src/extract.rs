@@ -1,0 +1,395 @@
+//! Selective post-OPC extraction: the paper's core engine.
+//!
+//! For every *tagged* gate instance, the extractor builds a local
+//! simulation window around the instance's poly geometry, applies the
+//! configured OPC recipe (none / rule / model — with neighbouring
+//! geometry as rule-corrected context), images the corrected mask,
+//! slices every printed channel, reduces slices to equivalent lengths,
+//! and writes the result into a [`CdAnnotation`] ready for timing
+//! back-annotation.
+//!
+//! Windowing is per-instance rather than full-chip: this *is* the paper's
+//! "selective extraction from the global circuit netlist" — experiment T9
+//! quantifies the resulting scalability.
+
+use crate::error::Result;
+use crate::tags::TagSet;
+use postopc_cdex::{extract_gate, ExtractedGate, MeasureConfig};
+use postopc_device::ProcessParams;
+use postopc_geom::{Coord, Polygon};
+use postopc_layout::{Design, GateId, Layer};
+use postopc_litho::{AerialImage, ResistModel, SimulationSpec};
+use postopc_opc::{model, rules, ModelOpcConfig, RuleOpcConfig};
+use postopc_sta::{CdAnnotation, GateAnnotation, TransistorCd};
+use std::collections::HashMap;
+
+/// How the mask in each extraction window is corrected before imaging.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OpcMode {
+    /// No correction: image the drawn layout (the "what if we skipped
+    /// OPC" baseline of experiment T1).
+    None,
+    /// Rule-based OPC on targets and context.
+    Rule,
+    /// Model-based OPC on the instance's polygons, rule-corrected
+    /// context (the production recipe).
+    #[default]
+    Model,
+}
+
+/// Across-chip systematic process variation: a smooth focus/dose surface
+/// over the die (lens field curvature, post-exposure-bake plate gradients,
+/// etch loading — the dominant 90 nm CD-uniformity terms).
+///
+/// Real across-field variation lives at the millimetre scale; our
+/// substitute die is tens of µm, so the map is scale-compressed: `period`
+/// should be chosen relative to the die size (see `DESIGN.md`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcrossChipMap {
+    /// Peak focus excursion in nm.
+    pub focus_amplitude_nm: f64,
+    /// Peak relative dose excursion (0.02 = ±2%).
+    pub dose_amplitude: f64,
+    /// Spatial period of the variation surface, in nm.
+    pub period_nm: f64,
+}
+
+impl AcrossChipMap {
+    /// A typical 90 nm across-chip budget: ±60 nm focus, ±2% dose.
+    pub fn typical(die: postopc_geom::Rect) -> AcrossChipMap {
+        AcrossChipMap {
+            focus_amplitude_nm: 60.0,
+            dose_amplitude: 0.02,
+            period_nm: (die.width().max(die.height()) as f64) * 0.8,
+        }
+    }
+
+    /// The local exposure conditions at a die position.
+    pub fn conditions_at(
+        &self,
+        die: postopc_geom::Rect,
+        position: postopc_geom::Point,
+        base: postopc_litho::ProcessConditions,
+    ) -> postopc_litho::ProcessConditions {
+        let tau = std::f64::consts::TAU;
+        let u = tau * (position.x - die.left()) as f64 / self.period_nm;
+        let v = tau * (position.y - die.bottom()) as f64 / self.period_nm;
+        postopc_litho::ProcessConditions {
+            focus_nm: base.focus_nm + self.focus_amplitude_nm * u.sin() * v.cos(),
+            dose: base.dose * (1.0 + self.dose_amplitude * (u + 0.7).cos() * (v + 0.3).sin()),
+        }
+    }
+}
+
+/// Extraction configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionConfig {
+    /// Imaging model.
+    pub sim: SimulationSpec,
+    /// Resist threshold model.
+    pub resist: ResistModel,
+    /// Gate slicing parameters.
+    pub measure: MeasureConfig,
+    /// Device model for equivalent-length reduction.
+    pub process: ProcessParams,
+    /// Mask correction recipe.
+    pub opc_mode: OpcMode,
+    /// Model-OPC settings (used when `opc_mode == Model`).
+    pub model_opc: ModelOpcConfig,
+    /// Rule-OPC settings (used for context and `opc_mode == Rule`).
+    pub rule_opc: RuleOpcConfig,
+    /// Extra margin around the instance bbox for the simulation window, nm.
+    pub window_margin_nm: Coord,
+    /// Context gathering radius beyond the window (optical ambit), nm.
+    pub context_ambit_nm: Coord,
+    /// Optional across-chip systematic variation surface: each gate is
+    /// imaged at the *local* focus/dose of its die position.
+    pub across_chip: Option<AcrossChipMap>,
+}
+
+impl ExtractionConfig {
+    /// The production recipe: model OPC, standard measurement.
+    pub fn standard() -> ExtractionConfig {
+        ExtractionConfig {
+            sim: SimulationSpec::nominal(),
+            resist: ResistModel::standard(),
+            measure: MeasureConfig::standard(),
+            process: ProcessParams::n90(),
+            opc_mode: OpcMode::Model,
+            model_opc: ModelOpcConfig::standard(),
+            rule_opc: RuleOpcConfig::standard(),
+            window_margin_nm: 80,
+            context_ambit_nm: 420,
+            across_chip: None,
+        }
+    }
+
+    /// The same configuration at different process conditions (for
+    /// process-window timing, experiment F5).
+    pub fn with_conditions(&self, conditions: postopc_litho::ProcessConditions) -> ExtractionConfig {
+        let mut cfg = self.clone();
+        cfg.sim = cfg.sim.with_conditions(conditions);
+        cfg.model_opc.sim = cfg.model_opc.sim.clone(); // OPC stays at nominal: masks are built once
+        cfg
+    }
+}
+
+impl Default for ExtractionConfig {
+    fn default() -> Self {
+        ExtractionConfig::standard()
+    }
+}
+
+/// Bookkeeping of one extraction run.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExtractionStats {
+    /// Gates successfully extracted.
+    pub gates_extracted: usize,
+    /// Gates that fell back to drawn dimensions (unprinted channels).
+    pub gates_failed: usize,
+    /// Simulation windows imaged (one per gate + OPC-internal iterations).
+    pub windows: usize,
+    /// Model-OPC aerial simulations (cost metric of experiment T7/T9).
+    pub opc_simulations: usize,
+    /// Model-OPC fragment moves.
+    pub opc_fragment_moves: usize,
+    /// All per-transistor extraction records (input to CD statistics, T2).
+    pub extracted: Vec<ExtractedGate>,
+}
+
+/// Result of an extraction run: the annotation plus its statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtractionOutcome {
+    /// Per-gate extracted CDs, ready for [`postopc_sta::TimingModel::analyze`].
+    pub annotation: CdAnnotation,
+    /// Run statistics.
+    pub stats: ExtractionStats,
+}
+
+/// Extracts post-OPC CDs for every tagged gate of `design`.
+///
+/// # Errors
+///
+/// Propagates simulation/OPC errors; per-gate measurement failures are
+/// recorded in the stats (the gate keeps drawn dimensions) rather than
+/// aborting the run.
+pub fn extract_gates(
+    design: &Design,
+    config: &ExtractionConfig,
+    tags: &TagSet,
+) -> Result<ExtractionOutcome> {
+    // Group transistor sites by gate for quick lookup.
+    let mut sites_by_gate: HashMap<GateId, Vec<usize>> = HashMap::new();
+    for (i, site) in design.transistor_sites().iter().enumerate() {
+        sites_by_gate.entry(site.gate).or_default().push(i);
+    }
+    let mut annotation = CdAnnotation::new();
+    let mut stats = ExtractionStats::default();
+
+    for gate_id in tags.sorted() {
+        let gate = design.netlist().gate(gate_id);
+        let cell = design.library().cell(gate.kind, gate.drive);
+        let inst = design
+            .placement()
+            .instance(gate_id)
+            .expect("every netlist gate is placed");
+        // Target polygons: this instance's poly shapes in chip coordinates.
+        let targets: Vec<Polygon> = cell
+            .shapes_on(Layer::Poly)
+            .map(|p| inst.transform.apply_polygon(p))
+            .collect();
+        let window = targets
+            .iter()
+            .map(|p| p.bbox())
+            .reduce(|a, b| a.union_bbox(&b))
+            .expect("cells have poly")
+            .expand(config.window_margin_nm)?;
+        // Context: every other poly shape within the optical ambit.
+        let search = window.expand(config.context_ambit_nm)?;
+        let target_set: std::collections::HashSet<&Polygon> = targets.iter().collect();
+        let context: Vec<Polygon> = design
+            .shapes_in_window(Layer::Poly, search)
+            .into_iter()
+            .filter(|p| !target_set.contains(p))
+            .cloned()
+            .collect();
+
+        // Correct the mask.
+        let (mask_targets, mask_context) = match config.opc_mode {
+            OpcMode::None => (targets.clone(), context.clone()),
+            OpcMode::Rule => {
+                let t = rules::correct(&config.rule_opc, &targets, &context)?;
+                let c = rules::correct(&config.rule_opc, &context, &targets)?;
+                (t.corrected, c.corrected)
+            }
+            OpcMode::Model => {
+                let c = rules::correct(&config.rule_opc, &context, &targets)?;
+                let m = model::correct(&config.model_opc, &targets, &c.corrected, window)?;
+                stats.opc_simulations += m.report.simulations;
+                stats.opc_fragment_moves += m.report.fragment_moves;
+                (m.corrected, c.corrected)
+            }
+        };
+
+        // Image the corrected mask at the extraction conditions — adjusted
+        // to the local across-chip conditions of this gate if a map is set.
+        let mask: Vec<Polygon> = mask_targets.iter().chain(mask_context.iter()).cloned().collect();
+        let sim = match &config.across_chip {
+            Some(map) => config.sim.with_conditions(map.conditions_at(
+                design.die(),
+                window.center(),
+                config.sim.conditions,
+            )),
+            None => config.sim.clone(),
+        };
+        let image = AerialImage::simulate(&sim, &mask, window)?;
+        stats.windows += 1;
+
+        // Extract every channel of this gate.
+        match extract_instance(config, design, gate_id, cell, &sites_by_gate, &image) {
+            Some((records, extracted)) => {
+                annotation.set_gate(gate_id, GateAnnotation { transistors: records });
+                stats.extracted.extend(extracted);
+                stats.gates_extracted += 1;
+            }
+            None => {
+                stats.gates_failed += 1;
+            }
+        }
+    }
+    Ok(ExtractionOutcome { annotation, stats })
+}
+
+/// Extracts all channels of one instance; `None` if any channel failed
+/// (the gate then keeps drawn dimensions).
+fn extract_instance(
+    config: &ExtractionConfig,
+    design: &Design,
+    gate_id: GateId,
+    cell: &postopc_layout::CellLayout,
+    sites_by_gate: &HashMap<GateId, Vec<usize>>,
+    image: &AerialImage,
+) -> Option<(Vec<TransistorCd>, Vec<ExtractedGate>)> {
+    let resist = &config.resist;
+    let mut records = Vec::new();
+    let mut extracted_records = Vec::new();
+    for &site_index in sites_by_gate.get(&gate_id)? {
+        let site = &design.transistor_sites()[site_index];
+        let extracted =
+            extract_gate(&config.measure, &config.process, image, resist, site).ok()?;
+        // Recover the logical input pin from the cell template.
+        let input_pin = cell
+            .transistors()
+            .iter()
+            .find(|t| t.finger == site.finger && t.kind == site.kind)
+            .and_then(|t| t.input_pin);
+        records.push(TransistorCd {
+            kind: site.kind,
+            width_nm: site.width_nm,
+            l_delay_nm: extracted.equivalent.l_delay_nm,
+            l_leakage_nm: extracted.equivalent.l_leakage_nm,
+            input_pin,
+            finger: site.finger,
+        });
+        extracted_records.push(extracted);
+    }
+    Some((records, extracted_records))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_layout::{generate, TechRules};
+
+    fn chain_design(n: usize) -> Design {
+        Design::compile(generate::inverter_chain(n).expect("netlist"), TechRules::n90())
+            .expect("design")
+    }
+
+    fn fast_config(mode: OpcMode) -> ExtractionConfig {
+        let mut cfg = ExtractionConfig::standard();
+        cfg.opc_mode = mode;
+        cfg.model_opc.iterations = 3;
+        cfg
+    }
+
+    #[test]
+    fn extracts_all_tagged_gates() {
+        let d = chain_design(6);
+        let tags = TagSet::all(&d);
+        let out = extract_gates(&d, &fast_config(OpcMode::Rule), &tags).expect("extract");
+        assert_eq!(out.stats.gates_extracted, 6);
+        assert_eq!(out.stats.gates_failed, 0);
+        assert_eq!(out.annotation.gate_count(), 6);
+        // Each inverter has 2 channels.
+        assert_eq!(out.stats.extracted.len(), 12);
+        // Extracted lengths are near drawn but not exactly drawn.
+        let mean = out.annotation.mean_l_delay_nm().expect("annotated");
+        assert!((mean - 90.0).abs() < 20.0, "mean extracted L = {mean}");
+    }
+
+    #[test]
+    fn selective_extraction_touches_only_tagged() {
+        let d = chain_design(8);
+        let mut tags = TagSet::new();
+        tags.insert(GateId(0));
+        tags.insert(GateId(3));
+        let out = extract_gates(&d, &fast_config(OpcMode::Rule), &tags).expect("extract");
+        assert_eq!(out.annotation.gate_count(), 2);
+        assert!(out.annotation.gate(GateId(0)).is_some());
+        assert!(out.annotation.gate(GateId(1)).is_none());
+        assert_eq!(out.stats.windows, 2);
+    }
+
+    #[test]
+    fn model_mode_costs_simulations() {
+        let d = chain_design(3);
+        let mut tags = TagSet::new();
+        tags.insert(GateId(1));
+        let rule = extract_gates(&d, &fast_config(OpcMode::Rule), &tags).expect("extract");
+        let model = extract_gates(&d, &fast_config(OpcMode::Model), &tags).expect("extract");
+        assert_eq!(rule.stats.opc_simulations, 0);
+        assert!(model.stats.opc_simulations >= 3);
+        assert!(model.stats.opc_fragment_moves > 0);
+    }
+
+    #[test]
+    fn opc_improves_extracted_cd_accuracy() {
+        let d = chain_design(5);
+        let tags = TagSet::all(&d);
+        let none = extract_gates(&d, &fast_config(OpcMode::None), &tags).expect("extract");
+        let model = extract_gates(&d, &fast_config(OpcMode::Model), &tags).expect("extract");
+        let rms = |out: &ExtractionOutcome| {
+            let v: Vec<f64> = out
+                .stats
+                .extracted
+                .iter()
+                .map(|e| e.equivalent.l_delay_nm - e.site.drawn_l_nm)
+                .collect();
+            (v.iter().map(|d| d * d).sum::<f64>() / v.len() as f64).sqrt()
+        };
+        assert!(
+            rms(&model) < rms(&none),
+            "model OPC should bring printed CDs toward drawn: {} vs {}",
+            rms(&model),
+            rms(&none)
+        );
+    }
+
+    #[test]
+    fn annotation_preserves_pin_mapping() {
+        let d = Design::compile(
+            generate::ripple_carry_adder(1).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let mut tags = TagSet::new();
+        tags.insert(GateId(0)); // a NAND2
+        let out = extract_gates(&d, &fast_config(OpcMode::Rule), &tags).expect("extract");
+        let ann = out.annotation.gate(GateId(0)).expect("annotated");
+        assert_eq!(ann.transistors.len(), 4); // 2 fingers × N/P
+        let pins: std::collections::HashSet<Option<usize>> =
+            ann.transistors.iter().map(|t| t.input_pin).collect();
+        assert!(pins.contains(&Some(0)) && pins.contains(&Some(1)));
+    }
+}

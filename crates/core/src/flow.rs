@@ -1,0 +1,205 @@
+//! The end-to-end post-OPC timing flow.
+//!
+//! The sequence the DAC 2005 paper describes:
+//!
+//! 1. **drawn STA** over the placed-and-routed design;
+//! 2. **tag critical gates** on the top-k speed paths;
+//! 3. **selective extraction**: OPC + imaging + slice extraction on the
+//!    tagged gates (optionally every gate);
+//! 4. optional **multi-layer extraction** of the critical nets' printed
+//!    wire widths;
+//! 5. **back-annotated STA** and comparison (criticality reordering,
+//!    worst-slack deviation).
+
+use crate::compare::TimingComparison;
+use crate::error::Result;
+use crate::extract::{extract_gates, ExtractionConfig, ExtractionStats};
+use crate::multilayer::{extract_wires, WireExtractionConfig, WireExtractionStats};
+use crate::tags::TagSet;
+use postopc_device::ProcessParams;
+use postopc_layout::{Design, NetId};
+use postopc_sta::{CdAnnotation, TimingModel};
+use std::time::{Duration, Instant};
+
+/// Which gates the flow extracts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Selection {
+    /// Every gate in the design (full-chip extraction).
+    All,
+    /// Only gates on the top-`paths` drawn speed paths (the paper's
+    /// selective extraction).
+    Critical {
+        /// Number of top paths whose gates are tagged.
+        paths: usize,
+    },
+}
+
+/// Flow configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowConfig {
+    /// Clock period for slack computation, in ps.
+    pub clock_ps: f64,
+    /// Number of speed paths reported in the comparison.
+    pub report_paths: usize,
+    /// Gate selection policy.
+    pub selection: Selection,
+    /// Extraction settings (OPC recipe, imaging, slicing).
+    pub extraction: ExtractionConfig,
+    /// Wire extraction settings; `None` disables the multi-layer step.
+    pub wires: Option<WireExtractionConfig>,
+    /// Device process for timing.
+    pub process: ProcessParams,
+}
+
+impl FlowConfig {
+    /// The paper's flow: selective extraction on the top-20 paths,
+    /// model OPC, poly only.
+    pub fn standard(clock_ps: f64) -> FlowConfig {
+        FlowConfig {
+            clock_ps,
+            report_paths: 20,
+            selection: Selection::Critical { paths: 20 },
+            extraction: ExtractionConfig::standard(),
+            wires: None,
+            process: ProcessParams::n90(),
+        }
+    }
+}
+
+/// The complete result of one flow run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowReport {
+    /// Tagged gates.
+    pub tags: TagSet,
+    /// Extraction statistics.
+    pub extraction: ExtractionStats,
+    /// Wire extraction statistics (if the multi-layer step ran).
+    pub wire_stats: Option<WireExtractionStats>,
+    /// The final annotation (gates + optional nets).
+    pub annotation: CdAnnotation,
+    /// Drawn vs annotated timing with path comparisons.
+    pub comparison: TimingComparison,
+    /// Wall-clock time of the extraction step.
+    pub extraction_time: Duration,
+    /// Wall-clock time of the two timing runs.
+    pub timing_time: Duration,
+}
+
+/// Runs the complete post-OPC timing flow on a compiled design.
+///
+/// # Errors
+///
+/// Propagates configuration, simulation, extraction and timing errors.
+pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowReport> {
+    let model = TimingModel::new(design, config.process.clone(), config.clock_ps)?;
+
+    // Step 1-2: drawn timing and tagging.
+    let drawn = model.analyze(None)?;
+    let tags = match config.selection {
+        Selection::All => TagSet::all(design),
+        Selection::Critical { paths } => TagSet::from_critical_paths(design, &drawn, paths),
+    };
+
+    // Step 3: selective extraction.
+    let t0 = Instant::now();
+    let outcome = extract_gates(design, &config.extraction, &tags)?;
+    let mut annotation = outcome.annotation;
+
+    // Step 4: optional multi-layer extraction on the nets of the tagged
+    // gates' outputs and inputs.
+    let wire_stats = match &config.wires {
+        Some(wire_config) => {
+            let mut nets: Vec<NetId> = Vec::new();
+            for gate in tags.sorted() {
+                let g = design.netlist().gate(gate);
+                nets.push(g.output);
+                nets.extend(g.inputs.iter().copied());
+            }
+            nets.sort_unstable();
+            nets.dedup();
+            Some(extract_wires(design, wire_config, &nets, &mut annotation)?)
+        }
+        None => None,
+    };
+    let extraction_time = t0.elapsed();
+
+    // Step 5: back-annotated timing and comparison.
+    let t1 = Instant::now();
+    let comparison = TimingComparison::compare(&model, design, &annotation, config.report_paths)?;
+    let timing_time = t1.elapsed();
+
+    Ok(FlowReport {
+        tags,
+        extraction: outcome.stats,
+        wire_stats,
+        annotation,
+        comparison,
+        extraction_time,
+        timing_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::OpcMode;
+    use postopc_layout::{generate, TechRules};
+
+    fn small_design() -> Design {
+        Design::compile(
+            generate::ripple_carry_adder(2).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design")
+    }
+
+    fn fast_flow(selection: Selection) -> FlowConfig {
+        let mut cfg = FlowConfig::standard(800.0);
+        cfg.selection = selection;
+        cfg.extraction.opc_mode = OpcMode::Rule;
+        cfg.report_paths = 5;
+        cfg
+    }
+
+    #[test]
+    fn selective_flow_runs_end_to_end() {
+        let d = small_design();
+        let report = run_flow(&d, &fast_flow(Selection::Critical { paths: 2 })).expect("flow");
+        assert!(!report.tags.is_empty());
+        assert!(report.tags.len() < d.netlist().gate_count());
+        assert_eq!(report.extraction.gates_extracted, report.tags.len());
+        assert_eq!(report.annotation.gate_count(), report.tags.len());
+        // Annotated timing differs from drawn.
+        assert_ne!(
+            report.comparison.drawn.critical_delay_ps(),
+            report.comparison.annotated.critical_delay_ps()
+        );
+        assert!(report.wire_stats.is_none());
+    }
+
+    #[test]
+    fn full_flow_annotates_every_gate() {
+        let d = small_design();
+        let report = run_flow(&d, &fast_flow(Selection::All)).expect("flow");
+        assert_eq!(report.annotation.gate_count(), d.netlist().gate_count());
+    }
+
+    #[test]
+    fn selective_is_cheaper_than_full() {
+        let d = small_design();
+        let selective = run_flow(&d, &fast_flow(Selection::Critical { paths: 1 })).expect("flow");
+        let full = run_flow(&d, &fast_flow(Selection::All)).expect("flow");
+        assert!(selective.extraction.windows < full.extraction.windows);
+    }
+
+    #[test]
+    fn multilayer_step_annotates_nets() {
+        let d = small_design();
+        let mut cfg = fast_flow(Selection::Critical { paths: 1 });
+        cfg.wires = Some(WireExtractionConfig::standard());
+        let report = run_flow(&d, &cfg).expect("flow");
+        let stats = report.wire_stats.expect("wire step ran");
+        assert!(stats.nets_annotated > 0);
+        assert_eq!(report.annotation.net_count(), stats.nets_annotated);
+    }
+}

@@ -1,0 +1,192 @@
+//! Plain-text report rendering for flow results and experiment tables.
+
+use crate::compare::TimingComparison;
+use postopc_layout::Design;
+
+/// Renders an ASCII table with a title row, headers, and rows.
+///
+/// ```
+/// use postopc::report::render_table;
+/// let t = render_table(
+///     "demo",
+///     &["path", "slack (ps)"],
+///     &[vec!["fa0".into(), "-12.3".into()]],
+/// );
+/// assert!(t.contains("slack"));
+/// assert!(t.contains("fa0"));
+/// ```
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    let header_line: Vec<String> = headers
+        .iter()
+        .enumerate()
+        .map(|(i, h)| format!("{h:<w$}", w = widths[i]))
+        .collect();
+    out.push_str(&header_line.join(" | "));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        let cells: Vec<String> = row
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths.get(i).copied().unwrap_or(c.len())))
+            .collect();
+        out.push_str(&cells.join(" | "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders the paper's speed-path comparison table: drawn rank vs
+/// annotated rank, slacks in both views.
+pub fn render_path_comparison(design: &Design, comparison: &TimingComparison) -> String {
+    let annotated_rank: std::collections::HashMap<_, _> = {
+        let mut endpoints: Vec<_> = comparison.drawn_paths.iter().map(|p| p.endpoint).collect();
+        endpoints.sort_by(|a, b| {
+            comparison
+                .annotated
+                .slack_ps(*a)
+                .partial_cmp(&comparison.annotated.slack_ps(*b))
+                .expect("finite slacks")
+        });
+        endpoints.into_iter().enumerate().map(|(r, e)| (e, r)).collect()
+    };
+    let rows: Vec<Vec<String>> = comparison
+        .drawn_paths
+        .iter()
+        .enumerate()
+        .map(|(rank, p)| {
+            vec![
+                format!("{}", rank + 1),
+                design.netlist().net(p.endpoint).name.clone(),
+                format!("{:.1}", p.slack_ps),
+                format!("{:.1}", comparison.annotated.slack_ps(p.endpoint)),
+                format!("{}", annotated_rank[&p.endpoint] + 1),
+                format!("{}", p.gates.len()),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        "speed-path criticality: drawn vs post-OPC annotated",
+        &[
+            "drawn rank",
+            "endpoint",
+            "drawn slack (ps)",
+            "annotated slack (ps)",
+            "annotated rank",
+            "gates",
+        ],
+        &rows,
+    );
+    out.push_str(&format!(
+        "kendall tau = {:.3}, mean rank displacement = {:.2}, worst-slack shift = {:.1}%\n",
+        comparison.kendall_tau(),
+        comparison.mean_rank_displacement(),
+        100.0 * comparison.worst_slack_shift_fraction(),
+    ));
+    out
+}
+
+/// Renders a per-gate breakdown of one timing path: cell, drive, delay,
+/// and cumulative arrival — the classic STA path report.
+pub fn render_path_detail(
+    design: &Design,
+    report: &postopc_sta::TimingReport,
+    path: &postopc_sta::TimingPath,
+) -> String {
+    let netlist = design.netlist();
+    let mut cumulative = 0.0;
+    let rows: Vec<Vec<String>> = path
+        .gates
+        .iter()
+        .map(|&gid| {
+            let gate = netlist.gate(gid);
+            let delay = report.gate_delay_ps(gid);
+            cumulative += delay;
+            vec![
+                gate.name.clone(),
+                format!("{}{}", gate.kind, gate.drive),
+                netlist.net(gate.output).name.clone(),
+                format!("{delay:.2}"),
+                format!("{cumulative:.2}"),
+            ]
+        })
+        .collect();
+    let mut out = render_table(
+        &format!(
+            "path to {} (arrival {:.1} ps, slack {:.1} ps)",
+            netlist.net(path.endpoint).name,
+            path.arrival_ps,
+            path.slack_ps
+        ),
+        &["gate", "cell", "output net", "delay (ps)", "arrival (ps)"],
+        &rows,
+    );
+    out.push_str(&format!(
+        "stages: {}, mean stage delay {:.2} ps
+",
+        path.gates.len(),
+        path.arrival_ps / path.gates.len().max(1) as f64
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = render_table(
+            "x",
+            &["a", "bbbb"],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["333".into(), "4".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 5);
+        assert!(lines[1].contains('|'));
+        // All data lines equal length (aligned).
+        assert_eq!(lines[3].len(), lines[4].len());
+    }
+
+    #[test]
+    fn empty_rows_render_headers_only() {
+        let t = render_table("empty", &["h1"], &[]);
+        assert!(t.contains("h1"));
+        assert_eq!(t.lines().count(), 3);
+    }
+
+    #[test]
+    fn path_detail_renders_every_stage() {
+        use postopc_device::ProcessParams;
+        use postopc_layout::{generate, TechRules};
+        use postopc_sta::TimingModel;
+        let design = Design::compile(
+            generate::inverter_chain(5).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let model = TimingModel::new(&design, ProcessParams::n90(), 500.0).expect("model");
+        let report = model.analyze(None).expect("analysis");
+        let path = &report.top_paths(&design, 1)[0];
+        let text = render_path_detail(&design, &report, path);
+        assert!(text.contains("inv0"));
+        assert!(text.contains("inv4"));
+        assert!(text.contains("stages: 5"));
+        // Final cumulative equals the endpoint arrival.
+        assert!(text.contains(&format!("{:.2}", path.arrival_ps)));
+    }
+}

@@ -1,0 +1,138 @@
+//! Critical-gate tagging.
+//!
+//! The paper's flow begins by "tagging critical gates": the gates on the
+//! most critical speed paths of the drawn-timing run are marked, and
+//! downstream steps (selective extraction, selective OPC) operate only on
+//! the tagged set.
+
+use postopc_layout::{Design, GateId};
+use postopc_sta::TimingReport;
+use std::collections::HashSet;
+
+/// A set of tagged (critical) gates.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TagSet {
+    gates: HashSet<GateId>,
+}
+
+impl TagSet {
+    /// An empty tag set.
+    pub fn new() -> TagSet {
+        TagSet::default()
+    }
+
+    /// Tags every gate of the design (full-chip extraction).
+    pub fn all(design: &Design) -> TagSet {
+        TagSet {
+            gates: (0..design.netlist().gate_count() as u32).map(GateId).collect(),
+        }
+    }
+
+    /// Tags the gates on the `k` most critical speed paths of `report`.
+    pub fn from_critical_paths(design: &Design, report: &TimingReport, k: usize) -> TagSet {
+        let mut gates = HashSet::new();
+        for path in report.top_paths(design, k) {
+            gates.extend(path.gates.iter().copied());
+        }
+        TagSet { gates }
+    }
+
+    /// Adds a gate to the set.
+    pub fn insert(&mut self, gate: GateId) {
+        self.gates.insert(gate);
+    }
+
+    /// Whether a gate is tagged.
+    pub fn contains(&self, gate: GateId) -> bool {
+        self.gates.contains(&gate)
+    }
+
+    /// Number of tagged gates.
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Whether no gate is tagged.
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Iterator over tagged gates (unordered).
+    pub fn iter(&self) -> impl Iterator<Item = GateId> + '_ {
+        self.gates.iter().copied()
+    }
+
+    /// The tagged gates in ascending id order (deterministic iteration).
+    pub fn sorted(&self) -> Vec<GateId> {
+        let mut v: Vec<GateId> = self.gates.iter().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Fraction of the design's gates that are tagged.
+    pub fn coverage(&self, design: &Design) -> f64 {
+        self.gates.len() as f64 / design.netlist().gate_count().max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_device::ProcessParams;
+    use postopc_layout::{generate, TechRules};
+    use postopc_sta::TimingModel;
+
+    fn design() -> Design {
+        Design::compile(
+            generate::ripple_carry_adder(4).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design")
+    }
+
+    #[test]
+    fn all_covers_everything() {
+        let d = design();
+        let tags = TagSet::all(&d);
+        assert_eq!(tags.len(), d.netlist().gate_count());
+        assert!((tags.coverage(&d) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn critical_path_tags_are_a_small_subset() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 600.0).expect("model");
+        let report = model.analyze(None).expect("analyze");
+        let tags = TagSet::from_critical_paths(&d, &report, 3);
+        assert!(!tags.is_empty());
+        assert!(
+            tags.len() < d.netlist().gate_count(),
+            "tagging top-3 paths must not cover the whole design"
+        );
+        // Every gate of the worst path is tagged.
+        let worst = &report.top_paths(&d, 1)[0];
+        for &g in &worst.gates {
+            assert!(tags.contains(g));
+        }
+    }
+
+    #[test]
+    fn sorted_is_deterministic() {
+        let d = design();
+        let tags = TagSet::all(&d);
+        let a = tags.sorted();
+        let b = tags.sorted();
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let mut tags = TagSet::new();
+        assert!(tags.is_empty());
+        tags.insert(GateId(5));
+        assert!(tags.contains(GateId(5)));
+        assert!(!tags.contains(GateId(6)));
+        assert_eq!(tags.len(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Error types for device model evaluation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by device-model construction and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum DeviceError {
+    /// A transistor or wire dimension was non-positive or non-finite.
+    InvalidDimension {
+        /// Name of the offending quantity (`"W"`, `"L"`, ...).
+        name: &'static str,
+        /// The rejected value in nm.
+        value: f64,
+    },
+    /// A gate had no slices to reduce.
+    EmptySlices,
+    /// An iterative solve (equivalent-length bisection) failed to converge.
+    NoConvergence {
+        /// What was being solved for.
+        what: &'static str,
+        /// Iterations performed before giving up.
+        iterations: usize,
+    },
+}
+
+impl fmt::Display for DeviceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeviceError::InvalidDimension { name, value } => {
+                write!(f, "invalid device dimension {name} = {value} nm")
+            }
+            DeviceError::EmptySlices => write!(f, "gate has no slices"),
+            DeviceError::NoConvergence { what, iterations } => {
+                write!(f, "{what} did not converge after {iterations} iterations")
+            }
+        }
+    }
+}
+
+impl Error for DeviceError {}
+
+/// Convenience result alias for the device crate.
+pub type Result<T> = std::result::Result<T, DeviceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = DeviceError::InvalidDimension { name: "L", value: -3.0 };
+        assert_eq!(e.to_string(), "invalid device dimension L = -3 nm");
+        assert!(DeviceError::EmptySlices.to_string().contains("no slices"));
+    }
+}

@@ -1,0 +1,218 @@
+//! Interconnect RC modelling for the multi-layer extraction extension.
+//!
+//! The DAC 2005 paper proposes extending post-OPC extraction beyond poly to
+//! metal layers: printed wire widths and spacings perturb interconnect
+//! resistance and capacitance, and therefore path delay. This module gives
+//! wires a simple but dimensionally-correct RC model (sheet resistance,
+//! area + fringe + coupling capacitance) and an Elmore delay evaluator.
+
+use crate::error::{DeviceError, Result};
+
+/// Electrical constants of one routing layer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WireLayerParams {
+    /// Sheet resistance in Ω/sq.
+    pub r_sheet: f64,
+    /// Plate (area) capacitance to ground in fF/nm².
+    pub c_area: f64,
+    /// Fringe capacitance per edge in fF/nm of length.
+    pub c_fringe: f64,
+    /// Coupling constant: sidewall capacitance per nm of length is
+    /// `c_coupling_k / spacing_nm` per neighbouring side.
+    pub c_coupling_k: f64,
+}
+
+impl WireLayerParams {
+    /// Thin lower-level metal (M1-class) for the 90 nm process.
+    pub fn m1_90nm() -> WireLayerParams {
+        WireLayerParams {
+            r_sheet: 0.12,
+            c_area: 3.0e-8,
+            c_fringe: 4.0e-5,
+            c_coupling_k: 7.2e-3,
+        }
+    }
+
+    /// Intermediate metal (M2/M3-class): wider, lower resistance.
+    pub fn m2_90nm() -> WireLayerParams {
+        WireLayerParams {
+            r_sheet: 0.08,
+            c_area: 2.6e-8,
+            c_fringe: 3.6e-5,
+            c_coupling_k: 6.4e-3,
+        }
+    }
+}
+
+/// A routed wire segment with (possibly printed, post-OPC) dimensions.
+///
+/// ```
+/// use postopc_device::{Wire, WireLayerParams};
+/// # fn main() -> Result<(), postopc_device::DeviceError> {
+/// let layer = WireLayerParams::m1_90nm();
+/// let wire = Wire::new(layer, 50_000.0, 120.0, 120.0)?;
+/// // ~0.2 fF/µm total capacitance is the 90 nm ballpark.
+/// let c_per_um = wire.capacitance_ff() / 50.0;
+/// assert!(c_per_um > 0.1 && c_per_um < 0.4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    layer: WireLayerParams,
+    length_nm: f64,
+    width_nm: f64,
+    spacing_nm: f64,
+}
+
+impl Wire {
+    /// Creates a wire segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidDimension`] if any of length, width or
+    /// spacing is non-positive or non-finite.
+    pub fn new(
+        layer: WireLayerParams,
+        length_nm: f64,
+        width_nm: f64,
+        spacing_nm: f64,
+    ) -> Result<Wire> {
+        for (name, v) in [
+            ("length", length_nm),
+            ("width", width_nm),
+            ("spacing", spacing_nm),
+        ] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(DeviceError::InvalidDimension { name: match name {
+                    "length" => "wire length",
+                    "width" => "wire width",
+                    _ => "wire spacing",
+                }, value: v });
+            }
+        }
+        Ok(Wire {
+            layer,
+            length_nm,
+            width_nm,
+            spacing_nm,
+        })
+    }
+
+    /// Wire length in nm.
+    pub fn length_nm(&self) -> f64 {
+        self.length_nm
+    }
+
+    /// Wire width in nm.
+    pub fn width_nm(&self) -> f64 {
+        self.width_nm
+    }
+
+    /// Edge-to-edge spacing to neighbours in nm.
+    pub fn spacing_nm(&self) -> f64 {
+        self.spacing_nm
+    }
+
+    /// The same wire with printed (post-OPC) width and spacing.
+    ///
+    /// A width change at fixed pitch moves spacing the opposite way:
+    /// `spacing' = spacing + (width − width')` — exactly the coupling shift
+    /// the multi-layer extension measures.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::InvalidDimension`] if the printed width is
+    /// non-positive or consumes the whole pitch.
+    pub fn with_printed_width(&self, printed_width_nm: f64) -> Result<Wire> {
+        let delta = self.width_nm - printed_width_nm;
+        Wire::new(
+            self.layer,
+            self.length_nm,
+            printed_width_nm,
+            self.spacing_nm + delta,
+        )
+    }
+
+    /// Series resistance in kΩ.
+    pub fn resistance_kohm(&self) -> f64 {
+        self.layer.r_sheet * (self.length_nm / self.width_nm) / 1000.0
+    }
+
+    /// Total capacitance in fF: area + two fringes + two coupling sides.
+    pub fn capacitance_ff(&self) -> f64 {
+        let area = self.layer.c_area * self.width_nm * self.length_nm;
+        let fringe = 2.0 * self.layer.c_fringe * self.length_nm;
+        let coupling = 2.0 * self.layer.c_coupling_k * self.length_nm / self.spacing_nm;
+        area + fringe + coupling
+    }
+
+    /// Elmore delay in ps of a lumped driver `r_driver_kohm` driving this
+    /// (distributed) wire into `c_load_ff`:
+    /// `D = R_drv (C_w + C_L) + R_w (C_w/2 + C_L)`.
+    pub fn elmore_delay_ps(&self, r_driver_kohm: f64, c_load_ff: f64) -> f64 {
+        let cw = self.capacitance_ff();
+        let rw = self.resistance_kohm();
+        r_driver_kohm * (cw + c_load_ff) + rw * (0.5 * cw + c_load_ff)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m1_wire(len: f64, w: f64, s: f64) -> Wire {
+        Wire::new(WireLayerParams::m1_90nm(), len, w, s).expect("valid wire")
+    }
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        let l = WireLayerParams::m1_90nm();
+        assert!(Wire::new(l, 0.0, 120.0, 120.0).is_err());
+        assert!(Wire::new(l, 1000.0, -5.0, 120.0).is_err());
+        assert!(Wire::new(l, 1000.0, 120.0, f64::INFINITY).is_err());
+    }
+
+    #[test]
+    fn resistance_scales_with_squares() {
+        let a = m1_wire(10_000.0, 120.0, 120.0);
+        let b = m1_wire(20_000.0, 120.0, 120.0);
+        assert!((b.resistance_kohm() / a.resistance_kohm() - 2.0).abs() < 1e-12);
+        let wide = m1_wire(10_000.0, 240.0, 120.0);
+        assert!((a.resistance_kohm() / wide.resistance_kohm() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn narrower_printed_wire_raises_r_lowers_c() {
+        let drawn = m1_wire(50_000.0, 120.0, 120.0);
+        let printed = drawn.with_printed_width(110.0).expect("valid");
+        assert!(printed.resistance_kohm() > drawn.resistance_kohm());
+        // Wider spacing reduces coupling; smaller plate reduces area cap.
+        assert!(printed.capacitance_ff() < drawn.capacitance_ff());
+        assert!((printed.spacing_nm() - 130.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wider_printed_wire_increases_coupling() {
+        let drawn = m1_wire(50_000.0, 120.0, 120.0);
+        let printed = drawn.with_printed_width(132.0).expect("valid");
+        assert!(printed.capacitance_ff() > drawn.capacitance_ff());
+    }
+
+    #[test]
+    fn elmore_delay_monotone_in_load() {
+        let w = m1_wire(100_000.0, 120.0, 120.0);
+        let d1 = w.elmore_delay_ps(2.0, 1.0);
+        let d2 = w.elmore_delay_ps(2.0, 5.0);
+        assert!(d2 > d1);
+        // 100 µm M1 with a 2 kΩ driver: tens of ps, not ns or fs.
+        assert!((1.0..1000.0).contains(&d1), "delay = {d1} ps");
+    }
+
+    #[test]
+    fn printed_width_cannot_exceed_pitch() {
+        let drawn = m1_wire(1000.0, 120.0, 120.0);
+        // Printed width of 240 leaves zero spacing at fixed pitch.
+        assert!(drawn.with_printed_width(240.0).is_err());
+    }
+}

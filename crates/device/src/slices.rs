@@ -1,0 +1,314 @@
+//! Non-rectangular gate modelling by slicing (companion paper #44:
+//! "From poly line to transistor: building BSIM models for non-rectangular
+//! transistors", Poppe, Neureuther, Wu, Capodieci, 2006).
+//!
+//! Post-OPC printed gates are not rectangles: corner rounding, line-end
+//! pullback and proximity bias make the channel length vary across the
+//! transistor width. The slice model cuts the gate into narrow rectangular
+//! slices along the width axis, evaluates each slice with the standard
+//! compact model, and reduces the ensemble to a single *equivalent
+//! rectangular transistor* — one equivalent length for delay (matching
+//! total on-current) and a different one for leakage (matching total off-
+//! current), exactly as the companion paper prescribes.
+
+use crate::error::{DeviceError, Result};
+use crate::mosfet::Mosfet;
+use crate::params::{MosKind, ProcessParams};
+
+/// One rectangular slice of a printed gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GateSlice {
+    /// Slice width (along the transistor width axis) in nm.
+    pub w_nm: f64,
+    /// Printed channel length of this slice in nm.
+    pub l_nm: f64,
+}
+
+/// A non-rectangular printed gate, represented as parallel slices.
+///
+/// ```
+/// use postopc_device::{SlicedGate, GateSlice, MosKind, ProcessParams};
+/// # fn main() -> Result<(), postopc_device::DeviceError> {
+/// let p = ProcessParams::n90();
+/// // Corner rounding narrowed the channel at one edge of the gate.
+/// let gate = SlicedGate::new(MosKind::Nmos, vec![
+///     GateSlice { w_nm: 100.0, l_nm: 84.0 },
+///     GateSlice { w_nm: 800.0, l_nm: 90.0 },
+///     GateSlice { w_nm: 100.0, l_nm: 88.0 },
+/// ])?;
+/// let eq = gate.equivalent(&p)?;
+/// // Delay-equivalent L is near the width-weighted mean; leakage-
+/// // equivalent L is pulled toward the shortest slice.
+/// assert!(eq.l_leakage_nm < eq.l_delay_nm);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlicedGate {
+    kind: MosKind,
+    slices: Vec<GateSlice>,
+}
+
+/// The equivalent rectangular transistor of a sliced gate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EquivalentGate {
+    /// Total width (sum of slice widths) in nm.
+    pub w_nm: f64,
+    /// Length whose rectangular device matches the sliced gate's total
+    /// on-current — use for delay analysis.
+    pub l_delay_nm: f64,
+    /// Length whose rectangular device matches the sliced gate's total
+    /// off-current — use for static-power analysis.
+    pub l_leakage_nm: f64,
+}
+
+impl SlicedGate {
+    /// Builds a sliced gate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::EmptySlices`] for an empty slice list, or
+    /// [`DeviceError::InvalidDimension`] if any slice dimension is
+    /// non-positive or non-finite.
+    pub fn new(kind: MosKind, slices: Vec<GateSlice>) -> Result<SlicedGate> {
+        if slices.is_empty() {
+            return Err(DeviceError::EmptySlices);
+        }
+        for s in &slices {
+            if !(s.w_nm.is_finite() && s.w_nm > 0.0) {
+                return Err(DeviceError::InvalidDimension { name: "slice W", value: s.w_nm });
+            }
+            if !(s.l_nm.is_finite() && s.l_nm > 0.0) {
+                return Err(DeviceError::InvalidDimension { name: "slice L", value: s.l_nm });
+            }
+        }
+        Ok(SlicedGate { kind, slices })
+    }
+
+    /// Transistor polarity.
+    pub fn kind(&self) -> MosKind {
+        self.kind
+    }
+
+    /// The slices.
+    pub fn slices(&self) -> &[GateSlice] {
+        &self.slices
+    }
+
+    /// Total transistor width in nm.
+    pub fn total_width_nm(&self) -> f64 {
+        self.slices.iter().map(|s| s.w_nm).sum()
+    }
+
+    /// Total on-current: the sum of per-slice alpha-power currents
+    /// (slices conduct in parallel), in µA.
+    pub fn i_on(&self, p: &ProcessParams) -> Result<f64> {
+        self.sum_over_slices(p, |m, p| m.i_on(p))
+    }
+
+    /// Total off-current (parallel leakage), in µA.
+    pub fn i_off(&self, p: &ProcessParams) -> Result<f64> {
+        self.sum_over_slices(p, |m, p| m.i_off(p))
+    }
+
+    /// Reduces the sliced gate to its equivalent rectangular transistor.
+    ///
+    /// Solves `I(W_total, L_eq) = I_sliced` by bisection for both the
+    /// on-current (delay) and off-current (leakage) definitions; both
+    /// currents are strictly decreasing in `L`, so the roots are unique.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DeviceError::NoConvergence`] if bisection fails (requires
+    /// pathological slice data outside the bracket `[L_min/2, 2·L_max]`).
+    pub fn equivalent(&self, p: &ProcessParams) -> Result<EquivalentGate> {
+        let w = self.total_width_nm();
+        let l_min = self.slices.iter().map(|s| s.l_nm).fold(f64::MAX, f64::min);
+        let l_max = self.slices.iter().map(|s| s.l_nm).fold(0.0, f64::max);
+        let ion = self.i_on(p)?;
+        let ioff = self.i_off(p)?;
+        let l_delay = bisect_length(
+            |l| Mosfet::new(self.kind, w, l).map(|m| m.i_on(p)),
+            ion,
+            l_min * 0.5,
+            l_max * 2.0,
+            "delay-equivalent length",
+        )?;
+        let l_leak = bisect_length(
+            |l| Mosfet::new(self.kind, w, l).map(|m| m.i_off(p)),
+            ioff,
+            l_min * 0.5,
+            l_max * 2.0,
+            "leakage-equivalent length",
+        )?;
+        Ok(EquivalentGate {
+            w_nm: w,
+            l_delay_nm: l_delay,
+            l_leakage_nm: l_leak,
+        })
+    }
+
+    fn sum_over_slices(
+        &self,
+        p: &ProcessParams,
+        f: impl Fn(&Mosfet, &ProcessParams) -> f64,
+    ) -> Result<f64> {
+        let mut total = 0.0;
+        for s in &self.slices {
+            let m = Mosfet::new(self.kind, s.w_nm, s.l_nm)?;
+            total += f(&m, p);
+        }
+        Ok(total)
+    }
+}
+
+/// Finds `L` in `[lo, hi]` with `current(L) == target`, assuming `current`
+/// is strictly decreasing in `L`.
+fn bisect_length(
+    current: impl Fn(f64) -> Result<f64>,
+    target: f64,
+    mut lo: f64,
+    mut hi: f64,
+    what: &'static str,
+) -> Result<f64> {
+    const MAX_ITER: usize = 200;
+    let f_lo = current(lo)?;
+    let f_hi = current(hi)?;
+    if target > f_lo || target < f_hi {
+        return Err(DeviceError::NoConvergence { what, iterations: 0 });
+    }
+    for _ in 0..MAX_ITER {
+        let mid = 0.5 * (lo + hi);
+        let f_mid = current(mid)?;
+        if (hi - lo) < 1e-6 {
+            return Ok(mid);
+        }
+        if f_mid > target {
+            lo = mid; // current too high => need longer channel
+        } else {
+            hi = mid;
+        }
+    }
+    Err(DeviceError::NoConvergence {
+        what,
+        iterations: MAX_ITER,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> ProcessParams {
+        ProcessParams::n90()
+    }
+
+    fn uniform(l: f64) -> SlicedGate {
+        SlicedGate::new(
+            MosKind::Nmos,
+            vec![
+                GateSlice { w_nm: 250.0, l_nm: l },
+                GateSlice { w_nm: 250.0, l_nm: l },
+                GateSlice { w_nm: 500.0, l_nm: l },
+            ],
+        )
+        .expect("valid gate")
+    }
+
+    #[test]
+    fn rejects_empty_and_bad_slices() {
+        assert!(matches!(
+            SlicedGate::new(MosKind::Nmos, vec![]),
+            Err(DeviceError::EmptySlices)
+        ));
+        assert!(SlicedGate::new(
+            MosKind::Nmos,
+            vec![GateSlice { w_nm: -1.0, l_nm: 90.0 }]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn uniform_gate_equivalent_recovers_length() {
+        let eq = uniform(90.0).equivalent(&p()).expect("converges");
+        assert!((eq.l_delay_nm - 90.0).abs() < 1e-3, "{}", eq.l_delay_nm);
+        assert!((eq.l_leakage_nm - 90.0).abs() < 1e-3, "{}", eq.l_leakage_nm);
+        assert_eq!(eq.w_nm, 1000.0);
+    }
+
+    #[test]
+    fn uniform_gate_currents_match_rectangular() {
+        let pp = p();
+        let g = uniform(88.0);
+        let m = Mosfet::new(MosKind::Nmos, 1000.0, 88.0).expect("valid");
+        assert!((g.i_on(&pp).expect("ok") - m.i_on(&pp)).abs() / m.i_on(&pp) < 1e-12);
+        assert!((g.i_off(&pp).expect("ok") - m.i_off(&pp)).abs() / m.i_off(&pp) < 1e-12);
+    }
+
+    #[test]
+    fn leakage_equivalent_shorter_than_delay_equivalent() {
+        // Necked gate: a narrow short region dominates leakage.
+        let g = SlicedGate::new(
+            MosKind::Nmos,
+            vec![
+                GateSlice { w_nm: 100.0, l_nm: 78.0 },
+                GateSlice { w_nm: 900.0, l_nm: 90.0 },
+            ],
+        )
+        .expect("valid");
+        let eq = g.equivalent(&p()).expect("converges");
+        assert!(
+            eq.l_leakage_nm < eq.l_delay_nm,
+            "L_leak {} !< L_delay {}",
+            eq.l_leakage_nm,
+            eq.l_delay_nm
+        );
+        // Both must lie strictly between the extremes.
+        assert!(eq.l_delay_nm > 78.0 && eq.l_delay_nm < 90.0);
+        assert!(eq.l_leakage_nm > 78.0 && eq.l_leakage_nm < 90.0);
+    }
+
+    #[test]
+    fn equivalent_matches_ensemble_currents() {
+        let pp = p();
+        let g = SlicedGate::new(
+            MosKind::Pmos,
+            vec![
+                GateSlice { w_nm: 300.0, l_nm: 86.0 },
+                GateSlice { w_nm: 300.0, l_nm: 92.0 },
+                GateSlice { w_nm: 400.0, l_nm: 89.0 },
+            ],
+        )
+        .expect("valid");
+        let eq = g.equivalent(&pp).expect("converges");
+        let delay_dev = Mosfet::new(MosKind::Pmos, eq.w_nm, eq.l_delay_nm).expect("valid");
+        let leak_dev = Mosfet::new(MosKind::Pmos, eq.w_nm, eq.l_leakage_nm).expect("valid");
+        let ion = g.i_on(&pp).expect("ok");
+        let ioff = g.i_off(&pp).expect("ok");
+        assert!((delay_dev.i_on(&pp) - ion).abs() / ion < 1e-4);
+        assert!((leak_dev.i_off(&pp) - ioff).abs() / ioff < 1e-4);
+    }
+
+    #[test]
+    fn single_nm_necking_changes_leakage_percent_level() {
+        // The slice model exists because mid-gate CD alone misses necking:
+        // quantify that a 5 nm neck over 10% of the width moves leakage
+        // far more than the width-weighted-average length suggests.
+        let pp = p();
+        let necked = SlicedGate::new(
+            MosKind::Nmos,
+            vec![
+                GateSlice { w_nm: 100.0, l_nm: 80.0 },
+                GateSlice { w_nm: 900.0, l_nm: 90.0 },
+            ],
+        )
+        .expect("valid");
+        let avg_l = (100.0 * 80.0 + 900.0 * 90.0) / 1000.0;
+        let avg_dev = Mosfet::new(MosKind::Nmos, 1000.0, avg_l).expect("valid");
+        let sliced_ioff = necked.i_off(&pp).expect("ok");
+        assert!(
+            sliced_ioff > 1.05 * avg_dev.i_off(&pp),
+            "slice model should exceed the averaged-L leakage estimate"
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! Error types for geometry construction and processing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or validating geometric objects.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A polygon failed rectilinear validation.
+    ///
+    /// Carries a human-readable reason (too few vertices, non-axis-parallel
+    /// edge, zero-length edge, self-touching contour, zero area, ...).
+    InvalidPolygon(String),
+    /// A rectangle was specified with inverted or degenerate extents.
+    EmptyRect {
+        /// Requested width (may be zero or negative before normalization).
+        width: i64,
+        /// Requested height.
+        height: i64,
+    },
+    /// A grid or raster was requested with a non-positive resolution.
+    InvalidResolution(f64),
+    /// An index was out of bounds for the addressed structure.
+    OutOfBounds {
+        /// The offending index.
+        index: usize,
+        /// The size of the structure.
+        len: usize,
+    },
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::InvalidPolygon(reason) => write!(f, "invalid polygon: {reason}"),
+            GeomError::EmptyRect { width, height } => {
+                write!(f, "empty rectangle: width {width} x height {height}")
+            }
+            GeomError::InvalidResolution(res) => {
+                write!(f, "invalid raster resolution: {res}")
+            }
+            GeomError::OutOfBounds { index, len } => {
+                write!(f, "index {index} out of bounds for length {len}")
+            }
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+/// Convenience result alias used throughout the geometry crate.
+pub type Result<T> = std::result::Result<T, GeomError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = GeomError::InvalidPolygon("diagonal edge at vertex 3".into());
+        assert_eq!(e.to_string(), "invalid polygon: diagonal edge at vertex 3");
+        let e = GeomError::EmptyRect { width: 0, height: 5 };
+        assert!(e.to_string().contains("empty rectangle"));
+        let e = GeomError::InvalidResolution(-1.0);
+        assert!(e.to_string().contains("-1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

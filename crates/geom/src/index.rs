@@ -1,0 +1,154 @@
+//! Uniform-grid spatial index for rectangles.
+//!
+//! Full-chip operations (neighbourhood queries for litho context, net↔shape
+//! cross-referencing, ORC hotspot lookup) need fast "which shapes are near
+//! this window" queries. A uniform bucket grid is ideal for standard-cell
+//! layouts, where shape sizes are tightly clustered around the cell pitch.
+
+use crate::point::Coord;
+use crate::rect::Rect;
+
+/// A spatial index mapping rectangles to caller-defined payloads.
+///
+/// ```
+/// use postopc_geom::{GridIndex, Rect};
+/// # fn main() -> Result<(), postopc_geom::GeomError> {
+/// let mut idx = GridIndex::new(1000);
+/// idx.insert(Rect::new(0, 0, 90, 600)?, "gate-a");
+/// idx.insert(Rect::new(5000, 0, 5090, 600)?, "gate-b");
+/// let near = idx.query(Rect::new(-10, -10, 200, 700)?);
+/// assert_eq!(near.len(), 1);
+/// assert_eq!(*near[0].1, "gate-a");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct GridIndex<T> {
+    cell: Coord,
+    items: Vec<(Rect, T)>,
+    buckets: std::collections::HashMap<(Coord, Coord), Vec<usize>>,
+}
+
+impl<T> GridIndex<T> {
+    /// Creates an index with the given bucket size in nm.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell <= 0`; the bucket size is a compile-time-style
+    /// configuration choice, not user data.
+    pub fn new(cell: Coord) -> GridIndex<T> {
+        assert!(cell > 0, "bucket size must be positive, got {cell}");
+        GridIndex {
+            cell,
+            items: Vec::new(),
+            buckets: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Number of indexed items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Inserts a rectangle with its payload; returns the item id.
+    pub fn insert(&mut self, rect: Rect, payload: T) -> usize {
+        let id = self.items.len();
+        for key in self.bucket_range(&rect) {
+            self.buckets.entry(key).or_default().push(id);
+        }
+        self.items.push((rect, payload));
+        id
+    }
+
+    /// All items whose rectangle interior intersects `window`, in insertion
+    /// order and without duplicates.
+    pub fn query(&self, window: Rect) -> Vec<(&Rect, &T)> {
+        let mut ids: Vec<usize> = Vec::new();
+        for key in self.bucket_range(&window) {
+            if let Some(bucket) = self.buckets.get(&key) {
+                ids.extend_from_slice(bucket);
+            }
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_iter()
+            .filter(|&id| self.items[id].0.intersects(&window))
+            .map(|id| (&self.items[id].0, &self.items[id].1))
+            .collect()
+    }
+
+    /// The item with the given id, if it exists.
+    pub fn get(&self, id: usize) -> Option<(&Rect, &T)> {
+        self.items.get(id).map(|(r, t)| (r, t))
+    }
+
+    /// Iterator over all `(rect, payload)` items in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Rect, &T)> {
+        self.items.iter().map(|(r, t)| (r, t))
+    }
+
+    fn bucket_range(&self, rect: &Rect) -> impl Iterator<Item = (Coord, Coord)> {
+        let bx0 = rect.left().div_euclid(self.cell);
+        let bx1 = rect.right().div_euclid(self.cell);
+        let by0 = rect.bottom().div_euclid(self.cell);
+        let by1 = rect.top().div_euclid(self.cell);
+        (by0..=by1).flat_map(move |by| (bx0..=bx1).map(move |bx| (bx, by)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(x0: Coord, y0: Coord, x1: Coord, y1: Coord) -> Rect {
+        Rect::new(x0, y0, x1, y1).expect("rect")
+    }
+
+    #[test]
+    fn query_finds_only_intersecting() {
+        let mut idx = GridIndex::new(100);
+        idx.insert(r(0, 0, 50, 50), 1);
+        idx.insert(r(200, 200, 250, 250), 2);
+        idx.insert(r(40, 40, 220, 220), 3);
+        let hits: Vec<i32> = idx.query(r(45, 45, 60, 60)).iter().map(|(_, &v)| v).collect();
+        assert_eq!(hits, vec![1, 3]);
+    }
+
+    #[test]
+    fn large_rect_spanning_buckets_found_once() {
+        let mut idx = GridIndex::new(10);
+        idx.insert(r(0, 0, 1000, 1000), "big");
+        let hits = idx.query(r(500, 500, 510, 510));
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn negative_coordinates_work() {
+        let mut idx = GridIndex::new(64);
+        idx.insert(r(-500, -500, -400, -400), "neg");
+        assert_eq!(idx.query(r(-450, -450, -440, -440)).len(), 1);
+        assert_eq!(idx.query(r(0, 0, 10, 10)).len(), 0);
+    }
+
+    #[test]
+    fn touching_rects_do_not_intersect() {
+        let mut idx = GridIndex::new(100);
+        idx.insert(r(0, 0, 10, 10), ());
+        assert!(idx.query(r(10, 0, 20, 10)).is_empty());
+    }
+
+    #[test]
+    fn len_and_get() {
+        let mut idx = GridIndex::new(100);
+        assert!(idx.is_empty());
+        let id = idx.insert(r(0, 0, 10, 10), 42);
+        assert_eq!(idx.len(), 1);
+        assert_eq!(idx.get(id).map(|(_, &v)| v), Some(42));
+        assert!(idx.get(99).is_none());
+    }
+}

@@ -1,0 +1,360 @@
+//! Scalar field rasterization: mask transmission grids and aerial images.
+//!
+//! A [`Grid`] is a uniform scalar field over a rectangular window of layout
+//! space. The lithography simulator rasterizes mask polygons into a
+//! transmission grid (pixel value = covered area fraction), convolves it
+//! with optical kernels, and samples the resulting intensity field at
+//! arbitrary nm positions via bilinear interpolation.
+
+use crate::error::{GeomError, Result};
+use crate::point::Point;
+use crate::polygon::Polygon;
+use crate::rect::Rect;
+
+/// A uniform scalar field over a window of layout space.
+///
+/// Pixel `(ix, iy)` covers the square
+/// `[origin + ix·pixel, origin + (ix+1)·pixel) × [...y...]`, and its sample
+/// point (for interpolation) is the pixel center.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Grid {
+    origin: Point,
+    pixel: f64,
+    nx: usize,
+    ny: usize,
+    data: Vec<f64>,
+}
+
+impl Grid {
+    /// Creates a zero-filled grid covering `window` (expanded by `margin`
+    /// nm on all sides) at `pixel` nm per pixel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::InvalidResolution`] if `pixel <= 0`, is not
+    /// finite, or the window would require an absurd (> 10⁸) pixel count.
+    pub fn new(window: Rect, margin: i64, pixel: f64) -> Result<Grid> {
+        if !(pixel.is_finite() && pixel > 0.0) {
+            return Err(GeomError::InvalidResolution(pixel));
+        }
+        let origin = Point::new(window.left() - margin, window.bottom() - margin);
+        let w = (window.width() + 2 * margin) as f64;
+        let h = (window.height() + 2 * margin) as f64;
+        let nx = (w / pixel).ceil() as usize + 1;
+        let ny = (h / pixel).ceil() as usize + 1;
+        if nx.saturating_mul(ny) > 100_000_000 {
+            return Err(GeomError::InvalidResolution(pixel));
+        }
+        Ok(Grid {
+            origin,
+            pixel,
+            nx,
+            ny,
+            data: vec![0.0; nx * ny],
+        })
+    }
+
+    /// Grid width in pixels.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in pixels.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// Pixel size in nm.
+    pub fn pixel(&self) -> f64 {
+        self.pixel
+    }
+
+    /// Lower-left corner of pixel `(0, 0)` in nm.
+    pub fn origin(&self) -> Point {
+        self.origin
+    }
+
+    /// Raw row-major data (`iy * nx + ix`).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    pub fn data_mut(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Value at pixel `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        assert!(ix < self.nx && iy < self.ny, "pixel ({ix},{iy}) out of grid");
+        self.data[iy * self.nx + ix]
+    }
+
+    /// Sets the value at pixel `(ix, iy)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the indices are out of bounds.
+    pub fn set(&mut self, ix: usize, iy: usize, v: f64) {
+        assert!(ix < self.nx && iy < self.ny, "pixel ({ix},{iy}) out of grid");
+        self.data[iy * self.nx + ix] = v;
+    }
+
+    /// Accumulates `weight` × (covered area fraction) of `rect` into every
+    /// overlapped pixel. Partial pixels receive fractional coverage, so the
+    /// rasterization conserves total area exactly.
+    pub fn add_rect(&mut self, rect: Rect, weight: f64) {
+        let x0 = (rect.left() - self.origin.x) as f64 / self.pixel;
+        let x1 = (rect.right() - self.origin.x) as f64 / self.pixel;
+        let y0 = (rect.bottom() - self.origin.y) as f64 / self.pixel;
+        let y1 = (rect.top() - self.origin.y) as f64 / self.pixel;
+        let ix0 = x0.floor().max(0.0) as usize;
+        let ix1 = (x1.ceil() as usize).min(self.nx);
+        let iy0 = y0.floor().max(0.0) as usize;
+        let iy1 = (y1.ceil() as usize).min(self.ny);
+        for iy in iy0..iy1 {
+            let cov_y = (y1.min((iy + 1) as f64) - y0.max(iy as f64)).max(0.0);
+            if cov_y <= 0.0 {
+                continue;
+            }
+            for ix in ix0..ix1 {
+                let cov_x = (x1.min((ix + 1) as f64) - x0.max(ix as f64)).max(0.0);
+                if cov_x > 0.0 {
+                    self.data[iy * self.nx + ix] += weight * cov_x * cov_y;
+                }
+            }
+        }
+    }
+
+    /// Rasterizes a polygon (via its rectangle decomposition) with the given
+    /// weight.
+    pub fn add_polygon(&mut self, polygon: &Polygon, weight: f64) {
+        for r in polygon.to_rects() {
+            self.add_rect(r, weight);
+        }
+    }
+
+    /// Bilinear sample at an arbitrary nm position (clamped to the grid).
+    pub fn sample(&self, x_nm: f64, y_nm: f64) -> f64 {
+        // Convert to continuous pixel-center coordinates.
+        let fx = (x_nm - self.origin.x as f64) / self.pixel - 0.5;
+        let fy = (y_nm - self.origin.y as f64) / self.pixel - 0.5;
+        let fx = fx.clamp(0.0, (self.nx - 1) as f64);
+        let fy = fy.clamp(0.0, (self.ny - 1) as f64);
+        let ix = (fx.floor() as usize).min(self.nx - 2);
+        let iy = (fy.floor() as usize).min(self.ny.saturating_sub(2));
+        let tx = fx - ix as f64;
+        let ty = fy - iy as f64;
+        let v00 = self.data[iy * self.nx + ix];
+        let v10 = self.data[iy * self.nx + ix + 1];
+        let v01 = self.data[(iy + 1) * self.nx + ix];
+        let v11 = self.data[(iy + 1) * self.nx + ix + 1];
+        v00 * (1.0 - tx) * (1.0 - ty)
+            + v10 * tx * (1.0 - ty)
+            + v01 * (1.0 - tx) * ty
+            + v11 * tx * ty
+    }
+
+    /// Maximum value over the whole grid (0.0 for an empty grid).
+    pub fn max_value(&self) -> f64 {
+        self.data.iter().copied().fold(0.0_f64, f64::max)
+    }
+
+    /// Sum of all pixel values (× pixel area gives integrated quantity).
+    pub fn total(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Convolves each row with a symmetric kernel (odd length, centered),
+    /// then each column, in place — the separable-convolution primitive the
+    /// imaging model builds Gaussian blurs from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` has even length.
+    pub fn convolve_separable(&mut self, kernel: &[f64]) {
+        assert!(kernel.len() % 2 == 1, "separable kernel must have odd length");
+        let half = kernel.len() / 2;
+        let mut scratch = vec![0.0; self.nx.max(self.ny)];
+        // Rows.
+        for iy in 0..self.ny {
+            let row = &self.data[iy * self.nx..(iy + 1) * self.nx];
+            for (ix, out) in scratch[..self.nx].iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, &w) in kernel.iter().enumerate() {
+                    let j = ix as isize + k as isize - half as isize;
+                    if j >= 0 && (j as usize) < self.nx {
+                        acc += w * row[j as usize];
+                    }
+                }
+                *out = acc;
+            }
+            self.data[iy * self.nx..(iy + 1) * self.nx].copy_from_slice(&scratch[..self.nx]);
+        }
+        // Columns.
+        for ix in 0..self.nx {
+            for (iy, out) in scratch[..self.ny].iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, &w) in kernel.iter().enumerate() {
+                    let j = iy as isize + k as isize - half as isize;
+                    if j >= 0 && (j as usize) < self.ny {
+                        acc += w * self.data[j as usize * self.nx + ix];
+                    }
+                }
+                *out = acc;
+            }
+            for iy in 0..self.ny {
+                self.data[iy * self.nx + ix] = scratch[iy];
+            }
+        }
+    }
+
+    /// Returns a grid with identical shape whose pixels are
+    /// `f(self, other)` applied element-wise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grids have different shapes.
+    pub fn zip_map(&self, other: &Grid, f: impl Fn(f64, f64) -> f64) -> Grid {
+        assert!(
+            self.nx == other.nx && self.ny == other.ny,
+            "grid shape mismatch: {}x{} vs {}x{}",
+            self.nx,
+            self.ny,
+            other.nx,
+            other.ny
+        );
+        Grid {
+            origin: self.origin,
+            pixel: self.pixel,
+            nx: self.nx,
+            ny: self.ny,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+        }
+    }
+
+    /// Applies `f` to every pixel in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
+        for v in &mut self.data {
+            *v = f(*v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_10x10() -> Grid {
+        Grid::new(Rect::new(0, 0, 100, 100).expect("rect"), 0, 10.0).expect("grid")
+    }
+
+    #[test]
+    fn rejects_bad_resolution() {
+        let w = Rect::new(0, 0, 10, 10).expect("rect");
+        assert!(Grid::new(w, 0, 0.0).is_err());
+        assert!(Grid::new(w, 0, -1.0).is_err());
+        assert!(Grid::new(w, 0, f64::NAN).is_err());
+    }
+
+    #[test]
+    fn rect_coverage_conserves_area() {
+        let mut g = grid_10x10();
+        // 25x35 rect not aligned to the 10 nm pixel grid.
+        g.add_rect(Rect::new(12, 13, 37, 48).expect("rect"), 1.0);
+        let total_area = g.total() * 10.0 * 10.0;
+        assert!((total_area - 25.0 * 35.0).abs() < 1e-9, "{total_area}");
+    }
+
+    #[test]
+    fn full_pixel_coverage_is_one() {
+        let mut g = grid_10x10();
+        g.add_rect(Rect::new(10, 10, 20, 20).expect("rect"), 1.0);
+        assert!((g.at(1, 1) - 1.0).abs() < 1e-12);
+        assert_eq!(g.at(0, 0), 0.0);
+        assert_eq!(g.at(2, 2), 0.0);
+    }
+
+    #[test]
+    fn polygon_coverage_matches_area() {
+        let mut g = grid_10x10();
+        let l = Polygon::new(vec![
+            Point::new(5, 5),
+            Point::new(55, 5),
+            Point::new(55, 25),
+            Point::new(25, 25),
+            Point::new(25, 65),
+            Point::new(5, 65),
+        ])
+        .expect("valid L");
+        g.add_polygon(&l, 1.0);
+        let total_area = g.total() * 100.0;
+        assert!((total_area - l.area() as f64).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bilinear_sample_interpolates() {
+        let mut g = grid_10x10();
+        g.set(0, 0, 0.0);
+        g.set(1, 0, 1.0);
+        // Pixel centers at x = 5 and x = 15 (y = 5): halfway is 10.
+        let v = g.sample(10.0, 5.0);
+        assert!((v - 0.5).abs() < 1e-12, "{v}");
+        // At a center, exact value.
+        assert!((g.sample(15.0, 5.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_clamps_outside() {
+        let mut g = grid_10x10();
+        g.set(0, 0, 7.0);
+        assert!((g.sample(-100.0, -100.0) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn identity_kernel_is_noop() {
+        let mut g = grid_10x10();
+        g.add_rect(Rect::new(20, 20, 60, 70).expect("rect"), 1.0);
+        let before = g.data().to_vec();
+        g.convolve_separable(&[1.0]);
+        assert_eq!(g.data(), &before[..]);
+    }
+
+    #[test]
+    fn box_kernel_conserves_mass_in_interior() {
+        let mut g = grid_10x10();
+        g.set(5, 5, 9.0);
+        g.convolve_separable(&[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]);
+        assert!((g.total() - 9.0).abs() < 1e-9);
+        assert!((g.at(5, 5) - 1.0).abs() < 1e-12);
+        assert!((g.at(4, 4) - 1.0).abs() < 1e-12);
+        assert_eq!(g.at(2, 2), 0.0);
+    }
+
+    #[test]
+    fn zip_map_combines_fields() {
+        let mut a = grid_10x10();
+        let mut b = grid_10x10();
+        a.set(3, 3, 2.0);
+        b.set(3, 3, 5.0);
+        let c = a.zip_map(&b, |x, y| x + y);
+        assert!((c.at(3, 3) - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn zip_map_panics_on_shape_mismatch() {
+        let a = grid_10x10();
+        let b = Grid::new(Rect::new(0, 0, 50, 50).expect("rect"), 0, 10.0).expect("grid");
+        let _ = a.zip_map(&b, |x, _| x);
+    }
+}

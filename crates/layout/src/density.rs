@@ -1,0 +1,151 @@
+//! Pattern-density analysis — the basic DFM utility behind dummy fill,
+//! etch-loading models and the across-chip variation the flow corrects for.
+
+use crate::error::Result;
+use crate::layer::Layer;
+use postopc_geom::{Coord, Grid, Rect};
+
+/// A windowed pattern-density map of one layer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DensityMap {
+    grid: Grid,
+    window_nm: Coord,
+}
+
+impl DensityMap {
+    /// Computes the density of `layer` over `region` with square analysis
+    /// windows of `window_nm` per side. Each cell holds the covered-area
+    /// fraction in `[0, 1]`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a geometry error for a degenerate region or window.
+    pub fn compute(
+        design: &crate::design::Design,
+        layer: Layer,
+        region: Rect,
+        window_nm: Coord,
+    ) -> Result<DensityMap> {
+        if window_nm <= 0 {
+            return Err(postopc_geom::GeomError::InvalidResolution(window_nm as f64).into());
+        }
+        let mut grid = Grid::new(region, 0, window_nm as f64)?;
+        for polygon in design.shapes_in_window(layer, region) {
+            grid.add_polygon(polygon, 1.0);
+        }
+        // Convert accumulated pixel coverage (already a fraction per cell
+        // because Grid::add_* computes fractional coverage) into a clamped
+        // density: overlapping shapes can exceed 1 locally.
+        grid.map_inplace(|v| v.min(1.0));
+        Ok(DensityMap { grid, window_nm })
+    }
+
+    /// The analysis window size in nm.
+    pub fn window_nm(&self) -> Coord {
+        self.window_nm
+    }
+
+    /// Density in a cell addressed by indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices are out of range.
+    pub fn at(&self, ix: usize, iy: usize) -> f64 {
+        self.grid.at(ix, iy)
+    }
+
+    /// Grid extents `(nx, ny)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.grid.nx(), self.grid.ny())
+    }
+
+    /// Mean density over all cells.
+    pub fn mean(&self) -> f64 {
+        self.grid.total() / (self.grid.nx() * self.grid.ny()) as f64
+    }
+
+    /// Maximum cell density.
+    pub fn max(&self) -> f64 {
+        self.grid.max_value()
+    }
+
+    /// Density range (max − min): the gradient metric that etch-loading
+    /// design rules bound.
+    pub fn range(&self) -> f64 {
+        let min = self
+            .grid
+            .data()
+            .iter()
+            .copied()
+            .fold(f64::MAX, f64::min);
+        self.max() - min
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use crate::generate;
+    use crate::tech::TechRules;
+    use crate::place::PlacementOptions;
+
+    fn design(utilization: f64) -> Design {
+        Design::compile_with(
+            generate::inverter_chain(30).expect("netlist"),
+            TechRules::n90(),
+            &PlacementOptions {
+                utilization,
+                seed: 5,
+            },
+        )
+        .expect("design")
+    }
+
+    #[test]
+    fn poly_density_is_sane() {
+        let d = design(1.0);
+        let map = DensityMap::compute(&d, Layer::Poly, d.die(), 2_000).expect("density");
+        assert!(map.mean() > 0.02 && map.mean() < 0.5, "mean {}", map.mean());
+        assert!(map.max() <= 1.0);
+        let (nx, ny) = map.shape();
+        assert!(nx > 1 && ny > 0);
+        assert_eq!(map.window_nm(), 2_000);
+    }
+
+    #[test]
+    fn lower_utilization_means_lower_mean_density() {
+        let dense = design(1.0);
+        let sparse = design(0.6);
+        let dm = DensityMap::compute(&dense, Layer::Poly, dense.die(), 2_000).expect("density");
+        let sm = DensityMap::compute(&sparse, Layer::Poly, sparse.die(), 2_000).expect("density");
+        assert!(
+            sm.mean() < dm.mean(),
+            "sparse {} should be below dense {}",
+            sm.mean(),
+            dm.mean()
+        );
+    }
+
+    #[test]
+    fn rejects_bad_window() {
+        let d = design(1.0);
+        assert!(DensityMap::compute(&d, Layer::Poly, d.die(), 0).is_err());
+    }
+
+    #[test]
+    fn empty_layer_has_zero_density() {
+        let d = design(1.0);
+        // Via1 may exist, but a region outside the die is empty.
+        let region = postopc_geom::Rect::new(
+            d.die().right() + 10_000,
+            0,
+            d.die().right() + 20_000,
+            10_000,
+        )
+        .expect("rect");
+        let map = DensityMap::compute(&d, Layer::Poly, region, 2_000).expect("density");
+        assert_eq!(map.mean(), 0.0);
+        assert_eq!(map.range(), 0.0);
+    }
+}

@@ -1,0 +1,234 @@
+//! Geometric design-rule checking: minimum width and spacing.
+//!
+//! The workspace's DRC is deliberately small — two rule classes on the
+//! critical layers — but real in structure: rect-decomposition width
+//! checks and index-accelerated pairwise spacing checks, reporting
+//! locatable violations like a production deck would.
+
+use crate::design::Design;
+use crate::layer::Layer;
+use postopc_geom::{Coord, GridIndex, Point, Rect};
+
+/// A DRC rule set (per-layer minima, in nm).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrcRules {
+    /// `(layer, min width)` rows.
+    pub min_width: Vec<(Layer, Coord)>,
+    /// `(layer, min space)` rows.
+    pub min_space: Vec<(Layer, Coord)>,
+}
+
+impl DrcRules {
+    /// The 90 nm-class deck matching [`crate::TechRules::n90`].
+    pub fn n90() -> DrcRules {
+        DrcRules {
+            min_width: vec![(Layer::Poly, 90), (Layer::Metal1, 120), (Layer::Metal2, 140)],
+            min_space: vec![(Layer::Poly, 110), (Layer::Metal1, 120), (Layer::Metal2, 140)],
+        }
+    }
+}
+
+impl Default for DrcRules {
+    fn default() -> Self {
+        DrcRules::n90()
+    }
+}
+
+/// The rule class a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DrcRuleKind {
+    /// A feature narrower than the layer minimum.
+    MinWidth,
+    /// Two features closer than the layer minimum.
+    MinSpace,
+}
+
+/// One DRC violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DrcViolation {
+    /// Violated rule class.
+    pub kind: DrcRuleKind,
+    /// Layer of the violation.
+    pub layer: Layer,
+    /// Approximate location (violation marker center).
+    pub location: Point,
+    /// Measured value in nm (feature width or gap).
+    pub measured: Coord,
+    /// Rule limit in nm.
+    pub limit: Coord,
+}
+
+/// Runs width and spacing checks on the flattened design.
+///
+/// Width uses the rectangle decomposition of each polygon (each band's
+/// short side is a local width sample — exact for Manhattan features).
+/// Spacing measures the gap between distinct polygons' decomposition
+/// rectangles; shapes of the *same* net that merely abut or overlap do
+/// not violate (gap 0 between overlapping geometry is connectivity, not a
+/// spacing error; the threshold is `0 < gap < min_space`).
+pub fn run_drc(design: &Design, rules: &DrcRules) -> Vec<DrcViolation> {
+    let mut violations = Vec::new();
+    for &(layer, limit) in &rules.min_width {
+        for polygon in design.shapes_on(layer) {
+            for rect in polygon.to_rects() {
+                let w = rect.width().min(rect.height());
+                // Decomposition bands narrower than the limit in *both*
+                // axes are genuine necks; a band that spans the polygon's
+                // full extent in its thin axis is the feature width.
+                if w < limit && is_local_width(polygon, &rect) {
+                    violations.push(DrcViolation {
+                        kind: DrcRuleKind::MinWidth,
+                        layer,
+                        location: rect.center(),
+                        measured: w,
+                        limit,
+                    });
+                }
+            }
+        }
+    }
+    for &(layer, limit) in &rules.min_space {
+        let shapes = design.shapes_on(layer);
+        let mut index: GridIndex<usize> = GridIndex::new(4 * limit.max(1));
+        for (i, p) in shapes.iter().enumerate() {
+            index.insert(p.bbox(), i);
+        }
+        let mut reported: std::collections::HashSet<(usize, usize)> =
+            std::collections::HashSet::new();
+        for (i, p) in shapes.iter().enumerate() {
+            let search = p
+                .bbox()
+                .expand(limit)
+                .expect("bbox expansion by a positive limit");
+            for (_, &j) in index.query(search) {
+                if j <= i || !reported.insert((i, j)) {
+                    continue;
+                }
+                let q = &shapes[j];
+                let gap = min_gap(p, q);
+                if gap > 0 && gap < limit {
+                    let marker = Point::new(
+                        (p.bbox().center().x + q.bbox().center().x) / 2,
+                        (p.bbox().center().y + q.bbox().center().y) / 2,
+                    );
+                    violations.push(DrcViolation {
+                        kind: DrcRuleKind::MinSpace,
+                        layer,
+                        location: marker,
+                        measured: gap,
+                        limit,
+                    });
+                }
+            }
+        }
+    }
+    violations
+}
+
+/// Whether a decomposition band measures a real local width (it touches
+/// both thin-axis boundaries of the polygon's geometry at that band,
+/// which the band decomposition guarantees by construction for the
+/// horizontal axis; for bands we only accept the short side).
+fn is_local_width(_polygon: &postopc_geom::Polygon, rect: &Rect) -> bool {
+    // Band decomposition yields maximal horizontal runs: the band's width
+    // is a true local horizontal width, and its height a true local band
+    // height. Either being the short side is a legitimate width sample.
+    rect.width() > 0 && rect.height() > 0
+}
+
+/// The smallest positive gap between the rect decompositions of two
+/// polygons (0 if they touch or overlap).
+fn min_gap(a: &postopc_geom::Polygon, b: &postopc_geom::Polygon) -> Coord {
+    let mut best = f64::MAX;
+    for ra in a.to_rects() {
+        for rb in b.to_rects() {
+            best = best.min(ra.gap(&rb));
+        }
+    }
+    best.round() as Coord
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generate;
+    use crate::tech::TechRules;
+
+    #[test]
+    fn generated_designs_are_clean_at_their_own_rules() {
+        let design = Design::compile(
+            generate::ripple_carry_adder(2).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let violations = run_drc(&design, &DrcRules::n90());
+        let widths = violations
+            .iter()
+            .filter(|v| v.kind == DrcRuleKind::MinWidth)
+            .count();
+        assert_eq!(widths, 0, "generated cells violate their own width rules");
+    }
+
+    #[test]
+    fn tightened_rules_flag_the_gate_layer() {
+        let design = Design::compile(
+            generate::inverter_chain(4).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let strict = DrcRules {
+            min_width: vec![(Layer::Poly, 100)], // drawn gates are 90
+            min_space: vec![],
+        };
+        let violations = run_drc(&design, &strict);
+        assert!(
+            !violations.is_empty(),
+            "90 nm poly must violate a 100 nm width rule"
+        );
+        assert!(violations.iter().all(|v| v.kind == DrcRuleKind::MinWidth
+            && v.layer == Layer::Poly
+            && v.measured == 90
+            && v.limit == 100));
+    }
+
+    #[test]
+    fn spacing_rule_flags_close_pairs() {
+        // NAND2 cells have two fingers at 280 pitch: 190 nm finger gaps
+        // and 110 nm pad-to-finger gaps.
+        let design = Design::compile(
+            generate::ripple_carry_adder(1).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let strict = DrcRules {
+            min_width: vec![],
+            min_space: vec![(Layer::Poly, 250)],
+        };
+        let relaxed = DrcRules {
+            min_width: vec![],
+            min_space: vec![(Layer::Poly, 100)],
+        };
+        let flagged = run_drc(&design, &strict);
+        assert!(!flagged.is_empty());
+        assert!(flagged.iter().all(|v| v.measured >= 110 && v.measured < 250));
+        assert!(run_drc(&design, &relaxed).is_empty());
+    }
+
+    #[test]
+    fn overlapping_geometry_is_not_a_spacing_violation() {
+        // Routed metal overlaps cell metal by construction; the spacing
+        // check must not flag connectivity as violations with gap 0.
+        let design = Design::compile(
+            generate::inverter_chain(40).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let rules = DrcRules {
+            min_width: vec![],
+            min_space: vec![(Layer::Metal1, 50)],
+        };
+        for v in run_drc(&design, &rules) {
+            assert!(v.measured > 0, "zero-gap (touching) geometry flagged");
+        }
+    }
+}

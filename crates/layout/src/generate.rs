@@ -1,0 +1,476 @@
+//! Benchmark circuit generators.
+//!
+//! The paper evaluates on production speed paths; we substitute generated
+//! circuits with the same structural property that drives the paper's
+//! headline result: *many near-critical paths whose gates sit in different
+//! layout contexts*, so that drawn-CD timing and post-OPC-CD timing
+//! diverge and reorder path criticality.
+
+use crate::error::Result;
+use crate::netlist::{GateKind, NetId, Netlist, NetlistBuilder};
+use crate::tech::Drive;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Builds `out = a NAND b` and returns the output net.
+fn nand2(b: &mut NetlistBuilder, a: NetId, x: NetId, name: &str) -> Result<NetId> {
+    let out = b.net(format!("{name}_o"));
+    b.named_gate(name, GateKind::Nand2, Drive::X1, &[a, x], out)?;
+    Ok(out)
+}
+
+
+/// Builds a 9-NAND full adder; returns `(sum, carry_out)`.
+fn full_adder(b: &mut NetlistBuilder, a: NetId, x: NetId, c: NetId, name: &str) -> Result<(NetId, NetId)> {
+    let t1 = nand2(b, a, x, &format!("{name}_t1"))?;
+    let t2 = nand2(b, a, t1, &format!("{name}_t2"))?;
+    let t3 = nand2(b, x, t1, &format!("{name}_t3"))?;
+    let x1 = nand2(b, t2, t3, &format!("{name}_x1"))?; // a ^ x
+    let t4 = nand2(b, x1, c, &format!("{name}_t4"))?;
+    let t5 = nand2(b, x1, t4, &format!("{name}_t5"))?;
+    let t6 = nand2(b, c, t4, &format!("{name}_t6"))?;
+    let s = nand2(b, t5, t6, &format!("{name}_s"))?;
+    let cout = nand2(b, t4, t1, &format!("{name}_co"))?;
+    Ok((s, cout))
+}
+
+/// An inverter chain of `stages` stages — the minimal litho-context
+/// testbench (dense and isolated fingers depending on placement).
+///
+/// # Errors
+///
+/// Returns a netlist error only for `stages == 0` (empty design).
+pub fn inverter_chain(stages: usize) -> Result<Netlist> {
+    let mut b = NetlistBuilder::new(format!("chain{stages}"));
+    let mut prev = b.input("in");
+    for i in 0..stages {
+        let next = b.net(format!("n{i}"));
+        b.named_gate(format!("inv{i}"), GateKind::Inv, Drive::X1, &[prev], next)?;
+        prev = next;
+    }
+    b.output(prev);
+    b.build()
+}
+
+/// An n-bit ripple-carry adder built from 9-NAND full adders.
+///
+/// Produces `9n` NAND2 gates with a long carry chain — the classic
+/// near-critical-path generator.
+///
+/// # Errors
+///
+/// Returns a netlist error only for `bits == 0`.
+pub fn ripple_carry_adder(bits: usize) -> Result<Netlist> {
+    let mut b = NetlistBuilder::new(format!("rca{bits}"));
+    let a: Vec<NetId> = (0..bits).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<NetId> = (0..bits).map(|i| b.input(format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    for i in 0..bits {
+        let (s, c) = full_adder(&mut b, a[i], x[i], carry, &format!("fa{i}"))?;
+        b.output(s);
+        carry = c;
+    }
+    b.output(carry);
+    b.build()
+}
+
+/// An n×n array multiplier: AND-matrix partial products reduced by rows of
+/// full adders. Generates a rich set of converging medium-length paths.
+///
+/// # Errors
+///
+/// Returns a netlist error only for `bits < 2`.
+pub fn array_multiplier(bits: usize) -> Result<Netlist> {
+    let mut b = NetlistBuilder::new(format!("mult{bits}"));
+    let a: Vec<NetId> = (0..bits).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<NetId> = (0..bits).map(|i| b.input(format!("b{i}"))).collect();
+    // Partial products pp[i][j] = a[i] AND x[j] = INV(NAND).
+    let mut pp = vec![vec![None; bits]; bits];
+    for i in 0..bits {
+        for j in 0..bits {
+            let n = nand2(&mut b, a[i], x[j], &format!("pp{i}_{j}_n"))?;
+            let o = b.net(format!("pp{i}_{j}"));
+            b.named_gate(format!("pp{i}_{j}_i"), GateKind::Inv, Drive::X1, &[n], o)?;
+            pp[i][j] = Some(o);
+        }
+    }
+    let pp = |i: usize, j: usize| pp[i][j].expect("all partial products built");
+    // Row-by-row carry-save reduction.
+    let zero = b.input("zero"); // tie-low pseudo-input
+    let mut row: Vec<NetId> = (0..bits).map(|j| pp(0, j)).collect();
+    row.push(zero);
+    let mut product: Vec<NetId> = vec![row[0]];
+    for i in 1..bits {
+        let mut carry = zero;
+        let mut next_row = Vec::with_capacity(bits + 1);
+        for j in 0..bits {
+            let addend = if j + 1 < row.len() { row[j + 1] } else { zero };
+            let (s, c) = full_adder(&mut b, pp(i, j), addend, carry, &format!("m{i}_{j}"))?;
+            next_row.push(s);
+            carry = c;
+        }
+        next_row.push(carry);
+        product.push(next_row[0]);
+        row = next_row;
+    }
+    for &s in product.iter().chain(row[1..].iter()) {
+        b.output(s);
+    }
+    b.build()
+}
+
+/// Parameters for [`random_logic`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct RandomLogicSpec {
+    /// Number of gates to generate.
+    pub gates: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Bias toward recently created nets (0 = uniform, higher = deeper
+    /// circuits with longer paths).
+    pub depth_bias: f64,
+    /// RNG seed (generation is fully deterministic given the spec).
+    pub seed: u64,
+}
+
+impl Default for RandomLogicSpec {
+    fn default() -> Self {
+        RandomLogicSpec {
+            gates: 400,
+            inputs: 24,
+            depth_bias: 2.0,
+            seed: 7,
+        }
+    }
+}
+
+/// A random layered combinational network (ISCAS-like), deterministic in
+/// the spec's seed.
+///
+/// # Errors
+///
+/// Returns a netlist error only for a spec with `gates == 0` or
+/// `inputs == 0`.
+pub fn random_logic(spec: &RandomLogicSpec) -> Result<Netlist> {
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+    let mut b = NetlistBuilder::new(format!("rand{}x{}", spec.gates, spec.seed));
+    let mut nets: Vec<NetId> = (0..spec.inputs).map(|i| b.input(format!("pi{i}"))).collect();
+    for g in 0..spec.gates {
+        let kind = match rng.random_range(0..10) {
+            0..=1 => GateKind::Inv,
+            2 => GateKind::Buf,
+            3..=6 => GateKind::Nand2,
+            7..=8 => GateKind::Nor2,
+            _ => GateKind::Nand3,
+        };
+        let drive = match rng.random_range(0..10) {
+            0..=5 => Drive::X1,
+            6..=8 => Drive::X2,
+            _ => Drive::X4,
+        };
+        // Pick inputs biased toward recent nets for depth.
+        let mut inputs = Vec::with_capacity(kind.arity());
+        for _ in 0..kind.arity() {
+            let u: f64 = rng.random_range(0.0..1.0);
+            let frac = 1.0 - u.powf(spec.depth_bias);
+            let idx = ((nets.len() - 1) as f64 * frac).round() as usize;
+            inputs.push(nets[idx.min(nets.len() - 1)]);
+        }
+        let out = b.net(format!("w{g}"));
+        b.named_gate(format!("g{g}"), kind, drive, &inputs, out)?;
+        nets.push(out);
+    }
+    // Nets with no sinks become primary outputs.
+    let used: std::collections::HashSet<NetId> = b.nets_used_as_inputs().into_iter().collect();
+    for &n in &nets {
+        if !used.contains(&n) {
+            b.output(n);
+        }
+    }
+    b.build()
+}
+
+/// A farm of near-critical speed paths: `paths` parallel chains, each of
+/// `depth` stages built from the *same multiset* of gate kinds in a
+/// seed-shuffled order.
+///
+/// Because every chain instantiates identical cells, drawn-CD timing
+/// ranks them within a few picoseconds of each other (the "slack wall" a
+/// timing-optimized design shows); their *placement contexts* differ, so
+/// post-OPC extracted CDs — and therefore the silicon ranking — diverge.
+/// This is the workload for the criticality-reordering experiment (F3).
+///
+/// # Errors
+///
+/// Returns a netlist error only for `paths == 0` or `depth == 0`.
+pub fn speed_path_farm(paths: usize, depth: usize, seed: u64) -> Result<Netlist> {
+    let mut b = NetlistBuilder::new(format!("farm{paths}x{depth}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    // The per-chain stage multiset: heavy on stacked gates so CD
+    // sensitivity is meaningful.
+    let mut stage_kinds: Vec<GateKind> = Vec::with_capacity(depth);
+    for i in 0..depth {
+        stage_kinds.push(match i % 5 {
+            0 => GateKind::Nand2,
+            1 => GateKind::Inv,
+            2 => GateKind::Nor2,
+            3 => GateKind::Nand3,
+            _ => GateKind::Inv,
+        });
+    }
+    for p in 0..paths {
+        let start = b.input(format!("pi{p}"));
+        let side_a = b.input(format!("sa{p}"));
+        let side_b = b.input(format!("sb{p}"));
+        // Shuffle the common multiset differently per chain.
+        let mut kinds = stage_kinds.clone();
+        for i in (1..kinds.len()).rev() {
+            let j = rng.random_range(0..=i);
+            kinds.swap(i, j);
+        }
+        let mut prev = start;
+        for (s, kind) in kinds.iter().enumerate() {
+            let out = b.net(format!("p{p}_s{s}"));
+            let inputs: Vec<NetId> = match kind.arity() {
+                1 => vec![prev],
+                2 => vec![prev, side_a],
+                _ => vec![prev, side_a, side_b],
+            };
+            b.named_gate(format!("p{p}g{s}"), *kind, Drive::X1, &inputs, out)?;
+            prev = out;
+        }
+        b.output(prev);
+    }
+    b.build()
+}
+
+/// A registered speed-path farm: like [`speed_path_farm`], but every
+/// chain launches from a D flip-flop and captures into one — true
+/// register-to-register speed paths with clock-to-Q and setup arcs.
+///
+/// All registers share one clock primary input.
+///
+/// # Errors
+///
+/// Returns a netlist error only for `paths == 0` or `depth == 0`.
+pub fn registered_farm(paths: usize, depth: usize, seed: u64) -> Result<Netlist> {
+    let mut b = NetlistBuilder::new(format!("regfarm{paths}x{depth}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let clk = b.input("clk");
+    let mut stage_kinds: Vec<GateKind> = Vec::with_capacity(depth);
+    for i in 0..depth {
+        stage_kinds.push(match i % 5 {
+            0 => GateKind::Nand2,
+            1 => GateKind::Inv,
+            2 => GateKind::Nor2,
+            3 => GateKind::Nand3,
+            _ => GateKind::Inv,
+        });
+    }
+    for p in 0..paths {
+        let d_in = b.input(format!("d{p}"));
+        let side_a = b.input(format!("sa{p}"));
+        let side_b = b.input(format!("sb{p}"));
+        let q = b.net(format!("p{p}_q"));
+        b.named_gate(format!("p{p}_launch"), GateKind::Dff, Drive::X1, &[d_in, clk], q)?;
+        let mut kinds = stage_kinds.clone();
+        for i in (1..kinds.len()).rev() {
+            let j = rng.random_range(0..=i);
+            kinds.swap(i, j);
+        }
+        let mut prev = q;
+        for (s, kind) in kinds.iter().enumerate() {
+            let out = b.net(format!("p{p}_s{s}"));
+            let inputs: Vec<NetId> = match kind.arity() {
+                1 => vec![prev],
+                2 => vec![prev, side_a],
+                _ => vec![prev, side_a, side_b],
+            };
+            b.named_gate(format!("p{p}g{s}"), *kind, Drive::X1, &inputs, out)?;
+            prev = out;
+        }
+        let q_out = b.net(format!("p{p}_qo"));
+        b.named_gate(format!("p{p}_capture"), GateKind::Dff, Drive::X1, &[prev, clk], q_out)?;
+        b.output(q_out);
+    }
+    b.build()
+}
+
+/// The composite test case used for the paper's evaluation experiments:
+/// an 8-bit ripple-carry adder, a 4×4 array multiplier and a random-logic
+/// block merged into a single netlist with shared primary inputs — a
+/// design with hundreds of near-critical paths through differing layout
+/// neighbourhoods.
+///
+/// # Errors
+///
+/// Propagates netlist construction errors (none for valid seeds).
+pub fn paper_testcase(seed: u64) -> Result<Netlist> {
+    let mut b = NetlistBuilder::new(format!("testcase_s{seed}"));
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // Shared primary inputs.
+    let pis: Vec<NetId> = (0..20).map(|i| b.input(format!("pi{i}"))).collect();
+
+    // 8-bit RCA.
+    let mut carry = pis[16];
+    for i in 0..8 {
+        let (s, c) = full_adder(&mut b, pis[i], pis[8 + i], carry, &format!("fa{i}"))?;
+        b.output(s);
+        carry = c;
+    }
+    b.output(carry);
+
+    // 4x4 multiplier on the low inputs.
+    let mut row: Vec<NetId> = Vec::new();
+    for j in 0..4 {
+        let n = nand2(&mut b, pis[j], pis[4], &format!("mp0_{j}_n"))?;
+        let o = b.net(format!("mp0_{j}"));
+        b.named_gate(format!("mp0_{j}_i"), GateKind::Inv, Drive::X1, &[n], o)?;
+        row.push(o);
+    }
+    let mut mult_carry = pis[17];
+    for i in 1..4 {
+        let mut next = Vec::new();
+        for j in 0..4 {
+            let n = nand2(&mut b, pis[j], pis[4 + i], &format!("mp{i}_{j}_n"))?;
+            let o = b.net(format!("mp{i}_{j}"));
+            b.named_gate(format!("mp{i}_{j}_i"), GateKind::Inv, Drive::X1, &[n], o)?;
+            let addend = if j + 1 < row.len() { row[j + 1] } else { pis[18] };
+            let (s, c) = full_adder(&mut b, o, addend, mult_carry, &format!("mm{i}_{j}"))?;
+            next.push(s);
+            mult_carry = c;
+        }
+        b.output(next[0]);
+        row = next;
+    }
+    b.output(mult_carry);
+
+    // Random-logic cloud seeded from the shared inputs.
+    let mut nets: Vec<NetId> = pis.clone();
+    for g in 0..360 {
+        let kind = match rng.random_range(0..10) {
+            0..=1 => GateKind::Inv,
+            2 => GateKind::Buf,
+            3..=6 => GateKind::Nand2,
+            7..=8 => GateKind::Nor2,
+            _ => GateKind::Nand3,
+        };
+        let drive = match rng.random_range(0..10) {
+            0..=5 => Drive::X1,
+            6..=8 => Drive::X2,
+            _ => Drive::X4,
+        };
+        let mut inputs = Vec::with_capacity(kind.arity());
+        for _ in 0..kind.arity() {
+            let u: f64 = rng.random_range(0.0..1.0);
+            let frac = 1.0 - u.powf(2.0);
+            let idx = ((nets.len() - 1) as f64 * frac).round() as usize;
+            inputs.push(nets[idx.min(nets.len() - 1)]);
+        }
+        let out = b.net(format!("rl{g}"));
+        b.named_gate(format!("rl{g}"), kind, drive, &inputs, out)?;
+        nets.push(out);
+    }
+    let used: std::collections::HashSet<NetId> = b.nets_used_as_inputs().into_iter().collect();
+    for &n in &nets[20..] {
+        if !used.contains(&n) {
+            b.output(n);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inverter_chain_has_linear_structure() {
+        let nl = inverter_chain(10).expect("chain");
+        assert_eq!(nl.gate_count(), 10);
+        assert_eq!(nl.primary_inputs().len(), 1);
+        assert_eq!(nl.primary_outputs().len(), 1);
+    }
+
+    #[test]
+    fn rca_gate_count_is_nine_per_bit() {
+        let nl = ripple_carry_adder(8).expect("rca");
+        assert_eq!(nl.gate_count(), 72);
+        assert_eq!(nl.primary_outputs().len(), 9); // 8 sums + carry out
+    }
+
+    #[test]
+    fn multiplier_builds_and_validates() {
+        let nl = array_multiplier(4).expect("mult");
+        // 16 partial products (2 gates each) + 12 full adders (9 each).
+        assert_eq!(nl.gate_count(), 16 * 2 + 12 * 9);
+        assert!(!nl.primary_outputs().is_empty());
+    }
+
+    #[test]
+    fn random_logic_is_deterministic() {
+        let spec = RandomLogicSpec {
+            gates: 100,
+            ..RandomLogicSpec::default()
+        };
+        let a = random_logic(&spec).expect("random");
+        let b = random_logic(&spec).expect("random");
+        assert_eq!(a.gate_count(), b.gate_count());
+        assert_eq!(a.gates()[37], b.gates()[37]);
+    }
+
+    #[test]
+    fn random_logic_seeds_differ() {
+        let a = random_logic(&RandomLogicSpec {
+            gates: 100,
+            seed: 1,
+            ..RandomLogicSpec::default()
+        })
+        .expect("random");
+        let b = random_logic(&RandomLogicSpec {
+            gates: 100,
+            seed: 2,
+            ..RandomLogicSpec::default()
+        })
+        .expect("random");
+        assert_ne!(a.gates(), b.gates());
+    }
+
+    #[test]
+    fn speed_path_farm_structure() {
+        let nl = speed_path_farm(8, 20, 3).expect("farm");
+        assert_eq!(nl.gate_count(), 8 * 20);
+        assert_eq!(nl.primary_outputs().len(), 8);
+        assert_eq!(nl.primary_inputs().len(), 24);
+        // Chains share no gates; each endpoint's cone is depth 20.
+        let a = speed_path_farm(8, 20, 3).expect("farm");
+        assert_eq!(a.gates(), nl.gates());
+        let b = speed_path_farm(8, 20, 4).expect("farm");
+        assert_ne!(b.gates(), nl.gates());
+    }
+
+    #[test]
+    fn registered_farm_has_launch_and_capture_registers() {
+        let nl = registered_farm(4, 10, 1).expect("farm");
+        // Per path: launch DFF + 10 combinational + capture DFF.
+        assert_eq!(nl.gate_count(), 4 * 12);
+        let dffs = nl.gates().iter().filter(|g| g.kind == GateKind::Dff).count();
+        assert_eq!(dffs, 8);
+        assert_eq!(nl.primary_outputs().len(), 4);
+    }
+
+    #[test]
+    fn paper_testcase_is_substantial_and_valid() {
+        let nl = paper_testcase(11).expect("testcase");
+        assert!(nl.gate_count() > 500, "got {} gates", nl.gate_count());
+        assert!(nl.primary_outputs().len() > 10);
+        // Topological order covers every gate exactly once.
+        let mut seen = vec![false; nl.gate_count()];
+        for &g in nl.topological_order() {
+            assert!(!seen[g.0 as usize]);
+            seen[g.0 as usize] = true;
+        }
+        assert!(seen.into_iter().all(|s| s));
+    }
+}

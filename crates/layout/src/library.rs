@@ -1,0 +1,102 @@
+//! The standard-cell library: every gate kind at every drive strength.
+
+use crate::error::Result;
+use crate::netlist::GateKind;
+use crate::stdcells::CellLayout;
+use crate::tech::{Drive, TechRules};
+use std::collections::HashMap;
+
+/// A complete cell library for a technology.
+///
+/// ```
+/// use postopc_layout::{CellLibrary, TechRules, GateKind, Drive};
+/// # fn main() -> Result<(), postopc_layout::LayoutError> {
+/// let lib = CellLibrary::new(TechRules::n90())?;
+/// let nand = lib.cell(GateKind::Nand2, Drive::X1);
+/// assert_eq!(nand.name(), "NAND2X1");
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct CellLibrary {
+    tech: TechRules,
+    cells: HashMap<(GateKind, Drive), CellLayout>,
+}
+
+impl CellLibrary {
+    /// Generates all cells for the given technology.
+    ///
+    /// # Errors
+    ///
+    /// Propagates geometry errors from cell generation (only possible for
+    /// inconsistent technology rules).
+    pub fn new(tech: TechRules) -> Result<CellLibrary> {
+        let mut cells = HashMap::new();
+        for kind in GateKind::ALL {
+            for drive in Drive::ALL {
+                cells.insert((kind, drive), CellLayout::generate(&tech, kind, drive)?);
+            }
+        }
+        Ok(CellLibrary { tech, cells })
+    }
+
+    /// The technology rules the library was generated for.
+    pub fn tech(&self) -> &TechRules {
+        &self.tech
+    }
+
+    /// The cell for a gate kind and drive strength.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: the library is generated over all
+    /// `(GateKind, Drive)` combinations at construction.
+    pub fn cell(&self, kind: GateKind, drive: Drive) -> &CellLayout {
+        self.cells
+            .get(&(kind, drive))
+            .expect("library covers all kind/drive combinations")
+    }
+
+    /// Iterator over all cells.
+    pub fn iter(&self) -> impl Iterator<Item = &CellLayout> {
+        self.cells.values()
+    }
+
+    /// Number of cells in the library.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Whether the library is empty (never, after successful construction).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_covers_all_combinations() {
+        let lib = CellLibrary::new(TechRules::n90()).expect("library");
+        assert_eq!(lib.len(), GateKind::ALL.len() * Drive::ALL.len());
+        assert!(!lib.is_empty());
+        for kind in GateKind::ALL {
+            for drive in Drive::ALL {
+                let c = lib.cell(kind, drive);
+                assert_eq!(c.kind(), kind);
+                assert_eq!(c.drive(), drive);
+            }
+        }
+    }
+
+    #[test]
+    fn cells_share_height() {
+        let lib = CellLibrary::new(TechRules::n90()).expect("library");
+        let h = lib.tech().cell_height;
+        for c in lib.iter() {
+            assert_eq!(c.height(), h, "cell {} height", c.name());
+        }
+    }
+}

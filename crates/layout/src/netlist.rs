@@ -1,0 +1,539 @@
+//! Gate-level logic netlists.
+//!
+//! The netlist is the "global circuit netlist" of the paper's flow: timing
+//! analysis runs on it, critical gates are tagged on it, and the
+//! cross-reference ties each of its gates to polygon geometry.
+
+use crate::error::{LayoutError, Result};
+use crate::tech::Drive;
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identifier of a net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct NetId(pub u32);
+
+/// Identifier of a gate instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct GateId(pub u32);
+
+/// Logic function of a standard cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum GateKind {
+    /// Inverter.
+    Inv,
+    /// Non-inverting buffer.
+    Buf,
+    /// 2-input NAND.
+    Nand2,
+    /// 2-input NOR.
+    Nor2,
+    /// 3-input NAND.
+    Nand3,
+    /// Rising-edge D flip-flop (inputs: D, CLK; output: Q). Breaks the
+    /// combinational graph: register-to-register paths launch at its Q
+    /// and capture at its D.
+    Dff,
+}
+
+impl GateKind {
+    /// All kinds.
+    pub const ALL: [GateKind; 6] = [
+        GateKind::Inv,
+        GateKind::Buf,
+        GateKind::Nand2,
+        GateKind::Nor2,
+        GateKind::Nand3,
+        GateKind::Dff,
+    ];
+
+    /// Number of input pins (for a DFF: D and CLK).
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Inv | GateKind::Buf => 1,
+            GateKind::Nand2 | GateKind::Nor2 | GateKind::Dff => 2,
+            GateKind::Nand3 => 3,
+        }
+    }
+
+    /// Whether the gate is a sequential element (breaks timing paths).
+    pub fn is_sequential(self) -> bool {
+        matches!(self, GateKind::Dff)
+    }
+
+    /// Worst-case series NMOS stack depth (pull-down).
+    pub fn nmos_stack(self) -> usize {
+        match self {
+            GateKind::Inv | GateKind::Buf | GateKind::Nor2 => 1,
+            GateKind::Nand2 | GateKind::Dff => 2,
+            GateKind::Nand3 => 3,
+        }
+    }
+
+    /// Worst-case series PMOS stack depth (pull-up).
+    pub fn pmos_stack(self) -> usize {
+        match self {
+            GateKind::Inv | GateKind::Buf | GateKind::Nand2 | GateKind::Nand3 => 1,
+            GateKind::Nor2 | GateKind::Dff => 2,
+        }
+    }
+
+    /// Number of poly gate fingers in the cell layout (one per transistor
+    /// pair; a buffer is two inverters; a DFF is a master/slave latch
+    /// pair with clock buffers — six fingers).
+    pub fn finger_count(self) -> usize {
+        match self {
+            GateKind::Inv => 1,
+            GateKind::Buf => 2,
+            GateKind::Nand2 | GateKind::Nor2 => 2,
+            GateKind::Nand3 => 3,
+            GateKind::Dff => 6,
+        }
+    }
+
+    /// Cell name stem (`"INV"`, `"NAND2"`, ...).
+    pub fn stem(self) -> &'static str {
+        match self {
+            GateKind::Inv => "INV",
+            GateKind::Buf => "BUF",
+            GateKind::Nand2 => "NAND2",
+            GateKind::Nor2 => "NOR2",
+            GateKind::Nand3 => "NAND3",
+            GateKind::Dff => "DFF",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.stem())
+    }
+}
+
+/// A gate instance in the netlist.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gate {
+    /// Instance name (unique within the netlist).
+    pub name: String,
+    /// Logic function.
+    pub kind: GateKind,
+    /// Drive strength.
+    pub drive: Drive,
+    /// Input nets, in pin order.
+    pub inputs: Vec<NetId>,
+    /// Output net.
+    pub output: NetId,
+}
+
+/// A net (signal) in the netlist.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Net {
+    /// Net name (unique within the netlist).
+    pub name: String,
+}
+
+/// A validated gate-level netlist.
+///
+/// Invariants (enforced by [`NetlistBuilder::build`]): every net has exactly
+/// one driver (a gate output or a primary input), every gate has the arity
+/// of its kind, and the combinational graph is acyclic.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Netlist {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+    topo_order: Vec<GateId>,
+}
+
+impl Netlist {
+    /// The design name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All nets.
+    pub fn nets(&self) -> &[Net] {
+        &self.nets
+    }
+
+    /// All gate instances.
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range (ids originate from this netlist).
+    pub fn gate(&self, id: GateId) -> &Gate {
+        &self.gates[id.0 as usize]
+    }
+
+    /// The net with the given id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is out of range.
+    pub fn net(&self, id: NetId) -> &Net {
+        &self.nets[id.0 as usize]
+    }
+
+    /// Primary input nets.
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary output nets.
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.primary_outputs
+    }
+
+    /// Gates in a topological order (every gate after all gates whose
+    /// outputs feed it).
+    pub fn topological_order(&self) -> &[GateId] {
+        &self.topo_order
+    }
+
+    /// The gate driving `net`, if it is gate-driven (not a primary input).
+    pub fn driver(&self, net: NetId) -> Option<GateId> {
+        self.gates
+            .iter()
+            .position(|g| g.output == net)
+            .map(|i| GateId(i as u32))
+    }
+
+    /// All gates with `net` as an input.
+    pub fn sinks(&self, net: NetId) -> Vec<GateId> {
+        self.gates
+            .iter()
+            .enumerate()
+            .filter(|(_, g)| g.inputs.contains(&net))
+            .map(|(i, _)| GateId(i as u32))
+            .collect()
+    }
+
+    /// Number of gates.
+    pub fn gate_count(&self) -> usize {
+        self.gates.len()
+    }
+}
+
+/// Incremental netlist constructor.
+///
+/// ```
+/// use postopc_layout::{NetlistBuilder, GateKind, Drive};
+/// # fn main() -> Result<(), postopc_layout::LayoutError> {
+/// let mut b = NetlistBuilder::new("demo");
+/// let a = b.input("a");
+/// let out = b.net("out");
+/// b.gate(GateKind::Inv, Drive::X1, &[a], out)?;
+/// b.output(out);
+/// let netlist = b.build()?;
+/// assert_eq!(netlist.gate_count(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct NetlistBuilder {
+    name: String,
+    nets: Vec<Net>,
+    gates: Vec<Gate>,
+    primary_inputs: Vec<NetId>,
+    primary_outputs: Vec<NetId>,
+}
+
+impl NetlistBuilder {
+    /// Starts a netlist with the given design name.
+    pub fn new(name: impl Into<String>) -> NetlistBuilder {
+        NetlistBuilder {
+            name: name.into(),
+            nets: Vec::new(),
+            gates: Vec::new(),
+            primary_inputs: Vec::new(),
+            primary_outputs: Vec::new(),
+        }
+    }
+
+    /// Creates a new internal net.
+    pub fn net(&mut self, name: impl Into<String>) -> NetId {
+        let id = NetId(self.nets.len() as u32);
+        self.nets.push(Net { name: name.into() });
+        id
+    }
+
+    /// Creates a primary-input net.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        let id = self.net(name);
+        self.primary_inputs.push(id);
+        id
+    }
+
+    /// Marks an existing net as a primary output.
+    pub fn output(&mut self, net: NetId) {
+        if !self.primary_outputs.contains(&net) {
+            self.primary_outputs.push(net);
+        }
+    }
+
+    /// Adds a gate instance with an auto-generated name.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::ArityMismatch`] if `inputs` does not match the
+    /// gate kind, or [`LayoutError::UnknownId`] for out-of-range net ids.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        drive: Drive,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId> {
+        let name = format!("u{}", self.gates.len());
+        self.named_gate(name, kind, drive, inputs, output)
+    }
+
+    /// Adds a gate instance with an explicit name.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`NetlistBuilder::gate`].
+    pub fn named_gate(
+        &mut self,
+        name: impl Into<String>,
+        kind: GateKind,
+        drive: Drive,
+        inputs: &[NetId],
+        output: NetId,
+    ) -> Result<GateId> {
+        let name = name.into();
+        if inputs.len() != kind.arity() {
+            return Err(LayoutError::ArityMismatch {
+                gate: name,
+                expected: kind.arity(),
+                actual: inputs.len(),
+            });
+        }
+        for &n in inputs.iter().chain(std::iter::once(&output)) {
+            if n.0 as usize >= self.nets.len() {
+                return Err(LayoutError::UnknownId {
+                    kind: "net",
+                    index: n.0 as usize,
+                });
+            }
+        }
+        let id = GateId(self.gates.len() as u32);
+        self.gates.push(Gate {
+            name,
+            kind,
+            drive,
+            inputs: inputs.to_vec(),
+            output,
+        });
+        Ok(id)
+    }
+
+    /// All nets currently used as a gate input (useful for generators that
+    /// promote sink-less nets to primary outputs).
+    pub fn nets_used_as_inputs(&self) -> Vec<NetId> {
+        let mut v: Vec<NetId> = self.gates.iter().flat_map(|g| g.inputs.iter().copied()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v
+    }
+
+    /// Validates and finalizes the netlist.
+    ///
+    /// # Errors
+    ///
+    /// - [`LayoutError::DriverConflict`] if a net has zero or multiple
+    ///   drivers (primary inputs count as drivers);
+    /// - [`LayoutError::CombinationalLoop`] if the gate graph is cyclic;
+    /// - [`LayoutError::EmptyDesign`] if there are no gates.
+    pub fn build(self) -> Result<Netlist> {
+        if self.gates.is_empty() {
+            return Err(LayoutError::EmptyDesign);
+        }
+        // Single-driver check.
+        let mut drivers: HashMap<NetId, usize> = HashMap::new();
+        for &pi in &self.primary_inputs {
+            *drivers.entry(pi).or_insert(0) += 1;
+        }
+        for g in &self.gates {
+            *drivers.entry(g.output).or_insert(0) += 1;
+        }
+        for (i, net) in self.nets.iter().enumerate() {
+            let count = drivers.get(&NetId(i as u32)).copied().unwrap_or(0);
+            if count != 1 {
+                return Err(LayoutError::DriverConflict {
+                    net: net.name.clone(),
+                    drivers: count,
+                });
+            }
+        }
+        // Topological sort (Kahn) over gate dependencies.
+        let driver_of: HashMap<NetId, usize> = self
+            .gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (g.output, i))
+            .collect();
+        let mut indegree = vec![0usize; self.gates.len()];
+        let mut fanout: Vec<Vec<usize>> = vec![Vec::new(); self.gates.len()];
+        for (i, g) in self.gates.iter().enumerate() {
+            if g.kind.is_sequential() {
+                continue; // registers break combinational dependence
+            }
+            for input in &g.inputs {
+                if let Some(&d) = driver_of.get(input) {
+                    indegree[i] += 1;
+                    fanout[d].push(i);
+                }
+            }
+        }
+        let mut queue: Vec<usize> = (0..self.gates.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut topo = Vec::with_capacity(self.gates.len());
+        while let Some(i) = queue.pop() {
+            topo.push(GateId(i as u32));
+            for &j in &fanout[i] {
+                indegree[j] -= 1;
+                if indegree[j] == 0 {
+                    queue.push(j);
+                }
+            }
+        }
+        if topo.len() != self.gates.len() {
+            let stuck = indegree
+                .iter()
+                .position(|&d| d > 0)
+                .expect("cycle implies a stuck gate");
+            return Err(LayoutError::CombinationalLoop {
+                gate: self.gates[stuck].name.clone(),
+            });
+        }
+        Ok(Netlist {
+            name: self.name,
+            nets: self.nets,
+            gates: self.gates,
+            primary_inputs: self.primary_inputs,
+            primary_outputs: self.primary_outputs,
+            topo_order: topo,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_simple_chain() {
+        let mut b = NetlistBuilder::new("chain");
+        let a = b.input("a");
+        let n1 = b.net("n1");
+        let n2 = b.net("n2");
+        b.gate(GateKind::Inv, Drive::X1, &[a], n1).expect("gate");
+        b.gate(GateKind::Inv, Drive::X2, &[n1], n2).expect("gate");
+        b.output(n2);
+        let nl = b.build().expect("valid netlist");
+        assert_eq!(nl.gate_count(), 2);
+        assert_eq!(nl.driver(n2), Some(GateId(1)));
+        assert_eq!(nl.sinks(n1), vec![GateId(1)]);
+        assert_eq!(nl.topological_order().len(), 2);
+        // Topological: gate 0 before gate 1.
+        let pos0 = nl.topological_order().iter().position(|&g| g == GateId(0));
+        let pos1 = nl.topological_order().iter().position(|&g| g == GateId(1));
+        assert!(pos0 < pos1);
+    }
+
+    #[test]
+    fn rejects_arity_mismatch() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let out = b.net("out");
+        let err = b.gate(GateKind::Nand2, Drive::X1, &[a], out).unwrap_err();
+        assert!(matches!(err, LayoutError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn rejects_undriven_net() {
+        let mut b = NetlistBuilder::new("bad");
+        let floating = b.net("floating");
+        let out = b.net("out");
+        b.gate(GateKind::Inv, Drive::X1, &[floating], out).expect("gate");
+        assert!(matches!(
+            b.build(),
+            Err(LayoutError::DriverConflict { drivers: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_multiple_drivers() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let out = b.net("out");
+        b.gate(GateKind::Inv, Drive::X1, &[a], out).expect("gate");
+        b.gate(GateKind::Buf, Drive::X1, &[a], out).expect("gate");
+        assert!(matches!(
+            b.build(),
+            Err(LayoutError::DriverConflict { drivers: 2, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_combinational_loop() {
+        let mut b = NetlistBuilder::new("loop");
+        let x = b.net("x");
+        let y = b.net("y");
+        b.gate(GateKind::Inv, Drive::X1, &[x], y).expect("gate");
+        b.gate(GateKind::Inv, Drive::X1, &[y], x).expect("gate");
+        assert!(matches!(
+            b.build(),
+            Err(LayoutError::CombinationalLoop { .. })
+        ));
+    }
+
+    #[test]
+    fn registers_legalize_feedback_loops() {
+        // x -> INV -> y -> DFF -> x is a legal sequential loop.
+        let mut b = NetlistBuilder::new("counterish");
+        let clk = b.input("clk");
+        let x = b.net("x");
+        let y = b.net("y");
+        b.gate(GateKind::Inv, Drive::X1, &[x], y).expect("gate");
+        b.gate(GateKind::Dff, Drive::X1, &[y, clk], x).expect("gate");
+        let nl = b.build().expect("sequential loop is legal");
+        assert_eq!(nl.gate_count(), 2);
+        assert!(GateKind::Dff.is_sequential());
+        assert_eq!(GateKind::Dff.arity(), 2);
+        assert_eq!(GateKind::Dff.finger_count(), 6);
+    }
+
+    #[test]
+    fn rejects_empty_design() {
+        let b = NetlistBuilder::new("empty");
+        assert!(matches!(b.build(), Err(LayoutError::EmptyDesign)));
+    }
+
+    #[test]
+    fn gate_kind_properties() {
+        assert_eq!(GateKind::Nand3.arity(), 3);
+        assert_eq!(GateKind::Nand3.nmos_stack(), 3);
+        assert_eq!(GateKind::Nor2.pmos_stack(), 2);
+        assert_eq!(GateKind::Buf.finger_count(), 2);
+        assert_eq!(GateKind::Nand2.to_string(), "NAND2");
+    }
+
+    #[test]
+    fn rejects_unknown_net_id() {
+        let mut b = NetlistBuilder::new("bad");
+        let a = b.input("a");
+        let bogus = NetId(999);
+        assert!(matches!(
+            b.gate(GateKind::Inv, Drive::X1, &[a], bogus),
+            Err(LayoutError::UnknownId { .. })
+        ));
+    }
+}

@@ -1,0 +1,220 @@
+//! Bossung-curve analysis: quadratic CD(focus) fits per dose and the
+//! isofocal point.
+//!
+//! A focus-exposure matrix becomes actionable through its Bossung fit:
+//! the curvature tells how fast CD walks through focus, the best-focus
+//! vertex locates the tool offset, and the isofocal dose (where the
+//! curvature vanishes) is the exposure at which the feature is most
+//! robust to focus errors.
+
+use crate::fem::FocusExposureMatrix;
+
+/// A quadratic fit `CD(f) = a·f² + b·f + c` for one dose row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BossungCurve {
+    /// Dose of this row.
+    pub dose: f64,
+    /// Quadratic coefficient in nm / nm² (focus curvature).
+    pub a: f64,
+    /// Linear coefficient in nm / nm (tilt; 0 for a symmetric process).
+    pub b: f64,
+    /// CD at zero focus, in nm.
+    pub c: f64,
+}
+
+impl BossungCurve {
+    /// The fitted CD at a focus value.
+    pub fn cd_at(&self, focus_nm: f64) -> f64 {
+        self.a * focus_nm * focus_nm + self.b * focus_nm + self.c
+    }
+
+    /// The focus of the curve's vertex (best focus), in nm; `None` for a
+    /// flat (a ≈ 0) curve.
+    pub fn best_focus_nm(&self) -> Option<f64> {
+        (self.a.abs() > 1e-12).then(|| -self.b / (2.0 * self.a))
+    }
+}
+
+/// Fits one Bossung curve per dose row of a FEM by least squares.
+///
+/// Rows with fewer than three printable cells are skipped (a quadratic
+/// needs three points).
+pub fn fit_bossung(fem: &FocusExposureMatrix) -> Vec<BossungCurve> {
+    let mut curves = Vec::new();
+    for (di, &dose) in fem.dose_values().iter().enumerate() {
+        let samples: Vec<(f64, f64)> = fem
+            .focus_values()
+            .iter()
+            .enumerate()
+            .filter_map(|(fi, &f)| fem.at(fi, di).map(|cd| (f, cd)))
+            .collect();
+        if samples.len() < 3 {
+            continue;
+        }
+        if let Some((a, b, c)) = quadratic_least_squares(&samples) {
+            curves.push(BossungCurve { dose, a, b, c });
+        }
+    }
+    curves
+}
+
+/// The isofocal dose: the dose at which the fitted focus curvature
+/// crosses zero (interpolated between the two bracketing rows), or `None`
+/// if all curvatures share a sign.
+pub fn isofocal_dose(curves: &[BossungCurve]) -> Option<f64> {
+    for pair in curves.windows(2) {
+        let (lo, hi) = (&pair[0], &pair[1]);
+        if lo.a == 0.0 {
+            return Some(lo.dose);
+        }
+        if lo.a * hi.a < 0.0 {
+            let t = lo.a / (lo.a - hi.a);
+            return Some(lo.dose + t * (hi.dose - lo.dose));
+        }
+    }
+    curves.last().and_then(|c| (c.a == 0.0).then_some(c.dose))
+}
+
+/// Least-squares quadratic through `(x, y)` samples via the 3×3 normal
+/// equations; `None` if the system is singular (all x identical).
+fn quadratic_least_squares(samples: &[(f64, f64)]) -> Option<(f64, f64, f64)> {
+    let n = samples.len() as f64;
+    let (mut sx, mut sx2, mut sx3, mut sx4) = (0.0, 0.0, 0.0, 0.0);
+    let (mut sy, mut sxy, mut sx2y) = (0.0, 0.0, 0.0);
+    for &(x, y) in samples {
+        let x2 = x * x;
+        sx += x;
+        sx2 += x2;
+        sx3 += x2 * x;
+        sx4 += x2 * x2;
+        sy += y;
+        sxy += x * y;
+        sx2y += x2 * y;
+    }
+    // Solve [sx4 sx3 sx2; sx3 sx2 sx; sx2 sx n] [a b c]^T = [sx2y sxy sy]^T.
+    let m = [[sx4, sx3, sx2], [sx3, sx2, sx], [sx2, sx, n]];
+    let rhs = [sx2y, sxy, sy];
+    solve3(m, rhs)
+}
+
+/// Solves a 3×3 linear system by Gaussian elimination with partial
+/// pivoting; `None` if singular.
+fn solve3(mut m: [[f64; 3]; 3], mut rhs: [f64; 3]) -> Option<(f64, f64, f64)> {
+    for col in 0..3 {
+        let pivot = (col..3).max_by(|&a, &b| {
+            m[a][col]
+                .abs()
+                .partial_cmp(&m[b][col].abs())
+                .expect("finite matrix")
+        })?;
+        if m[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        m.swap(col, pivot);
+        rhs.swap(col, pivot);
+        for row in (col + 1)..3 {
+            let factor = m[row][col] / m[col][col];
+            for k in col..3 {
+                m[row][k] -= factor * m[col][k];
+            }
+            rhs[row] -= factor * rhs[col];
+        }
+    }
+    let c = rhs[2] / m[2][2];
+    let b = (rhs[1] - m[1][2] * c) / m[1][1];
+    let a = (rhs[0] - m[0][1] * b - m[0][2] * c) / m[0][0];
+    Some((a, b, c))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fem::FocusExposureMatrix;
+    use crate::optics::ProcessConditions;
+
+    /// Synthetic FEM with known quadratic structure: curvature flips sign
+    /// at dose 1.0 (the isofocal dose).
+    fn synthetic_fem() -> FocusExposureMatrix {
+        FocusExposureMatrix::sweep(
+            vec![-150.0, -75.0, 0.0, 75.0, 150.0],
+            vec![0.94, 1.0, 1.06],
+            |c: &ProcessConditions| {
+                let a = (c.dose - 1.0) * 0.002; // curvature ∝ dose offset
+                Ok(90.0 + 10.0 * (c.dose - 1.0) + a * c.focus_nm * c.focus_nm)
+            },
+        )
+        .expect("sweep")
+    }
+
+    #[test]
+    fn fit_recovers_known_coefficients() {
+        let curves = fit_bossung(&synthetic_fem());
+        assert_eq!(curves.len(), 3);
+        let under = &curves[0]; // dose 0.94: a = -0.00012
+        assert!((under.a - (-0.00012)).abs() < 1e-9, "a = {}", under.a);
+        assert!(under.b.abs() < 1e-9);
+        assert!((under.c - 89.4).abs() < 1e-6);
+        assert!((under.cd_at(100.0) - (89.4 - 1.2)).abs() < 1e-6);
+        // Symmetric curves have their vertex at zero focus.
+        assert!(under.best_focus_nm().expect("curved").abs() < 1e-6);
+    }
+
+    #[test]
+    fn isofocal_dose_found_by_interpolation() {
+        let curves = fit_bossung(&synthetic_fem());
+        let iso = isofocal_dose(&curves).expect("sign change");
+        assert!((iso - 1.0).abs() < 1e-6, "isofocal at {iso}");
+    }
+
+    #[test]
+    fn no_isofocal_when_curvature_keeps_sign() {
+        let fem = FocusExposureMatrix::sweep(
+            vec![-100.0, 0.0, 100.0],
+            vec![0.95, 1.05],
+            |c: &ProcessConditions| Ok(90.0 + 0.0002 * c.focus_nm * c.focus_nm + c.dose),
+        )
+        .expect("sweep");
+        let curves = fit_bossung(&fem);
+        assert_eq!(curves.len(), 2);
+        assert!(isofocal_dose(&curves).is_none());
+    }
+
+    #[test]
+    fn flat_curve_has_no_best_focus() {
+        let flat = BossungCurve {
+            dose: 1.0,
+            a: 0.0,
+            b: 0.0,
+            c: 90.0,
+        };
+        assert!(flat.best_focus_nm().is_none());
+        assert_eq!(flat.cd_at(123.0), 90.0);
+    }
+
+    #[test]
+    fn real_fem_fits_a_bowl() {
+        use crate::cutline;
+        use crate::image::{AerialImage, SimulationSpec};
+        use crate::resist::ResistModel;
+        use postopc_geom::{Polygon, Rect};
+        let line = Polygon::from(Rect::new(-45, -600, 45, 600).expect("rect"));
+        let window = Rect::new(-300, -300, 300, 300).expect("rect");
+        let resist = ResistModel::standard();
+        let fem = FocusExposureMatrix::sweep(
+            vec![-150.0, -75.0, 0.0, 75.0, 150.0],
+            vec![1.0],
+            |c: &ProcessConditions| {
+                let spec = SimulationSpec::nominal().with_conditions(*c);
+                let image = AerialImage::simulate(&spec, &[line.clone()], window)?;
+                cutline::measure_cd(&image, &resist, (0.0, 0.0), (1.0, 0.0), 150.0)
+            },
+        )
+        .expect("sweep");
+        let curves = fit_bossung(&fem);
+        assert_eq!(curves.len(), 1);
+        // Our imaging model thins lines through focus: negative curvature,
+        // vertex near best focus.
+        assert!(curves[0].a < 0.0, "curvature {}", curves[0].a);
+        assert!(curves[0].best_focus_nm().expect("curved").abs() < 40.0);
+    }
+}

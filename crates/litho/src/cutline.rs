@@ -1,0 +1,201 @@
+//! Cutline measurements: printed edge positions, CDs, and edge placement
+//! errors — the "design-based metrology" primitives of the flow.
+
+use crate::error::{LithoError, Result};
+use crate::image::AerialImage;
+use crate::resist::ResistModel;
+
+/// Search step along a cutline in nm (sub-pixel; the field is smooth).
+const STEP_NM: f64 = 1.0;
+
+/// Finds the distance (nm) from `start` along the unit direction
+/// `(dx, dy)` at which the printed contour is crossed.
+///
+/// The start must be on the *printed* side; the function marches outward
+/// up to `max_dist_nm` and refines the crossing by linear interpolation.
+///
+/// # Errors
+///
+/// Returns [`LithoError::NoContourCrossing`] if the start is not printed
+/// or no crossing occurs within range (pinched feature or bridged gap).
+pub fn find_edge(
+    image: &AerialImage,
+    resist: &ResistModel,
+    start: (f64, f64),
+    direction: (f64, f64),
+    max_dist_nm: f64,
+) -> Result<f64> {
+    let (x0, y0) = start;
+    let (dx, dy) = direction;
+    let mut prev = image.intensity_at(x0, y0);
+    if prev < resist.threshold {
+        return Err(LithoError::NoContourCrossing { x_nm: x0, y_nm: y0 });
+    }
+    let steps = (max_dist_nm / STEP_NM).ceil() as usize;
+    for i in 1..=steps {
+        let d = i as f64 * STEP_NM;
+        let v = image.intensity_at(x0 + dx * d, y0 + dy * d);
+        if v < resist.threshold {
+            // Linear interpolation between the last two samples.
+            let t = (prev - resist.threshold) / (prev - v);
+            return Ok(d - STEP_NM + t * STEP_NM);
+        }
+        prev = v;
+    }
+    Err(LithoError::NoContourCrossing { x_nm: x0, y_nm: y0 })
+}
+
+/// Measures the printed critical dimension across a feature.
+///
+/// Casts a cutline through `center` along the unit `axis` and returns the
+/// distance between the two printed-contour crossings.
+///
+/// # Errors
+///
+/// Returns [`LithoError::NoContourCrossing`] if the feature does not print
+/// at `center` or an edge is out of range.
+pub fn measure_cd(
+    image: &AerialImage,
+    resist: &ResistModel,
+    center: (f64, f64),
+    axis: (f64, f64),
+    max_half_nm: f64,
+) -> Result<f64> {
+    let plus = find_edge(image, resist, center, axis, max_half_nm)?;
+    let minus = find_edge(image, resist, center, (-axis.0, -axis.1), max_half_nm)?;
+    Ok(plus + minus)
+}
+
+/// Signed edge placement error at a target edge point.
+///
+/// `outward` is the unit outward normal of the *target* edge (pointing
+/// away from the feature). Positive EPE means the printed edge lies
+/// outside the target (feature prints fat); negative means pullback.
+///
+/// The probe starts slightly inside the feature (`probe_inset_nm`) so the
+/// measurement tolerates small negative EPE at the start point.
+///
+/// # Errors
+///
+/// Returns [`LithoError::NoContourCrossing`] if the feature is missing
+/// entirely at the probe point (catastrophic pinch).
+pub fn edge_placement_error(
+    image: &AerialImage,
+    resist: &ResistModel,
+    target: (f64, f64),
+    outward: (f64, f64),
+    search_nm: f64,
+) -> Result<f64> {
+    let inset = 30.0_f64.min(search_nm / 2.0);
+    let start = (target.0 - outward.0 * inset, target.1 - outward.1 * inset);
+    let d = find_edge(image, resist, start, outward, search_nm + inset)?;
+    Ok(d - inset)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::SimulationSpec;
+    use crate::optics::ProcessConditions;
+    use postopc_geom::{Polygon, Rect};
+
+    fn image_of(mask: &[Polygon]) -> AerialImage {
+        AerialImage::simulate(
+            &SimulationSpec::nominal(),
+            mask,
+            Rect::new(-400, -400, 400, 400).expect("rect"),
+        )
+        .expect("image")
+    }
+
+    fn vertical_line() -> Polygon {
+        Polygon::from(Rect::new(-45, -600, 45, 600).expect("rect"))
+    }
+
+    #[test]
+    fn printed_cd_close_to_drawn_for_isolated_line() {
+        let img = image_of(&[vertical_line()]);
+        let cd = measure_cd(&img, &ResistModel::standard(), (0.0, 0.0), (1.0, 0.0), 150.0)
+            .expect("feature prints");
+        assert!(
+            (cd - 90.0).abs() < 20.0,
+            "isolated 90 nm line printed at {cd} nm"
+        );
+    }
+
+    #[test]
+    fn edge_positions_are_symmetric() {
+        let img = image_of(&[vertical_line()]);
+        let r = ResistModel::standard();
+        let right = find_edge(&img, &r, (0.0, 0.0), (1.0, 0.0), 150.0).expect("edge");
+        let left = find_edge(&img, &r, (0.0, 0.0), (-1.0, 0.0), 150.0).expect("edge");
+        assert!((right - left).abs() < 0.5, "asymmetry {right} vs {left}");
+    }
+
+    #[test]
+    fn unprinted_start_errors() {
+        let img = image_of(&[vertical_line()]);
+        let r = ResistModel::standard();
+        assert!(matches!(
+            find_edge(&img, &r, (300.0, 0.0), (1.0, 0.0), 50.0),
+            Err(LithoError::NoContourCrossing { .. })
+        ));
+    }
+
+    #[test]
+    fn epe_sign_convention() {
+        let img = image_of(&[vertical_line()]);
+        let r = ResistModel::standard();
+        // Overdose → prints fat → positive EPE at the drawn right edge.
+        let over = AerialImage::simulate(
+            &SimulationSpec::nominal().with_conditions(ProcessConditions {
+                focus_nm: 0.0,
+                dose: 1.3,
+            }),
+            &[vertical_line()],
+            Rect::new(-400, -400, 400, 400).expect("rect"),
+        )
+        .expect("image");
+        let epe_nominal =
+            edge_placement_error(&img, &r, (45.0, 0.0), (1.0, 0.0), 60.0).expect("epe");
+        let epe_over =
+            edge_placement_error(&over, &r, (45.0, 0.0), (1.0, 0.0), 60.0).expect("epe");
+        assert!(epe_over > epe_nominal, "overdose must push the edge out");
+        assert!(epe_nominal.abs() < 25.0, "nominal EPE = {epe_nominal}");
+    }
+
+    #[test]
+    fn line_end_pulls_back() {
+        // Finite line: EPE at the line end is negative (pullback) and
+        // more negative than at the side edge — the classic OPC target.
+        let short = Polygon::from(Rect::new(-45, -250, 45, 250).expect("rect"));
+        let img = image_of(&[short]);
+        let r = ResistModel::standard();
+        let end_epe =
+            edge_placement_error(&img, &r, (0.0, 250.0), (0.0, 1.0), 120.0).expect("epe");
+        let side_epe =
+            edge_placement_error(&img, &r, (45.0, 0.0), (1.0, 0.0), 120.0).expect("epe");
+        assert!(
+            end_epe < side_epe,
+            "line end EPE {end_epe} should be below side EPE {side_epe}"
+        );
+        assert!(end_epe < 0.0, "line end must pull back, got {end_epe}");
+    }
+
+    #[test]
+    fn dense_and_iso_cds_differ() {
+        let iso = image_of(&[vertical_line()]);
+        let dense = image_of(&[
+            vertical_line(),
+            Polygon::from(Rect::new(-325, -600, -235, 600).expect("rect")),
+            Polygon::from(Rect::new(235, -600, 325, 600).expect("rect")),
+        ]);
+        let r = ResistModel::standard();
+        let cd_iso = measure_cd(&iso, &r, (0.0, 0.0), (1.0, 0.0), 150.0).expect("cd");
+        let cd_dense = measure_cd(&dense, &r, (0.0, 0.0), (1.0, 0.0), 150.0).expect("cd");
+        assert!(
+            (cd_iso - cd_dense).abs() > 1.0,
+            "iso-dense bias too small: iso {cd_iso} vs dense {cd_dense}"
+        );
+    }
+}

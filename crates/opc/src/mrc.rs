@@ -1,0 +1,205 @@
+//! MRC — mask rule checking.
+//!
+//! OPC moves edges; mask shops constrain what they will write. The MRC
+//! pass verifies corrected mask polygons against minimum-feature,
+//! minimum-space and maximum-vertex-count rules so a correction that
+//! passes ORC cannot still be unmanufacturable as a mask.
+
+use postopc_geom::{Coord, GridIndex, Point, Polygon};
+
+/// Mask manufacturing rules (wafer-scale nm; mask shops quote 4× reticle
+/// numbers, we stay in wafer dimensions like OPC tools do).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MrcRules {
+    /// Minimum feature dimension on the mask.
+    pub min_feature: Coord,
+    /// Minimum space between mask features.
+    pub min_space: Coord,
+    /// Maximum vertices per polygon (mask-writer fracture limit).
+    pub max_vertices: usize,
+}
+
+impl MrcRules {
+    /// Typical 90 nm-node mask rules: 40 nm features and spaces (wafer
+    /// scale) and a generous vertex budget.
+    pub fn standard() -> MrcRules {
+        MrcRules {
+            min_feature: 40,
+            min_space: 40,
+            max_vertices: 200,
+        }
+    }
+}
+
+impl Default for MrcRules {
+    fn default() -> Self {
+        MrcRules::standard()
+    }
+}
+
+/// The rule class an MRC violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MrcViolationKind {
+    /// A decomposition band narrower than `min_feature`.
+    Feature,
+    /// Two mask polygons closer than `min_space`.
+    Space,
+    /// A polygon with more vertices than the writer accepts.
+    VertexCount,
+}
+
+/// One MRC violation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MrcViolation {
+    /// Rule class.
+    pub kind: MrcViolationKind,
+    /// Index of the offending polygon in the checked mask.
+    pub polygon: usize,
+    /// Marker location.
+    pub location: Point,
+    /// Measured value (nm for dimensions, count for vertices).
+    pub measured: i64,
+}
+
+/// Checks a corrected mask against mask rules.
+pub fn check_mask(rules: &MrcRules, mask: &[Polygon]) -> Vec<MrcViolation> {
+    let mut violations = Vec::new();
+    for (pi, polygon) in mask.iter().enumerate() {
+        if polygon.vertices().len() > rules.max_vertices {
+            violations.push(MrcViolation {
+                kind: MrcViolationKind::VertexCount,
+                polygon: pi,
+                location: polygon.bbox().center(),
+                measured: polygon.vertices().len() as i64,
+            });
+        }
+        for rect in polygon.to_rects() {
+            let w = rect.width().min(rect.height());
+            if w < rules.min_feature {
+                violations.push(MrcViolation {
+                    kind: MrcViolationKind::Feature,
+                    polygon: pi,
+                    location: rect.center(),
+                    measured: w,
+                });
+            }
+        }
+    }
+    // Pairwise spacing via a bucket index.
+    let mut index: GridIndex<usize> = GridIndex::new((4 * rules.min_space).max(1));
+    for (i, p) in mask.iter().enumerate() {
+        index.insert(p.bbox(), i);
+    }
+    let mut reported = std::collections::HashSet::new();
+    for (i, p) in mask.iter().enumerate() {
+        let Ok(search) = p.bbox().expand(rules.min_space) else {
+            continue;
+        };
+        for (_, &j) in index.query(search) {
+            if j <= i || !reported.insert((i, j)) {
+                continue;
+            }
+            let gap = min_gap(p, &mask[j]);
+            if gap > 0 && gap < rules.min_space {
+                violations.push(MrcViolation {
+                    kind: MrcViolationKind::Space,
+                    polygon: i,
+                    location: Point::new(
+                        (p.bbox().center().x + mask[j].bbox().center().x) / 2,
+                        (p.bbox().center().y + mask[j].bbox().center().y) / 2,
+                    ),
+                    measured: gap,
+                });
+            }
+        }
+    }
+    violations
+}
+
+fn min_gap(a: &Polygon, b: &Polygon) -> Coord {
+    let mut best = f64::MAX;
+    for ra in a.to_rects() {
+        for rb in b.to_rects() {
+            best = best.min(ra.gap(&rb));
+        }
+    }
+    best.round() as Coord
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{self, ModelOpcConfig};
+    use crate::rules::{self, RuleOpcConfig};
+    use crate::sraf;
+    use postopc_geom::Rect;
+
+    fn line(x0: Coord, x1: Coord) -> Polygon {
+        Polygon::from(Rect::new(x0, -300, x1, 300).expect("rect"))
+    }
+
+    #[test]
+    fn clean_mask_passes() {
+        let mask = vec![line(0, 90), line(280, 370)];
+        assert!(check_mask(&MrcRules::standard(), &mask).is_empty());
+    }
+
+    #[test]
+    fn thin_feature_flagged() {
+        let mask = vec![Polygon::from(Rect::new(0, 0, 30, 500).expect("rect"))];
+        let v = check_mask(&MrcRules::standard(), &mask);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].kind, MrcViolationKind::Feature);
+        assert_eq!(v[0].measured, 30);
+    }
+
+    #[test]
+    fn tight_space_flagged() {
+        let mask = vec![line(0, 90), line(120, 210)]; // 30 nm gap
+        let v = check_mask(&MrcRules::standard(), &mask);
+        assert!(v.iter().any(|v| v.kind == MrcViolationKind::Space && v.measured == 30));
+    }
+
+    #[test]
+    fn vertex_budget_flagged() {
+        // A long comb with many teeth exceeds a tiny vertex budget.
+        let target = Polygon::from(Rect::new(0, 0, 90, 2000).expect("rect"));
+        let frag = crate::fragment::FragmentedPolygon::new(
+            &target,
+            &crate::fragment::FragmentSpec::standard(),
+        )
+        .expect("fragment");
+        let offsets: Vec<Coord> = (0..frag.len()).map(|i| (i % 2) as Coord * 3).collect();
+        let jagged = frag.apply_offsets(&offsets).expect("apply");
+        let rules = MrcRules {
+            max_vertices: 8,
+            ..MrcRules::standard()
+        };
+        let v = check_mask(&rules, &[jagged]);
+        assert!(v.iter().any(|v| v.kind == MrcViolationKind::VertexCount));
+    }
+
+    #[test]
+    fn opc_outputs_are_mask_manufacturable() {
+        // The production recipes (rule and model OPC + SRAFs) must emit
+        // MRC-clean masks on a representative dense/iso pattern.
+        let targets = vec![line(-45, 45), line(-325, -235), line(515, 605)];
+        let window = Rect::new(-500, -450, 800, 450).expect("rect");
+        let rule = rules::correct(&RuleOpcConfig::standard(), &targets, &[]).expect("rule");
+        let model_result =
+            model::correct(&ModelOpcConfig::standard(), &targets, &[], window).expect("model");
+        let bars = sraf::insert_srafs(&sraf::SrafConfig::standard(), &targets, &[]).expect("sraf");
+        for (name, mask) in [
+            ("rule", &rule.corrected),
+            ("model", &model_result.corrected),
+            ("sraf", &bars),
+        ] {
+            let v = check_mask(&MrcRules::standard(), mask);
+            assert!(
+                v.is_empty(),
+                "{name} OPC output violates mask rules: {:?}",
+                v.first()
+            );
+        }
+    }
+}

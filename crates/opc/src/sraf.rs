@@ -1,0 +1,223 @@
+//! Sub-resolution assist feature (SRAF) insertion.
+//!
+//! Isolated edges image with a shallow intensity slope and walk badly
+//! through focus. Placing a narrow, non-printing bar parallel to an
+//! isolated edge steepens the edge slope — the standard trick of the
+//! paper-era RET toolkit. Bars are sized below the resolution limit so
+//! they never print themselves (ORC can confirm).
+
+use crate::error::Result;
+use postopc_geom::{Coord, Edge, GridIndex, Orientation, Polygon, Rect};
+
+/// SRAF insertion parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SrafConfig {
+    /// Minimum facing space for an edge to be considered isolated, in nm.
+    pub min_space: Coord,
+    /// Bar offset from the target edge (edge to bar near side), in nm.
+    pub offset: Coord,
+    /// Bar width in nm (must be sub-resolution).
+    pub width: Coord,
+    /// Minimum edge length to receive a bar, in nm.
+    pub min_edge_len: Coord,
+    /// Bar end pull-in from the edge ends, in nm.
+    pub end_margin: Coord,
+}
+
+impl SrafConfig {
+    /// 90 nm-node defaults: 40 nm bars at 130 nm offset for edges with
+    /// more than 350 nm of facing space.
+    pub fn standard() -> SrafConfig {
+        SrafConfig {
+            min_space: 350,
+            offset: 130,
+            width: 40,
+            min_edge_len: 250,
+            end_margin: 30,
+        }
+    }
+}
+
+impl Default for SrafConfig {
+    fn default() -> Self {
+        SrafConfig::standard()
+    }
+}
+
+/// Inserts SRAF bars next to isolated edges of `targets`.
+///
+/// Returns only the bars; callers append them to the mask as context.
+/// `context` participates in the isolation test but receives no bars.
+///
+/// # Errors
+///
+/// Currently infallible (the `Result` reserves room for config
+/// validation); degenerate bar rectangles are skipped.
+pub fn insert_srafs(
+    config: &SrafConfig,
+    targets: &[Polygon],
+    context: &[Polygon],
+) -> Result<Vec<Polygon>> {
+    let all: Vec<&Polygon> = targets.iter().chain(context.iter()).collect();
+    let mut index: GridIndex<usize> = GridIndex::new(2_000);
+    for (i, p) in all.iter().enumerate() {
+        index.insert(p.bbox(), i);
+    }
+    let mut bars = Vec::new();
+    for (ti, target) in targets.iter().enumerate() {
+        for edge in target.edges() {
+            if edge.length() < config.min_edge_len {
+                continue;
+            }
+            if !edge_is_isolated(&edge, ti, &all, &index, config.min_space) {
+                continue;
+            }
+            if let Some(bar) = bar_for_edge(&edge, config) {
+                bars.push(Polygon::from(bar));
+            }
+        }
+    }
+    Ok(bars)
+}
+
+/// Whether every probe along the edge's outward normal is clear out to
+/// `min_space`.
+fn edge_is_isolated(
+    edge: &Edge,
+    self_index: usize,
+    all: &[&Polygon],
+    index: &GridIndex<usize>,
+    min_space: Coord,
+) -> bool {
+    const PROBES: [f64; 3] = [0.25, 0.5, 0.75];
+    const STEP: Coord = 25;
+    for &t in &PROBES {
+        let base = edge.point_at(t);
+        let mut d = STEP;
+        while d <= min_space {
+            let probe = base + edge.outward_normal() * d;
+            let window = Rect::centered(probe, 2 * STEP, 2 * STEP)
+                .expect("probe window is non-degenerate");
+            for (_, &pi) in index.query(window) {
+                if pi != self_index && all[pi].contains(probe) {
+                    return false;
+                }
+            }
+            d += STEP;
+        }
+    }
+    true
+}
+
+/// The assist bar rectangle for an isolated edge.
+fn bar_for_edge(edge: &Edge, config: &SrafConfig) -> Option<Rect> {
+    let n = edge.outward_normal();
+    let lo = edge.length().min(config.end_margin);
+    let _ = lo;
+    let (a, b) = (edge.start, edge.end);
+    let (near, far) = (config.offset, config.offset + config.width);
+    match edge.orientation() {
+        Orientation::Vertical => {
+            let x0 = a.x + n.dx * near;
+            let x1 = a.x + n.dx * far;
+            let y0 = a.y.min(b.y) + config.end_margin;
+            let y1 = a.y.max(b.y) - config.end_margin;
+            Rect::new(x0.min(x1), y0, x0.max(x1), y1).ok()
+        }
+        Orientation::Horizontal => {
+            let y0 = a.y + n.dy * near;
+            let y1 = a.y + n.dy * far;
+            let x0 = a.x.min(b.x) + config.end_margin;
+            let x1 = a.x.max(b.x) - config.end_margin;
+            Rect::new(x0, y0.min(y1), x1, y0.max(y1)).ok()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_litho::{AerialImage, ResistModel, SimulationSpec};
+
+    fn tall_line(x0: Coord, x1: Coord) -> Polygon {
+        Polygon::from(Rect::new(x0, -500, x1, 500).expect("rect"))
+    }
+
+    #[test]
+    fn isolated_line_gets_bars_on_both_sides() {
+        let bars = insert_srafs(&SrafConfig::standard(), &[tall_line(-45, 45)], &[])
+            .expect("srafs");
+        assert_eq!(bars.len(), 2);
+        let xs: Vec<i64> = bars.iter().map(|b| b.bbox().center().x).collect();
+        assert!(xs.iter().any(|&x| x > 45));
+        assert!(xs.iter().any(|&x| x < -45));
+    }
+
+    #[test]
+    fn dense_lines_get_no_bars_between() {
+        let targets = vec![tall_line(-45, 45), tall_line(235, 325)];
+        let bars = insert_srafs(&SrafConfig::standard(), &targets, &[]).expect("srafs");
+        // No bar lands in the 190 nm gap between the lines.
+        for b in &bars {
+            let c = b.bbox().center().x;
+            assert!(
+                !(45..235).contains(&c),
+                "bar at x = {c} inside the dense gap"
+            );
+        }
+    }
+
+    #[test]
+    fn srafs_do_not_print() {
+        let target = tall_line(-45, 45);
+        let bars = insert_srafs(&SrafConfig::standard(), &[target.clone()], &[]).expect("srafs");
+        let mut mask = vec![target];
+        mask.extend(bars.iter().cloned());
+        let window = Rect::new(-400, -400, 400, 400).expect("rect");
+        let image =
+            AerialImage::simulate(&SimulationSpec::nominal(), &mask, window).expect("image");
+        let resist = ResistModel::standard();
+        for bar in &bars {
+            let c = bar.bbox().center();
+            assert!(
+                !resist.printed_at(&image, c.x as f64, c.y as f64),
+                "SRAF at {c} printed"
+            );
+        }
+    }
+
+    #[test]
+    fn srafs_reduce_iso_dense_bias() {
+        // The point of assist bars: make an isolated edge image like a
+        // dense one, so a single bias/OPC recipe covers both contexts.
+        let target = tall_line(-45, 45);
+        let window = Rect::new(-400, -400, 400, 400).expect("rect");
+        let edge_intensity = |mask: &[Polygon]| {
+            AerialImage::simulate(&SimulationSpec::nominal(), mask, window)
+                .expect("image")
+                .intensity_at(45.0, 0.0)
+        };
+        let iso = edge_intensity(&[target.clone()]);
+        let dense = edge_intensity(&[
+            target.clone(),
+            tall_line(-325, -235),
+            tall_line(235, 325),
+        ]);
+        let bars = insert_srafs(&SrafConfig::standard(), &[target.clone()], &[]).expect("srafs");
+        let mut assisted_mask = vec![target];
+        assisted_mask.extend(bars);
+        let assisted = edge_intensity(&assisted_mask);
+        assert!(
+            (assisted - dense).abs() < (iso - dense).abs(),
+            "bars should move the iso edge toward dense: iso {iso:.4}, assisted {assisted:.4}, dense {dense:.4}"
+        );
+    }
+
+    #[test]
+    fn short_edges_are_skipped() {
+        let short = Polygon::from(Rect::new(-45, 0, 45, 200).expect("rect"));
+        let bars = insert_srafs(&SrafConfig::standard(), &[short], &[]).expect("srafs");
+        // 90 nm ends and 200 nm sides are all below min_edge_len = 250.
+        assert!(bars.is_empty());
+    }
+}

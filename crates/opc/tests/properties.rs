@@ -1,0 +1,112 @@
+//! Property-based tests for fragmentation and correction invariants.
+
+use postopc_geom::{Coord, Point, Polygon, Rect};
+use postopc_opc::{FragmentKind, FragmentSpec, FragmentedPolygon};
+use proptest::prelude::*;
+
+fn arb_line() -> impl Strategy<Value = Polygon> {
+    (60i64..200, 200i64..1500).prop_map(|(w, h)| {
+        Polygon::from(Rect::new(0, 0, w, h).expect("positive extents"))
+    })
+}
+
+/// A random rectilinear staircase (same construction as the geom tests).
+fn arb_staircase() -> impl Strategy<Value = Polygon> {
+    proptest::collection::vec((80i64..400, 80i64..400), 2..6).prop_map(|steps| {
+        let mut v = vec![Point::new(0, 0)];
+        let (mut x, mut y) = (0, 0);
+        for (dx, dy) in &steps {
+            x += dx;
+            v.push(Point::new(x, y));
+            y += dy;
+            v.push(Point::new(x, y));
+        }
+        v.push(Point::new(0, y));
+        Polygon::new(v).expect("staircase is valid")
+    })
+}
+
+proptest! {
+    #[test]
+    fn fragmentation_conserves_perimeter(p in arb_staircase()) {
+        let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
+        let total: Coord = frag.fragments().iter().map(|f| f.length).sum();
+        prop_assert_eq!(total, p.perimeter());
+        prop_assert_eq!(frag.fragments().len(), frag.polygon().edge_count());
+    }
+
+    #[test]
+    fn fragmentation_preserves_area(p in arb_staircase()) {
+        let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
+        prop_assert_eq!(frag.polygon().area(), p.area());
+    }
+
+    #[test]
+    fn fragments_respect_max_length(p in arb_line(), max_len in 80i64..300) {
+        let spec = FragmentSpec {
+            max_len,
+            corner_len: 50,
+            min_len: 30,
+        };
+        let frag = FragmentedPolygon::new(&p, &spec).expect("fragment");
+        for f in frag.fragments() {
+            // +1 tolerates the integer division remainder on the last piece.
+            prop_assert!(
+                f.length <= max_len + spec.corner_len,
+                "fragment of {} nm exceeds bound", f.length
+            );
+        }
+    }
+
+    #[test]
+    fn uniform_offsets_shift_area_predictably(p in arb_line(), bias in -10i64..10) {
+        let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
+        let offsets = vec![bias; frag.len()];
+        let corrected = frag.apply_offsets(&offsets).expect("apply");
+        // Uniform outward bias on a rectangle: exact area formula.
+        let expected = p.area()
+            + p.perimeter() as i128 * bias as i128
+            + 4 * (bias as i128) * (bias as i128);
+        prop_assert_eq!(corrected.area(), expected);
+    }
+
+    #[test]
+    fn small_random_offsets_keep_polygon_simple(
+        p in arb_line(),
+        seed in proptest::collection::vec(-8i64..8, 64),
+    ) {
+        let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
+        let offsets: Vec<Coord> = (0..frag.len()).map(|i| seed[i % seed.len()]).collect();
+        if let Ok(corrected) = frag.apply_offsets(&offsets) {
+            prop_assert!(corrected.is_simple(), "offsets produced a self-touching mask");
+        }
+    }
+
+    #[test]
+    fn line_caps_are_line_ends(p in arb_line()) {
+        let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
+        let bbox = p.bbox();
+        if bbox.width() <= 2 * FragmentSpec::standard().max_len
+            && bbox.width() < 2 * FragmentSpec::standard().corner_len + FragmentSpec::standard().min_len
+        {
+            // Narrow lines: top/bottom edges unsplit and capped.
+            let line_ends = frag
+                .fragments()
+                .iter()
+                .filter(|f| f.kind == FragmentKind::LineEnd)
+                .count();
+            prop_assert_eq!(line_ends, 2);
+        }
+    }
+
+    #[test]
+    fn control_points_lie_on_the_target_boundary(p in arb_staircase()) {
+        let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
+        for f in frag.fragments() {
+            let inside = f.control - f.outward * 2;
+            let outside = f.control + f.outward * 2;
+            prop_assert!(p.contains(inside) || p.contains(f.control));
+            prop_assert!(!p.contains(outside));
+        }
+    }
+}

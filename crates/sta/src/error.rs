@@ -1,0 +1,68 @@
+//! Error types for static timing analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by timing analysis.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum StaError {
+    /// Device model evaluation failed.
+    Device(postopc_device::DeviceError),
+    /// A clock period was non-positive or non-finite.
+    InvalidClock(f64),
+    /// An annotation referenced a gate or net the design does not have.
+    UnknownAnnotation {
+        /// `"gate"` or `"net"`.
+        kind: &'static str,
+        /// The offending id.
+        index: usize,
+    },
+    /// A Monte Carlo configuration was invalid (zero samples, negative σ).
+    InvalidMonteCarlo(String),
+}
+
+impl fmt::Display for StaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StaError::Device(e) => write!(f, "device model error: {e}"),
+            StaError::InvalidClock(v) => write!(f, "invalid clock period {v} ps"),
+            StaError::UnknownAnnotation { kind, index } => {
+                write!(f, "annotation references unknown {kind} {index}")
+            }
+            StaError::InvalidMonteCarlo(reason) => {
+                write!(f, "invalid monte carlo configuration: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for StaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            StaError::Device(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<postopc_device::DeviceError> for StaError {
+    fn from(e: postopc_device::DeviceError) -> Self {
+        StaError::Device(e)
+    }
+}
+
+/// Convenience result alias for the STA crate.
+pub type Result<T> = std::result::Result<T, StaError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(StaError::InvalidClock(-1.0).to_string().contains("-1"));
+        let e = StaError::UnknownAnnotation { kind: "gate", index: 7 };
+        assert!(e.to_string().contains("gate 7"));
+    }
+}

@@ -1,0 +1,286 @@
+//! Timing library: electrical characterization of standard cells from the
+//! device model (the stand-in for a Liberty/NLDM deck).
+
+use crate::annotate::TransistorCd;
+use crate::error::Result;
+use postopc_device::{MosKind, Mosfet, ProcessParams};
+use postopc_layout::{CellLibrary, Drive, GateKind};
+use std::collections::HashMap;
+
+/// Sequential timing arcs of a register cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SequentialTiming {
+    /// Clock-to-Q delay, in ps.
+    pub clk_to_q_ps: f64,
+    /// Setup time required at D before the capturing edge, in ps.
+    pub setup_ps: f64,
+}
+
+/// Electrical timing view of one cell (possibly CD-annotated).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellTiming {
+    /// Capacitance presented by one input pin, in fF.
+    pub input_cap_ff: f64,
+    /// Effective pull-up resistance, in kΩ.
+    pub pull_up_r_kohm: f64,
+    /// Effective pull-down resistance, in kΩ.
+    pub pull_down_r_kohm: f64,
+    /// Parasitic (self-load) delay, in ps.
+    pub intrinsic_ps: f64,
+    /// Output-node junction capacitance, in fF.
+    pub output_cap_ff: f64,
+    /// Static leakage, in µA.
+    pub leakage_ua: f64,
+    /// Register arcs (`Some` only for sequential cells).
+    pub sequential: Option<SequentialTiming>,
+}
+
+impl CellTiming {
+    /// Average drive resistance used for generic (non-edge-specific)
+    /// delay arcs, in kΩ.
+    pub fn drive_r_kohm(&self) -> f64 {
+        0.5 * (self.pull_up_r_kohm + self.pull_down_r_kohm)
+    }
+}
+
+/// A characterized timing library for a cell library + process.
+///
+/// ```
+/// use postopc_sta::TimingLibrary;
+/// use postopc_layout::{CellLibrary, TechRules, GateKind, Drive};
+/// use postopc_device::ProcessParams;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let cells = CellLibrary::new(TechRules::n90())?;
+/// let lib = TimingLibrary::characterize(&cells, ProcessParams::n90())?;
+/// let inv = lib.drawn_timing(GateKind::Inv, Drive::X1);
+/// assert!(inv.input_cap_ff > 0.0);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct TimingLibrary {
+    process: ProcessParams,
+    drawn: HashMap<(GateKind, Drive), CellTiming>,
+    drawn_transistors: HashMap<(GateKind, Drive), Vec<TransistorCd>>,
+}
+
+impl TimingLibrary {
+    /// Characterizes every cell of `cells` under `process`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-model errors (impossible for valid cell layouts).
+    pub fn characterize(cells: &CellLibrary, process: ProcessParams) -> Result<TimingLibrary> {
+        let mut drawn = HashMap::new();
+        let mut drawn_transistors = HashMap::new();
+        for cell in cells.iter() {
+            let records: Vec<TransistorCd> = cell
+                .transistors()
+                .iter()
+                .map(|t| TransistorCd::drawn(t.kind, t.width_nm, t.length_nm, t.input_pin, t.finger))
+                .collect();
+            let timing = Self::timing_from_transistors(&process, cell.kind(), &records)?;
+            drawn.insert((cell.kind(), cell.drive()), timing);
+            drawn_transistors.insert((cell.kind(), cell.drive()), records);
+        }
+        Ok(TimingLibrary {
+            process,
+            drawn,
+            drawn_transistors,
+        })
+    }
+
+    /// The process parameters of the library.
+    pub fn process(&self) -> &ProcessParams {
+        &self.process
+    }
+
+    /// Drawn-dimension timing of a cell.
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: characterization covers every kind/drive pair.
+    pub fn drawn_timing(&self, kind: GateKind, drive: Drive) -> CellTiming {
+        self.drawn[&(kind, drive)]
+    }
+
+    /// The drawn transistor records of a cell (template for annotation).
+    ///
+    /// # Panics
+    ///
+    /// Never in practice: characterization covers every kind/drive pair.
+    pub fn drawn_transistors(&self, kind: GateKind, drive: Drive) -> &[TransistorCd] {
+        &self.drawn_transistors[&(kind, drive)]
+    }
+
+    /// Timing of a cell instance with extracted (post-OPC) CDs.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-model errors for non-physical extracted lengths.
+    pub fn annotated_timing(
+        &self,
+        kind: GateKind,
+        transistors: &[TransistorCd],
+    ) -> Result<CellTiming> {
+        Self::timing_from_transistors(&self.process, kind, transistors)
+    }
+
+    /// Core characterization: reduce a transistor ensemble to RC/leakage.
+    fn timing_from_transistors(
+        process: &ProcessParams,
+        kind: GateKind,
+        transistors: &[TransistorCd],
+    ) -> Result<CellTiming> {
+        // Group drive fingers per logic input. Buffers and registers
+        // drive their output from the internal (None) stage.
+        let drive_group = |t: &TransistorCd| match kind {
+            GateKind::Buf | GateKind::Dff => t.input_pin.is_none(),
+            _ => t.input_pin.is_some(),
+        };
+        let mut i_on_n: HashMap<Option<usize>, f64> = HashMap::new();
+        let mut i_on_p: HashMap<Option<usize>, f64> = HashMap::new();
+        let mut input_cap_sum = 0.0;
+        let mut input_pins: std::collections::HashSet<usize> = std::collections::HashSet::new();
+        let mut output_cap = 0.0;
+        let mut leakage = 0.0;
+        for t in transistors {
+            let delay_dev = Mosfet::new(t.kind, t.width_nm, t.l_delay_nm)?;
+            let leak_dev = Mosfet::new(t.kind, t.width_nm, t.l_leakage_nm)?;
+            if drive_group(t) {
+                let bucket = match t.kind {
+                    MosKind::Nmos => &mut i_on_n,
+                    MosKind::Pmos => &mut i_on_p,
+                };
+                *bucket.entry(t.input_pin).or_insert(0.0) += delay_dev.i_on(process);
+            }
+            if let Some(pin) = t.input_pin {
+                input_cap_sum += delay_dev.c_gate(process);
+                input_pins.insert(pin);
+            }
+            output_cap += delay_dev.c_drain(process);
+            // Roughly half the devices see full V_ds in a static state;
+            // stacked devices leak less (taken as 1/stack).
+            let stack = match t.kind {
+                MosKind::Nmos => kind.nmos_stack(),
+                MosKind::Pmos => kind.pmos_stack(),
+            } as f64;
+            leakage += 0.5 * leak_dev.i_off(process) / stack;
+        }
+        let n_inputs = input_pins.len().max(1) as f64;
+        let input_cap = input_cap_sum / n_inputs;
+        let mean_current = |m: &HashMap<Option<usize>, f64>| {
+            if m.is_empty() {
+                1e-9
+            } else {
+                m.values().sum::<f64>() / m.len() as f64
+            }
+        };
+        let r_down = kind.nmos_stack() as f64 * 1000.0 * process.vdd / mean_current(&i_on_n);
+        let r_up = kind.pmos_stack() as f64 * 1000.0 * process.vdd / mean_current(&i_on_p);
+        let intrinsic = 0.7 * 0.5 * (r_up + r_down) * output_cap;
+        // Register arcs: two internal latch stages from clock edge to Q,
+        // one stage of settling required at D before the edge. Both scale
+        // with the same annotated drive resistances, so post-OPC CDs move
+        // register timing too.
+        let sequential = kind.is_sequential().then(|| {
+            let stage = intrinsic + 0.5 * (r_up + r_down) * input_cap;
+            SequentialTiming {
+                clk_to_q_ps: 2.0 * stage,
+                setup_ps: stage,
+            }
+        });
+        Ok(CellTiming {
+            input_cap_ff: input_cap,
+            pull_up_r_kohm: r_up,
+            pull_down_r_kohm: r_down,
+            intrinsic_ps: intrinsic,
+            output_cap_ff: output_cap,
+            leakage_ua: leakage,
+            sequential,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_layout::TechRules;
+
+    fn library() -> TimingLibrary {
+        let cells = CellLibrary::new(TechRules::n90()).expect("cells");
+        TimingLibrary::characterize(&cells, ProcessParams::n90()).expect("characterize")
+    }
+
+    #[test]
+    fn characterizes_every_cell() {
+        let lib = library();
+        for kind in GateKind::ALL {
+            for drive in Drive::ALL {
+                let t = lib.drawn_timing(kind, drive);
+                assert!(t.input_cap_ff > 0.1 && t.input_cap_ff < 50.0, "{kind}{drive} cap");
+                assert!(t.pull_down_r_kohm > 0.1 && t.pull_down_r_kohm < 100.0);
+                assert!(t.intrinsic_ps > 0.0);
+                assert!(t.leakage_ua > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn higher_drive_means_lower_resistance() {
+        let lib = library();
+        for kind in GateKind::ALL {
+            let x1 = lib.drawn_timing(kind, Drive::X1);
+            let x4 = lib.drawn_timing(kind, Drive::X4);
+            assert!(
+                x4.pull_down_r_kohm < 0.5 * x1.pull_down_r_kohm,
+                "{kind}: X4 {} vs X1 {}",
+                x4.pull_down_r_kohm,
+                x1.pull_down_r_kohm
+            );
+        }
+    }
+
+    #[test]
+    fn stacks_raise_resistance() {
+        let lib = library();
+        let inv = lib.drawn_timing(GateKind::Inv, Drive::X1);
+        let nand3 = lib.drawn_timing(GateKind::Nand3, Drive::X1);
+        assert!(nand3.pull_down_r_kohm > 2.0 * inv.pull_down_r_kohm);
+        let nor2 = lib.drawn_timing(GateKind::Nor2, Drive::X1);
+        assert!(nor2.pull_up_r_kohm > 1.5 * inv.pull_up_r_kohm);
+    }
+
+    #[test]
+    fn shorter_annotated_length_speeds_up_and_leaks_more() {
+        let lib = library();
+        let drawn = lib.drawn_timing(GateKind::Inv, Drive::X1);
+        let mut records = lib.drawn_transistors(GateKind::Inv, Drive::X1).to_vec();
+        for r in &mut records {
+            r.l_delay_nm = 84.0;
+            r.l_leakage_nm = 84.0;
+        }
+        let annotated = lib
+            .annotated_timing(GateKind::Inv, &records)
+            .expect("annotate");
+        assert!(annotated.pull_down_r_kohm < drawn.pull_down_r_kohm);
+        assert!(annotated.leakage_ua > 1.5 * drawn.leakage_ua);
+    }
+
+    #[test]
+    fn fo4_delay_is_physically_plausible() {
+        let lib = library();
+        let inv = lib.drawn_timing(GateKind::Inv, Drive::X1);
+        let fo4 = inv.intrinsic_ps + inv.drive_r_kohm() * 4.0 * inv.input_cap_ff;
+        // 90 nm FO4 is ~25-45 ps in silicon; our abstraction should land
+        // within a loose factor.
+        assert!((5.0..120.0).contains(&fo4), "FO4 = {fo4} ps");
+    }
+
+    #[test]
+    fn pmos_weakness_shows_in_pull_up() {
+        let lib = library();
+        let inv = lib.drawn_timing(GateKind::Inv, Drive::X1);
+        assert!(inv.pull_up_r_kohm > inv.pull_down_r_kohm);
+    }
+}

@@ -1,0 +1,206 @@
+//! K-worst path enumeration.
+//!
+//! [`crate::TimingReport::top_paths`] reports the single worst path per
+//! endpoint — the paper's "speed path" definition. Signoff flows also
+//! enumerate the K worst *distinct* paths (several may share an
+//! endpoint); this module implements that with the classic backward
+//! branch-and-bound over the timing graph.
+
+use crate::graph::{TimingPath, TimingReport};
+use postopc_layout::{Design, GateId, NetId};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+/// A partial backtrace: a suffix of gates from `net` to the endpoint.
+struct Partial {
+    /// Worst possible arrival of any completion of this suffix, in ps.
+    arrival_bound: f64,
+    net: NetId,
+    endpoint: NetId,
+    suffix_delay: f64,
+    /// Gates from `net`'s driver (exclusive) to the endpoint, in reverse.
+    gates_rev: Vec<GateId>,
+}
+
+impl PartialEq for Partial {
+    fn eq(&self, other: &Self) -> bool {
+        self.arrival_bound == other.arrival_bound
+    }
+}
+impl Eq for Partial {}
+impl PartialOrd for Partial {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Partial {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap on the arrival bound (worst first).
+        self.arrival_bound
+            .partial_cmp(&other.arrival_bound)
+            .expect("finite arrival bounds")
+    }
+}
+
+/// Enumerates the `k` worst distinct paths of the design under `report`,
+/// in non-increasing arrival order.
+///
+/// Unlike [`TimingReport::top_paths`], several returned paths may share an
+/// endpoint (a second-worst branch through a different side input). Paths
+/// are exact: each is a connected driver chain from a primary input to an
+/// endpoint, and its reported arrival equals the sum of its gate delays.
+pub fn k_worst_paths(report: &TimingReport, design: &Design, k: usize) -> Vec<TimingPath> {
+    let netlist = design.netlist();
+    // Driver lookup built once (Netlist::driver is a linear scan).
+    let driver: HashMap<NetId, GateId> = netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(i, g)| (g.output, GateId(i as u32)))
+        .collect();
+    // Seed from every endpoint (primary outputs and register D pins).
+    let mut heap: BinaryHeap<Partial> = report
+        .endpoint_slacks()
+        .iter()
+        .map(|&(endpoint, _)| Partial {
+            arrival_bound: report.arrival_ps(endpoint),
+            net: endpoint,
+            endpoint,
+            suffix_delay: 0.0,
+            gates_rev: Vec::new(),
+        })
+        .collect();
+    let mut paths = Vec::with_capacity(k);
+    // Each pop branches into at most max-arity partials; the heap stays
+    // small because we stop after k complete paths.
+    while let Some(partial) = heap.pop() {
+        if paths.len() >= k {
+            break;
+        }
+        match driver.get(&partial.net) {
+            None => {
+                // Reached a primary input: the suffix is a complete path.
+                let mut gates = partial.gates_rev.clone();
+                gates.reverse();
+                paths.push(TimingPath {
+                    endpoint: partial.endpoint,
+                    arrival_ps: partial.arrival_bound,
+                    slack_ps: report.required_ps(partial.endpoint) - partial.arrival_bound,
+                    gates,
+                });
+            }
+            Some(&gate_id) if netlist.gate(gate_id).kind.is_sequential() => {
+                // The path launches at this register: complete it.
+                let mut gates = partial.gates_rev.clone();
+                gates.push(gate_id);
+                gates.reverse();
+                paths.push(TimingPath {
+                    endpoint: partial.endpoint,
+                    arrival_ps: report.arrival_ps(partial.net) + partial.suffix_delay,
+                    slack_ps: report.required_ps(partial.endpoint)
+                        - (report.arrival_ps(partial.net) + partial.suffix_delay),
+                    gates,
+                });
+            }
+            Some(&gate_id) => {
+                let gate = netlist.gate(gate_id);
+                let delay = report.gate_delay_ps(gate_id);
+                // Branch once per distinct *driver gate*: paths are gate
+                // chains, so inputs sharing a driver (or several primary
+                // inputs, which all arrive at 0) are the same path.
+                let mut seen: Vec<Option<GateId>> = Vec::with_capacity(gate.inputs.len());
+                for &input in &gate.inputs {
+                    let upstream = driver.get(&input).copied();
+                    if seen.contains(&upstream) {
+                        continue;
+                    }
+                    seen.push(upstream);
+                    let mut gates_rev = partial.gates_rev.clone();
+                    gates_rev.push(gate_id);
+                    heap.push(Partial {
+                        arrival_bound: report.arrival_ps(input) + delay + partial.suffix_delay,
+                        net: input,
+                        endpoint: partial.endpoint,
+                        suffix_delay: partial.suffix_delay + delay,
+                        gates_rev,
+                    });
+                }
+            }
+        }
+    }
+    paths
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_device::ProcessParams;
+    use postopc_layout::{generate, TechRules};
+    use crate::graph::TimingModel;
+
+    fn analyzed() -> (Design, TimingReport) {
+        let design = Design::compile(
+            generate::ripple_carry_adder(3).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let model = TimingModel::new(&design, ProcessParams::n90(), 800.0).expect("model");
+        let report = model.analyze(None).expect("analysis");
+        (design, report)
+    }
+
+    #[test]
+    fn paths_are_sorted_and_exact() {
+        let (design, report) = analyzed();
+        let paths = k_worst_paths(&report, &design, 12);
+        assert_eq!(paths.len(), 12);
+        for pair in paths.windows(2) {
+            assert!(pair[0].arrival_ps >= pair[1].arrival_ps - 1e-9);
+        }
+        for p in &paths {
+            let sum: f64 = p.gates.iter().map(|&g| report.gate_delay_ps(g)).sum();
+            assert!(
+                (sum - p.arrival_ps).abs() < 1e-6,
+                "path arrival {} != gate-delay sum {}",
+                p.arrival_ps,
+                sum
+            );
+        }
+    }
+
+    #[test]
+    fn worst_path_matches_per_endpoint_tracer() {
+        let (design, report) = analyzed();
+        let k_paths = k_worst_paths(&report, &design, 1);
+        let endpoint_paths = report.top_paths(&design, 1);
+        assert!((k_paths[0].arrival_ps - endpoint_paths[0].arrival_ps).abs() < 1e-9);
+        assert_eq!(k_paths[0].endpoint, endpoint_paths[0].endpoint);
+    }
+
+    #[test]
+    fn enumeration_is_distinct_and_connected() {
+        let (design, report) = analyzed();
+        let paths = k_worst_paths(&report, &design, 20);
+        let netlist = design.netlist();
+        let mut seen: std::collections::HashSet<Vec<GateId>> = std::collections::HashSet::new();
+        for p in &paths {
+            assert!(seen.insert(p.gates.clone()), "duplicate path enumerated");
+            for pair in p.gates.windows(2) {
+                let out = netlist.gate(pair[0]).output;
+                assert!(netlist.gate(pair[1]).inputs.contains(&out));
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_can_repeat_in_k_worst() {
+        let (design, report) = analyzed();
+        let paths = k_worst_paths(&report, &design, 30);
+        let endpoints: std::collections::HashSet<NetId> =
+            paths.iter().map(|p| p.endpoint).collect();
+        assert!(
+            endpoints.len() < paths.len(),
+            "expected several distinct paths through the worst endpoints"
+        );
+    }
+}

@@ -1,0 +1,273 @@
+//! Monte Carlo statistical timing.
+//!
+//! Experiment T6's engine: sample per-gate channel lengths either around
+//! the *drawn* value (the traditional assumption) or around *extracted*
+//! post-OPC values (the paper's proposal), run full STA per sample, and
+//! compare the resulting worst-slack distributions against the corner
+//! bound.
+
+use crate::annotate::{CdAnnotation, GateAnnotation};
+use crate::error::{Result, StaError};
+use crate::graph::TimingModel;
+use postopc_layout::GateId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Monte Carlo configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloConfig {
+    /// Number of samples.
+    pub samples: usize,
+    /// Standard deviation of the random per-gate CD residual, in nm.
+    pub sigma_nm: f64,
+    /// RNG seed (runs are deterministic given the config).
+    pub seed: u64,
+}
+
+impl Default for MonteCarloConfig {
+    fn default() -> Self {
+        MonteCarloConfig {
+            samples: 500,
+            sigma_nm: 2.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Distribution summary of a Monte Carlo run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MonteCarloResult {
+    /// Worst slack of each sample, in ps.
+    pub worst_slacks_ps: Vec<f64>,
+    /// Critical delay of each sample, in ps.
+    pub critical_delays_ps: Vec<f64>,
+    /// Total leakage of each sample, in µA.
+    pub leakages_ua: Vec<f64>,
+}
+
+impl MonteCarloResult {
+    /// Mean of the worst-slack distribution, in ps.
+    pub fn mean_worst_slack_ps(&self) -> f64 {
+        mean(&self.worst_slacks_ps)
+    }
+
+    /// Standard deviation of the worst-slack distribution, in ps.
+    pub fn std_worst_slack_ps(&self) -> f64 {
+        std(&self.worst_slacks_ps)
+    }
+
+    /// The `q`-quantile (0..=1) of the worst-slack distribution, in ps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty (configs with `samples == 0` are
+    /// rejected up front).
+    pub fn worst_slack_quantile_ps(&self, q: f64) -> f64 {
+        let mut sorted = self.worst_slacks_ps.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite slacks"));
+        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        sorted[idx]
+    }
+
+    /// Mean critical delay, in ps.
+    pub fn mean_critical_delay_ps(&self) -> f64 {
+        mean(&self.critical_delays_ps)
+    }
+
+    /// Mean leakage, in µA.
+    pub fn mean_leakage_ua(&self) -> f64 {
+        mean(&self.leakages_ua)
+    }
+}
+
+fn mean(v: &[f64]) -> f64 {
+    v.iter().sum::<f64>() / v.len().max(1) as f64
+}
+
+fn std(v: &[f64]) -> f64 {
+    let m = mean(v);
+    (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len().max(1) as f64).sqrt()
+}
+
+/// Runs Monte Carlo timing.
+///
+/// Per-gate channel lengths are sampled as
+/// `L = base(gate) + N(0, sigma_nm)`, where `base` comes from
+/// `systematic` (the extracted annotation) or the drawn dimensions when
+/// `systematic` is `None`. The same random shift is applied to all fingers
+/// of one gate (intra-gate variation is already captured by slice
+/// extraction).
+///
+/// # Errors
+///
+/// Returns [`StaError::InvalidMonteCarlo`] for zero samples or a negative
+/// sigma; propagates analysis errors.
+pub fn run(
+    model: &TimingModel<'_>,
+    systematic: Option<&CdAnnotation>,
+    config: &MonteCarloConfig,
+) -> Result<MonteCarloResult> {
+    if config.samples == 0 {
+        return Err(StaError::InvalidMonteCarlo("samples must be > 0".into()));
+    }
+    if !(config.sigma_nm.is_finite() && config.sigma_nm >= 0.0) {
+        return Err(StaError::InvalidMonteCarlo(format!(
+            "sigma must be finite and non-negative, got {}",
+            config.sigma_nm
+        )));
+    }
+    let netlist = model.design().netlist();
+    // Base (systematic) records per gate.
+    let bases: Vec<Vec<crate::annotate::TransistorCd>> = netlist
+        .gates()
+        .iter()
+        .enumerate()
+        .map(|(gi, gate)| {
+            match systematic.and_then(|a| a.gate(GateId(gi as u32))) {
+                Some(ann) => ann.transistors.clone(),
+                None => model.library().drawn_transistors(gate.kind, gate.drive).to_vec(),
+            }
+        })
+        .collect();
+
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut result = MonteCarloResult {
+        worst_slacks_ps: Vec::with_capacity(config.samples),
+        critical_delays_ps: Vec::with_capacity(config.samples),
+        leakages_ua: Vec::with_capacity(config.samples),
+    };
+    for _ in 0..config.samples {
+        let mut ann = CdAnnotation::new();
+        for (gi, base) in bases.iter().enumerate() {
+            let shift = normal(&mut rng) * config.sigma_nm;
+            let mut records = base.clone();
+            for r in &mut records {
+                r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
+                r.l_leakage_nm = (r.l_leakage_nm + shift).max(1.0);
+            }
+            ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+        }
+        let report = model.analyze(Some(&ann))?;
+        result.worst_slacks_ps.push(report.worst_slack_ps());
+        result.critical_delays_ps.push(report.critical_delay_ps());
+        result.leakages_ua.push(report.leakage_ua());
+    }
+    Ok(result)
+}
+
+/// Standard normal sample (Box–Muller).
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_device::ProcessParams;
+    use postopc_layout::{generate, Design, TechRules};
+
+    fn design() -> Design {
+        Design::compile(
+            generate::ripple_carry_adder(2).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design")
+    }
+
+    #[test]
+    fn rejects_bad_config() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        assert!(run(&m, None, &MonteCarloConfig { samples: 0, ..Default::default() }).is_err());
+        assert!(run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                sigma_nm: -1.0,
+                ..Default::default()
+            }
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let cfg = MonteCarloConfig {
+            samples: 20,
+            sigma_nm: 2.0,
+            seed: 42,
+        };
+        let a = run(&m, None, &cfg).expect("mc");
+        let b = run(&m, None, &cfg).expect("mc");
+        assert_eq!(a.worst_slacks_ps, b.worst_slacks_ps);
+    }
+
+    #[test]
+    fn zero_sigma_collapses_to_nominal() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let cfg = MonteCarloConfig {
+            samples: 5,
+            sigma_nm: 0.0,
+            seed: 1,
+        };
+        let mc = run(&m, None, &cfg).expect("mc");
+        let nominal = m.analyze(None).expect("nominal");
+        for &s in &mc.worst_slacks_ps {
+            assert!((s - nominal.worst_slack_ps()).abs() < 1e-9);
+        }
+        assert!(mc.std_worst_slack_ps() < 1e-12);
+    }
+
+    #[test]
+    fn variance_grows_with_sigma() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let small = run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                samples: 60,
+                sigma_nm: 1.0,
+                seed: 3,
+            },
+        )
+        .expect("mc");
+        let large = run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                samples: 60,
+                sigma_nm: 4.0,
+                seed: 3,
+            },
+        )
+        .expect("mc");
+        assert!(large.std_worst_slack_ps() > 2.0 * small.std_worst_slack_ps());
+    }
+
+    #[test]
+    fn quantiles_are_ordered() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let mc = run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                samples: 100,
+                sigma_nm: 2.0,
+                seed: 9,
+            },
+        )
+        .expect("mc");
+        let q01 = mc.worst_slack_quantile_ps(0.01);
+        let q50 = mc.worst_slack_quantile_ps(0.5);
+        let q99 = mc.worst_slack_quantile_ps(0.99);
+        assert!(q01 <= q50 && q50 <= q99);
+        assert!((q50 - mc.mean_worst_slack_ps()).abs() < 3.0 * mc.std_worst_slack_ps() + 1e-9);
+    }
+}

@@ -1,0 +1,116 @@
+//! Property-based tests for timing-graph invariants.
+
+use postopc_device::ProcessParams;
+use postopc_layout::{generate, Design, GateId, NetId, TechRules};
+use postopc_sta::{CdAnnotation, GateAnnotation, TimingModel};
+use proptest::prelude::*;
+
+fn random_design(gates: usize, seed: u64) -> Design {
+    Design::compile(
+        generate::random_logic(&generate::RandomLogicSpec {
+            gates,
+            inputs: 8,
+            depth_bias: 1.5,
+            seed,
+        })
+        .expect("netlist"),
+        TechRules::n90(),
+    )
+    .expect("design")
+}
+
+fn uniform_annotation(design: &Design, model: &TimingModel<'_>, delta: f64) -> CdAnnotation {
+    let mut ann = CdAnnotation::new();
+    for (gi, g) in design.netlist().gates().iter().enumerate() {
+        let mut records = model.library().drawn_transistors(g.kind, g.drive).to_vec();
+        for r in &mut records {
+            r.l_delay_nm = (r.l_delay_nm + delta).max(40.0);
+            r.l_leakage_nm = (r.l_leakage_nm + delta).max(40.0);
+        }
+        ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+    }
+    ann
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn arrivals_respect_causality(seed in 0u64..50) {
+        let design = random_design(60, seed);
+        let model = TimingModel::new(&design, ProcessParams::n90(), 1000.0).expect("model");
+        let report = model.analyze(None).expect("analysis");
+        // Every gate's output arrives at least one gate delay after its
+        // latest input.
+        for (gi, gate) in design.netlist().gates().iter().enumerate() {
+            let worst_in = gate
+                .inputs
+                .iter()
+                .map(|n| report.arrival_ps(*n))
+                .fold(0.0f64, f64::max);
+            let out = report.arrival_ps(gate.output);
+            let delay = report.gate_delay_ps(GateId(gi as u32));
+            prop_assert!(delay > 0.0);
+            prop_assert!((out - (worst_in + delay)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn slack_consistency(seed in 0u64..50, clock in 300.0f64..3000.0) {
+        let design = random_design(50, seed);
+        let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
+        let report = model.analyze(None).expect("analysis");
+        // Worst slack equals the most critical endpoint slack and matches
+        // clock - critical delay.
+        let (_, worst) = report.endpoint_slacks()[0];
+        prop_assert!((worst - report.worst_slack_ps()).abs() < 1e-9);
+        prop_assert!((report.critical_delay_ps() - (clock - worst)).abs() < 1e-9);
+        // Endpoint slacks are sorted ascending.
+        for pair in report.endpoint_slacks().windows(2) {
+            prop_assert!(pair[0].1 <= pair[1].1);
+        }
+        // Required times never precede arrivals on critical endpoints by
+        // more than slack says.
+        for &(net, slack) in report.endpoint_slacks() {
+            prop_assert!((report.slack_ps(net) - slack).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn uniform_cd_shift_moves_all_endpoints_one_way(seed in 0u64..30, delta in 1.0f64..8.0) {
+        let design = random_design(40, seed);
+        let model = TimingModel::new(&design, ProcessParams::n90(), 1000.0).expect("model");
+        let drawn = model.analyze(None).expect("analysis");
+        let slower = model
+            .analyze(Some(&uniform_annotation(&design, &model, delta)))
+            .expect("analysis");
+        let faster = model
+            .analyze(Some(&uniform_annotation(&design, &model, -delta)))
+            .expect("analysis");
+        for (ni, _) in design.netlist().nets().iter().enumerate() {
+            let net = NetId(ni as u32);
+            prop_assert!(slower.arrival_ps(net) >= drawn.arrival_ps(net) - 1e-9);
+            prop_assert!(faster.arrival_ps(net) <= drawn.arrival_ps(net) + 1e-9);
+        }
+        prop_assert!(faster.leakage_ua() > drawn.leakage_ua());
+        prop_assert!(slower.leakage_ua() < drawn.leakage_ua());
+    }
+
+    #[test]
+    fn paths_trace_worst_arrival_chains(seed in 0u64..30) {
+        let design = random_design(50, seed);
+        let model = TimingModel::new(&design, ProcessParams::n90(), 1000.0).expect("model");
+        let report = model.analyze(None).expect("analysis");
+        for path in report.top_paths(&design, 5) {
+            // The path arrival equals the endpoint arrival, and the sum of
+            // gate delays along the path equals it too (PI arrivals are 0).
+            let sum: f64 = path.gates.iter().map(|&g| report.gate_delay_ps(g)).sum();
+            prop_assert!(
+                (sum - path.arrival_ps).abs() < 1e-6,
+                "path gate-delay sum {} != endpoint arrival {}",
+                sum,
+                path.arrival_ps
+            );
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Hotspot triage: verify a layout block post-OPC, cluster the surviving
+//! hotspots by geometric pattern, and report the triage list a fab would
+//! work from (companion-paper methodology; see `postopc_opc::hotspots`).
+//!
+//! ```bash
+//! cargo run --release --example hotspot_triage
+//! ```
+
+use postopc_geom::Polygon;
+use postopc_layout::{generate, Design, Layer, TechRules};
+use postopc_litho::{ResistModel, SimulationSpec};
+use postopc_opc::{hotspots, orc, rules, HotspotConfig, OrcConfig, RuleOpcConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let design = Design::compile(generate::ripple_carry_adder(2)?, TechRules::n90())?;
+    let shapes: Vec<Polygon> = design.shapes_on(Layer::Poly).to_vec();
+    println!("verifying {} poly shapes with rule-OPC masks...", shapes.len());
+
+    // Rule-correct the whole block and verify it (rule OPC leaves real
+    // residuals at line ends — those become our hotspots).
+    let corrected = rules::correct(&RuleOpcConfig::standard(), &shapes, &[])?;
+    let window = design.die().expand(200)?;
+    let mut orc_cfg = OrcConfig::standard();
+    orc_cfg.epe_limit = 6.0; // tighten so rule-OPC residuals violate
+    let report = orc::verify(
+        &orc_cfg,
+        &SimulationSpec::nominal(),
+        &ResistModel::standard(),
+        &shapes,
+        &corrected.corrected,
+        &[],
+        window,
+    )?;
+    println!(
+        "ORC: rms EPE {:.2} nm, max |EPE| {:.2} nm, {} hotspots",
+        report.rms_epe,
+        report.max_abs_epe,
+        report.hotspots.len()
+    );
+
+    // Capture snippets and cluster them.
+    let cfg = HotspotConfig::standard();
+    let snippets = report
+        .hotspots
+        .iter()
+        .map(|&h| hotspots::HotspotSnippet::capture(&cfg, h, &shapes))
+        .collect::<Result<Vec<_>, _>>()?;
+    let clusters = hotspots::cluster_hotspots(&cfg, snippets);
+    println!(
+        "{} hotspots fall into {} pattern clusters:",
+        report.hotspots.len(),
+        clusters.len()
+    );
+    for (i, cluster) in clusters.iter().enumerate().take(8) {
+        println!(
+            "  cluster {}: {} occurrences, pattern density {:.2}, first at ({:.0}, {:.0}) nm",
+            i + 1,
+            cluster.members.len(),
+            cluster.representative.density(),
+            cluster.representative.hotspot.x_nm,
+            cluster.representative.hotspot.y_nm,
+        );
+    }
+    if let Some(top) = clusters.first() {
+        println!(
+            "triage: fixing the top cluster's pattern addresses {:.0}% of all hotspots",
+            100.0 * top.members.len() as f64 / report.hotspots.len().max(1) as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,171 @@
+//! Cross-crate integration: litho + OPC + extraction against real cell
+//! geometry, and device/STA consistency of the annotation path.
+
+use postopc_cdex::{extract_gate, MeasureConfig};
+use postopc_device::{Mosfet, ProcessParams, SlicedGate};
+use postopc_geom::Polygon;
+use postopc_layout::{generate, CellLibrary, Design, Drive, GateKind, Layer, TechRules};
+use postopc_litho::{AerialImage, ResistModel, SimulationSpec};
+use postopc_opc::{model, orc, ModelOpcConfig, OrcConfig};
+use postopc_sta::{TimingLibrary, TimingModel};
+
+#[test]
+fn cell_poly_survives_opc_and_prints() {
+    // Every cell in the library must be correctable and printable: no
+    // pinches at nominal conditions after model OPC.
+    let lib = CellLibrary::new(TechRules::n90()).expect("library");
+    let sim = SimulationSpec::nominal();
+    let resist = ResistModel::standard();
+    for kind in [GateKind::Inv, GateKind::Nand2, GateKind::Nor2] {
+        let cell = lib.cell(kind, Drive::X1);
+        let targets: Vec<Polygon> = cell.shapes_on(Layer::Poly).cloned().collect();
+        let window = cell.bbox().expand(150).expect("window");
+        let cfg = ModelOpcConfig {
+            iterations: 4,
+            ..ModelOpcConfig::standard()
+        };
+        let corrected = model::correct(&cfg, &targets, &[], window).expect("opc");
+        let report = orc::verify(
+            &OrcConfig::standard(),
+            &sim,
+            &resist,
+            &targets,
+            &corrected.corrected,
+            &[],
+            window,
+        )
+        .expect("orc");
+        let pinches = report
+            .hotspots
+            .iter()
+            .filter(|h| h.kind == postopc_opc::HotspotKind::Pinch)
+            .count();
+        assert_eq!(pinches, 0, "{kind} pinches after model OPC");
+        assert!(
+            report.rms_epe < 6.0,
+            "{kind} post-OPC rms EPE {:.2} nm too large",
+            report.rms_epe
+        );
+    }
+}
+
+#[test]
+fn extracted_equivalent_matches_device_model_currents() {
+    // Extraction and the device crate must agree: the equivalent gate's
+    // rectangular device reproduces the slice ensemble's currents.
+    let design = Design::compile(
+        generate::inverter_chain(4).expect("netlist"),
+        TechRules::n90(),
+    )
+    .expect("design");
+    let process = ProcessParams::n90();
+    let site = design.transistor_sites()[2];
+    let window = site.channel.expand(300).expect("window");
+    let mask: Vec<Polygon> = design
+        .shapes_in_window(Layer::Poly, window.expand(420).expect("ambit"))
+        .into_iter()
+        .cloned()
+        .collect();
+    let image =
+        AerialImage::simulate(&SimulationSpec::nominal(), &mask, window).expect("image");
+    let extracted = extract_gate(
+        &MeasureConfig::standard(),
+        &process,
+        &image,
+        &ResistModel::standard(),
+        &site,
+    )
+    .expect("extraction");
+    let sliced = SlicedGate::new(site.kind, extracted.slices.clone()).expect("gate");
+    let eq_device = Mosfet::new(
+        site.kind,
+        extracted.equivalent.w_nm,
+        extracted.equivalent.l_delay_nm,
+    )
+    .expect("device");
+    let i_slices = sliced.i_on(&process).expect("current");
+    let i_eq = eq_device.i_on(&process);
+    assert!(
+        (i_slices - i_eq).abs() / i_slices < 1e-3,
+        "equivalent device current mismatch: {i_slices} vs {i_eq}"
+    );
+}
+
+#[test]
+fn timing_library_matches_cell_geometry() {
+    // The STA library's electrical view must be derived from the same
+    // transistors the layout declares.
+    let cells = CellLibrary::new(TechRules::n90()).expect("cells");
+    let lib = TimingLibrary::characterize(&cells, ProcessParams::n90()).expect("library");
+    for kind in GateKind::ALL {
+        for drive in Drive::ALL {
+            let records = lib.drawn_transistors(kind, drive);
+            let cell = cells.cell(kind, drive);
+            assert_eq!(records.len(), cell.transistors().len());
+            for (r, t) in records.iter().zip(cell.transistors()) {
+                assert_eq!(r.kind, t.kind);
+                assert_eq!(r.width_nm, t.width_nm);
+                assert_eq!(r.l_delay_nm, t.length_nm);
+                assert_eq!(r.input_pin, t.input_pin);
+            }
+        }
+    }
+}
+
+#[test]
+fn sta_delay_scales_with_extracted_length_direction() {
+    // Cross-check sign conventions end to end: longer extracted channels
+    // must slow the design down, shorter must speed it up.
+    use postopc_layout::GateId;
+    use postopc_sta::{CdAnnotation, GateAnnotation};
+    let design = Design::compile(
+        generate::inverter_chain(10).expect("netlist"),
+        TechRules::n90(),
+    )
+    .expect("design");
+    let model = TimingModel::new(&design, ProcessParams::n90(), 1000.0).expect("model");
+    let drawn = model.analyze(None).expect("drawn");
+    let shifted = |delta: f64| {
+        let mut ann = CdAnnotation::new();
+        for (gi, g) in design.netlist().gates().iter().enumerate() {
+            let mut records = model.library().drawn_transistors(g.kind, g.drive).to_vec();
+            for r in &mut records {
+                r.l_delay_nm += delta;
+                r.l_leakage_nm += delta;
+            }
+            ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+        }
+        model.analyze(Some(&ann)).expect("annotated")
+    };
+    let long = shifted(6.0);
+    let short = shifted(-6.0);
+    assert!(long.critical_delay_ps() > drawn.critical_delay_ps());
+    assert!(short.critical_delay_ps() < drawn.critical_delay_ps());
+    assert!(short.leakage_ua() > drawn.leakage_ua());
+    assert!(long.leakage_ua() < drawn.leakage_ua());
+}
+
+#[test]
+fn geometry_round_trip_through_placement_transforms() {
+    // Flattened chip shapes must cover exactly the transistor channels
+    // the cross-reference reports, for every orientation the placer uses.
+    let design = Design::compile(
+        generate::ripple_carry_adder(3).expect("netlist"),
+        TechRules::n90(),
+    )
+    .expect("design");
+    for site in design.transistor_sites() {
+        let hits = design.shapes_in_window(Layer::Poly, site.channel);
+        assert!(
+            hits.iter().any(|p| p.contains(site.channel.center())),
+            "no poly polygon contains channel center {}",
+            site.channel.center()
+        );
+        let active_hits = design.shapes_in_window(Layer::Active, site.channel);
+        assert!(
+            active_hits.iter().any(|p| p.contains(site.channel.center())),
+            "no active under channel at {}",
+            site.channel.center()
+        );
+    }
+}
