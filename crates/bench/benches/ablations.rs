@@ -1,19 +1,21 @@
 //! Ablation benches for the design choices called out in DESIGN.md:
 //! kernel stack vs single Gaussian, and slice-based equivalent length vs
 //! single mid-gate CD.
+//!
+//! Uses the in-tree timing harness (`postopc_bench::timing`); criterion is
+//! not available offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use postopc_bench::timing::{bench, render_bench_table};
 use postopc_device::{GateSlice, MosKind, Mosfet, ProcessParams, SlicedGate};
 use postopc_geom::{Polygon, Rect};
 use postopc_litho::{AerialImage, KernelMode, SimulationSpec};
 
-fn bench_kernel_stack(c: &mut Criterion) {
+fn main() {
     let mask: Vec<Polygon> = (0..5)
         .map(|i| Polygon::from(Rect::new(i * 280, -600, i * 280 + 90, 600).expect("rect")))
         .collect();
     let window = Rect::new(-300, -700, 1500, 700).expect("rect");
-    let mut group = c.benchmark_group("imaging");
-    group.sample_size(10);
+    let mut imaging = Vec::new();
     for (name, mode) in [
         ("center_surround", KernelMode::CenterSurround),
         ("single_gaussian", KernelMode::SingleGaussian),
@@ -22,14 +24,13 @@ fn bench_kernel_stack(c: &mut Criterion) {
             kernel_mode: mode,
             ..SimulationSpec::nominal()
         };
-        group.bench_function(name, |b| {
-            b.iter(|| AerialImage::simulate(&spec, std::hint::black_box(&mask), window).expect("image"));
+        let stats = bench(10, || {
+            AerialImage::simulate(&spec, std::hint::black_box(&mask), window).expect("image")
         });
+        imaging.push((name.to_string(), stats));
     }
-    group.finish();
-}
+    print!("{}", render_bench_table("imaging", &imaging));
 
-fn bench_equivalent_length(c: &mut Criterion) {
     let process = ProcessParams::n90();
     let slices: Vec<GateSlice> = (0..8)
         .map(|i| GateSlice {
@@ -38,19 +39,22 @@ fn bench_equivalent_length(c: &mut Criterion) {
         })
         .collect();
     let gate = SlicedGate::new(MosKind::Nmos, slices).expect("gate");
-    let mut group = c.benchmark_group("equivalent_length");
-    group.bench_function("slice_bisection", |b| {
-        b.iter(|| gate.equivalent(std::hint::black_box(&process)).expect("converges"));
-    });
-    group.bench_function("mid_cd_single_eval", |b| {
-        b.iter(|| {
-            Mosfet::new(MosKind::Nmos, 420.0, std::hint::black_box(89.5))
-                .expect("device")
-                .i_on(&process)
-        });
-    });
-    group.finish();
+    let equivalent = vec![
+        (
+            "slice_bisection".to_string(),
+            bench(100, || {
+                gate.equivalent(std::hint::black_box(&process))
+                    .expect("converges")
+            }),
+        ),
+        (
+            "mid_cd_single_eval".to_string(),
+            bench(100, || {
+                Mosfet::new(MosKind::Nmos, 420.0, std::hint::black_box(89.5))
+                    .expect("device")
+                    .i_on(&process)
+            }),
+        ),
+    ];
+    print!("{}", render_bench_table("equivalent_length", &equivalent));
 }
-
-criterion_group!(benches, bench_kernel_stack, bench_equivalent_length);
-criterion_main!(benches);

@@ -1,34 +1,46 @@
 //! Benchmarks a focus-exposure-matrix sweep over an isolated line (the
-//! primitive behind experiment F5).
+//! primitive behind experiment F5), serial vs pooled.
+//!
+//! Uses the in-tree timing harness (`postopc_bench::timing`); criterion is
+//! not available offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use postopc_bench::timing::{bench, render_bench_table};
 use postopc_geom::{Polygon, Rect};
-use postopc_litho::{
-    cutline, AerialImage, FocusExposureMatrix, ResistModel, SimulationSpec,
-};
+use postopc_litho::{cutline, AerialImage, FocusExposureMatrix, ResistModel, SimulationSpec};
 
-fn bench_fem(c: &mut Criterion) {
+fn main() {
     let line = Polygon::from(Rect::new(-45, -600, 45, 600).expect("rect"));
     let window = Rect::new(-300, -300, 300, 300).expect("rect");
     let resist = ResistModel::standard();
-    let mut group = c.benchmark_group("fem");
-    group.sample_size(10);
-    group.bench_function("5x3_line_cd_sweep", |b| {
-        b.iter(|| {
-            FocusExposureMatrix::sweep(
-                vec![-150.0, -75.0, 0.0, 75.0, 150.0],
-                vec![0.94, 1.0, 1.06],
-                |conditions| {
-                    let spec = SimulationSpec::nominal().with_conditions(*conditions);
-                    let image = AerialImage::simulate(&spec, &[line.clone()], window)?;
-                    cutline::measure_cd(&image, &resist, (0.0, 0.0), (1.0, 0.0), 150.0)
-                },
-            )
-            .expect("sweep succeeds")
-        });
-    });
-    group.finish();
+    let measure = |conditions: &postopc_litho::ProcessConditions| {
+        let spec = SimulationSpec::nominal().with_conditions(*conditions);
+        let image = AerialImage::simulate(&spec, std::slice::from_ref(&line), window)?;
+        cutline::measure_cd(&image, &resist, (0.0, 0.0), (1.0, 0.0), 150.0)
+    };
+    let entries = vec![
+        (
+            "5x3_line_cd_sweep/serial".to_string(),
+            bench(10, || {
+                FocusExposureMatrix::sweep(
+                    vec![-150.0, -75.0, 0.0, 75.0, 150.0],
+                    vec![0.94, 1.0, 1.06],
+                    measure,
+                )
+                .expect("sweep succeeds")
+            }),
+        ),
+        (
+            "5x3_line_cd_sweep/pooled".to_string(),
+            bench(10, || {
+                FocusExposureMatrix::sweep_parallel(
+                    vec![-150.0, -75.0, 0.0, 75.0, 150.0],
+                    vec![0.94, 1.0, 1.06],
+                    None,
+                    measure,
+                )
+                .expect("sweep succeeds")
+            }),
+        ),
+    ];
+    print!("{}", render_bench_table("fem", &entries));
 }
-
-criterion_group!(benches, bench_fem);
-criterion_main!(benches);

@@ -1,42 +1,47 @@
 //! Benchmarks extraction scaling with design size (experiment T9) and the
-//! STA engine itself.
+//! STA engine itself — including the parallel/cached engine configurations
+//! the T9 table reports.
+//!
+//! Uses the in-tree timing harness (`postopc_bench::timing`); criterion is
+//! not available offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc_bench::timing::{bench, render_bench_table};
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, TechRules};
 use postopc_sta::TimingModel;
 
-fn bench_flow_scaling(c: &mut Criterion) {
-    let mut group = c.benchmark_group("extraction");
-    group.sample_size(10);
+fn main() {
+    let mut extraction = Vec::new();
     for gates in [4usize, 8, 16] {
         let design = Design::compile(
             generate::inverter_chain(gates).expect("netlist"),
             TechRules::n90(),
         )
         .expect("design");
-        let mut cfg = ExtractionConfig::standard();
-        cfg.opc_mode = OpcMode::Rule;
-        group.bench_with_input(BenchmarkId::new("rule_full", gates), &gates, |b, _| {
-            let tags = TagSet::all(&design);
-            b.iter(|| extract_gates(&design, &cfg, &tags).expect("extraction"));
-        });
+        let tags = TagSet::all(&design);
+        for (label, cache) in [("serial_nocache", false), ("cached", true)] {
+            let mut cfg = ExtractionConfig::standard();
+            cfg.opc_mode = OpcMode::Rule;
+            cfg.cache = cache;
+            cfg.threads = Some(1);
+            let stats = bench(5, || {
+                extract_gates(&design, &cfg, &tags).expect("extraction")
+            });
+            extraction.push((format!("rule_full/{gates}/{label}"), stats));
+        }
     }
-    group.finish();
+    print!("{}", render_bench_table("extraction", &extraction));
 
-    let mut sta = c.benchmark_group("sta");
     let design = Design::compile(
         generate::paper_testcase(11).expect("netlist"),
         TechRules::n90(),
     )
     .expect("design");
     let model = TimingModel::new(&design, ProcessParams::n90(), 1000.0).expect("model");
-    sta.bench_function("analyze_550_gates", |b| {
-        b.iter(|| model.analyze(None).expect("analysis"));
-    });
-    sta.finish();
+    let sta = vec![(
+        "analyze_550_gates".to_string(),
+        bench(10, || model.analyze(None).expect("analysis")),
+    )];
+    print!("{}", render_bench_table("sta", &sta));
 }
-
-criterion_group!(benches, bench_flow_scaling);
-criterion_main!(benches);

@@ -1,7 +1,10 @@
 //! Benchmarks the model-OPC feedback loop: cost per iteration count on a
 //! dense three-line pattern (backs experiment T1 and DESIGN ablation #3).
+//!
+//! Uses the in-tree timing harness (`postopc_bench::timing`); criterion is
+//! not available offline.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use postopc_bench::timing::{bench, render_bench_table};
 use postopc_geom::{Polygon, Rect};
 use postopc_opc::{model, ModelOpcConfig};
 
@@ -13,29 +16,20 @@ fn targets() -> Vec<Polygon> {
     ]
 }
 
-fn bench_opc_convergence(c: &mut Criterion) {
+fn main() {
     let window = Rect::new(-450, -450, 450, 450).expect("rect");
     let targets = targets();
-    let mut group = c.benchmark_group("model_opc");
-    group.sample_size(10);
+    let mut entries = Vec::new();
     for iterations in [1usize, 3, 6] {
-        group.bench_with_input(
-            BenchmarkId::new("iterations", iterations),
-            &iterations,
-            |b, &iters| {
-                let cfg = ModelOpcConfig {
-                    iterations: iters,
-                    ..ModelOpcConfig::standard()
-                };
-                b.iter(|| {
-                    model::correct(&cfg, std::hint::black_box(&targets), &[], window)
-                        .expect("opc converges")
-                });
-            },
-        );
+        let cfg = ModelOpcConfig {
+            iterations,
+            ..ModelOpcConfig::standard()
+        };
+        let stats = bench(10, || {
+            model::correct(&cfg, std::hint::black_box(&targets), &[], window)
+                .expect("opc converges")
+        });
+        entries.push((format!("iterations/{iterations}"), stats));
     }
-    group.finish();
+    print!("{}", render_bench_table("model_opc", &entries));
 }
-
-criterion_group!(benches, bench_opc_convergence);
-criterion_main!(benches);

@@ -1,7 +1,10 @@
 //! Benchmarks the selective-OPC cost asymmetry (experiment T7): rule-only
 //! vs selective vs model-everywhere on a small job.
+//!
+//! Uses the in-tree timing harness (`postopc_bench::timing`); criterion is
+//! not available offline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use postopc_bench::timing::{bench, render_bench_table};
 use postopc_geom::{Polygon, Rect};
 use postopc_opc::{model, rules, selective, ModelOpcConfig, RuleOpcConfig};
 
@@ -11,7 +14,7 @@ fn lines() -> Vec<Polygon> {
         .collect()
 }
 
-fn bench_selective(c: &mut Criterion) {
+fn main() {
     let window = Rect::new(-300, -450, 1200, 450).expect("rect");
     let all = lines();
     let model_cfg = ModelOpcConfig {
@@ -19,22 +22,26 @@ fn bench_selective(c: &mut Criterion) {
         ..ModelOpcConfig::standard()
     };
     let rule_cfg = RuleOpcConfig::standard();
-    let mut group = c.benchmark_group("selective_opc");
-    group.sample_size(10);
-    group.bench_function("rule_only", |b| {
-        b.iter(|| rules::correct(&rule_cfg, std::hint::black_box(&all), &[]).expect("rule"));
-    });
-    group.bench_function("selective_1_of_4", |b| {
-        b.iter(|| {
-            selective::correct(&model_cfg, &rule_cfg, &all[..1], &all[1..], &[], window)
-                .expect("selective")
-        });
-    });
-    group.bench_function("model_all_4", |b| {
-        b.iter(|| model::correct(&model_cfg, &all, &[], window).expect("model"));
-    });
-    group.finish();
+    let entries = vec![
+        (
+            "rule_only".to_string(),
+            bench(10, || {
+                rules::correct(&rule_cfg, std::hint::black_box(&all), &[]).expect("rule")
+            }),
+        ),
+        (
+            "selective_1_of_4".to_string(),
+            bench(10, || {
+                selective::correct(&model_cfg, &rule_cfg, &all[..1], &all[1..], &[], window)
+                    .expect("selective")
+            }),
+        ),
+        (
+            "model_all_4".to_string(),
+            bench(10, || {
+                model::correct(&model_cfg, &all, &[], window).expect("model")
+            }),
+        ),
+    ];
+    print!("{}", render_bench_table("selective_opc", &entries));
 }
-
-criterion_group!(benches, bench_selective);
-criterion_main!(benches);

@@ -12,11 +12,15 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let wanted: Vec<&str> = if args.is_empty() || args.iter().any(|a| a == "all") {
-        vec!["t1", "t2", "f3", "t4", "f5", "t6", "t7", "f8", "t9", "t10", "a1", "a2"]
+        vec![
+            "t1", "t2", "f3", "t4", "f5", "t6", "t7", "f8", "t9", "t10", "a1", "a2",
+        ]
     } else {
         args.iter().map(String::as_str).collect()
     };
-    let known = ["t1", "t2", "f3", "t4", "f5", "t6", "t7", "f8", "t9", "t10", "a1", "a2"];
+    let known = [
+        "t1", "t2", "f3", "t4", "f5", "t6", "t7", "f8", "t9", "t10", "a1", "a2",
+    ];
     for id in &wanted {
         if !known.contains(id) {
             eprintln!("unknown experiment {id}; known: {known:?}");

@@ -11,17 +11,17 @@ use postopc_cdex::CdStatistics;
 use postopc_device::ProcessParams;
 use postopc_layout::{Design, NetId};
 use postopc_litho::ProcessConditions;
-use postopc_sta::{
-    analyze_corner, statistical, Corner, MonteCarloConfig, TimingModel,
-};
+use postopc_sta::{analyze_corner, statistical, Corner, MonteCarloConfig, TimingModel};
 use std::time::Instant;
 
 /// A timing model with the clock set `margin` above the drawn critical
 /// delay (e.g. 0.1 = 10% slack margin at drawn timing).
 fn model_with_margin<'d>(design: &'d Design, margin: f64) -> TimingModel<'d> {
-    let probe = TimingModel::new(design, ProcessParams::n90(), 1_000_000.0)
-        .expect("probe model");
-    let drawn_delay = probe.analyze(None).expect("drawn timing").critical_delay_ps();
+    let probe = TimingModel::new(design, ProcessParams::n90(), 1_000_000.0).expect("probe model");
+    let drawn_delay = probe
+        .analyze(None)
+        .expect("drawn timing")
+        .critical_delay_ps();
     TimingModel::new(design, ProcessParams::n90(), drawn_delay * (1.0 + margin))
         .expect("timing model")
 }
@@ -108,7 +108,8 @@ pub fn t1() -> String {
 
     let none_report = verify(&targets, &context);
     let rule = rules::correct(&RuleOpcConfig::standard(), &targets, &context).expect("rule");
-    let rule_ctx = rules::correct(&RuleOpcConfig::standard(), &context, &targets).expect("rule ctx");
+    let rule_ctx =
+        rules::correct(&RuleOpcConfig::standard(), &context, &targets).expect("rule ctx");
     let rule_report = verify(&rule.corrected, &rule_ctx.corrected);
     let model_result = model::correct(
         &ModelOpcConfig::standard(),
@@ -136,7 +137,14 @@ pub fn t1() -> String {
     }
     let mut out = render_table(
         "T1a: full-contour residual EPE vs OPC recipe (NAND3 poly + context)",
-        &["opc", "fragments", "mean EPE (nm)", "rms EPE (nm)", "max |EPE| (nm)", "hotspots"],
+        &[
+            "opc",
+            "fragments",
+            "mean EPE (nm)",
+            "rms EPE (nm)",
+            "max |EPE| (nm)",
+            "hotspots",
+        ],
         &rows,
     );
     // Channel-CD view over a real placed block.
@@ -172,9 +180,7 @@ pub fn t1() -> String {
         model_report.rms_epe,
         rule_report.rms_epe,
         none_report.rms_epe,
-        if model_report.rms_epe < rule_report.rms_epe
-            && rule_report.rms_epe < none_report.rms_epe
-        {
+        if model_report.rms_epe < rule_report.rms_epe && rule_report.rms_epe < none_report.rms_epe {
             "HOLDS"
         } else {
             "VIOLATED"
@@ -200,8 +206,14 @@ pub fn t2() -> String {
     ]];
     let mut text = render_table(
         "T2: post-OPC delay-equivalent gate-CD distribution (150-gate block, drawn L = 90 nm)",
-        &["channels", "mean (nm)", "sigma (nm)", "min (nm)", "max (nm)"],
-        &rows.drain(..).collect::<Vec<_>>(),
+        &[
+            "channels",
+            "mean (nm)",
+            "sigma (nm)",
+            "min (nm)",
+            "max (nm)",
+        ],
+        &std::mem::take(&mut rows),
     );
     let hist_rows: Vec<Vec<String>> = hist
         .iter()
@@ -209,7 +221,7 @@ pub fn t2() -> String {
             vec![
                 format!("{center:.1}"),
                 format!("{count}"),
-                "#".repeat((count * 60 / stats.count.max(1)).max(usize::from(*&count > 0))),
+                "#".repeat((count * 60 / stats.count.max(1)).max(usize::from(count > 0))),
             ]
         })
         .collect();
@@ -239,7 +251,8 @@ pub fn f3_t4() -> (String, String) {
     let drawn = model.analyze(None).expect("drawn timing");
     // Tag generously so every candidate path is annotated.
     let tags = TagSet::from_critical_paths(&design, &drawn, 40);
-    let out = extract_gates(&design, &silicon_config(OpcMode::Rule, &design), &tags).expect("extraction");
+    let out =
+        extract_gates(&design, &silicon_config(OpcMode::Rule, &design), &tags).expect("extraction");
     let comparison =
         TimingComparison::compare(&model, &design, &out.annotation, 20).expect("comparison");
     let f3 = {
@@ -268,7 +281,10 @@ pub fn f3_t4() -> (String, String) {
             format!("{:.1}", comparison.drawn.worst_slack_ps()),
             format!("{:.1}", comparison.annotated.worst_slack_ps()),
             format!("{:.1}%", 100.0 * comparison.worst_slack_shift_fraction()),
-            format!("{:+.2}%", 100.0 * comparison.critical_delay_shift_fraction()),
+            format!(
+                "{:+.2}%",
+                100.0 * comparison.critical_delay_shift_fraction()
+            ),
             format!("{:+.1}%", 100.0 * comparison.leakage_shift_fraction()),
         ]];
         let mut text = render_table(
@@ -310,8 +326,7 @@ pub fn f5() -> String {
     for &dose in &dose_values {
         let mut row = vec![format!("{dose:.2}")];
         for &focus_nm in &focus_values {
-            let cfg = config(OpcMode::Rule)
-                .with_conditions(ProcessConditions { focus_nm, dose });
+            let cfg = config(OpcMode::Rule).with_conditions(ProcessConditions { focus_nm, dose });
             let out = extract_gates(&design, &cfg, &tags).expect("extraction");
             let report = model.analyze(Some(&out.annotation)).expect("timing");
             let delay = report.critical_delay_ps();
@@ -402,12 +417,14 @@ pub fn t6() -> String {
         &rows,
     );
     let pessimism = 100.0 * (ss.critical_delay_ps() - q99_delay) / q99_delay;
-    text.push_str(&format!(
-        "corner pessimism over MC q99: {pessimism:+.1}%\n"
-    ));
+    text.push_str(&format!("corner pessimism over MC q99: {pessimism:+.1}%\n"));
     text.push_str(&format!(
         "shape check: SS corner slower than MC 99th percentile -> {}\n",
-        if ss.critical_delay_ps() > q99_delay { "HOLDS" } else { "VIOLATED" }
+        if ss.critical_delay_ps() > q99_delay {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     ));
     text
 }
@@ -503,7 +520,9 @@ pub fn f8() -> String {
         &mut annotation,
     )
     .expect("wire extraction");
-    let multi = model.analyze(Some(&annotation)).expect("multi-layer timing");
+    let multi = model
+        .analyze(Some(&annotation))
+        .expect("multi-layer timing");
     let rows: Vec<Vec<String>> = poly_only
         .top_paths(&design, 5)
         .iter()
@@ -513,10 +532,7 @@ pub fn f8() -> String {
                 format!("{:.1}", drawn.arrival_ps(p.endpoint)),
                 format!("{:.1}", p.arrival_ps),
                 format!("{:.1}", multi.arrival_ps(p.endpoint)),
-                format!(
-                    "{:+.2}",
-                    multi.arrival_ps(p.endpoint) - p.arrival_ps
-                ),
+                format!("{:+.2}", multi.arrival_ps(p.endpoint) - p.arrival_ps),
             ]
         })
         .collect();
@@ -593,6 +609,135 @@ pub fn t9() -> String {
             "VIOLATED"
         }
     ));
+    text.push('\n');
+    text.push_str(&t9_engine());
+    text
+}
+
+/// The engine-scaling half of T9: baseline (serial, no dedup) vs the
+/// context cache vs cache + worker pool, on two dense (100% utilization)
+/// designs — a speed-path farm with per-chain shuffled stages (diverse
+/// contexts: the honest low end of dedup) and a uniform inverter farm
+/// (repeated identical contexts: what standard-cell regularity gives the
+/// extractor in practice).
+fn t9_engine() -> String {
+    use postopc_layout::PlacementOptions;
+    let dense = |netlist| {
+        Design::compile_with(
+            netlist,
+            postopc_layout::TechRules::n90(),
+            &PlacementOptions {
+                utilization: 1.0,
+                seed: 11,
+            },
+        )
+        .expect("design compiles")
+    };
+    let designs = [
+        (
+            "shuffled farm 20x24",
+            dense(postopc_layout::generate::speed_path_farm(20, 24, 11).expect("farm generates")),
+        ),
+        (
+            "uniform inv farm 240",
+            dense(postopc_layout::generate::inverter_chain(240).expect("chain generates")),
+        ),
+    ];
+    let threads = postopc_parallel::effective_threads(None);
+    let engines: Vec<(&str, ExtractionConfig)> = vec![
+        ("baseline (serial, no cache)", {
+            let mut c = config(OpcMode::Rule);
+            c.cache = false;
+            c.threads = Some(1);
+            c
+        }),
+        ("context cache", {
+            let mut c = config(OpcMode::Rule);
+            c.threads = Some(1);
+            c
+        }),
+        (
+            "cache + pool",
+            config(OpcMode::Rule), // threads: None -> all cores
+        ),
+    ];
+    let mut rows = Vec::new();
+    let mut cds_identical = true;
+    let mut pool_identical = true;
+    let mut farm_hit_rate: f64 = 0.0;
+    let mut uniform_speedup: f64 = 0.0;
+    for (name, design) in &designs {
+        let tags = TagSet::all(design);
+        let mut baseline_s = 0.0;
+        let mut outcomes: Vec<ExtractionOutcome> = Vec::new();
+        for (i, (label, cfg)) in engines.iter().enumerate() {
+            let (out, secs) =
+                crate::timing::time(|| extract_gates(design, cfg, &tags).expect("extraction"));
+            if i == 0 {
+                baseline_s = secs;
+            }
+            let speedup = baseline_s / secs.max(1e-9);
+            rows.push(vec![
+                (*name).to_string(),
+                (*label).to_string(),
+                format!("{}", out.stats.windows),
+                format!("{}", out.stats.cache_hits),
+                format!("{:.1}%", 100.0 * out.stats.cache_hit_rate()),
+                format!("{secs:.2}"),
+                format!("{speedup:.1}x"),
+            ]);
+            if *name == "shuffled farm 20x24" {
+                farm_hit_rate = farm_hit_rate.max(out.stats.cache_hit_rate());
+            } else {
+                uniform_speedup = uniform_speedup.max(speedup);
+            }
+            outcomes.push(out);
+        }
+        // The CDs must be bit-identical whichever engine produced them;
+        // the full outcome (stats included) must be identical between the
+        // serial and pooled runs of the *same* cache configuration.
+        cds_identical &= outcomes.windows(2).all(|w| {
+            w[0].annotation == w[1].annotation && w[0].stats.extracted == w[1].stats.extracted
+        });
+        pool_identical &= outcomes[1] == outcomes[2];
+    }
+    let mut text = render_table(
+        &format!("T9: extraction engine scaling, {threads} worker(s)"),
+        &[
+            "design",
+            "engine",
+            "windows",
+            "hits",
+            "hit rate",
+            "wall (s)",
+            "vs baseline",
+        ],
+        &rows,
+    );
+    text.push_str(&format!(
+        "shape check: bit-identical CDs across engines -> {}\n",
+        if cds_identical { "HOLDS" } else { "VIOLATED" }
+    ));
+    text.push_str(&format!(
+        "shape check: pooled outcome bit-identical to serial -> {}\n",
+        if pool_identical { "HOLDS" } else { "VIOLATED" }
+    ));
+    text.push_str(&format!(
+        "shape check: nonzero hit rate on the speed-path farm -> {}\n",
+        if farm_hit_rate > 0.0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    text.push_str(&format!(
+        "shape check: >=2x dedup speedup on the uniform farm -> {}\n",
+        if uniform_speedup >= 2.0 {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    ));
     text
 }
 
@@ -600,8 +745,8 @@ pub fn t9() -> String {
 /// proximity phenomenology disappears with a single-Gaussian imaging
 /// model, and what that does to extracted CDs.
 pub fn a1() -> String {
-    use postopc_litho::{cutline, AerialImage, KernelMode, ResistModel, SimulationSpec};
     use postopc_geom::{Polygon, Rect};
+    use postopc_litho::{cutline, AerialImage, KernelMode, ResistModel, SimulationSpec};
     let resist = ResistModel::standard();
     let window = Rect::new(-400, -400, 400, 400).expect("rect");
     let line = |x0: i64, x1: i64| Polygon::from(Rect::new(x0, -700, x1, 700).expect("rect"));
@@ -638,7 +783,11 @@ pub fn a1() -> String {
         "shape check: center-surround bias ({:+.2} nm) exceeds single-gaussian ({:+.2} nm) -> {}\n",
         bias[0],
         bias[1],
-        if bias[0].abs() > 2.0 * bias[1].abs() { "HOLDS" } else { "VIOLATED" }
+        if bias[0].abs() > 2.0 * bias[1].abs() {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
     ));
     text
 }
@@ -655,7 +804,10 @@ pub fn a2() -> String {
     let process = ProcessParams::n90();
     let mut rows = Vec::new();
     let mut leak_errors = Vec::new();
-    for (name, poly_top) in [("generous endcap (260 nm)", 470i64), ("tight endcap (30 nm)", 240)] {
+    for (name, poly_top) in [
+        ("generous endcap (260 nm)", 470i64),
+        ("tight endcap (30 nm)", 240),
+    ] {
         let poly = Polygon::from(Rect::new(-45, -500, 45, poly_top).expect("rect"));
         let channel = Rect::new(-45, -210, 45, 210).expect("rect");
         let image = AerialImage::simulate(
@@ -700,7 +852,13 @@ pub fn a2() -> String {
     }
     let mut text = render_table(
         "A2: slice-model ablation - mid-CD shortcut vs slice equivalents",
-        &["gate", "mid CD (nm)", "slice L_delay (nm)", "slice L_leak (nm)", "mid-CD leakage error"],
+        &[
+            "gate",
+            "mid CD (nm)",
+            "slice L_delay (nm)",
+            "slice L_leak (nm)",
+            "mid-CD leakage error",
+        ],
         &rows,
     );
     text.push_str(&format!(
@@ -729,8 +887,8 @@ pub fn t10() -> String {
     let model = model_with_margin(&design, 0.10);
     let drawn = model.analyze(None).expect("drawn timing");
     let tags = TagSet::from_critical_paths(&design, &drawn, 24);
-    let out = extract_gates(&design, &silicon_config(OpcMode::Rule, &design), &tags)
-        .expect("extraction");
+    let out =
+        extract_gates(&design, &silicon_config(OpcMode::Rule, &design), &tags).expect("extraction");
     let comparison =
         TimingComparison::compare(&model, &design, &out.annotation, 12).expect("comparison");
     let registers_tagged = tags

@@ -2,7 +2,8 @@
 //!
 //! The benchmark harness of the reproduction: one function per table and
 //! figure of the DAC 2005 evaluation (as reconstructed in `DESIGN.md`),
-//! shared between the `repro` binary and the Criterion benches.
+//! shared between the `repro` binary and the bench targets (which use the
+//! in-tree [`timing`] harness so the workspace builds offline).
 //!
 //! Run everything with:
 //!
@@ -13,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod timing;
 
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
 

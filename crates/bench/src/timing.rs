@@ -1,0 +1,135 @@
+//! Minimal wall-clock timing harness: the in-tree replacement for
+//! criterion, used by the `repro` binary (experiment T9) and the bench
+//! targets so flow-scaling numbers print with no external dependencies.
+//!
+//! Methodology: run the closure for a warm-up iteration, then for a fixed
+//! iteration count, and report best/mean wall time. Best-of-N is the
+//! robust statistic on shared machines (noise only ever adds time).
+
+use std::time::{Duration, Instant};
+
+/// Timing summary of one benchmarked closure.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BenchStats {
+    /// Measured iterations (excluding the warm-up).
+    pub iterations: usize,
+    /// Total measured wall time.
+    pub total: Duration,
+    /// Fastest single iteration, in seconds.
+    pub best_s: f64,
+    /// Mean iteration time, in seconds.
+    pub mean_s: f64,
+}
+
+impl BenchStats {
+    /// `mean_s` formatted with a sensible unit.
+    #[must_use]
+    pub fn display_mean(&self) -> String {
+        format_seconds(self.mean_s)
+    }
+}
+
+/// Formats a duration in seconds with an auto-selected unit.
+#[must_use]
+pub fn format_seconds(s: f64) -> String {
+    if s >= 1.0 {
+        format!("{s:.2} s")
+    } else if s >= 1e-3 {
+        format!("{:.2} ms", s * 1e3)
+    } else {
+        format!("{:.1} us", s * 1e6)
+    }
+}
+
+/// Times one call of `f`, returning its result and the elapsed seconds.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, f64) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed().as_secs_f64())
+}
+
+/// Runs `f` once to warm up, then `iterations` timed runs.
+///
+/// Results are passed through [`std::hint::black_box`] so the optimizer
+/// cannot elide the work.
+///
+/// # Panics
+///
+/// Panics if `iterations` is zero.
+pub fn bench<R>(iterations: usize, mut f: impl FnMut() -> R) -> BenchStats {
+    assert!(iterations > 0, "bench needs at least one iteration");
+    std::hint::black_box(f());
+    let mut best = f64::MAX;
+    let t0 = Instant::now();
+    for _ in 0..iterations {
+        let (r, s) = time(&mut f);
+        std::hint::black_box(r);
+        best = best.min(s);
+    }
+    let total = t0.elapsed();
+    BenchStats {
+        iterations,
+        total,
+        best_s: best,
+        mean_s: total.as_secs_f64() / iterations as f64,
+    }
+}
+
+/// Renders `(label, stats)` rows as a report table (one line per entry).
+#[must_use]
+pub fn render_bench_table(title: &str, entries: &[(String, BenchStats)]) -> String {
+    let rows: Vec<Vec<String>> = entries
+        .iter()
+        .map(|(label, s)| {
+            vec![
+                label.clone(),
+                format!("{}", s.iterations),
+                format_seconds(s.best_s),
+                format_seconds(s.mean_s),
+            ]
+        })
+        .collect();
+    postopc::report::render_table(title, &["case", "iters", "best", "mean"], &rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_counts_iterations_and_orders_stats() {
+        let mut calls = 0usize;
+        let stats = bench(5, || {
+            calls += 1;
+            std::thread::sleep(Duration::from_millis(1));
+            calls
+        });
+        assert_eq!(calls, 6); // warm-up + 5 measured
+        assert_eq!(stats.iterations, 5);
+        assert!(stats.best_s > 0.0);
+        assert!(stats.best_s <= stats.mean_s + 1e-12);
+        assert!(stats.total >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn time_returns_result() {
+        let (v, s) = time(|| 41 + 1);
+        assert_eq!(v, 42);
+        assert!(s >= 0.0);
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert!(format_seconds(2.5).ends_with(" s"));
+        assert!(format_seconds(0.002).ends_with(" ms"));
+        assert!(format_seconds(2e-5).ends_with(" us"));
+    }
+
+    #[test]
+    fn table_renders_labels() {
+        let stats = bench(1, || 1);
+        let t = render_bench_table("demo", &[("case-a".into(), stats)]);
+        assert!(t.contains("case-a"));
+        assert!(t.contains("best"));
+    }
+}

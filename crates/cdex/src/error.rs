@@ -74,7 +74,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = CdexError::GateMissing { x_nm: 1.0, y_nm: 2.0 };
+        let e = CdexError::GateMissing {
+            x_nm: 1.0,
+            y_nm: 2.0,
+        };
         assert!(e.to_string().contains("(1, 2)"));
         let l = CdexError::from(postopc_litho::LithoError::NoContourCrossing {
             x_nm: 0.0,

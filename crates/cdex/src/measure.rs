@@ -98,18 +98,18 @@ pub fn measure_gate_slices(
     for i in 0..n {
         let frac = (i as f64 + 0.5) / n as f64;
         let y = channel.bottom() as f64 + config.edge_inset_nm + usable * frac;
-        match cutline::measure_cd(
+        // A locally pinched slice (Err) is skipped.
+        if let Ok(cd) = cutline::measure_cd(
             image,
             resist,
             (x_center, y),
             (1.0, 0.0),
             config.max_half_cd_nm,
         ) {
-            Ok(cd) => slices.push(GateSlice {
+            slices.push(GateSlice {
                 w_nm: slice_w,
                 l_nm: cd,
-            }),
-            Err(_) => {} // locally pinched slice: skip
+            });
         }
     }
     if slices.is_empty() {

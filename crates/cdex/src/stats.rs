@@ -78,7 +78,10 @@ mod tests {
                 drawn_l_nm: 90.0,
                 finger: 0,
             },
-            slices: vec![GateSlice { w_nm: 420.0, l_nm: l }],
+            slices: vec![GateSlice {
+                w_nm: 420.0,
+                l_nm: l,
+            }],
             equivalent: EquivalentGate {
                 w_nm: 420.0,
                 l_delay_nm: l,

@@ -43,16 +43,23 @@ impl TimingComparison {
         })
     }
 
-    /// Kendall rank correlation (τ) between the drawn and annotated
-    /// criticality orderings of the drawn top-k endpoints.
+    /// Kendall rank correlation (τ-b, tie-adjusted) between the drawn and
+    /// annotated criticality orderings of the drawn top-k endpoints.
     ///
     /// τ = 1 means the ranking is unchanged; values well below 1 are the
-    /// paper's "significant reordering of speed path criticality".
+    /// paper's "significant reordering of speed path criticality". The
+    /// tie adjustment matters because symmetric layouts produce exactly
+    /// tied slacks: an unchanged ranking with ties still scores τ = 1.
     pub fn kendall_tau(&self) -> f64 {
         let endpoints: Vec<NetId> = self.drawn_paths.iter().map(|p| p.endpoint).collect();
         if endpoints.len() < 2 {
             return 1.0;
         }
+        let drawn_slack: HashMap<NetId, f64> = self
+            .drawn_paths
+            .iter()
+            .map(|p| (p.endpoint, p.slack_ps))
+            .collect();
         // Annotated slack of each endpoint.
         let annotated_slack: HashMap<NetId, f64> = endpoints
             .iter()
@@ -61,20 +68,37 @@ impl TimingComparison {
         let n = endpoints.len();
         let mut concordant = 0i64;
         let mut discordant = 0i64;
+        let mut drawn_ties = 0i64;
+        let mut annotated_ties = 0i64;
         for i in 0..n {
             for j in (i + 1)..n {
-                // Drawn order: i more critical than j by construction.
+                let di = drawn_slack[&endpoints[i]];
+                let dj = drawn_slack[&endpoints[j]];
                 let si = annotated_slack[&endpoints[i]];
                 let sj = annotated_slack[&endpoints[j]];
+                if di == dj {
+                    drawn_ties += 1;
+                }
+                if si == sj {
+                    annotated_ties += 1;
+                }
+                if di == dj || si == sj {
+                    continue;
+                }
+                // Drawn order: i more critical than j by construction.
                 if si < sj {
                     concordant += 1;
-                } else if si > sj {
+                } else {
                     discordant += 1;
                 }
             }
         }
-        let pairs = (n * (n - 1) / 2) as f64;
-        (concordant - discordant) as f64 / pairs
+        let pairs = (n * (n - 1) / 2) as i64;
+        let denom = (((pairs - drawn_ties) as f64) * ((pairs - annotated_ties) as f64)).sqrt();
+        if denom == 0.0 {
+            return 1.0; // Everything tied in both views: no reordering.
+        }
+        (concordant - discordant) as f64 / denom
     }
 
     /// Mean absolute rank displacement of the drawn top-k endpoints when
@@ -175,7 +199,12 @@ mod tests {
                 r.l_delay_nm += shift;
                 r.l_leakage_nm += shift;
             }
-            ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+            ann.set_gate(
+                GateId(gi as u32),
+                GateAnnotation {
+                    transistors: records,
+                },
+            );
         }
         ann
     }
@@ -219,8 +248,9 @@ mod tests {
     fn stronger_perturbation_reorders_more() {
         let d = design();
         let model = TimingModel::new(&d, ProcessParams::n90(), 600.0).expect("model");
-        let weak = TimingComparison::compare(&model, &d, &perturbed_annotation(&d, &model, 1.0), 15)
-            .expect("compare");
+        let weak =
+            TimingComparison::compare(&model, &d, &perturbed_annotation(&d, &model, 1.0), 15)
+                .expect("compare");
         let strong =
             TimingComparison::compare(&model, &d, &perturbed_annotation(&d, &model, 8.0), 15)
                 .expect("compare");
@@ -239,7 +269,12 @@ mod tests {
                 r.l_delay_nm -= 4.0;
                 r.l_leakage_nm -= 4.0;
             }
-            ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+            ann.set_gate(
+                GateId(gi as u32),
+                GateAnnotation {
+                    transistors: records,
+                },
+            );
         }
         let cmp = TimingComparison::compare(&model, &d, &ann, 10).expect("compare");
         assert!(cmp.critical_delay_shift_fraction() < 0.0);

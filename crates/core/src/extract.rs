@@ -11,14 +11,36 @@
 //! Windowing is per-instance rather than full-chip: this *is* the paper's
 //! "selective extraction from the global circuit netlist" — experiment T9
 //! quantifies the resulting scalability.
+//!
+//! # Engine architecture
+//!
+//! The engine runs in three phases:
+//!
+//! 1. **Key building** (parallel): each tagged gate's targets, context,
+//!    window, channel sites and local exposure conditions are gathered and
+//!    *canonicalised* — translated so the window's lower-left corner is the
+//!    origin. Two gates whose neighbourhoods are translated copies of each
+//!    other therefore produce identical [`ContextKey`]s. Coordinates are
+//!    integer nanometres, so the translation is exact.
+//! 2. **Unique-context pipeline** (parallel): OPC, aerial imaging and
+//!    channel measurement run once per *distinct* key, in the local frame.
+//! 3. **Merge** (serial, in `GateId` order): each gate's annotation is
+//!    assembled from its key's shared result; statistics are accumulated
+//!    in gate order. Because work distribution only affects *where* a key
+//!    is computed — never its value or the merge order — the outcome is
+//!    bit-identical for any thread count and for cache on vs off.
+//!
+//! Across-chip conditions are quantised onto a focus/dose lattice before
+//! keying, and simulation runs *at* the quantised conditions, so cache
+//! reuse under an [`AcrossChipMap`] is exact rather than approximate.
 
 use crate::error::Result;
 use crate::tags::TagSet;
 use postopc_cdex::{extract_gate, ExtractedGate, MeasureConfig};
-use postopc_device::ProcessParams;
-use postopc_geom::{Coord, Polygon};
-use postopc_layout::{Design, GateId, Layer};
-use postopc_litho::{AerialImage, ResistModel, SimulationSpec};
+use postopc_device::{EquivalentGate, GateSlice, MosKind, ProcessParams};
+use postopc_geom::{Coord, Polygon, Rect, Vector};
+use postopc_layout::{Design, GateId, Layer, TransistorSite};
+use postopc_litho::{AerialImage, ProcessConditions, ResistModel, SimulationSpec};
 use postopc_opc::{model, rules, ModelOpcConfig, RuleOpcConfig};
 use postopc_sta::{CdAnnotation, GateAnnotation, TransistorCd};
 use std::collections::HashMap;
@@ -69,12 +91,12 @@ impl AcrossChipMap {
         &self,
         die: postopc_geom::Rect,
         position: postopc_geom::Point,
-        base: postopc_litho::ProcessConditions,
-    ) -> postopc_litho::ProcessConditions {
+        base: ProcessConditions,
+    ) -> ProcessConditions {
         let tau = std::f64::consts::TAU;
         let u = tau * (position.x - die.left()) as f64 / self.period_nm;
         let v = tau * (position.y - die.bottom()) as f64 / self.period_nm;
-        postopc_litho::ProcessConditions {
+        ProcessConditions {
             focus_nm: base.focus_nm + self.focus_amplitude_nm * u.sin() * v.cos(),
             dose: base.dose * (1.0 + self.dose_amplitude * (u + 0.7).cos() * (v + 0.3).sin()),
         }
@@ -105,6 +127,22 @@ pub struct ExtractionConfig {
     /// Optional across-chip systematic variation surface: each gate is
     /// imaged at the *local* focus/dose of its die position.
     pub across_chip: Option<AcrossChipMap>,
+    /// Worker threads for the parallel phases. `None` defers to the
+    /// `POSTOPC_THREADS` environment variable, then to the machine's
+    /// available parallelism. The result is identical for any value.
+    pub threads: Option<usize>,
+    /// Deduplicate identical litho contexts (OPC + imaging + measurement
+    /// run once per distinct context). The result is identical either way;
+    /// `false` forces every gate down the full pipeline.
+    pub cache: bool,
+    /// Focus lattice pitch (nm) for quantising across-chip conditions
+    /// before context keying. `0.0` disables quantisation (every gate
+    /// under an [`AcrossChipMap`] then gets a distinct key). Ignored when
+    /// `across_chip` is `None` — nominal conditions are used verbatim.
+    pub focus_quantum_nm: f64,
+    /// Dose lattice pitch (relative dose) for across-chip quantisation;
+    /// `0.0` disables it.
+    pub dose_quantum: f64,
 }
 
 impl ExtractionConfig {
@@ -121,12 +159,16 @@ impl ExtractionConfig {
             window_margin_nm: 80,
             context_ambit_nm: 420,
             across_chip: None,
+            threads: None,
+            cache: true,
+            focus_quantum_nm: 0.5,
+            dose_quantum: 5e-4,
         }
     }
 
     /// The same configuration at different process conditions (for
     /// process-window timing, experiment F5).
-    pub fn with_conditions(&self, conditions: postopc_litho::ProcessConditions) -> ExtractionConfig {
+    pub fn with_conditions(&self, conditions: ProcessConditions) -> ExtractionConfig {
         let mut cfg = self.clone();
         cfg.sim = cfg.sim.with_conditions(conditions);
         cfg.model_opc.sim = cfg.model_opc.sim.clone(); // OPC stays at nominal: masks are built once
@@ -147,14 +189,31 @@ pub struct ExtractionStats {
     pub gates_extracted: usize,
     /// Gates that fell back to drawn dimensions (unprinted channels).
     pub gates_failed: usize,
-    /// Simulation windows imaged (one per gate + OPC-internal iterations).
+    /// Simulation windows imaged (one per *distinct* litho context).
     pub windows: usize,
     /// Model-OPC aerial simulations (cost metric of experiment T7/T9).
     pub opc_simulations: usize,
     /// Model-OPC fragment moves.
     pub opc_fragment_moves: usize,
+    /// Gates whose litho context matched an already-computed one and
+    /// reused its result.
+    pub cache_hits: usize,
+    /// Gates whose litho context was computed from scratch.
+    pub cache_misses: usize,
     /// All per-transistor extraction records (input to CD statistics, T2).
     pub extracted: Vec<ExtractedGate>,
+}
+
+impl ExtractionStats {
+    /// Fraction of gates served from the context cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// Result of an extraction run: the annotation plus its statistics.
@@ -166,13 +225,64 @@ pub struct ExtractionOutcome {
     pub stats: ExtractionStats,
 }
 
+/// A transistor channel's contribution to a [`ContextKey`]: geometry in
+/// the window-local frame, dimensions as exact bit patterns.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct SiteKey {
+    channel: Rect,
+    kind: MosKind,
+    width_bits: u64,
+    drawn_bits: u64,
+    finger: usize,
+}
+
+/// Everything the per-window pipeline depends on, canonicalised to the
+/// window-local frame. Two gates with equal keys print identically.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ContextKey {
+    targets: Vec<Polygon>,
+    context: Vec<Polygon>,
+    window: Rect,
+    sites: Vec<SiteKey>,
+    focus_bits: u64,
+    dose_bits: u64,
+}
+
+/// Phase-1 output for one gate: its canonical key plus what the merge
+/// phase needs to re-anchor shared results to this instance.
+struct GateWork {
+    gate: GateId,
+    site_indices: Vec<usize>,
+    key: ContextKey,
+}
+
+/// Phase-2 output for one distinct context.
+struct UniqueOutcome {
+    opc_simulations: usize,
+    opc_fragment_moves: usize,
+    /// Per-channel slices and equivalent, in site order; `None` if any
+    /// channel failed to print (member gates keep drawn dimensions).
+    sites: Option<Vec<(Vec<GateSlice>, EquivalentGate)>>,
+}
+
+fn quantize(value: f64, quantum: f64) -> f64 {
+    if quantum > 0.0 {
+        (value / quantum).round() * quantum
+    } else {
+        value
+    }
+}
+
 /// Extracts post-OPC CDs for every tagged gate of `design`.
+///
+/// The output is deterministic: bit-identical for any thread count and
+/// for `cache` on vs off (see the module docs for why).
 ///
 /// # Errors
 ///
-/// Propagates simulation/OPC errors; per-gate measurement failures are
-/// recorded in the stats (the gate keeps drawn dimensions) rather than
-/// aborting the run.
+/// Propagates simulation/OPC errors (the first in `GateId` order);
+/// per-gate measurement failures are recorded in the stats (the gate
+/// keeps drawn dimensions) rather than aborting the run.
 pub fn extract_gates(
     design: &Design,
     config: &ExtractionConfig,
@@ -183,117 +293,264 @@ pub fn extract_gates(
     for (i, site) in design.transistor_sites().iter().enumerate() {
         sites_by_gate.entry(site.gate).or_default().push(i);
     }
+    let gate_order = tags.sorted();
+    let threads = postopc_parallel::effective_threads(config.threads);
+
+    // Phase 1: build each gate's canonical context key.
+    let works = postopc_parallel::try_par_map(threads, &gate_order, |_, &gate_id| {
+        build_gate_work(design, config, &sites_by_gate, gate_id)
+    })?;
+
+    // Deduplicate keys in gate order (first member of each distinct
+    // context is its representative), then run each distinct context
+    // through the OPC → imaging → measurement pipeline.
+    let mut unique_index: HashMap<&ContextKey, usize> = HashMap::new();
+    let mut unique_keys: Vec<&ContextKey> = Vec::new();
+    let mut membership: Vec<usize> = Vec::with_capacity(works.len());
+    for work in &works {
+        if config.cache {
+            let next = unique_keys.len();
+            let idx = *unique_index.entry(&work.key).or_insert_with(|| {
+                unique_keys.push(&work.key);
+                next
+            });
+            membership.push(idx);
+        } else {
+            membership.push(unique_keys.len());
+            unique_keys.push(&work.key);
+        }
+    }
+    let results =
+        postopc_parallel::par_map(threads, &unique_keys, |_, key| run_unique(config, key));
+
+    // Phase 3: merge in gate order — deterministic regardless of which
+    // worker computed which context.
     let mut annotation = CdAnnotation::new();
     let mut stats = ExtractionStats::default();
-
-    for gate_id in tags.sorted() {
-        let gate = design.netlist().gate(gate_id);
-        let cell = design.library().cell(gate.kind, gate.drive);
-        let inst = design
-            .placement()
-            .instance(gate_id)
-            .expect("every netlist gate is placed");
-        // Target polygons: this instance's poly shapes in chip coordinates.
-        let targets: Vec<Polygon> = cell
-            .shapes_on(Layer::Poly)
-            .map(|p| inst.transform.apply_polygon(p))
-            .collect();
-        let window = targets
-            .iter()
-            .map(|p| p.bbox())
-            .reduce(|a, b| a.union_bbox(&b))
-            .expect("cells have poly")
-            .expand(config.window_margin_nm)?;
-        // Context: every other poly shape within the optical ambit.
-        let search = window.expand(config.context_ambit_nm)?;
-        let target_set: std::collections::HashSet<&Polygon> = targets.iter().collect();
-        let context: Vec<Polygon> = design
-            .shapes_in_window(Layer::Poly, search)
-            .into_iter()
-            .filter(|p| !target_set.contains(p))
-            .cloned()
-            .collect();
-
-        // Correct the mask.
-        let (mask_targets, mask_context) = match config.opc_mode {
-            OpcMode::None => (targets.clone(), context.clone()),
-            OpcMode::Rule => {
-                let t = rules::correct(&config.rule_opc, &targets, &context)?;
-                let c = rules::correct(&config.rule_opc, &context, &targets)?;
-                (t.corrected, c.corrected)
-            }
-            OpcMode::Model => {
-                let c = rules::correct(&config.rule_opc, &context, &targets)?;
-                let m = model::correct(&config.model_opc, &targets, &c.corrected, window)?;
-                stats.opc_simulations += m.report.simulations;
-                stats.opc_fragment_moves += m.report.fragment_moves;
-                (m.corrected, c.corrected)
-            }
+    let mut seen = vec![false; unique_keys.len()];
+    for (work, &uidx) in works.iter().zip(&membership) {
+        let outcome = match &results[uidx] {
+            Ok(outcome) => outcome,
+            Err(e) => return Err(e.clone()),
         };
-
-        // Image the corrected mask at the extraction conditions — adjusted
-        // to the local across-chip conditions of this gate if a map is set.
-        let mask: Vec<Polygon> = mask_targets.iter().chain(mask_context.iter()).cloned().collect();
-        let sim = match &config.across_chip {
-            Some(map) => config.sim.with_conditions(map.conditions_at(
-                design.die(),
-                window.center(),
-                config.sim.conditions,
-            )),
-            None => config.sim.clone(),
-        };
-        let image = AerialImage::simulate(&sim, &mask, window)?;
-        stats.windows += 1;
-
-        // Extract every channel of this gate.
-        match extract_instance(config, design, gate_id, cell, &sites_by_gate, &image) {
-            Some((records, extracted)) => {
-                annotation.set_gate(gate_id, GateAnnotation { transistors: records });
-                stats.extracted.extend(extracted);
-                stats.gates_extracted += 1;
-            }
-            None => {
-                stats.gates_failed += 1;
-            }
+        if seen[uidx] {
+            stats.cache_hits += 1;
+        } else {
+            seen[uidx] = true;
+            stats.cache_misses += 1;
+            stats.windows += 1;
+            stats.opc_simulations += outcome.opc_simulations;
+            stats.opc_fragment_moves += outcome.opc_fragment_moves;
         }
+        let per_site = match &outcome.sites {
+            Some(per_site) if !work.site_indices.is_empty() => per_site,
+            _ => {
+                stats.gates_failed += 1;
+                continue;
+            }
+        };
+        let gate = design.netlist().gate(work.gate);
+        let cell = design.library().cell(gate.kind, gate.drive);
+        let mut records = Vec::with_capacity(per_site.len());
+        for (&site_index, (slices, equivalent)) in work.site_indices.iter().zip(per_site) {
+            let site = design.transistor_sites()[site_index];
+            // Recover the logical input pin from the cell template.
+            let input_pin = cell
+                .transistors()
+                .iter()
+                .find(|t| t.finger == site.finger && t.kind == site.kind)
+                .and_then(|t| t.input_pin);
+            records.push(TransistorCd {
+                kind: site.kind,
+                width_nm: site.width_nm,
+                l_delay_nm: equivalent.l_delay_nm,
+                l_leakage_nm: equivalent.l_leakage_nm,
+                input_pin,
+                finger: site.finger,
+            });
+            stats.extracted.push(ExtractedGate {
+                site,
+                slices: slices.clone(),
+                equivalent: *equivalent,
+            });
+        }
+        annotation.set_gate(
+            work.gate,
+            GateAnnotation {
+                transistors: records,
+            },
+        );
+        stats.gates_extracted += 1;
     }
     Ok(ExtractionOutcome { annotation, stats })
 }
 
-/// Extracts all channels of one instance; `None` if any channel failed
-/// (the gate then keeps drawn dimensions).
-fn extract_instance(
-    config: &ExtractionConfig,
+/// Phase 1: gather one gate's targets, context, window, sites and local
+/// conditions, canonicalised to the window-local frame.
+fn build_gate_work(
     design: &Design,
-    gate_id: GateId,
-    cell: &postopc_layout::CellLayout,
+    config: &ExtractionConfig,
     sites_by_gate: &HashMap<GateId, Vec<usize>>,
-    image: &AerialImage,
-) -> Option<(Vec<TransistorCd>, Vec<ExtractedGate>)> {
-    let resist = &config.resist;
-    let mut records = Vec::new();
-    let mut extracted_records = Vec::new();
-    for &site_index in sites_by_gate.get(&gate_id)? {
-        let site = &design.transistor_sites()[site_index];
-        let extracted =
-            extract_gate(&config.measure, &config.process, image, resist, site).ok()?;
-        // Recover the logical input pin from the cell template.
-        let input_pin = cell
-            .transistors()
-            .iter()
-            .find(|t| t.finger == site.finger && t.kind == site.kind)
-            .and_then(|t| t.input_pin);
-        records.push(TransistorCd {
-            kind: site.kind,
-            width_nm: site.width_nm,
-            l_delay_nm: extracted.equivalent.l_delay_nm,
-            l_leakage_nm: extracted.equivalent.l_leakage_nm,
-            input_pin,
-            finger: site.finger,
-        });
-        extracted_records.push(extracted);
+    gate_id: GateId,
+) -> Result<GateWork> {
+    let gate = design.netlist().gate(gate_id);
+    let cell = design.library().cell(gate.kind, gate.drive);
+    let inst = design
+        .placement()
+        .instance(gate_id)
+        .expect("every netlist gate is placed");
+    // Target polygons: this instance's poly shapes in chip coordinates.
+    let targets: Vec<Polygon> = cell
+        .shapes_on(Layer::Poly)
+        .map(|p| inst.transform.apply_polygon(p))
+        .collect();
+    let window = targets
+        .iter()
+        .map(|p| p.bbox())
+        .reduce(|a, b| a.union_bbox(&b))
+        .expect("cells have poly")
+        .expand(config.window_margin_nm)?;
+    // Context: every other poly shape within the optical ambit.
+    let search = window.expand(config.context_ambit_nm)?;
+    let target_set: std::collections::HashSet<&Polygon> = targets.iter().collect();
+    let context = design
+        .shapes_in_window(Layer::Poly, search)
+        .into_iter()
+        .filter(|p| !target_set.contains(p));
+
+    // Canonicalise: translate everything so the window's lower-left corner
+    // is the origin. Translated-duplicate neighbourhoods then key (and
+    // simulate) identically; integer-nm coordinates keep the shift exact.
+    let shift = Vector {
+        dx: -window.left(),
+        dy: -window.bottom(),
+    };
+    let local_targets: Vec<Polygon> = targets.iter().map(|p| p.translate(shift)).collect();
+    let mut local_context: Vec<Polygon> = context.map(|p| p.translate(shift)).collect();
+    // The spatial index returns context in insertion order, which is not
+    // translation-invariant — sort into a canonical order.
+    local_context.sort_by(|a, b| {
+        let ka = a.vertices().iter().map(|p| (p.x, p.y));
+        let kb = b.vertices().iter().map(|p| (p.x, p.y));
+        ka.cmp(kb)
+    });
+
+    // Local exposure conditions, quantised onto the cache lattice. The
+    // simulation later runs *at* the quantised conditions, so reuse is
+    // exact. Without an across-chip map the nominal conditions pass
+    // through untouched.
+    let conditions = match &config.across_chip {
+        Some(map) => {
+            let local = map.conditions_at(design.die(), window.center(), config.sim.conditions);
+            ProcessConditions {
+                focus_nm: quantize(local.focus_nm, config.focus_quantum_nm),
+                dose: quantize(local.dose, config.dose_quantum),
+            }
+        }
+        None => config.sim.conditions,
+    };
+
+    let site_indices = sites_by_gate.get(&gate_id).cloned().unwrap_or_default();
+    let sites: Vec<SiteKey> = site_indices
+        .iter()
+        .map(|&i| {
+            let s = &design.transistor_sites()[i];
+            SiteKey {
+                channel: s.channel.translate(shift),
+                kind: s.kind,
+                width_bits: s.width_nm.to_bits(),
+                drawn_bits: s.drawn_l_nm.to_bits(),
+                finger: s.finger,
+            }
+        })
+        .collect();
+    Ok(GateWork {
+        gate: gate_id,
+        site_indices,
+        key: ContextKey {
+            targets: local_targets,
+            context: local_context,
+            window: window.translate(shift),
+            sites,
+            focus_bits: conditions.focus_nm.to_bits(),
+            dose_bits: conditions.dose.to_bits(),
+        },
+    })
+}
+
+/// Phase 2: OPC, imaging and per-channel measurement for one distinct
+/// context, entirely in the window-local frame.
+fn run_unique(config: &ExtractionConfig, key: &ContextKey) -> Result<UniqueOutcome> {
+    let targets = &key.targets;
+    let context = &key.context;
+    let window = key.window;
+    let mut opc_simulations = 0;
+    let mut opc_fragment_moves = 0;
+
+    // Correct the mask.
+    let (mask_targets, mask_context) = match config.opc_mode {
+        OpcMode::None => (targets.clone(), context.clone()),
+        OpcMode::Rule => {
+            let t = rules::correct(&config.rule_opc, targets, context)?;
+            let c = rules::correct(&config.rule_opc, context, targets)?;
+            (t.corrected, c.corrected)
+        }
+        OpcMode::Model => {
+            let c = rules::correct(&config.rule_opc, context, targets)?;
+            let m = model::correct(&config.model_opc, targets, &c.corrected, window)?;
+            opc_simulations = m.report.simulations;
+            opc_fragment_moves = m.report.fragment_moves;
+            (m.corrected, c.corrected)
+        }
+    };
+
+    // Image the corrected mask at the key's (possibly quantised local
+    // across-chip) conditions.
+    let mask: Vec<Polygon> = mask_targets
+        .iter()
+        .chain(mask_context.iter())
+        .cloned()
+        .collect();
+    let sim = config.sim.with_conditions(ProcessConditions {
+        focus_nm: f64::from_bits(key.focus_bits),
+        dose: f64::from_bits(key.dose_bits),
+    });
+    let image = AerialImage::simulate(&sim, &mask, window)?;
+
+    // Measure every channel; any failure fails the whole context (member
+    // gates keep drawn dimensions), matching the per-gate fallback rule.
+    let mut per_site = Vec::with_capacity(key.sites.len());
+    for sk in &key.sites {
+        let site = TransistorSite {
+            gate: GateId(0), // local frame: the real id is re-anchored at merge
+            kind: sk.kind,
+            channel: sk.channel,
+            width_nm: f64::from_bits(sk.width_bits),
+            drawn_l_nm: f64::from_bits(sk.drawn_bits),
+            finger: sk.finger,
+        };
+        match extract_gate(
+            &config.measure,
+            &config.process,
+            &image,
+            &config.resist,
+            &site,
+        ) {
+            Ok(e) => per_site.push((e.slices, e.equivalent)),
+            Err(_) => {
+                return Ok(UniqueOutcome {
+                    opc_simulations,
+                    opc_fragment_moves,
+                    sites: None,
+                })
+            }
+        }
     }
-    Some((records, extracted_records))
+    Ok(UniqueOutcome {
+        opc_simulations,
+        opc_fragment_moves,
+        sites: Some(per_site),
+    })
 }
 
 #[cfg(test)]
@@ -302,8 +559,11 @@ mod tests {
     use postopc_layout::{generate, TechRules};
 
     fn chain_design(n: usize) -> Design {
-        Design::compile(generate::inverter_chain(n).expect("netlist"), TechRules::n90())
-            .expect("design")
+        Design::compile(
+            generate::inverter_chain(n).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design")
     }
 
     fn fast_config(mode: OpcMode) -> ExtractionConfig {
@@ -391,5 +651,83 @@ mod tests {
         let pins: std::collections::HashSet<Option<usize>> =
             ann.transistors.iter().map(|t| t.input_pin).collect();
         assert!(pins.contains(&Some(0)) && pins.contains(&Some(1)));
+    }
+
+    #[test]
+    fn parallel_output_is_bit_identical_to_serial() {
+        let d = chain_design(10);
+        let tags = TagSet::all(&d);
+        let mut serial = fast_config(OpcMode::Rule);
+        serial.threads = Some(1);
+        let mut pooled = fast_config(OpcMode::Rule);
+        pooled.threads = Some(4);
+        let a = extract_gates(&d, &serial, &tags).expect("serial");
+        let b = extract_gates(&d, &pooled, &tags).expect("pooled");
+        assert_eq!(a, b, "thread count must not change the outcome");
+    }
+
+    #[test]
+    fn cache_hit_path_matches_forced_miss_run() {
+        let d = chain_design(10);
+        let tags = TagSet::all(&d);
+        let mut cached = fast_config(OpcMode::Rule);
+        cached.cache = true;
+        let mut uncached = fast_config(OpcMode::Rule);
+        uncached.cache = false;
+        let hit = extract_gates(&d, &cached, &tags).expect("cached");
+        let miss = extract_gates(&d, &uncached, &tags).expect("uncached");
+        // Identical CDs whether served from the cache or recomputed.
+        assert_eq!(hit.annotation, miss.annotation);
+        assert_eq!(hit.stats.extracted, miss.stats.extracted);
+        assert_eq!(
+            hit.stats.cache_hits + hit.stats.cache_misses,
+            miss.stats.cache_misses,
+            "every gate is accounted for exactly once"
+        );
+        assert_eq!(miss.stats.cache_hits, 0);
+        assert!(
+            hit.stats.cache_hits > 0,
+            "a uniform inverter chain must share contexts: {:?} misses",
+            hit.stats.cache_misses
+        );
+        assert!(hit.stats.windows < miss.stats.windows);
+    }
+
+    #[test]
+    fn thread_env_fallback_is_honoured() {
+        // `threads: None` defers to POSTOPC_THREADS; forcing 1 must both
+        // work and give the standard (multi-thread-identical) outcome.
+        let d = chain_design(4);
+        let tags = TagSet::all(&d);
+        let mut explicit = fast_config(OpcMode::Rule);
+        explicit.threads = Some(2);
+        let expected = extract_gates(&d, &explicit, &tags).expect("explicit");
+        std::env::set_var(postopc_parallel::THREADS_ENV, "1");
+        let mut via_env = fast_config(OpcMode::Rule);
+        via_env.threads = None;
+        let got = extract_gates(&d, &via_env, &tags);
+        std::env::remove_var(postopc_parallel::THREADS_ENV);
+        assert_eq!(got.expect("env fallback"), expected);
+    }
+
+    #[test]
+    fn across_chip_quantisation_keeps_cache_effective() {
+        let d = chain_design(10);
+        let tags = TagSet::all(&d);
+        let mut cfg = fast_config(OpcMode::Rule);
+        cfg.across_chip = Some(AcrossChipMap::typical(d.die()));
+        // Coarse lattice: neighbouring gates land on the same conditions.
+        cfg.focus_quantum_nm = 10.0;
+        cfg.dose_quantum = 0.01;
+        let coarse = extract_gates(&d, &cfg, &tags).expect("coarse");
+        cfg.focus_quantum_nm = 0.0;
+        cfg.dose_quantum = 0.0;
+        let exact = extract_gates(&d, &cfg, &tags).expect("exact");
+        assert!(
+            coarse.stats.cache_hits >= exact.stats.cache_hits,
+            "quantisation can only merge contexts: {} vs {}",
+            coarse.stats.cache_hits,
+            exact.stats.cache_hits
+        );
     }
 }

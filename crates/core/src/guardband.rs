@@ -7,7 +7,9 @@
 //! margin) — quantified here.
 
 use crate::error::Result;
-use postopc_sta::{analyze_corner, statistical, CdAnnotation, Corner, MonteCarloConfig, TimingModel};
+use postopc_sta::{
+    analyze_corner, statistical, CdAnnotation, Corner, MonteCarloConfig, TimingModel,
+};
 
 /// Guardband comparison configuration.
 #[derive(Debug, Clone, PartialEq)]

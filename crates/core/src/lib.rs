@@ -43,15 +43,17 @@ mod compare;
 pub mod dfm;
 mod error;
 mod extract;
-pub mod guardband;
 mod flow;
+pub mod guardband;
 mod multilayer;
 pub mod report;
 mod tags;
 
 pub use compare::TimingComparison;
 pub use error::{FlowError, Result};
-pub use extract::{extract_gates, AcrossChipMap, ExtractionConfig, ExtractionOutcome, ExtractionStats, OpcMode};
+pub use extract::{
+    extract_gates, AcrossChipMap, ExtractionConfig, ExtractionOutcome, ExtractionStats, OpcMode,
+};
 pub use flow::{run_flow, FlowConfig, FlowReport, Selection};
 pub use multilayer::{extract_wires, WireExtractionConfig, WireExtractionStats};
 pub use tags::TagSet;

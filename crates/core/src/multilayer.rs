@@ -108,7 +108,12 @@ pub fn extract_wires(
             // Plausibility band: a mean outside ±40% of drawn means the
             // stations hit merged metal; keep the drawn width instead.
             if (0.6 * drawn..1.4 * drawn).contains(&printed) {
-                annotation.set_net(net, NetAnnotation { printed_width_nm: printed });
+                annotation.set_net(
+                    net,
+                    NetAnnotation {
+                        printed_width_nm: printed,
+                    },
+                );
                 stats.nets_annotated += 1;
             } else {
                 stats.segments_failed += 1;
@@ -121,17 +126,31 @@ pub fn extract_wires(
 /// A measurement window over (at most the central `max_len` of) a segment.
 fn measurement_window(segment: Rect, max_len: Coord) -> Rect {
     let horizontal = segment.width() >= segment.height();
-    let len = if horizontal { segment.width() } else { segment.height() };
+    let len = if horizontal {
+        segment.width()
+    } else {
+        segment.height()
+    };
     if len <= max_len {
         return segment;
     }
     let c = segment.center();
     if horizontal {
-        Rect::new(c.x - max_len / 2, segment.bottom(), c.x + max_len / 2, segment.top())
-            .expect("sub-window of a valid segment")
+        Rect::new(
+            c.x - max_len / 2,
+            segment.bottom(),
+            c.x + max_len / 2,
+            segment.top(),
+        )
+        .expect("sub-window of a valid segment")
     } else {
-        Rect::new(segment.left(), c.y - max_len / 2, segment.right(), c.y + max_len / 2)
-            .expect("sub-window of a valid segment")
+        Rect::new(
+            segment.left(),
+            c.y - max_len / 2,
+            segment.right(),
+            c.y + max_len / 2,
+        )
+        .expect("sub-window of a valid segment")
     }
 }
 
@@ -150,16 +169,21 @@ mod tests {
         )
         .expect("design");
         assert!(d.placement().rows() > 1);
-        let nets: Vec<NetId> = (0..d.netlist().nets().len() as u32).map(NetId).take(30).collect();
+        let nets: Vec<NetId> = (0..d.netlist().nets().len() as u32)
+            .map(NetId)
+            .take(30)
+            .collect();
         let mut ann = CdAnnotation::new();
         let stats =
             extract_wires(&d, &WireExtractionConfig::standard(), &nets, &mut ann).expect("wires");
         assert!(stats.nets_annotated > 0, "no nets annotated");
         assert!(stats.segments_measured >= stats.nets_annotated);
         // Printed widths should be near the drawn 120 nm.
-        for (_, _gate) in ann.gates() {
-            unreachable!("wire extraction must not annotate gates");
-        }
+        assert_eq!(
+            ann.gates().count(),
+            0,
+            "wire extraction must not annotate gates"
+        );
         assert_eq!(ann.net_count(), stats.nets_annotated);
     }
 

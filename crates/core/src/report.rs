@@ -47,6 +47,44 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     out
 }
 
+/// Renders an extraction run's statistics: gate counts, window/OPC cost,
+/// and how much of the work the litho-context cache deduplicated.
+///
+/// ```
+/// use postopc::report::render_extraction_stats;
+/// let mut stats = postopc::ExtractionStats::default();
+/// stats.gates_extracted = 8;
+/// stats.windows = 3;
+/// stats.cache_hits = 5;
+/// stats.cache_misses = 3;
+/// let t = render_extraction_stats(&stats);
+/// assert!(t.contains("62.5%"));
+/// ```
+pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
+    let rows = vec![vec![
+        format!("{}", stats.gates_extracted),
+        format!("{}", stats.gates_failed),
+        format!("{}", stats.windows),
+        format!("{}", stats.opc_simulations),
+        format!("{}", stats.cache_hits),
+        format!("{}", stats.cache_misses),
+        format!("{:.1}%", 100.0 * stats.cache_hit_rate()),
+    ]];
+    render_table(
+        "extraction statistics",
+        &[
+            "extracted",
+            "failed",
+            "windows",
+            "opc sims",
+            "cache hits",
+            "cache misses",
+            "hit rate",
+        ],
+        &rows,
+    )
+}
+
 /// Renders the paper's speed-path comparison table: drawn rank vs
 /// annotated rank, slacks in both views.
 pub fn render_path_comparison(design: &Design, comparison: &TimingComparison) -> String {
@@ -59,7 +97,11 @@ pub fn render_path_comparison(design: &Design, comparison: &TimingComparison) ->
                 .partial_cmp(&comparison.annotated.slack_ps(*b))
                 .expect("finite slacks")
         });
-        endpoints.into_iter().enumerate().map(|(r, e)| (e, r)).collect()
+        endpoints
+            .into_iter()
+            .enumerate()
+            .map(|(r, e)| (e, r))
+            .collect()
     };
     let rows: Vec<Vec<String>> = comparison
         .drawn_paths
@@ -150,10 +192,7 @@ mod tests {
         let t = render_table(
             "x",
             &["a", "bbbb"],
-            &[
-                vec!["1".into(), "2".into()],
-                vec!["333".into(), "4".into()],
-            ],
+            &[vec!["1".into(), "2".into()], vec!["333".into(), "4".into()]],
         );
         let lines: Vec<&str> = t.lines().collect();
         assert_eq!(lines.len(), 5);

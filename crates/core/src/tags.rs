@@ -24,7 +24,9 @@ impl TagSet {
     /// Tags every gate of the design (full-chip extraction).
     pub fn all(design: &Design) -> TagSet {
         TagSet {
-            gates: (0..design.netlist().gate_count() as u32).map(GateId).collect(),
+            gates: (0..design.netlist().gate_count() as u32)
+                .map(GateId)
+                .collect(),
         }
     }
 

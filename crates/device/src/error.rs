@@ -50,7 +50,10 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = DeviceError::InvalidDimension { name: "L", value: -3.0 };
+        let e = DeviceError::InvalidDimension {
+            name: "L",
+            value: -3.0,
+        };
         assert_eq!(e.to_string(), "invalid device dimension L = -3 nm");
         assert!(DeviceError::EmptySlices.to_string().contains("no slices"));
     }

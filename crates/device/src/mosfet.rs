@@ -33,10 +33,16 @@ impl Mosfet {
     /// non-positive or non-finite.
     pub fn new(kind: MosKind, w_nm: f64, l_nm: f64) -> Result<Mosfet> {
         if !(w_nm.is_finite() && w_nm > 0.0) {
-            return Err(DeviceError::InvalidDimension { name: "W", value: w_nm });
+            return Err(DeviceError::InvalidDimension {
+                name: "W",
+                value: w_nm,
+            });
         }
         if !(l_nm.is_finite() && l_nm > 0.0) {
-            return Err(DeviceError::InvalidDimension { name: "L", value: l_nm });
+            return Err(DeviceError::InvalidDimension {
+                name: "L",
+                value: l_nm,
+            });
         }
         Ok(Mosfet { kind, w_nm, l_nm })
     }
@@ -187,7 +193,10 @@ mod tests {
         let ion_ratio = short.i_on(&pp) / nom.i_on(&pp);
         let ioff_ratio = short.i_off(&pp) / nom.i_off(&pp);
         assert!(ion_ratio > 1.05 && ion_ratio < 1.5, "ion ratio {ion_ratio}");
-        assert!(ioff_ratio > 2.0, "ioff ratio {ioff_ratio} should be exponential");
+        assert!(
+            ioff_ratio > 2.0,
+            "ioff ratio {ioff_ratio} should be exponential"
+        );
     }
 
     #[test]

@@ -88,7 +88,10 @@ impl ProcessParams {
     /// Panics if `vdd` is not a positive finite voltage.
     pub fn with_vdd(&self, vdd: f64) -> ProcessParams {
         assert!(vdd.is_finite() && vdd > 0.0, "invalid supply voltage {vdd}");
-        ProcessParams { vdd, ..self.clone() }
+        ProcessParams {
+            vdd,
+            ..self.clone()
+        }
     }
 }
 

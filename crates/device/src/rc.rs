@@ -84,11 +84,14 @@ impl Wire {
             ("spacing", spacing_nm),
         ] {
             if !(v.is_finite() && v > 0.0) {
-                return Err(DeviceError::InvalidDimension { name: match name {
-                    "length" => "wire length",
-                    "width" => "wire width",
-                    _ => "wire spacing",
-                }, value: v });
+                return Err(DeviceError::InvalidDimension {
+                    name: match name {
+                        "length" => "wire length",
+                        "width" => "wire width",
+                        _ => "wire spacing",
+                    },
+                    value: v,
+                });
             }
         }
         Ok(Wire {

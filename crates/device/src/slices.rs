@@ -76,10 +76,16 @@ impl SlicedGate {
         }
         for s in &slices {
             if !(s.w_nm.is_finite() && s.w_nm > 0.0) {
-                return Err(DeviceError::InvalidDimension { name: "slice W", value: s.w_nm });
+                return Err(DeviceError::InvalidDimension {
+                    name: "slice W",
+                    value: s.w_nm,
+                });
             }
             if !(s.l_nm.is_finite() && s.l_nm > 0.0) {
-                return Err(DeviceError::InvalidDimension { name: "slice L", value: s.l_nm });
+                return Err(DeviceError::InvalidDimension {
+                    name: "slice L",
+                    value: s.l_nm,
+                });
             }
         }
         Ok(SlicedGate { kind, slices })
@@ -175,7 +181,10 @@ fn bisect_length(
     let f_lo = current(lo)?;
     let f_hi = current(hi)?;
     if target > f_lo || target < f_hi {
-        return Err(DeviceError::NoConvergence { what, iterations: 0 });
+        return Err(DeviceError::NoConvergence {
+            what,
+            iterations: 0,
+        });
     }
     for _ in 0..MAX_ITER {
         let mid = 0.5 * (lo + hi);
@@ -207,9 +216,18 @@ mod tests {
         SlicedGate::new(
             MosKind::Nmos,
             vec![
-                GateSlice { w_nm: 250.0, l_nm: l },
-                GateSlice { w_nm: 250.0, l_nm: l },
-                GateSlice { w_nm: 500.0, l_nm: l },
+                GateSlice {
+                    w_nm: 250.0,
+                    l_nm: l,
+                },
+                GateSlice {
+                    w_nm: 250.0,
+                    l_nm: l,
+                },
+                GateSlice {
+                    w_nm: 500.0,
+                    l_nm: l,
+                },
             ],
         )
         .expect("valid gate")
@@ -223,7 +241,10 @@ mod tests {
         ));
         assert!(SlicedGate::new(
             MosKind::Nmos,
-            vec![GateSlice { w_nm: -1.0, l_nm: 90.0 }]
+            vec![GateSlice {
+                w_nm: -1.0,
+                l_nm: 90.0
+            }]
         )
         .is_err());
     }
@@ -251,8 +272,14 @@ mod tests {
         let g = SlicedGate::new(
             MosKind::Nmos,
             vec![
-                GateSlice { w_nm: 100.0, l_nm: 78.0 },
-                GateSlice { w_nm: 900.0, l_nm: 90.0 },
+                GateSlice {
+                    w_nm: 100.0,
+                    l_nm: 78.0,
+                },
+                GateSlice {
+                    w_nm: 900.0,
+                    l_nm: 90.0,
+                },
             ],
         )
         .expect("valid");
@@ -274,9 +301,18 @@ mod tests {
         let g = SlicedGate::new(
             MosKind::Pmos,
             vec![
-                GateSlice { w_nm: 300.0, l_nm: 86.0 },
-                GateSlice { w_nm: 300.0, l_nm: 92.0 },
-                GateSlice { w_nm: 400.0, l_nm: 89.0 },
+                GateSlice {
+                    w_nm: 300.0,
+                    l_nm: 86.0,
+                },
+                GateSlice {
+                    w_nm: 300.0,
+                    l_nm: 92.0,
+                },
+                GateSlice {
+                    w_nm: 400.0,
+                    l_nm: 89.0,
+                },
             ],
         )
         .expect("valid");
@@ -298,8 +334,14 @@ mod tests {
         let necked = SlicedGate::new(
             MosKind::Nmos,
             vec![
-                GateSlice { w_nm: 100.0, l_nm: 80.0 },
-                GateSlice { w_nm: 900.0, l_nm: 90.0 },
+                GateSlice {
+                    w_nm: 100.0,
+                    l_nm: 80.0,
+                },
+                GateSlice {
+                    w_nm: 900.0,
+                    l_nm: 90.0,
+                },
             ],
         )
         .expect("valid");

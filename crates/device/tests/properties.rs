@@ -1,93 +1,129 @@
-//! Property-based tests for device-model invariants.
+//! Randomized tests for device-model invariants, seeded via the in-tree
+//! `postopc-rng` generator (offline replacement for the former proptest
+//! suite; every sweep is deterministic).
 
-use postopc_device::{GateSlice, MosKind, Mosfet, ProcessParams, SlicedGate, Wire, WireLayerParams};
-use proptest::prelude::*;
+use postopc_device::{
+    GateSlice, MosKind, Mosfet, ProcessParams, SlicedGate, Wire, WireLayerParams,
+};
+use postopc_rng::{rngs::StdRng, RngExt, SeedableRng};
 
-fn arb_kind() -> impl Strategy<Value = MosKind> {
-    prop_oneof![Just(MosKind::Nmos), Just(MosKind::Pmos)]
+const CASES: usize = 128;
+
+fn arb_kind(rng: &mut StdRng) -> MosKind {
+    if rng.random_range(0..2) == 0 {
+        MosKind::Nmos
+    } else {
+        MosKind::Pmos
+    }
 }
 
-fn arb_slices() -> impl Strategy<Value = Vec<GateSlice>> {
-    proptest::collection::vec(
-        (20.0f64..600.0, 60.0f64..130.0).prop_map(|(w, l)| GateSlice { w_nm: w, l_nm: l }),
-        1..10,
-    )
+fn arb_slices(rng: &mut StdRng) -> Vec<GateSlice> {
+    let n = rng.random_range(1usize..10);
+    (0..n)
+        .map(|_| GateSlice {
+            w_nm: rng.random_range(20.0..600.0),
+            l_nm: rng.random_range(60.0..130.0),
+        })
+        .collect()
 }
 
-proptest! {
-    #[test]
-    fn currents_monotone_in_length(kind in arb_kind(), w in 100.0f64..2000.0, l in 60.0f64..120.0) {
-        let p = ProcessParams::n90();
+#[test]
+fn currents_monotone_in_length() {
+    let mut rng = StdRng::seed_from_u64(0xDE01);
+    let p = ProcessParams::n90();
+    for _ in 0..CASES {
+        let kind = arb_kind(&mut rng);
+        let w = rng.random_range(100.0..2000.0);
+        let l = rng.random_range(60.0..120.0);
         let a = Mosfet::new(kind, w, l).expect("valid");
         let b = Mosfet::new(kind, w, l + 2.0).expect("valid");
-        prop_assert!(a.i_on(&p) > b.i_on(&p));
-        prop_assert!(a.i_off(&p) > b.i_off(&p));
-        prop_assert!(a.c_gate(&p) < b.c_gate(&p));
+        assert!(a.i_on(&p) > b.i_on(&p));
+        assert!(a.i_off(&p) > b.i_off(&p));
+        assert!(a.c_gate(&p) < b.c_gate(&p));
     }
+}
 
-    #[test]
-    fn currents_linear_in_width(kind in arb_kind(), w in 100.0f64..2000.0, l in 60.0f64..120.0) {
-        let p = ProcessParams::n90();
+#[test]
+fn currents_linear_in_width() {
+    let mut rng = StdRng::seed_from_u64(0xDE02);
+    let p = ProcessParams::n90();
+    for _ in 0..CASES {
+        let kind = arb_kind(&mut rng);
+        let w = rng.random_range(100.0..2000.0);
+        let l = rng.random_range(60.0..120.0);
         let a = Mosfet::new(kind, w, l).expect("valid");
         let b = Mosfet::new(kind, 2.0 * w, l).expect("valid");
-        prop_assert!((b.i_on(&p) / a.i_on(&p) - 2.0).abs() < 1e-9);
-        prop_assert!((b.i_off(&p) / a.i_off(&p) - 2.0).abs() < 1e-9);
+        assert!((b.i_on(&p) / a.i_on(&p) - 2.0).abs() < 1e-9);
+        assert!((b.i_off(&p) / a.i_off(&p) - 2.0).abs() < 1e-9);
     }
+}
 
-    #[test]
-    fn equivalent_lengths_within_slice_extremes(kind in arb_kind(), slices in arb_slices()) {
-        let p = ProcessParams::n90();
+#[test]
+fn equivalent_lengths_within_slice_extremes() {
+    let mut rng = StdRng::seed_from_u64(0xDE03);
+    let p = ProcessParams::n90();
+    for _ in 0..CASES {
+        let kind = arb_kind(&mut rng);
+        let slices = arb_slices(&mut rng);
         let l_min = slices.iter().map(|s| s.l_nm).fold(f64::MAX, f64::min);
         let l_max = slices.iter().map(|s| s.l_nm).fold(0.0f64, f64::max);
         let gate = SlicedGate::new(kind, slices).expect("valid");
         let eq = gate.equivalent(&p).expect("converges");
-        prop_assert!(eq.l_delay_nm >= l_min - 1e-3 && eq.l_delay_nm <= l_max + 1e-3);
-        prop_assert!(eq.l_leakage_nm >= l_min - 1e-3 && eq.l_leakage_nm <= l_max + 1e-3);
+        assert!(eq.l_delay_nm >= l_min - 1e-3 && eq.l_delay_nm <= l_max + 1e-3);
+        assert!(eq.l_leakage_nm >= l_min - 1e-3 && eq.l_leakage_nm <= l_max + 1e-3);
         // Leakage length never exceeds delay length (exponential weighting
         // favours short slices).
-        prop_assert!(eq.l_leakage_nm <= eq.l_delay_nm + 1e-3);
+        assert!(eq.l_leakage_nm <= eq.l_delay_nm + 1e-3);
     }
+}
 
-    #[test]
-    fn equivalent_currents_match(kind in arb_kind(), slices in arb_slices()) {
-        let p = ProcessParams::n90();
-        let gate = SlicedGate::new(kind, slices).expect("valid");
+#[test]
+fn equivalent_currents_match() {
+    let mut rng = StdRng::seed_from_u64(0xDE04);
+    let p = ProcessParams::n90();
+    for _ in 0..CASES {
+        let kind = arb_kind(&mut rng);
+        let gate = SlicedGate::new(kind, arb_slices(&mut rng)).expect("valid");
         let eq = gate.equivalent(&p).expect("converges");
         let delay_dev = Mosfet::new(kind, eq.w_nm, eq.l_delay_nm).expect("valid");
         let leak_dev = Mosfet::new(kind, eq.w_nm, eq.l_leakage_nm).expect("valid");
         let ion = gate.i_on(&p).expect("valid");
         let ioff = gate.i_off(&p).expect("valid");
-        prop_assert!((delay_dev.i_on(&p) - ion).abs() / ion < 1e-3);
-        prop_assert!((leak_dev.i_off(&p) - ioff).abs() / ioff < 1e-3);
+        assert!((delay_dev.i_on(&p) - ion).abs() / ion < 1e-3);
+        assert!((leak_dev.i_off(&p) - ioff).abs() / ioff < 1e-3);
     }
+}
 
-    #[test]
-    fn wire_printed_width_conserves_pitch(
-        len in 1_000.0f64..100_000.0,
-        width in 80.0f64..200.0,
-        space in 80.0f64..200.0,
-        delta in -30.0f64..30.0,
-    ) {
+#[test]
+fn wire_printed_width_conserves_pitch() {
+    let mut rng = StdRng::seed_from_u64(0xDE05);
+    for _ in 0..CASES {
+        let len = rng.random_range(1_000.0..100_000.0);
+        let width = rng.random_range(80.0..200.0);
+        let space = rng.random_range(80.0..200.0);
+        let delta = rng.random_range(-30.0..30.0);
         let wire = Wire::new(WireLayerParams::m1_90nm(), len, width, space).expect("valid");
         let printed = width + delta;
         if printed > 0.0 && printed < width + space {
             let w2 = wire.with_printed_width(printed).expect("valid");
-            prop_assert!((w2.width_nm() + w2.spacing_nm() - (width + space)).abs() < 1e-9);
+            assert!((w2.width_nm() + w2.spacing_nm() - (width + space)).abs() < 1e-9);
             // Narrower wires are more resistive.
             if delta < 0.0 {
-                prop_assert!(w2.resistance_kohm() > wire.resistance_kohm());
+                assert!(w2.resistance_kohm() > wire.resistance_kohm());
             }
         }
     }
+}
 
-    #[test]
-    fn elmore_monotone_in_driver_resistance(
-        len in 1_000.0f64..50_000.0,
-        r1 in 0.5f64..5.0,
-        extra in 0.1f64..5.0,
-        c_load in 0.5f64..20.0,
-    ) {
+#[test]
+fn elmore_monotone_in_driver_resistance() {
+    let mut rng = StdRng::seed_from_u64(0xDE06);
+    for _ in 0..CASES {
+        let len = rng.random_range(1_000.0..50_000.0);
+        let r1 = rng.random_range(0.5..5.0);
+        let extra = rng.random_range(0.1..5.0);
+        let c_load = rng.random_range(0.5..20.0);
         let wire = Wire::new(WireLayerParams::m1_90nm(), len, 120.0, 120.0).expect("valid");
-        prop_assert!(wire.elmore_delay_ps(r1 + extra, c_load) > wire.elmore_delay_ps(r1, c_load));
+        assert!(wire.elmore_delay_ps(r1 + extra, c_load) > wire.elmore_delay_ps(r1, c_load));
     }
 }

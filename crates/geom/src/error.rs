@@ -60,7 +60,10 @@ mod tests {
     fn display_is_lowercase_and_informative() {
         let e = GeomError::InvalidPolygon("diagonal edge at vertex 3".into());
         assert_eq!(e.to_string(), "invalid polygon: diagonal edge at vertex 3");
-        let e = GeomError::EmptyRect { width: 0, height: 5 };
+        let e = GeomError::EmptyRect {
+            width: 0,
+            height: 5,
+        };
         assert!(e.to_string().contains("empty rectangle"));
         let e = GeomError::InvalidResolution(-1.0);
         assert!(e.to_string().contains("-1"));

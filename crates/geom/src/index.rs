@@ -115,7 +115,11 @@ mod tests {
         idx.insert(r(0, 0, 50, 50), 1);
         idx.insert(r(200, 200, 250, 250), 2);
         idx.insert(r(40, 40, 220, 220), 3);
-        let hits: Vec<i32> = idx.query(r(45, 45, 60, 60)).iter().map(|(_, &v)| v).collect();
+        let hits: Vec<i32> = idx
+            .query(r(45, 45, 60, 60))
+            .iter()
+            .map(|(_, &v)| v)
+            .collect();
         assert_eq!(hits, vec![1, 3]);
     }
 

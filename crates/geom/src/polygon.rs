@@ -232,7 +232,11 @@ impl Polygon {
             let mut out: Vec<Point> = Vec::with_capacity(n);
             let mut i = 0;
             while i < n {
-                let prev = if out.is_empty() { v[(i + n - 1) % n] } else { *out.last().expect("non-empty") };
+                let prev = if out.is_empty() {
+                    v[(i + n - 1) % n]
+                } else {
+                    *out.last().expect("non-empty")
+                };
                 let cur = v[i];
                 let next = v[(i + 1) % n];
                 if cur == prev || cur == next {
@@ -240,8 +244,8 @@ impl Polygon {
                     i += 1;
                     continue;
                 }
-                let collinear = (prev.x == cur.x && cur.x == next.x)
-                    || (prev.y == cur.y && cur.y == next.y);
+                let collinear =
+                    (prev.x == cur.x && cur.x == next.x) || (prev.y == cur.y && cur.y == next.y);
                 if collinear {
                     removed = true; // pseudo-vertex or spike midpoint
                     i += 1;
@@ -276,7 +280,8 @@ impl Polygon {
                 len: self.edge_count(),
             });
         }
-        let mut vertices = Vec::with_capacity(self.vertices.len() + cuts.iter().map(Vec::len).sum::<usize>());
+        let mut vertices =
+            Vec::with_capacity(self.vertices.len() + cuts.iter().map(Vec::len).sum::<usize>());
         for (i, edge_cuts) in cuts.iter().enumerate() {
             let e = self.edge(i);
             vertices.push(e.start);
@@ -584,7 +589,10 @@ mod tests {
             rect_poly(-2, -2, 12, 12)
         );
         let shrunk = p.with_edge_offsets(&[-3, -3, -3, -3]).expect("shrunk");
-        assert_eq!(shrunk.simplified().expect("simplify"), rect_poly(3, 3, 7, 7));
+        assert_eq!(
+            shrunk.simplified().expect("simplify"),
+            rect_poly(3, 3, 7, 7)
+        );
     }
 
     #[test]
@@ -592,7 +600,9 @@ mod tests {
         // Split the bottom edge of a wide line and push only the middle
         // fragment outward (a classic OPC hammerhead-like move).
         let p = rect_poly(0, 0, 100, 10);
-        let cut = p.with_cuts(&[vec![30, 70], vec![], vec![], vec![]]).expect("cut");
+        let cut = p
+            .with_cuts(&[vec![30, 70], vec![], vec![], vec![]])
+            .expect("cut");
         // Edges now: bottom[0..30], bottom[30..70], bottom[70..100], right, top, left.
         let mut offsets = vec![0; cut.edge_count()];
         offsets[1] = 4; // outward = downward for the bottom edge
@@ -606,7 +616,9 @@ mod tests {
     #[test]
     fn simplified_removes_pseudo_vertices() {
         let p = rect_poly(0, 0, 100, 10);
-        let cut = p.with_cuts(&[vec![50], vec![], vec![5, 95], vec![]]).expect("cut");
+        let cut = p
+            .with_cuts(&[vec![50], vec![], vec![5, 95], vec![]])
+            .expect("cut");
         assert_eq!(cut.simplified().expect("simplify"), p);
     }
 

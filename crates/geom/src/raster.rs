@@ -90,7 +90,10 @@ impl Grid {
     ///
     /// Panics if the indices are out of bounds.
     pub fn at(&self, ix: usize, iy: usize) -> f64 {
-        assert!(ix < self.nx && iy < self.ny, "pixel ({ix},{iy}) out of grid");
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "pixel ({ix},{iy}) out of grid"
+        );
         self.data[iy * self.nx + ix]
     }
 
@@ -100,7 +103,10 @@ impl Grid {
     ///
     /// Panics if the indices are out of bounds.
     pub fn set(&mut self, ix: usize, iy: usize, v: f64) {
-        assert!(ix < self.nx && iy < self.ny, "pixel ({ix},{iy}) out of grid");
+        assert!(
+            ix < self.nx && iy < self.ny,
+            "pixel ({ix},{iy}) out of grid"
+        );
         self.data[iy * self.nx + ix] = v;
     }
 
@@ -177,7 +183,10 @@ impl Grid {
     ///
     /// Panics if `kernel` has even length.
     pub fn convolve_separable(&mut self, kernel: &[f64]) {
-        assert!(kernel.len() % 2 == 1, "separable kernel must have odd length");
+        assert!(
+            kernel.len() % 2 == 1,
+            "separable kernel must have odd length"
+        );
         let half = kernel.len() / 2;
         let mut scratch = vec![0.0; self.nx.max(self.ny)];
         // Rows.
@@ -207,8 +216,8 @@ impl Grid {
                 }
                 *out = acc;
             }
-            for iy in 0..self.ny {
-                self.data[iy * self.nx + ix] = scratch[iy];
+            for (iy, &value) in scratch[..self.ny].iter().enumerate() {
+                self.data[iy * self.nx + ix] = value;
             }
         }
     }
@@ -338,6 +347,16 @@ mod tests {
         assert!((g.at(5, 5) - 1.0).abs() < 1e-12);
         assert!((g.at(4, 4) - 1.0).abs() < 1e-12);
         assert_eq!(g.at(2, 2), 0.0);
+    }
+
+    #[test]
+    fn box_kernel_conserves_mass_on_wide_grid() {
+        // nx > ny: the column pass must write back only ny values.
+        let mut g = Grid::new(Rect::new(0, 0, 200, 50).expect("rect"), 0, 10.0).expect("grid");
+        g.set(10, 2, 9.0);
+        g.convolve_separable(&[1.0 / 3.0, 1.0 / 3.0, 1.0 / 3.0]);
+        assert!((g.total() - 9.0).abs() < 1e-9);
+        assert!((g.at(10, 2) - 1.0).abs() < 1e-12);
     }
 
     #[test]

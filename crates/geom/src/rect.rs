@@ -195,8 +195,12 @@ impl Rect {
     /// Euclidean gap between the closest points of two rectangles
     /// (0.0 if they touch or overlap).
     pub fn gap(&self, other: &Rect) -> f64 {
-        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0);
-        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0);
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0);
         (dx as f64).hypot(dy as f64)
     }
 

@@ -72,12 +72,7 @@ impl DensityMap {
     /// Density range (max − min): the gradient metric that etch-loading
     /// design rules bound.
     pub fn range(&self) -> f64 {
-        let min = self
-            .grid
-            .data()
-            .iter()
-            .copied()
-            .fold(f64::MAX, f64::min);
+        let min = self.grid.data().iter().copied().fold(f64::MAX, f64::min);
         self.max() - min
     }
 }
@@ -87,8 +82,8 @@ mod tests {
     use super::*;
     use crate::design::Design;
     use crate::generate;
-    use crate::tech::TechRules;
     use crate::place::PlacementOptions;
+    use crate::tech::TechRules;
 
     fn design(utilization: f64) -> Design {
         Design::compile_with(

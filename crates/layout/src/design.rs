@@ -142,7 +142,10 @@ impl Design {
             return Vec::new();
         };
         let polys = &self.shapes[&layer];
-        idx.query(window).into_iter().map(|(_, &i)| &polys[i]).collect()
+        idx.query(window)
+            .into_iter()
+            .map(|(_, &i)| &polys[i])
+            .collect()
     }
 
     /// The die bounding box.

@@ -22,8 +22,16 @@ impl DrcRules {
     /// The 90 nm-class deck matching [`crate::TechRules::n90`].
     pub fn n90() -> DrcRules {
         DrcRules {
-            min_width: vec![(Layer::Poly, 90), (Layer::Metal1, 120), (Layer::Metal2, 140)],
-            min_space: vec![(Layer::Poly, 110), (Layer::Metal1, 120), (Layer::Metal2, 140)],
+            min_width: vec![
+                (Layer::Poly, 90),
+                (Layer::Metal1, 120),
+                (Layer::Metal2, 140),
+            ],
+            min_space: vec![
+                (Layer::Poly, 110),
+                (Layer::Metal1, 120),
+                (Layer::Metal2, 140),
+            ],
         }
     }
 }
@@ -210,7 +218,9 @@ mod tests {
         };
         let flagged = run_drc(&design, &strict);
         assert!(!flagged.is_empty());
-        assert!(flagged.iter().all(|v| v.measured >= 110 && v.measured < 250));
+        assert!(flagged
+            .iter()
+            .all(|v| v.measured >= 110 && v.measured < 250));
         assert!(run_drc(&design, &relaxed).is_empty());
     }
 

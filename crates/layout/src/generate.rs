@@ -9,8 +9,8 @@
 use crate::error::Result;
 use crate::netlist::{GateKind, NetId, Netlist, NetlistBuilder};
 use crate::tech::Drive;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use postopc_rng::rngs::StdRng;
+use postopc_rng::{RngExt, SeedableRng};
 
 /// Builds `out = a NAND b` and returns the output net.
 fn nand2(b: &mut NetlistBuilder, a: NetId, x: NetId, name: &str) -> Result<NetId> {
@@ -19,9 +19,14 @@ fn nand2(b: &mut NetlistBuilder, a: NetId, x: NetId, name: &str) -> Result<NetId
     Ok(out)
 }
 
-
 /// Builds a 9-NAND full adder; returns `(sum, carry_out)`.
-fn full_adder(b: &mut NetlistBuilder, a: NetId, x: NetId, c: NetId, name: &str) -> Result<(NetId, NetId)> {
+fn full_adder(
+    b: &mut NetlistBuilder,
+    a: NetId,
+    x: NetId,
+    c: NetId,
+    name: &str,
+) -> Result<(NetId, NetId)> {
     let t1 = nand2(b, a, x, &format!("{name}_t1"))?;
     let t2 = nand2(b, a, t1, &format!("{name}_t2"))?;
     let t3 = nand2(b, x, t1, &format!("{name}_t3"))?;
@@ -154,7 +159,9 @@ impl Default for RandomLogicSpec {
 pub fn random_logic(spec: &RandomLogicSpec) -> Result<Netlist> {
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut b = NetlistBuilder::new(format!("rand{}x{}", spec.gates, spec.seed));
-    let mut nets: Vec<NetId> = (0..spec.inputs).map(|i| b.input(format!("pi{i}"))).collect();
+    let mut nets: Vec<NetId> = (0..spec.inputs)
+        .map(|i| b.input(format!("pi{i}")))
+        .collect();
     for g in 0..spec.gates {
         let kind = match rng.random_range(0..10) {
             0..=1 => GateKind::Inv,
@@ -272,7 +279,13 @@ pub fn registered_farm(paths: usize, depth: usize, seed: u64) -> Result<Netlist>
         let side_a = b.input(format!("sa{p}"));
         let side_b = b.input(format!("sb{p}"));
         let q = b.net(format!("p{p}_q"));
-        b.named_gate(format!("p{p}_launch"), GateKind::Dff, Drive::X1, &[d_in, clk], q)?;
+        b.named_gate(
+            format!("p{p}_launch"),
+            GateKind::Dff,
+            Drive::X1,
+            &[d_in, clk],
+            q,
+        )?;
         let mut kinds = stage_kinds.clone();
         for i in (1..kinds.len()).rev() {
             let j = rng.random_range(0..=i);
@@ -290,7 +303,13 @@ pub fn registered_farm(paths: usize, depth: usize, seed: u64) -> Result<Netlist>
             prev = out;
         }
         let q_out = b.net(format!("p{p}_qo"));
-        b.named_gate(format!("p{p}_capture"), GateKind::Dff, Drive::X1, &[prev, clk], q_out)?;
+        b.named_gate(
+            format!("p{p}_capture"),
+            GateKind::Dff,
+            Drive::X1,
+            &[prev, clk],
+            q_out,
+        )?;
         b.output(q_out);
     }
     b.build()
@@ -336,7 +355,11 @@ pub fn paper_testcase(seed: u64) -> Result<Netlist> {
             let n = nand2(&mut b, pis[j], pis[4 + i], &format!("mp{i}_{j}_n"))?;
             let o = b.net(format!("mp{i}_{j}"));
             b.named_gate(format!("mp{i}_{j}_i"), GateKind::Inv, Drive::X1, &[n], o)?;
-            let addend = if j + 1 < row.len() { row[j + 1] } else { pis[18] };
+            let addend = if j + 1 < row.len() {
+                row[j + 1]
+            } else {
+                pis[18]
+            };
             let (s, c) = full_adder(&mut b, o, addend, mult_carry, &format!("mm{i}_{j}"))?;
             next.push(s);
             mult_carry = c;
@@ -455,7 +478,11 @@ mod tests {
         let nl = registered_farm(4, 10, 1).expect("farm");
         // Per path: launch DFF + 10 combinational + capture DFF.
         assert_eq!(nl.gate_count(), 4 * 12);
-        let dffs = nl.gates().iter().filter(|g| g.kind == GateKind::Dff).count();
+        let dffs = nl
+            .gates()
+            .iter()
+            .filter(|g| g.kind == GateKind::Dff)
+            .count();
         assert_eq!(dffs, 8);
         assert_eq!(nl.primary_outputs().len(), 4);
     }

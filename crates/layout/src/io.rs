@@ -73,7 +73,9 @@ pub fn read_shapes<R: Read>(reader: R) -> Result<Vec<(Layer, Polygon)>> {
             continue;
         }
         let mut fields = line.split_whitespace();
-        let layer_name = fields.next().ok_or_else(|| parse_err(line_no, "missing layer"))?;
+        let layer_name = fields
+            .next()
+            .ok_or_else(|| parse_err(line_no, "missing layer"))?;
         let layer = parse_layer(layer_name)
             .ok_or_else(|| parse_err(line_no, &format!("unknown layer {layer_name:?}")))?;
         let mut vertices = Vec::new();
@@ -148,7 +150,10 @@ mod tests {
         let shapes = read_shapes(text.as_bytes()).expect("read");
         assert_eq!(shapes.len(), 1);
         assert_eq!(shapes[0].0, Layer::Poly);
-        assert_eq!(shapes[0].1, Polygon::from(Rect::new(0, 0, 90, 600).expect("rect")));
+        assert_eq!(
+            shapes[0].1,
+            Polygon::from(Rect::new(0, 0, 90, 600).expect("rect"))
+        );
     }
 
     #[test]

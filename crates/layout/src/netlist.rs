@@ -338,7 +338,11 @@ impl NetlistBuilder {
     /// All nets currently used as a gate input (useful for generators that
     /// promote sink-less nets to primary outputs).
     pub fn nets_used_as_inputs(&self) -> Vec<NetId> {
-        let mut v: Vec<NetId> = self.gates.iter().flat_map(|g| g.inputs.iter().copied()).collect();
+        let mut v: Vec<NetId> = self
+            .gates
+            .iter()
+            .flat_map(|g| g.inputs.iter().copied())
+            .collect();
         v.sort_unstable();
         v.dedup();
         v
@@ -393,7 +397,9 @@ impl NetlistBuilder {
                 }
             }
         }
-        let mut queue: Vec<usize> = (0..self.gates.len()).filter(|&i| indegree[i] == 0).collect();
+        let mut queue: Vec<usize> = (0..self.gates.len())
+            .filter(|&i| indegree[i] == 0)
+            .collect();
         let mut topo = Vec::with_capacity(self.gates.len());
         while let Some(i) = queue.pop() {
             topo.push(GateId(i as u32));
@@ -462,7 +468,8 @@ mod tests {
         let mut b = NetlistBuilder::new("bad");
         let floating = b.net("floating");
         let out = b.net("out");
-        b.gate(GateKind::Inv, Drive::X1, &[floating], out).expect("gate");
+        b.gate(GateKind::Inv, Drive::X1, &[floating], out)
+            .expect("gate");
         assert!(matches!(
             b.build(),
             Err(LayoutError::DriverConflict { drivers: 0, .. })
@@ -503,7 +510,8 @@ mod tests {
         let x = b.net("x");
         let y = b.net("y");
         b.gate(GateKind::Inv, Drive::X1, &[x], y).expect("gate");
-        b.gate(GateKind::Dff, Drive::X1, &[y, clk], x).expect("gate");
+        b.gate(GateKind::Dff, Drive::X1, &[y, clk], x)
+            .expect("gate");
         let nl = b.build().expect("sequential loop is legal");
         assert_eq!(nl.gate_count(), 2);
         assert!(GateKind::Dff.is_sequential());

@@ -10,8 +10,8 @@ use crate::error::{LayoutError, Result};
 use crate::library::CellLibrary;
 use crate::netlist::{GateId, Netlist};
 use postopc_geom::{Coord, Orient, Rect, Transform, Vector};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use postopc_rng::rngs::StdRng;
+use postopc_rng::{RngExt, SeedableRng};
 
 /// Placement tuning knobs.
 #[derive(Debug, Clone, PartialEq)]
@@ -86,12 +86,13 @@ impl Placement {
             .sum();
         let spread_width = (total_width as f64 / utilization) as Coord;
         // Aim for a square-ish die with a little row slack.
-        let rows =
-            (((spread_width as f64) / (tech.cell_height as f64)).sqrt().ceil() as usize).max(1);
+        let rows = (((spread_width as f64) / (tech.cell_height as f64))
+            .sqrt()
+            .ceil() as usize)
+            .max(1);
         let row_width = spread_width / rows as Coord + tech.poly_pitch * 4;
         // Mean filler gap that realizes the target utilization.
-        let mean_gap = total_width as f64 * (1.0 / utilization - 1.0)
-            / netlist.gate_count() as f64;
+        let mean_gap = total_width as f64 * (1.0 / utilization - 1.0) / netlist.gate_count() as f64;
 
         let mut instances = Vec::with_capacity(netlist.gate_count());
         let mut row = 0usize;
@@ -111,7 +112,7 @@ impl Placement {
             }
             let y = row as Coord * tech.cell_height;
             // Alternate rows are flipped about x so power rails abut.
-            let transform = if row % 2 == 0 {
+            let transform = if row.is_multiple_of(2) {
                 Transform::new(Orient::R0, Vector::new(x, y))
             } else {
                 Transform::new(Orient::MX, Vector::new(x, y + tech.cell_height))
@@ -195,7 +196,10 @@ mod tests {
             .collect();
         for i in 0..boxes.len() {
             for j in (i + 1)..boxes.len() {
-                assert!(!boxes[i].intersects(&boxes[j]), "instances {i} and {j} overlap");
+                assert!(
+                    !boxes[i].intersects(&boxes[j]),
+                    "instances {i} and {j} overlap"
+                );
             }
         }
     }

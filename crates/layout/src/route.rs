@@ -47,7 +47,11 @@ impl Routing {
     ///
     /// Propagates geometry errors (degenerate route rectangles are skipped,
     /// so this only fails on inconsistent technology rules).
-    pub fn route(netlist: &Netlist, placement: &Placement, library: &CellLibrary) -> Result<Routing> {
+    pub fn route(
+        netlist: &Netlist,
+        placement: &Placement,
+        library: &CellLibrary,
+    ) -> Result<Routing> {
         let tech = library.tech();
         let mut routes = Vec::new();
         for (net_index, _net) in netlist.nets().iter().enumerate() {
@@ -84,8 +88,7 @@ impl Routing {
                     {
                         track = -track;
                     }
-                    let (segs, len) =
-                        l_route(driver_pos, pin, tech.m2_width, tech.m1_width, track);
+                    let (segs, len) = l_route(driver_pos, pin, tech.m2_width, tech.m1_width, track);
                     segments.extend(segs);
                     length += len;
                 }
@@ -265,7 +268,10 @@ mod tests {
         assert_eq!(segs.len(), 5);
         assert!(len > 3000.0);
         // The drop sits on the offset track.
-        let drop = segs.iter().find(|s| s.layer == Layer::Metal1).expect("drop");
+        let drop = segs
+            .iter()
+            .find(|s| s.layer == Layer::Metal1)
+            .expect("drop");
         assert_eq!(drop.rect.center().x, 1240);
         // The stub reaches the pin.
         let stub = &segs[3];

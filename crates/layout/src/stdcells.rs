@@ -82,23 +82,24 @@ impl CellLayout {
             height - tech.active_margin,
         )?;
 
-        let mut shapes: Vec<(Layer, Polygon)> = Vec::new();
-        shapes.push((Layer::Active, Polygon::from(n_active)));
-        shapes.push((Layer::Active, Polygon::from(p_active)));
-        // N-well over the PMOS half.
-        shapes.push((
-            Layer::Nwell,
-            Polygon::from(Rect::new(0, height / 2, width, height)?),
-        ));
-        // Power rails on metal-1.
-        shapes.push((
-            Layer::Metal1,
-            Polygon::from(Rect::new(0, 0, width, tech.m1_width)?),
-        ));
-        shapes.push((
-            Layer::Metal1,
-            Polygon::from(Rect::new(0, height - tech.m1_width, width, height)?),
-        ));
+        let mut shapes: Vec<(Layer, Polygon)> = vec![
+            (Layer::Active, Polygon::from(n_active)),
+            (Layer::Active, Polygon::from(p_active)),
+            // N-well over the PMOS half.
+            (
+                Layer::Nwell,
+                Polygon::from(Rect::new(0, height / 2, width, height)?),
+            ),
+            // Power rails on metal-1.
+            (
+                Layer::Metal1,
+                Polygon::from(Rect::new(0, 0, width, tech.m1_width)?),
+            ),
+            (
+                Layer::Metal1,
+                Polygon::from(Rect::new(0, height - tech.m1_width, width, height)?),
+            ),
+        ];
 
         let mut transistors = Vec::new();
         let mut input_pins = Vec::new();
@@ -134,7 +135,11 @@ impl CellLayout {
             ));
             shapes.push((
                 Layer::Metal1,
-                Polygon::from(Rect::centered(pin, tech.contact_size + 60, tech.contact_size + 60)?),
+                Polygon::from(Rect::centered(
+                    pin,
+                    tech.contact_size + 60,
+                    tech.contact_size + 60,
+                )?),
             ));
 
             let logical_finger = (f / fold) as usize;

@@ -126,8 +126,7 @@ mod tests {
         assert_eq!(t.cell_height % t.track_pitch, 0);
         // The actives, gap, and margins must fit inside the cell height.
         assert!(
-            t.nmos_width_x1 + t.pmos_width_x1 + t.active_gap + 2 * t.active_margin
-                <= t.cell_height
+            t.nmos_width_x1 + t.pmos_width_x1 + t.active_gap + 2 * t.active_margin <= t.cell_height
         );
     }
 

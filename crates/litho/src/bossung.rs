@@ -112,10 +112,11 @@ fn solve3(mut m: [[f64; 3]; 3], mut rhs: [f64; 3]) -> Option<(f64, f64, f64)> {
         }
         m.swap(col, pivot);
         rhs.swap(col, pivot);
+        let pivot_row = m[col];
         for row in (col + 1)..3 {
-            let factor = m[row][col] / m[col][col];
-            for k in col..3 {
-                m[row][k] -= factor * m[col][k];
+            let factor = m[row][col] / pivot_row[col];
+            for (k, &p) in pivot_row.iter().enumerate().skip(col) {
+                m[row][k] -= factor * p;
             }
             rhs[row] -= factor * rhs[col];
         }
@@ -205,7 +206,7 @@ mod tests {
             vec![1.0],
             |c: &ProcessConditions| {
                 let spec = SimulationSpec::nominal().with_conditions(*c);
-                let image = AerialImage::simulate(&spec, &[line.clone()], window)?;
+                let image = AerialImage::simulate(&spec, std::slice::from_ref(&line), window)?;
                 cutline::measure_cd(&image, &resist, (0.0, 0.0), (1.0, 0.0), 150.0)
             },
         )

@@ -155,7 +155,9 @@ fn component_polygon(
         )
     };
     let vertices: Vec<Point> = corners.into_iter().map(to_nm).collect();
-    Polygon::new(vertices).ok().and_then(|p| p.simplified().ok())
+    Polygon::new(vertices)
+        .ok()
+        .and_then(|p| p.simplified().ok())
 }
 
 /// Image log slope at a point along a unit direction, in 1/nm:
@@ -280,8 +282,12 @@ mod tests {
     fn defocus_degrades_nils() {
         let line = Polygon::from(Rect::new(-45, -600, 45, 600).expect("rect"));
         let window = Rect::new(-300, -300, 300, 300).expect("rect");
-        let focused = AerialImage::simulate(&SimulationSpec::nominal(), &[line.clone()], window)
-            .expect("image");
+        let focused = AerialImage::simulate(
+            &SimulationSpec::nominal(),
+            std::slice::from_ref(&line),
+            window,
+        )
+        .expect("image");
         let blurred = AerialImage::simulate(
             &SimulationSpec::nominal().with_conditions(crate::ProcessConditions {
                 focus_nm: 200.0,

@@ -115,8 +115,14 @@ mod tests {
     #[test]
     fn printed_cd_close_to_drawn_for_isolated_line() {
         let img = image_of(&[vertical_line()]);
-        let cd = measure_cd(&img, &ResistModel::standard(), (0.0, 0.0), (1.0, 0.0), 150.0)
-            .expect("feature prints");
+        let cd = measure_cd(
+            &img,
+            &ResistModel::standard(),
+            (0.0, 0.0),
+            (1.0, 0.0),
+            150.0,
+        )
+        .expect("feature prints");
         assert!(
             (cd - 90.0).abs() < 20.0,
             "isolated 90 nm line printed at {cd} nm"
@@ -158,8 +164,7 @@ mod tests {
         .expect("image");
         let epe_nominal =
             edge_placement_error(&img, &r, (45.0, 0.0), (1.0, 0.0), 60.0).expect("epe");
-        let epe_over =
-            edge_placement_error(&over, &r, (45.0, 0.0), (1.0, 0.0), 60.0).expect("epe");
+        let epe_over = edge_placement_error(&over, &r, (45.0, 0.0), (1.0, 0.0), 60.0).expect("epe");
         assert!(epe_over > epe_nominal, "overdose must push the edge out");
         assert!(epe_nominal.abs() < 25.0, "nominal EPE = {epe_nominal}");
     }
@@ -171,10 +176,8 @@ mod tests {
         let short = Polygon::from(Rect::new(-45, -250, 45, 250).expect("rect"));
         let img = image_of(&[short]);
         let r = ResistModel::standard();
-        let end_epe =
-            edge_placement_error(&img, &r, (0.0, 250.0), (0.0, 1.0), 120.0).expect("epe");
-        let side_epe =
-            edge_placement_error(&img, &r, (45.0, 0.0), (1.0, 0.0), 120.0).expect("epe");
+        let end_epe = edge_placement_error(&img, &r, (0.0, 250.0), (0.0, 1.0), 120.0).expect("epe");
+        let side_epe = edge_placement_error(&img, &r, (45.0, 0.0), (1.0, 0.0), 120.0).expect("epe");
         assert!(
             end_epe < side_epe,
             "line end EPE {end_epe} should be below side EPE {side_epe}"

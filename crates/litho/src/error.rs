@@ -63,7 +63,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = LithoError::InvalidOptics { name: "NA", value: 2.0 };
+        let e = LithoError::InvalidOptics {
+            name: "NA",
+            value: 2.0,
+        };
         assert!(e.to_string().contains("NA"));
         assert!(e.source().is_none());
         let g = LithoError::from(postopc_geom::GeomError::InvalidResolution(0.0));

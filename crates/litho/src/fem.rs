@@ -53,6 +53,42 @@ impl FocusExposureMatrix {
         })
     }
 
+    /// [`FocusExposureMatrix::sweep`] with the cells measured on the
+    /// shared worker pool: one task per (focus, dose) cell, results
+    /// merged in grid order so the matrix is identical to a serial sweep.
+    ///
+    /// `threads` follows the pool convention: `None` defers to the
+    /// `POSTOPC_THREADS` environment variable, then to the machine's
+    /// available parallelism.
+    ///
+    /// # Errors
+    ///
+    /// Never fails currently (failed cells are recorded as `None`), like
+    /// the serial sweep.
+    pub fn sweep_parallel(
+        focus_values: Vec<f64>,
+        dose_values: Vec<f64>,
+        threads: Option<usize>,
+        measure: impl Fn(&ProcessConditions) -> Result<f64> + Sync,
+    ) -> Result<FocusExposureMatrix> {
+        let mut grid = Vec::with_capacity(focus_values.len() * dose_values.len());
+        for &dose in &dose_values {
+            for &focus_nm in &focus_values {
+                grid.push(ProcessConditions { focus_nm, dose });
+            }
+        }
+        let workers = postopc_parallel::effective_threads(threads);
+        let points = postopc_parallel::par_map(workers, &grid, |_, conditions| FemPoint {
+            conditions: *conditions,
+            value: measure(conditions).ok(),
+        });
+        Ok(FocusExposureMatrix {
+            focus_values,
+            dose_values,
+            points,
+        })
+    }
+
     /// The focus axis values.
     pub fn focus_values(&self) -> &[f64] {
         &self.focus_values
@@ -99,9 +135,7 @@ impl FocusExposureMatrix {
     pub fn process_window(&self, target: f64, tolerance: f64) -> Option<ProcessWindow> {
         let nf = self.focus_values.len();
         let nd = self.dose_values.len();
-        let ok = |fi: usize, di: usize| {
-            matches!(self.at(fi, di), Some(v) if (v - target).abs() <= tolerance)
-        };
+        let ok = |fi: usize, di: usize| matches!(self.at(fi, di), Some(v) if (v - target).abs() <= tolerance);
         let mut best: Option<(f64, f64, ProcessWindow)> = None; // (area, fspan, window)
         for f0 in 0..nf {
             for f1 in f0..nf {
@@ -177,12 +211,9 @@ mod tests {
 
     #[test]
     fn sweep_covers_grid() {
-        let fem = FocusExposureMatrix::sweep(
-            vec![-100.0, 0.0, 100.0],
-            vec![0.95, 1.0, 1.05],
-            toy_cd,
-        )
-        .expect("sweep");
+        let fem =
+            FocusExposureMatrix::sweep(vec![-100.0, 0.0, 100.0], vec![0.95, 1.0, 1.05], toy_cd)
+                .expect("sweep");
         assert_eq!(fem.points().len(), 9);
         assert_eq!(fem.at(1, 1), Some(90.0));
         // Bossung bowl: defocus raises CD symmetrically.
@@ -194,7 +225,10 @@ mod tests {
     fn failed_cells_recorded_as_none() {
         let fem = FocusExposureMatrix::sweep(vec![0.0], vec![1.0, 9.0], |c| {
             if c.dose > 2.0 {
-                Err(crate::error::LithoError::NoContourCrossing { x_nm: 0.0, y_nm: 0.0 })
+                Err(crate::error::LithoError::NoContourCrossing {
+                    x_nm: 0.0,
+                    y_nm: 0.0,
+                })
             } else {
                 Ok(90.0)
             }
@@ -202,6 +236,20 @@ mod tests {
         .expect("sweep");
         assert_eq!(fem.at(0, 0), Some(90.0));
         assert_eq!(fem.at(0, 1), None);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial() {
+        let focus = vec![-150.0, -75.0, 0.0, 75.0, 150.0];
+        let dose = vec![0.9, 1.0, 1.1];
+        let serial =
+            FocusExposureMatrix::sweep(focus.clone(), dose.clone(), toy_cd).expect("serial");
+        for workers in [Some(1), Some(4), None] {
+            let pooled =
+                FocusExposureMatrix::sweep_parallel(focus.clone(), dose.clone(), workers, toy_cd)
+                    .expect("pooled");
+            assert_eq!(pooled, serial, "workers = {workers:?}");
+        }
     }
 
     #[test]
@@ -229,12 +277,8 @@ mod tests {
 
     #[test]
     fn window_yield_counts_in_spec_cells() {
-        let fem = FocusExposureMatrix::sweep(
-            vec![-150.0, 0.0, 150.0],
-            vec![0.9, 1.0, 1.1],
-            toy_cd,
-        )
-        .expect("sweep");
+        let fem = FocusExposureMatrix::sweep(vec![-150.0, 0.0, 150.0], vec![0.9, 1.0, 1.1], toy_cd)
+            .expect("sweep");
         let y_all = fem.window_yield(90.0, 1000.0);
         assert!((y_all - 1.0).abs() < 1e-12);
         let y_tight = fem.window_yield(90.0, 4.0);

@@ -156,7 +156,8 @@ mod tests {
     fn clear_field_normalizes_to_one() {
         // A huge feature: interior intensity must be ~1.0.
         let big = Polygon::from(Rect::new(-2000, -2000, 2000, 2000).expect("rect"));
-        let img = AerialImage::simulate(&SimulationSpec::nominal(), &[big], window()).expect("image");
+        let img =
+            AerialImage::simulate(&SimulationSpec::nominal(), &[big], window()).expect("image");
         let v = img.intensity_at(0.0, 0.0);
         assert!((v - 1.0).abs() < 1e-3, "interior intensity = {v}");
     }
@@ -169,8 +170,8 @@ mod tests {
 
     #[test]
     fn isolated_line_profile_shape() {
-        let img =
-            AerialImage::simulate(&SimulationSpec::nominal(), &[line(-45, 45)], window()).expect("image");
+        let img = AerialImage::simulate(&SimulationSpec::nominal(), &[line(-45, 45)], window())
+            .expect("image");
         let center = img.intensity_at(0.0, 0.0);
         let edge = img.intensity_at(45.0, 0.0);
         let far = img.intensity_at(280.0, 0.0);
@@ -188,8 +189,8 @@ mod tests {
         let iso = AerialImage::simulate(&SimulationSpec::nominal(), &[line(-45, 45)], window())
             .expect("image");
         let dense_mask = vec![line(-45, 45), line(-325, -235), line(235, 325)];
-        let dense =
-            AerialImage::simulate(&SimulationSpec::nominal(), &dense_mask, window()).expect("image");
+        let dense = AerialImage::simulate(&SimulationSpec::nominal(), &dense_mask, window())
+            .expect("image");
         let iso_edge = iso.intensity_at(45.0, 0.0);
         let dense_edge = dense.intensity_at(45.0, 0.0);
         assert!(
@@ -206,8 +207,8 @@ mod tests {
         spec.kernel_mode = KernelMode::SingleGaussian;
         let single = AerialImage::simulate(&spec, &dense_mask, window()).expect("image");
         let iso_mask = vec![line(-45, 45)];
-        let full_iso = AerialImage::simulate(&SimulationSpec::nominal(), &iso_mask, window())
-            .expect("image");
+        let full_iso =
+            AerialImage::simulate(&SimulationSpec::nominal(), &iso_mask, window()).expect("image");
         let single_iso = AerialImage::simulate(&spec, &iso_mask, window()).expect("image");
         let prox_full = (full.intensity_at(45.0, 0.0) - full_iso.intensity_at(45.0, 0.0)).abs();
         let prox_single =
@@ -252,7 +253,10 @@ mod tests {
             AerialImage::simulate(&SimulationSpec::nominal(), &[short], window()).expect("image");
         let end = img.intensity_at(0.0, 200.0);
         let side = img.intensity_at(45.0, 0.0);
-        assert!(end < side, "line-end {end} should be dimmer than side edge {side}");
+        assert!(
+            end < side,
+            "line-end {end} should be dimmer than side edge {side}"
+        );
         let _ = Point::new(0, 0); // keep Point import used in this module
     }
 }

@@ -169,7 +169,8 @@ mod tests {
 
     #[test]
     fn single_gaussian_has_one_kernel() {
-        let s = KernelStack::single_gaussian(&OpticsParams::default(), &ProcessConditions::nominal());
+        let s =
+            KernelStack::single_gaussian(&OpticsParams::default(), &ProcessConditions::nominal());
         assert_eq!(s.kernels().len(), 1);
         assert_eq!(s.kernels()[0].weight, 1.0);
     }

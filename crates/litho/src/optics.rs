@@ -55,10 +55,16 @@ impl OpticsParams {
             });
         }
         if !(self.na > 0.0 && self.na <= 1.5) {
-            return Err(LithoError::InvalidOptics { name: "NA", value: self.na });
+            return Err(LithoError::InvalidOptics {
+                name: "NA",
+                value: self.na,
+            });
         }
         if !(0.0..=1.0).contains(&self.sigma) {
-            return Err(LithoError::InvalidOptics { name: "sigma", value: self.sigma });
+            return Err(LithoError::InvalidOptics {
+                name: "sigma",
+                value: self.sigma,
+            });
         }
         if !(0.0..1.0).contains(&self.surround_weight) {
             return Err(LithoError::InvalidOptics {
@@ -150,14 +156,20 @@ mod tests {
 
     #[test]
     fn rejects_out_of_range() {
-        let mut o = OpticsParams::default();
-        o.na = 2.0;
+        let o = OpticsParams {
+            na: 2.0,
+            ..Default::default()
+        };
         assert!(o.validate().is_err());
-        let mut o = OpticsParams::default();
-        o.sigma = 1.5;
+        let o = OpticsParams {
+            sigma: 1.5,
+            ..Default::default()
+        };
         assert!(o.validate().is_err());
-        let mut o = OpticsParams::default();
-        o.surround_ratio = 0.5;
+        let o = OpticsParams {
+            surround_ratio: 0.5,
+            ..Default::default()
+        };
         assert!(o.validate().is_err());
     }
 

@@ -57,7 +57,8 @@ mod tests {
         let line = Polygon::from(Rect::new(-45, -600, 45, 600).expect("rect"));
         let window = Rect::new(-300, -300, 300, 300).expect("rect");
         let spec = SimulationSpec::nominal();
-        let nominal = AerialImage::simulate(&spec, &[line.clone()], window).expect("image");
+        let nominal =
+            AerialImage::simulate(&spec, std::slice::from_ref(&line), window).expect("image");
         let over = AerialImage::simulate(
             &spec.with_conditions(crate::ProcessConditions {
                 focus_nm: 0.0,

@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = OpcError::InvalidFragmentSpec { name: "max_len", value: -10 };
+        let e = OpcError::InvalidFragmentSpec {
+            name: "max_len",
+            value: -10,
+        };
         assert!(e.to_string().contains("max_len"));
         let g = OpcError::from(postopc_geom::GeomError::InvalidResolution(0.0));
         assert!(g.source().is_some());

@@ -116,9 +116,9 @@ impl FragmentedPolygon {
         // then order them to match the polygon's (canonicalized) edge order.
         let mut by_endpoints: std::collections::HashMap<(Point, Point), FragmentInfo> =
             std::collections::HashMap::new();
-        for i in 0..target.edge_count() {
+        for (i, cut_offsets) in cuts.iter().enumerate() {
             let original = target.edge(i);
-            let n_pieces = cuts[i].len() + 1;
+            let n_pieces = cut_offsets.len() + 1;
             let is_line_end = n_pieces == 1 && original.length() <= 2 * spec.max_len && {
                 // Both neighbours turn the same way => this edge caps a line.
                 let prev = target.edge((i + target.edge_count() - 1) % target.edge_count());
@@ -126,11 +126,15 @@ impl FragmentedPolygon {
                 prev.direction() == -next.direction()
             };
             for piece in 0..n_pieces {
-                let start = if piece == 0 { 0 } else { cuts[i][piece - 1] };
+                let start = if piece == 0 {
+                    0
+                } else {
+                    cut_offsets[piece - 1]
+                };
                 let end = if piece == n_pieces - 1 {
                     original.length()
                 } else {
-                    cuts[i][piece]
+                    cut_offsets[piece]
                 };
                 let mid_t = (start + end) as f64 / (2.0 * original.length() as f64);
                 let kind = if is_line_end {
@@ -272,7 +276,11 @@ mod tests {
             .count();
         // Each 1000 nm edge contributes 2 corner fragments.
         assert_eq!(corners, 4);
-        for fr in f.fragments().iter().filter(|fr| fr.kind == FragmentKind::Corner) {
+        for fr in f
+            .fragments()
+            .iter()
+            .filter(|fr| fr.kind == FragmentKind::Corner)
+        {
             assert_eq!(fr.length, FragmentSpec::standard().corner_len);
         }
     }
@@ -282,7 +290,11 @@ mod tests {
         let spec = FragmentSpec::standard();
         let f = FragmentedPolygon::new(&long_line(), &spec).expect("fragment");
         for fr in f.fragments() {
-            assert!(fr.length <= spec.max_len + 1, "fragment of {} nm", fr.length);
+            assert!(
+                fr.length <= spec.max_len + 1,
+                "fragment of {} nm",
+                fr.length
+            );
             assert!(fr.length > 0);
         }
         // Total length conserved.
@@ -297,7 +309,11 @@ mod tests {
         for fr in f.fragments() {
             // Control point is on an edge: stepping inward lands inside.
             let inside = fr.control - fr.outward * 2;
-            assert!(target.contains(inside), "control {} not on boundary", fr.control);
+            assert!(
+                target.contains(inside),
+                "control {} not on boundary",
+                fr.control
+            );
         }
     }
 

@@ -103,7 +103,10 @@ impl HotspotSnippet {
     /// Panics if the snippets were captured at different bitmap
     /// resolutions (mixing configs is a caller bug).
     pub fn similarity(&self, other: &HotspotSnippet) -> f64 {
-        assert_eq!(self.px, other.px, "snippets captured at different resolutions");
+        assert_eq!(
+            self.px, other.px,
+            "snippets captured at different resolutions"
+        );
         let mut intersection = 0usize;
         let mut union = 0usize;
         for (a, b) in self.bitmap.iter().zip(&other.bitmap) {
@@ -158,7 +161,7 @@ pub fn cluster_hotspots(
             }),
         }
     }
-    clusters.sort_by(|a, b| b.members.len().cmp(&a.members.len()));
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.members.len()));
     clusters
 }
 
@@ -212,10 +215,10 @@ mod tests {
     /// pattern.
     fn test_shapes() -> Vec<Polygon> {
         vec![
-            line(-45, 45, -600, 0),          // line end near (0, 0)
-            line(4955, 5045, 4400, 5000),    // same line-end pattern at (5000, 5000)
-            line(9955, 10045, 9000, 11000),  // through line at (10000, 10000)
-            line(9735, 9825, 9000, 11000),   // with a dense neighbour
+            line(-45, 45, -600, 0),         // line end near (0, 0)
+            line(4955, 5045, 4400, 5000),   // same line-end pattern at (5000, 5000)
+            line(9955, 10045, 9000, 11000), // through line at (10000, 10000)
+            line(9735, 9825, 9000, 11000),  // with a dense neighbour
         ]
     }
 
@@ -241,8 +244,8 @@ mod tests {
         let cfg = HotspotConfig::standard();
         let shapes = test_shapes();
         let a = HotspotSnippet::capture(&cfg, hotspot_at(0.0, 0.0), &shapes).expect("snippet");
-        let b = HotspotSnippet::capture(&cfg, hotspot_at(10000.0, 10000.0), &shapes)
-            .expect("snippet");
+        let b =
+            HotspotSnippet::capture(&cfg, hotspot_at(10000.0, 10000.0), &shapes).expect("snippet");
         assert!((a.similarity(&a) - 1.0).abs() < 1e-12);
         assert!((a.similarity(&b) - b.similarity(&a)).abs() < 1e-12);
     }
@@ -258,8 +261,7 @@ mod tests {
             Point::new(10000, 10000), // different pattern
             Point::new(20000, 20000), // empty area
         ];
-        let matches =
-            find_matches(&cfg, &representative, &shapes, &candidates).expect("matching");
+        let matches = find_matches(&cfg, &representative, &shapes, &candidates).expect("matching");
         assert_eq!(matches, vec![Point::new(5000, 5000)]);
     }
 
@@ -269,13 +271,13 @@ mod tests {
         let shapes = test_shapes();
         let line_end =
             HotspotSnippet::capture(&cfg, hotspot_at(0.0, 0.0), &shapes).expect("snippet");
-        let empty = HotspotSnippet::capture(&cfg, hotspot_at(20000.0, 20000.0), &shapes)
-            .expect("snippet");
+        let empty =
+            HotspotSnippet::capture(&cfg, hotspot_at(20000.0, 20000.0), &shapes).expect("snippet");
         assert!(line_end.density() > 0.01);
         assert_eq!(empty.density(), 0.0);
         // Two empty snippets are vacuously identical.
-        let empty2 = HotspotSnippet::capture(&cfg, hotspot_at(30000.0, 30000.0), &shapes)
-            .expect("snippet");
+        let empty2 =
+            HotspotSnippet::capture(&cfg, hotspot_at(30000.0, 30000.0), &shapes).expect("snippet");
         assert_eq!(empty.similarity(&empty2), 1.0);
     }
 
@@ -293,6 +295,8 @@ mod tests {
         ];
         let clusters = cluster_hotspots(&cfg, snippets);
         assert_eq!(clusters[0].members.len(), 3);
-        assert!(clusters.windows(2).all(|w| w[0].members.len() >= w[1].members.len()));
+        assert!(clusters
+            .windows(2)
+            .all(|w| w[0].members.len() >= w[1].members.len()));
     }
 }

@@ -128,7 +128,8 @@ pub fn correct(
                 max_epe = max_epe.max(epe.abs());
                 let delta = (-config.gain * epe).round() as Coord;
                 if delta != 0 {
-                    offsets[pi][fi] = (offsets[pi][fi] + delta).clamp(-config.max_move, config.max_move);
+                    offsets[pi][fi] =
+                        (offsets[pi][fi] + delta).clamp(-config.max_move, config.max_move);
                     report.fragment_moves += 1;
                 }
             }
@@ -269,8 +270,8 @@ mod tests {
     fn context_is_left_uncorrected_but_influences() {
         let targets = vec![line(-45, 45, -300, 300)];
         let context = vec![line(-325, -235, -300, 300)];
-        let with_ctx = correct(&ModelOpcConfig::standard(), &targets, &context, window())
-            .expect("opc");
+        let with_ctx =
+            correct(&ModelOpcConfig::standard(), &targets, &context, window()).expect("opc");
         let without = correct(&ModelOpcConfig::standard(), &targets, &[], window()).expect("opc");
         assert_eq!(with_ctx.corrected.len(), 1);
         assert_ne!(

@@ -157,7 +157,9 @@ mod tests {
     fn tight_space_flagged() {
         let mask = vec![line(0, 90), line(120, 210)]; // 30 nm gap
         let v = check_mask(&MrcRules::standard(), &mask);
-        assert!(v.iter().any(|v| v.kind == MrcViolationKind::Space && v.measured == 30));
+        assert!(v
+            .iter()
+            .any(|v| v.kind == MrcViolationKind::Space && v.measured == 30));
     }
 
     #[test]

@@ -233,10 +233,7 @@ mod tests {
         // Target drawn but mask empty: every control point is a pinch.
         let targets = vec![line(-45, 45)];
         let report = verify_mask(&targets, &[]);
-        assert!(report
-            .hotspots
-            .iter()
-            .all(|h| h.kind == HotspotKind::Pinch));
+        assert!(report.hotspots.iter().all(|h| h.kind == HotspotKind::Pinch));
         assert_eq!(report.hotspots.len(), report.epes.len());
     }
 }

@@ -94,7 +94,7 @@ pub fn correct(
                     FragmentKind::Corner => config.corner_bias,
                     FragmentKind::Normal => 0,
                 };
-                let space = facing_space(fr.control, fr.outward.into(), ti, &all, &index, config);
+                let space = facing_space(fr.control, fr.outward, ti, &all, &index, config);
                 let bias = config
                     .bias_table
                     .iter()

@@ -150,7 +150,12 @@ mod tests {
 
     #[test]
     fn cost_scales_with_tagged_fraction() {
-        let all = vec![line(-45, 45), line(-325, -235), line(235, 325), line(515, 605)];
+        let all = vec![
+            line(-45, 45),
+            line(-325, -235),
+            line(235, 325),
+            line(515, 605),
+        ];
         // Tag one polygon vs tag all.
         let one = correct(
             &ModelOpcConfig::standard(),

@@ -96,8 +96,8 @@ fn edge_is_isolated(
         let mut d = STEP;
         while d <= min_space {
             let probe = base + edge.outward_normal() * d;
-            let window = Rect::centered(probe, 2 * STEP, 2 * STEP)
-                .expect("probe window is non-degenerate");
+            let window =
+                Rect::centered(probe, 2 * STEP, 2 * STEP).expect("probe window is non-degenerate");
             for (_, &pi) in index.query(window) {
                 if pi != self_index && all[pi].contains(probe) {
                     return false;
@@ -145,8 +145,8 @@ mod tests {
 
     #[test]
     fn isolated_line_gets_bars_on_both_sides() {
-        let bars = insert_srafs(&SrafConfig::standard(), &[tall_line(-45, 45)], &[])
-            .expect("srafs");
+        let bars =
+            insert_srafs(&SrafConfig::standard(), &[tall_line(-45, 45)], &[]).expect("srafs");
         assert_eq!(bars.len(), 2);
         let xs: Vec<i64> = bars.iter().map(|b| b.bbox().center().x).collect();
         assert!(xs.iter().any(|&x| x > 45));
@@ -170,7 +170,8 @@ mod tests {
     #[test]
     fn srafs_do_not_print() {
         let target = tall_line(-45, 45);
-        let bars = insert_srafs(&SrafConfig::standard(), &[target.clone()], &[]).expect("srafs");
+        let bars = insert_srafs(&SrafConfig::standard(), std::slice::from_ref(&target), &[])
+            .expect("srafs");
         let mut mask = vec![target];
         mask.extend(bars.iter().cloned());
         let window = Rect::new(-400, -400, 400, 400).expect("rect");
@@ -197,13 +198,10 @@ mod tests {
                 .expect("image")
                 .intensity_at(45.0, 0.0)
         };
-        let iso = edge_intensity(&[target.clone()]);
-        let dense = edge_intensity(&[
-            target.clone(),
-            tall_line(-325, -235),
-            tall_line(235, 325),
-        ]);
-        let bars = insert_srafs(&SrafConfig::standard(), &[target.clone()], &[]).expect("srafs");
+        let iso = edge_intensity(std::slice::from_ref(&target));
+        let dense = edge_intensity(&[target.clone(), tall_line(-325, -235), tall_line(235, 325)]);
+        let bars = insert_srafs(&SrafConfig::standard(), std::slice::from_ref(&target), &[])
+            .expect("srafs");
         let mut assisted_mask = vec![target];
         assisted_mask.extend(bars);
         let assisted = edge_intensity(&assisted_mask);

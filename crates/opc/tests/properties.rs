@@ -1,48 +1,62 @@
-//! Property-based tests for fragmentation and correction invariants.
+//! Randomized tests for fragmentation and correction invariants, seeded
+//! via the in-tree `postopc-rng` generator (offline replacement for the
+//! former proptest suite; every sweep is deterministic).
 
 use postopc_geom::{Coord, Point, Polygon, Rect};
 use postopc_opc::{FragmentKind, FragmentSpec, FragmentedPolygon};
-use proptest::prelude::*;
+use postopc_rng::{rngs::StdRng, RngExt, SeedableRng};
 
-fn arb_line() -> impl Strategy<Value = Polygon> {
-    (60i64..200, 200i64..1500).prop_map(|(w, h)| {
-        Polygon::from(Rect::new(0, 0, w, h).expect("positive extents"))
-    })
+const CASES: usize = 96;
+
+fn arb_line(rng: &mut StdRng) -> Polygon {
+    let w = rng.random_range(60i64..200);
+    let h = rng.random_range(200i64..1500);
+    Polygon::from(Rect::new(0, 0, w, h).expect("positive extents"))
 }
 
 /// A random rectilinear staircase (same construction as the geom tests).
-fn arb_staircase() -> impl Strategy<Value = Polygon> {
-    proptest::collection::vec((80i64..400, 80i64..400), 2..6).prop_map(|steps| {
-        let mut v = vec![Point::new(0, 0)];
-        let (mut x, mut y) = (0, 0);
-        for (dx, dy) in &steps {
-            x += dx;
-            v.push(Point::new(x, y));
-            y += dy;
-            v.push(Point::new(x, y));
-        }
-        v.push(Point::new(0, y));
-        Polygon::new(v).expect("staircase is valid")
-    })
+fn arb_staircase(rng: &mut StdRng) -> Polygon {
+    let steps = rng.random_range(2usize..6);
+    let mut v = vec![Point::new(0, 0)];
+    let (mut x, mut y) = (0, 0);
+    for _ in 0..steps {
+        x += rng.random_range(80i64..400);
+        v.push(Point::new(x, y));
+        y += rng.random_range(80i64..400);
+        v.push(Point::new(x, y));
+    }
+    v.push(Point::new(0, y));
+    Polygon::new(v).expect("staircase is valid")
 }
 
-proptest! {
-    #[test]
-    fn fragmentation_conserves_perimeter(p in arb_staircase()) {
+#[test]
+fn fragmentation_conserves_perimeter() {
+    let mut rng = StdRng::seed_from_u64(0x0C01);
+    for _ in 0..CASES {
+        let p = arb_staircase(&mut rng);
         let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
         let total: Coord = frag.fragments().iter().map(|f| f.length).sum();
-        prop_assert_eq!(total, p.perimeter());
-        prop_assert_eq!(frag.fragments().len(), frag.polygon().edge_count());
+        assert_eq!(total, p.perimeter());
+        assert_eq!(frag.fragments().len(), frag.polygon().edge_count());
     }
+}
 
-    #[test]
-    fn fragmentation_preserves_area(p in arb_staircase()) {
+#[test]
+fn fragmentation_preserves_area() {
+    let mut rng = StdRng::seed_from_u64(0x0C02);
+    for _ in 0..CASES {
+        let p = arb_staircase(&mut rng);
         let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
-        prop_assert_eq!(frag.polygon().area(), p.area());
+        assert_eq!(frag.polygon().area(), p.area());
     }
+}
 
-    #[test]
-    fn fragments_respect_max_length(p in arb_line(), max_len in 80i64..300) {
+#[test]
+fn fragments_respect_max_length() {
+    let mut rng = StdRng::seed_from_u64(0x0C03);
+    for _ in 0..CASES {
+        let p = arb_line(&mut rng);
+        let max_len = rng.random_range(80i64..300);
         let spec = FragmentSpec {
             max_len,
             corner_len: 50,
@@ -50,44 +64,61 @@ proptest! {
         };
         let frag = FragmentedPolygon::new(&p, &spec).expect("fragment");
         for f in frag.fragments() {
-            // +1 tolerates the integer division remainder on the last piece.
-            prop_assert!(
+            // + corner_len tolerates the integer division remainder on the
+            // last piece.
+            assert!(
                 f.length <= max_len + spec.corner_len,
-                "fragment of {} nm exceeds bound", f.length
+                "fragment of {} nm exceeds bound",
+                f.length
             );
         }
     }
+}
 
-    #[test]
-    fn uniform_offsets_shift_area_predictably(p in arb_line(), bias in -10i64..10) {
+#[test]
+fn uniform_offsets_shift_area_predictably() {
+    let mut rng = StdRng::seed_from_u64(0x0C04);
+    for _ in 0..CASES {
+        let p = arb_line(&mut rng);
+        let bias = rng.random_range(-10i64..10);
         let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
         let offsets = vec![bias; frag.len()];
         let corrected = frag.apply_offsets(&offsets).expect("apply");
         // Uniform outward bias on a rectangle: exact area formula.
-        let expected = p.area()
-            + p.perimeter() as i128 * bias as i128
-            + 4 * (bias as i128) * (bias as i128);
-        prop_assert_eq!(corrected.area(), expected);
+        let expected =
+            p.area() + p.perimeter() as i128 * bias as i128 + 4 * (bias as i128) * (bias as i128);
+        assert_eq!(corrected.area(), expected);
     }
+}
 
-    #[test]
-    fn small_random_offsets_keep_polygon_simple(
-        p in arb_line(),
-        seed in proptest::collection::vec(-8i64..8, 64),
-    ) {
+#[test]
+fn small_random_offsets_keep_polygon_simple() {
+    let mut rng = StdRng::seed_from_u64(0x0C05);
+    for _ in 0..CASES {
+        let p = arb_line(&mut rng);
         let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
-        let offsets: Vec<Coord> = (0..frag.len()).map(|i| seed[i % seed.len()]).collect();
+        let offsets: Vec<Coord> = (0..frag.len())
+            .map(|_| rng.random_range(-8i64..8))
+            .collect();
         if let Ok(corrected) = frag.apply_offsets(&offsets) {
-            prop_assert!(corrected.is_simple(), "offsets produced a self-touching mask");
+            assert!(
+                corrected.is_simple(),
+                "offsets produced a self-touching mask"
+            );
         }
     }
+}
 
-    #[test]
-    fn line_caps_are_line_ends(p in arb_line()) {
+#[test]
+fn line_caps_are_line_ends() {
+    let mut rng = StdRng::seed_from_u64(0x0C06);
+    for _ in 0..CASES {
+        let p = arb_line(&mut rng);
         let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
         let bbox = p.bbox();
         if bbox.width() <= 2 * FragmentSpec::standard().max_len
-            && bbox.width() < 2 * FragmentSpec::standard().corner_len + FragmentSpec::standard().min_len
+            && bbox.width()
+                < 2 * FragmentSpec::standard().corner_len + FragmentSpec::standard().min_len
         {
             // Narrow lines: top/bottom edges unsplit and capped.
             let line_ends = frag
@@ -95,18 +126,22 @@ proptest! {
                 .iter()
                 .filter(|f| f.kind == FragmentKind::LineEnd)
                 .count();
-            prop_assert_eq!(line_ends, 2);
+            assert_eq!(line_ends, 2);
         }
     }
+}
 
-    #[test]
-    fn control_points_lie_on_the_target_boundary(p in arb_staircase()) {
+#[test]
+fn control_points_lie_on_the_target_boundary() {
+    let mut rng = StdRng::seed_from_u64(0x0C07);
+    for _ in 0..CASES {
+        let p = arb_staircase(&mut rng);
         let frag = FragmentedPolygon::new(&p, &FragmentSpec::standard()).expect("fragment");
         for f in frag.fragments() {
             let inside = f.control - f.outward * 2;
             let outside = f.control + f.outward * 2;
-            prop_assert!(p.contains(inside) || p.contains(f.control));
-            prop_assert!(!p.contains(outside));
+            assert!(p.contains(inside) || p.contains(f.control));
+            assert!(!p.contains(outside));
         }
     }
 }

@@ -1,0 +1,220 @@
+//! # postopc-parallel
+//!
+//! A minimal scoped-thread work pool (no external dependencies) shared by
+//! the post-OPC extraction engine, Monte Carlo timing and the
+//! focus-exposure-matrix sweep.
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Determinism** — [`par_map`] returns results in input order, so a
+//!    caller that merges them sequentially produces output that is
+//!    bit-identical to a serial run regardless of thread count or
+//!    scheduling.
+//! 2. **Zero dependencies** — `std::thread::scope` plus an atomic work
+//!    index; the workspace must build offline.
+//! 3. **Borrow-friendliness** — scoped threads let workers capture `&T`
+//!    borrows of the design/model being analyzed, so no `Arc` plumbing
+//!    leaks into the engines.
+//!
+//! Thread count resolution (first match wins): explicit override from the
+//! caller's config, the `POSTOPC_THREADS` environment variable, then
+//! [`std::thread::available_parallelism`].
+//!
+//! # Example
+//!
+//! ```
+//! let squares = postopc_parallel::par_map(4, &[1, 2, 3, 4], |_, &x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Environment variable overriding the worker-thread count.
+pub const THREADS_ENV: &str = "POSTOPC_THREADS";
+
+/// Resolves the worker-thread count for a work pool.
+///
+/// Precedence: `config_override` (from e.g. `ExtractionConfig::threads`),
+/// then the `POSTOPC_THREADS` environment variable, then the hardware
+/// parallelism. Zero or unparsable values at any level are ignored, and
+/// the result is always at least 1.
+#[must_use]
+pub fn effective_threads(config_override: Option<usize>) -> usize {
+    config_override
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var(THREADS_ENV)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on up to `threads` scoped workers, returning the
+/// results in input order.
+///
+/// `f` receives the item index alongside the item so callers can key
+/// deterministic per-item state (seeds, labels) off the input position.
+/// With `threads <= 1` (or fewer than two items) the map runs inline on
+/// the calling thread — the `POSTOPC_THREADS=1` fallback is exactly the
+/// serial loop.
+///
+/// Work is distributed dynamically (atomic index), which keeps long-tailed
+/// workloads — model-OPC windows vary widely in cost — balanced without a
+/// scheduler.
+///
+/// # Panics
+///
+/// Panics propagate from worker threads to the caller.
+pub fn par_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let collected: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(i, &items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| match h.join() {
+                Ok(v) => v,
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
+            .collect()
+    });
+    for (i, r) in collected.into_iter().flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index visited exactly once"))
+        .collect()
+}
+
+/// [`par_map`] with a fallible mapper: stops at nothing mid-flight (all
+/// items still run) but returns the **first** error in *input order*, so
+/// error reporting is deterministic too.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing item, if any.
+pub fn try_par_map<T, R, E, F>(threads: usize, items: &[T], f: F) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in par_map(threads, items, f) {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map(8, &items, |i, &x| {
+            assert_eq!(i, x);
+            x * 2
+        });
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn single_thread_matches_parallel() {
+        let items: Vec<u64> = (0..100).collect();
+        let serial = par_map(1, &items, |i, &x| x.wrapping_mul(i as u64 + 3));
+        let parallel = par_map(7, &items, |i, &x| x.wrapping_mul(i as u64 + 3));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[5], |_, &x| x + 1), vec![6]);
+    }
+
+    #[test]
+    fn workers_capture_borrows() {
+        let shared = vec![10, 20, 30];
+        let out = par_map(3, &[0usize, 1, 2], |_, &i| shared[i]);
+        assert_eq!(out, shared);
+    }
+
+    #[test]
+    fn effective_threads_precedence() {
+        assert_eq!(effective_threads(Some(3)), 3);
+        // Zero overrides are ignored rather than disabling the pool.
+        assert!(effective_threads(Some(0)) >= 1);
+        assert!(effective_threads(None) >= 1);
+    }
+
+    #[test]
+    fn env_override_is_honoured() {
+        // Serialized with other env readers by being the only test that
+        // mutates the variable.
+        std::env::set_var(THREADS_ENV, "2");
+        assert_eq!(effective_threads(None), 2);
+        std::env::set_var(THREADS_ENV, "not-a-number");
+        assert!(effective_threads(None) >= 1);
+        std::env::remove_var(THREADS_ENV);
+    }
+
+    #[test]
+    fn try_par_map_reports_first_error_in_input_order() {
+        let items: Vec<usize> = (0..50).collect();
+        let err =
+            try_par_map(4, &items, |_, &x| if x % 10 == 7 { Err(x) } else { Ok(x) }).unwrap_err();
+        assert_eq!(err, 7);
+        let ok: Result<Vec<usize>, ()> = try_par_map(4, &items, |_, &x| Ok(x));
+        assert_eq!(ok.expect("no errors"), items);
+    }
+
+    #[test]
+    fn panics_propagate() {
+        let result = std::panic::catch_unwind(|| {
+            par_map(4, &[1, 2, 3], |_, &x| {
+                if x == 2 {
+                    panic!("boom");
+                }
+                x
+            })
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,288 @@
+//! # postopc-rng
+//!
+//! A small, dependency-free pseudo-random number generator for the
+//! postopc workspace: xoshiro256++ state seeded through SplitMix64.
+//!
+//! The API mirrors the subset of the external `rand` crate the workspace
+//! used ([`SeedableRng::seed_from_u64`], [`RngExt::random_range`],
+//! `rngs::StdRng`), so call sites port with an import swap — which is the
+//! point: the build must resolve with no network access (see the offline
+//! tier-1 requirement in `ROADMAP.md`).
+//!
+//! Streams are stable across platforms and releases: experiment tables and
+//! test expectations may rely on exact draws for a given seed.
+//!
+//! # Example
+//!
+//! ```
+//! use postopc_rng::rngs::StdRng;
+//! use postopc_rng::{RngExt, SeedableRng};
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let u: f64 = rng.random_range(0.0..1.0);
+//! assert!((0.0..1.0).contains(&u));
+//! let k = rng.random_range(0..=5usize);
+//! assert!(k <= 5);
+//! ```
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling methods shared by all generators.
+pub trait RngExt {
+    /// The next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// A uniform sample from `range`.
+    ///
+    /// Supported ranges: half-open and inclusive ranges of `f64` and of
+    /// the integer types the workspace draws (`i32`, `i64`, `u32`, `u64`,
+    /// `usize`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty (mirroring `rand`).
+    fn random_range<R: SampleRange>(&mut self, range: R) -> R::Output
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    /// The workspace's standard generator: xoshiro256++.
+    ///
+    /// Not cryptographic — it backs deterministic test-case generation,
+    /// placement gap insertion and Monte Carlo sampling.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+pub use rngs::StdRng;
+
+/// One step of the SplitMix64 sequence; also usable standalone as a
+/// cheap integer mixer.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Derives an independent child seed from a base seed and a stream index.
+///
+/// Used to give each Monte Carlo sample (or any other parallel work item)
+/// its own generator whose stream does not depend on execution order —
+/// the determinism keystone of the parallel analysis loops.
+#[must_use]
+pub fn split_seed(seed: u64, index: u64) -> u64 {
+    let mut s = seed ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+    // Two rounds decorrelate adjacent indices for any base seed.
+    let first = splitmix64(&mut s);
+    s ^= first;
+    splitmix64(&mut s)
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(seed: u64) -> StdRng {
+        // Expand the seed through SplitMix64 per the xoshiro authors'
+        // recommendation; guarantees a non-zero state.
+        let mut sm = seed;
+        StdRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        // xoshiro256++ by Blackman & Vigna (public domain reference).
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A range that [`RngExt::random_range`] can sample from.
+pub trait SampleRange {
+    /// The sampled value type.
+    type Output;
+    /// Draws one uniform sample using `rng`.
+    fn sample<G: RngExt>(self, rng: &mut G) -> Self::Output;
+}
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample<G: RngExt>(self, rng: &mut G) -> f64 {
+        assert!(self.start < self.end, "empty range {:?}", self);
+        // 53 uniform mantissa bits in [0, 1).
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = self.start + u * (self.end - self.start);
+        // Guard the pathological rounding case v == end.
+        if v < self.end {
+            v
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange for RangeInclusive<f64> {
+    type Output = f64;
+    fn sample<G: RngExt>(self, rng: &mut G) -> f64 {
+        let (start, end) = (*self.start(), *self.end());
+        assert!(start <= end, "empty range {:?}", self);
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        start + u * (end - start)
+    }
+}
+
+/// Uniform integer in `[0, span)` via Lemire's widening-multiply map;
+/// bias is at most 2⁻⁶⁴·span — immaterial for simulation workloads.
+#[inline]
+fn bounded<G: RngExt>(rng: &mut G, span: u64) -> u64 {
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange for Range<$t> {
+            type Output = $t;
+            fn sample<G: RngExt>(self, rng: &mut G) -> $t {
+                assert!(self.start < self.end, "empty range {:?}", self);
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + bounded(rng, span) as i128) as $t
+            }
+        }
+        impl SampleRange for RangeInclusive<$t> {
+            type Output = $t;
+            fn sample<G: RngExt>(self, rng: &mut G) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range {:?}", self);
+                let span = (end as i128 - start as i128) as u128 + 1;
+                if span > u128::from(u64::MAX) {
+                    // Full-width range: every bit pattern is valid.
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + bounded(rng, span as u64) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(i32, i64, u32, u64, usize);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn zero_seed_is_usable() {
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_ne!(rng.s, [0; 4]);
+        let draws: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert!(draws.windows(2).any(|w| w[0] != w[1]));
+    }
+
+    #[test]
+    fn float_range_bounds() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v = rng.random_range(2.0..3.0);
+            assert!((2.0..3.0).contains(&v));
+        }
+        let v = rng.random_range(5.0..=5.0);
+        assert_eq!(v, 5.0);
+    }
+
+    #[test]
+    fn int_range_bounds_and_coverage() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut seen = [false; 10];
+        for _ in 0..1_000 {
+            let v = rng.random_range(0..10);
+            seen[usize::try_from(v).expect("in range")] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+        for _ in 0..1_000 {
+            let v = rng.random_range(-5i64..=5);
+            assert!((-5..=5).contains(&v));
+        }
+        assert_eq!(rng.random_range(7usize..8), 7);
+        assert_eq!(rng.random_range(3u32..=3), 3);
+    }
+
+    #[test]
+    fn float_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random_range(0.0..1.0)).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean = {mean}");
+    }
+
+    #[test]
+    fn split_seed_decorrelates_indices() {
+        let seeds: Vec<u64> = (0..100).map(|i| split_seed(1, i)).collect();
+        let mut unique = seeds.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        assert_eq!(unique.len(), seeds.len());
+        // Different base seeds give different families.
+        assert_ne!(split_seed(1, 0), split_seed(2, 0));
+        // And child streams actually differ.
+        let mut a = StdRng::seed_from_u64(split_seed(1, 0));
+        let mut b = StdRng::seed_from_u64(split_seed(1, 1));
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _ = rng.random_range(3..3);
+    }
+}

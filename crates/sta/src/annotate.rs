@@ -28,7 +28,13 @@ pub struct TransistorCd {
 
 impl TransistorCd {
     /// A drawn (un-extracted) transistor record at the nominal length.
-    pub fn drawn(kind: MosKind, width_nm: f64, l_nm: f64, input_pin: Option<usize>, finger: usize) -> TransistorCd {
+    pub fn drawn(
+        kind: MosKind,
+        width_nm: f64,
+        l_nm: f64,
+        input_pin: Option<usize>,
+        finger: usize,
+    ) -> TransistorCd {
         TransistorCd {
             kind,
             width_nm,
@@ -132,7 +138,12 @@ mod tests {
                 transistors: vec![TransistorCd::drawn(MosKind::Nmos, 420.0, 91.5, Some(0), 0)],
             },
         );
-        ann.set_net(NetId(7), NetAnnotation { printed_width_nm: 117.0 });
+        ann.set_net(
+            NetId(7),
+            NetAnnotation {
+                printed_width_nm: 117.0,
+            },
+        );
         assert_eq!(ann.gate_count(), 1);
         assert_eq!(ann.net_count(), 1);
         assert_eq!(ann.gate(GateId(3)).expect("present").transistors.len(), 1);

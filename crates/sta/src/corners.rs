@@ -41,12 +41,20 @@ impl Corner {
 pub fn corner_annotation(model: &TimingModel<'_>, delta_l_nm: f64) -> CdAnnotation {
     let mut ann = CdAnnotation::new();
     for (gi, gate) in model.design().netlist().gates().iter().enumerate() {
-        let mut records = model.library().drawn_transistors(gate.kind, gate.drive).to_vec();
+        let mut records = model
+            .library()
+            .drawn_transistors(gate.kind, gate.drive)
+            .to_vec();
         for r in &mut records {
             r.l_delay_nm = (r.l_delay_nm + delta_l_nm).max(1.0);
             r.l_leakage_nm = (r.l_leakage_nm + delta_l_nm).max(1.0);
         }
-        ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+        ann.set_gate(
+            GateId(gi as u32),
+            GateAnnotation {
+                transistors: records,
+            },
+        );
     }
     ann
 }

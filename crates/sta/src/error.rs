@@ -62,7 +62,10 @@ mod tests {
     #[test]
     fn display_messages() {
         assert!(StaError::InvalidClock(-1.0).to_string().contains("-1"));
-        let e = StaError::UnknownAnnotation { kind: "gate", index: 7 };
+        let e = StaError::UnknownAnnotation {
+            kind: "gate",
+            index: 7,
+        };
         assert!(e.to_string().contains("gate 7"));
     }
 }

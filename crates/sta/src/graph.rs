@@ -59,7 +59,11 @@ impl<'d> TimingModel<'d> {
     ///
     /// Returns [`StaError::InvalidClock`] for a non-positive clock, or a
     /// device error from characterization.
-    pub fn new(design: &'d Design, process: postopc_device::ProcessParams, clock_ps: f64) -> Result<TimingModel<'d>> {
+    pub fn new(
+        design: &'d Design,
+        process: postopc_device::ProcessParams,
+        clock_ps: f64,
+    ) -> Result<TimingModel<'d>> {
         if !(clock_ps.is_finite() && clock_ps > 0.0) {
             return Err(StaError::InvalidClock(clock_ps));
         }
@@ -338,7 +342,11 @@ mod tests {
     }
 
     fn rca_design() -> Design {
-        Design::compile(generate::ripple_carry_adder(4).expect("netlist"), TechRules::n90()).expect("design")
+        Design::compile(
+            generate::ripple_carry_adder(4).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design")
     }
 
     #[test]
@@ -395,7 +403,10 @@ mod tests {
                 assert!(nl.gate(pair[1]).inputs.contains(&out));
             }
             // Last gate drives the endpoint.
-            assert_eq!(nl.gate(*p.gates.last().expect("non-empty")).output, p.endpoint);
+            assert_eq!(
+                nl.gate(*p.gates.last().expect("non-empty")).output,
+                p.endpoint
+            );
             // Path slack ordering.
             assert!(p.slack_ps >= report.worst_slack_ps() - 1e-9);
         }
@@ -415,7 +426,12 @@ mod tests {
                 r.l_delay_nm -= 5.0;
                 r.l_leakage_nm -= 5.0;
             }
-            ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+            ann.set_gate(
+                GateId(gi as u32),
+                GateAnnotation {
+                    transistors: records,
+                },
+            );
         }
         let fast = m.analyze(Some(&ann)).expect("analyze");
         assert!(fast.critical_delay_ps() < drawn.critical_delay_ps());
@@ -426,7 +442,11 @@ mod tests {
     fn longer_wires_mean_more_delay() {
         // An inverter chain placed across rows accumulates wire delay; the
         // report must include finite positive delays.
-        let d = Design::compile(generate::inverter_chain(40).expect("netlist"), TechRules::n90()).expect("design");
+        let d = Design::compile(
+            generate::inverter_chain(40).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
         let report = model(&d, 2000.0).analyze(None).expect("analyze");
         assert!(report.critical_delay_ps() > 40.0);
         assert!(report.critical_delay_ps() < 2000.0);
@@ -434,10 +454,24 @@ mod tests {
 
     #[test]
     fn leakage_is_positive_and_scales_with_gates() {
-        let small = Design::compile(generate::inverter_chain(10).expect("netlist"), TechRules::n90()).expect("design");
-        let big = Design::compile(generate::inverter_chain(100).expect("netlist"), TechRules::n90()).expect("design");
-        let l_small = model(&small, 1000.0).analyze(None).expect("analyze").leakage_ua();
-        let l_big = model(&big, 1000.0).analyze(None).expect("analyze").leakage_ua();
+        let small = Design::compile(
+            generate::inverter_chain(10).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let big = Design::compile(
+            generate::inverter_chain(100).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let l_small = model(&small, 1000.0)
+            .analyze(None)
+            .expect("analyze")
+            .leakage_ua();
+        let l_big = model(&big, 1000.0)
+            .analyze(None)
+            .expect("analyze")
+            .leakage_ua();
         assert!(l_big > 5.0 * l_small);
     }
 }

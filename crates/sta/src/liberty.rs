@@ -77,7 +77,9 @@ impl TimingLibrary {
             let records: Vec<TransistorCd> = cell
                 .transistors()
                 .iter()
-                .map(|t| TransistorCd::drawn(t.kind, t.width_nm, t.length_nm, t.input_pin, t.finger))
+                .map(|t| {
+                    TransistorCd::drawn(t.kind, t.width_nm, t.length_nm, t.input_pin, t.finger)
+                })
                 .collect();
             let timing = Self::timing_from_transistors(&process, cell.kind(), &records)?;
             drawn.insert((cell.kind(), cell.drive()), timing);
@@ -218,7 +220,10 @@ mod tests {
         for kind in GateKind::ALL {
             for drive in Drive::ALL {
                 let t = lib.drawn_timing(kind, drive);
-                assert!(t.input_cap_ff > 0.1 && t.input_cap_ff < 50.0, "{kind}{drive} cap");
+                assert!(
+                    t.input_cap_ff > 0.1 && t.input_cap_ff < 50.0,
+                    "{kind}{drive} cap"
+                );
                 assert!(t.pull_down_r_kohm > 0.1 && t.pull_down_r_kohm < 100.0);
                 assert!(t.intrinsic_ps > 0.0);
                 assert!(t.leakage_ua > 0.0);

@@ -134,9 +134,9 @@ pub fn k_worst_paths(report: &TimingReport, design: &Design, k: usize) -> Vec<Ti
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::graph::TimingModel;
     use postopc_device::ProcessParams;
     use postopc_layout::{generate, TechRules};
-    use crate::graph::TimingModel;
 
     fn analyzed() -> (Design, TimingReport) {
         let design = Design::compile(

@@ -10,8 +10,8 @@ use crate::annotate::{CdAnnotation, GateAnnotation};
 use crate::error::{Result, StaError};
 use crate::graph::TimingModel;
 use postopc_layout::GateId;
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use postopc_rng::rngs::StdRng;
+use postopc_rng::{split_seed, RngExt, SeedableRng};
 
 /// Monte Carlo configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -122,21 +122,25 @@ pub fn run(
         .gates()
         .iter()
         .enumerate()
-        .map(|(gi, gate)| {
-            match systematic.and_then(|a| a.gate(GateId(gi as u32))) {
+        .map(
+            |(gi, gate)| match systematic.and_then(|a| a.gate(GateId(gi as u32))) {
                 Some(ann) => ann.transistors.clone(),
-                None => model.library().drawn_transistors(gate.kind, gate.drive).to_vec(),
-            }
-        })
+                None => model
+                    .library()
+                    .drawn_transistors(gate.kind, gate.drive)
+                    .to_vec(),
+            },
+        )
         .collect();
 
-    let mut rng = StdRng::seed_from_u64(config.seed);
-    let mut result = MonteCarloResult {
-        worst_slacks_ps: Vec::with_capacity(config.samples),
-        critical_delays_ps: Vec::with_capacity(config.samples),
-        leakages_ua: Vec::with_capacity(config.samples),
-    };
-    for _ in 0..config.samples {
+    // Samples run on the shared worker pool. Each sample derives its own
+    // RNG stream from (seed, sample index) — `split_seed` — so the draws
+    // are independent of scheduling and the result is identical for any
+    // thread count. Sample order is preserved by the pool.
+    let sample_indices: Vec<u64> = (0..config.samples as u64).collect();
+    let threads = postopc_parallel::effective_threads(None);
+    let reports = postopc_parallel::try_par_map(threads, &sample_indices, |_, &sample| {
+        let mut rng = StdRng::seed_from_u64(split_seed(config.seed, sample));
         let mut ann = CdAnnotation::new();
         for (gi, base) in bases.iter().enumerate() {
             let shift = normal(&mut rng) * config.sigma_nm;
@@ -145,12 +149,29 @@ pub fn run(
                 r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
                 r.l_leakage_nm = (r.l_leakage_nm + shift).max(1.0);
             }
-            ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+            ann.set_gate(
+                GateId(gi as u32),
+                GateAnnotation {
+                    transistors: records,
+                },
+            );
         }
         let report = model.analyze(Some(&ann))?;
-        result.worst_slacks_ps.push(report.worst_slack_ps());
-        result.critical_delays_ps.push(report.critical_delay_ps());
-        result.leakages_ua.push(report.leakage_ua());
+        Ok::<_, StaError>((
+            report.worst_slack_ps(),
+            report.critical_delay_ps(),
+            report.leakage_ua(),
+        ))
+    })?;
+    let mut result = MonteCarloResult {
+        worst_slacks_ps: Vec::with_capacity(config.samples),
+        critical_delays_ps: Vec::with_capacity(config.samples),
+        leakages_ua: Vec::with_capacity(config.samples),
+    };
+    for (slack, delay, leakage) in reports {
+        result.worst_slacks_ps.push(slack);
+        result.critical_delays_ps.push(delay);
+        result.leakages_ua.push(leakage);
     }
     Ok(result)
 }
@@ -180,7 +201,15 @@ mod tests {
     fn rejects_bad_config() {
         let d = design();
         let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
-        assert!(run(&m, None, &MonteCarloConfig { samples: 0, ..Default::default() }).is_err());
+        assert!(run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                samples: 0,
+                ..Default::default()
+            }
+        )
+        .is_err());
         assert!(run(
             &m,
             None,

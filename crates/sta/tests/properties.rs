@@ -1,9 +1,15 @@
-//! Property-based tests for timing-graph invariants.
+//! Randomized tests for timing-graph invariants, seeded via the in-tree
+//! `postopc-rng` generator (offline replacement for the former proptest
+//! suite; every sweep is deterministic).
 
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, GateId, NetId, TechRules};
+use postopc_rng::{rngs::StdRng, RngExt, SeedableRng};
 use postopc_sta::{CdAnnotation, GateAnnotation, TimingModel};
-use proptest::prelude::*;
+
+/// Design compilation dominates these sweeps; 12 cases matches the old
+/// proptest budget.
+const CASES: usize = 12;
 
 fn random_design(gates: usize, seed: u64) -> Design {
     Design::compile(
@@ -27,17 +33,21 @@ fn uniform_annotation(design: &Design, model: &TimingModel<'_>, delta: f64) -> C
             r.l_delay_nm = (r.l_delay_nm + delta).max(40.0);
             r.l_leakage_nm = (r.l_leakage_nm + delta).max(40.0);
         }
-        ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+        ann.set_gate(
+            GateId(gi as u32),
+            GateAnnotation {
+                transistors: records,
+            },
+        );
     }
     ann
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
-
-    #[test]
-    fn arrivals_respect_causality(seed in 0u64..50) {
-        let design = random_design(60, seed);
+#[test]
+fn arrivals_respect_causality() {
+    let mut rng = StdRng::seed_from_u64(0x57A1);
+    for _ in 0..CASES {
+        let design = random_design(60, rng.random_range(0u64..50));
         let model = TimingModel::new(&design, ProcessParams::n90(), 1000.0).expect("model");
         let report = model.analyze(None).expect("analysis");
         // Every gate's output arrives at least one gate delay after its
@@ -50,35 +60,43 @@ proptest! {
                 .fold(0.0f64, f64::max);
             let out = report.arrival_ps(gate.output);
             let delay = report.gate_delay_ps(GateId(gi as u32));
-            prop_assert!(delay > 0.0);
-            prop_assert!((out - (worst_in + delay)).abs() < 1e-9);
+            assert!(delay > 0.0);
+            assert!((out - (worst_in + delay)).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn slack_consistency(seed in 0u64..50, clock in 300.0f64..3000.0) {
-        let design = random_design(50, seed);
+#[test]
+fn slack_consistency() {
+    let mut rng = StdRng::seed_from_u64(0x57A2);
+    for _ in 0..CASES {
+        let design = random_design(50, rng.random_range(0u64..50));
+        let clock = rng.random_range(300.0..3000.0);
         let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
         let report = model.analyze(None).expect("analysis");
         // Worst slack equals the most critical endpoint slack and matches
         // clock - critical delay.
         let (_, worst) = report.endpoint_slacks()[0];
-        prop_assert!((worst - report.worst_slack_ps()).abs() < 1e-9);
-        prop_assert!((report.critical_delay_ps() - (clock - worst)).abs() < 1e-9);
+        assert!((worst - report.worst_slack_ps()).abs() < 1e-9);
+        assert!((report.critical_delay_ps() - (clock - worst)).abs() < 1e-9);
         // Endpoint slacks are sorted ascending.
         for pair in report.endpoint_slacks().windows(2) {
-            prop_assert!(pair[0].1 <= pair[1].1);
+            assert!(pair[0].1 <= pair[1].1);
         }
         // Required times never precede arrivals on critical endpoints by
         // more than slack says.
         for &(net, slack) in report.endpoint_slacks() {
-            prop_assert!((report.slack_ps(net) - slack).abs() < 1e-9);
+            assert!((report.slack_ps(net) - slack).abs() < 1e-9);
         }
     }
+}
 
-    #[test]
-    fn uniform_cd_shift_moves_all_endpoints_one_way(seed in 0u64..30, delta in 1.0f64..8.0) {
-        let design = random_design(40, seed);
+#[test]
+fn uniform_cd_shift_moves_all_endpoints_one_way() {
+    let mut rng = StdRng::seed_from_u64(0x57A3);
+    for _ in 0..CASES {
+        let design = random_design(40, rng.random_range(0u64..30));
+        let delta = rng.random_range(1.0..8.0);
         let model = TimingModel::new(&design, ProcessParams::n90(), 1000.0).expect("model");
         let drawn = model.analyze(None).expect("analysis");
         let slower = model
@@ -89,23 +107,26 @@ proptest! {
             .expect("analysis");
         for (ni, _) in design.netlist().nets().iter().enumerate() {
             let net = NetId(ni as u32);
-            prop_assert!(slower.arrival_ps(net) >= drawn.arrival_ps(net) - 1e-9);
-            prop_assert!(faster.arrival_ps(net) <= drawn.arrival_ps(net) + 1e-9);
+            assert!(slower.arrival_ps(net) >= drawn.arrival_ps(net) - 1e-9);
+            assert!(faster.arrival_ps(net) <= drawn.arrival_ps(net) + 1e-9);
         }
-        prop_assert!(faster.leakage_ua() > drawn.leakage_ua());
-        prop_assert!(slower.leakage_ua() < drawn.leakage_ua());
+        assert!(faster.leakage_ua() > drawn.leakage_ua());
+        assert!(slower.leakage_ua() < drawn.leakage_ua());
     }
+}
 
-    #[test]
-    fn paths_trace_worst_arrival_chains(seed in 0u64..30) {
-        let design = random_design(50, seed);
+#[test]
+fn paths_trace_worst_arrival_chains() {
+    let mut rng = StdRng::seed_from_u64(0x57A4);
+    for _ in 0..CASES {
+        let design = random_design(50, rng.random_range(0u64..30));
         let model = TimingModel::new(&design, ProcessParams::n90(), 1000.0).expect("model");
         let report = model.analyze(None).expect("analysis");
         for path in report.top_paths(&design, 5) {
             // The path arrival equals the endpoint arrival, and the sum of
             // gate delays along the path equals it too (PI arrivals are 0).
             let sum: f64 = path.gates.iter().map(|&g| report.gate_delay_ps(g)).sum();
-            prop_assert!(
+            assert!(
                 (sum - path.arrival_ps).abs() < 1e-6,
                 "path gate-delay sum {} != endpoint arrival {}",
                 sum,

@@ -40,7 +40,11 @@ fn register_to_register_paths_launch_and_capture_at_dffs() {
             .gates()
             .iter()
             .any(|g| g.kind == GateKind::Dff && g.inputs[0] == p.endpoint);
-        assert!(feeds_dff_d, "endpoint {:?} is not a capture D pin", p.endpoint);
+        assert!(
+            feeds_dff_d,
+            "endpoint {:?} is not a capture D pin",
+            p.endpoint
+        );
     }
 }
 
@@ -63,7 +67,11 @@ fn arrival_is_clk_to_q_plus_combinational() {
     // Data arrivals at D do not move Q: Q launches at the clock edge even
     // though the D input (a primary input) arrives at 0.
     let paths = report.top_paths(&design, 1);
-    let sum: f64 = paths[0].gates.iter().map(|&g| report.gate_delay_ps(g)).sum();
+    let sum: f64 = paths[0]
+        .gates
+        .iter()
+        .map(|&g| report.gate_delay_ps(g))
+        .sum();
     assert!((sum - paths[0].arrival_ps).abs() < 1e-6);
 }
 
@@ -141,7 +149,12 @@ fn annotated_register_cds_move_clk_to_q() {
             r.l_delay_nm -= 5.0;
             r.l_leakage_nm -= 5.0;
         }
-        ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+        ann.set_gate(
+            GateId(gi as u32),
+            GateAnnotation {
+                transistors: records,
+            },
+        );
     }
     let annotated = model.analyze(Some(&ann)).expect("analysis");
     assert!(

@@ -14,7 +14,10 @@ use postopc_opc::{hotspots, orc, rules, HotspotConfig, OrcConfig, RuleOpcConfig}
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let design = Design::compile(generate::ripple_carry_adder(2)?, TechRules::n90())?;
     let shapes: Vec<Polygon> = design.shapes_on(Layer::Poly).to_vec();
-    println!("verifying {} poly shapes with rule-OPC masks...", shapes.len());
+    println!(
+        "verifying {} poly shapes with rule-OPC masks...",
+        shapes.len()
+    );
 
     // Rule-correct the whole block and verify it (rule OPC leaves real
     // residuals at line ends — those become our hotspots).

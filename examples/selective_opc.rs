@@ -29,9 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "selective OPC: {} model simulations, {} fragment moves on tagged geometry;\n\
          {} fragments rule-corrected on the rest",
-        result.model_report.simulations,
-        result.model_report.fragment_moves,
-        result.rule_fragments,
+        result.model_report.simulations, result.model_report.fragment_moves, result.rule_fragments,
     );
 
     // Verify the tagged geometry post-correction.
@@ -48,7 +46,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
     println!(
         "tagged-geometry residual EPE: mean {:+.2} nm, rms {:.2} nm, max |{:.2}| nm, {} hotspots",
-        report.mean_epe, report.rms_epe, report.max_abs_epe, report.hotspots.len()
+        report.mean_epe,
+        report.rms_epe,
+        report.max_abs_epe,
+        report.hotspots.len()
     );
     for (center, count) in report.histogram(2.0) {
         println!("  EPE {center:+5.1} nm | {}", "#".repeat(count));

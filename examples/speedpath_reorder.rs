@@ -44,7 +44,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let out = extract_gates(&design, &cfg, &tags)?;
     let comparison = TimingComparison::compare(&model, &design, &out.annotation, 10)?;
 
-    println!("{}", postopc::report::render_path_comparison(&design, &comparison));
+    println!(
+        "{}",
+        postopc::report::render_path_comparison(&design, &comparison)
+    );
     println!(
         "newly-critical endpoints in the silicon top-10: {}",
         comparison.newly_critical()

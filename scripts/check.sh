@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Offline CI gate: formatting, lints, tier-1 build + tests.
+#
+# Everything here runs with no network access; the workspace has no
+# external dependencies (see DESIGN.md "Dependencies").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy (all targets, -D warnings)"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release"
+cargo build --release
+
+echo "== tier-1: cargo test -q"
+cargo test -q
+
+echo "== workspace tests: cargo test --workspace -q"
+cargo test --workspace -q
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_crate-7d2b436cc057f116.d: tests/cross_crate.rs
+
+/root/repo/target/debug/deps/cross_crate-7d2b436cc057f116: tests/cross_crate.rs
+
+tests/cross_crate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-f1122abd1ed789f3.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-f1122abd1ed789f3: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fem_sweep-e616fd1e873c48f1.d: crates/bench/benches/fem_sweep.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfem_sweep-e616fd1e873c48f1.rmeta: crates/bench/benches/fem_sweep.rs Cargo.toml
+
+crates/bench/benches/fem_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

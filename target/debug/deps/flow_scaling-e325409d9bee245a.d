@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flow_scaling-e325409d9bee245a.d: crates/bench/benches/flow_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflow_scaling-e325409d9bee245a.rmeta: crates/bench/benches/flow_scaling.rs Cargo.toml
+
+crates/bench/benches/flow_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

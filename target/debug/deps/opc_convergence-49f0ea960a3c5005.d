@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/opc_convergence-49f0ea960a3c5005.d: crates/bench/benches/opc_convergence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libopc_convergence-49f0ea960a3c5005.rmeta: crates/bench/benches/opc_convergence.rs Cargo.toml
+
+crates/bench/benches/opc_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/postopc-0af1da82f1d994c1.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc-0af1da82f1d994c1.rmeta: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/dfm.rs:
+crates/core/src/error.rs:
+crates/core/src/extract.rs:
+crates/core/src/flow.rs:
+crates/core/src/guardband.rs:
+crates/core/src/multilayer.rs:
+crates/core/src/report.rs:
+crates/core/src/tags.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postopc-0eb057e440d35262.d: crates/core/src/bin/postopc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc-0eb057e440d35262.rmeta: crates/core/src/bin/postopc.rs Cargo.toml
+
+crates/core/src/bin/postopc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

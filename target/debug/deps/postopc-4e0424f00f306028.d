@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postopc-4e0424f00f306028.d: crates/core/src/bin/postopc.rs
+
+/root/repo/target/debug/deps/postopc-4e0424f00f306028: crates/core/src/bin/postopc.rs
+
+crates/core/src/bin/postopc.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/postopc-94ed71e98dfc8f53.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs
+
+/root/repo/target/debug/deps/postopc-94ed71e98dfc8f53: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/dfm.rs:
+crates/core/src/error.rs:
+crates/core/src/extract.rs:
+crates/core/src/flow.rs:
+crates/core/src/guardband.rs:
+crates/core/src/multilayer.rs:
+crates/core/src/report.rs:
+crates/core/src/tags.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/postopc-98fdb216086df3d3.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs
+
+/root/repo/target/debug/deps/libpostopc-98fdb216086df3d3.rlib: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs
+
+/root/repo/target/debug/deps/libpostopc-98fdb216086df3d3.rmeta: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/dfm.rs:
+crates/core/src/error.rs:
+crates/core/src/extract.rs:
+crates/core/src/flow.rs:
+crates/core/src/guardband.rs:
+crates/core/src/multilayer.rs:
+crates/core/src/report.rs:
+crates/core/src/tags.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/postopc_bench-05bc0ec2fe9b9dba.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/postopc_bench-05bc0ec2fe9b9dba: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:

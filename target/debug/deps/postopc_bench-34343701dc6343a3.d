@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/postopc_bench-34343701dc6343a3.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/postopc_bench-34343701dc6343a3: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:

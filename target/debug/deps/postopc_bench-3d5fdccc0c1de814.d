@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postopc_bench-3d5fdccc0c1de814.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpostopc_bench-3d5fdccc0c1de814.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpostopc_bench-3d5fdccc0c1de814.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:

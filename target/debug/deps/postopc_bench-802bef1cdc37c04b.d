@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/postopc_bench-802bef1cdc37c04b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_bench-802bef1cdc37c04b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postopc_bench-d74dd77e14b09175.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpostopc_bench-d74dd77e14b09175.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/debug/deps/libpostopc_bench-d74dd77e14b09175.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/postopc_cdex-1da3ef2028be6d18.d: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs
+
+/root/repo/target/debug/deps/postopc_cdex-1da3ef2028be6d18: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs
+
+crates/cdex/src/lib.rs:
+crates/cdex/src/equivalent.rs:
+crates/cdex/src/error.rs:
+crates/cdex/src/measure.rs:
+crates/cdex/src/stats.rs:
+crates/cdex/src/wires.rs:

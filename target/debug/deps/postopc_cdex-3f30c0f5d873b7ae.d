@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/postopc_cdex-3f30c0f5d873b7ae.d: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_cdex-3f30c0f5d873b7ae.rmeta: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs Cargo.toml
+
+crates/cdex/src/lib.rs:
+crates/cdex/src/equivalent.rs:
+crates/cdex/src/error.rs:
+crates/cdex/src/measure.rs:
+crates/cdex/src/stats.rs:
+crates/cdex/src/wires.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

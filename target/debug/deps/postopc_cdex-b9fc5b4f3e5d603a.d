@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/postopc_cdex-b9fc5b4f3e5d603a.d: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs
+
+/root/repo/target/debug/deps/libpostopc_cdex-b9fc5b4f3e5d603a.rlib: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs
+
+/root/repo/target/debug/deps/libpostopc_cdex-b9fc5b4f3e5d603a.rmeta: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs
+
+crates/cdex/src/lib.rs:
+crates/cdex/src/equivalent.rs:
+crates/cdex/src/error.rs:
+crates/cdex/src/measure.rs:
+crates/cdex/src/stats.rs:
+crates/cdex/src/wires.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/postopc_device-0351084429c8d851.d: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_device-0351084429c8d851.rmeta: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/error.rs:
+crates/device/src/mosfet.rs:
+crates/device/src/params.rs:
+crates/device/src/rc.rs:
+crates/device/src/slices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/postopc_device-d331204df6c8ec08.d: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs
+
+/root/repo/target/debug/deps/libpostopc_device-d331204df6c8ec08.rlib: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs
+
+/root/repo/target/debug/deps/libpostopc_device-d331204df6c8ec08.rmeta: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs
+
+crates/device/src/lib.rs:
+crates/device/src/error.rs:
+crates/device/src/mosfet.rs:
+crates/device/src/params.rs:
+crates/device/src/rc.rs:
+crates/device/src/slices.rs:

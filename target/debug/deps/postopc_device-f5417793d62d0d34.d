@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/postopc_device-f5417793d62d0d34.d: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs
+
+/root/repo/target/debug/deps/postopc_device-f5417793d62d0d34: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs
+
+crates/device/src/lib.rs:
+crates/device/src/error.rs:
+crates/device/src/mosfet.rs:
+crates/device/src/params.rs:
+crates/device/src/rc.rs:
+crates/device/src/slices.rs:

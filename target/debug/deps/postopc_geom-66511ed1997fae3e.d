@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/postopc_geom-66511ed1997fae3e.d: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs
+
+/root/repo/target/debug/deps/libpostopc_geom-66511ed1997fae3e.rlib: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs
+
+/root/repo/target/debug/deps/libpostopc_geom-66511ed1997fae3e.rmeta: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/edge.rs:
+crates/geom/src/error.rs:
+crates/geom/src/index.rs:
+crates/geom/src/point.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/raster.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/transform.rs:

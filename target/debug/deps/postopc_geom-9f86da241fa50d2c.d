@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/postopc_geom-9f86da241fa50d2c.d: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_geom-9f86da241fa50d2c.rmeta: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/edge.rs:
+crates/geom/src/error.rs:
+crates/geom/src/index.rs:
+crates/geom/src/point.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/raster.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/postopc_geom-b2807374a2c2029e.d: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs
+
+/root/repo/target/debug/deps/postopc_geom-b2807374a2c2029e: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/edge.rs:
+crates/geom/src/error.rs:
+crates/geom/src/index.rs:
+crates/geom/src/point.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/raster.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/transform.rs:

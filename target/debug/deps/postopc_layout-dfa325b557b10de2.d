@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/postopc_layout-dfa325b557b10de2.d: crates/layout/src/lib.rs crates/layout/src/density.rs crates/layout/src/design.rs crates/layout/src/drc.rs crates/layout/src/error.rs crates/layout/src/generate.rs crates/layout/src/io.rs crates/layout/src/layer.rs crates/layout/src/library.rs crates/layout/src/netlist.rs crates/layout/src/place.rs crates/layout/src/route.rs crates/layout/src/stdcells.rs crates/layout/src/tech.rs crates/layout/src/xref.rs
+
+/root/repo/target/debug/deps/postopc_layout-dfa325b557b10de2: crates/layout/src/lib.rs crates/layout/src/density.rs crates/layout/src/design.rs crates/layout/src/drc.rs crates/layout/src/error.rs crates/layout/src/generate.rs crates/layout/src/io.rs crates/layout/src/layer.rs crates/layout/src/library.rs crates/layout/src/netlist.rs crates/layout/src/place.rs crates/layout/src/route.rs crates/layout/src/stdcells.rs crates/layout/src/tech.rs crates/layout/src/xref.rs
+
+crates/layout/src/lib.rs:
+crates/layout/src/density.rs:
+crates/layout/src/design.rs:
+crates/layout/src/drc.rs:
+crates/layout/src/error.rs:
+crates/layout/src/generate.rs:
+crates/layout/src/io.rs:
+crates/layout/src/layer.rs:
+crates/layout/src/library.rs:
+crates/layout/src/netlist.rs:
+crates/layout/src/place.rs:
+crates/layout/src/route.rs:
+crates/layout/src/stdcells.rs:
+crates/layout/src/tech.rs:
+crates/layout/src/xref.rs:

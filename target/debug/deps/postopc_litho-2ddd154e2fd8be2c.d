@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/postopc_litho-2ddd154e2fd8be2c.d: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs
+
+/root/repo/target/debug/deps/postopc_litho-2ddd154e2fd8be2c: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs
+
+crates/litho/src/lib.rs:
+crates/litho/src/bossung.rs:
+crates/litho/src/contour.rs:
+crates/litho/src/cutline.rs:
+crates/litho/src/error.rs:
+crates/litho/src/fem.rs:
+crates/litho/src/image.rs:
+crates/litho/src/kernels.rs:
+crates/litho/src/optics.rs:
+crates/litho/src/resist.rs:

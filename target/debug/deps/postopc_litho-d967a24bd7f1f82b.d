@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/postopc_litho-d967a24bd7f1f82b.d: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_litho-d967a24bd7f1f82b.rmeta: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs Cargo.toml
+
+crates/litho/src/lib.rs:
+crates/litho/src/bossung.rs:
+crates/litho/src/contour.rs:
+crates/litho/src/cutline.rs:
+crates/litho/src/error.rs:
+crates/litho/src/fem.rs:
+crates/litho/src/image.rs:
+crates/litho/src/kernels.rs:
+crates/litho/src/optics.rs:
+crates/litho/src/resist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/postopc_opc-5f0554340be81e6e.d: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_opc-5f0554340be81e6e.rmeta: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs Cargo.toml
+
+crates/opc/src/lib.rs:
+crates/opc/src/error.rs:
+crates/opc/src/fragment.rs:
+crates/opc/src/hotspots.rs:
+crates/opc/src/model.rs:
+crates/opc/src/mrc.rs:
+crates/opc/src/orc.rs:
+crates/opc/src/rules.rs:
+crates/opc/src/selective.rs:
+crates/opc/src/sraf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/postopc_opc-72ab21679acfb9dd.d: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs
+
+/root/repo/target/debug/deps/postopc_opc-72ab21679acfb9dd: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs
+
+crates/opc/src/lib.rs:
+crates/opc/src/error.rs:
+crates/opc/src/fragment.rs:
+crates/opc/src/hotspots.rs:
+crates/opc/src/model.rs:
+crates/opc/src/mrc.rs:
+crates/opc/src/orc.rs:
+crates/opc/src/rules.rs:
+crates/opc/src/selective.rs:
+crates/opc/src/sraf.rs:

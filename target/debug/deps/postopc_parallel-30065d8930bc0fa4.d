@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postopc_parallel-30065d8930bc0fa4.d: crates/parallel/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_parallel-30065d8930bc0fa4.rmeta: crates/parallel/src/lib.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

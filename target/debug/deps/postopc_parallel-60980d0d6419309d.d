@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postopc_parallel-60980d0d6419309d.d: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/postopc_parallel-60980d0d6419309d: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/postopc_parallel-e5934bfeb8d6b79f.d: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/libpostopc_parallel-e5934bfeb8d6b79f.rlib: crates/parallel/src/lib.rs
+
+/root/repo/target/debug/deps/libpostopc_parallel-e5934bfeb8d6b79f.rmeta: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

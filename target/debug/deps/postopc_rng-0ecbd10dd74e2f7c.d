@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postopc_rng-0ecbd10dd74e2f7c.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_rng-0ecbd10dd74e2f7c.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/postopc_rng-3924b57af78fc033.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libpostopc_rng-3924b57af78fc033.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/libpostopc_rng-3924b57af78fc033.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postopc_rng-94c84ef9191d5c74.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_rng-94c84ef9191d5c74.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postopc_rng-ddaccf6580b5cb67.d: crates/rng/src/lib.rs
+
+/root/repo/target/debug/deps/postopc_rng-ddaccf6580b5cb67: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

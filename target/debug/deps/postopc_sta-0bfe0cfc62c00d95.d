@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/postopc_sta-0bfe0cfc62c00d95.d: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs
+
+/root/repo/target/debug/deps/libpostopc_sta-0bfe0cfc62c00d95.rlib: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs
+
+/root/repo/target/debug/deps/libpostopc_sta-0bfe0cfc62c00d95.rmeta: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs
+
+crates/sta/src/lib.rs:
+crates/sta/src/annotate.rs:
+crates/sta/src/corners.rs:
+crates/sta/src/error.rs:
+crates/sta/src/graph.rs:
+crates/sta/src/liberty.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/statistical.rs:

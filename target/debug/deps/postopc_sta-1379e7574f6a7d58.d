@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/postopc_sta-1379e7574f6a7d58.d: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs
+
+/root/repo/target/debug/deps/postopc_sta-1379e7574f6a7d58: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs
+
+crates/sta/src/lib.rs:
+crates/sta/src/annotate.rs:
+crates/sta/src/corners.rs:
+crates/sta/src/error.rs:
+crates/sta/src/graph.rs:
+crates/sta/src/liberty.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/statistical.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/postopc_sta-4e2d320687e5d362.d: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_sta-4e2d320687e5d362.rmeta: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs Cargo.toml
+
+crates/sta/src/lib.rs:
+crates/sta/src/annotate.rs:
+crates/sta/src/corners.rs:
+crates/sta/src/error.rs:
+crates/sta/src/graph.rs:
+crates/sta/src/liberty.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/statistical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/postopc_suite-4cb852f07f6363cc.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpostopc_suite-4cb852f07f6363cc.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

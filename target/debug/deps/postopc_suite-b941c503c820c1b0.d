@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/postopc_suite-b941c503c820c1b0.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpostopc_suite-b941c503c820c1b0.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpostopc_suite-b941c503c820c1b0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/postopc_suite-ebbc43eab2fdf404.d: src/lib.rs
+
+/root/repo/target/debug/deps/postopc_suite-ebbc43eab2fdf404: src/lib.rs
+
+src/lib.rs:

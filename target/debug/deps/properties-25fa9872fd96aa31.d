@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-25fa9872fd96aa31.d: crates/geom/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-25fa9872fd96aa31.rmeta: crates/geom/tests/properties.rs Cargo.toml
+
+crates/geom/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

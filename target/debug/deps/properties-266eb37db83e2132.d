@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-266eb37db83e2132.d: crates/opc/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-266eb37db83e2132.rmeta: crates/opc/tests/properties.rs Cargo.toml
+
+crates/opc/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-55fdad25ae18be85.d: crates/sta/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-55fdad25ae18be85: crates/sta/tests/properties.rs
+
+crates/sta/tests/properties.rs:

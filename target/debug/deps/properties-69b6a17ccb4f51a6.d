@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-69b6a17ccb4f51a6.d: crates/device/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-69b6a17ccb4f51a6.rmeta: crates/device/tests/properties.rs Cargo.toml
+
+crates/device/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7cd9e11acc10384b.d: crates/geom/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7cd9e11acc10384b: crates/geom/tests/properties.rs
+
+crates/geom/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-b05c9cce9d8c663f.d: crates/device/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-b05c9cce9d8c663f: crates/device/tests/properties.rs
+
+crates/device/tests/properties.rs:

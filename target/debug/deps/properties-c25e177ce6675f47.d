@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-c25e177ce6675f47.d: crates/opc/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-c25e177ce6675f47: crates/opc/tests/properties.rs
+
+crates/opc/tests/properties.rs:

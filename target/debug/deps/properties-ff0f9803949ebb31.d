@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ff0f9803949ebb31.d: crates/sta/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ff0f9803949ebb31.rmeta: crates/sta/tests/properties.rs Cargo.toml
+
+crates/sta/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-6d38c719c71c542d.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-6d38c719c71c542d: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8c435ef0eedec151.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-8c435ef0eedec151: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

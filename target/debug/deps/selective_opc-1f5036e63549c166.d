@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/selective_opc-1f5036e63549c166.d: crates/bench/benches/selective_opc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libselective_opc-1f5036e63549c166.rmeta: crates/bench/benches/selective_opc.rs Cargo.toml
+
+crates/bench/benches/selective_opc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

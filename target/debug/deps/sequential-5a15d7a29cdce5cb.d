@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sequential-5a15d7a29cdce5cb.d: crates/sta/tests/sequential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsequential-5a15d7a29cdce5cb.rmeta: crates/sta/tests/sequential.rs Cargo.toml
+
+crates/sta/tests/sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequential-6c946eacc6ae252b.d: crates/sta/tests/sequential.rs
+
+/root/repo/target/debug/deps/sequential-6c946eacc6ae252b: crates/sta/tests/sequential.rs
+
+crates/sta/tests/sequential.rs:

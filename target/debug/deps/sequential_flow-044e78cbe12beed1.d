@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sequential_flow-044e78cbe12beed1.d: tests/sequential_flow.rs
+
+/root/repo/target/debug/deps/sequential_flow-044e78cbe12beed1: tests/sequential_flow.rs
+
+tests/sequential_flow.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sequential_flow-b17d81ac75486ff1.d: tests/sequential_flow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsequential_flow-b17d81ac75486ff1.rmeta: tests/sequential_flow.rs Cargo.toml
+
+tests/sequential_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

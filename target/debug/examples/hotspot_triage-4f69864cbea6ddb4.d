@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/hotspot_triage-4f69864cbea6ddb4.d: examples/hotspot_triage.rs Cargo.toml
+
+/root/repo/target/debug/examples/libhotspot_triage-4f69864cbea6ddb4.rmeta: examples/hotspot_triage.rs Cargo.toml
+
+examples/hotspot_triage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/hotspot_triage-b24be4d8b24ee11a.d: examples/hotspot_triage.rs
+
+/root/repo/target/debug/examples/hotspot_triage-b24be4d8b24ee11a: examples/hotspot_triage.rs
+
+examples/hotspot_triage.rs:

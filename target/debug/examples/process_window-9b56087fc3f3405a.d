@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/process_window-9b56087fc3f3405a.d: examples/process_window.rs
+
+/root/repo/target/debug/examples/process_window-9b56087fc3f3405a: examples/process_window.rs
+
+examples/process_window.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/process_window-9e178a981ec5430e.d: examples/process_window.rs Cargo.toml
+
+/root/repo/target/debug/examples/libprocess_window-9e178a981ec5430e.rmeta: examples/process_window.rs Cargo.toml
+
+examples/process_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-fe0fa0a143fbec88.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-fe0fa0a143fbec88: examples/quickstart.rs
+
+examples/quickstart.rs:

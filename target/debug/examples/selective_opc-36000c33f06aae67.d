@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/selective_opc-36000c33f06aae67.d: examples/selective_opc.rs
+
+/root/repo/target/debug/examples/selective_opc-36000c33f06aae67: examples/selective_opc.rs
+
+examples/selective_opc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/selective_opc-cf790cef47d1683b.d: examples/selective_opc.rs Cargo.toml
+
+/root/repo/target/debug/examples/libselective_opc-cf790cef47d1683b.rmeta: examples/selective_opc.rs Cargo.toml
+
+examples/selective_opc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/speedpath_reorder-0bb27237332c068c.d: examples/speedpath_reorder.rs
+
+/root/repo/target/debug/examples/speedpath_reorder-0bb27237332c068c: examples/speedpath_reorder.rs
+
+examples/speedpath_reorder.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/speedpath_reorder-dddbf655e0443a6d.d: examples/speedpath_reorder.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspeedpath_reorder-dddbf655e0443a6d.rmeta: examples/speedpath_reorder.rs Cargo.toml
+
+examples/speedpath_reorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

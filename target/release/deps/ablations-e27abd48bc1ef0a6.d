@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-e27abd48bc1ef0a6.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-e27abd48bc1ef0a6: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

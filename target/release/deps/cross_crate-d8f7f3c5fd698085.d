@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/cross_crate-d8f7f3c5fd698085.d: tests/cross_crate.rs Cargo.toml
+
+/root/repo/target/release/deps/libcross_crate-d8f7f3c5fd698085.rmeta: tests/cross_crate.rs Cargo.toml
+
+tests/cross_crate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fem_sweep-2d0f46e013f62058.d: crates/bench/benches/fem_sweep.rs
+
+/root/repo/target/release/deps/fem_sweep-2d0f46e013f62058: crates/bench/benches/fem_sweep.rs
+
+crates/bench/benches/fem_sweep.rs:

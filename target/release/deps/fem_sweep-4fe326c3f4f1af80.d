@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/fem_sweep-4fe326c3f4f1af80.d: crates/bench/benches/fem_sweep.rs Cargo.toml
+
+/root/repo/target/release/deps/libfem_sweep-4fe326c3f4f1af80.rmeta: crates/bench/benches/fem_sweep.rs Cargo.toml
+
+crates/bench/benches/fem_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/flow_scaling-bd25c3bd0e8fdcc3.d: crates/bench/benches/flow_scaling.rs
+
+/root/repo/target/release/deps/flow_scaling-bd25c3bd0e8fdcc3: crates/bench/benches/flow_scaling.rs
+
+crates/bench/benches/flow_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flow_scaling-c3d973aba6a7364e.d: crates/bench/benches/flow_scaling.rs Cargo.toml
+
+/root/repo/target/release/deps/libflow_scaling-c3d973aba6a7364e.rmeta: crates/bench/benches/flow_scaling.rs Cargo.toml
+
+crates/bench/benches/flow_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/opc_convergence-4ae88829bc94a091.d: crates/bench/benches/opc_convergence.rs
+
+/root/repo/target/release/deps/opc_convergence-4ae88829bc94a091: crates/bench/benches/opc_convergence.rs
+
+crates/bench/benches/opc_convergence.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/opc_convergence-5f610744759b3fa2.d: crates/bench/benches/opc_convergence.rs Cargo.toml
+
+/root/repo/target/release/deps/libopc_convergence-5f610744759b3fa2.rmeta: crates/bench/benches/opc_convergence.rs Cargo.toml
+
+crates/bench/benches/opc_convergence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc-02d69e864dc02ead.d: crates/core/src/bin/postopc.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc-02d69e864dc02ead.rmeta: crates/core/src/bin/postopc.rs Cargo.toml
+
+crates/core/src/bin/postopc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

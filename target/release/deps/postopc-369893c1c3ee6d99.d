@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/postopc-369893c1c3ee6d99.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc-369893c1c3ee6d99.rmeta: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/dfm.rs:
+crates/core/src/error.rs:
+crates/core/src/extract.rs:
+crates/core/src/flow.rs:
+crates/core/src/guardband.rs:
+crates/core/src/multilayer.rs:
+crates/core/src/report.rs:
+crates/core/src/tags.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc-88393de6bfc66f6b.d: crates/core/src/bin/postopc.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc-88393de6bfc66f6b.rmeta: crates/core/src/bin/postopc.rs Cargo.toml
+
+crates/core/src/bin/postopc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/postopc-b31fc844f7cdf52d.d: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs
+
+/root/repo/target/release/deps/libpostopc-b31fc844f7cdf52d.rlib: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs
+
+/root/repo/target/release/deps/libpostopc-b31fc844f7cdf52d.rmeta: crates/core/src/lib.rs crates/core/src/compare.rs crates/core/src/dfm.rs crates/core/src/error.rs crates/core/src/extract.rs crates/core/src/flow.rs crates/core/src/guardband.rs crates/core/src/multilayer.rs crates/core/src/report.rs crates/core/src/tags.rs
+
+crates/core/src/lib.rs:
+crates/core/src/compare.rs:
+crates/core/src/dfm.rs:
+crates/core/src/error.rs:
+crates/core/src/extract.rs:
+crates/core/src/flow.rs:
+crates/core/src/guardband.rs:
+crates/core/src/multilayer.rs:
+crates/core/src/report.rs:
+crates/core/src/tags.rs:

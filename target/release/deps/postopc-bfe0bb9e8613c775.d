@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/postopc-bfe0bb9e8613c775.d: crates/core/src/bin/postopc.rs
+
+/root/repo/target/release/deps/postopc-bfe0bb9e8613c775: crates/core/src/bin/postopc.rs
+
+crates/core/src/bin/postopc.rs:

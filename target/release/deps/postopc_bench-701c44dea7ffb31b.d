@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc_bench-701c44dea7ffb31b.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libpostopc_bench-701c44dea7ffb31b.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libpostopc_bench-701c44dea7ffb31b.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:

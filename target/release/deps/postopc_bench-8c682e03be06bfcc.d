@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/postopc_bench-8c682e03be06bfcc.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_bench-8c682e03be06bfcc.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

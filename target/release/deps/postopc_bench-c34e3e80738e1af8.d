@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc_bench-c34e3e80738e1af8.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libpostopc_bench-c34e3e80738e1af8.rlib: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libpostopc_bench-c34e3e80738e1af8.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:

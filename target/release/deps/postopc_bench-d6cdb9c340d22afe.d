@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/postopc_bench-d6cdb9c340d22afe.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/postopc_bench-d6cdb9c340d22afe: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/postopc_bench-ffe923e1c857f247.d: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_bench-ffe923e1c857f247.rmeta: crates/bench/src/lib.rs crates/bench/src/experiments.rs crates/bench/src/timing.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/experiments.rs:
+crates/bench/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/postopc_cdex-249a1f515ffeffa4.d: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs
+
+/root/repo/target/release/deps/libpostopc_cdex-249a1f515ffeffa4.rlib: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs
+
+/root/repo/target/release/deps/libpostopc_cdex-249a1f515ffeffa4.rmeta: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs
+
+crates/cdex/src/lib.rs:
+crates/cdex/src/equivalent.rs:
+crates/cdex/src/error.rs:
+crates/cdex/src/measure.rs:
+crates/cdex/src/stats.rs:
+crates/cdex/src/wires.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/postopc_cdex-3aa1b43a0c14c770.d: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_cdex-3aa1b43a0c14c770.rmeta: crates/cdex/src/lib.rs crates/cdex/src/equivalent.rs crates/cdex/src/error.rs crates/cdex/src/measure.rs crates/cdex/src/stats.rs crates/cdex/src/wires.rs Cargo.toml
+
+crates/cdex/src/lib.rs:
+crates/cdex/src/equivalent.rs:
+crates/cdex/src/error.rs:
+crates/cdex/src/measure.rs:
+crates/cdex/src/stats.rs:
+crates/cdex/src/wires.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/postopc_device-454ec60e3967aaa3.d: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_device-454ec60e3967aaa3.rmeta: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs Cargo.toml
+
+crates/device/src/lib.rs:
+crates/device/src/error.rs:
+crates/device/src/mosfet.rs:
+crates/device/src/params.rs:
+crates/device/src/rc.rs:
+crates/device/src/slices.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

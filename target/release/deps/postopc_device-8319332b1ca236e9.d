@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/postopc_device-8319332b1ca236e9.d: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs
+
+/root/repo/target/release/deps/libpostopc_device-8319332b1ca236e9.rlib: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs
+
+/root/repo/target/release/deps/libpostopc_device-8319332b1ca236e9.rmeta: crates/device/src/lib.rs crates/device/src/error.rs crates/device/src/mosfet.rs crates/device/src/params.rs crates/device/src/rc.rs crates/device/src/slices.rs
+
+crates/device/src/lib.rs:
+crates/device/src/error.rs:
+crates/device/src/mosfet.rs:
+crates/device/src/params.rs:
+crates/device/src/rc.rs:
+crates/device/src/slices.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/postopc_geom-716db4b616536f08.d: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_geom-716db4b616536f08.rmeta: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs Cargo.toml
+
+crates/geom/src/lib.rs:
+crates/geom/src/edge.rs:
+crates/geom/src/error.rs:
+crates/geom/src/index.rs:
+crates/geom/src/point.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/raster.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/transform.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/postopc_geom-f9000d65623178a8.d: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs
+
+/root/repo/target/release/deps/libpostopc_geom-f9000d65623178a8.rlib: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs
+
+/root/repo/target/release/deps/libpostopc_geom-f9000d65623178a8.rmeta: crates/geom/src/lib.rs crates/geom/src/edge.rs crates/geom/src/error.rs crates/geom/src/index.rs crates/geom/src/point.rs crates/geom/src/polygon.rs crates/geom/src/raster.rs crates/geom/src/rect.rs crates/geom/src/transform.rs
+
+crates/geom/src/lib.rs:
+crates/geom/src/edge.rs:
+crates/geom/src/error.rs:
+crates/geom/src/index.rs:
+crates/geom/src/point.rs:
+crates/geom/src/polygon.rs:
+crates/geom/src/raster.rs:
+crates/geom/src/rect.rs:
+crates/geom/src/transform.rs:

@@ -1,0 +1,23 @@
+/root/repo/target/release/deps/postopc_layout-91211c428f97437f.d: crates/layout/src/lib.rs crates/layout/src/density.rs crates/layout/src/design.rs crates/layout/src/drc.rs crates/layout/src/error.rs crates/layout/src/generate.rs crates/layout/src/io.rs crates/layout/src/layer.rs crates/layout/src/library.rs crates/layout/src/netlist.rs crates/layout/src/place.rs crates/layout/src/route.rs crates/layout/src/stdcells.rs crates/layout/src/tech.rs crates/layout/src/xref.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_layout-91211c428f97437f.rmeta: crates/layout/src/lib.rs crates/layout/src/density.rs crates/layout/src/design.rs crates/layout/src/drc.rs crates/layout/src/error.rs crates/layout/src/generate.rs crates/layout/src/io.rs crates/layout/src/layer.rs crates/layout/src/library.rs crates/layout/src/netlist.rs crates/layout/src/place.rs crates/layout/src/route.rs crates/layout/src/stdcells.rs crates/layout/src/tech.rs crates/layout/src/xref.rs Cargo.toml
+
+crates/layout/src/lib.rs:
+crates/layout/src/density.rs:
+crates/layout/src/design.rs:
+crates/layout/src/drc.rs:
+crates/layout/src/error.rs:
+crates/layout/src/generate.rs:
+crates/layout/src/io.rs:
+crates/layout/src/layer.rs:
+crates/layout/src/library.rs:
+crates/layout/src/netlist.rs:
+crates/layout/src/place.rs:
+crates/layout/src/route.rs:
+crates/layout/src/stdcells.rs:
+crates/layout/src/tech.rs:
+crates/layout/src/xref.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/postopc_litho-2d610a773b1e4cd6.d: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_litho-2d610a773b1e4cd6.rmeta: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs Cargo.toml
+
+crates/litho/src/lib.rs:
+crates/litho/src/bossung.rs:
+crates/litho/src/contour.rs:
+crates/litho/src/cutline.rs:
+crates/litho/src/error.rs:
+crates/litho/src/fem.rs:
+crates/litho/src/image.rs:
+crates/litho/src/kernels.rs:
+crates/litho/src/optics.rs:
+crates/litho/src/resist.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/postopc_litho-bc4acdfb9642c6c3.d: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs
+
+/root/repo/target/release/deps/libpostopc_litho-bc4acdfb9642c6c3.rlib: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs
+
+/root/repo/target/release/deps/libpostopc_litho-bc4acdfb9642c6c3.rmeta: crates/litho/src/lib.rs crates/litho/src/bossung.rs crates/litho/src/contour.rs crates/litho/src/cutline.rs crates/litho/src/error.rs crates/litho/src/fem.rs crates/litho/src/image.rs crates/litho/src/kernels.rs crates/litho/src/optics.rs crates/litho/src/resist.rs
+
+crates/litho/src/lib.rs:
+crates/litho/src/bossung.rs:
+crates/litho/src/contour.rs:
+crates/litho/src/cutline.rs:
+crates/litho/src/error.rs:
+crates/litho/src/fem.rs:
+crates/litho/src/image.rs:
+crates/litho/src/kernels.rs:
+crates/litho/src/optics.rs:
+crates/litho/src/resist.rs:

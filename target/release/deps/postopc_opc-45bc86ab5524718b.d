@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/postopc_opc-45bc86ab5524718b.d: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_opc-45bc86ab5524718b.rmeta: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs Cargo.toml
+
+crates/opc/src/lib.rs:
+crates/opc/src/error.rs:
+crates/opc/src/fragment.rs:
+crates/opc/src/hotspots.rs:
+crates/opc/src/model.rs:
+crates/opc/src/mrc.rs:
+crates/opc/src/orc.rs:
+crates/opc/src/rules.rs:
+crates/opc/src/selective.rs:
+crates/opc/src/sraf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

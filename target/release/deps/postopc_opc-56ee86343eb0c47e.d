@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/postopc_opc-56ee86343eb0c47e.d: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs
+
+/root/repo/target/release/deps/libpostopc_opc-56ee86343eb0c47e.rlib: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs
+
+/root/repo/target/release/deps/libpostopc_opc-56ee86343eb0c47e.rmeta: crates/opc/src/lib.rs crates/opc/src/error.rs crates/opc/src/fragment.rs crates/opc/src/hotspots.rs crates/opc/src/model.rs crates/opc/src/mrc.rs crates/opc/src/orc.rs crates/opc/src/rules.rs crates/opc/src/selective.rs crates/opc/src/sraf.rs
+
+crates/opc/src/lib.rs:
+crates/opc/src/error.rs:
+crates/opc/src/fragment.rs:
+crates/opc/src/hotspots.rs:
+crates/opc/src/model.rs:
+crates/opc/src/mrc.rs:
+crates/opc/src/orc.rs:
+crates/opc/src/rules.rs:
+crates/opc/src/selective.rs:
+crates/opc/src/sraf.rs:

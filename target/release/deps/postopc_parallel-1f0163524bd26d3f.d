@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc_parallel-1f0163524bd26d3f.d: crates/parallel/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_parallel-1f0163524bd26d3f.rmeta: crates/parallel/src/lib.rs Cargo.toml
+
+crates/parallel/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

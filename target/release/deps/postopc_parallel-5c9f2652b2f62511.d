@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/postopc_parallel-5c9f2652b2f62511.d: crates/parallel/src/lib.rs
+
+/root/repo/target/release/deps/libpostopc_parallel-5c9f2652b2f62511.rlib: crates/parallel/src/lib.rs
+
+/root/repo/target/release/deps/libpostopc_parallel-5c9f2652b2f62511.rmeta: crates/parallel/src/lib.rs
+
+crates/parallel/src/lib.rs:

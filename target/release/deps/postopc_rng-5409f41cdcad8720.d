@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc_rng-5409f41cdcad8720.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_rng-5409f41cdcad8720.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc_rng-72121ca3c2c58aba.d: crates/rng/src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_rng-72121ca3c2c58aba.rmeta: crates/rng/src/lib.rs Cargo.toml
+
+crates/rng/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/postopc_rng-b81ce98e4d3bde5e.d: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libpostopc_rng-b81ce98e4d3bde5e.rlib: crates/rng/src/lib.rs
+
+/root/repo/target/release/deps/libpostopc_rng-b81ce98e4d3bde5e.rmeta: crates/rng/src/lib.rs
+
+crates/rng/src/lib.rs:

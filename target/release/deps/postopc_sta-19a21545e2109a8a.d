@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/postopc_sta-19a21545e2109a8a.d: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_sta-19a21545e2109a8a.rmeta: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs Cargo.toml
+
+crates/sta/src/lib.rs:
+crates/sta/src/annotate.rs:
+crates/sta/src/corners.rs:
+crates/sta/src/error.rs:
+crates/sta/src/graph.rs:
+crates/sta/src/liberty.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/statistical.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

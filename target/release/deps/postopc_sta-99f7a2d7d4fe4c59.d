@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/postopc_sta-99f7a2d7d4fe4c59.d: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs
+
+/root/repo/target/release/deps/libpostopc_sta-99f7a2d7d4fe4c59.rlib: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs
+
+/root/repo/target/release/deps/libpostopc_sta-99f7a2d7d4fe4c59.rmeta: crates/sta/src/lib.rs crates/sta/src/annotate.rs crates/sta/src/corners.rs crates/sta/src/error.rs crates/sta/src/graph.rs crates/sta/src/liberty.rs crates/sta/src/paths.rs crates/sta/src/statistical.rs
+
+crates/sta/src/lib.rs:
+crates/sta/src/annotate.rs:
+crates/sta/src/corners.rs:
+crates/sta/src/error.rs:
+crates/sta/src/graph.rs:
+crates/sta/src/liberty.rs:
+crates/sta/src/paths.rs:
+crates/sta/src/statistical.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc_suite-2c6968b93f4a2982.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_suite-2c6968b93f4a2982.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/postopc_suite-a74130decd22b49a.d: src/lib.rs
+
+/root/repo/target/release/deps/libpostopc_suite-a74130decd22b49a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpostopc_suite-a74130decd22b49a.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/postopc_suite-c17ab8b2290c509a.d: src/lib.rs Cargo.toml
+
+/root/repo/target/release/deps/libpostopc_suite-c17ab8b2290c509a.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

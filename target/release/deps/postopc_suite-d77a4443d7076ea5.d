@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/postopc_suite-d77a4443d7076ea5.d: src/lib.rs
+
+/root/repo/target/release/deps/postopc_suite-d77a4443d7076ea5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-157858d2f1a4675d.d: crates/geom/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-157858d2f1a4675d.rmeta: crates/geom/tests/properties.rs Cargo.toml
+
+crates/geom/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

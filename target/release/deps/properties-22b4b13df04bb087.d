@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-22b4b13df04bb087.d: crates/device/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-22b4b13df04bb087.rmeta: crates/device/tests/properties.rs Cargo.toml
+
+crates/device/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-9b23e1c718d23608.d: crates/opc/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-9b23e1c718d23608.rmeta: crates/opc/tests/properties.rs Cargo.toml
+
+crates/opc/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/properties-ddc4f58d0a199833.d: crates/sta/tests/properties.rs Cargo.toml
+
+/root/repo/target/release/deps/libproperties-ddc4f58d0a199833.rmeta: crates/sta/tests/properties.rs Cargo.toml
+
+crates/sta/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

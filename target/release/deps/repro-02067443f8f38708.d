@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-02067443f8f38708.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-02067443f8f38708: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-115e441752f88829.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-115e441752f88829: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-314359052ec3964e.d: crates/bench/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-314359052ec3964e: crates/bench/src/bin/repro.rs
+
+crates/bench/src/bin/repro.rs:

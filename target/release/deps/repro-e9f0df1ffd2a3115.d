@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/repro-e9f0df1ffd2a3115.d: crates/bench/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/release/deps/librepro-e9f0df1ffd2a3115.rmeta: crates/bench/src/bin/repro.rs Cargo.toml
+
+crates/bench/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

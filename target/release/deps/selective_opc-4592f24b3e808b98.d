@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/selective_opc-4592f24b3e808b98.d: crates/bench/benches/selective_opc.rs Cargo.toml
+
+/root/repo/target/release/deps/libselective_opc-4592f24b3e808b98.rmeta: crates/bench/benches/selective_opc.rs Cargo.toml
+
+crates/bench/benches/selective_opc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

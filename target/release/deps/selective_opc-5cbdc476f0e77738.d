@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/selective_opc-5cbdc476f0e77738.d: crates/bench/benches/selective_opc.rs
+
+/root/repo/target/release/deps/selective_opc-5cbdc476f0e77738: crates/bench/benches/selective_opc.rs
+
+crates/bench/benches/selective_opc.rs:

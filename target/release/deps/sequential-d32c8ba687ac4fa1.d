@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sequential-d32c8ba687ac4fa1.d: crates/sta/tests/sequential.rs Cargo.toml
+
+/root/repo/target/release/deps/libsequential-d32c8ba687ac4fa1.rmeta: crates/sta/tests/sequential.rs Cargo.toml
+
+crates/sta/tests/sequential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/sequential_flow-0367f204be2d5e9c.d: tests/sequential_flow.rs Cargo.toml
+
+/root/repo/target/release/deps/libsequential_flow-0367f204be2d5e9c.rmeta: tests/sequential_flow.rs Cargo.toml
+
+tests/sequential_flow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/hotspot_triage-619621a3457e1b09.d: examples/hotspot_triage.rs Cargo.toml
+
+/root/repo/target/release/examples/libhotspot_triage-619621a3457e1b09.rmeta: examples/hotspot_triage.rs Cargo.toml
+
+examples/hotspot_triage.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/process_window-e47c25d0f9465372.d: examples/process_window.rs Cargo.toml
+
+/root/repo/target/release/examples/libprocess_window-e47c25d0f9465372.rmeta: examples/process_window.rs Cargo.toml
+
+examples/process_window.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/quickstart-5e6ed4cd5453650e.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/release/examples/libquickstart-5e6ed4cd5453650e.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

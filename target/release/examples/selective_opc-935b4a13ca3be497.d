@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/selective_opc-935b4a13ca3be497.d: examples/selective_opc.rs Cargo.toml
+
+/root/repo/target/release/examples/libselective_opc-935b4a13ca3be497.rmeta: examples/selective_opc.rs Cargo.toml
+
+examples/selective_opc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/release/examples/speedpath_reorder-3585f8a6f360d6cd.d: examples/speedpath_reorder.rs Cargo.toml
+
+/root/repo/target/release/examples/libspeedpath_reorder-3585f8a6f360d6cd.rmeta: examples/speedpath_reorder.rs Cargo.toml
+
+examples/speedpath_reorder.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

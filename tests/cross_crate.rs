@@ -66,8 +66,7 @@ fn extracted_equivalent_matches_device_model_currents() {
         .into_iter()
         .cloned()
         .collect();
-    let image =
-        AerialImage::simulate(&SimulationSpec::nominal(), &mask, window).expect("image");
+    let image = AerialImage::simulate(&SimulationSpec::nominal(), &mask, window).expect("image");
     let extracted = extract_gate(
         &MeasureConfig::standard(),
         &process,
@@ -133,7 +132,12 @@ fn sta_delay_scales_with_extracted_length_direction() {
                 r.l_delay_nm += delta;
                 r.l_leakage_nm += delta;
             }
-            ann.set_gate(GateId(gi as u32), GateAnnotation { transistors: records });
+            ann.set_gate(
+                GateId(gi as u32),
+                GateAnnotation {
+                    transistors: records,
+                },
+            );
         }
         model.analyze(Some(&ann)).expect("annotated")
     };
@@ -163,7 +167,9 @@ fn geometry_round_trip_through_placement_transforms() {
         );
         let active_hits = design.shapes_in_window(Layer::Active, site.channel);
         assert!(
-            active_hits.iter().any(|p| p.contains(site.channel.center())),
+            active_hits
+                .iter()
+                .any(|p| p.contains(site.channel.center())),
             "no active under channel at {}",
             site.channel.center()
         );

@@ -62,7 +62,10 @@ fn silicon_timing_differs_from_drawn_but_is_physical() {
     assert!(shift < 0.25, "delay shift {shift} is unphysically large");
     // Leakage stays positive and within a decade.
     let leak_ratio = cmp.annotated.leakage_ua() / cmp.drawn.leakage_ua();
-    assert!((0.1..10.0).contains(&leak_ratio), "leakage ratio {leak_ratio}");
+    assert!(
+        (0.1..10.0).contains(&leak_ratio),
+        "leakage ratio {leak_ratio}"
+    );
 }
 
 #[test]
@@ -75,8 +78,7 @@ fn annotation_covers_exactly_the_tagged_gates() {
     );
     for gate in report.tags.sorted() {
         assert!(
-            report.annotation.gate(gate).is_some()
-                || report.extraction.gates_failed > 0,
+            report.annotation.gate(gate).is_some() || report.extraction.gates_failed > 0,
             "tagged gate {gate:?} lost by the flow"
         );
     }
@@ -141,14 +143,12 @@ fn clock_scaling_shifts_slack_not_delay() {
     let slow = run_flow(&design, &fast_config(900.0)).expect("flow");
     // Delay is clock-independent; slack shifts by exactly the difference.
     assert!(
-        (fast.comparison.drawn.critical_delay_ps()
-            - slow.comparison.drawn.critical_delay_ps())
-        .abs()
+        (fast.comparison.drawn.critical_delay_ps() - slow.comparison.drawn.critical_delay_ps())
+            .abs()
             < 1e-9
     );
     assert!(
-        ((slow.comparison.drawn.worst_slack_ps() - fast.comparison.drawn.worst_slack_ps())
-            - 200.0)
+        ((slow.comparison.drawn.worst_slack_ps() - fast.comparison.drawn.worst_slack_ps()) - 200.0)
             .abs()
             < 1e-9
     );
