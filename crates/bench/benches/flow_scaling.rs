@@ -3,16 +3,41 @@
 //! the T9 table reports.
 //!
 //! Uses the in-tree timing harness (`postopc_bench::timing`); criterion is
-//! not available offline.
+//! not available offline. Alongside the human table, the engine comparison
+//! is written to `BENCH_extract.json` in the same schema the `repro -- t9`
+//! run emits, so perf trajectories can be diffed by tooling.
 
 use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc_bench::json::{write_engine_rows, EngineBenchRow};
 use postopc_bench::timing::{bench, render_bench_table};
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, TechRules};
 use postopc_sta::TimingModel;
 
 fn main() {
+    let engines: Vec<(&str, ExtractionConfig)> = vec![
+        ("serial_nocache", {
+            let mut c = ExtractionConfig::standard();
+            c.opc_mode = OpcMode::Rule;
+            c.cache = false;
+            c.threads = Some(1);
+            c
+        }),
+        ("cached", {
+            let mut c = ExtractionConfig::standard();
+            c.opc_mode = OpcMode::Rule;
+            c.threads = Some(1);
+            c
+        }),
+        ("cached_pool", {
+            let mut c = ExtractionConfig::standard();
+            c.opc_mode = OpcMode::Rule;
+            c.threads = None; // all cores
+            c
+        }),
+    ];
     let mut extraction = Vec::new();
+    let mut rows: Vec<EngineBenchRow> = Vec::new();
     for gates in [4usize, 8, 16] {
         let design = Design::compile(
             generate::inverter_chain(gates).expect("netlist"),
@@ -20,18 +45,34 @@ fn main() {
         )
         .expect("design");
         let tags = TagSet::all(&design);
-        for (label, cache) in [("serial_nocache", false), ("cached", true)] {
-            let mut cfg = ExtractionConfig::standard();
-            cfg.opc_mode = OpcMode::Rule;
-            cfg.cache = cache;
-            cfg.threads = Some(1);
+        let mut baseline_s = 0.0;
+        for (i, (label, cfg)) in engines.iter().enumerate() {
+            let out = extract_gates(&design, cfg, &tags).expect("extraction");
             let stats = bench(5, || {
-                extract_gates(&design, &cfg, &tags).expect("extraction")
+                extract_gates(&design, cfg, &tags).expect("extraction")
             });
+            if i == 0 {
+                baseline_s = stats.best_s;
+            }
             extraction.push((format!("rule_full/{gates}/{label}"), stats));
+            rows.push(EngineBenchRow {
+                design: format!("inverter chain {gates}"),
+                engine: (*label).to_string(),
+                windows: out.stats.windows,
+                hits: out.stats.cache_hits,
+                hit_rate: out.stats.cache_hit_rate(),
+                wall_s: stats.best_s,
+                speedup: baseline_s / stats.best_s.max(1e-9),
+            });
         }
     }
     print!("{}", render_bench_table("extraction", &extraction));
+    let path = std::path::Path::new("BENCH_extract.json");
+    let threads = postopc_parallel::effective_threads(None);
+    match write_engine_rows(path, threads, &rows) {
+        Ok(()) => println!("[flow_scaling wrote {}]", path.display()),
+        Err(e) => eprintln!("[flow_scaling could not write {}: {e}]", path.display()),
+    }
 
     let design = Design::compile(
         generate::paper_testcase(11).expect("netlist"),

@@ -1,0 +1,78 @@
+//! Quick-mode performance smoke test for the CI gate (`scripts/check.sh`).
+//!
+//! Extracts a small uniform inverter farm twice — context cache with the
+//! serial engine, then context cache with the worker pool — and fails
+//! (exit 1) if either invariant breaks:
+//!
+//! 1. The two outcomes must be bit-identical (scheduling must never change
+//!    extracted CDs).
+//! 2. The pooled engine must stay within a small tolerance of the serial
+//!    wall time (parity on one core, faster on many). The tolerance
+//!    absorbs timer noise on loaded single-core CI machines; a real pool
+//!    regression — the chunked scheduler falling over its own overhead —
+//!    shows up far above it.
+//!
+//! Runtime is a few seconds: each engine gets one warm-up run (fills the
+//! thread-local imaging workspaces) and the best of two timed runs.
+
+use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc_layout::{generate, Design, PlacementOptions, TechRules};
+
+/// Pool wall time may exceed serial by at most this factor.
+const POOL_TOLERANCE: f64 = 1.25;
+
+fn main() {
+    // Dense placement (100% utilization) so every gate sees the repeated
+    // neighbourhood the context cache thrives on — the same shape as the
+    // T9 uniform-farm row, scaled down for CI.
+    let design = Design::compile_with(
+        generate::inverter_chain(48).expect("netlist"),
+        TechRules::n90(),
+        &PlacementOptions {
+            utilization: 1.0,
+            seed: 11,
+        },
+    )
+    .expect("design");
+    let tags = TagSet::all(&design);
+    let mut cached = ExtractionConfig::standard();
+    cached.opc_mode = OpcMode::Rule;
+    cached.threads = Some(1);
+    let mut pooled = cached.clone();
+    pooled.threads = None; // all cores
+
+    let run = |cfg: &ExtractionConfig| {
+        let warm = extract_gates(&design, cfg, &tags).expect("extraction");
+        let mut best = f64::MAX;
+        for _ in 0..2 {
+            let (out, secs) = postopc_bench::timing::time(|| {
+                extract_gates(&design, cfg, &tags).expect("extraction")
+            });
+            assert_eq!(out, warm, "extraction must be deterministic");
+            best = best.min(secs);
+        }
+        (warm, best)
+    };
+    let (serial_out, serial_s) = run(&cached);
+    let (pool_out, pool_s) = run(&pooled);
+    let threads = postopc_parallel::effective_threads(None);
+    println!(
+        "perf_smoke: cache-only {serial_s:.2} s, cache+pool {pool_s:.2} s ({threads} worker(s))"
+    );
+
+    let mut failed = false;
+    if serial_out != pool_out {
+        eprintln!("perf_smoke: FAIL - pooled outcome differs from serial outcome");
+        failed = true;
+    }
+    if pool_s > serial_s * POOL_TOLERANCE {
+        eprintln!(
+            "perf_smoke: FAIL - cache+pool {pool_s:.2} s exceeds cache-only {serial_s:.2} s x {POOL_TOLERANCE}"
+        );
+        failed = true;
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("perf_smoke: PASS - pooled engine at parity or better, outcomes bit-identical");
+}

@@ -46,7 +46,16 @@ fn main() {
             "t6" => experiments::t6(),
             "t7" => experiments::t7(),
             "f8" => experiments::f8(),
-            "t9" => experiments::t9(),
+            "t9" => {
+                let (text, rows) = experiments::t9();
+                let path = std::path::Path::new("BENCH_extract.json");
+                let threads = postopc_parallel::effective_threads(None);
+                match postopc_bench::json::write_engine_rows(path, threads, &rows) {
+                    Ok(()) => println!("[t9 wrote {}]", path.display()),
+                    Err(e) => eprintln!("[t9 could not write {}: {e}]", path.display()),
+                }
+                text
+            }
             "t10" => experiments::t10(),
             "a1" => experiments::a1(),
             "a2" => experiments::a2(),

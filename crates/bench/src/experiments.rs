@@ -564,7 +564,10 @@ pub fn f8() -> String {
 
 /// **T9 — selective-extraction scalability.** Full-chip vs tagged-only
 /// extraction wall time across design sizes.
-pub fn t9() -> String {
+///
+/// Returns the human-readable report plus the engine-comparison rows for
+/// the machine-readable `BENCH_extract.json` artifact.
+pub fn t9() -> (String, Vec<crate::json::EngineBenchRow>) {
     let mut rows = Vec::new();
     let mut ratios = Vec::new();
     for &gates in &[60usize, 150, 400] {
@@ -610,8 +613,9 @@ pub fn t9() -> String {
         }
     ));
     text.push('\n');
-    text.push_str(&t9_engine());
-    text
+    let (engine_text, bench_rows) = t9_engine();
+    text.push_str(&engine_text);
+    (text, bench_rows)
 }
 
 /// The engine-scaling half of T9: baseline (serial, no dedup) vs the
@@ -620,7 +624,7 @@ pub fn t9() -> String {
 /// contexts: the honest low end of dedup) and a uniform inverter farm
 /// (repeated identical contexts: what standard-cell regularity gives the
 /// extractor in practice).
-fn t9_engine() -> String {
+fn t9_engine() -> (String, Vec<crate::json::EngineBenchRow>) {
     use postopc_layout::PlacementOptions;
     let dense = |netlist| {
         Design::compile_with(
@@ -662,6 +666,7 @@ fn t9_engine() -> String {
         ),
     ];
     let mut rows = Vec::new();
+    let mut bench_rows = Vec::new();
     let mut cds_identical = true;
     let mut pool_identical = true;
     let mut farm_hit_rate: f64 = 0.0;
@@ -686,6 +691,15 @@ fn t9_engine() -> String {
                 format!("{secs:.2}"),
                 format!("{speedup:.1}x"),
             ]);
+            bench_rows.push(crate::json::EngineBenchRow {
+                design: (*name).to_string(),
+                engine: (*label).to_string(),
+                windows: out.stats.windows,
+                hits: out.stats.cache_hits,
+                hit_rate: out.stats.cache_hit_rate(),
+                wall_s: secs,
+                speedup,
+            });
             if *name == "shuffled farm 20x24" {
                 farm_hit_rate = farm_hit_rate.max(out.stats.cache_hit_rate());
             } else {
@@ -738,7 +752,7 @@ fn t9_engine() -> String {
             "VIOLATED"
         }
     ));
-    text
+    (text, bench_rows)
 }
 
 /// **A1 — kernel-stack ablation** (DESIGN.md ablation #1): how much of the

@@ -1,0 +1,159 @@
+//! Machine-readable benchmark artifacts.
+//!
+//! The perf trajectory across PRs needs numbers that tooling can diff, not
+//! just human tables. This module renders the engine-comparison results
+//! (experiment T9 and the `flow_scaling` bench) as a small, stable JSON
+//! document — `BENCH_extract.json` — written next to the working directory
+//! of the run. No external JSON dependency exists in the workspace (the
+//! build is offline), so the writer is hand-rolled for exactly this schema.
+
+use std::io::Write;
+use std::path::Path;
+
+/// Schema identifier stamped into every document so future PRs can evolve
+/// the format without breaking diff tooling silently.
+pub const ENGINE_BENCH_SCHEMA: &str = "postopc-bench-extract-v1";
+
+/// One engine-comparison measurement: a (design, engine) cell of the T9
+/// engine table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineBenchRow {
+    /// Workload name (e.g. `shuffled farm 20x24`).
+    pub design: String,
+    /// Engine configuration (e.g. `context cache`).
+    pub engine: String,
+    /// Simulation windows imaged (one per distinct litho context).
+    pub windows: usize,
+    /// Gates served from the context cache.
+    pub hits: usize,
+    /// Cache hit rate in `[0, 1]`.
+    pub hit_rate: f64,
+    /// Wall-clock seconds of the extraction run.
+    pub wall_s: f64,
+    /// Speedup versus the baseline engine on the same design.
+    pub speedup: f64,
+}
+
+/// Escapes a string for a JSON string literal.
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a finite JSON number (non-finite values — impossible for sane
+/// measurements — degrade to 0 rather than emitting invalid JSON).
+fn number(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders the engine-comparison document.
+pub fn render_engine_rows(threads: usize, rows: &[EngineBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{ENGINE_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"engine\": \"{}\", \"windows\": {}, \"hits\": {}, \
+             \"hit_rate\": {}, \"wall_s\": {}, \"speedup\": {}}}{}\n",
+            escape(&row.design),
+            escape(&row.engine),
+            row.windows,
+            row.hits,
+            number(row.hit_rate),
+            number(row.wall_s),
+            number(row.speedup),
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the engine-comparison document to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (callers report and continue — a missing
+/// artifact must not fail the benchmark itself).
+pub fn write_engine_rows(
+    path: &Path,
+    threads: usize,
+    rows: &[EngineBenchRow],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_engine_rows(threads, rows).as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row() -> EngineBenchRow {
+        EngineBenchRow {
+            design: "uniform inv farm 240".to_string(),
+            engine: "context cache".to_string(),
+            windows: 16,
+            hits: 224,
+            hit_rate: 0.9333333333333333,
+            wall_s: 0.99,
+            speedup: 15.5,
+        }
+    }
+
+    #[test]
+    fn renders_stable_schema() {
+        let doc = render_engine_rows(1, &[row()]);
+        assert!(doc.contains("\"schema\": \"postopc-bench-extract-v1\""));
+        assert!(doc.contains("\"threads\": 1"));
+        assert!(doc.contains("\"design\": \"uniform inv farm 240\""));
+        assert!(doc.contains("\"windows\": 16"));
+        assert!(doc.contains("\"wall_s\": 0.99"));
+        // Exactly one row: no trailing comma.
+        assert!(!doc.contains("}},\n  ]"));
+    }
+
+    #[test]
+    fn escapes_strings_and_guards_numbers() {
+        let mut r = row();
+        r.design = "evil \"name\"\\with\nnewline".to_string();
+        r.speedup = f64::INFINITY;
+        let doc = render_engine_rows(2, &[r]);
+        assert!(doc.contains("evil \\\"name\\\"\\\\with\\nnewline"));
+        assert!(doc.contains("\"speedup\": 0"));
+    }
+
+    #[test]
+    fn multiple_rows_are_comma_separated() {
+        let doc = render_engine_rows(4, &[row(), row(), row()]);
+        assert_eq!(doc.matches("\"design\"").count(), 3);
+        assert_eq!(doc.matches("},\n").count(), 2);
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("postopc_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_extract.json");
+        write_engine_rows(&path, 1, &[row()]).expect("write");
+        let read = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(read, render_engine_rows(1, &[row()]));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -14,6 +14,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod json;
 pub mod timing;
 
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};

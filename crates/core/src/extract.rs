@@ -320,8 +320,16 @@ pub fn extract_gates(
             unique_keys.push(&work.key);
         }
     }
-    let results =
-        postopc_parallel::par_map(threads, &unique_keys, |_, key| run_unique(config, key));
+    // Cost-aware scheduling: a window's pipeline cost scales with its
+    // pixel count (OPC iterations and measurement both ride on the same
+    // raster), so the pool hands out chunks weighted by estimated pixels
+    // instead of item counts.
+    let results = postopc_parallel::par_map_costed(
+        threads,
+        &unique_keys,
+        |_, key| window_pixel_cost(config, key),
+        |_, key| run_unique(config, key),
+    );
 
     // Phase 3: merge in gate order — deterministic regardless of which
     // worker computed which context.
@@ -476,6 +484,21 @@ fn build_gate_work(
             dose_bits: conditions.dose.to_bits(),
         },
     })
+}
+
+/// Estimated pipeline cost of one distinct context: the pixel count of its
+/// padded simulation raster. The padding margin is condition-dependent
+/// (defocus widens the kernels, hence the ambit), so it is derived from the
+/// key's own quantised conditions — the same stack `run_unique` images with.
+fn window_pixel_cost(config: &ExtractionConfig, key: &ContextKey) -> u64 {
+    let sim = config.sim.with_conditions(ProcessConditions {
+        focus_nm: f64::from_bits(key.focus_bits),
+        dose: f64::from_bits(key.dose_bits),
+    });
+    let margin = sim.kernel_stack().ambit_nm().ceil();
+    let nx = (key.window.width() as f64 + 2.0 * margin) / sim.pixel_nm + 1.0;
+    let ny = (key.window.height() as f64 + 2.0 * margin) / sim.pixel_nm + 1.0;
+    (nx.max(1.0) * ny.max(1.0)) as u64
 }
 
 /// Phase 2: OPC, imaging and per-channel measurement for one distinct
@@ -664,6 +687,29 @@ mod tests {
         let a = extract_gates(&d, &serial, &tags).expect("serial");
         let b = extract_gates(&d, &pooled, &tags).expect("pooled");
         assert_eq!(a, b, "thread count must not change the outcome");
+    }
+
+    #[test]
+    fn costed_scheduling_is_bit_identical_across_thread_counts() {
+        // A mixed-cell design: inverters and NAND gates have different
+        // window sizes, so cost-aware chunking actually varies chunk
+        // boundaries with the thread count — the outcome must not.
+        let d = Design::compile(
+            generate::ripple_carry_adder(2).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let tags = TagSet::all(&d);
+        let mut reference: Option<ExtractionOutcome> = None;
+        for threads in [1usize, 2, 3, 8] {
+            let mut cfg = fast_config(OpcMode::Rule);
+            cfg.threads = Some(threads);
+            let out = extract_gates(&d, &cfg, &tags).expect("extract");
+            match &reference {
+                None => reference = Some(out),
+                Some(r) => assert_eq!(&out, r, "threads = {threads}"),
+            }
+        }
     }
 
     #[test]

@@ -34,17 +34,7 @@ impl Grid {
     /// Returns [`GeomError::InvalidResolution`] if `pixel <= 0`, is not
     /// finite, or the window would require an absurd (> 10⁸) pixel count.
     pub fn new(window: Rect, margin: i64, pixel: f64) -> Result<Grid> {
-        if !(pixel.is_finite() && pixel > 0.0) {
-            return Err(GeomError::InvalidResolution(pixel));
-        }
-        let origin = Point::new(window.left() - margin, window.bottom() - margin);
-        let w = (window.width() + 2 * margin) as f64;
-        let h = (window.height() + 2 * margin) as f64;
-        let nx = (w / pixel).ceil() as usize + 1;
-        let ny = (h / pixel).ceil() as usize + 1;
-        if nx.saturating_mul(ny) > 100_000_000 {
-            return Err(GeomError::InvalidResolution(pixel));
-        }
+        let (origin, nx, ny) = grid_shape(window, margin, pixel)?;
         Ok(Grid {
             origin,
             pixel,
@@ -52,6 +42,54 @@ impl Grid {
             ny,
             data: vec![0.0; nx * ny],
         })
+    }
+
+    /// Reshapes this grid in place to cover `window` (expanded by `margin`
+    /// nm on all sides) at `pixel` nm per pixel, zero-filled, reusing the
+    /// existing data allocation when it is large enough.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Grid::new`]; on error the grid is unchanged.
+    pub fn reset(&mut self, window: Rect, margin: i64, pixel: f64) -> Result<()> {
+        let (origin, nx, ny) = grid_shape(window, margin, pixel)?;
+        self.origin = origin;
+        self.pixel = pixel;
+        self.nx = nx;
+        self.ny = ny;
+        self.data.clear();
+        self.data.resize(nx * ny, 0.0);
+        Ok(())
+    }
+
+    /// Returns a grid with this grid's shape but the given row-major data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != nx * ny`.
+    pub fn with_data(&self, data: Vec<f64>) -> Grid {
+        assert_eq!(
+            data.len(),
+            self.nx * self.ny,
+            "data length must match grid shape"
+        );
+        Grid {
+            origin: self.origin,
+            pixel: self.pixel,
+            nx: self.nx,
+            ny: self.ny,
+            data,
+        }
+    }
+
+    /// Number of pixels (`nx × ny`).
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the grid holds no pixels.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
     }
 
     /// Grid width in pixels.
@@ -151,14 +189,18 @@ impl Grid {
         let fy = (y_nm - self.origin.y as f64) / self.pixel - 0.5;
         let fx = fx.clamp(0.0, (self.nx - 1) as f64);
         let fy = fy.clamp(0.0, (self.ny - 1) as f64);
-        let ix = (fx.floor() as usize).min(self.nx - 2);
+        let ix = (fx.floor() as usize).min(self.nx.saturating_sub(2));
         let iy = (fy.floor() as usize).min(self.ny.saturating_sub(2));
+        // Degenerate 1-pixel axes collapse the interpolation cell: clamp the
+        // far corner indices so they never read past the grid.
+        let ix1 = (ix + 1).min(self.nx - 1);
+        let iy1 = (iy + 1).min(self.ny - 1);
         let tx = fx - ix as f64;
         let ty = fy - iy as f64;
         let v00 = self.data[iy * self.nx + ix];
-        let v10 = self.data[iy * self.nx + ix + 1];
-        let v01 = self.data[(iy + 1) * self.nx + ix];
-        let v11 = self.data[(iy + 1) * self.nx + ix + 1];
+        let v10 = self.data[iy * self.nx + ix1];
+        let v01 = self.data[iy1 * self.nx + ix];
+        let v11 = self.data[iy1 * self.nx + ix1];
         v00 * (1.0 - tx) * (1.0 - ty)
             + v10 * tx * (1.0 - ty)
             + v01 * (1.0 - tx) * ty
@@ -183,41 +225,69 @@ impl Grid {
     ///
     /// Panics if `kernel` has even length.
     pub fn convolve_separable(&mut self, kernel: &[f64]) {
+        self.convolve_separable_with(kernel, &mut ConvScratch::new());
+    }
+
+    /// [`Grid::convolve_separable`] reusing caller-owned scratch buffers,
+    /// avoiding per-call allocation in imaging loops.
+    ///
+    /// Both passes stream row-major (tap-outer over contiguous rows), so the
+    /// column pass never takes the `nx`-strided walks of a pixel-outer
+    /// formulation; per pixel the taps still accumulate in ascending order,
+    /// which keeps results bit-identical to the naive per-pixel loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` has even length.
+    pub fn convolve_separable_with(&mut self, kernel: &[f64], scratch: &mut ConvScratch) {
         assert!(
             kernel.len() % 2 == 1,
             "separable kernel must have odd length"
         );
-        let half = kernel.len() / 2;
-        let mut scratch = vec![0.0; self.nx.max(self.ny)];
-        // Rows.
-        for iy in 0..self.ny {
-            let row = &self.data[iy * self.nx..(iy + 1) * self.nx];
-            for (ix, out) in scratch[..self.nx].iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (k, &w) in kernel.iter().enumerate() {
-                    let j = ix as isize + k as isize - half as isize;
-                    if j >= 0 && (j as usize) < self.nx {
-                        acc += w * row[j as usize];
-                    }
-                }
-                *out = acc;
-            }
-            self.data[iy * self.nx..(iy + 1) * self.nx].copy_from_slice(&scratch[..self.nx]);
+        let (nx, ny) = (self.nx, self.ny);
+        let field = grown(&mut scratch.field, nx * ny);
+        row_pass(&self.data, field, nx, kernel);
+        // Column pass back into our own data (already consumed by the row
+        // pass above).
+        for iy in 0..ny {
+            let out = &mut self.data[iy * nx..(iy + 1) * nx];
+            out.fill(0.0);
+            accumulate_column_taps(out, field, iy, nx, ny, kernel);
         }
-        // Columns.
-        for ix in 0..self.nx {
-            for (iy, out) in scratch[..self.ny].iter_mut().enumerate() {
-                let mut acc = 0.0;
-                for (k, &w) in kernel.iter().enumerate() {
-                    let j = iy as isize + k as isize - half as isize;
-                    if j >= 0 && (j as usize) < self.ny {
-                        acc += w * self.data[j as usize * self.nx + ix];
-                    }
-                }
-                *out = acc;
-            }
-            for (iy, &value) in scratch[..self.ny].iter().enumerate() {
-                self.data[iy * self.nx + ix] = value;
+    }
+
+    /// Fused weight-scale + accumulate: adds `weight` × (this grid convolved
+    /// with `kernel`) into `acc`, without modifying the grid and without
+    /// materializing the convolved field as a `Grid`. Equivalent to
+    /// `clone() → convolve_separable → map_inplace(×weight) → zip_map(+)`
+    /// bit-for-bit when `acc` starts from the same partial sum, minus all
+    /// four temporaries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kernel` has even length or `acc.len() != self.len()`.
+    pub fn convolve_separable_scaled_into(
+        &self,
+        kernel: &[f64],
+        weight: f64,
+        acc: &mut [f64],
+        scratch: &mut ConvScratch,
+    ) {
+        assert!(
+            kernel.len() % 2 == 1,
+            "separable kernel must have odd length"
+        );
+        assert_eq!(acc.len(), self.data.len(), "accumulator length mismatch");
+        let (nx, ny) = (self.nx, self.ny);
+        let ConvScratch { field, row } = scratch;
+        let field = grown(field, nx * ny);
+        row_pass(&self.data, field, nx, kernel);
+        let row = grown(row, nx);
+        for iy in 0..ny {
+            row.fill(0.0);
+            accumulate_column_taps(row, field, iy, nx, ny, kernel);
+            for (a, &v) in acc[iy * nx..(iy + 1) * nx].iter_mut().zip(row.iter()) {
+                *a += weight * v;
             }
         }
     }
@@ -255,6 +325,99 @@ impl Grid {
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64) {
         for v in &mut self.data {
             *v = f(*v);
+        }
+    }
+}
+
+/// Reusable scratch buffers for [`Grid::convolve_separable_with`] and
+/// [`Grid::convolve_separable_scaled_into`]. Buffers grow to the largest
+/// grid seen and are then reused allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct ConvScratch {
+    field: Vec<f64>,
+    row: Vec<f64>,
+}
+
+impl ConvScratch {
+    /// Creates empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> ConvScratch {
+        ConvScratch::default()
+    }
+}
+
+/// Shape of the grid covering `window` expanded by `margin` at `pixel` nm:
+/// shared by [`Grid::new`] and [`Grid::reset`].
+fn grid_shape(window: Rect, margin: i64, pixel: f64) -> Result<(Point, usize, usize)> {
+    if !(pixel.is_finite() && pixel > 0.0) {
+        return Err(GeomError::InvalidResolution(pixel));
+    }
+    let origin = Point::new(window.left() - margin, window.bottom() - margin);
+    let w = (window.width() + 2 * margin) as f64;
+    let h = (window.height() + 2 * margin) as f64;
+    let nx = (w / pixel).ceil() as usize + 1;
+    let ny = (h / pixel).ceil() as usize + 1;
+    if nx.saturating_mul(ny) > 100_000_000 {
+        return Err(GeomError::InvalidResolution(pixel));
+    }
+    Ok((origin, nx, ny))
+}
+
+/// Ensures `buf` holds at least `n` elements and returns the first `n`.
+fn grown(buf: &mut Vec<f64>, n: usize) -> &mut [f64] {
+    if buf.len() < n {
+        buf.resize(n, 0.0);
+    }
+    &mut buf[..n]
+}
+
+/// Horizontal pass of the separable convolution: `dst = src ⊛ kernel` along
+/// x, row by row. Tap-outer over contiguous row slices, streaming both
+/// buffers row-major; each output pixel accumulates taps in ascending order
+/// (out-of-bounds taps skipped), matching the per-pixel formulation
+/// bit-for-bit.
+fn row_pass(src: &[f64], dst: &mut [f64], nx: usize, kernel: &[f64]) {
+    let half = kernel.len() / 2;
+    let nxi = nx as isize;
+    for (src_row, dst_row) in src.chunks_exact(nx).zip(dst.chunks_exact_mut(nx)) {
+        dst_row.fill(0.0);
+        for (k, &w) in kernel.iter().enumerate() {
+            let shift = k as isize - half as isize;
+            let ix0 = (-shift).max(0) as usize;
+            let ix1 = (nxi - shift).clamp(0, nxi) as usize;
+            if ix0 >= ix1 {
+                continue;
+            }
+            let s0 = (ix0 as isize + shift) as usize;
+            let src_run = &src_row[s0..s0 + (ix1 - ix0)];
+            for (o, &s) in dst_row[ix0..ix1].iter_mut().zip(src_run) {
+                *o += w * s;
+            }
+        }
+    }
+}
+
+/// Vertical-pass inner step: accumulates kernel taps for output row `iy`
+/// into `out` (length `nx`), reading whole source rows of `field`
+/// contiguously. Taps apply in ascending order with out-of-bounds rows
+/// skipped — the same per-pixel operation order as a column-strided loop,
+/// without its strided reads.
+fn accumulate_column_taps(
+    out: &mut [f64],
+    field: &[f64],
+    iy: usize,
+    nx: usize,
+    ny: usize,
+    kernel: &[f64],
+) {
+    let half = kernel.len() / 2;
+    for (k, &w) in kernel.iter().enumerate() {
+        let j = iy as isize + k as isize - half as isize;
+        if j < 0 || j as usize >= ny {
+            continue;
+        }
+        let src_row = &field[j as usize * nx..(j as usize + 1) * nx];
+        for (o, &s) in out.iter_mut().zip(src_row) {
+            *o += w * s;
         }
     }
 }
@@ -375,5 +538,245 @@ mod tests {
         let a = grid_10x10();
         let b = Grid::new(Rect::new(0, 0, 50, 50).expect("rect"), 0, 10.0).expect("grid");
         let _ = a.zip_map(&b, |x, _| x);
+    }
+
+    /// A negative margin exactly cancelling one dimension produces a
+    /// single-pixel axis (`nx == 1` or `ny == 1`).
+    fn degenerate_column_grid() -> Grid {
+        let g = Grid::new(Rect::new(0, 0, 100, 1000).expect("rect"), -50, 10.0).expect("grid");
+        assert_eq!(g.nx(), 1);
+        assert!(g.ny() > 1);
+        g
+    }
+
+    #[test]
+    fn sample_on_one_column_grid_does_not_panic() {
+        let mut g = degenerate_column_grid();
+        for iy in 0..g.ny() {
+            g.set(0, iy, iy as f64);
+        }
+        // Anywhere in x collapses to the single column; y still interpolates.
+        let v = g.sample(50.0, 960.0);
+        assert!(v.is_finite());
+        // Top-right corner forces the largest indices on both axes.
+        let v = g.sample(1e9, 1e9);
+        assert!((v - (g.ny() - 1) as f64).abs() < 1e-12, "{v}");
+    }
+
+    #[test]
+    fn sample_on_one_row_grid_does_not_panic() {
+        let mut g = Grid::new(Rect::new(0, 0, 1000, 100).expect("rect"), -50, 10.0).expect("grid");
+        assert_eq!(g.ny(), 1);
+        for ix in 0..g.nx() {
+            g.set(ix, 0, ix as f64);
+        }
+        let v = g.sample(960.0, 50.0);
+        assert!(v.is_finite());
+        let v = g.sample(-1e9, -1e9);
+        assert_eq!(v, 0.0);
+    }
+
+    #[test]
+    fn sample_on_one_pixel_grid_returns_the_pixel() {
+        let mut g = Grid::new(Rect::new(0, 0, 100, 100).expect("rect"), -50, 200.0).expect("grid");
+        assert_eq!((g.nx(), g.ny()), (1, 1));
+        g.set(0, 0, 3.5);
+        assert_eq!(g.sample(0.0, 0.0), 3.5);
+        assert_eq!(g.sample(1e6, -1e6), 3.5);
+    }
+
+    #[test]
+    fn reset_reuses_allocation_and_matches_new() {
+        let mut g = Grid::new(Rect::new(0, 0, 400, 300).expect("rect"), 20, 5.0).expect("grid");
+        g.add_rect(Rect::new(50, 50, 150, 150).expect("rect"), 1.0);
+        let cap_before = g.data.capacity();
+        let window = Rect::new(-30, 10, 170, 90).expect("rect");
+        g.reset(window, 15, 5.0).expect("reset");
+        let fresh = Grid::new(window, 15, 5.0).expect("grid");
+        assert_eq!(g, fresh);
+        assert!(g.data.capacity() >= cap_before, "reset must not shrink");
+        // Error path leaves the grid untouched.
+        assert!(g.reset(window, 15, -1.0).is_err());
+        assert_eq!(g, fresh);
+    }
+
+    #[test]
+    fn with_data_preserves_shape() {
+        let g = grid_10x10();
+        let d = vec![2.0; g.len()];
+        let h = g.with_data(d);
+        assert_eq!((h.nx(), h.ny()), (g.nx(), g.ny()));
+        assert_eq!(h.origin(), g.origin());
+        assert_eq!(h.at(3, 7), 2.0);
+    }
+
+    /// The pre-rewrite pixel-outer implementation, kept verbatim as the
+    /// bit-identity reference for the streaming passes.
+    fn convolve_separable_reference(g: &mut Grid, kernel: &[f64]) {
+        let half = kernel.len() / 2;
+        let (nx, ny) = (g.nx(), g.ny());
+        let mut scratch = vec![0.0; nx.max(ny)];
+        for iy in 0..ny {
+            let row = g.data()[iy * nx..(iy + 1) * nx].to_vec();
+            for (ix, out) in scratch[..nx].iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, &w) in kernel.iter().enumerate() {
+                    let j = ix as isize + k as isize - half as isize;
+                    if j >= 0 && (j as usize) < nx {
+                        acc += w * row[j as usize];
+                    }
+                }
+                *out = acc;
+            }
+            g.data_mut()[iy * nx..(iy + 1) * nx].copy_from_slice(&scratch[..nx]);
+        }
+        for ix in 0..nx {
+            for (iy, out) in scratch[..ny].iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, &w) in kernel.iter().enumerate() {
+                    let j = iy as isize + k as isize - half as isize;
+                    if j >= 0 && (j as usize) < ny {
+                        acc += w * g.data()[j as usize * nx + ix];
+                    }
+                }
+                *out = acc;
+            }
+            for (iy, &value) in scratch[..ny].iter().enumerate() {
+                g.data_mut()[iy * nx + ix] = value;
+            }
+        }
+    }
+
+    /// Naive dense 2-D convolution with the outer product of the separable
+    /// kernel — the ground truth both implementations approximate.
+    fn convolve_dense_reference(g: &Grid, kernel: &[f64]) -> Vec<f64> {
+        let half = kernel.len() as isize / 2;
+        let (nx, ny) = (g.nx() as isize, g.ny() as isize);
+        let mut out = vec![0.0; g.len()];
+        for oy in 0..ny {
+            for ox in 0..nx {
+                let mut acc = 0.0;
+                for (ky, &wy) in kernel.iter().enumerate() {
+                    let sy = oy + ky as isize - half;
+                    if sy < 0 || sy >= ny {
+                        continue;
+                    }
+                    for (kx, &wx) in kernel.iter().enumerate() {
+                        let sx = ox + kx as isize - half;
+                        if sx < 0 || sx >= nx {
+                            continue;
+                        }
+                        acc += wy * wx * g.data()[(sy * nx + sx) as usize];
+                    }
+                }
+                out[(oy * nx + ox) as usize] = acc;
+            }
+        }
+        out
+    }
+
+    fn random_grid(rng: &mut postopc_rng::StdRng, w: i64, h: i64, pixel: f64) -> Grid {
+        use postopc_rng::RngExt;
+        let mut g = Grid::new(Rect::new(0, 0, w, h).expect("rect"), 0, pixel).expect("grid");
+        for v in g.data_mut() {
+            *v = rng.random_range(0.0..1.0);
+        }
+        g
+    }
+
+    fn random_kernel(rng: &mut postopc_rng::StdRng, half: usize) -> Vec<f64> {
+        use postopc_rng::RngExt;
+        (0..2 * half + 1)
+            .map(|_| rng.random_range(-0.5..1.0))
+            .collect()
+    }
+
+    #[test]
+    fn streaming_pass_is_bit_identical_to_pixel_outer_reference() {
+        use postopc_rng::SeedableRng;
+        let mut rng = postopc_rng::StdRng::seed_from_u64(31);
+        // Asymmetric shapes, kernels wider than an axis, single-pixel axes.
+        for (w, h, half) in [
+            (200, 50, 2),
+            (50, 200, 7),
+            (30, 470, 19),
+            (470, 30, 19),
+            (10, 10, 40),
+            (100, 1000, 0),
+        ] {
+            let kernel = random_kernel(&mut rng, half);
+            let g = random_grid(&mut rng, w, h, 10.0);
+            let mut reference = g.clone();
+            convolve_separable_reference(&mut reference, &kernel);
+            let mut streaming = g.clone();
+            streaming.convolve_separable(&kernel);
+            assert_eq!(
+                streaming.data(),
+                reference.data(),
+                "bitwise mismatch for {w}x{h} half={half}"
+            );
+        }
+    }
+
+    #[test]
+    fn separable_matches_dense_reference_on_asymmetric_grids() {
+        use postopc_rng::SeedableRng;
+        let mut rng = postopc_rng::StdRng::seed_from_u64(57);
+        for (w, h, half) in [(170, 60, 3), (60, 170, 6), (250, 40, 11)] {
+            let kernel = random_kernel(&mut rng, half);
+            let g = random_grid(&mut rng, w, h, 10.0);
+            let dense = convolve_dense_reference(&g, &kernel);
+            let mut separable = g.clone();
+            separable.convolve_separable(&kernel);
+            for (i, (&s, &d)) in separable.data().iter().zip(&dense).enumerate() {
+                assert!(
+                    (s - d).abs() < 1e-9,
+                    "pixel {i} of {w}x{h} half={half}: separable {s} vs dense {d}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_scaled_accumulate_is_bit_identical_to_unfused_sequence() {
+        use postopc_rng::SeedableRng;
+        let mut rng = postopc_rng::StdRng::seed_from_u64(83);
+        let g = random_grid(&mut rng, 310, 90, 10.0);
+        let kernels = [random_kernel(&mut rng, 5), random_kernel(&mut rng, 13)];
+        let weights = [1.6, -0.6];
+        // Unfused: clone → convolve → scale → add, per kernel.
+        let mut unfused = vec![0.0; g.len()];
+        for (kernel, &weight) in kernels.iter().zip(&weights) {
+            let mut field = g.clone();
+            field.convolve_separable(kernel);
+            field.map_inplace(|v| v * weight);
+            for (a, &v) in unfused.iter_mut().zip(field.data()) {
+                *a += v;
+            }
+        }
+        // Fused path, reusing one scratch across kernels.
+        let mut fused = vec![0.0; g.len()];
+        let mut scratch = ConvScratch::new();
+        for (kernel, &weight) in kernels.iter().zip(&weights) {
+            g.convolve_separable_scaled_into(kernel, weight, &mut fused, &mut scratch);
+        }
+        assert_eq!(fused, unfused);
+    }
+
+    #[test]
+    fn convolution_scratch_reuse_across_shapes_is_safe() {
+        use postopc_rng::SeedableRng;
+        let mut rng = postopc_rng::StdRng::seed_from_u64(99);
+        let mut scratch = ConvScratch::new();
+        // Big grid first so later smaller grids see stale scratch contents.
+        for (w, h) in [(400, 400), (60, 200), (200, 60), (100, 100)] {
+            let kernel = random_kernel(&mut rng, 4);
+            let g = random_grid(&mut rng, w, h, 10.0);
+            let mut expected = g.clone();
+            convolve_separable_reference(&mut expected, &kernel);
+            let mut with_scratch = g.clone();
+            with_scratch.convolve_separable_with(&kernel, &mut scratch);
+            assert_eq!(with_scratch.data(), expected.data());
+        }
     }
 }

@@ -255,6 +255,27 @@ mod tests {
     }
 
     #[test]
+    fn contours_from_shared_workspace_match_direct_simulation() {
+        use crate::workspace::SimWorkspace;
+        let line = Polygon::from(Rect::new(-45, -600, 45, 600).expect("rect"));
+        let sim_window = Rect::new(-300, -300, 300, 300).expect("rect");
+        let trace_window = Rect::new(-200, -250, 200, 250).expect("rect");
+        let mut ws = SimWorkspace::new();
+        let pooled = AerialImage::simulate_with(
+            &mut ws,
+            &SimulationSpec::nominal(),
+            std::slice::from_ref(&line),
+            sim_window,
+        )
+        .expect("image");
+        let direct = line_image();
+        let resist = ResistModel::standard();
+        let from_pooled = printed_contours(&pooled, &resist, trace_window, 5.0).expect("contours");
+        let from_direct = printed_contours(&direct, &resist, trace_window, 5.0).expect("contours");
+        assert_eq!(from_pooled, from_direct);
+    }
+
+    #[test]
     fn rejects_bad_step() {
         let image = line_image();
         assert!(printed_contours(

@@ -186,6 +186,33 @@ mod tests {
     }
 
     #[test]
+    fn cds_from_shared_workspace_are_bit_identical() {
+        // CD metrology must not care which workspace imaged the window:
+        // the same masks through one reused workspace give bitwise-equal
+        // CDs to the thread-local `simulate` path.
+        use crate::workspace::SimWorkspace;
+        let r = ResistModel::standard();
+        let masks: Vec<Vec<Polygon>> = vec![
+            vec![vertical_line()],
+            vec![
+                vertical_line(),
+                Polygon::from(Rect::new(-325, -600, -235, 600).expect("rect")),
+            ],
+        ];
+        let window = Rect::new(-400, -400, 400, 400).expect("rect");
+        let mut ws = SimWorkspace::new();
+        for mask in &masks {
+            let pooled =
+                AerialImage::simulate_with(&mut ws, &SimulationSpec::nominal(), mask, window)
+                    .expect("image");
+            let direct = image_of(mask);
+            let cd_pooled = measure_cd(&pooled, &r, (0.0, 0.0), (1.0, 0.0), 150.0).expect("cd");
+            let cd_direct = measure_cd(&direct, &r, (0.0, 0.0), (1.0, 0.0), 150.0).expect("cd");
+            assert_eq!(cd_pooled.to_bits(), cd_direct.to_bits());
+        }
+    }
+
+    #[test]
     fn dense_and_iso_cds_differ() {
         let iso = image_of(&[vertical_line()]);
         let dense = image_of(&[

@@ -253,6 +253,41 @@ mod tests {
     }
 
     #[test]
+    fn imaging_sweep_with_shared_workspace_matches_fresh_workspaces() {
+        // A real imaging measure across the FEM grid: every (focus, dose)
+        // cell re-discretizes kernels unless the tap cache works, and the
+        // base grid is reused across all cells. The shared-workspace sweep
+        // must be bit-identical to fresh workspaces per cell.
+        use crate::cutline;
+        use crate::image::{AerialImage, SimulationSpec};
+        use crate::resist::ResistModel;
+        use crate::workspace::SimWorkspace;
+        use postopc_geom::{Polygon, Rect};
+
+        let line = Polygon::from(Rect::new(-45, -600, 45, 600).expect("rect"));
+        let window = Rect::new(-200, -200, 200, 200).expect("rect");
+        let resist = ResistModel::standard();
+        let measure_with = |ws: &mut SimWorkspace, c: &ProcessConditions| -> Result<f64> {
+            let spec = SimulationSpec::nominal().with_conditions(*c);
+            let image = AerialImage::simulate_with(ws, &spec, std::slice::from_ref(&line), window)?;
+            cutline::measure_cd(&image, &resist, (0.0, 0.0), (1.0, 0.0), 150.0)
+        };
+        let focus = vec![-120.0, 0.0, 120.0];
+        let dose = vec![0.97, 1.03];
+        let mut shared = SimWorkspace::new();
+        let reused = FocusExposureMatrix::sweep(focus.clone(), dose.clone(), |c| {
+            measure_with(&mut shared, c)
+        })
+        .expect("sweep");
+        let fresh =
+            FocusExposureMatrix::sweep(focus, dose, |c| measure_with(&mut SimWorkspace::new(), c))
+                .expect("sweep");
+        assert_eq!(reused, fresh);
+        // The sweep actually measured something plausible everywhere.
+        assert!(reused.points().iter().all(|p| p.value.is_some()));
+    }
+
+    #[test]
     fn process_window_finds_the_in_spec_rectangle() {
         let fem = FocusExposureMatrix::sweep(
             vec![-150.0, -75.0, 0.0, 75.0, 150.0],

@@ -3,6 +3,7 @@
 use crate::error::Result;
 use crate::kernels::KernelStack;
 use crate::optics::{OpticsParams, ProcessConditions};
+use crate::workspace::{self, SimWorkspace};
 use postopc_geom::{Grid, Polygon, Rect};
 
 /// Which kernel stack to image with.
@@ -99,26 +100,54 @@ impl AerialImage {
     ///
     /// Returns an error for invalid optics or a degenerate window.
     pub fn simulate(spec: &SimulationSpec, mask: &[Polygon], window: Rect) -> Result<AerialImage> {
+        workspace::with_thread_workspace(|ws| AerialImage::simulate_with(ws, spec, mask, window))
+    }
+
+    /// [`AerialImage::simulate`] with caller-owned scratch state.
+    ///
+    /// The workspace's base grid and convolution buffers are reused across
+    /// calls and its tap cache persists, so a loop that images many windows
+    /// (model OPC, extraction, FEM sweeps) allocates only the returned
+    /// intensity grid per call. Results are bit-identical to
+    /// [`AerialImage::simulate`] — both run this engine, `simulate` merely
+    /// borrows a per-thread workspace.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid optics or a degenerate window.
+    pub fn simulate_with(
+        workspace: &mut SimWorkspace,
+        spec: &SimulationSpec,
+        mask: &[Polygon],
+        window: Rect,
+    ) -> Result<AerialImage> {
         spec.optics.validate()?;
         let stack = spec.kernel_stack();
         let margin = stack.ambit_nm().ceil() as i64;
-        let mut base = Grid::new(window, margin, spec.pixel_nm)?;
+        let base = workspace.base_grid(window, margin, spec.pixel_nm)?;
         for polygon in mask {
             base.add_polygon(polygon, 1.0);
         }
-        let mut result: Option<Grid> = None;
+        // Split the workspace so the base grid (read), tap cache (borrowed
+        // slices) and convolution scratch (written) coexist.
+        let SimWorkspace {
+            base,
+            scratch,
+            taps,
+        } = workspace;
+        let base = base.as_ref().expect("base grid just built");
+        let mut intensity = vec![0.0; base.len()];
         for kernel in stack.kernels() {
-            let taps = KernelStack::discretize(kernel, spec.pixel_nm);
-            let mut field = base.clone();
-            field.convolve_separable(&taps);
-            field.map_inplace(|v| v * kernel.weight);
-            result = Some(match result {
-                None => field,
-                Some(acc) => acc.zip_map(&field, |a, b| a + b),
-            });
+            let kernel_taps = taps.taps(kernel, spec.pixel_nm);
+            base.convolve_separable_scaled_into(
+                kernel_taps,
+                kernel.weight,
+                &mut intensity,
+                scratch,
+            );
         }
         Ok(AerialImage {
-            grid: result.expect("stack has at least one kernel"),
+            grid: base.with_data(intensity),
             dose: spec.conditions.dose,
         })
     }
@@ -258,5 +287,116 @@ mod tests {
             "line-end {end} should be dimmer than side edge {side}"
         );
         let _ = Point::new(0, 0); // keep Point import used in this module
+    }
+
+    /// The pre-workspace engine (clone per kernel, re-discretize per call,
+    /// `zip_map` accumulation), kept verbatim as the bit-identity reference
+    /// for the fused engine.
+    fn simulate_reference(spec: &SimulationSpec, mask: &[Polygon], window: Rect) -> AerialImage {
+        spec.optics.validate().expect("valid optics");
+        let stack = spec.kernel_stack();
+        let margin = stack.ambit_nm().ceil() as i64;
+        let mut base = Grid::new(window, margin, spec.pixel_nm).expect("grid");
+        for polygon in mask {
+            base.add_polygon(polygon, 1.0);
+        }
+        let mut result: Option<Grid> = None;
+        for kernel in stack.kernels() {
+            let taps = KernelStack::discretize(kernel, spec.pixel_nm);
+            let mut field = base.clone();
+            field.convolve_separable(&taps);
+            field.map_inplace(|v| v * kernel.weight);
+            result = Some(match result {
+                None => field,
+                Some(acc) => acc.zip_map(&field, |a, b| a + b),
+            });
+        }
+        AerialImage {
+            grid: result.expect("stack has at least one kernel"),
+            dose: spec.conditions.dose,
+        }
+    }
+
+    /// A fixed-seed farm-like window: parallel lines at jittered pitches
+    /// with a couple of stubs, the mask-population class extraction images.
+    fn seeded_farm_mask(seed: u64) -> Vec<Polygon> {
+        use postopc_rng::{RngExt, SeedableRng};
+        let mut rng = postopc_rng::StdRng::seed_from_u64(seed);
+        let mut mask = Vec::new();
+        let mut x = -600i64;
+        while x < 600 {
+            let width = rng.random_range(70i64..=110);
+            let (y0, y1) = if rng.random_range(0u32..4) == 0 {
+                (
+                    -rng.random_range(100i64..=300),
+                    rng.random_range(100i64..=300),
+                )
+            } else {
+                (-600, 600)
+            };
+            mask.push(Polygon::from(
+                Rect::new(x, y0, x + width, y1).expect("rect"),
+            ));
+            x += width + rng.random_range(120i64..=260);
+        }
+        mask
+    }
+
+    #[test]
+    fn fused_engine_is_bit_identical_to_reference_engine() {
+        let mask = seeded_farm_mask(11);
+        let window = Rect::new(-500, -400, 500, 400).expect("rect");
+        let off_nominal = ProcessConditions {
+            focus_nm: 40.0,
+            dose: 1.01,
+        };
+        let specs = [
+            SimulationSpec::nominal(),
+            SimulationSpec::nominal().with_conditions(off_nominal),
+            SimulationSpec {
+                kernel_mode: KernelMode::SingleGaussian,
+                ..SimulationSpec::nominal()
+            },
+        ];
+        let mut ws = SimWorkspace::new();
+        for spec in &specs {
+            let reference = simulate_reference(spec, &mask, window);
+            let fused = AerialImage::simulate(spec, &mask, window).expect("image");
+            assert_eq!(
+                fused.grid().data(),
+                reference.grid().data(),
+                "thread-local path diverged for {:?}",
+                spec.kernel_mode
+            );
+            let with_ws = AerialImage::simulate_with(&mut ws, spec, &mask, window).expect("image");
+            assert_eq!(with_ws, fused, "explicit-workspace path diverged");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_across_windows_matches_fresh_workspaces() {
+        // One workspace across windows of different shapes and conditions
+        // must match a fresh workspace per window (stale-buffer detector).
+        let mask = seeded_farm_mask(23);
+        let windows = [
+            Rect::new(-500, -400, 500, 400).expect("rect"),
+            Rect::new(-100, -350, 250, 350).expect("rect"),
+            Rect::new(-500, -400, 500, 400).expect("rect"),
+            Rect::new(0, 0, 90, 600).expect("rect"),
+        ];
+        let spec = SimulationSpec::nominal();
+        let blur = spec.with_conditions(ProcessConditions {
+            focus_nm: 80.0,
+            dose: 0.98,
+        });
+        let mut shared = SimWorkspace::new();
+        for (i, &window) in windows.iter().enumerate() {
+            let spec = if i % 2 == 0 { &spec } else { &blur };
+            let reused =
+                AerialImage::simulate_with(&mut shared, spec, &mask, window).expect("image");
+            let fresh = AerialImage::simulate_with(&mut SimWorkspace::new(), spec, &mask, window)
+                .expect("image");
+            assert_eq!(reused, fresh, "window {i} diverged under workspace reuse");
+        }
     }
 }

@@ -25,10 +25,23 @@ pub struct ImagingKernel {
     pub sigma_nm: f64,
 }
 
+/// Stack capacity: center + surround is the widest stack in use. A fixed
+/// inline array keeps [`KernelStack`] construction allocation-free — it is
+/// rebuilt per simulation in the imaging hot loop.
+const MAX_KERNELS: usize = 2;
+
+/// Placeholder for unused stack slots; a constant so derived `PartialEq`
+/// compares stacks by their live kernels only.
+const EMPTY_KERNEL: ImagingKernel = ImagingKernel {
+    weight: 0.0,
+    sigma_nm: 0.0,
+};
+
 /// The kernel stack for a set of optics at given process conditions.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct KernelStack {
-    kernels: Vec<ImagingKernel>,
+    kernels: [ImagingKernel; MAX_KERNELS],
+    len: usize,
 }
 
 impl KernelStack {
@@ -39,7 +52,7 @@ impl KernelStack {
         let surround = core * optics.surround_ratio;
         let a = optics.surround_weight;
         KernelStack {
-            kernels: vec![
+            kernels: [
                 ImagingKernel {
                     weight: 1.0 + a,
                     sigma_nm: core,
@@ -49,6 +62,7 @@ impl KernelStack {
                     sigma_nm: surround,
                 },
             ],
+            len: 2,
         }
     }
 
@@ -58,21 +72,28 @@ impl KernelStack {
         let defocus_blur = optics.defocus_coeff * conditions.focus_nm.abs();
         let core = (optics.core_sigma_nm().powi(2) + defocus_blur.powi(2)).sqrt();
         KernelStack {
-            kernels: vec![ImagingKernel {
-                weight: 1.0,
-                sigma_nm: core,
-            }],
+            kernels: [
+                ImagingKernel {
+                    weight: 1.0,
+                    sigma_nm: core,
+                },
+                EMPTY_KERNEL,
+            ],
+            len: 1,
         }
     }
 
     /// The kernels of the stack.
     pub fn kernels(&self) -> &[ImagingKernel] {
-        &self.kernels
+        &self.kernels[..self.len]
     }
 
     /// Largest kernel width — the lithographic interaction range driver.
     pub fn max_sigma_nm(&self) -> f64 {
-        self.kernels.iter().map(|k| k.sigma_nm).fold(0.0, f64::max)
+        self.kernels()
+            .iter()
+            .map(|k| k.sigma_nm)
+            .fold(0.0, f64::max)
     }
 
     /// The optical ambit: context margin (in nm) a simulation window needs
@@ -96,6 +117,64 @@ impl KernelStack {
             *t /= sum;
         }
         taps
+    }
+}
+
+/// Upper bound on retained tap vectors; beyond it the oldest entry is
+/// evicted. A flow touches few distinct `(σ, pixel)` pairs — one per FEM
+/// condition per kernel — so 64 covers every sweep in the repo with room
+/// to spare while bounding worst-case memory.
+const TAP_CACHE_CAP: usize = 64;
+
+/// Memoizes [`KernelStack::discretize`] by its exact inputs — the bit
+/// patterns of `(kernel.sigma_nm, pixel_nm)` (weight does not enter the
+/// discretization) — so taps are computed once per distinct imaging
+/// condition instead of once per simulation window.
+///
+/// Lookup is a linear scan: the working set is a handful of entries and a
+/// scan over inline keys beats hashing at that size.
+#[derive(Debug, Default, Clone)]
+pub struct TapCache {
+    entries: Vec<TapEntry>,
+}
+
+#[derive(Debug, Clone)]
+struct TapEntry {
+    key: (u64, u64),
+    taps: Vec<f64>,
+}
+
+impl TapCache {
+    /// Creates an empty cache.
+    pub fn new() -> TapCache {
+        TapCache::default()
+    }
+
+    /// The discretized taps for `kernel` at `pixel_nm`, computed on first
+    /// use and served from the cache afterwards.
+    pub fn taps(&mut self, kernel: &ImagingKernel, pixel_nm: f64) -> &[f64] {
+        let key = (kernel.sigma_nm.to_bits(), pixel_nm.to_bits());
+        if let Some(pos) = self.entries.iter().position(|e| e.key == key) {
+            return &self.entries[pos].taps;
+        }
+        if self.entries.len() >= TAP_CACHE_CAP {
+            self.entries.remove(0);
+        }
+        self.entries.push(TapEntry {
+            key,
+            taps: KernelStack::discretize(kernel, pixel_nm),
+        });
+        &self.entries.last().expect("entry just pushed").taps
+    }
+
+    /// Number of distinct conditions currently cached.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
     }
 }
 
@@ -173,5 +252,64 @@ mod tests {
             KernelStack::single_gaussian(&OpticsParams::default(), &ProcessConditions::nominal());
         assert_eq!(s.kernels().len(), 1);
         assert_eq!(s.kernels()[0].weight, 1.0);
+    }
+
+    #[test]
+    fn tap_cache_returns_discretize_results() {
+        let mut cache = TapCache::new();
+        let k = ImagingKernel {
+            weight: 1.3,
+            sigma_nm: 42.0,
+        };
+        let fresh = KernelStack::discretize(&k, 5.0);
+        assert_eq!(cache.taps(&k, 5.0), &fresh[..]);
+        assert_eq!(cache.len(), 1);
+        // Second call is a hit, not a second entry.
+        assert_eq!(cache.taps(&k, 5.0), &fresh[..]);
+        assert_eq!(cache.len(), 1);
+        // Weight is not part of the key: same σ and pixel share taps.
+        let reweighted = ImagingKernel { weight: -0.3, ..k };
+        assert_eq!(cache.taps(&reweighted, 5.0), &fresh[..]);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn tap_cache_distinguishes_sigma_and_pixel() {
+        let mut cache = TapCache::new();
+        let a = ImagingKernel {
+            weight: 1.0,
+            sigma_nm: 30.0,
+        };
+        let b = ImagingKernel {
+            weight: 1.0,
+            sigma_nm: 90.0,
+        };
+        let na = cache.taps(&a, 5.0).len();
+        let nb = cache.taps(&b, 5.0).len();
+        assert!(nb > na);
+        let nc = cache.taps(&a, 2.5).len();
+        assert!(nc > na);
+        assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn tap_cache_evicts_at_capacity() {
+        let mut cache = TapCache::new();
+        for i in 0..(TAP_CACHE_CAP + 8) {
+            let k = ImagingKernel {
+                weight: 1.0,
+                sigma_nm: 20.0 + i as f64,
+            };
+            let _ = cache.taps(&k, 5.0);
+        }
+        assert_eq!(cache.len(), TAP_CACHE_CAP);
+        // The oldest entries were evicted; the newest survive.
+        let newest = ImagingKernel {
+            weight: 1.0,
+            sigma_nm: 20.0 + (TAP_CACHE_CAP + 7) as f64,
+        };
+        let before = cache.len();
+        let _ = cache.taps(&newest, 5.0);
+        assert_eq!(cache.len(), before);
     }
 }

@@ -38,10 +38,12 @@ mod image;
 mod kernels;
 mod optics;
 mod resist;
+mod workspace;
 
 pub use error::{LithoError, Result};
 pub use fem::{FemPoint, FocusExposureMatrix, ProcessWindow};
 pub use image::{AerialImage, KernelMode, SimulationSpec};
-pub use kernels::{ImagingKernel, KernelStack};
+pub use kernels::{ImagingKernel, KernelStack, TapCache};
 pub use optics::{OpticsParams, ProcessConditions};
 pub use resist::ResistModel;
+pub use workspace::SimWorkspace;
