@@ -1,0 +1,80 @@
+//! Benchmarks Monte Carlo STA scaling with sample count: the naive
+//! per-sample `analyze` engine vs the compiled evaluator
+//! (characterization-cached, allocation-free), both pinned to one thread
+//! so the comparison isolates the per-sample cost.
+//!
+//! Uses the in-tree timing harness (`postopc_bench::timing`); criterion is
+//! not available offline. Alongside the human table, the comparison is
+//! written to `BENCH_sta.json` in the same schema the `repro -- t6` run
+//! emits, so perf trajectories can be diffed by tooling. Every row also
+//! checks the two engines bit-identical on `worst_slacks_ps` and aborts
+//! on a mismatch — a perf number from a wrong engine is worse than none.
+
+use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc_bench::json::{write_sta_rows, StaBenchRow};
+use postopc_bench::timing::time;
+use postopc_device::ProcessParams;
+use postopc_sta::{statistical, MonteCarloConfig, TimingModel};
+
+fn main() {
+    // The T6 workload: composite design at 70% utilization, top-40 paths
+    // extracted with rule OPC as the systematic CD annotation.
+    let design = postopc_bench::evaluation_design(11);
+    let probe = TimingModel::new(&design, ProcessParams::n90(), 1_000_000.0).expect("probe model");
+    let clock = probe
+        .analyze(None)
+        .expect("probe timing")
+        .critical_delay_ps()
+        * 1.10;
+    let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
+    let drawn = model.analyze(None).expect("drawn timing");
+    let tags = TagSet::from_critical_paths(&design, &drawn, 40);
+    let mut cfg = ExtractionConfig::standard();
+    cfg.opc_mode = OpcMode::Rule;
+    let out = extract_gates(&design, &cfg, &tags).expect("extraction");
+
+    let mut rows: Vec<StaBenchRow> = Vec::new();
+    println!("mc_scaling: T6 composite 70%, single thread, naive vs compiled");
+    println!(
+        "{:>8} {:>12} {:>12} {:>9} {:>10}",
+        "samples", "naive (s)", "compiled (s)", "speedup", "identical"
+    );
+    for samples in [250usize, 1000, 2000] {
+        let mc = MonteCarloConfig {
+            samples,
+            sigma_nm: 1.5,
+            seed: 17,
+            threads: Some(1),
+        };
+        let (naive, naive_s) = time(|| {
+            statistical::run_reference(&model, Some(&out.annotation), &mc).expect("naive MC")
+        });
+        let (compiled, compiled_s) =
+            time(|| statistical::run(&model, Some(&out.annotation), &mc).expect("compiled MC"));
+        let identical = naive == compiled;
+        let speedup = naive_s / compiled_s.max(1e-9);
+        println!("{samples:>8} {naive_s:>12.3} {compiled_s:>12.3} {speedup:>8.1}x {identical:>10}");
+        rows.push(StaBenchRow {
+            design: "T6 composite 70%".to_string(),
+            engine: "naive analyze".to_string(),
+            samples,
+            wall_s: naive_s,
+            speedup: 1.0,
+            identical: true,
+        });
+        rows.push(StaBenchRow {
+            design: "T6 composite 70%".to_string(),
+            engine: "compiled".to_string(),
+            samples,
+            wall_s: compiled_s,
+            speedup,
+            identical,
+        });
+        assert!(identical, "engines diverged at {samples} samples");
+    }
+    let path = std::path::Path::new("BENCH_sta.json");
+    match write_sta_rows(path, 1, &rows) {
+        Ok(()) => println!("[mc_scaling wrote {}]", path.display()),
+        Err(e) => eprintln!("[mc_scaling could not write {}: {e}]", path.display()),
+    }
+}

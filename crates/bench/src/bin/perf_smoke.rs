@@ -1,8 +1,9 @@
 //! Quick-mode performance smoke test for the CI gate (`scripts/check.sh`).
 //!
-//! Extracts a small uniform inverter farm twice — context cache with the
-//! serial engine, then context cache with the worker pool — and fails
-//! (exit 1) if either invariant breaks:
+//! Two sections, both fail the process (exit 1) when an invariant breaks:
+//!
+//! **Extraction.** Extracts a small uniform inverter farm twice — context
+//! cache with the serial engine, then context cache with the worker pool:
 //!
 //! 1. The two outcomes must be bit-identical (scheduling must never change
 //!    extracted CDs).
@@ -12,11 +13,21 @@
 //!    regression — the chunked scheduler falling over its own overhead —
 //!    shows up far above it.
 //!
-//! Runtime is a few seconds: each engine gets one warm-up run (fills the
-//! thread-local imaging workspaces) and the best of two timed runs.
+//! **STA.** The compiled evaluator must match the naive `analyze` path bit
+//! for bit on a small adder: drawn, corner-annotated, and a short
+//! Monte Carlo run (compiled `run` vs naive `run_reference`). No timing
+//! gate here — parity is the contract; speed is measured by `mc_scaling`.
+//!
+//! Runtime is a few seconds: each extraction engine gets one warm-up run
+//! (fills the thread-local imaging workspaces) and the best of two timed
+//! runs; the STA section runs each analysis once.
 
 use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
+use postopc_sta::{
+    analyze_corner, corner_annotation, statistical, Corner, MonteCarloConfig, TimingModel,
+};
 
 /// Pool wall time may exceed serial by at most this factor.
 const POOL_TOLERANCE: f64 = 1.25;
@@ -71,8 +82,55 @@ fn main() {
         );
         failed = true;
     }
+    // STA section: compiled evaluator vs naive analyze, bit for bit.
+    let sta_design = Design::compile(
+        generate::ripple_carry_adder(3).expect("netlist"),
+        TechRules::n90(),
+    )
+    .expect("sta design");
+    let model = TimingModel::new(&sta_design, ProcessParams::n90(), 800.0).expect("model");
+    let compiled = model.compile().expect("compile");
+    let mut scratch = compiled.scratch();
+
+    let drawn_naive = model.analyze(None).expect("naive drawn");
+    let drawn_compiled = compiled
+        .evaluate(&mut scratch, None)
+        .expect("compiled drawn");
+    if drawn_naive != drawn_compiled {
+        eprintln!("perf_smoke: FAIL - compiled drawn report differs from naive analyze");
+        failed = true;
+    }
+
+    let corner = Corner {
+        name: "SS".into(),
+        delta_l_nm: 6.0,
+    };
+    let ann = corner_annotation(&model, corner.delta_l_nm);
+    let corner_naive = analyze_corner(&model, &corner).expect("naive corner");
+    let corner_compiled = compiled
+        .evaluate(&mut scratch, Some(&ann))
+        .expect("compiled corner");
+    if corner_naive != corner_compiled {
+        eprintln!("perf_smoke: FAIL - compiled corner report differs from naive analyze");
+        failed = true;
+    }
+
+    let mc = MonteCarloConfig {
+        samples: 20,
+        sigma_nm: 1.5,
+        seed: 5,
+        threads: None,
+    };
+    let mc_compiled = statistical::run(&model, Some(&ann), &mc).expect("compiled MC");
+    let mc_naive = statistical::run_reference(&model, Some(&ann), &mc).expect("naive MC");
+    if mc_compiled != mc_naive {
+        eprintln!("perf_smoke: FAIL - compiled Monte Carlo differs from naive engine");
+        failed = true;
+    }
+
     if failed {
         std::process::exit(1);
     }
     println!("perf_smoke: PASS - pooled engine at parity or better, outcomes bit-identical");
+    println!("perf_smoke: PASS - compiled STA bit-identical to naive (drawn, corner, MC)");
 }

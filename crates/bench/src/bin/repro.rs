@@ -43,7 +43,17 @@ fn main() {
                 pair.1.clone()
             }
             "f5" => experiments::f5(),
-            "t6" => experiments::t6(),
+            "t6" => {
+                let (text, rows) = experiments::t6();
+                let path = std::path::Path::new("BENCH_sta.json");
+                // Both engines run on one thread inside t6 regardless of
+                // the pool width; stamp the document with that.
+                match postopc_bench::json::write_sta_rows(path, 1, &rows) {
+                    Ok(()) => println!("[t6 wrote {}]", path.display()),
+                    Err(e) => eprintln!("[t6 could not write {}: {e}]", path.display()),
+                }
+                text
+            }
             "t7" => experiments::t7(),
             "f8" => experiments::f8(),
             "t9" => {

@@ -11,7 +11,7 @@ use postopc_cdex::CdStatistics;
 use postopc_device::ProcessParams;
 use postopc_layout::{Design, NetId};
 use postopc_litho::ProcessConditions;
-use postopc_sta::{analyze_corner, statistical, Corner, MonteCarloConfig, TimingModel};
+use postopc_sta::{analyze_corners, statistical, Corner, MonteCarloConfig, TimingModel};
 use std::time::Instant;
 
 /// A timing model with the clock set `margin` above the drawn critical
@@ -362,28 +362,56 @@ pub fn f5() -> String {
 }
 
 /// **T6 — corner pessimism vs extracted-distribution Monte Carlo.**
-pub fn t6() -> String {
+///
+/// Returns the human-readable report plus the STA engine-comparison rows
+/// for the machine-readable `BENCH_sta.json` artifact (naive per-sample
+/// `analyze` vs the compiled evaluator at the same N = 2000).
+pub fn t6() -> (String, Vec<crate::json::StaBenchRow>) {
     let design = crate::evaluation_design(11);
     let model = model_with_margin(&design, 0.10);
     let drawn = model.analyze(None).expect("drawn timing");
     let tags = TagSet::from_critical_paths(&design, &drawn, 40);
     let out = extract_gates(&design, &config(OpcMode::Rule), &tags).expect("extraction");
-    // Traditional corners: uniform ±3σ CD guardband.
+    // Traditional corners: uniform ±3σ CD guardband (one compiled model +
+    // characterization cache shared across the set).
     let corners = Corner::classic_set(6.0);
-    let ss = analyze_corner(&model, &corners[2]).expect("SS corner");
-    let ff = analyze_corner(&model, &corners[0]).expect("FF corner");
-    // Monte Carlo around the extracted systematic values.
-    let mc = statistical::run(
-        &model,
-        Some(&out.annotation),
-        &MonteCarloConfig {
-            samples: 300,
-            sigma_nm: 1.5,
-            seed: 17,
-        },
-    )
-    .expect("monte carlo");
+    let reports = analyze_corners(&model, &corners).expect("corners");
+    let (ff, ss) = (&reports[0], &reports[2]);
+    // Monte Carlo around the extracted systematic values, both engines on
+    // one thread for an apples-to-apples wall-clock comparison.
+    let mc_config = MonteCarloConfig {
+        samples: 2000,
+        sigma_nm: 1.5,
+        seed: 17,
+        threads: Some(1),
+    };
+    let (mc, compiled_s) = crate::timing::time(|| {
+        statistical::run(&model, Some(&out.annotation), &mc_config).expect("monte carlo")
+    });
+    let (naive, naive_s) = crate::timing::time(|| {
+        statistical::run_reference(&model, Some(&out.annotation), &mc_config)
+            .expect("naive monte carlo")
+    });
+    let identical = mc == naive;
     let q99_delay = model.clock_ps() - mc.worst_slack_quantile_ps(0.01);
+    let bench_rows = vec![
+        crate::json::StaBenchRow {
+            design: "T6 composite 70%".into(),
+            engine: "naive analyze".into(),
+            samples: mc_config.samples,
+            wall_s: naive_s,
+            speedup: 1.0,
+            identical: true,
+        },
+        crate::json::StaBenchRow {
+            design: "T6 composite 70%".into(),
+            engine: "compiled".into(),
+            samples: mc_config.samples,
+            wall_s: compiled_s,
+            speedup: naive_s / compiled_s.max(1e-9),
+            identical,
+        },
+    ];
     let rows = vec![
         vec![
             "corner SS (+6 nm)".into(),
@@ -426,7 +454,17 @@ pub fn t6() -> String {
             "VIOLATED"
         }
     ));
-    text
+    text.push_str(&format!(
+        "engine check: compiled vs naive bit-identical over {} samples -> {}\n",
+        mc_config.samples,
+        if identical { "HOLDS" } else { "VIOLATED" }
+    ));
+    text.push_str(&format!(
+        "engine speedup (1 thread): naive {naive_s:.2} s -> compiled {compiled_s:.2} s \
+         ({:.1}x)\n",
+        naive_s / compiled_s.max(1e-9)
+    ));
+    (text, bench_rows)
 }
 
 /// **T7 — selective OPC.** Model OPC on tagged critical gates vs rule

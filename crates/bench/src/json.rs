@@ -34,6 +34,29 @@ pub struct EngineBenchRow {
     pub speedup: f64,
 }
 
+/// Schema identifier of the STA engine-comparison document
+/// (`BENCH_sta.json`): naive per-sample `analyze` vs the compiled
+/// evaluator on the same Monte Carlo workload.
+pub const STA_BENCH_SCHEMA: &str = "postopc-bench-sta-v1";
+
+/// One STA engine measurement: a (design, engine, samples) cell of the
+/// Monte Carlo scaling table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaBenchRow {
+    /// Workload name (e.g. `T6 composite 70%`).
+    pub design: String,
+    /// Engine configuration (`naive analyze` or `compiled`).
+    pub engine: String,
+    /// Monte Carlo sample count.
+    pub samples: usize,
+    /// Wall-clock seconds of the run.
+    pub wall_s: f64,
+    /// Speedup versus the naive engine at the same sample count.
+    pub speedup: f64,
+    /// Whether `worst_slacks_ps` matched the naive engine bit for bit.
+    pub identical: bool,
+}
+
 /// Escapes a string for a JSON string literal.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -101,6 +124,41 @@ pub fn write_engine_rows(
     file.write_all(render_engine_rows(threads, rows).as_bytes())
 }
 
+/// Renders the STA engine-comparison document.
+pub fn render_sta_rows(threads: usize, rows: &[StaBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{STA_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"engine\": \"{}\", \"samples\": {}, \"wall_s\": {}, \
+             \"speedup\": {}, \"identical\": {}}}{}\n",
+            escape(&row.design),
+            escape(&row.engine),
+            row.samples,
+            number(row.wall_s),
+            number(row.speedup),
+            row.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the STA engine-comparison document to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (callers report and continue — a missing
+/// artifact must not fail the benchmark itself).
+pub fn write_sta_rows(path: &Path, threads: usize, rows: &[StaBenchRow]) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_sta_rows(threads, rows).as_bytes())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,6 +202,38 @@ mod tests {
         let doc = render_engine_rows(4, &[row(), row(), row()]);
         assert_eq!(doc.matches("\"design\"").count(), 3);
         assert_eq!(doc.matches("},\n").count(), 2);
+    }
+
+    fn sta_row() -> StaBenchRow {
+        StaBenchRow {
+            design: "T6 composite 70%".to_string(),
+            engine: "compiled".to_string(),
+            samples: 2000,
+            wall_s: 1.25,
+            speedup: 8.0,
+            identical: true,
+        }
+    }
+
+    #[test]
+    fn renders_sta_schema() {
+        let doc = render_sta_rows(1, &[sta_row()]);
+        assert!(doc.contains("\"schema\": \"postopc-bench-sta-v1\""));
+        assert!(doc.contains("\"samples\": 2000"));
+        assert!(doc.contains("\"identical\": true"));
+        assert!(doc.contains("\"speedup\": 8"));
+        assert!(!doc.contains("}},\n  ]"));
+    }
+
+    #[test]
+    fn writes_sta_rows_to_disk() {
+        let dir = std::env::temp_dir().join("postopc_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_sta.json");
+        write_sta_rows(&path, 1, &[sta_row()]).expect("write");
+        let read = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(read, render_sta_rows(1, &[sta_row()]));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

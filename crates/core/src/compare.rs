@@ -3,7 +3,7 @@
 
 use crate::error::Result;
 use postopc_layout::{Design, NetId};
-use postopc_sta::{CdAnnotation, TimingModel, TimingPath, TimingReport};
+use postopc_sta::{CdAnnotation, CompiledSta, StaScratch, TimingModel, TimingPath, TimingReport};
 use std::collections::HashMap;
 
 /// The two timing views of one design plus path-level comparisons.
@@ -20,7 +20,8 @@ pub struct TimingComparison {
 }
 
 impl TimingComparison {
-    /// Runs both analyses and collects the top-`k` speed paths of each.
+    /// Runs both analyses through the compiled evaluator and collects the
+    /// top-`k` speed paths of each.
     ///
     /// # Errors
     ///
@@ -31,8 +32,27 @@ impl TimingComparison {
         annotation: &CdAnnotation,
         k: usize,
     ) -> Result<TimingComparison> {
-        let drawn = model.analyze(None)?;
-        let annotated = model.analyze(Some(annotation))?;
+        let compiled = model.compile()?;
+        let mut scratch = compiled.scratch();
+        Self::compare_with(&compiled, &mut scratch, design, annotation, k)
+    }
+
+    /// [`compare`](Self::compare) against an already-compiled model —
+    /// callers that run other analyses too (the flow) share the
+    /// compilation and scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing-analysis errors.
+    pub fn compare_with(
+        compiled: &CompiledSta<'_>,
+        scratch: &mut StaScratch,
+        design: &Design,
+        annotation: &CdAnnotation,
+        k: usize,
+    ) -> Result<TimingComparison> {
+        let drawn = compiled.evaluate(scratch, None)?;
+        let annotated = compiled.evaluate(scratch, Some(annotation))?;
         let drawn_paths = drawn.top_paths(design, k);
         let annotated_paths = annotated.top_paths(design, k);
         Ok(TimingComparison {

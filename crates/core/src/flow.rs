@@ -92,9 +92,12 @@ pub struct FlowReport {
 /// Propagates configuration, simulation, extraction and timing errors.
 pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowReport> {
     let model = TimingModel::new(design, config.process.clone(), config.clock_ps)?;
+    // One compiled model serves the drawn pass and the final comparison.
+    let compiled = model.compile()?;
+    let mut scratch = compiled.scratch();
 
     // Step 1-2: drawn timing and tagging.
-    let drawn = model.analyze(None)?;
+    let drawn = compiled.evaluate(&mut scratch, None)?;
     let tags = match config.selection {
         Selection::All => TagSet::all(design),
         Selection::Critical { paths } => TagSet::from_critical_paths(design, &drawn, paths),
@@ -125,7 +128,13 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowReport> {
 
     // Step 5: back-annotated timing and comparison.
     let t1 = Instant::now();
-    let comparison = TimingComparison::compare(&model, design, &annotation, config.report_paths)?;
+    let comparison = TimingComparison::compare_with(
+        &compiled,
+        &mut scratch,
+        design,
+        &annotation,
+        config.report_paths,
+    )?;
     let timing_time = t1.elapsed();
 
     Ok(FlowReport {

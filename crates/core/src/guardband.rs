@@ -31,6 +31,7 @@ impl Default for GuardbandConfig {
                 samples: 300,
                 sigma_nm: 1.5,
                 seed: 7,
+                threads: None,
             },
             percentile: 0.99,
         }
@@ -120,6 +121,7 @@ mod tests {
                     samples: 80,
                     sigma_nm: 1.5,
                     seed: 7,
+                    threads: None,
                 },
                 ..GuardbandConfig::default()
             },

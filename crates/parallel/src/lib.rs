@@ -109,9 +109,80 @@ where
     C: Fn(usize, &T) -> u64,
     F: Fn(usize, &T) -> R + Sync,
 {
+    par_map_chunked(threads, items, cost, || (), |(), i, t| f(i, t))
+}
+
+/// [`par_map`] with per-worker reusable state.
+///
+/// `init` runs once per worker thread (exactly once total when the map
+/// degrades to the inline serial path at `threads <= 1`), and the state it
+/// returns is threaded mutably through every call that worker makes. The
+/// Monte Carlo timing engine uses this to reuse scratch buffers across
+/// samples instead of reallocating them per item.
+///
+/// Scheduling is identical to [`par_map`] (contiguous chunks, input-order
+/// merge), so as long as `f`'s *result* does not depend on the state's
+/// history — scratch buffers, caches — output is bit-identical to a serial
+/// run for any thread count.
+///
+/// # Panics
+///
+/// Panics propagate from worker threads to the caller.
+pub fn par_map_init<T, R, S, I, F>(threads: usize, items: &[T], init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    par_map_chunked(threads, items, |_, _| 1, init, f)
+}
+
+/// [`par_map_init`] with a fallible mapper; error selection follows
+/// [`try_par_map`] (the first error in input order wins).
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing item, if any.
+pub fn try_par_map_init<T, R, E, S, I, F>(
+    threads: usize,
+    items: &[T],
+    init: I,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+{
+    let mut out = Vec::with_capacity(items.len());
+    for r in par_map_init(threads, items, init, f) {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// The shared engine behind every map variant: cost-aware contiguous
+/// chunking, one atomic claim per chunk, per-worker init state, and an
+/// input-ordered merge.
+fn par_map_chunked<T, R, S, C, I, F>(threads: usize, items: &[T], cost: C, init: I, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    C: Fn(usize, &T) -> u64,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
     let workers = threads.min(items.len());
     if workers <= 1 {
-        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, t)| f(&mut state, i, t))
+            .collect();
     }
     // Partition into contiguous chunks targeting the grain. Zero costs are
     // clamped so degenerate estimators still make progress.
@@ -145,6 +216,7 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 scope.spawn(|| {
+                    let mut state = init();
                     let mut local = Vec::new();
                     loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
@@ -152,7 +224,7 @@ where
                             break;
                         };
                         for i in chunk.clone() {
-                            local.push((i, f(i, &items[i])));
+                            local.push((i, f(&mut state, i, &items[i])));
                         }
                     }
                     local
@@ -324,6 +396,111 @@ mod tests {
             }
         }
         assert!(runs <= 16, "expected chunked dispatch, got {runs} runs");
+    }
+
+    #[test]
+    fn init_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let out = par_map_init(
+            8,
+            &items,
+            || 0usize,
+            |count, i, &x| {
+                assert_eq!(i, x);
+                *count += 1;
+                x * 2
+            },
+        );
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn init_state_is_per_worker() {
+        // Tag each worker's state with a unique id from an atomic counter;
+        // every item reports the id of the state it ran against, so the
+        // distinct-id count equals the number of init() calls.
+        let items: Vec<usize> = (0..500).collect();
+        let next_id = AtomicUsize::new(0);
+        let workers = 4;
+        let ids = par_map_init(
+            workers,
+            &items,
+            || next_id.fetch_add(1, Ordering::Relaxed),
+            |id, _, _| *id,
+        );
+        let inits = next_id.load(Ordering::Relaxed);
+        assert!(inits >= 1 && inits <= workers, "init calls: {inits}");
+        let mut distinct: Vec<usize> = ids.clone();
+        distinct.sort_unstable();
+        distinct.dedup();
+        // A worker that loses every chunk race still inits, so distinct
+        // observed states can undershoot init calls but never exceed them.
+        assert!(
+            !distinct.is_empty() && distinct.len() <= inits,
+            "states: {} inits: {inits}",
+            distinct.len()
+        );
+        // No state is observed by two workers concurrently: each id's
+        // items were claimed as whole contiguous chunks, so every id
+        // appears in runs, never interleaved at item granularity.
+        for id in distinct {
+            let positions: Vec<usize> = ids
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v == id)
+                .map(|(i, _)| i)
+                .collect();
+            assert!(!positions.is_empty());
+        }
+    }
+
+    #[test]
+    fn init_single_thread_initializes_once_and_matches_serial() {
+        let items: Vec<u64> = (0..64).collect();
+        let inits = AtomicUsize::new(0);
+        let out = par_map_init(
+            1,
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                7u64
+            },
+            |s, _, &x| x.wrapping_mul(*s),
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert_eq!(out, items.iter().map(|&x| x * 7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn init_map_is_thread_count_invariant() {
+        // State that *accumulates* (a scratch buffer) must not leak into
+        // results; here the state is a reused buffer, and the output only
+        // depends on the item.
+        let items: Vec<usize> = (0..200).collect();
+        let eval = |threads: usize| {
+            par_map_init(threads, &items, Vec::<usize>::new, |buf, _, &x| {
+                buf.clear();
+                buf.extend(0..x % 7);
+                x + buf.len()
+            })
+        };
+        let one = eval(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(eval(threads), one, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn try_init_map_reports_first_error_in_input_order() {
+        let items: Vec<usize> = (0..60).collect();
+        let err = try_par_map_init(
+            4,
+            &items,
+            || (),
+            |(), _, &x| if x % 13 == 9 { Err(x) } else { Ok(x) },
+        )
+        .unwrap_err();
+        assert_eq!(err, 9);
     }
 
     #[test]

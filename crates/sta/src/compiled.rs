@@ -1,0 +1,759 @@
+//! The compiled sample evaluator: everything annotation-invariant is
+//! precomputed once by [`TimingModel::compile`], and each evaluation runs
+//! against reusable scratch buffers — no per-sample `HashMap`, no
+//! re-built `Wire`s, no re-cloned base records, no fresh result vectors
+//! in the Monte Carlo hot loop.
+//!
+//! The evaluator is a pure refactoring of [`TimingModel::analyze`]: every
+//! float operation happens on the same values in the same order, so the
+//! results are **bit-identical** to the naive path (enforced by the
+//! `compiled_parity` reference-implementation tests). Per-gate
+//! characterization goes through a [`CharacterizationCache`] whose hits
+//! replay exact bits, which keeps that guarantee while collapsing
+//! corner-style workloads (every gate shifted uniformly) to one device-
+//! model evaluation per distinct cell.
+
+use crate::annotate::{CdAnnotation, TransistorCd};
+use crate::error::{Result, StaError};
+use crate::graph::{TimingModel, TimingReport};
+use crate::liberty::{CellTiming, CharacterizationCache};
+use postopc_device::Wire;
+use postopc_layout::{GateId, GateKind, NetId};
+use std::collections::HashMap;
+
+/// Summary of one evaluated sample — the quantities Monte Carlo keeps,
+/// produced without materializing a full [`TimingReport`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SampleTiming {
+    /// Worst endpoint slack, in ps.
+    pub worst_slack_ps: f64,
+    /// Critical path delay (clock − worst slack), in ps.
+    pub critical_delay_ps: f64,
+    /// Total static leakage, in µA.
+    pub leakage_ua: f64,
+}
+
+/// The per-gate base ensembles of a Monte Carlo run, deduplicated into
+/// distinct cells — built once per run by [`CompiledSta::sample_cells`]
+/// and consumed by [`CompiledSta::evaluate_shifted`].
+///
+/// Gates whose `(GateKind, base transistor records)` match bit for bit
+/// share one slot, so a uniform length shift applied to either produces
+/// the identical `CellTiming` — the invariant the shift cache keys on.
+#[derive(Debug)]
+pub struct SampleCells {
+    /// Gate index → slot in `cells`.
+    cell_of_gate: Vec<u32>,
+    /// Distinct `(kind, base records)` ensembles, first-seen order.
+    cells: Vec<(GateKind, Vec<TransistorCd>)>,
+}
+
+impl SampleCells {
+    /// Number of distinct cells the gates collapsed to.
+    pub fn distinct(&self) -> usize {
+        self.cells.len()
+    }
+}
+
+/// The compiled, annotation-invariant form of a [`TimingModel`].
+///
+/// Owns per-net drawn [`Wire`] models, per-gate drawn [`CellTiming`]s and
+/// drawn transistor records; borrows the model (netlist, topological
+/// order, library) it was compiled from. Evaluations mutate a separate
+/// [`StaScratch`], so one compiled model is shared read-only across
+/// worker threads.
+///
+/// ```
+/// use postopc_sta::TimingModel;
+/// use postopc_layout::{Design, generate, TechRules};
+/// use postopc_device::ProcessParams;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = Design::compile(generate::ripple_carry_adder(4)?, TechRules::n90())?;
+/// let model = TimingModel::new(&design, ProcessParams::n90(), 500.0)?;
+/// let compiled = model.compile()?;
+/// let mut scratch = compiled.scratch();
+/// let report = compiled.evaluate(&mut scratch, None)?;
+/// assert_eq!(report, model.analyze(None)?);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct CompiledSta<'m> {
+    model: &'m TimingModel<'m>,
+    /// Drawn per-net wire RC (`None` below the 1 nm routing threshold).
+    drawn_wires: Vec<Option<Wire>>,
+    /// Drawn per-gate electrical views.
+    base_timings: Vec<CellTiming>,
+    /// Drawn per-gate transistor records (annotation templates).
+    base_records: Vec<Vec<TransistorCd>>,
+}
+
+/// Reusable per-worker evaluation state: propagation buffers, a record
+/// staging buffer, and a characterization cache.
+///
+/// Created by [`CompiledSta::scratch`] (sized for that design) and passed
+/// mutably to every evaluation; contents are dead between calls, so one
+/// scratch serves any number of sequential evaluations. In parallel Monte
+/// Carlo each worker owns one via `par_map_init`.
+#[derive(Debug)]
+pub struct StaScratch {
+    timings: Vec<CellTiming>,
+    sink_cap: Vec<f64>,
+    gate_delays: Vec<f64>,
+    arrivals: Vec<f64>,
+    requireds: Vec<f64>,
+    endpoint_required: Vec<(NetId, f64)>,
+    /// Dense per-net worst-slack combine (`INFINITY` = untouched).
+    worst_by_net: Vec<f64>,
+    /// Nets touched in `worst_by_net`, for sparse reset.
+    touched: Vec<NetId>,
+    /// Per-gate record staging buffer for sample fills.
+    records: Vec<TransistorCd>,
+    cache: CharacterizationCache,
+    shift_cache: ShiftTimingCache,
+}
+
+impl StaScratch {
+    /// The characterization cache carried by this scratch.
+    pub fn cache(&self) -> &CharacterizationCache {
+        &self.cache
+    }
+
+    /// Entries in the `(cell, shift-bin)` cache of the Monte Carlo fast
+    /// path ([`CompiledSta::evaluate_shifted`]).
+    pub fn shift_cache_len(&self) -> usize {
+        self.shift_cache.len
+    }
+
+    /// Hits of the `(cell, shift-bin)` cache.
+    pub fn shift_cache_hits(&self) -> u64 {
+        self.shift_cache.hits
+    }
+
+    /// Misses of the `(cell, shift-bin)` cache (device-model evaluations).
+    pub fn shift_cache_misses(&self) -> u64 {
+        self.shift_cache.misses
+    }
+}
+
+/// Slot marker for an empty `ShiftTimingCache` bucket. Real keys are
+/// `(cell << 32) | bin` with `cell` a dense index far below `u32::MAX`,
+/// so they can never collide with the marker.
+const SHIFT_EMPTY: u64 = u64::MAX;
+
+/// Entries the shift cache stops growing at: bounded by
+/// `distinct cells × occupied shift bins`, which stays far below this for
+/// real designs; the cap only guards against pathological workloads.
+const SHIFT_CACHE_CAP: usize = 1 << 18;
+
+/// Open-addressed `(cell, shift-bin) → CellTiming` map — the Monte Carlo
+/// characterization cache. The key is two small integers packed into a
+/// `u64`, so a lookup is one multiply-shift hash and a short linear probe:
+/// orders of magnitude cheaper than hashing a transistor ensemble, which
+/// is what makes the per-sample hot loop allocation- and hash-free.
+#[derive(Debug)]
+struct ShiftTimingCache {
+    /// Power-of-two slot array; `SHIFT_EMPTY` marks free slots.
+    keys: Vec<u64>,
+    /// Timing of the same slot (dummy where the key is empty).
+    vals: Vec<CellTiming>,
+    len: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl ShiftTimingCache {
+    fn new() -> ShiftTimingCache {
+        let slots = 1024;
+        ShiftTimingCache {
+            keys: vec![SHIFT_EMPTY; slots],
+            vals: vec![Self::dummy(); slots],
+            len: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Placeholder timing stored in empty slots (never read).
+    fn dummy() -> CellTiming {
+        CellTiming {
+            input_cap_ff: 0.0,
+            pull_up_r_kohm: 0.0,
+            pull_down_r_kohm: 0.0,
+            intrinsic_ps: 0.0,
+            output_cap_ff: 0.0,
+            leakage_ua: 0.0,
+            sequential: None,
+        }
+    }
+
+    /// SplitMix64 finalizer: full-avalanche integer hash.
+    fn hash(mut x: u64) -> u64 {
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x ^= x >> 27;
+        x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^ (x >> 31)
+    }
+
+    fn get(&mut self, key: u64) -> Option<CellTiming> {
+        debug_assert_ne!(key, SHIFT_EMPTY);
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash(key) as usize & mask;
+        loop {
+            let k = self.keys[i];
+            if k == key {
+                self.hits += 1;
+                return Some(self.vals[i]);
+            }
+            if k == SHIFT_EMPTY {
+                self.misses += 1;
+                return None;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    fn insert(&mut self, key: u64, val: CellTiming) {
+        if self.len >= SHIFT_CACHE_CAP {
+            return; // past the cap: characterize without memoizing
+        }
+        if (self.len + 1) * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        let mask = self.keys.len() - 1;
+        let mut i = Self::hash(key) as usize & mask;
+        while self.keys[i] != SHIFT_EMPTY {
+            if self.keys[i] == key {
+                return; // already present (double-insert is a no-op)
+            }
+            i = (i + 1) & mask;
+        }
+        self.keys[i] = key;
+        self.vals[i] = val;
+        self.len += 1;
+    }
+
+    fn grow(&mut self) {
+        let new_slots = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![SHIFT_EMPTY; new_slots]);
+        let old_vals = std::mem::replace(&mut self.vals, vec![Self::dummy(); new_slots]);
+        let mask = new_slots - 1;
+        for (key, val) in old_keys.into_iter().zip(old_vals) {
+            if key == SHIFT_EMPTY {
+                continue;
+            }
+            let mut i = Self::hash(key) as usize & mask;
+            while self.keys[i] != SHIFT_EMPTY {
+                i = (i + 1) & mask;
+            }
+            self.keys[i] = key;
+            self.vals[i] = val;
+        }
+    }
+}
+
+impl<'m> CompiledSta<'m> {
+    /// Precomputes the annotation-invariant structure of `model`.
+    pub(crate) fn new(model: &'m TimingModel<'m>) -> Result<CompiledSta<'m>> {
+        let netlist = model.design().netlist();
+        let tech = model.design().tech();
+        let mut base_timings = Vec::with_capacity(netlist.gate_count());
+        let mut base_records = Vec::with_capacity(netlist.gate_count());
+        for gate in netlist.gates() {
+            base_timings.push(model.library().drawn_timing(gate.kind, gate.drive));
+            base_records.push(
+                model
+                    .library()
+                    .drawn_transistors(gate.kind, gate.drive)
+                    .to_vec(),
+            );
+        }
+        let mut drawn_wires = Vec::with_capacity(netlist.nets().len());
+        for (ni, _) in netlist.nets().iter().enumerate() {
+            let length = model
+                .design()
+                .routing()
+                .route_of(NetId(ni as u32))
+                .map(|r| r.length_nm)
+                .unwrap_or(0.0);
+            if length < 1.0 {
+                drawn_wires.push(None);
+                continue;
+            }
+            let wire = Wire::new(
+                *model.wire_layer(),
+                length,
+                tech.m1_width as f64,
+                tech.m1_space as f64,
+            )
+            .map_err(StaError::from)?;
+            drawn_wires.push(Some(wire));
+        }
+        Ok(CompiledSta {
+            model,
+            drawn_wires,
+            base_timings,
+            base_records,
+        })
+    }
+
+    /// The timing model this evaluator was compiled from.
+    pub fn model(&self) -> &'m TimingModel<'m> {
+        self.model
+    }
+
+    /// The drawn transistor records of gate `gate` (annotation template —
+    /// same as looking the cell up in the library, without the hash).
+    pub fn base_records(&self, gate: GateId) -> &[TransistorCd] {
+        &self.base_records[gate.0 as usize]
+    }
+
+    /// A scratch sized for this design.
+    pub fn scratch(&self) -> StaScratch {
+        let n_nets = self.drawn_wires.len();
+        let n_gates = self.base_timings.len();
+        StaScratch {
+            timings: Vec::with_capacity(n_gates),
+            sink_cap: vec![0.0; n_nets],
+            gate_delays: vec![0.0; n_gates],
+            arrivals: vec![0.0; n_nets],
+            requireds: vec![f64::INFINITY; n_nets],
+            endpoint_required: Vec::new(),
+            worst_by_net: vec![f64::INFINITY; n_nets],
+            touched: Vec::new(),
+            records: Vec::new(),
+            cache: CharacterizationCache::new(),
+            shift_cache: ShiftTimingCache::new(),
+        }
+    }
+
+    /// Deduplicates per-gate base ensembles (`bases[gi]` = systematic
+    /// records of gate `gi`) into distinct `(kind, records)` cells for
+    /// [`Self::evaluate_shifted`]. Two gates share a cell only when their
+    /// kind and every record match bit for bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bases` does not cover every gate of the design.
+    pub fn sample_cells(&self, bases: &[Vec<TransistorCd>]) -> SampleCells {
+        let netlist = self.model.design().netlist();
+        assert_eq!(bases.len(), netlist.gate_count(), "one base set per gate");
+        let mut seen: HashMap<(GateKind, Vec<u64>), u32> = HashMap::new();
+        let mut cell_of_gate = Vec::with_capacity(bases.len());
+        let mut cells: Vec<(GateKind, Vec<TransistorCd>)> = Vec::new();
+        for (gi, base) in bases.iter().enumerate() {
+            let kind = netlist.gate(GateId(gi as u32)).kind;
+            // Exact-bit fingerprint of the ensemble (dimension bit
+            // patterns plus the discrete record fields).
+            let mut bits = Vec::with_capacity(base.len() * 6);
+            for r in base {
+                bits.push(r.kind as u64);
+                bits.push(r.width_nm.to_bits());
+                bits.push(r.l_delay_nm.to_bits());
+                bits.push(r.l_leakage_nm.to_bits());
+                bits.push(r.input_pin.map_or(u64::MAX, |p| p as u64));
+                bits.push(r.finger as u64);
+            }
+            let slot = *seen.entry((kind, bits)).or_insert_with(|| {
+                cells.push((kind, base.clone()));
+                (cells.len() - 1) as u32
+            });
+            cell_of_gate.push(slot);
+        }
+        SampleCells {
+            cell_of_gate,
+            cells,
+        }
+    }
+
+    /// Full analysis with optional annotation — the drop-in compiled
+    /// counterpart of [`TimingModel::analyze`], bit-identical to it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors for non-physical annotated dimensions.
+    pub fn evaluate(
+        &self,
+        scratch: &mut StaScratch,
+        annotation: Option<&CdAnnotation>,
+    ) -> Result<TimingReport> {
+        let netlist = self.model.design().netlist();
+        scratch.timings.clear();
+        let mut leakage = 0.0;
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            let timing = match annotation.and_then(|a| a.gate(GateId(gi as u32))) {
+                Some(ann) => self.model.library().annotated_timing_cached(
+                    &mut scratch.cache,
+                    gate.kind,
+                    &ann.transistors,
+                )?,
+                None => self.base_timings[gi],
+            };
+            leakage += timing.leakage_ua;
+            scratch.timings.push(timing);
+        }
+        self.propagate(scratch, annotation)?;
+        let endpoint_slacks = Self::sorted_endpoint_slacks(scratch);
+        Ok(TimingReport::from_parts(
+            scratch.arrivals.clone(),
+            scratch.requireds.clone(),
+            scratch.gate_delays.clone(),
+            endpoint_slacks,
+            self.model.clock_ps(),
+            leakage,
+        ))
+    }
+
+    /// The Monte Carlo hot path: evaluates one sample whose per-gate CD
+    /// records are produced by `fill` (called once per gate, in gate
+    /// order, with an empty staging buffer to extend). Every gate is
+    /// treated as annotated and nets stay drawn — exactly the shape of a
+    /// sampled [`CdAnnotation`] covering all gates — and only a summary is
+    /// returned, so the evaluation allocates nothing after warm-up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors for non-physical filled dimensions.
+    pub fn evaluate_sample<F>(&self, scratch: &mut StaScratch, mut fill: F) -> Result<SampleTiming>
+    where
+        F: FnMut(usize, &mut Vec<TransistorCd>),
+    {
+        let netlist = self.model.design().netlist();
+        scratch.timings.clear();
+        let mut leakage = 0.0;
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            scratch.records.clear();
+            fill(gi, &mut scratch.records);
+            let timing = self.model.library().annotated_timing_cached(
+                &mut scratch.cache,
+                gate.kind,
+                &scratch.records,
+            )?;
+            leakage += timing.leakage_ua;
+            scratch.timings.push(timing);
+        }
+        self.propagate(scratch, None)?;
+        // Worst slack is the minimum over endpoint entries — the same
+        // value `analyze` reads off the head of its sorted slack list.
+        let worst_slack_ps = scratch
+            .endpoint_required
+            .iter()
+            .map(|&(net, required)| required - scratch.arrivals[net.0 as usize])
+            .fold(f64::INFINITY, f64::min);
+        Ok(SampleTiming {
+            worst_slack_ps,
+            critical_delay_ps: self.model.clock_ps() - worst_slack_ps,
+            leakage_ua: leakage,
+        })
+    }
+
+    /// The Monte Carlo fastest path: evaluates one sample whose per-gate
+    /// CDs are the gate's base ensemble (see [`Self::sample_cells`])
+    /// uniformly shifted by `shift_of(gi)` — called once per gate in gate
+    /// order, returning the `(grid bin, shift nm)` pair produced by the
+    /// sampler's quantizer.
+    ///
+    /// Characterization is memoized per `(cell, bin)` in the scratch's
+    /// integer-keyed shift cache: because a cell's gates share base
+    /// records bit for bit and the shift value is a pure function of the
+    /// bin, a hit replays exactly the bits a miss would compute. Records
+    /// are only materialized on a miss, so a warm sample runs the device
+    /// model zero times and allocates nothing.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors for non-physical shifted dimensions.
+    pub fn evaluate_shifted<F>(
+        &self,
+        scratch: &mut StaScratch,
+        cells: &SampleCells,
+        mut shift_of: F,
+    ) -> Result<SampleTiming>
+    where
+        F: FnMut(usize) -> (i32, f64),
+    {
+        scratch.timings.clear();
+        let mut leakage = 0.0;
+        for (gi, &cell) in cells.cell_of_gate.iter().enumerate() {
+            let (bin, shift) = shift_of(gi);
+            let key = (u64::from(cell) << 32) | u64::from(bin as u32);
+            let timing = match scratch.shift_cache.get(key) {
+                Some(t) => t,
+                None => {
+                    let (kind, base) = &cells.cells[cell as usize];
+                    scratch.records.clear();
+                    scratch.records.extend_from_slice(base);
+                    for r in scratch.records.iter_mut() {
+                        r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
+                        r.l_leakage_nm = (r.l_leakage_nm + shift).max(1.0);
+                    }
+                    let t = self
+                        .model
+                        .library()
+                        .annotated_timing(*kind, &scratch.records)?;
+                    scratch.shift_cache.insert(key, t);
+                    t
+                }
+            };
+            leakage += timing.leakage_ua;
+            scratch.timings.push(timing);
+        }
+        self.propagate(scratch, None)?;
+        let worst_slack_ps = scratch
+            .endpoint_required
+            .iter()
+            .map(|&(net, required)| required - scratch.arrivals[net.0 as usize])
+            .fold(f64::INFINITY, f64::min);
+        Ok(SampleTiming {
+            worst_slack_ps,
+            critical_delay_ps: self.model.clock_ps() - worst_slack_ps,
+            leakage_ua: leakage,
+        })
+    }
+
+    /// Delay/arrival/required propagation over `scratch.timings`,
+    /// mirroring `analyze` operation for operation.
+    fn propagate(&self, scratch: &mut StaScratch, annotation: Option<&CdAnnotation>) -> Result<()> {
+        let netlist = self.model.design().netlist();
+
+        // Sink loads.
+        scratch.sink_cap.fill(0.0);
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            for &input in &gate.inputs {
+                scratch.sink_cap[input.0 as usize] += scratch.timings[gi].input_cap_ff;
+            }
+        }
+
+        // Gate delays: intrinsic + driver-into-wire Elmore, from the
+        // precompiled drawn wires (re-widthed in place when the
+        // annotation prints the net differently).
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            let t = &scratch.timings[gi];
+            let out = gate.output.0 as usize;
+            let c_sinks = scratch.sink_cap[out] + t.output_cap_ff;
+            let stage = match &self.drawn_wires[out] {
+                Some(w) => {
+                    let wire = match annotation.and_then(|a| a.net(NetId(out as u32))) {
+                        Some(net_ann) => w
+                            .with_printed_width(net_ann.printed_width_nm)
+                            .map_err(StaError::from)?,
+                        None => *w,
+                    };
+                    wire.elmore_delay_ps(t.drive_r_kohm(), c_sinks)
+                }
+                None => t.drive_r_kohm() * c_sinks,
+            };
+            scratch.gate_delays[gi] = match &t.sequential {
+                Some(seq) => seq.clk_to_q_ps + stage,
+                None => t.intrinsic_ps + stage,
+            };
+        }
+
+        // Forward arrivals in topological order.
+        scratch.arrivals.fill(0.0);
+        for &gid in netlist.topological_order() {
+            let gate = netlist.gate(gid);
+            let worst_in = if gate.kind.is_sequential() {
+                0.0
+            } else {
+                gate.inputs
+                    .iter()
+                    .map(|n| scratch.arrivals[n.0 as usize])
+                    .fold(0.0, f64::max)
+            };
+            scratch.arrivals[gate.output.0 as usize] =
+                worst_in + scratch.gate_delays[gid.0 as usize];
+        }
+
+        // Backward requireds from the endpoints.
+        scratch.requireds.fill(f64::INFINITY);
+        let clock_ps = self.model.clock_ps();
+        scratch.endpoint_required.clear();
+        for &po in netlist.primary_outputs() {
+            scratch.requireds[po.0 as usize] = clock_ps;
+            scratch.endpoint_required.push((po, clock_ps));
+        }
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            if let Some(seq) = &scratch.timings[gi].sequential {
+                let d_net = gate.inputs[0];
+                let required = clock_ps - seq.setup_ps;
+                let r = &mut scratch.requireds[d_net.0 as usize];
+                *r = r.min(required);
+                scratch.endpoint_required.push((d_net, required));
+            }
+        }
+        for &gid in netlist.topological_order().iter().rev() {
+            let gate = netlist.gate(gid);
+            if gate.kind.is_sequential() {
+                continue;
+            }
+            let req_out = scratch.requireds[gate.output.0 as usize];
+            if req_out.is_finite() {
+                let req_in = req_out - scratch.gate_delays[gid.0 as usize];
+                for &input in &gate.inputs {
+                    let r = &mut scratch.requireds[input.0 as usize];
+                    *r = r.min(req_in);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Per-endpoint worst slacks, most critical first — the dense-array
+    /// equivalent of `analyze`'s HashMap min-combine. The final sort key
+    /// `(slack, NetId)` is a total order over unique net ids, so the
+    /// result is identical however the entries were combined.
+    fn sorted_endpoint_slacks(scratch: &mut StaScratch) -> Vec<(NetId, f64)> {
+        for &(net, required) in &scratch.endpoint_required {
+            let ni = net.0 as usize;
+            let slack = required - scratch.arrivals[ni];
+            let worst = &mut scratch.worst_by_net[ni];
+            if *worst == f64::INFINITY {
+                scratch.touched.push(net);
+            }
+            *worst = worst.min(slack);
+        }
+        let mut slacks: Vec<(NetId, f64)> = scratch
+            .touched
+            .iter()
+            .map(|&net| (net, scratch.worst_by_net[net.0 as usize]))
+            .collect();
+        for &net in &scratch.touched {
+            scratch.worst_by_net[net.0 as usize] = f64::INFINITY;
+        }
+        scratch.touched.clear();
+        slacks.sort_by(|a, b| {
+            a.1.partial_cmp(&b.1)
+                .expect("finite slacks")
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        slacks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use postopc_device::ProcessParams;
+    use postopc_layout::{generate, Design, TechRules};
+
+    fn design() -> Design {
+        Design::compile(
+            generate::ripple_carry_adder(3).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design")
+    }
+
+    #[test]
+    fn scratch_is_reusable_across_evaluations() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let mut scratch = compiled.scratch();
+        let first = compiled.evaluate(&mut scratch, None).expect("first");
+        // A dirty scratch (post-annotated run) must not bleed into the
+        // next drawn evaluation.
+        let ann = crate::corners::corner_annotation(&model, 4.0);
+        let slow = compiled.evaluate(&mut scratch, Some(&ann)).expect("slow");
+        assert!(slow.critical_delay_ps() > first.critical_delay_ps());
+        let again = compiled.evaluate(&mut scratch, None).expect("again");
+        assert_eq!(first, again);
+    }
+
+    #[test]
+    fn sample_summary_matches_full_report() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let mut scratch = compiled.scratch();
+        let delta = 2.5;
+        let ann = crate::corners::corner_annotation(&model, delta);
+        let report = compiled.evaluate(&mut scratch, Some(&ann)).expect("report");
+        let sample = compiled
+            .evaluate_sample(&mut scratch, |gi, records| {
+                records.extend_from_slice(compiled.base_records(GateId(gi as u32)));
+                for r in records.iter_mut() {
+                    r.l_delay_nm = (r.l_delay_nm + delta).max(1.0);
+                    r.l_leakage_nm = (r.l_leakage_nm + delta).max(1.0);
+                }
+            })
+            .expect("sample");
+        assert_eq!(sample.worst_slack_ps, report.worst_slack_ps());
+        assert_eq!(sample.critical_delay_ps, report.critical_delay_ps());
+        assert_eq!(sample.leakage_ua, report.leakage_ua());
+    }
+
+    #[test]
+    fn shifted_evaluation_matches_record_fill_and_dedupes() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let bases: Vec<Vec<_>> = d
+            .netlist()
+            .gates()
+            .iter()
+            .enumerate()
+            .map(|(gi, _)| compiled.base_records(GateId(gi as u32)).to_vec())
+            .collect();
+        let cells = compiled.sample_cells(&bases);
+        // Identical cells collapse: far fewer distinct ensembles than gates.
+        assert!(cells.distinct() < d.netlist().gate_count());
+        // A gate-dependent but repeating shift pattern, as bins on a grid.
+        let step = 0.25;
+        let shift_of = |gi: usize| {
+            let bin = (gi % 5) as i32 - 2;
+            (bin, f64::from(bin) * step)
+        };
+        let mut scratch = compiled.scratch();
+        let shifted = compiled
+            .evaluate_shifted(&mut scratch, &cells, shift_of)
+            .expect("shifted");
+        // The generic record-fill path on the same shifts must agree
+        // exactly (the shift cache replays the bits a fill computes).
+        let filled = compiled
+            .evaluate_sample(&mut scratch, |gi, records| {
+                let (_, shift) = shift_of(gi);
+                records.extend_from_slice(&bases[gi]);
+                for r in records.iter_mut() {
+                    r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
+                    r.l_leakage_nm = (r.l_leakage_nm + shift).max(1.0);
+                }
+            })
+            .expect("filled");
+        assert_eq!(shifted, filled);
+        // Re-running warm hits for every gate and learns nothing new.
+        let entries = scratch.shift_cache_len();
+        let hits = scratch.shift_cache_hits();
+        let again = compiled
+            .evaluate_shifted(&mut scratch, &cells, shift_of)
+            .expect("again");
+        assert_eq!(again, shifted);
+        assert_eq!(scratch.shift_cache_len(), entries);
+        assert_eq!(
+            scratch.shift_cache_hits(),
+            hits + d.netlist().gate_count() as u64
+        );
+        assert!(scratch.shift_cache_misses() > 0);
+    }
+
+    #[test]
+    fn characterization_cache_dedupes_uniform_samples() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let mut scratch = compiled.scratch();
+        for _ in 0..3 {
+            compiled
+                .evaluate_sample(&mut scratch, |gi, records| {
+                    records.extend_from_slice(compiled.base_records(GateId(gi as u32)));
+                })
+                .expect("sample");
+        }
+        // Drawn records per gate collapse to one entry per distinct cell.
+        let cache = scratch.cache();
+        assert!(cache.len() < d.netlist().gate_count());
+        assert!(cache.hits() > cache.misses());
+    }
+}

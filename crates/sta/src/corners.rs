@@ -59,14 +59,34 @@ pub fn corner_annotation(model: &TimingModel<'_>, delta_l_nm: f64) -> CdAnnotati
     ann
 }
 
-/// Runs timing at a corner.
+/// Runs timing at a corner through the compiled evaluator (bit-identical
+/// to `model.analyze(Some(&corner_annotation(..)))`).
 ///
 /// # Errors
 ///
 /// Propagates device-model errors for non-physical corner shifts.
 pub fn analyze_corner(model: &TimingModel<'_>, corner: &Corner) -> Result<TimingReport> {
-    let ann = corner_annotation(model, corner.delta_l_nm);
-    model.analyze(Some(&ann))
+    let mut reports = analyze_corners(model, std::slice::from_ref(corner))?;
+    Ok(reports.remove(0))
+}
+
+/// Runs timing at every corner of a set, sharing one compiled model and
+/// one scratch (whose characterization cache collapses a uniform corner
+/// shift to one device-model evaluation per distinct cell).
+///
+/// # Errors
+///
+/// Propagates device-model errors for non-physical corner shifts.
+pub fn analyze_corners(model: &TimingModel<'_>, corners: &[Corner]) -> Result<Vec<TimingReport>> {
+    let compiled = model.compile()?;
+    let mut scratch = compiled.scratch();
+    corners
+        .iter()
+        .map(|corner| {
+            let ann = corner_annotation(model, corner.delta_l_nm);
+            compiled.evaluate(&mut scratch, Some(&ann))
+        })
+        .collect()
 }
 
 #[cfg(test)]

@@ -91,6 +91,24 @@ impl<'d> TimingModel<'d> {
         self.clock_ps
     }
 
+    /// The metal-1 wire parameters the model builds net RC from.
+    pub(crate) fn wire_layer(&self) -> &WireLayerParams {
+        &self.wire_layer
+    }
+
+    /// Compiles the annotation-invariant structure (topological order,
+    /// drawn wires, drawn cell timings and transistor records) into a
+    /// [`CompiledSta`] evaluator, for workloads that analyze the same
+    /// design many times with different annotations — corners and Monte
+    /// Carlo. Evaluation results are bit-identical to [`Self::analyze`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors from building the drawn wire models.
+    pub fn compile(&self) -> Result<crate::compiled::CompiledSta<'_>> {
+        crate::compiled::CompiledSta::new(self)
+    }
+
     /// Runs timing with optional post-OPC CD annotation (`None` = drawn).
     ///
     /// # Errors
@@ -136,8 +154,8 @@ impl<'d> TimingModel<'d> {
             }
             let drawn_width = tech.m1_width as f64;
             let spacing = tech.m1_space as f64;
-            let wire = Wire::new(self.wire_layer, length, drawn_width, spacing)
-                .expect("routed wires have positive dimensions");
+            let wire =
+                Wire::new(self.wire_layer, length, drawn_width, spacing).map_err(StaError::from)?;
             let wire = match annotation.and_then(|a| a.net(net)) {
                 Some(net_ann) => wire
                     .with_printed_width(net_ann.printed_width_nm)
@@ -245,6 +263,26 @@ impl<'d> TimingModel<'d> {
 }
 
 impl TimingReport {
+    /// Assembles a report from propagated vectors (the compiled evaluator
+    /// builds reports through this; `analyze` constructs them literally).
+    pub(crate) fn from_parts(
+        arrivals: Vec<f64>,
+        requireds: Vec<f64>,
+        gate_delays: Vec<f64>,
+        endpoint_slacks: Vec<(NetId, f64)>,
+        clock_ps: f64,
+        leakage_ua: f64,
+    ) -> TimingReport {
+        TimingReport {
+            arrivals,
+            requireds,
+            gate_delays,
+            endpoint_slacks,
+            clock_ps,
+            leakage_ua,
+        }
+    }
+
     /// Arrival time of a net, in ps.
     pub fn arrival_ps(&self, net: NetId) -> f64 {
         self.arrivals[net.0 as usize]

@@ -10,6 +10,11 @@
 //!   endpoint slacks, and speed-path extraction (worst path per endpoint);
 //! - [`CdAnnotation`]: extracted per-gate channel lengths and per-net
 //!   printed wire widths, consumed in place of drawn dimensions;
+//! - [`CompiledSta`]: the compiled sample evaluator
+//!   ([`TimingModel::compile`]) — annotation-invariant structure computed
+//!   once, per-sample evaluation against reusable [`StaScratch`] buffers
+//!   and a memoized [`CharacterizationCache`], bit-identical to
+//!   [`TimingModel::analyze`];
 //! - [`corners`]: traditional uniform worst-case CD corners;
 //! - [`statistical`]: Monte Carlo timing over CD distributions.
 //!
@@ -33,6 +38,7 @@
 #![warn(missing_docs)]
 
 mod annotate;
+mod compiled;
 pub mod corners;
 mod error;
 mod graph;
@@ -41,9 +47,10 @@ pub mod paths;
 pub mod statistical;
 
 pub use annotate::{CdAnnotation, GateAnnotation, NetAnnotation, TransistorCd};
-pub use corners::{analyze_corner, corner_annotation, Corner};
+pub use compiled::{CompiledSta, SampleCells, SampleTiming, StaScratch};
+pub use corners::{analyze_corner, analyze_corners, corner_annotation, Corner};
 pub use error::{Result, StaError};
 pub use graph::{TimingModel, TimingPath, TimingReport};
-pub use liberty::{CellTiming, TimingLibrary};
+pub use liberty::{CellTiming, CharacterizationCache, TimingLibrary};
 pub use paths::k_worst_paths;
 pub use statistical::{MonteCarloConfig, MonteCarloResult};

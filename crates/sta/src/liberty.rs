@@ -128,6 +128,31 @@ impl TimingLibrary {
         Self::timing_from_transistors(&self.process, kind, transistors)
     }
 
+    /// [`annotated_timing`](Self::annotated_timing) through a memoized
+    /// [`CharacterizationCache`]: characterization runs once per distinct
+    /// `(kind, CD ensemble)` instead of once per gate instance.
+    ///
+    /// A cache hit replays the exact `CellTiming` bits of the original
+    /// characterization — the key quantization is the identity (`f64`
+    /// bit patterns), so cached and uncached paths are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device-model errors for non-physical extracted lengths.
+    pub fn annotated_timing_cached(
+        &self,
+        cache: &mut CharacterizationCache,
+        kind: GateKind,
+        transistors: &[TransistorCd],
+    ) -> Result<CellTiming> {
+        if let Some(timing) = cache.get(kind, transistors) {
+            return Ok(timing);
+        }
+        let timing = Self::timing_from_transistors(&self.process, kind, transistors)?;
+        cache.insert(kind, timing);
+        Ok(timing)
+    }
+
     /// Core characterization: reduce a transistor ensemble to RC/leakage.
     fn timing_from_transistors(
         process: &ProcessParams,
@@ -140,10 +165,22 @@ impl TimingLibrary {
             GateKind::Buf | GateKind::Dff => t.input_pin.is_none(),
             _ => t.input_pin.is_some(),
         };
-        let mut i_on_n: HashMap<Option<usize>, f64> = HashMap::new();
-        let mut i_on_p: HashMap<Option<usize>, f64> = HashMap::new();
+        // Per-input drive buckets in first-seen order. Cells have at most
+        // a handful of pins, so linear probes beat hashing — and unlike a
+        // HashMap, the summation order is deterministic, which the
+        // characterization cache's replay guarantee depends on.
+        let mut i_on_n: Vec<(Option<usize>, f64)> = Vec::with_capacity(4);
+        let mut i_on_p: Vec<(Option<usize>, f64)> = Vec::with_capacity(4);
+        let mut input_pins: Vec<usize> = Vec::with_capacity(4);
+        let accumulate =
+            |buckets: &mut Vec<(Option<usize>, f64)>, pin: Option<usize>, i: f64| match buckets
+                .iter_mut()
+                .find(|(p, _)| *p == pin)
+            {
+                Some(slot) => slot.1 += i,
+                None => buckets.push((pin, i)),
+            };
         let mut input_cap_sum = 0.0;
-        let mut input_pins: std::collections::HashSet<usize> = std::collections::HashSet::new();
         let mut output_cap = 0.0;
         let mut leakage = 0.0;
         for t in transistors {
@@ -154,11 +191,13 @@ impl TimingLibrary {
                     MosKind::Nmos => &mut i_on_n,
                     MosKind::Pmos => &mut i_on_p,
                 };
-                *bucket.entry(t.input_pin).or_insert(0.0) += delay_dev.i_on(process);
+                accumulate(bucket, t.input_pin, delay_dev.i_on(process));
             }
             if let Some(pin) = t.input_pin {
                 input_cap_sum += delay_dev.c_gate(process);
-                input_pins.insert(pin);
+                if !input_pins.contains(&pin) {
+                    input_pins.push(pin);
+                }
             }
             output_cap += delay_dev.c_drain(process);
             // Roughly half the devices see full V_ds in a static state;
@@ -171,11 +210,11 @@ impl TimingLibrary {
         }
         let n_inputs = input_pins.len().max(1) as f64;
         let input_cap = input_cap_sum / n_inputs;
-        let mean_current = |m: &HashMap<Option<usize>, f64>| {
+        let mean_current = |m: &[(Option<usize>, f64)]| {
             if m.is_empty() {
                 1e-9
             } else {
-                m.values().sum::<f64>() / m.len() as f64
+                m.iter().map(|(_, i)| i).sum::<f64>() / m.len() as f64
             }
         };
         let r_down = kind.nmos_stack() as f64 * 1000.0 * process.vdd / mean_current(&i_on_n);
@@ -201,6 +240,133 @@ impl TimingLibrary {
             leakage_ua: leakage,
             sequential,
         })
+    }
+}
+
+/// Exact-bit key of one transistor record: the `f64` dimensions are keyed
+/// by their IEEE-754 bit patterns (identity quantization), so two records
+/// collide only when characterization would compute the very same floats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct RecordKey {
+    kind: MosKind,
+    width_bits: u64,
+    l_delay_bits: u64,
+    l_leakage_bits: u64,
+    input_pin: Option<usize>,
+    finger: usize,
+}
+
+impl RecordKey {
+    fn of(t: &TransistorCd) -> RecordKey {
+        RecordKey {
+            kind: t.kind,
+            width_bits: t.width_nm.to_bits(),
+            l_delay_bits: t.l_delay_nm.to_bits(),
+            l_leakage_bits: t.l_leakage_nm.to_bits(),
+            input_pin: t.input_pin,
+            finger: t.finger,
+        }
+    }
+}
+
+/// Entries the cache stops growing at. Corner and extraction workloads
+/// deduplicate to a handful of distinct ensembles; a Monte Carlo stream of
+/// fresh random CDs would otherwise grow one entry per gate per sample, so
+/// past the cap new ensembles are characterized without being stored
+/// (existing entries keep hitting).
+const CHAR_CACHE_CAP: usize = 4096;
+
+/// One memoized characterization: the kind + exact record keys it was
+/// computed for, and the resulting timing.
+type CacheEntry = (GateKind, Box<[RecordKey]>, CellTiming);
+
+/// A memoized characterization cache for
+/// [`TimingLibrary::annotated_timing_cached`], keyed by `(GateKind,`
+/// exact CD bit patterns`)`.
+///
+/// Lookups stage the probe key in a reusable buffer, so a cache hit costs
+/// one hash and one comparison — no allocation. The cache is plain mutable
+/// state: each evaluation scratch (worker) owns one, and because a hit
+/// replays the exact bits a miss would compute, results never depend on
+/// hit/miss history or cache sharing.
+#[derive(Debug, Default)]
+pub struct CharacterizationCache {
+    /// Hash-bucketed entries; collisions resolved by full-key comparison.
+    buckets: HashMap<u64, Vec<CacheEntry>>,
+    /// Probe key staging buffer, reused across lookups.
+    key_buf: Vec<RecordKey>,
+    /// Hash of the last staged probe (consumed by `insert`).
+    staged_hash: u64,
+    entries: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl CharacterizationCache {
+    /// An empty cache.
+    pub fn new() -> CharacterizationCache {
+        CharacterizationCache::default()
+    }
+
+    /// Number of memoized characterizations.
+    pub fn len(&self) -> usize {
+        self.entries
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries == 0
+    }
+
+    /// Lookups that replayed a memoized characterization.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that fell through to the device model.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Stages the probe key for `(kind, transistors)` and returns the
+    /// memoized timing, if present.
+    fn get(&mut self, kind: GateKind, transistors: &[TransistorCd]) -> Option<CellTiming> {
+        use std::hash::{Hash, Hasher};
+        self.key_buf.clear();
+        self.key_buf.extend(transistors.iter().map(RecordKey::of));
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        kind.hash(&mut hasher);
+        self.key_buf.hash(&mut hasher);
+        self.staged_hash = hasher.finish();
+        let found = self.buckets.get(&self.staged_hash).and_then(|bucket| {
+            bucket
+                .iter()
+                .find(|(k, key, _)| *k == kind && key[..] == self.key_buf[..])
+                .map(|&(_, _, timing)| timing)
+        });
+        match found {
+            Some(timing) => {
+                self.hits += 1;
+                Some(timing)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Memoizes `timing` under the key staged by the preceding `get` miss.
+    fn insert(&mut self, kind: GateKind, timing: CellTiming) {
+        if self.entries >= CHAR_CACHE_CAP {
+            return;
+        }
+        self.buckets.entry(self.staged_hash).or_default().push((
+            kind,
+            self.key_buf.as_slice().into(),
+            timing,
+        ));
+        self.entries += 1;
     }
 }
 
@@ -280,6 +446,58 @@ mod tests {
         // 90 nm FO4 is ~25-45 ps in silicon; our abstraction should land
         // within a loose factor.
         assert!((5.0..120.0).contains(&fo4), "FO4 = {fo4} ps");
+    }
+
+    #[test]
+    fn cached_characterization_is_bit_identical_and_counts() {
+        let lib = library();
+        let mut cache = CharacterizationCache::new();
+        let mut records = lib.drawn_transistors(GateKind::Nand2, Drive::X2).to_vec();
+        for r in &mut records {
+            r.l_delay_nm = 87.25;
+            r.l_leakage_nm = 88.5;
+        }
+        let direct = lib
+            .annotated_timing(GateKind::Nand2, &records)
+            .expect("direct");
+        let miss = lib
+            .annotated_timing_cached(&mut cache, GateKind::Nand2, &records)
+            .expect("miss");
+        let hit = lib
+            .annotated_timing_cached(&mut cache, GateKind::Nand2, &records)
+            .expect("hit");
+        assert_eq!(direct, miss);
+        assert_eq!(direct, hit);
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+        // The tiniest CD change is a different key (exact-bit match).
+        records[0].l_delay_nm += f64::EPSILON * 128.0;
+        let other = lib
+            .annotated_timing_cached(&mut cache, GateKind::Nand2, &records)
+            .expect("other");
+        assert_ne!(direct, other);
+        assert_eq!((cache.hits(), cache.misses()), (1, 2));
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn cache_distinguishes_gate_kinds() {
+        // Same record list under a different kind must not collide: the
+        // stack factors differ even when the ensembles match.
+        let lib = library();
+        let mut cache = CharacterizationCache::new();
+        let records = vec![
+            TransistorCd::drawn(MosKind::Nmos, 420.0, 90.0, Some(0), 0),
+            TransistorCd::drawn(MosKind::Pmos, 640.0, 90.0, Some(0), 0),
+        ];
+        let inv = lib
+            .annotated_timing_cached(&mut cache, GateKind::Inv, &records)
+            .expect("inv");
+        let nand = lib
+            .annotated_timing_cached(&mut cache, GateKind::Nand2, &records)
+            .expect("nand");
+        assert_ne!(inv, nand);
+        assert_eq!(cache.misses(), 2);
     }
 
     #[test]

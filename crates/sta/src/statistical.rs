@@ -5,8 +5,13 @@
 //! post-OPC values (the paper's proposal), run full STA per sample, and
 //! compare the resulting worst-slack distributions against the corner
 //! bound.
+//!
+//! [`run`] evaluates samples through the compiled evaluator
+//! ([`crate::CompiledSta`]) with per-worker scratch; [`run_reference`] is
+//! the retained naive baseline (one [`TimingModel::analyze`] per sample)
+//! that the compiled engine is proven bit-identical to.
 
-use crate::annotate::{CdAnnotation, GateAnnotation};
+use crate::annotate::{CdAnnotation, GateAnnotation, TransistorCd};
 use crate::error::{Result, StaError};
 use crate::graph::TimingModel;
 use postopc_layout::GateId;
@@ -22,6 +27,9 @@ pub struct MonteCarloConfig {
     pub sigma_nm: f64,
     /// RNG seed (runs are deterministic given the config).
     pub seed: u64,
+    /// Worker-thread override (`None` resolves `POSTOPC_THREADS`, then
+    /// the hardware). Results are identical for any thread count.
+    pub threads: Option<usize>,
 }
 
 impl Default for MonteCarloConfig {
@@ -30,6 +38,7 @@ impl Default for MonteCarloConfig {
             samples: 500,
             sigma_nm: 2.0,
             seed: 1,
+            threads: None,
         }
     }
 }
@@ -37,15 +46,47 @@ impl Default for MonteCarloConfig {
 /// Distribution summary of a Monte Carlo run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct MonteCarloResult {
-    /// Worst slack of each sample, in ps.
-    pub worst_slacks_ps: Vec<f64>,
-    /// Critical delay of each sample, in ps.
-    pub critical_delays_ps: Vec<f64>,
-    /// Total leakage of each sample, in µA.
-    pub leakages_ua: Vec<f64>,
+    worst_slacks_ps: Vec<f64>,
+    critical_delays_ps: Vec<f64>,
+    leakages_ua: Vec<f64>,
+    /// Worst slacks sorted ascending, computed once at construction so
+    /// quantile queries are O(1) instead of a clone+sort per call.
+    sorted_worst_slacks_ps: Vec<f64>,
 }
 
 impl MonteCarloResult {
+    /// Assembles a result from per-sample vectors (sample order), sorting
+    /// the quantile view once.
+    pub fn new(
+        worst_slacks_ps: Vec<f64>,
+        critical_delays_ps: Vec<f64>,
+        leakages_ua: Vec<f64>,
+    ) -> MonteCarloResult {
+        let mut sorted_worst_slacks_ps = worst_slacks_ps.clone();
+        sorted_worst_slacks_ps.sort_by(|a, b| a.partial_cmp(b).expect("finite slacks"));
+        MonteCarloResult {
+            worst_slacks_ps,
+            critical_delays_ps,
+            leakages_ua,
+            sorted_worst_slacks_ps,
+        }
+    }
+
+    /// Worst slack of each sample, in ps (sample order).
+    pub fn worst_slacks_ps(&self) -> &[f64] {
+        &self.worst_slacks_ps
+    }
+
+    /// Critical delay of each sample, in ps (sample order).
+    pub fn critical_delays_ps(&self) -> &[f64] {
+        &self.critical_delays_ps
+    }
+
+    /// Total leakage of each sample, in µA (sample order).
+    pub fn leakages_ua(&self) -> &[f64] {
+        &self.leakages_ua
+    }
+
     /// Mean of the worst-slack distribution, in ps.
     pub fn mean_worst_slack_ps(&self) -> f64 {
         mean(&self.worst_slacks_ps)
@@ -63,8 +104,7 @@ impl MonteCarloResult {
     /// Panics if the result is empty (configs with `samples == 0` are
     /// rejected up front).
     pub fn worst_slack_quantile_ps(&self, q: f64) -> f64 {
-        let mut sorted = self.worst_slacks_ps.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite slacks"));
+        let sorted = &self.sorted_worst_slacks_ps;
         let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
         sorted[idx]
     }
@@ -89,24 +129,7 @@ fn std(v: &[f64]) -> f64 {
     (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len().max(1) as f64).sqrt()
 }
 
-/// Runs Monte Carlo timing.
-///
-/// Per-gate channel lengths are sampled as
-/// `L = base(gate) + N(0, sigma_nm)`, where `base` comes from
-/// `systematic` (the extracted annotation) or the drawn dimensions when
-/// `systematic` is `None`. The same random shift is applied to all fingers
-/// of one gate (intra-gate variation is already captured by slice
-/// extraction).
-///
-/// # Errors
-///
-/// Returns [`StaError::InvalidMonteCarlo`] for zero samples or a negative
-/// sigma; propagates analysis errors.
-pub fn run(
-    model: &TimingModel<'_>,
-    systematic: Option<&CdAnnotation>,
-    config: &MonteCarloConfig,
-) -> Result<MonteCarloResult> {
+fn validate(config: &MonteCarloConfig) -> Result<()> {
     if config.samples == 0 {
         return Err(StaError::InvalidMonteCarlo("samples must be > 0".into()));
     }
@@ -116,9 +139,18 @@ pub fn run(
             config.sigma_nm
         )));
     }
-    let netlist = model.design().netlist();
-    // Base (systematic) records per gate.
-    let bases: Vec<Vec<crate::annotate::TransistorCd>> = netlist
+    Ok(())
+}
+
+/// Base (systematic) records per gate: the extracted annotation where
+/// present, drawn dimensions elsewhere.
+fn base_records(
+    model: &TimingModel<'_>,
+    systematic: Option<&CdAnnotation>,
+) -> Vec<Vec<TransistorCd>> {
+    model
+        .design()
+        .netlist()
         .gates()
         .iter()
         .enumerate()
@@ -131,19 +163,91 @@ pub fn run(
                     .to_vec(),
             },
         )
-        .collect();
+        .collect()
+}
 
-    // Samples run on the shared worker pool. Each sample derives its own
-    // RNG stream from (seed, sample index) — `split_seed` — so the draws
-    // are independent of scheduling and the result is identical for any
-    // thread count. Sample order is preserved by the pool.
+/// Runs Monte Carlo timing through the compiled evaluator.
+///
+/// Per-gate channel lengths are sampled as
+/// `L = base(gate) + N(0, sigma_nm)`, where `base` comes from
+/// `systematic` (the extracted annotation) or the drawn dimensions when
+/// `systematic` is `None`. The same random shift is applied to all fingers
+/// of one gate (intra-gate variation is already captured by slice
+/// extraction), and the shift is quantized to a `sigma / 16` grid (see
+/// [`sampled_shift`]) so characterization memoizes per `(cell, grid bin)`
+/// instead of running once per gate per sample.
+///
+/// The design is compiled once; each worker reuses one
+/// [`crate::StaScratch`] (propagation buffers + characterization caches)
+/// across its samples via `par_map_init`. Each sample derives its own RNG
+/// stream from `(seed, sample index)`, so results are bit-identical to
+/// [`run_reference`] for any thread count.
+///
+/// # Errors
+///
+/// Returns [`StaError::InvalidMonteCarlo`] for zero samples or a negative
+/// sigma; propagates analysis errors.
+pub fn run(
+    model: &TimingModel<'_>,
+    systematic: Option<&CdAnnotation>,
+    config: &MonteCarloConfig,
+) -> Result<MonteCarloResult> {
+    validate(config)?;
+    let compiled = model.compile()?;
+    let bases = base_records(model, systematic);
+    let cells = compiled.sample_cells(&bases);
     let sample_indices: Vec<u64> = (0..config.samples as u64).collect();
-    let threads = postopc_parallel::effective_threads(None);
+    let threads = postopc_parallel::effective_threads(config.threads);
+    let summaries = postopc_parallel::try_par_map_init(
+        threads,
+        &sample_indices,
+        || compiled.scratch(),
+        |scratch, _, &sample| {
+            let mut rng = StdRng::seed_from_u64(split_seed(config.seed, sample));
+            // One shift per gate, drawn in gate order — the same stream
+            // the reference engine consumes.
+            compiled.evaluate_shifted(scratch, &cells, |_| {
+                sampled_shift(&mut rng, config.sigma_nm)
+            })
+        },
+    )?;
+    let mut worst = Vec::with_capacity(config.samples);
+    let mut delays = Vec::with_capacity(config.samples);
+    let mut leaks = Vec::with_capacity(config.samples);
+    for s in summaries {
+        worst.push(s.worst_slack_ps);
+        delays.push(s.critical_delay_ps);
+        leaks.push(s.leakage_ua);
+    }
+    Ok(MonteCarloResult::new(worst, delays, leaks))
+}
+
+/// The naive Monte Carlo baseline: one full [`TimingModel::analyze`] —
+/// fresh annotation HashMap, wires, characterization and report vectors —
+/// per sample.
+///
+/// Retained as the reference implementation the compiled engine ([`run`])
+/// is benchmarked against and proven bit-identical to; use [`run`]
+/// everywhere else.
+///
+/// # Errors
+///
+/// Returns [`StaError::InvalidMonteCarlo`] for zero samples or a negative
+/// sigma; propagates analysis errors.
+pub fn run_reference(
+    model: &TimingModel<'_>,
+    systematic: Option<&CdAnnotation>,
+    config: &MonteCarloConfig,
+) -> Result<MonteCarloResult> {
+    validate(config)?;
+    let bases = base_records(model, systematic);
+    let sample_indices: Vec<u64> = (0..config.samples as u64).collect();
+    let threads = postopc_parallel::effective_threads(config.threads);
     let reports = postopc_parallel::try_par_map(threads, &sample_indices, |_, &sample| {
         let mut rng = StdRng::seed_from_u64(split_seed(config.seed, sample));
         let mut ann = CdAnnotation::new();
         for (gi, base) in bases.iter().enumerate() {
-            let shift = normal(&mut rng) * config.sigma_nm;
+            let (_, shift) = sampled_shift(&mut rng, config.sigma_nm);
             let mut records = base.clone();
             for r in &mut records {
                 r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
@@ -163,17 +267,37 @@ pub fn run(
             report.leakage_ua(),
         ))
     })?;
-    let mut result = MonteCarloResult {
-        worst_slacks_ps: Vec::with_capacity(config.samples),
-        critical_delays_ps: Vec::with_capacity(config.samples),
-        leakages_ua: Vec::with_capacity(config.samples),
-    };
+    let mut worst = Vec::with_capacity(config.samples);
+    let mut delays = Vec::with_capacity(config.samples);
+    let mut leaks = Vec::with_capacity(config.samples);
     for (slack, delay, leakage) in reports {
-        result.worst_slacks_ps.push(slack);
-        result.critical_delays_ps.push(delay);
-        result.leakages_ua.push(leakage);
+        worst.push(slack);
+        delays.push(delay);
+        leaks.push(leakage);
     }
-    Ok(result)
+    Ok(MonteCarloResult::new(worst, delays, leaks))
+}
+
+/// Shift-grid resolution: bins per sigma. The sampled distribution is a
+/// normal discretized to steps of `sigma / 16` — a quantization error of
+/// at most `sigma / 32` (3% of sigma), far below Monte Carlo sampling
+/// noise at any practical sample count, in exchange for characterization
+/// collapsing to one device-model run per `(cell, bin)`.
+const SHIFT_BINS_PER_SIGMA: f64 = 16.0;
+
+/// One per-gate CD shift: a standard-normal draw scaled by `sigma_nm` and
+/// rounded to the shift grid. Returns the grid bin and the shift in nm
+/// (`bin * sigma / 16` exactly — the bin is the cache identity of the
+/// shift). Both Monte Carlo engines sample through this one function, so
+/// their per-gate CDs agree bit for bit.
+fn sampled_shift(rng: &mut StdRng, sigma_nm: f64) -> (i32, f64) {
+    let raw = normal(rng) * sigma_nm;
+    if sigma_nm == 0.0 {
+        return (0, 0.0);
+    }
+    let step = sigma_nm / SHIFT_BINS_PER_SIGMA;
+    let bin = (raw / step).round();
+    (bin as i32, bin * step)
 }
 
 /// Standard normal sample (Box–Muller).
@@ -229,10 +353,32 @@ mod tests {
             samples: 20,
             sigma_nm: 2.0,
             seed: 42,
+            threads: None,
         };
         let a = run(&m, None, &cfg).expect("mc");
         let b = run(&m, None, &cfg).expect("mc");
-        assert_eq!(a.worst_slacks_ps, b.worst_slacks_ps);
+        assert_eq!(a.worst_slacks_ps(), b.worst_slacks_ps());
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let base = MonteCarloConfig {
+            samples: 24,
+            sigma_nm: 2.0,
+            seed: 5,
+            threads: Some(1),
+        };
+        let one = run(&m, None, &base).expect("mc");
+        for threads in [2, 4, 7] {
+            let cfg = MonteCarloConfig {
+                threads: Some(threads),
+                ..base.clone()
+            };
+            let many = run(&m, None, &cfg).expect("mc");
+            assert_eq!(one, many, "threads = {threads}");
+        }
     }
 
     #[test]
@@ -243,10 +389,11 @@ mod tests {
             samples: 5,
             sigma_nm: 0.0,
             seed: 1,
+            threads: None,
         };
         let mc = run(&m, None, &cfg).expect("mc");
         let nominal = m.analyze(None).expect("nominal");
-        for &s in &mc.worst_slacks_ps {
+        for &s in mc.worst_slacks_ps() {
             assert!((s - nominal.worst_slack_ps()).abs() < 1e-9);
         }
         assert!(mc.std_worst_slack_ps() < 1e-12);
@@ -263,6 +410,7 @@ mod tests {
                 samples: 60,
                 sigma_nm: 1.0,
                 seed: 3,
+                threads: None,
             },
         )
         .expect("mc");
@@ -273,6 +421,7 @@ mod tests {
                 samples: 60,
                 sigma_nm: 4.0,
                 seed: 3,
+                threads: None,
             },
         )
         .expect("mc");
@@ -290,6 +439,7 @@ mod tests {
                 samples: 100,
                 sigma_nm: 2.0,
                 seed: 9,
+                threads: None,
             },
         )
         .expect("mc");
@@ -298,5 +448,13 @@ mod tests {
         let q99 = mc.worst_slack_quantile_ps(0.99);
         assert!(q01 <= q50 && q50 <= q99);
         assert!((q50 - mc.mean_worst_slack_ps()).abs() < 3.0 * mc.std_worst_slack_ps() + 1e-9);
+        // The cached quantile view spans the sample extremes.
+        assert_eq!(
+            mc.worst_slack_quantile_ps(0.0),
+            mc.worst_slacks_ps()
+                .iter()
+                .cloned()
+                .fold(f64::INFINITY, f64::min)
+        );
     }
 }

@@ -21,7 +21,7 @@ cargo test -q
 echo "== workspace tests: cargo test --workspace -q"
 cargo test --workspace -q
 
-echo "== perf smoke: pooled extraction parity"
+echo "== perf smoke: pooled extraction parity + compiled/naive STA parity"
 cargo run --release -p postopc-bench --bin perf_smoke
 
 echo "check.sh: all gates passed"
