@@ -1,28 +1,32 @@
-//! Quick-mode performance smoke test for the CI gate (`scripts/check.sh`).
+//! Performance smoke test and bench-regression gate for the CI script
+//! (`scripts/check.sh`). Two modes, both fail the process (exit 1) when an
+//! invariant breaks:
 //!
-//! Two sections, both fail the process (exit 1) when an invariant breaks:
+//! **Default (parity gates)** — fast enough to repeat across the CI thread
+//! matrix (`POSTOPC_THREADS=1,2,4`):
 //!
-//! **Extraction.** Extracts a small uniform inverter farm twice — context
-//! cache with the serial engine, then context cache with the worker pool:
-//!
-//! 1. The two outcomes must be bit-identical (scheduling must never change
-//!    extracted CDs).
-//! 2. The pooled engine must stay within a small tolerance of the serial
+//! 1. Extracts a small uniform inverter farm twice — context cache with
+//!    the serial engine, then with the worker pool. The two outcomes must
+//!    be bit-identical (scheduling must never change extracted CDs), and
+//!    the pooled engine must stay within a small tolerance of the serial
 //!    wall time (parity on one core, faster on many). The tolerance
 //!    absorbs timer noise on loaded single-core CI machines; a real pool
 //!    regression — the chunked scheduler falling over its own overhead —
 //!    shows up far above it.
+//! 2. The compiled STA evaluator must match the naive `analyze` path bit
+//!    for bit on a small adder: drawn, corner-annotated, and a short
+//!    Monte Carlo run, all through ONE shared `CompiledSta` + scratch
+//!    (the compile-once flow shape).
 //!
-//! **STA.** The compiled evaluator must match the naive `analyze` path bit
-//! for bit on a small adder: drawn, corner-annotated, and a short
-//! Monte Carlo run (compiled `run` vs naive `run_reference`). No timing
-//! gate here — parity is the contract; speed is measured by `mc_scaling`.
-//!
-//! Runtime is a few seconds: each extraction engine gets one warm-up run
-//! (fills the thread-local imaging workspaces) and the best of two timed
-//! runs; the STA section runs each analysis once.
+//! **`--bench-regression`** — re-measures the headline engine speedups at
+//! the recorded workload scale and fails if any drops below a floor
+//! fraction of the value committed in `BENCH_extract.json` /
+//! `BENCH_sta.json` ([`BENCH_FLOORS`]), so the perf wins of earlier PRs
+//! cannot silently regress. Run once per CI pass (it is the expensive
+//! stage: the extraction baseline alone is a few seconds).
 
 use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc_bench::json::parse_speedups;
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
 use postopc_sta::{
@@ -32,7 +36,62 @@ use postopc_sta::{
 /// Pool wall time may exceed serial by at most this factor.
 const POOL_TOLERANCE: f64 = 1.25;
 
+/// One gated benchmark row: where its recorded speedup lives and the
+/// fraction of it a fresh measurement must retain. The floors live in this
+/// one table so retuning the gate is a single-diff change.
+struct BenchFloor {
+    file: &'static str,
+    design: &'static str,
+    engine: &'static str,
+    samples: Option<usize>,
+    fraction: f64,
+}
+
+/// Every (artifact, row) pair the regression gate re-measures. 0.6× floors
+/// absorb machine-to-machine variance while still catching a lost cache or
+/// a de-compiled hot loop (which cost integer factors, not 40%).
+const BENCH_FLOORS: &[BenchFloor] = &[
+    BenchFloor {
+        file: "BENCH_extract.json",
+        design: "uniform inv farm 240",
+        engine: "context cache",
+        samples: None,
+        fraction: 0.6,
+    },
+    BenchFloor {
+        file: "BENCH_extract.json",
+        design: "uniform inv farm 240",
+        engine: "cache + pool",
+        samples: None,
+        fraction: 0.6,
+    },
+    BenchFloor {
+        file: "BENCH_sta.json",
+        design: "T6 composite 70%",
+        engine: "compiled",
+        samples: Some(250),
+        fraction: 0.6,
+    },
+];
+
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let failed = match args.first().map(String::as_str) {
+        None => parity_gates(),
+        Some("--bench-regression") => bench_regression(),
+        Some(other) => {
+            eprintln!("perf_smoke: unknown argument {other} (expected --bench-regression)");
+            true
+        }
+    };
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// The default mode: pooled-extraction and compiled-STA parity gates.
+/// Returns `true` on failure.
+fn parity_gates() -> bool {
     // Dense placement (100% utilization) so every gate sees the repeated
     // neighbourhood the context cache thrives on — the same shape as the
     // T9 uniform-farm row, scaled down for CI.
@@ -52,6 +111,8 @@ fn main() {
     let mut pooled = cached.clone();
     pooled.threads = None; // all cores
 
+    // Each engine gets one warm-up run (fills the thread-local imaging
+    // workspaces) and the best of two timed runs.
     let run = |cfg: &ExtractionConfig| {
         let warm = extract_gates(&design, cfg, &tags).expect("extraction");
         let mut best = f64::MAX;
@@ -82,7 +143,8 @@ fn main() {
         );
         failed = true;
     }
-    // STA section: compiled evaluator vs naive analyze, bit for bit.
+    // STA section: compiled evaluator vs naive analyze, bit for bit, with
+    // one compile shared across drawn, corner and Monte Carlo analyses.
     let sta_design = Design::compile(
         generate::ripple_carry_adder(3).expect("netlist"),
         TechRules::n90(),
@@ -121,16 +183,138 @@ fn main() {
         seed: 5,
         threads: None,
     };
-    let mc_compiled = statistical::run(&model, Some(&ann), &mc).expect("compiled MC");
+    let mc_compiled = statistical::run_with(&compiled, Some(&ann), &mc).expect("compiled MC");
     let mc_naive = statistical::run_reference(&model, Some(&ann), &mc).expect("naive MC");
     if mc_compiled != mc_naive {
         eprintln!("perf_smoke: FAIL - compiled Monte Carlo differs from naive engine");
         failed = true;
     }
 
-    if failed {
-        std::process::exit(1);
+    if !failed {
+        println!("perf_smoke: PASS - pooled engine at parity or better, outcomes bit-identical");
+        println!("perf_smoke: PASS - compiled STA bit-identical to naive (drawn, corner, MC)");
     }
-    println!("perf_smoke: PASS - pooled engine at parity or better, outcomes bit-identical");
-    println!("perf_smoke: PASS - compiled STA bit-identical to naive (drawn, corner, MC)");
+    failed
+}
+
+/// Looks up the recorded speedup for one gated row in its committed
+/// artifact (relative to the working directory — `check.sh` runs from the
+/// repository root, where the artifacts live).
+fn recorded_speedup(gate: &BenchFloor) -> Option<f64> {
+    let doc = std::fs::read_to_string(gate.file).ok()?;
+    parse_speedups(&doc)
+        .into_iter()
+        .find(|r| r.design == gate.design && r.engine == gate.engine && r.samples == gate.samples)
+        .map(|r| r.speedup)
+}
+
+/// Compares one fresh measurement against its recorded floor, printing the
+/// verdict. Returns `true` on failure (row missing counts as failure: a
+/// gate that cannot find its baseline is not protecting anything).
+fn check_floor(gate: &BenchFloor, fresh: f64) -> bool {
+    let label = match gate.samples {
+        Some(s) => format!("{} / {} @ {s} samples", gate.design, gate.engine),
+        None => format!("{} / {}", gate.design, gate.engine),
+    };
+    match recorded_speedup(gate) {
+        None => {
+            eprintln!(
+                "perf_smoke: FAIL - no recorded row for {label} in {} (re-record the artifact?)",
+                gate.file
+            );
+            true
+        }
+        Some(recorded) => {
+            let floor = recorded * gate.fraction;
+            let ok = fresh >= floor;
+            println!(
+                "perf_smoke: bench {label}: fresh {fresh:.2}x vs recorded {recorded:.2}x \
+                 (floor {floor:.2}x) - {}",
+                if ok { "OK" } else { "FAIL" }
+            );
+            if !ok {
+                eprintln!(
+                    "perf_smoke: FAIL - {label} regressed below {:.0}% of the recorded speedup",
+                    100.0 * gate.fraction
+                );
+            }
+            !ok
+        }
+    }
+}
+
+/// The `--bench-regression` mode: re-measures the gated speedups at the
+/// recorded workload scale (same designs, same engine configurations, same
+/// single-shot methodology as `t9` / `mc_scaling`) and applies
+/// [`BENCH_FLOORS`]. Returns `true` on failure.
+fn bench_regression() -> bool {
+    let mut failed = false;
+
+    // Extraction: the T9 uniform-farm row — baseline (serial, no cache)
+    // vs context cache vs cache + pool, dense 240-inverter farm.
+    let design = Design::compile_with(
+        generate::inverter_chain(240).expect("netlist"),
+        TechRules::n90(),
+        &PlacementOptions {
+            utilization: 1.0,
+            seed: 11,
+        },
+    )
+    .expect("design");
+    let tags = TagSet::all(&design);
+    let mut baseline = ExtractionConfig::standard();
+    baseline.opc_mode = OpcMode::Rule;
+    baseline.cache = false;
+    baseline.threads = Some(1);
+    let mut cached = baseline.clone();
+    cached.cache = true;
+    let mut pooled = cached.clone();
+    pooled.threads = None; // all cores
+    let (_, baseline_s) =
+        postopc_bench::timing::time(|| extract_gates(&design, &baseline, &tags).expect("baseline"));
+    let (_, cached_s) =
+        postopc_bench::timing::time(|| extract_gates(&design, &cached, &tags).expect("cached"));
+    let (_, pooled_s) =
+        postopc_bench::timing::time(|| extract_gates(&design, &pooled, &tags).expect("pooled"));
+    failed |= check_floor(&BENCH_FLOORS[0], baseline_s / cached_s.max(1e-9));
+    failed |= check_floor(&BENCH_FLOORS[1], baseline_s / pooled_s.max(1e-9));
+
+    // STA: the mc_scaling 250-sample row — naive per-sample analyze vs the
+    // compiled evaluator on the T6 composite workload, one thread.
+    let design = postopc_bench::evaluation_design(11);
+    let probe = TimingModel::new(&design, ProcessParams::n90(), 1_000_000.0).expect("probe model");
+    let clock = probe
+        .analyze(None)
+        .expect("probe timing")
+        .critical_delay_ps()
+        * 1.10;
+    let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
+    let drawn = model.analyze(None).expect("drawn timing");
+    let path_tags = TagSet::from_critical_paths(&design, &drawn, 40);
+    let mut cfg = ExtractionConfig::standard();
+    cfg.opc_mode = OpcMode::Rule;
+    let out = extract_gates(&design, &cfg, &path_tags).expect("extraction");
+    let compiled_sta = model.compile().expect("compile");
+    let mc = MonteCarloConfig {
+        samples: 250,
+        sigma_nm: 1.5,
+        seed: 17,
+        threads: Some(1),
+    };
+    let (naive_mc, naive_s) = postopc_bench::timing::time(|| {
+        statistical::run_reference(&model, Some(&out.annotation), &mc).expect("naive MC")
+    });
+    let (compiled_mc, compiled_s) = postopc_bench::timing::time(|| {
+        statistical::run_with(&compiled_sta, Some(&out.annotation), &mc).expect("compiled MC")
+    });
+    if naive_mc != compiled_mc {
+        eprintln!("perf_smoke: FAIL - engines diverged during the bench-regression run");
+        failed = true;
+    }
+    failed |= check_floor(&BENCH_FLOORS[2], naive_s / compiled_s.max(1e-9));
+
+    if !failed {
+        println!("perf_smoke: PASS - all gated speedups within their recorded floors");
+    }
+    failed
 }

@@ -159,6 +159,76 @@ pub fn write_sta_rows(path: &Path, threads: usize, rows: &[StaBenchRow]) -> std:
     file.write_all(render_sta_rows(threads, rows).as_bytes())
 }
 
+/// One recorded measurement read back from a committed `BENCH_*.json`
+/// artifact — the fields the regression gate compares against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordedSpeedup {
+    /// Workload name (`design` field of the row).
+    pub design: String,
+    /// Engine configuration (`engine` field of the row).
+    pub engine: String,
+    /// Monte Carlo sample count, for STA rows (`None` for extraction rows).
+    pub samples: Option<usize>,
+    /// Speedup versus the baseline engine recorded for the row.
+    pub speedup: f64,
+}
+
+/// Extracts a string field's value from a single rendered row line,
+/// undoing the escapes [`escape`] applies.
+fn str_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let start = line.find(&pat)? + pat.len();
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in line[start..].chars() {
+        if escaped {
+            out.push(match c {
+                'n' => '\n',
+                't' => '\t',
+                'r' => '\r',
+                other => other,
+            });
+            escaped = false;
+        } else if c == '\\' {
+            escaped = true;
+        } else if c == '"' {
+            return Some(out);
+        } else {
+            out.push(c);
+        }
+    }
+    None
+}
+
+/// Extracts a numeric field's value from a single rendered row line.
+fn num_field(line: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    rest[..end].trim().parse().ok()
+}
+
+/// Reads the per-row speedups back out of a document this module rendered
+/// (either schema). This is the inverse of the hand-rolled writers above,
+/// bound to their one-row-per-line layout — deliberately not a general
+/// JSON parser, for the same offline-build reason the writers exist.
+/// Lines that are not rows (schema header, brackets) are skipped; a row
+/// missing any required field is skipped too, so the caller can treat
+/// "row not found" uniformly.
+pub fn parse_speedups(doc: &str) -> Vec<RecordedSpeedup> {
+    doc.lines()
+        .filter_map(|line| {
+            Some(RecordedSpeedup {
+                design: str_field(line, "design")?,
+                engine: str_field(line, "engine")?,
+                samples: num_field(line, "samples").map(|s| s as usize),
+                speedup: num_field(line, "speedup")?,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +304,35 @@ mod tests {
         let read = std::fs::read_to_string(&path).expect("read back");
         assert_eq!(read, render_sta_rows(1, &[sta_row()]));
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn parse_round_trips_both_schemas() {
+        let extract_doc = render_engine_rows(1, &[row(), row()]);
+        let parsed = parse_speedups(&extract_doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0].design, "uniform inv farm 240");
+        assert_eq!(parsed[0].engine, "context cache");
+        assert_eq!(parsed[0].samples, None);
+        assert_eq!(parsed[0].speedup, 15.5);
+        let sta_doc = render_sta_rows(1, &[sta_row()]);
+        let parsed = parse_speedups(&sta_doc);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].samples, Some(2000));
+        assert_eq!(parsed[0].speedup, 8.0);
+    }
+
+    #[test]
+    fn parse_undoes_string_escapes_and_skips_partial_rows() {
+        let mut r = row();
+        r.design = "evil \"name\"\\with\nnewline".to_string();
+        let doc = render_engine_rows(1, &[r.clone()]);
+        let parsed = parse_speedups(&doc);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].design, r.design);
+        // A line with a design but no speedup is not a row.
+        assert!(parse_speedups("{\"design\": \"x\", \"engine\": \"y\"}").is_empty());
+        assert!(parse_speedups("not json at all").is_empty());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::error::Result;
 use postopc_sta::{
-    analyze_corner, statistical, CdAnnotation, Corner, MonteCarloConfig, TimingModel,
+    analyze_corners_with, statistical, CdAnnotation, Corner, MonteCarloConfig, TimingModel,
 };
 
 /// Guardband comparison configuration.
@@ -66,15 +66,22 @@ impl GuardbandAnalysis {
         extracted: &CdAnnotation,
         config: &GuardbandConfig,
     ) -> Result<GuardbandAnalysis> {
-        let nominal = model.analyze(None)?;
-        let ss = analyze_corner(
-            model,
-            &Corner {
+        // One compiled evaluator serves all three analyses (drawn,
+        // corner, Monte Carlo) instead of compiling per call.
+        let compiled = model.compile()?;
+        let mut scratch = compiled.scratch();
+        let nominal = compiled.evaluate(&mut scratch, None)?;
+        let ss = analyze_corners_with(
+            &compiled,
+            &mut scratch,
+            &[Corner {
                 name: "SS".into(),
                 delta_l_nm: config.corner_sigma3_nm,
-            },
-        )?;
-        let mc = statistical::run(model, Some(extracted), &config.monte_carlo)?;
+            }],
+        )?
+        .pop()
+        .expect("one corner in, one report out");
+        let mc = statistical::run_with(&compiled, Some(extracted), &config.monte_carlo)?;
         let statistical_delay =
             model.clock_ps() - mc.worst_slack_quantile_ps(1.0 - config.percentile);
         Ok(GuardbandAnalysis {

@@ -140,7 +140,7 @@ pub fn render_path_comparison(design: &Design, comparison: &TimingComparison) ->
 }
 
 /// Renders a per-gate breakdown of one timing path: cell, drive, delay,
-/// and cumulative arrival — the classic STA path report.
+/// output slew, and cumulative arrival — the classic STA path report.
 pub fn render_path_detail(
     design: &Design,
     report: &postopc_sta::TimingReport,
@@ -160,6 +160,7 @@ pub fn render_path_detail(
                 format!("{}{}", gate.kind, gate.drive),
                 netlist.net(gate.output).name.clone(),
                 format!("{delay:.2}"),
+                format!("{:.2}", report.slew_ps(gate.output)),
                 format!("{cumulative:.2}"),
             ]
         })
@@ -171,7 +172,14 @@ pub fn render_path_detail(
             path.arrival_ps,
             path.slack_ps
         ),
-        &["gate", "cell", "output net", "delay (ps)", "arrival (ps)"],
+        &[
+            "gate",
+            "cell",
+            "output net",
+            "delay (ps)",
+            "slew (ps)",
+            "arrival (ps)",
+        ],
         &rows,
     );
     out.push_str(&format!(
@@ -224,6 +232,7 @@ mod tests {
         let text = render_path_detail(&design, &report, path);
         assert!(text.contains("inv0"));
         assert!(text.contains("inv4"));
+        assert!(text.contains("slew (ps)"));
         assert!(text.contains("stages: 5"));
         // Final cumulative equals the endpoint arrival.
         assert!(text.contains(&format!("{:.2}", path.arrival_ps)));

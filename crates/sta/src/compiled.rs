@@ -16,7 +16,9 @@
 use crate::annotate::{CdAnnotation, TransistorCd};
 use crate::error::{Result, StaError};
 use crate::graph::{TimingModel, TimingReport};
-use crate::liberty::{CellTiming, CharacterizationCache};
+use crate::liberty::{
+    CellTiming, CharacterizationCache, NldmTable, CLOCK_SLEW_PS, PRIMARY_INPUT_SLEW_PS,
+};
 use postopc_device::Wire;
 use postopc_layout::{GateId, GateKind, NetId};
 use std::collections::HashMap;
@@ -100,6 +102,7 @@ pub struct StaScratch {
     timings: Vec<CellTiming>,
     sink_cap: Vec<f64>,
     gate_delays: Vec<f64>,
+    slews: Vec<f64>,
     arrivals: Vec<f64>,
     requireds: Vec<f64>,
     endpoint_required: Vec<(NetId, f64)>,
@@ -184,6 +187,7 @@ impl ShiftTimingCache {
             output_cap_ff: 0.0,
             leakage_ua: 0.0,
             sequential: None,
+            nldm: NldmTable::ZERO,
         }
     }
 
@@ -317,6 +321,7 @@ impl<'m> CompiledSta<'m> {
             timings: Vec::with_capacity(n_gates),
             sink_cap: vec![0.0; n_nets],
             gate_delays: vec![0.0; n_gates],
+            slews: vec![0.0; n_nets],
             arrivals: vec![0.0; n_nets],
             requireds: vec![f64::INFINITY; n_nets],
             endpoint_required: Vec::new(),
@@ -399,6 +404,7 @@ impl<'m> CompiledSta<'m> {
             scratch.arrivals.clone(),
             scratch.requireds.clone(),
             scratch.gate_delays.clone(),
+            scratch.slews.clone(),
             endpoint_slacks,
             self.model.clock_ps(),
             leakage,
@@ -525,14 +531,27 @@ impl<'m> CompiledSta<'m> {
             }
         }
 
-        // Gate delays: intrinsic + driver-into-wire Elmore, from the
-        // precompiled drawn wires (re-widthed in place when the
-        // annotation prints the net differently).
-        for (gi, gate) in netlist.gates().iter().enumerate() {
-            let t = &scratch.timings[gi];
+        // Gate delays and output slews in topological order, mirroring
+        // `analyze`: the NLDM table at (worst input slew, lumped sink
+        // load) plus the Elmore excess of the precompiled drawn wire
+        // (re-widthed in place when the annotation prints the net
+        // differently) over the lumped `R·C` the table already charges.
+        scratch.slews.fill(PRIMARY_INPUT_SLEW_PS);
+        for &gid in netlist.topological_order() {
+            let gate = netlist.gate(gid);
+            let t = &scratch.timings[gid.0 as usize];
+            let slew_in = if gate.kind.is_sequential() {
+                CLOCK_SLEW_PS
+            } else {
+                gate.inputs
+                    .iter()
+                    .map(|n| scratch.slews[n.0 as usize])
+                    .fold(0.0, f64::max)
+            };
             let out = gate.output.0 as usize;
             let c_sinks = scratch.sink_cap[out] + t.output_cap_ff;
-            let stage = match &self.drawn_wires[out] {
+            let table_delay = t.nldm.delay_ps(slew_in, c_sinks);
+            scratch.gate_delays[gid.0 as usize] = match &self.drawn_wires[out] {
                 Some(w) => {
                     let wire = match annotation.and_then(|a| a.net(NetId(out as u32))) {
                         Some(net_ann) => w
@@ -540,14 +559,12 @@ impl<'m> CompiledSta<'m> {
                             .map_err(StaError::from)?,
                         None => *w,
                     };
-                    wire.elmore_delay_ps(t.drive_r_kohm(), c_sinks)
+                    let r = t.drive_r_kohm();
+                    table_delay + (wire.elmore_delay_ps(r, c_sinks) - r * c_sinks)
                 }
-                None => t.drive_r_kohm() * c_sinks,
+                None => table_delay,
             };
-            scratch.gate_delays[gi] = match &t.sequential {
-                Some(seq) => seq.clk_to_q_ps + stage,
-                None => t.intrinsic_ps + stage,
-            };
+            scratch.slews[out] = t.nldm.output_slew_ps(slew_in, c_sinks);
         }
 
         // Forward arrivals in topological order.

@@ -2,6 +2,7 @@
 //! argues is overly pessimistic.
 
 use crate::annotate::{CdAnnotation, GateAnnotation};
+use crate::compiled::{CompiledSta, StaScratch};
 use crate::error::Result;
 use crate::graph::{TimingModel, TimingReport};
 use postopc_layout::GateId;
@@ -80,11 +81,26 @@ pub fn analyze_corner(model: &TimingModel<'_>, corner: &Corner) -> Result<Timing
 pub fn analyze_corners(model: &TimingModel<'_>, corners: &[Corner]) -> Result<Vec<TimingReport>> {
     let compiled = model.compile()?;
     let mut scratch = compiled.scratch();
+    analyze_corners_with(&compiled, &mut scratch, corners)
+}
+
+/// [`analyze_corners`] against an existing compiled evaluator and
+/// scratch: flows that already hold a [`CompiledSta`] (drawn analysis,
+/// Monte Carlo) share it instead of recompiling per corner sweep.
+///
+/// # Errors
+///
+/// Propagates device-model errors for non-physical corner shifts.
+pub fn analyze_corners_with(
+    compiled: &CompiledSta<'_>,
+    scratch: &mut StaScratch,
+    corners: &[Corner],
+) -> Result<Vec<TimingReport>> {
     corners
         .iter()
         .map(|corner| {
-            let ann = corner_annotation(model, corner.delta_l_nm);
-            compiled.evaluate(&mut scratch, Some(&ann))
+            let ann = corner_annotation(compiled.model(), corner.delta_l_nm);
+            compiled.evaluate(scratch, Some(&ann))
         })
         .collect()
 }

@@ -2,7 +2,7 @@
 
 use crate::annotate::CdAnnotation;
 use crate::error::{Result, StaError};
-use crate::liberty::{CellTiming, TimingLibrary};
+use crate::liberty::{CellTiming, TimingLibrary, CLOCK_SLEW_PS, PRIMARY_INPUT_SLEW_PS};
 use postopc_device::{Wire, WireLayerParams};
 use postopc_layout::{Design, GateId, NetId};
 
@@ -47,6 +47,7 @@ pub struct TimingReport {
     arrivals: Vec<f64>,
     requireds: Vec<f64>,
     gate_delays: Vec<f64>,
+    slews: Vec<f64>,
     endpoint_slacks: Vec<(NetId, f64)>,
     clock_ps: f64,
     leakage_ua: f64,
@@ -165,22 +166,36 @@ impl<'d> TimingModel<'d> {
             wires.push(Some(wire));
         }
 
-        // Gate delays: intrinsic + driver-into-wire Elmore. Registers
-        // launch their Q a clock-to-Q delay after the edge at t = 0,
-        // regardless of data arrivals.
+        // Gate delays and output slews, in topological order: each gate's
+        // NLDM table is evaluated at (its worst input slew, its lumped
+        // sink load), plus the Elmore excess of a routed wire over the
+        // lumped `R·C` the table already charges. Registers launch their
+        // Q from the clock edge (at the clock's slew) regardless of data
+        // arrivals; primary inputs arrive with a nominal board-level slew.
         let mut gate_delays = vec![0.0f64; n_gates];
-        for (gi, gate) in netlist.gates().iter().enumerate() {
-            let t = &timings[gi];
+        let mut slews = vec![PRIMARY_INPUT_SLEW_PS; n_nets];
+        for &gid in netlist.topological_order() {
+            let gate = netlist.gate(gid);
+            let t = &timings[gid.0 as usize];
+            let slew_in = if gate.kind.is_sequential() {
+                CLOCK_SLEW_PS
+            } else {
+                gate.inputs
+                    .iter()
+                    .map(|n| slews[n.0 as usize])
+                    .fold(0.0, f64::max)
+            };
             let out = gate.output.0 as usize;
             let c_sinks = sink_cap[out] + t.output_cap_ff;
-            let stage = match &wires[out] {
-                Some(w) => w.elmore_delay_ps(t.drive_r_kohm(), c_sinks),
-                None => t.drive_r_kohm() * c_sinks,
+            let table_delay = t.nldm.delay_ps(slew_in, c_sinks);
+            gate_delays[gid.0 as usize] = match &wires[out] {
+                Some(w) => {
+                    let r = t.drive_r_kohm();
+                    table_delay + (w.elmore_delay_ps(r, c_sinks) - r * c_sinks)
+                }
+                None => table_delay,
             };
-            gate_delays[gi] = match &t.sequential {
-                Some(seq) => seq.clk_to_q_ps + stage,
-                None => t.intrinsic_ps + stage,
-            };
+            slews[out] = t.nldm.output_slew_ps(slew_in, c_sinks);
         }
 
         // Forward arrivals in topological order.
@@ -255,6 +270,7 @@ impl<'d> TimingModel<'d> {
             arrivals,
             requireds,
             gate_delays,
+            slews,
             endpoint_slacks,
             clock_ps: self.clock_ps,
             leakage_ua: leakage,
@@ -269,6 +285,7 @@ impl TimingReport {
         arrivals: Vec<f64>,
         requireds: Vec<f64>,
         gate_delays: Vec<f64>,
+        slews: Vec<f64>,
         endpoint_slacks: Vec<(NetId, f64)>,
         clock_ps: f64,
         leakage_ua: f64,
@@ -277,6 +294,7 @@ impl TimingReport {
             arrivals,
             requireds,
             gate_delays,
+            slews,
             endpoint_slacks,
             clock_ps,
             leakage_ua,
@@ -301,6 +319,13 @@ impl TimingReport {
     /// Delay of a gate's worst arc, in ps.
     pub fn gate_delay_ps(&self, gate: GateId) -> f64 {
         self.gate_delays[gate.0 as usize]
+    }
+
+    /// Signal transition time (slew) on a net, in ps. Driven nets carry
+    /// their driver's NLDM output slew; primary-input and undriven nets
+    /// carry the nominal [`PRIMARY_INPUT_SLEW_PS`].
+    pub fn slew_ps(&self, net: NetId) -> f64 {
+        self.slews[net.0 as usize]
     }
 
     /// Endpoint slacks, most critical first.

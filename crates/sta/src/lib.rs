@@ -48,9 +48,14 @@ pub mod statistical;
 
 pub use annotate::{CdAnnotation, GateAnnotation, NetAnnotation, TransistorCd};
 pub use compiled::{CompiledSta, SampleCells, SampleTiming, StaScratch};
-pub use corners::{analyze_corner, analyze_corners, corner_annotation, Corner};
+pub use corners::{
+    analyze_corner, analyze_corners, analyze_corners_with, corner_annotation, Corner,
+};
 pub use error::{Result, StaError};
 pub use graph::{TimingModel, TimingPath, TimingReport};
-pub use liberty::{CellTiming, CharacterizationCache, TimingLibrary};
+pub use liberty::{
+    CellTiming, CharacterizationCache, NldmTable, SequentialTiming, TimingLibrary, CLOCK_SLEW_PS,
+    NLDM_LOAD_PTS, NLDM_SLEW_AXIS_PS, NLDM_SLEW_PTS, PRIMARY_INPUT_SLEW_PS,
+};
 pub use paths::k_worst_paths;
 pub use statistical::{MonteCarloConfig, MonteCarloResult};

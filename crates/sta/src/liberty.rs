@@ -16,6 +16,108 @@ pub struct SequentialTiming {
     pub setup_ps: f64,
 }
 
+/// Number of input-slew grid points in an NLDM table.
+pub const NLDM_SLEW_PTS: usize = 4;
+/// Number of output-load grid points in an NLDM table.
+pub const NLDM_LOAD_PTS: usize = 4;
+
+/// The global input-slew axis shared by every cell's table, in ps.
+/// Geometric spacing covers the slews the library itself produces (a few
+/// ps for a strong gate into a light load, hundreds for a weak gate into
+/// a long wire's lumped sinks).
+pub const NLDM_SLEW_AXIS_PS: [f64; NLDM_SLEW_PTS] = [4.0, 16.0, 64.0, 256.0];
+
+/// Load-axis points as multiples of the cell's own input capacitance
+/// (FO1/4-ish up to FO32): per-cell scaling keeps the grid centered on the
+/// loads that cell actually sees, whatever its drive strength.
+const NLDM_LOAD_MULT: [f64; NLDM_LOAD_PTS] = [0.25, 2.0, 8.0, 32.0];
+
+/// Input slew assumed at primary inputs and undriven nets, in ps.
+pub const PRIMARY_INPUT_SLEW_PS: f64 = 20.0;
+
+/// Slew of the clock edge launching sequential arcs, in ps.
+pub const CLOCK_SLEW_PS: f64 = 20.0;
+
+/// 10–90% transition gain of an RC output node (`ln 9`).
+const SLEW_GAIN: f64 = 2.2;
+
+/// Fraction of the input transition that feeds through to the output
+/// transition of a switching CMOS stage.
+const SLEW_FEEDTHROUGH: f64 = 0.25;
+
+/// One NLDM-style 2-D timing table: delay and output slew of a cell's
+/// worst arc indexed by (input slew, output load).
+///
+/// The slew axis is the global [`NLDM_SLEW_AXIS_PS`]; the load axis is
+/// per-cell ([`load_axis_ff`](Self::load_axis_ff)). Lookups bilinearly
+/// interpolate inside the grid and **clamp** to the edges outside it —
+/// out-of-range queries never extrapolate past the characterized corner
+/// values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NldmTable {
+    /// Output-load grid points, in fF (ascending).
+    pub load_axis_ff: [f64; NLDM_LOAD_PTS],
+    /// Arc delay at each (slew, load) node, in ps.
+    pub delay_grid_ps: [[f64; NLDM_LOAD_PTS]; NLDM_SLEW_PTS],
+    /// Output slew at each (slew, load) node, in ps.
+    pub slew_grid_ps: [[f64; NLDM_LOAD_PTS]; NLDM_SLEW_PTS],
+}
+
+impl NldmTable {
+    /// The all-zero table (placeholder storage; never evaluated).
+    pub const ZERO: NldmTable = NldmTable {
+        load_axis_ff: [0.0; NLDM_LOAD_PTS],
+        delay_grid_ps: [[0.0; NLDM_LOAD_PTS]; NLDM_SLEW_PTS],
+        slew_grid_ps: [[0.0; NLDM_LOAD_PTS]; NLDM_SLEW_PTS],
+    };
+
+    /// Clamped segment lookup on an ascending axis: the segment index and
+    /// the interpolation weight in `[0, 1]` within it.
+    fn segment(axis: &[f64], x: f64) -> (usize, f64) {
+        let last = axis.len() - 1;
+        if x <= axis[0] {
+            return (0, 0.0);
+        }
+        if x >= axis[last] {
+            return (last - 1, 1.0);
+        }
+        let mut i = 0;
+        while x > axis[i + 1] {
+            i += 1;
+        }
+        (i, (x - axis[i]) / (axis[i + 1] - axis[i]))
+    }
+
+    /// Clamped bilinear interpolation of one grid at (slew, load).
+    fn bilinear(
+        &self,
+        grid: &[[f64; NLDM_LOAD_PTS]; NLDM_SLEW_PTS],
+        slew_ps: f64,
+        load_ff: f64,
+    ) -> f64 {
+        let (i, ws) = Self::segment(&NLDM_SLEW_AXIS_PS, slew_ps);
+        let (j, wc) = Self::segment(&self.load_axis_ff, load_ff);
+        // Endpoint-exact lerp form: at a weight of exactly 0 or 1 the
+        // result is the grid node's bits, not a round-trip through a
+        // difference — queries on grid nodes replay characterization
+        // exactly.
+        let lo = (1.0 - wc) * grid[i][j] + wc * grid[i][j + 1];
+        let hi = (1.0 - wc) * grid[i + 1][j] + wc * grid[i + 1][j + 1];
+        (1.0 - ws) * lo + ws * hi
+    }
+
+    /// Arc delay at (input slew, output load), in ps. For sequential
+    /// cells this is the full clock-to-Q launch arc.
+    pub fn delay_ps(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        self.bilinear(&self.delay_grid_ps, slew_ps, load_ff)
+    }
+
+    /// Output slew at (input slew, output load), in ps.
+    pub fn output_slew_ps(&self, slew_ps: f64, load_ff: f64) -> f64 {
+        self.bilinear(&self.slew_grid_ps, slew_ps, load_ff)
+    }
+}
+
 /// Electrical timing view of one cell (possibly CD-annotated).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CellTiming {
@@ -33,6 +135,11 @@ pub struct CellTiming {
     pub leakage_ua: f64,
     /// Register arcs (`Some` only for sequential cells).
     pub sequential: Option<SequentialTiming>,
+    /// The cell's 2-D (input slew × output load) delay/slew table. For
+    /// sequential cells the delay grid is the full clock-to-Q launch arc;
+    /// for combinational cells it includes the intrinsic term, so the
+    /// table alone is the gate's lumped-load delay.
+    pub nldm: NldmTable,
 }
 
 impl CellTiming {
@@ -231,6 +338,14 @@ impl TimingLibrary {
                 setup_ps: stage,
             }
         });
+        let nldm = Self::build_nldm(
+            process,
+            input_cap,
+            output_cap,
+            intrinsic,
+            0.5 * (r_up + r_down),
+            &sequential,
+        );
         Ok(CellTiming {
             input_cap_ff: input_cap,
             pull_up_r_kohm: r_up,
@@ -239,7 +354,52 @@ impl TimingLibrary {
             output_cap_ff: output_cap,
             leakage_ua: leakage,
             sequential,
+            nldm,
         })
+    }
+
+    /// Characterizes the cell's 2-D NLDM table at every (slew, load) grid
+    /// node. The node model is the RC drive delay plus a slew-dependent
+    /// term: a slow input edge holds the gate in its transition region for
+    /// a fraction `Vth/Vdd` of the input slew, with the penalty saturating
+    /// once the output pole (load ≫ the cell's own capacitance) dominates.
+    /// Output slew is the 10–90% RC transition combined in quadrature with
+    /// the feed-through of the input edge — deliberately nonlinear in
+    /// (slew, load), so bilinear interpolation is a genuine approximation
+    /// and exact only at the grid nodes.
+    fn build_nldm(
+        process: &ProcessParams,
+        input_cap: f64,
+        output_cap: f64,
+        intrinsic: f64,
+        drive_r: f64,
+        sequential: &Option<SequentialTiming>,
+    ) -> NldmTable {
+        let launch_ps = match sequential {
+            Some(seq) => seq.clk_to_q_ps,
+            None => intrinsic,
+        };
+        // Load scale at which the slew penalty saturates: the cell's own
+        // capacitive footprint.
+        let c_char = input_cap + output_cap;
+        let vth_frac = 0.5 * (process.vth0_n + process.vth0_p) / process.vdd;
+        let mut load_axis_ff = [0.0; NLDM_LOAD_PTS];
+        for (j, mult) in NLDM_LOAD_MULT.iter().enumerate() {
+            load_axis_ff[j] = mult * input_cap;
+        }
+        let mut delay_grid_ps = [[0.0; NLDM_LOAD_PTS]; NLDM_SLEW_PTS];
+        let mut slew_grid_ps = [[0.0; NLDM_LOAD_PTS]; NLDM_SLEW_PTS];
+        for (i, &s) in NLDM_SLEW_AXIS_PS.iter().enumerate() {
+            for (j, &c) in load_axis_ff.iter().enumerate() {
+                delay_grid_ps[i][j] = launch_ps + drive_r * c + vth_frac * s * c / (c + c_char);
+                slew_grid_ps[i][j] = (SLEW_GAIN * drive_r * c).hypot(SLEW_FEEDTHROUGH * s);
+            }
+        }
+        NldmTable {
+            load_axis_ff,
+            delay_grid_ps,
+            slew_grid_ps,
+        }
     }
 }
 
@@ -505,5 +665,147 @@ mod tests {
         let lib = library();
         let inv = lib.drawn_timing(GateKind::Inv, Drive::X1);
         assert!(inv.pull_up_r_kohm > inv.pull_down_r_kohm);
+    }
+
+    #[test]
+    fn nldm_bilinear_is_exact_at_grid_nodes() {
+        let lib = library();
+        for kind in GateKind::ALL {
+            for drive in Drive::ALL {
+                let t = lib.drawn_timing(kind, drive);
+                for (i, &s) in NLDM_SLEW_AXIS_PS.iter().enumerate() {
+                    for (j, &c) in t.nldm.load_axis_ff.iter().enumerate() {
+                        assert_eq!(
+                            t.nldm.delay_ps(s, c),
+                            t.nldm.delay_grid_ps[i][j],
+                            "{kind}{drive} delay node ({i},{j})"
+                        );
+                        assert_eq!(
+                            t.nldm.output_slew_ps(s, c),
+                            t.nldm.slew_grid_ps[i][j],
+                            "{kind}{drive} slew node ({i},{j})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nldm_extrapolation_clamps_to_the_grid_edges() {
+        let lib = library();
+        let t = lib.drawn_timing(GateKind::Nand2, Drive::X1);
+        let s_min = NLDM_SLEW_AXIS_PS[0];
+        let s_max = NLDM_SLEW_AXIS_PS[NLDM_SLEW_PTS - 1];
+        let c_min = t.nldm.load_axis_ff[0];
+        let c_max = t.nldm.load_axis_ff[NLDM_LOAD_PTS - 1];
+        // Below/above the axes: identical to the edge query, never beyond
+        // the characterized corner values.
+        assert_eq!(
+            t.nldm.delay_ps(0.0, c_min * 0.01),
+            t.nldm.delay_ps(s_min, c_min)
+        );
+        assert_eq!(
+            t.nldm.delay_ps(s_max * 10.0, c_max * 10.0),
+            t.nldm.delay_grid_ps[NLDM_SLEW_PTS - 1][NLDM_LOAD_PTS - 1]
+        );
+        assert_eq!(
+            t.nldm.output_slew_ps(s_max * 10.0, c_max * 10.0),
+            t.nldm.slew_grid_ps[NLDM_SLEW_PTS - 1][NLDM_LOAD_PTS - 1]
+        );
+        // A wildly out-of-range query stays within the grid's value range.
+        let max_delay = t.nldm.delay_grid_ps[NLDM_SLEW_PTS - 1][NLDM_LOAD_PTS - 1];
+        assert!(t.nldm.delay_ps(1e6, 1e6) <= max_delay);
+    }
+
+    #[test]
+    fn nldm_delay_is_monotone_in_load_and_slew() {
+        let lib = library();
+        for kind in GateKind::ALL {
+            let t = lib.drawn_timing(kind, Drive::X2);
+            let c_lo = t.nldm.load_axis_ff[0];
+            let c_hi = t.nldm.load_axis_ff[NLDM_LOAD_PTS - 1];
+            // Delay monotone in load at fixed slew (21 loads across the
+            // grid, including off-node points).
+            for &s in &[NLDM_SLEW_AXIS_PS[0], 20.0, 100.0] {
+                let mut prev = f64::NEG_INFINITY;
+                for k in 0..=20 {
+                    let c = c_lo + (c_hi - c_lo) * (k as f64) / 20.0;
+                    let d = t.nldm.delay_ps(s, c);
+                    assert!(d >= prev, "{kind}: delay not monotone in load at s={s}");
+                    prev = d;
+                }
+            }
+            // And monotone in slew at fixed load.
+            for &c in &[c_lo, 0.5 * (c_lo + c_hi), c_hi] {
+                let mut prev = f64::NEG_INFINITY;
+                for k in 0..=20 {
+                    let s = NLDM_SLEW_AXIS_PS[0]
+                        + (NLDM_SLEW_AXIS_PS[NLDM_SLEW_PTS - 1] - NLDM_SLEW_AXIS_PS[0])
+                            * (k as f64)
+                            / 20.0;
+                    let d = t.nldm.delay_ps(s, c);
+                    assert!(d >= prev, "{kind}: delay not monotone in slew at c={c}");
+                    prev = d;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn nldm_tables_replay_bit_identically_through_the_cache() {
+        // The 2-D table is part of the cached CellTiming: a cache hit must
+        // replay every grid value bit for bit, not just the scalar fields.
+        let lib = library();
+        let mut cache = CharacterizationCache::new();
+        let mut records = lib.drawn_transistors(GateKind::Nor2, Drive::X4).to_vec();
+        for r in &mut records {
+            r.l_delay_nm = 86.75;
+            r.l_leakage_nm = 87.125;
+        }
+        let direct = lib
+            .annotated_timing(GateKind::Nor2, &records)
+            .expect("direct");
+        let miss = lib
+            .annotated_timing_cached(&mut cache, GateKind::Nor2, &records)
+            .expect("miss");
+        let hit = lib
+            .annotated_timing_cached(&mut cache, GateKind::Nor2, &records)
+            .expect("hit");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        for t in [&miss, &hit] {
+            assert_eq!(direct.nldm.load_axis_ff, t.nldm.load_axis_ff);
+            assert_eq!(direct.nldm.delay_grid_ps, t.nldm.delay_grid_ps);
+            assert_eq!(direct.nldm.slew_grid_ps, t.nldm.slew_grid_ps);
+        }
+        // The table responds to annotation: shorter channels drive harder,
+        // so every delay node of a faster ensemble is strictly smaller.
+        let drawn = lib.drawn_timing(GateKind::Nor2, Drive::X4);
+        for r in &mut records {
+            r.l_delay_nm = 80.0;
+        }
+        let fast = lib
+            .annotated_timing(GateKind::Nor2, &records)
+            .expect("fast");
+        for i in 0..NLDM_SLEW_PTS {
+            for j in 0..NLDM_LOAD_PTS {
+                assert!(fast.nldm.delay_grid_ps[i][j] < drawn.nldm.delay_grid_ps[i][j]);
+            }
+        }
+    }
+
+    #[test]
+    fn nldm_slew_dependence_is_visible_and_saturating() {
+        // A slower input edge must slow the gate down, and the penalty at
+        // heavy load must not exceed the full Vth/Vdd fraction of the
+        // extra slew (the node model saturates).
+        let lib = library();
+        let t = lib.drawn_timing(GateKind::Inv, Drive::X1);
+        let c = t.nldm.load_axis_ff[2];
+        let fast_edge = t.nldm.delay_ps(NLDM_SLEW_AXIS_PS[0], c);
+        let slow_edge = t.nldm.delay_ps(NLDM_SLEW_AXIS_PS[3], c);
+        let extra_slew = NLDM_SLEW_AXIS_PS[3] - NLDM_SLEW_AXIS_PS[0];
+        assert!(slow_edge > fast_edge + 1.0, "slew penalty too small");
+        assert!(slow_edge - fast_edge < extra_slew, "slew penalty too large");
     }
 }

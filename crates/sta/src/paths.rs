@@ -169,6 +169,33 @@ mod tests {
     }
 
     #[test]
+    fn paths_stay_exact_under_the_slew_aware_model() {
+        // The 2-D NLDM model evaluates each gate at its actual input slew,
+        // but a gate still contributes exactly one delay — so enumerated
+        // path arrivals must still equal the sum of their gate delays,
+        // drawn and annotated alike.
+        let design = Design::compile(
+            generate::ripple_carry_adder(3).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design");
+        let model = TimingModel::new(&design, ProcessParams::n90(), 800.0).expect("model");
+        let ann = crate::corners::corner_annotation(&model, 3.0);
+        let report = model.analyze(Some(&ann)).expect("analysis");
+        let paths = k_worst_paths(&report, &design, 10);
+        assert_eq!(paths.len(), 10);
+        for p in &paths {
+            let sum: f64 = p.gates.iter().map(|&g| report.gate_delay_ps(g)).sum();
+            assert!(
+                (sum - p.arrival_ps).abs() < 1e-6,
+                "annotated path arrival {} != gate-delay sum {}",
+                p.arrival_ps,
+                sum
+            );
+        }
+    }
+
+    #[test]
     fn worst_path_matches_per_endpoint_tracer() {
         let (design, report) = analyzed();
         let k_paths = k_worst_paths(&report, &design, 1);

@@ -12,6 +12,7 @@
 //! that the compiled engine is proven bit-identical to.
 
 use crate::annotate::{CdAnnotation, GateAnnotation, TransistorCd};
+use crate::compiled::CompiledSta;
 use crate::error::{Result, StaError};
 use crate::graph::TimingModel;
 use postopc_layout::GateId;
@@ -192,8 +193,27 @@ pub fn run(
     systematic: Option<&CdAnnotation>,
     config: &MonteCarloConfig,
 ) -> Result<MonteCarloResult> {
-    validate(config)?;
     let compiled = model.compile()?;
+    run_with(&compiled, systematic, config)
+}
+
+/// [`run`] against an existing compiled evaluator: flows that already
+/// hold a [`CompiledSta`] (drawn analysis, corner sweeps) share it
+/// instead of compiling a fresh one per Monte Carlo run. Workers still
+/// own per-thread scratches internally (via `par_map_init`), so no
+/// scratch is taken here.
+///
+/// # Errors
+///
+/// Returns [`StaError::InvalidMonteCarlo`] for zero samples or a negative
+/// sigma; propagates analysis errors.
+pub fn run_with(
+    compiled: &CompiledSta<'_>,
+    systematic: Option<&CdAnnotation>,
+    config: &MonteCarloConfig,
+) -> Result<MonteCarloResult> {
+    validate(config)?;
+    let model = compiled.model();
     let bases = base_records(model, systematic);
     let cells = compiled.sample_cells(&bases);
     let sample_indices: Vec<u64> = (0..config.samples as u64).collect();

@@ -1,27 +1,74 @@
 #!/usr/bin/env bash
-# Offline CI gate: formatting, lints, tier-1 build + tests.
+# Offline CI gate: formatting, lints, tier-1 build + tests, workspace
+# tests, perf smoke parity (across a thread matrix) and the
+# bench-regression gate against the committed BENCH_*.json artifacts.
 #
 # Everything here runs with no network access; the workspace has no
 # external dependencies (see DESIGN.md "Dependencies").
+#
+# Usage:
+#   scripts/check.sh            full gate (every stage below)
+#   scripts/check.sh --quick    inner loop: fmt + clippy + tier-1 only
+#
+# Stages (each prints its own wall time):
+#   fmt       cargo fmt --check
+#   clippy    cargo clippy --workspace --all-targets -- -D warnings
+#   build     tier-1: cargo build --release
+#   test      tier-1: cargo test -q
+#   wstest    cargo test --workspace -q
+#   smoke     perf_smoke parity gates (ambient thread count)
+#   threads   perf_smoke parity gates under POSTOPC_THREADS=1,2,4
+#   bench     perf_smoke --bench-regression vs committed BENCH_*.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "== cargo fmt --check"
-cargo fmt --check
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *)
+      echo "check.sh: unknown argument '$arg' (expected --quick)" >&2
+      exit 2
+      ;;
+  esac
+done
 
-echo "== cargo clippy (all targets, -D warnings)"
-cargo clippy --workspace --all-targets -- -D warnings
+# Runs one named stage, timing it. Any command failure aborts the script
+# (set -e), so a stage that prints its wall time has passed.
+stage() {
+  local name="$1"
+  shift
+  echo "== stage $name: $*"
+  local t0=$SECONDS
+  "$@"
+  echo "== stage $name passed in $((SECONDS - t0)) s"
+}
 
-echo "== tier-1: cargo build --release"
-cargo build --release
+stage fmt cargo fmt --check
+stage clippy cargo clippy --workspace --all-targets -- -D warnings
+stage build cargo build --release
+stage test cargo test -q
 
-echo "== tier-1: cargo test -q"
-cargo test -q
+if [[ "$QUICK" -eq 1 ]]; then
+  echo "check.sh: quick gates passed (fmt, clippy, tier-1 build + tests)"
+  exit 0
+fi
 
-echo "== workspace tests: cargo test --workspace -q"
-cargo test --workspace -q
+stage wstest cargo test --workspace -q
+stage smoke cargo run --release -p postopc-bench --bin perf_smoke
 
-echo "== perf smoke: pooled extraction parity + compiled/naive STA parity"
-cargo run --release -p postopc-bench --bin perf_smoke
+# Thread matrix: the parity gates re-run with the worker pool pinned to
+# 1, 2 and 4 threads, so par_map_costed / par_map_init determinism is
+# exercised off the single-thread fallback path too.
+thread_matrix() {
+  local t
+  for t in 1 2 4; do
+    echo "-- POSTOPC_THREADS=$t"
+    POSTOPC_THREADS="$t" cargo run --release -p postopc-bench --bin perf_smoke
+  done
+}
+stage threads thread_matrix
+
+stage bench cargo run --release -p postopc-bench --bin perf_smoke -- --bench-regression
 
 echo "check.sh: all gates passed"
