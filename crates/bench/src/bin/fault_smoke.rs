@@ -1,0 +1,198 @@
+//! Fault-injection smoke gate for the CI script (`scripts/check.sh`).
+//!
+//! Exercises the quarantine machinery end to end on a uniform inverter
+//! farm with the seeded in-tree injector, failing the process (exit 1)
+//! when any invariant breaks:
+//!
+//! 1. **Clean-run parity** — with no injected faults, a `Quarantine` run
+//!    must be bit-identical to a `Fail` run (the pre-quarantine flow),
+//!    wall-clock fields aside.
+//! 2. **Exact accounting** — an injected run completes under `Quarantine`
+//!    and quarantines *exactly* the gates the injector replay predicts,
+//!    with the right count surfaced in the stats.
+//! 3. **Thread invariance** — the same injected run is bit-identical
+//!    across 1, 2 and 4 worker threads (quarantine must not leak
+//!    scheduling into results).
+//! 4. **Budget enforcement** — the same run fails with
+//!    `QuarantineExceeded` once `max_fraction` drops below the injected
+//!    fraction.
+//! 5. **Fail aborts** — a typed-error injection under `FaultPolicy::Fail`
+//!    aborts the run instead of quarantining.
+
+use postopc::{
+    run_flow, FaultInjection, FaultPolicy, FlowConfig, FlowError, FlowReport, OpcMode, Selection,
+};
+use postopc_layout::{generate, Design, GateId, PlacementOptions, TechRules};
+
+/// Injector seed; any value works, this one injects all three kinds.
+const SEED: u64 = 23;
+
+/// Per-gate injection probability — high enough that a 96-gate farm sees
+/// several faults of every kind, low enough that the run stays a smoke.
+const RATE: f64 = 0.08;
+
+fn main() {
+    if gates() {
+        std::process::exit(1);
+    }
+}
+
+/// The farm every gate below runs on: dense, uniform, all gates tagged.
+fn farm() -> Design {
+    Design::compile_with(
+        generate::inverter_chain(96).expect("netlist"),
+        TechRules::n90(),
+        &PlacementOptions {
+            utilization: 1.0,
+            seed: 11,
+        },
+    )
+    .expect("design")
+}
+
+fn flow_config(policy: FaultPolicy, injection: Option<FaultInjection>) -> FlowConfig {
+    let mut cfg = FlowConfig::standard(800.0);
+    cfg.selection = Selection::All;
+    cfg.extraction.opc_mode = OpcMode::Rule;
+    cfg.extraction.fault_policy = policy;
+    cfg.extraction.fault_injection = injection;
+    cfg
+}
+
+/// Report equality modulo the wall-clock fields.
+fn reports_match(a: &FlowReport, b: &FlowReport) -> bool {
+    a.tags == b.tags
+        && a.extraction == b.extraction
+        && a.wire_stats == b.wire_stats
+        && a.annotation == b.annotation
+        && a.comparison == b.comparison
+}
+
+/// Runs `f` with panic output silenced (injected worker panics are part
+/// of the exercise; their backtraces are not).
+fn quiet<R>(f: impl FnOnce() -> R) -> R {
+    let prev = std::panic::take_hook();
+    std::panic::set_hook(Box::new(|_| {}));
+    let out = f();
+    std::panic::set_hook(prev);
+    out
+}
+
+fn gates() -> bool {
+    let design = farm();
+    let gate_count = design.netlist().gate_count();
+    let injection = FaultInjection::all(SEED, RATE);
+    // The injector is replayable: the exact quarantine set is known
+    // before the run.
+    let predicted: Vec<GateId> = (0..gate_count as u32)
+        .map(GateId)
+        .filter(|&g| injection.fault_for(g).is_some())
+        .collect();
+    println!(
+        "fault_smoke: {gate_count} gates, {} predicted faults at rate {RATE}",
+        predicted.len()
+    );
+    let mut failed = false;
+
+    // Gate 1: clean-run parity between the two policies.
+    let fail_clean = run_flow(&design, &flow_config(FaultPolicy::Fail, None)).expect("clean run");
+    let quarantine_clean = run_flow(
+        &design,
+        &flow_config(FaultPolicy::Quarantine { max_fraction: 1.0 }, None),
+    )
+    .expect("clean quarantine run");
+    if !reports_match(&fail_clean, &quarantine_clean) {
+        eprintln!("fault_smoke: FAIL - clean Quarantine run differs from Fail run");
+        failed = true;
+    }
+    if !quarantine_clean.quarantined().is_empty() {
+        eprintln!("fault_smoke: FAIL - clean run quarantined gates");
+        failed = true;
+    }
+
+    // Gate 2: injected run completes and accounts for every fault.
+    let quarantine = FaultPolicy::Quarantine { max_fraction: 1.0 };
+    let injected = quiet(|| run_flow(&design, &flow_config(quarantine, Some(injection))))
+        .expect("injected quarantine run");
+    let recorded: Vec<GateId> = injected.quarantined().iter().map(|q| q.gate).collect();
+    if recorded != predicted {
+        eprintln!(
+            "fault_smoke: FAIL - quarantined {recorded:?} but the injector predicts {predicted:?}"
+        );
+        failed = true;
+    }
+    if injected.extraction.gates_quarantined != predicted.len() {
+        eprintln!(
+            "fault_smoke: FAIL - stats count {} != predicted {}",
+            injected.extraction.gates_quarantined,
+            predicted.len()
+        );
+        failed = true;
+    }
+    if injected.quarantined().iter().any(|q| q.cause.is_empty()) {
+        eprintln!("fault_smoke: FAIL - quarantine record with an empty cause");
+        failed = true;
+    }
+    // Quarantined gates keep drawn dimensions: they carry no annotation.
+    if injected.annotation.gate_count() != injected.extraction.gates_extracted {
+        eprintln!("fault_smoke: FAIL - annotation count diverges from extracted count");
+        failed = true;
+    }
+
+    // Gate 3: bit-identical across the thread matrix.
+    for threads in [1usize, 2, 4] {
+        let mut cfg = flow_config(quarantine, Some(injection));
+        cfg.extraction.threads = Some(threads);
+        let run = quiet(|| run_flow(&design, &cfg)).expect("injected run in thread matrix");
+        if !reports_match(&run, &injected) {
+            eprintln!("fault_smoke: FAIL - injected run differs at {threads} thread(s)");
+            failed = true;
+        }
+    }
+
+    // Gate 4: the budget trips once the cap drops below the injected
+    // fraction.
+    let cap = (predicted.len() as f64 - 0.5) / gate_count as f64;
+    let capped = quiet(|| {
+        run_flow(
+            &design,
+            &flow_config(
+                FaultPolicy::Quarantine { max_fraction: cap },
+                Some(injection),
+            ),
+        )
+    });
+    match capped {
+        Err(FlowError::QuarantineExceeded {
+            quarantined, total, ..
+        }) if quarantined == predicted.len() && total == gate_count => {}
+        other => {
+            eprintln!(
+                "fault_smoke: FAIL - expected QuarantineExceeded past the cap, got {other:?}"
+            );
+            failed = true;
+        }
+    }
+
+    // Gate 5: a typed-error injection under Fail aborts the run (the
+    // pre-quarantine contract). Degenerate geometry only: a worker panic
+    // under Fail would tear down the process rather than return.
+    let typed_only = FaultInjection {
+        nan_cd: false,
+        worker_panic: false,
+        ..FaultInjection::all(SEED, 0.5)
+    };
+    if run_flow(&design, &flow_config(FaultPolicy::Fail, Some(typed_only))).is_ok() {
+        eprintln!("fault_smoke: FAIL - Fail policy swallowed an injected fault");
+        failed = true;
+    }
+
+    if !failed {
+        println!(
+            "fault_smoke: PASS - clean parity, exact accounting of {} faults, \
+             thread-invariant quarantine, budget + Fail aborts",
+            predicted.len()
+        );
+    }
+    failed
+}

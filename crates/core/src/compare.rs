@@ -132,8 +132,7 @@ impl TimingComparison {
         by_annotated.sort_by(|a, b| {
             self.annotated
                 .slack_ps(*a)
-                .partial_cmp(&self.annotated.slack_ps(*b))
-                .expect("finite slacks")
+                .total_cmp(&self.annotated.slack_ps(*b))
         });
         let annotated_rank: HashMap<NetId, usize> = by_annotated
             .iter()

@@ -21,6 +21,16 @@ pub enum FlowError {
     Geometry(postopc_geom::GeomError),
     /// A flow configuration value was out of range.
     InvalidConfig(String),
+    /// Quarantined gates exceeded the configured budget
+    /// ([`crate::FaultPolicy::Quarantine`]'s `max_fraction`).
+    QuarantineExceeded {
+        /// Gates quarantined during the run.
+        quarantined: usize,
+        /// Tagged gates submitted to extraction.
+        total: usize,
+        /// The configured budget the run overran.
+        max_fraction: f64,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -33,6 +43,15 @@ impl fmt::Display for FlowError {
             FlowError::Sta(e) => write!(f, "timing error: {e}"),
             FlowError::Geometry(e) => write!(f, "geometry error: {e}"),
             FlowError::InvalidConfig(reason) => write!(f, "invalid flow configuration: {reason}"),
+            FlowError::QuarantineExceeded {
+                quarantined,
+                total,
+                max_fraction,
+            } => write!(
+                f,
+                "quarantine budget exceeded: {quarantined} of {total} gates \
+                 quarantined (max fraction {max_fraction})"
+            ),
         }
     }
 }
@@ -47,6 +66,7 @@ impl Error for FlowError {
             FlowError::Sta(e) => Some(e),
             FlowError::Geometry(e) => Some(e),
             FlowError::InvalidConfig(_) => None,
+            FlowError::QuarantineExceeded { .. } => None,
         }
     }
 }

@@ -34,7 +34,8 @@
 //! keying, and simulation runs *at* the quantised conditions, so cache
 //! reuse under an [`AcrossChipMap`] is exact rather than approximate.
 
-use crate::error::Result;
+use crate::error::{FlowError, Result};
+use crate::fault::{FaultInjection, FaultPolicy, FaultStage, InjectedFault, QuarantinedGate};
 use crate::tags::TagSet;
 use postopc_cdex::{extract_gate, ExtractedGate, MeasureConfig};
 use postopc_device::{EquivalentGate, GateSlice, MosKind, ProcessParams};
@@ -84,6 +85,45 @@ impl AcrossChipMap {
             dose_amplitude: 0.02,
             period_nm: (die.width().max(die.height()) as f64) * 0.8,
         }
+    }
+
+    /// Validates the map's numeric fields (finite, in-band).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidConfig`] naming the offending field when an
+    /// amplitude or the period is non-finite or out of band.
+    pub fn validate(&self) -> Result<()> {
+        for (name, value) in [
+            ("focus_amplitude_nm", self.focus_amplitude_nm),
+            ("dose_amplitude", self.dose_amplitude),
+            ("period_nm", self.period_nm),
+        ] {
+            if !value.is_finite() {
+                return Err(FlowError::InvalidConfig(format!(
+                    "across-chip {name} must be finite, got {value}"
+                )));
+            }
+        }
+        if !(0.0..=500.0).contains(&self.focus_amplitude_nm) {
+            return Err(FlowError::InvalidConfig(format!(
+                "across-chip focus_amplitude_nm must be in [0, 500] nm, got {}",
+                self.focus_amplitude_nm
+            )));
+        }
+        if !(0.0..1.0).contains(&self.dose_amplitude) {
+            return Err(FlowError::InvalidConfig(format!(
+                "across-chip dose_amplitude must be in [0, 1), got {}",
+                self.dose_amplitude
+            )));
+        }
+        if self.period_nm <= 0.0 {
+            return Err(FlowError::InvalidConfig(format!(
+                "across-chip period_nm must be positive, got {}",
+                self.period_nm
+            )));
+        }
+        Ok(())
     }
 
     /// The local exposure conditions at a die position.
@@ -143,6 +183,16 @@ pub struct ExtractionConfig {
     /// Dose lattice pitch (relative dose) for across-chip quantisation;
     /// `0.0` disables it.
     pub dose_quantum: f64,
+    /// What to do when a per-gate fault (typed error or worker panic)
+    /// occurs. [`FaultPolicy::Fail`] (the default) aborts on the first
+    /// fault — bit-identical to the pre-quarantine engine;
+    /// [`FaultPolicy::Quarantine`] records the gate (it keeps drawn
+    /// dimensions) and keeps going.
+    pub fault_policy: FaultPolicy,
+    /// Optional deterministic fault injector — validation plumbing for the
+    /// quarantine machinery; `None` (the default) leaves the engine on its
+    /// normal path.
+    pub fault_injection: Option<FaultInjection>,
 }
 
 impl ExtractionConfig {
@@ -163,7 +213,32 @@ impl ExtractionConfig {
             cache: true,
             focus_quantum_nm: 0.5,
             dose_quantum: 5e-4,
+            fault_policy: FaultPolicy::Fail,
+            fault_injection: None,
         }
+    }
+
+    /// Validates the configuration's numeric fields ahead of a run.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::InvalidConfig`] for an out-of-band across-chip map,
+    /// quarantine budget or injection rate.
+    pub fn validate(&self) -> Result<()> {
+        if let Some(map) = &self.across_chip {
+            map.validate()?;
+        }
+        if let FaultPolicy::Quarantine { max_fraction } = self.fault_policy {
+            if !max_fraction.is_finite() || !(0.0..=1.0).contains(&max_fraction) {
+                return Err(FlowError::InvalidConfig(format!(
+                    "quarantine max_fraction must be in [0, 1], got {max_fraction}"
+                )));
+            }
+        }
+        if let Some(injection) = &self.fault_injection {
+            injection.validate()?;
+        }
+        Ok(())
     }
 
     /// The same configuration at different process conditions (for
@@ -202,6 +277,12 @@ pub struct ExtractionStats {
     pub cache_misses: usize,
     /// All per-transistor extraction records (input to CD statistics, T2).
     pub extracted: Vec<ExtractedGate>,
+    /// Gates quarantined under [`FaultPolicy::Quarantine`] (they keep
+    /// drawn dimensions, like measurement fallbacks). Always `0` under
+    /// [`FaultPolicy::Fail`].
+    pub gates_quarantined: usize,
+    /// Per-gate quarantine records, in `GateId` order.
+    pub quarantined: Vec<QuarantinedGate>,
 }
 
 impl ExtractionStats {
@@ -212,6 +293,16 @@ impl ExtractionStats {
             0.0
         } else {
             self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of submitted gates that were quarantined, in `[0, 1]`.
+    pub fn quarantine_fraction(&self) -> f64 {
+        let total = self.gates_extracted + self.gates_failed + self.gates_quarantined;
+        if total == 0 {
+            0.0
+        } else {
+            self.gates_quarantined as f64 / total as f64
         }
     }
 }
@@ -265,6 +356,34 @@ struct UniqueOutcome {
     sites: Option<Vec<(Vec<GateSlice>, EquivalentGate)>>,
 }
 
+/// Phase-2 result per distinct context, policy-resolved: under
+/// [`FaultPolicy::Fail`] a failing context carries its typed error (the
+/// merge aborts on the first one in `GateId` order, as before); under
+/// [`FaultPolicy::Quarantine`] it carries the rendered cause and the merge
+/// quarantines every member gate instead.
+enum UniqueResult {
+    Ok(UniqueOutcome),
+    Err(FlowError),
+    Fault(String),
+}
+
+/// First non-physical (non-finite or non-positive) dimension in a gate's
+/// merged CD records, if any — the extraction → STA boundary guard.
+fn invalid_cd(records: &[TransistorCd]) -> Option<(&'static str, f64)> {
+    for r in records {
+        for (field, value) in [
+            ("width_nm", r.width_nm),
+            ("l_delay_nm", r.l_delay_nm),
+            ("l_leakage_nm", r.l_leakage_nm),
+        ] {
+            if !value.is_finite() || value <= 0.0 {
+                return Some((field, value));
+            }
+        }
+    }
+    None
+}
+
 fn quantize(value: f64, quantum: f64) -> f64 {
     if quantum > 0.0 {
         (value / quantum).round() * quantum
@@ -280,14 +399,20 @@ fn quantize(value: f64, quantum: f64) -> f64 {
 ///
 /// # Errors
 ///
-/// Propagates simulation/OPC errors (the first in `GateId` order);
-/// per-gate measurement failures are recorded in the stats (the gate
-/// keeps drawn dimensions) rather than aborting the run.
+/// Under [`FaultPolicy::Fail`] (the default), propagates simulation/OPC
+/// errors (the first in `GateId` order) and rejects non-physical merged
+/// CDs with [`postopc_sta::StaError::InvalidCd`]. Under
+/// [`FaultPolicy::Quarantine`], per-gate faults are recorded in the stats
+/// instead (the gate keeps drawn dimensions) and only an overrun of the
+/// quarantine budget ([`FlowError::QuarantineExceeded`]) or an invalid
+/// configuration aborts the run. Per-gate *measurement* failures are
+/// recorded as `gates_failed` under either policy, as before.
 pub fn extract_gates(
     design: &Design,
     config: &ExtractionConfig,
     tags: &TagSet,
 ) -> Result<ExtractionOutcome> {
+    config.validate()?;
     // Group transistor sites by gate for quick lookup.
     let mut sites_by_gate: HashMap<GateId, Vec<usize>> = HashMap::new();
     for (i, site) in design.transistor_sites().iter().enumerate() {
@@ -295,28 +420,64 @@ pub fn extract_gates(
     }
     let gate_order = tags.sorted();
     let threads = postopc_parallel::effective_threads(config.threads);
+    let injection = config.fault_injection;
+    let injected_for = |gate: GateId| injection.and_then(|inj| inj.fault_for(gate));
 
-    // Phase 1: build each gate's canonical context key.
-    let works = postopc_parallel::try_par_map(threads, &gate_order, |_, &gate_id| {
-        build_gate_work(design, config, &sites_by_gate, gate_id)
-    })?;
+    // Phase 1: build each gate's canonical context key. Under `Quarantine`
+    // a faulting gate (typed error *or* worker panic) is set aside instead
+    // of aborting the run; the fault list comes back in input order, so
+    // the record is thread-count invariant.
+    let mut quarantined: Vec<QuarantinedGate> = Vec::new();
+    let work_fn = |_: usize, gate_id: &GateId| {
+        let injected = injected_for(*gate_id);
+        if injected == Some(InjectedFault::WorkerPanic) {
+            panic!(
+                "injected fault: worker panic while building gate {} context",
+                gate_id.0
+            );
+        }
+        build_gate_work(design, config, &sites_by_gate, *gate_id, injected)
+    };
+    let works: Vec<Option<GateWork>> = match config.fault_policy {
+        FaultPolicy::Fail => postopc_parallel::try_par_map(threads, &gate_order, work_fn)?
+            .into_iter()
+            .map(Some)
+            .collect(),
+        FaultPolicy::Quarantine { .. } => {
+            let (results, faults) =
+                postopc_parallel::try_par_map_quarantine(threads, &gate_order, "context", work_fn);
+            for fault in faults {
+                quarantined.push(QuarantinedGate {
+                    gate: gate_order[fault.item],
+                    stage: FaultStage::Context,
+                    cause: fault.cause.to_string(),
+                });
+            }
+            results
+        }
+    };
 
     // Deduplicate keys in gate order (first member of each distinct
     // context is its representative), then run each distinct context
-    // through the OPC → imaging → measurement pipeline.
+    // through the OPC → imaging → measurement pipeline. Quarantined gates
+    // have no key and join no context.
     let mut unique_index: HashMap<&ContextKey, usize> = HashMap::new();
     let mut unique_keys: Vec<&ContextKey> = Vec::new();
-    let mut membership: Vec<usize> = Vec::with_capacity(works.len());
+    let mut membership: Vec<Option<usize>> = Vec::with_capacity(works.len());
     for work in &works {
+        let Some(work) = work else {
+            membership.push(None);
+            continue;
+        };
         if config.cache {
             let next = unique_keys.len();
             let idx = *unique_index.entry(&work.key).or_insert_with(|| {
                 unique_keys.push(&work.key);
                 next
             });
-            membership.push(idx);
+            membership.push(Some(idx));
         } else {
-            membership.push(unique_keys.len());
+            membership.push(Some(unique_keys.len()));
             unique_keys.push(&work.key);
         }
     }
@@ -324,22 +485,61 @@ pub fn extract_gates(
     // pixel count (OPC iterations and measurement both ride on the same
     // raster), so the pool hands out chunks weighted by estimated pixels
     // instead of item counts.
-    let results = postopc_parallel::par_map_costed(
-        threads,
-        &unique_keys,
-        |_, key| window_pixel_cost(config, key),
-        |_, key| run_unique(config, key),
-    );
+    let results: Vec<UniqueResult> = match config.fault_policy {
+        FaultPolicy::Fail => postopc_parallel::par_map_costed(
+            threads,
+            &unique_keys,
+            |_, key| window_pixel_cost(config, key),
+            |_, key| run_unique(config, key),
+        )
+        .into_iter()
+        .map(|r| match r {
+            Ok(outcome) => UniqueResult::Ok(outcome),
+            Err(e) => UniqueResult::Err(e),
+        })
+        .collect(),
+        FaultPolicy::Quarantine { .. } => {
+            let (oks, faults) = postopc_parallel::try_par_map_quarantine_init(
+                threads,
+                &unique_keys,
+                "pipeline",
+                |_, key| window_pixel_cost(config, key),
+                || (),
+                |(), _, key| run_unique(config, key),
+            );
+            let mut out: Vec<Option<UniqueResult>> =
+                oks.into_iter().map(|o| o.map(UniqueResult::Ok)).collect();
+            for fault in faults {
+                out[fault.item] = Some(UniqueResult::Fault(fault.cause.to_string()));
+            }
+            out.into_iter()
+                .map(|o| o.unwrap_or_else(|| unreachable!("every context resolves or faults")))
+                .collect()
+        }
+    };
 
     // Phase 3: merge in gate order — deterministic regardless of which
     // worker computed which context.
     let mut annotation = CdAnnotation::new();
     let mut stats = ExtractionStats::default();
     let mut seen = vec![false; unique_keys.len()];
-    for (work, &uidx) in works.iter().zip(&membership) {
+    for ((work, uidx), &gate_id) in works.iter().zip(&membership).zip(&gate_order) {
+        let (Some(work), Some(uidx)) = (work.as_ref(), *uidx) else {
+            // Already quarantined in phase 1: the gate keeps drawn
+            // dimensions and contributes nothing to the annotation.
+            continue;
+        };
         let outcome = match &results[uidx] {
-            Ok(outcome) => outcome,
-            Err(e) => return Err(e.clone()),
+            UniqueResult::Ok(outcome) => outcome,
+            UniqueResult::Err(e) => return Err(e.clone()),
+            UniqueResult::Fault(cause) => {
+                quarantined.push(QuarantinedGate {
+                    gate: gate_id,
+                    stage: FaultStage::Pipeline,
+                    cause: cause.clone(),
+                });
+                continue;
+            }
         };
         if seen[uidx] {
             stats.cache_hits += 1;
@@ -360,6 +560,7 @@ pub fn extract_gates(
         let gate = design.netlist().gate(work.gate);
         let cell = design.library().cell(gate.kind, gate.drive);
         let mut records = Vec::with_capacity(per_site.len());
+        let mut extracted = Vec::with_capacity(per_site.len());
         for (&site_index, (slices, equivalent)) in work.site_indices.iter().zip(per_site) {
             let site = design.transistor_sites()[site_index];
             // Recover the logical input pin from the cell template.
@@ -376,12 +577,35 @@ pub fn extract_gates(
                 input_pin,
                 finger: site.finger,
             });
-            stats.extracted.push(ExtractedGate {
+            extracted.push(ExtractedGate {
                 site,
                 slices: slices.clone(),
                 equivalent: *equivalent,
             });
         }
+        if injected_for(gate_id) == Some(InjectedFault::NanCd) {
+            for r in &mut records {
+                r.l_delay_nm = f64::NAN;
+            }
+        }
+        // Boundary guard: non-physical CDs never cross into STA — they
+        // either abort the run or quarantine the gate here at the seam.
+        if let Some((field, value)) = invalid_cd(&records) {
+            match config.fault_policy {
+                FaultPolicy::Fail => {
+                    return Err(postopc_sta::StaError::InvalidCd { field, value }.into());
+                }
+                FaultPolicy::Quarantine { .. } => {
+                    quarantined.push(QuarantinedGate {
+                        gate: gate_id,
+                        stage: FaultStage::Boundary,
+                        cause: format!("non-physical {field} = {value}"),
+                    });
+                    continue;
+                }
+            }
+        }
+        stats.extracted.extend(extracted);
         annotation.set_gate(
             work.gate,
             GateAnnotation {
@@ -390,6 +614,23 @@ pub fn extract_gates(
         );
         stats.gates_extracted += 1;
     }
+
+    // Enforce the quarantine budget, then publish the records in `GateId`
+    // order (context faults arrive before merge-time ones; the sort is
+    // stable and each gate appears at most once).
+    stats.gates_quarantined = quarantined.len();
+    if let FaultPolicy::Quarantine { max_fraction } = config.fault_policy {
+        let total = gate_order.len();
+        if quarantined.len() as f64 > max_fraction * total as f64 {
+            return Err(FlowError::QuarantineExceeded {
+                quarantined: quarantined.len(),
+                total,
+                max_fraction,
+            });
+        }
+    }
+    quarantined.sort_by_key(|q| q.gate.0);
+    stats.quarantined = quarantined;
     Ok(ExtractionOutcome { annotation, stats })
 }
 
@@ -400,13 +641,13 @@ fn build_gate_work(
     config: &ExtractionConfig,
     sites_by_gate: &HashMap<GateId, Vec<usize>>,
     gate_id: GateId,
+    injected: Option<InjectedFault>,
 ) -> Result<GateWork> {
     let gate = design.netlist().gate(gate_id);
     let cell = design.library().cell(gate.kind, gate.drive);
-    let inst = design
-        .placement()
-        .instance(gate_id)
-        .expect("every netlist gate is placed");
+    let inst = design.placement().instance(gate_id).ok_or_else(|| {
+        FlowError::InvalidConfig(format!("gate {} has no placement instance", gate_id.0))
+    })?;
     // Target polygons: this instance's poly shapes in chip coordinates.
     let targets: Vec<Polygon> = cell
         .shapes_on(Layer::Poly)
@@ -416,8 +657,23 @@ fn build_gate_work(
         .iter()
         .map(|p| p.bbox())
         .reduce(|a, b| a.union_bbox(&b))
-        .expect("cells have poly")
+        .ok_or_else(|| {
+            FlowError::InvalidConfig(format!("cell of gate {} has no poly geometry", gate_id.0))
+        })?
         .expand(config.window_margin_nm)?;
+    let window = if injected == Some(InjectedFault::DegenerateGeometry) {
+        // Collapse the window to a point so the real degenerate-rect
+        // validation fires: the fault surfaces as a genuine geometry
+        // error, not a synthetic one.
+        Rect::new(
+            window.left(),
+            window.bottom(),
+            window.left(),
+            window.bottom(),
+        )?
+    } else {
+        window
+    };
     // Context: every other poly shape within the optical ambit.
     let search = window.expand(config.context_ambit_nm)?;
     let target_set: std::collections::HashSet<&Polygon> = targets.iter().collect();

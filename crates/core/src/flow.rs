@@ -14,6 +14,7 @@
 use crate::compare::TimingComparison;
 use crate::error::Result;
 use crate::extract::{extract_gates, ExtractionConfig, ExtractionStats};
+use crate::fault::FaultPolicy;
 use crate::multilayer::{extract_wires, WireExtractionConfig, WireExtractionStats};
 use crate::tags::TagSet;
 use postopc_device::ProcessParams;
@@ -64,6 +65,15 @@ impl FlowConfig {
             process: ProcessParams::n90(),
         }
     }
+
+    /// The same flow under a different [`FaultPolicy`] — full-chip runs
+    /// typically want `Quarantine` so one degenerate gate cannot abort a
+    /// multi-minute analysis.
+    #[must_use]
+    pub fn with_fault_policy(mut self, policy: FaultPolicy) -> FlowConfig {
+        self.extraction.fault_policy = policy;
+        self
+    }
 }
 
 /// The complete result of one flow run.
@@ -83,6 +93,15 @@ pub struct FlowReport {
     pub extraction_time: Duration,
     /// Wall-clock time of the two timing runs.
     pub timing_time: Duration,
+}
+
+impl FlowReport {
+    /// Gates quarantined during extraction, in `GateId` order (empty under
+    /// [`FaultPolicy::Fail`] or a clean run).
+    #[must_use]
+    pub fn quarantined(&self) -> &[crate::fault::QuarantinedGate] {
+        &self.extraction.quarantined
+    }
 }
 
 /// Runs the complete post-OPC timing flow on a compiled design.

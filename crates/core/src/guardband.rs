@@ -80,7 +80,7 @@ impl GuardbandAnalysis {
             }],
         )?
         .pop()
-        .expect("one corner in, one report out");
+        .unwrap_or_else(|| unreachable!("one corner in, one report out"));
         let mc = statistical::run_with(&compiled, Some(extracted), &config.monte_carlo)?;
         let statistical_delay =
             model.clock_ps() - mc.worst_slack_quantile_ps(1.0 - config.percentile);

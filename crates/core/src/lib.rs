@@ -43,6 +43,7 @@ mod compare;
 pub mod dfm;
 mod error;
 mod extract;
+mod fault;
 mod flow;
 pub mod guardband;
 mod multilayer;
@@ -54,6 +55,7 @@ pub use error::{FlowError, Result};
 pub use extract::{
     extract_gates, AcrossChipMap, ExtractionConfig, ExtractionOutcome, ExtractionStats, OpcMode,
 };
+pub use fault::{FaultInjection, FaultPolicy, FaultStage, InjectedFault, QuarantinedGate};
 pub use flow::{run_flow, FlowConfig, FlowReport, Selection};
 pub use multilayer::{extract_wires, WireExtractionConfig, WireExtractionStats};
 pub use tags::TagSet;

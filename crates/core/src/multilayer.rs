@@ -85,7 +85,7 @@ pub fn extract_wires(
                 continue;
             }
             let seg_len = seg.rect.width().max(seg.rect.height());
-            let window = measurement_window(seg.rect, config.max_window_len);
+            let window = measurement_window(seg.rect, config.max_window_len)?;
             let search = window.expand(config.context_ambit_nm)?;
             let mask: Vec<postopc_geom::Polygon> = design
                 .shapes_in_window(Layer::Metal1, search)
@@ -124,7 +124,7 @@ pub fn extract_wires(
 }
 
 /// A measurement window over (at most the central `max_len` of) a segment.
-fn measurement_window(segment: Rect, max_len: Coord) -> Rect {
+fn measurement_window(segment: Rect, max_len: Coord) -> Result<Rect> {
     let horizontal = segment.width() >= segment.height();
     let len = if horizontal {
         segment.width()
@@ -132,26 +132,25 @@ fn measurement_window(segment: Rect, max_len: Coord) -> Rect {
         segment.height()
     };
     if len <= max_len {
-        return segment;
+        return Ok(segment);
     }
     let c = segment.center();
-    if horizontal {
+    let window = if horizontal {
         Rect::new(
             c.x - max_len / 2,
             segment.bottom(),
             c.x + max_len / 2,
             segment.top(),
-        )
-        .expect("sub-window of a valid segment")
+        )?
     } else {
         Rect::new(
             segment.left(),
             c.y - max_len / 2,
             segment.right(),
             c.y + max_len / 2,
-        )
-        .expect("sub-window of a valid segment")
-    }
+        )?
+    };
+    Ok(window)
 }
 
 #[cfg(test)]
@@ -190,11 +189,11 @@ mod tests {
     #[test]
     fn window_clipping_bounds_cost() {
         let long = Rect::new(0, 0, 100_000, 120).expect("rect");
-        let w = measurement_window(long, 4_000);
+        let w = measurement_window(long, 4_000).expect("window");
         assert_eq!(w.width(), 4_000);
         assert_eq!(w.height(), 120);
         let short = Rect::new(0, 0, 1_000, 120).expect("rect");
-        assert_eq!(measurement_window(short, 4_000), short);
+        assert_eq!(measurement_window(short, 4_000).expect("window"), short);
     }
 
     #[test]

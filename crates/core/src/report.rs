@@ -64,6 +64,7 @@ pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
     let rows = vec![vec![
         format!("{}", stats.gates_extracted),
         format!("{}", stats.gates_failed),
+        format!("{}", stats.gates_quarantined),
         format!("{}", stats.windows),
         format!("{}", stats.opc_simulations),
         format!("{}", stats.cache_hits),
@@ -75,12 +76,48 @@ pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
         &[
             "extracted",
             "failed",
+            "quarantined",
             "windows",
             "opc sims",
             "cache hits",
             "cache misses",
             "hit rate",
         ],
+        &rows,
+    )
+}
+
+/// Renders the per-gate quarantine diagnostics: which gates were set
+/// aside (keeping drawn dimensions), at which pipeline stage, and why.
+/// Empty input renders a headers-only table, so the section is safe to
+/// print unconditionally.
+///
+/// ```
+/// use postopc::report::render_quarantine;
+/// use postopc::{FaultStage, QuarantinedGate};
+/// use postopc_layout::GateId;
+/// let t = render_quarantine(&[QuarantinedGate {
+///     gate: GateId(7),
+///     stage: FaultStage::Boundary,
+///     cause: "non-physical l_delay_nm = NaN".into(),
+/// }]);
+/// assert!(t.contains("boundary"));
+/// assert!(t.contains("NaN"));
+/// ```
+pub fn render_quarantine(quarantined: &[crate::QuarantinedGate]) -> String {
+    let rows: Vec<Vec<String>> = quarantined
+        .iter()
+        .map(|q| {
+            vec![
+                format!("{}", q.gate.0),
+                q.stage.to_string(),
+                q.cause.clone(),
+            ]
+        })
+        .collect();
+    render_table(
+        "quarantined gates (kept drawn dimensions)",
+        &["gate", "stage", "cause"],
         &rows,
     )
 }
@@ -94,8 +131,7 @@ pub fn render_path_comparison(design: &Design, comparison: &TimingComparison) ->
             comparison
                 .annotated
                 .slack_ps(*a)
-                .partial_cmp(&comparison.annotated.slack_ps(*b))
-                .expect("finite slacks")
+                .total_cmp(&comparison.annotated.slack_ps(*b))
         });
         endpoints
             .into_iter()

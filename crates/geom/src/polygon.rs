@@ -86,8 +86,7 @@ impl Polygon {
             .iter()
             .enumerate()
             .min_by_key(|&(_, p)| *p)
-            .map(|(i, _)| i)
-            .expect("non-empty vertex list");
+            .map_or(0, |(i, _)| i);
         vertices.rotate_left(first);
         Ok(Polygon { vertices })
     }
@@ -137,7 +136,8 @@ impl Polygon {
             max = max.max(v);
         }
         // Invariant: non-zero area implies non-degenerate bbox.
-        Rect::from_points(min, max).expect("non-degenerate polygon bbox")
+        Rect::from_points(min, max)
+            .unwrap_or_else(|_| unreachable!("non-zero polygon area implies a valid bbox"))
     }
 
     /// Even-odd containment with the half-open convention: a point on the
@@ -232,10 +232,9 @@ impl Polygon {
             let mut out: Vec<Point> = Vec::with_capacity(n);
             let mut i = 0;
             while i < n {
-                let prev = if out.is_empty() {
-                    v[(i + n - 1) % n]
-                } else {
-                    *out.last().expect("non-empty")
+                let prev = match out.last() {
+                    Some(&p) => p,
+                    None => v[(i + n - 1) % n],
                 };
                 let cur = v[i];
                 let next = v[(i + 1) % n];

@@ -117,14 +117,16 @@ impl Transform {
         let a = self.apply(r.min());
         let b = self.apply(r.max());
         // Orientation permutes corners but preserves non-degeneracy.
-        Rect::from_points(a, b).expect("transform preserves rect validity")
+        Rect::from_points(a, b)
+            .unwrap_or_else(|_| unreachable!("Manhattan transforms preserve rect validity"))
     }
 
     /// Applies the transform to a polygon (winding is re-normalized).
     pub fn apply_polygon(&self, poly: &Polygon) -> Polygon {
         let vertices = poly.vertices().iter().map(|&v| self.apply(v)).collect();
         // Axis-parallelism and area are preserved by Manhattan transforms.
-        Polygon::new(vertices).expect("transform preserves polygon validity")
+        Polygon::new(vertices)
+            .unwrap_or_else(|_| unreachable!("Manhattan transforms preserve polygon validity"))
     }
 }
 

@@ -104,6 +104,8 @@ pub fn run_drc(design: &Design, rules: &DrcRules) -> Vec<DrcViolation> {
         let mut reported: std::collections::HashSet<(usize, usize)> =
             std::collections::HashSet::new();
         for (i, p) in shapes.iter().enumerate() {
+            // Expansion by a positive limit cannot degenerate a bbox.
+            #[allow(clippy::expect_used)]
             let search = p
                 .bbox()
                 .expand(limit)

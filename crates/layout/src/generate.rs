@@ -99,6 +99,8 @@ pub fn array_multiplier(bits: usize) -> Result<Netlist> {
             pp[i][j] = Some(o);
         }
     }
+    // The loops above fill every slot, so indexing never sees a `None`.
+    #[allow(clippy::expect_used)]
     let pp = |i: usize, j: usize| pp[i][j].expect("all partial products built");
     // Row-by-row carry-save reduction.
     let zero = b.input("zero"); // tie-low pseudo-input

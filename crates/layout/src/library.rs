@@ -51,6 +51,7 @@ impl CellLibrary {
     ///
     /// Never in practice: the library is generated over all
     /// `(GateKind, Drive)` combinations at construction.
+    #[allow(clippy::expect_used)] // construction enumerates every combination
     pub fn cell(&self, kind: GateKind, drive: Drive) -> &CellLayout {
         self.cells
             .get(&(kind, drive))

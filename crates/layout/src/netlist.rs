@@ -411,10 +411,9 @@ impl NetlistBuilder {
             }
         }
         if topo.len() != self.gates.len() {
-            let stuck = indegree
-                .iter()
-                .position(|&d| d > 0)
-                .expect("cycle implies a stuck gate");
+            // An incomplete topological order implies at least one gate
+            // still has unresolved predecessors; 0 is a defensive fallback.
+            let stuck = indegree.iter().position(|&d| d > 0).unwrap_or(0);
             return Err(LayoutError::CombinationalLoop {
                 gate: self.gates[stuck].name.clone(),
             });

@@ -6,7 +6,7 @@
 //! (b) printed metal shapes for the paper's multi-layer extraction
 //! extension.
 
-use crate::error::Result;
+use crate::error::{LayoutError, Result};
 use crate::layer::Layer;
 use crate::library::CellLibrary;
 use crate::netlist::{NetId, Netlist};
@@ -58,7 +58,10 @@ impl Routing {
             let net = NetId(net_index as u32);
             let driver_pos = match netlist.driver(net) {
                 Some(gid) => {
-                    let inst = placement.instance(gid).expect("every gate is placed");
+                    let inst = placement.instance(gid).ok_or(LayoutError::UnknownId {
+                        kind: "gate",
+                        index: gid.0 as usize,
+                    })?;
                     let cell = library.cell(netlist.gate(gid).kind, netlist.gate(gid).drive);
                     inst.transform.apply(cell.output_pin())
                 }
@@ -69,7 +72,12 @@ impl Routing {
             let mut length = 0.0;
             for sink_gate in netlist.sinks(net) {
                 let g = netlist.gate(sink_gate);
-                let inst = placement.instance(sink_gate).expect("every gate is placed");
+                let inst = placement
+                    .instance(sink_gate)
+                    .ok_or(LayoutError::UnknownId {
+                        kind: "gate",
+                        index: sink_gate.0 as usize,
+                    })?;
                 let cell = library.cell(g.kind, g.drive);
                 for (pin_index, &input) in g.inputs.iter().enumerate() {
                     if input != net {

@@ -233,6 +233,8 @@ impl CellLayout {
 
     /// Cell bounding box (origin at the lower-left corner).
     pub fn bbox(&self) -> Rect {
+        // Cell constructors reject non-positive extents.
+        #[allow(clippy::expect_used)]
         Rect::new(0, 0, self.width, self.height).expect("cells have positive extent")
     }
 

@@ -101,12 +101,7 @@ fn quadratic_least_squares(samples: &[(f64, f64)]) -> Option<(f64, f64, f64)> {
 /// pivoting; `None` if singular.
 fn solve3(mut m: [[f64; 3]; 3], mut rhs: [f64; 3]) -> Option<(f64, f64, f64)> {
     for col in 0..3 {
-        let pivot = (col..3).max_by(|&a, &b| {
-            m[a][col]
-                .abs()
-                .partial_cmp(&m[b][col].abs())
-                .expect("finite matrix")
-        })?;
+        let pivot = (col..3).max_by(|&a, &b| m[a][col].abs().total_cmp(&m[b][col].abs()))?;
         if m[pivot][col].abs() < 1e-12 {
             return None;
         }

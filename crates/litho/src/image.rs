@@ -122,6 +122,7 @@ impl AerialImage {
         window: Rect,
     ) -> Result<AerialImage> {
         spec.optics.validate()?;
+        spec.conditions.validate()?;
         let stack = spec.kernel_stack();
         let margin = stack.ambit_nm().ceil() as i64;
         let base = workspace.base_grid(window, margin, spec.pixel_nm)?;
@@ -135,7 +136,9 @@ impl AerialImage {
             scratch,
             taps,
         } = workspace;
-        let base = base.as_ref().expect("base grid just built");
+        let Some(base) = base.as_ref() else {
+            unreachable!("base grid built by base_grid() above");
+        };
         let mut intensity = vec![0.0; base.len()];
         for kernel in stack.kernels() {
             let kernel_taps = taps.taps(kernel, spec.pixel_nm);

@@ -164,7 +164,7 @@ impl TapCache {
             key,
             taps: KernelStack::discretize(kernel, pixel_nm),
         });
-        &self.entries.last().expect("entry just pushed").taps
+        &self.entries[self.entries.len() - 1].taps
     }
 
     /// Number of distinct conditions currently cached.

@@ -124,6 +124,30 @@ impl ProcessConditions {
             dose: 1.0,
         }
     }
+
+    /// Validates the conditions (finite, in-band), mirroring
+    /// [`OpticsParams::validate`]. The bands are deliberately generous —
+    /// ±5 µm defocus and (0, 10] relative dose cover any plausible sweep —
+    /// so this rejects corruption (NaN, ∞, negated dose), not exploration.
+    ///
+    /// # Errors
+    ///
+    /// [`LithoError::InvalidOptics`] naming the offending field.
+    pub fn validate(&self) -> Result<()> {
+        if !self.focus_nm.is_finite() || self.focus_nm.abs() > 5000.0 {
+            return Err(LithoError::InvalidOptics {
+                name: "focus_nm",
+                value: self.focus_nm,
+            });
+        }
+        if !(self.dose.is_finite() && self.dose > 0.0 && self.dose <= 10.0) {
+            return Err(LithoError::InvalidOptics {
+                name: "dose",
+                value: self.dose,
+            });
+        }
+        Ok(())
+    }
 }
 
 impl Default for ProcessConditions {
@@ -139,6 +163,33 @@ mod tests {
     #[test]
     fn default_optics_validate() {
         OpticsParams::default().validate().expect("valid defaults");
+    }
+
+    #[test]
+    fn conditions_validation_rejects_out_of_band() {
+        ProcessConditions::nominal()
+            .validate()
+            .expect("nominal is valid");
+        for bad in [
+            ProcessConditions {
+                focus_nm: f64::NAN,
+                dose: 1.0,
+            },
+            ProcessConditions {
+                focus_nm: 1e6,
+                dose: 1.0,
+            },
+            ProcessConditions {
+                focus_nm: 0.0,
+                dose: 0.0,
+            },
+            ProcessConditions {
+                focus_nm: 0.0,
+                dose: f64::INFINITY,
+            },
+        ] {
+            assert!(bad.validate().is_err(), "{bad:?} should be rejected");
+        }
     }
 
     #[test]

@@ -43,10 +43,17 @@ impl SimWorkspace {
     /// `margin` at `pixel` nm, reusing the previous allocation.
     pub(crate) fn base_grid(&mut self, window: Rect, margin: i64, pixel: f64) -> Result<&mut Grid> {
         match &mut self.base {
-            Some(grid) => grid.reset(window, margin, pixel)?,
-            None => self.base = Some(Grid::new(window, margin, pixel)?),
+            Some(grid) => {
+                grid.reset(window, margin, pixel)?;
+            }
+            None => {
+                self.base = Some(Grid::new(window, margin, pixel)?);
+            }
         }
-        Ok(self.base.as_mut().expect("base grid just ensured"))
+        match &mut self.base {
+            Some(grid) => Ok(grid),
+            None => unreachable!("base grid just ensured"),
+        }
     }
 }
 

@@ -164,6 +164,8 @@ impl FragmentedPolygon {
         let fragments: Vec<FragmentInfo> = polygon
             .edges()
             .map(|e| {
+                // The loop above registers every edge of every fragment.
+                #[allow(clippy::expect_used)]
                 *by_endpoints
                     .get(&(e.start, e.end))
                     .expect("every polygon edge originates from exactly one fragment")

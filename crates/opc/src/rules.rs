@@ -131,6 +131,8 @@ fn facing_space(
     let mut d = STEP;
     while d <= config.space_search {
         let probe = control + outward * d;
+        // A positive constant extent cannot produce a degenerate window.
+        #[allow(clippy::expect_used)]
         let window = postopc_geom::Rect::centered(probe, 2 * STEP, 2 * STEP)
             .expect("probe window is non-degenerate");
         for (_, &pi) in index.query(window) {

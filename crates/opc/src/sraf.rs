@@ -96,6 +96,8 @@ fn edge_is_isolated(
         let mut d = STEP;
         while d <= min_space {
             let probe = base + edge.outward_normal() * d;
+            // A positive constant extent cannot produce a degenerate window.
+            #[allow(clippy::expect_used)]
             let window =
                 Rect::centered(probe, 2 * STEP, 2 * STEP).expect("probe window is non-degenerate");
             for (_, &pi) in index.query(window) {

@@ -244,7 +244,8 @@ where
     }
     slots
         .into_iter()
-        .map(|s| s.expect("every index visited exactly once"))
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| unreachable!("index {i} visited exactly once")))
         .collect()
 }
 
@@ -267,6 +268,126 @@ where
         out.push(r?);
     }
     Ok(out)
+}
+
+/// Why a work item was quarantined by [`try_par_map_quarantine`] /
+/// [`try_par_map_quarantine_init`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultCause<E> {
+    /// The mapper returned a typed error.
+    Error(E),
+    /// The mapper panicked; the payload rendered to text.
+    Panic(String),
+}
+
+impl<E: std::fmt::Display> std::fmt::Display for FaultCause<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultCause::Error(e) => write!(f, "{e}"),
+            FaultCause::Panic(p) => write!(f, "panic: {p}"),
+        }
+    }
+}
+
+/// One quarantined work item: its input index, the caller-supplied stage
+/// label, and what went wrong.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultRecord<E> {
+    /// Index of the item in the input slice.
+    pub item: usize,
+    /// Pipeline stage label supplied by the caller.
+    pub stage: &'static str,
+    /// What went wrong: a typed error or a captured panic.
+    pub cause: FaultCause<E>,
+}
+
+/// Renders a caught panic payload as text (the common `&str` / `String`
+/// payloads verbatim, anything else a placeholder).
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+/// [`try_par_map`] that **quarantines** failures instead of aborting: each
+/// item runs under [`std::panic::catch_unwind`], and both typed errors and
+/// panics become per-item [`FaultRecord`]s while every other item completes
+/// normally.
+///
+/// Returns `(results, faults)`: `results[i]` is `Some` iff item `i`
+/// succeeded, and `faults` lists the failed items in **input order** with
+/// the caller's `stage` label attached. Scheduling is identical to
+/// [`par_map`], so output (including the fault list) is bit-identical to a
+/// serial run for any thread count.
+#[must_use = "quarantined faults must be inspected or re-raised by the caller"]
+pub fn try_par_map_quarantine<T, R, E, F>(
+    threads: usize,
+    items: &[T],
+    stage: &'static str,
+    f: F,
+) -> (Vec<Option<R>>, Vec<FaultRecord<E>>)
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    F: Fn(usize, &T) -> Result<R, E> + Sync,
+{
+    try_par_map_quarantine_init(threads, items, stage, |_, _| 1, || (), |(), i, t| f(i, t))
+}
+
+/// [`try_par_map_quarantine`] with cost-aware chunked scheduling (see
+/// [`par_map_costed`]) and per-worker reusable state (see [`par_map_init`]).
+///
+/// A panicking item may leave the worker's state torn mid-update, so the
+/// state is rebuilt with `init` before the worker touches its next item —
+/// callers whose results are state-independent (the pool contract) keep
+/// bit-identical output across thread counts even with faults present.
+#[must_use = "quarantined faults must be inspected or re-raised by the caller"]
+pub fn try_par_map_quarantine_init<T, R, E, S, C, I, F>(
+    threads: usize,
+    items: &[T],
+    stage: &'static str,
+    cost: C,
+    init: I,
+    f: F,
+) -> (Vec<Option<R>>, Vec<FaultRecord<E>>)
+where
+    T: Sync,
+    R: Send,
+    E: Send,
+    C: Fn(usize, &T) -> u64,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> Result<R, E> + Sync,
+{
+    let caught: Vec<Result<R, FaultCause<E>>> =
+        par_map_chunked(threads, items, cost, &init, |state, i, t| {
+            // AssertUnwindSafe: on panic the possibly-torn state is thrown
+            // away and rebuilt below, and the item's result slot becomes a
+            // fault record, so no broken invariant escapes the pool.
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(state, i, t))) {
+                Ok(r) => r.map_err(FaultCause::Error),
+                Err(payload) => {
+                    *state = init();
+                    Err(FaultCause::Panic(panic_text(payload.as_ref())))
+                }
+            }
+        });
+    let mut results = Vec::with_capacity(items.len());
+    let mut faults = Vec::new();
+    for (item, r) in caught.into_iter().enumerate() {
+        match r {
+            Ok(r) => results.push(Some(r)),
+            Err(cause) => {
+                results.push(None);
+                faults.push(FaultRecord { item, stage, cause });
+            }
+        }
+    }
+    (results, faults)
 }
 
 #[cfg(test)]
@@ -532,5 +653,173 @@ mod tests {
             })
         });
         assert!(result.is_err());
+    }
+
+    #[test]
+    fn try_map_error_order_is_thread_count_invariant() {
+        // Satellite gate: the "first error in input order" contract holds
+        // across the CI thread matrix, not just at one ambient count.
+        let items: Vec<usize> = (0..80).collect();
+        for threads in [1, 2, 4] {
+            let err = try_par_map(
+                threads,
+                &items,
+                |_, &x| {
+                    if x % 9 == 4 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, 4, "threads = {threads}");
+            let err = try_par_map_init(
+                threads,
+                &items,
+                || 0u64,
+                |acc, _, &x| {
+                    *acc += x as u64; // accumulating state must not affect selection
+                    if x % 9 == 4 {
+                        Err(x)
+                    } else {
+                        Ok(x)
+                    }
+                },
+            )
+            .unwrap_err();
+            assert_eq!(err, 4, "threads = {threads} (init)");
+        }
+    }
+
+    #[test]
+    fn quarantine_captures_errors_and_panics_in_input_order() {
+        let items: Vec<usize> = (0..120).collect();
+        let run = |threads: usize| {
+            try_par_map_quarantine::<_, _, String, _>(threads, &items, "unit", |_, &x| {
+                if x % 31 == 5 {
+                    panic!("injected panic at {x}");
+                }
+                if x % 17 == 3 {
+                    return Err(format!("typed error at {x}"));
+                }
+                Ok(x * 2)
+            })
+        };
+        let (results, faults) = run(4);
+        assert_eq!(results.len(), items.len());
+        for (i, r) in results.iter().enumerate() {
+            let bad = i % 31 == 5 || i % 17 == 3;
+            assert_eq!(r.is_none(), bad, "item {i}");
+            if let Some(v) = r {
+                assert_eq!(*v, i * 2);
+            }
+        }
+        // Faults listed in strictly increasing input order, stage attached.
+        assert!(faults.windows(2).all(|w| w[0].item < w[1].item));
+        assert!(faults.iter().all(|f| f.stage == "unit"));
+        let panic_fault = faults
+            .iter()
+            .find(|f| f.item == 5)
+            .expect("item 5 panicked");
+        assert_eq!(
+            panic_fault.cause,
+            FaultCause::Panic("injected panic at 5".to_string())
+        );
+        let err_fault = faults.iter().find(|f| f.item == 3).expect("item 3 errored");
+        assert_eq!(
+            err_fault.cause,
+            FaultCause::Error("typed error at 3".to_string())
+        );
+        // Bit-identical (results and faults) across the thread matrix.
+        for threads in [1, 2, 4, 8] {
+            assert_eq!(
+                run(threads),
+                (results.clone(), faults.clone()),
+                "threads = {threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn quarantine_reinitializes_state_after_panic() {
+        // A panicking item leaves its worker's state torn; the pool must
+        // rebuild it before the next item. On one thread every item shares
+        // the worker, so the init count directly observes the rebuild.
+        let items: Vec<usize> = (0..10).collect();
+        let inits = AtomicUsize::new(0);
+        let (results, faults) = try_par_map_quarantine_init::<_, _, (), _, _, _, _>(
+            1,
+            &items,
+            "unit",
+            |_, _| 1,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<usize>::new()
+            },
+            |buf, _, &x| {
+                buf.push(x); // torn on panic: never cleaned up below
+                if x == 3 {
+                    panic!("boom");
+                }
+                let len = buf.len();
+                buf.clear();
+                Ok(x + usize::from(len > 1)) // state leak would show here
+            },
+        );
+        // Initial init + one rebuild after the item-3 panic.
+        assert_eq!(inits.load(Ordering::Relaxed), 2);
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].item, 3);
+        for (i, r) in results.iter().enumerate() {
+            if i == 3 {
+                assert!(r.is_none());
+            } else {
+                // The rebuilt state is empty, so no item ever sees a
+                // leftover entry and the +1 branch never fires.
+                assert_eq!(*r, Some(i), "item {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn quarantine_costed_matches_thread_matrix() {
+        // The costed/init twin under skewed costs stays bit-identical
+        // across thread counts, faults included.
+        let items: Vec<u64> = (0..200).collect();
+        let run = |threads: usize| {
+            try_par_map_quarantine_init::<_, _, u64, _, _, _, _>(
+                threads,
+                &items,
+                "costed",
+                |i, _| if i % 13 == 0 { 5_000 } else { 1 },
+                || 0u64,
+                |scratch, _, &x| {
+                    *scratch = scratch.wrapping_add(x);
+                    if x % 41 == 7 {
+                        return Err(x);
+                    }
+                    if x % 53 == 11 {
+                        panic!("chunk fault {x}");
+                    }
+                    Ok(x * x)
+                },
+            )
+        };
+        let one = run(1);
+        assert!(!one.1.is_empty(), "test should exercise faults");
+        for threads in [2, 4] {
+            assert_eq!(run(threads), one, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn quarantine_all_clean_has_no_faults() {
+        let items: Vec<usize> = (0..40).collect();
+        let (results, faults) =
+            try_par_map_quarantine::<_, _, (), _>(4, &items, "unit", |_, &x| Ok(x + 1));
+        assert!(faults.is_empty());
+        let values: Vec<usize> = results.into_iter().flatten().collect();
+        assert_eq!(values, items.iter().map(|x| x + 1).collect::<Vec<_>>());
     }
 }

@@ -640,11 +640,7 @@ impl<'m> CompiledSta<'m> {
             scratch.worst_by_net[net.0 as usize] = f64::INFINITY;
         }
         scratch.touched.clear();
-        slacks.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite slacks")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        slacks.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         slacks
     }
 }

@@ -20,6 +20,14 @@ pub enum StaError {
     },
     /// A Monte Carlo configuration was invalid (zero samples, negative σ).
     InvalidMonteCarlo(String),
+    /// An annotated critical dimension was non-physical (non-finite or
+    /// non-positive) — the extraction → STA boundary guard.
+    InvalidCd {
+        /// The offending field (`"width_nm"`, `"l_delay_nm"`, ...).
+        field: &'static str,
+        /// The rejected value.
+        value: f64,
+    },
 }
 
 impl fmt::Display for StaError {
@@ -32,6 +40,9 @@ impl fmt::Display for StaError {
             }
             StaError::InvalidMonteCarlo(reason) => {
                 write!(f, "invalid monte carlo configuration: {reason}")
+            }
+            StaError::InvalidCd { field, value } => {
+                write!(f, "non-physical annotated CD: {field} = {value}")
             }
         }
     }

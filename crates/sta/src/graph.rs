@@ -260,11 +260,7 @@ impl<'d> TimingModel<'d> {
             *entry = entry.min(slack);
         }
         let mut endpoint_slacks: Vec<(NetId, f64)> = worst_by_net.into_iter().collect();
-        endpoint_slacks.sort_by(|a, b| {
-            a.1.partial_cmp(&b.1)
-                .expect("finite slacks")
-                .then_with(|| a.0.cmp(&b.0))
-        });
+        endpoint_slacks.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
 
         Ok(TimingReport {
             arrivals,
@@ -372,9 +368,7 @@ impl TimingReport {
                         .inputs
                         .iter()
                         .max_by(|a, b| {
-                            self.arrivals[a.0 as usize]
-                                .partial_cmp(&self.arrivals[b.0 as usize])
-                                .expect("finite arrivals")
+                            self.arrivals[a.0 as usize].total_cmp(&self.arrivals[b.0 as usize])
                         })
                         .copied();
                     match next {

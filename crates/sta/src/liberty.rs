@@ -2,7 +2,7 @@
 //! device model (the stand-in for a Liberty/NLDM deck).
 
 use crate::annotate::TransistorCd;
-use crate::error::Result;
+use crate::error::{Result, StaError};
 use postopc_device::{MosKind, Mosfet, ProcessParams};
 use postopc_layout::{CellLibrary, Drive, GateKind};
 use std::collections::HashMap;
@@ -291,6 +291,19 @@ impl TimingLibrary {
         let mut output_cap = 0.0;
         let mut leakage = 0.0;
         for t in transistors {
+            // Extraction → STA boundary guard: reject non-physical CDs
+            // with a gate-level error before device evaluation, so
+            // injected or corrupted annotations surface at the seam
+            // instead of as silent timing garbage.
+            for (field, value) in [
+                ("width_nm", t.width_nm),
+                ("l_delay_nm", t.l_delay_nm),
+                ("l_leakage_nm", t.l_leakage_nm),
+            ] {
+                if !value.is_finite() || value <= 0.0 {
+                    return Err(StaError::InvalidCd { field, value });
+                }
+            }
             let delay_dev = Mosfet::new(t.kind, t.width_nm, t.l_delay_nm)?;
             let leak_dev = Mosfet::new(t.kind, t.width_nm, t.l_leakage_nm)?;
             if drive_group(t) {
@@ -538,6 +551,47 @@ mod tests {
     fn library() -> TimingLibrary {
         let cells = CellLibrary::new(TechRules::n90()).expect("cells");
         TimingLibrary::characterize(&cells, ProcessParams::n90()).expect("characterize")
+    }
+
+    #[test]
+    fn boundary_guard_rejects_non_physical_cds() {
+        let lib = library();
+        let template = TransistorCd {
+            kind: MosKind::Nmos,
+            width_nm: 260.0,
+            l_delay_nm: 90.0,
+            l_leakage_nm: 90.0,
+            input_pin: Some(0),
+            finger: 0,
+        };
+        for (field, record) in [
+            (
+                "l_delay_nm",
+                TransistorCd {
+                    l_delay_nm: f64::NAN,
+                    ..template
+                },
+            ),
+            (
+                "l_leakage_nm",
+                TransistorCd {
+                    l_leakage_nm: f64::NEG_INFINITY,
+                    ..template
+                },
+            ),
+            (
+                "width_nm",
+                TransistorCd {
+                    width_nm: 0.0,
+                    ..template
+                },
+            ),
+        ] {
+            match lib.annotated_timing(GateKind::Inv, &[record]) {
+                Err(StaError::InvalidCd { field: f, .. }) => assert_eq!(f, field),
+                other => panic!("expected InvalidCd for {field}, got {other:?}"),
+            }
+        }
     }
 
     #[test]

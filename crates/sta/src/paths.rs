@@ -36,9 +36,7 @@ impl PartialOrd for Partial {
 impl Ord for Partial {
     fn cmp(&self, other: &Self) -> Ordering {
         // Max-heap on the arrival bound (worst first).
-        self.arrival_bound
-            .partial_cmp(&other.arrival_bound)
-            .expect("finite arrival bounds")
+        self.arrival_bound.total_cmp(&other.arrival_bound)
     }
 }
 

@@ -64,7 +64,7 @@ impl MonteCarloResult {
         leakages_ua: Vec<f64>,
     ) -> MonteCarloResult {
         let mut sorted_worst_slacks_ps = worst_slacks_ps.clone();
-        sorted_worst_slacks_ps.sort_by(|a, b| a.partial_cmp(b).expect("finite slacks"));
+        sorted_worst_slacks_ps.sort_by(f64::total_cmp);
         MonteCarloResult {
             worst_slacks_ps,
             critical_delays_ps,

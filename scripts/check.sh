@@ -13,11 +13,13 @@
 # Stages (each prints its own wall time):
 #   fmt       cargo fmt --check
 #   clippy    cargo clippy --workspace --all-targets -- -D warnings
+#   strict    library clippy with unwrap()/expect() denied outside tests
 #   build     tier-1: cargo build --release
 #   test      tier-1: cargo test -q
 #   wstest    cargo test --workspace -q
 #   smoke     perf_smoke parity gates (ambient thread count)
 #   threads   perf_smoke parity gates under POSTOPC_THREADS=1,2,4
+#   faults    fault_smoke: seeded injection, quarantine determinism gates
 #   bench     perf_smoke --bench-regression vs committed BENCH_*.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -46,6 +48,11 @@ stage() {
 
 stage fmt cargo fmt --check
 stage clippy cargo clippy --workspace --all-targets -- -D warnings
+# Library code (bench harness and #[cfg(test)] excluded) must route every
+# fallible path through typed errors: unwrap()/expect() are deny-by-default
+# and each surviving call carries a scoped #[allow] naming its invariant.
+stage strict cargo clippy --workspace --exclude postopc-bench --lib -- \
+  -D warnings -D clippy::unwrap_used -D clippy::expect_used
 stage build cargo build --release
 stage test cargo test -q
 
@@ -68,6 +75,11 @@ thread_matrix() {
   done
 }
 stage threads thread_matrix
+
+# Fault-injection smoke: a seeded injector over the repro design must
+# complete under quarantine, report exact counts, stay bit-identical
+# across the thread matrix, and trip the budget past the cap.
+stage faults cargo run --release -p postopc-bench --bin fault_smoke
 
 stage bench cargo run --release -p postopc-bench --bin perf_smoke -- --bench-regression
 
