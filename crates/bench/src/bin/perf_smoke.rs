@@ -30,7 +30,8 @@ use postopc_bench::json::parse_speedups;
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
 use postopc_sta::{
-    analyze_corner, corner_annotation, statistical, Corner, MonteCarloConfig, TimingModel,
+    analyze_corner, corner_annotation, statistical, Corner, McEngine, MonteCarloConfig, Sampling,
+    TimingModel,
 };
 
 /// Pool wall time may exceed serial by at most this factor.
@@ -69,6 +70,13 @@ const BENCH_FLOORS: &[BenchFloor] = &[
         file: "BENCH_sta.json",
         design: "T6 composite 70%",
         engine: "compiled",
+        samples: Some(250),
+        fraction: 0.6,
+    },
+    BenchFloor {
+        file: "BENCH_sta.json",
+        design: "T6 composite 70%",
+        engine: "batched",
         samples: Some(250),
         fraction: 0.6,
     },
@@ -182,6 +190,8 @@ fn parity_gates() -> bool {
         sigma_nm: 1.5,
         seed: 5,
         threads: None,
+        engine: McEngine::Scalar,
+        ..MonteCarloConfig::default()
     };
     let mc_compiled = statistical::run_with(&compiled, Some(&ann), &mc).expect("compiled MC");
     let mc_naive = statistical::run_reference(&model, Some(&ann), &mc).expect("naive MC");
@@ -189,10 +199,31 @@ fn parity_gates() -> bool {
         eprintln!("perf_smoke: FAIL - compiled Monte Carlo differs from naive engine");
         failed = true;
     }
+    // The batched SoA engine must agree bit for bit too, for every
+    // sampling scheme (same streams, different evaluation shape).
+    for sampling in [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified] {
+        let scalar_cfg = MonteCarloConfig {
+            sampling,
+            engine: McEngine::Scalar,
+            ..mc.clone()
+        };
+        let batched_cfg = MonteCarloConfig {
+            engine: McEngine::Batched,
+            ..scalar_cfg.clone()
+        };
+        let scalar = statistical::run_with(&compiled, Some(&ann), &scalar_cfg).expect("scalar MC");
+        let batched =
+            statistical::run_with(&compiled, Some(&ann), &batched_cfg).expect("batched MC");
+        if scalar != batched {
+            eprintln!("perf_smoke: FAIL - batched Monte Carlo differs from scalar ({sampling:?})");
+            failed = true;
+        }
+    }
 
     if !failed {
         println!("perf_smoke: PASS - pooled engine at parity or better, outcomes bit-identical");
         println!("perf_smoke: PASS - compiled STA bit-identical to naive (drawn, corner, MC)");
+        println!("perf_smoke: PASS - batched STA bit-identical to scalar (all samplings)");
     }
     failed
 }
@@ -300,6 +331,12 @@ fn bench_regression() -> bool {
         sigma_nm: 1.5,
         seed: 17,
         threads: Some(1),
+        engine: McEngine::Scalar,
+        ..MonteCarloConfig::default()
+    };
+    let batched_mc = MonteCarloConfig {
+        engine: McEngine::Batched,
+        ..mc.clone()
     };
     let (naive_mc, naive_s) = postopc_bench::timing::time(|| {
         statistical::run_reference(&model, Some(&out.annotation), &mc).expect("naive MC")
@@ -307,11 +344,16 @@ fn bench_regression() -> bool {
     let (compiled_mc, compiled_s) = postopc_bench::timing::time(|| {
         statistical::run_with(&compiled_sta, Some(&out.annotation), &mc).expect("compiled MC")
     });
-    if naive_mc != compiled_mc {
+    let (batched_run, batched_s) = postopc_bench::timing::time(|| {
+        statistical::run_with(&compiled_sta, Some(&out.annotation), &batched_mc)
+            .expect("batched MC")
+    });
+    if naive_mc != compiled_mc || naive_mc != batched_run {
         eprintln!("perf_smoke: FAIL - engines diverged during the bench-regression run");
         failed = true;
     }
     failed |= check_floor(&BENCH_FLOORS[2], naive_s / compiled_s.max(1e-9));
+    failed |= check_floor(&BENCH_FLOORS[3], naive_s / batched_s.max(1e-9));
 
     if !failed {
         println!("perf_smoke: PASS - all gated speedups within their recorded floors");

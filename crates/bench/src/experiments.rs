@@ -390,16 +390,29 @@ pub fn t6() -> (String, Vec<crate::json::StaBenchRow>) {
         sigma_nm: 1.5,
         seed: 17,
         threads: Some(1),
+        engine: postopc_sta::McEngine::Scalar,
+        ..MonteCarloConfig::default()
+    };
+    let batched_config = MonteCarloConfig {
+        engine: postopc_sta::McEngine::Batched,
+        ..mc_config.clone()
     };
     let (mc, compiled_s) = crate::timing::time(|| {
         statistical::run_with(&compiled, Some(&out.annotation), &mc_config).expect("monte carlo")
+    });
+    let (batched, batched_s) = crate::timing::time(|| {
+        statistical::run_with(&compiled, Some(&out.annotation), &batched_config)
+            .expect("batched monte carlo")
     });
     let (naive, naive_s) = crate::timing::time(|| {
         statistical::run_reference(&model, Some(&out.annotation), &mc_config)
             .expect("naive monte carlo")
     });
     let identical = mc == naive;
+    let batched_identical = batched == naive;
     let q99_delay = model.clock_ps() - mc.worst_slack_quantile_ps(0.01);
+    let scalar_stats = mc.cache_stats();
+    let batched_stats = batched.cache_stats();
     let bench_rows = vec![
         crate::json::StaBenchRow {
             design: "T6 composite 70%".into(),
@@ -408,6 +421,8 @@ pub fn t6() -> (String, Vec<crate::json::StaBenchRow>) {
             wall_s: naive_s,
             speedup: 1.0,
             identical: true,
+            shift_hits: 0,
+            shift_misses: 0,
         },
         crate::json::StaBenchRow {
             design: "T6 composite 70%".into(),
@@ -416,6 +431,18 @@ pub fn t6() -> (String, Vec<crate::json::StaBenchRow>) {
             wall_s: compiled_s,
             speedup: naive_s / compiled_s.max(1e-9),
             identical,
+            shift_hits: scalar_stats.hits,
+            shift_misses: scalar_stats.misses,
+        },
+        crate::json::StaBenchRow {
+            design: "T6 composite 70%".into(),
+            engine: "batched".into(),
+            samples: mc_config.samples,
+            wall_s: batched_s,
+            speedup: naive_s / batched_s.max(1e-9),
+            identical: batched_identical,
+            shift_hits: batched_stats.hits + batched_stats.shared_hits,
+            shift_misses: batched_stats.misses,
         },
     ];
     let rows = vec![
@@ -466,9 +493,28 @@ pub fn t6() -> (String, Vec<crate::json::StaBenchRow>) {
         if identical { "HOLDS" } else { "VIOLATED" }
     ));
     text.push_str(&format!(
+        "engine check: batched vs naive bit-identical over {} samples -> {}\n",
+        mc_config.samples,
+        if batched_identical {
+            "HOLDS"
+        } else {
+            "VIOLATED"
+        }
+    ));
+    text.push_str(&format!(
         "engine speedup (1 thread): naive {naive_s:.2} s -> compiled {compiled_s:.2} s \
-         ({:.1}x)\n",
-        naive_s / compiled_s.max(1e-9)
+         ({:.1}x) -> batched {batched_s:.2} s ({:.1}x)\n",
+        naive_s / compiled_s.max(1e-9),
+        naive_s / batched_s.max(1e-9)
+    ));
+    text.push_str(&format!(
+        "shift cache: scalar {} hits / {} misses; batched {} prewarmed, {} shared hits, \
+         {} misses\n",
+        scalar_stats.hits,
+        scalar_stats.misses,
+        batched_stats.prewarmed,
+        batched_stats.shared_hits,
+        batched_stats.misses
     ));
     (text, bench_rows)
 }

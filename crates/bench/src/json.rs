@@ -36,8 +36,9 @@ pub struct EngineBenchRow {
 
 /// Schema identifier of the STA engine-comparison document
 /// (`BENCH_sta.json`): naive per-sample `analyze` vs the compiled
-/// evaluator on the same Monte Carlo workload.
-pub const STA_BENCH_SCHEMA: &str = "postopc-bench-sta-v1";
+/// evaluators on the same Monte Carlo workload. v2 adds the shift-cache
+/// hit/miss counters of each run.
+pub const STA_BENCH_SCHEMA: &str = "postopc-bench-sta-v2";
 
 /// One STA engine measurement: a (design, engine, samples) cell of the
 /// Monte Carlo scaling table.
@@ -45,7 +46,7 @@ pub const STA_BENCH_SCHEMA: &str = "postopc-bench-sta-v1";
 pub struct StaBenchRow {
     /// Workload name (e.g. `T6 composite 70%`).
     pub design: String,
-    /// Engine configuration (`naive analyze` or `compiled`).
+    /// Engine configuration (`naive analyze`, `compiled` or `batched`).
     pub engine: String,
     /// Monte Carlo sample count.
     pub samples: usize,
@@ -55,6 +56,12 @@ pub struct StaBenchRow {
     pub speedup: f64,
     /// Whether `worst_slacks_ps` matched the naive engine bit for bit.
     pub identical: bool,
+    /// Shift-cache hits of the run (per-worker plus shared prewarmed
+    /// lookups; 0 for the naive engine, which has no shift cache).
+    pub shift_hits: u64,
+    /// Shift-cache misses of the run (each ran the device model once;
+    /// the batched engine prewarms, so its hot loop records 0).
+    pub shift_misses: u64,
 }
 
 /// Escapes a string for a JSON string literal.
@@ -134,13 +141,15 @@ pub fn render_sta_rows(threads: usize, rows: &[StaBenchRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"design\": \"{}\", \"engine\": \"{}\", \"samples\": {}, \"wall_s\": {}, \
-             \"speedup\": {}, \"identical\": {}}}{}\n",
+             \"speedup\": {}, \"identical\": {}, \"shift_hits\": {}, \"shift_misses\": {}}}{}\n",
             escape(&row.design),
             escape(&row.engine),
             row.samples,
             number(row.wall_s),
             number(row.speedup),
             row.identical,
+            row.shift_hits,
+            row.shift_misses,
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
@@ -282,16 +291,20 @@ mod tests {
             wall_s: 1.25,
             speedup: 8.0,
             identical: true,
+            shift_hits: 123_456,
+            shift_misses: 789,
         }
     }
 
     #[test]
     fn renders_sta_schema() {
         let doc = render_sta_rows(1, &[sta_row()]);
-        assert!(doc.contains("\"schema\": \"postopc-bench-sta-v1\""));
+        assert!(doc.contains("\"schema\": \"postopc-bench-sta-v2\""));
         assert!(doc.contains("\"samples\": 2000"));
         assert!(doc.contains("\"identical\": true"));
         assert!(doc.contains("\"speedup\": 8"));
+        assert!(doc.contains("\"shift_hits\": 123456"));
+        assert!(doc.contains("\"shift_misses\": 789"));
         assert!(!doc.contains("}},\n  ]"));
     }
 

@@ -31,7 +31,7 @@ impl Default for GuardbandConfig {
                 samples: 300,
                 sigma_nm: 1.5,
                 seed: 7,
-                threads: None,
+                ..MonteCarloConfig::default()
             },
             percentile: 0.99,
         }
@@ -47,6 +47,10 @@ pub struct GuardbandAnalysis {
     pub corner_delay_ps: f64,
     /// Extracted-distribution percentile delay, in ps.
     pub statistical_delay_ps: f64,
+    /// Statistical delay at the 50th / 90th / 99th delay percentiles, in
+    /// ps — the distribution profile behind `statistical_delay_ps`,
+    /// computed in one pass over the cached quantile view.
+    pub statistical_profile_ps: [f64; 3],
     /// Margin the corner wastes relative to the statistical bound, in ps.
     pub recoverable_margin_ps: f64,
 }
@@ -82,12 +86,20 @@ impl GuardbandAnalysis {
         .pop()
         .unwrap_or_else(|| unreachable!("one corner in, one report out"));
         let mc = statistical::run_with(&compiled, Some(extracted), &config.monte_carlo)?;
-        let statistical_delay =
-            model.clock_ps() - mc.worst_slack_quantile_ps(1.0 - config.percentile);
+        // One multi-quantile query against the cached sorted view: the
+        // signoff percentile plus the p50/p90/p99 delay profile (delay
+        // percentile p = slack quantile 1 - p).
+        let qs = mc.worst_slack_quantiles_ps(&[1.0 - config.percentile, 0.5, 0.1, 0.01]);
+        let statistical_delay = model.clock_ps() - qs[0];
         Ok(GuardbandAnalysis {
             nominal_delay_ps: nominal.critical_delay_ps(),
             corner_delay_ps: ss.critical_delay_ps(),
             statistical_delay_ps: statistical_delay,
+            statistical_profile_ps: [
+                model.clock_ps() - qs[1],
+                model.clock_ps() - qs[2],
+                model.clock_ps() - qs[3],
+            ],
             recoverable_margin_ps: ss.critical_delay_ps() - statistical_delay,
         })
     }
@@ -128,7 +140,7 @@ mod tests {
                     samples: 80,
                     sigma_nm: 1.5,
                     seed: 7,
-                    threads: None,
+                    ..MonteCarloConfig::default()
                 },
                 ..GuardbandConfig::default()
             },
@@ -140,5 +152,10 @@ mod tests {
         assert!(analysis.statistical_delay_ps > 0.9 * analysis.nominal_delay_ps);
         assert!(analysis.recoverable_margin_ps > 0.0);
         assert!(analysis.recoverable_fraction() > 0.0 && analysis.recoverable_fraction() < 0.5);
+        // The delay profile is monotone in the percentile, and the default
+        // signoff percentile (0.99) coincides with the profile's p99 entry.
+        let [p50, p90, p99] = analysis.statistical_profile_ps;
+        assert!(p50 <= p90 && p90 <= p99);
+        assert_eq!(p99, analysis.statistical_delay_ps);
     }
 }

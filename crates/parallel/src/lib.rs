@@ -164,6 +164,67 @@ where
     Ok(out)
 }
 
+/// Splits `0..len` into contiguous ranges of `batch` items each (the last
+/// range may be shorter). The unit of work for
+/// [`try_par_map_batched_init`]; exposed so callers can pre-plan
+/// batch-aligned data (e.g. lane-major sample layouts).
+#[must_use]
+pub fn batch_ranges(len: usize, batch: usize) -> Vec<std::ops::Range<usize>> {
+    let batch = batch.max(1);
+    (0..len.div_ceil(batch))
+        .map(|b| b * batch..((b + 1) * batch).min(len))
+        .collect()
+}
+
+/// Batched [`try_par_map_init`]: maps contiguous `batch`-sized index
+/// ranges of `0..len` (see [`batch_ranges`]) instead of single items, for
+/// kernels that amortize work across a whole batch — the Monte Carlo
+/// engine evaluates `LANES` samples per gate visit this way. `f` must
+/// return exactly one result per index in its range; the per-range
+/// vectors are flattened back to input order, and error selection follows
+/// [`try_par_map`] (the first error in input order wins, at batch
+/// granularity).
+///
+/// Scheduling is [`par_map_init`] over the ranges, so results are
+/// bit-identical for any thread count as long as `f`'s results do not
+/// depend on the per-worker state's history.
+///
+/// # Errors
+///
+/// Returns the error of the lowest-indexed failing batch, if any.
+///
+/// # Panics
+///
+/// Panics if `f` returns a vector whose length differs from its range.
+pub fn try_par_map_batched_init<R, E, S, I, F>(
+    threads: usize,
+    len: usize,
+    batch: usize,
+    init: I,
+    f: F,
+) -> Result<Vec<R>, E>
+where
+    R: Send,
+    E: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, std::ops::Range<usize>) -> Result<Vec<R>, E> + Sync,
+{
+    let ranges = batch_ranges(len, batch);
+    let per_range = try_par_map_init(threads, &ranges, init, |state, _, range| {
+        f(state, range.clone())
+    })?;
+    let mut out = Vec::with_capacity(len);
+    for (range, chunk) in ranges.iter().zip(per_range) {
+        assert_eq!(
+            chunk.len(),
+            range.len(),
+            "batched mapper must return one result per index in its range"
+        );
+        out.extend(chunk);
+    }
+    Ok(out)
+}
+
 /// The shared engine behind every map variant: cost-aware contiguous
 /// chunking, one atomic claim per chunk, per-worker init state, and an
 /// input-ordered merge.
@@ -821,5 +882,87 @@ mod tests {
         assert!(faults.is_empty());
         let values: Vec<usize> = results.into_iter().flatten().collect();
         assert_eq!(values, items.iter().map(|x| x + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_ranges_cover_every_index_once() {
+        for (len, batch) in [
+            (0, 8),
+            (1, 8),
+            (7, 8),
+            (8, 8),
+            (9, 8),
+            (24, 8),
+            (5, 1),
+            (3, 0),
+        ] {
+            let ranges = batch_ranges(len, batch);
+            let flat: Vec<usize> = ranges.iter().flat_map(Clone::clone).collect();
+            let expect: Vec<usize> = (0..len).collect();
+            assert_eq!(flat, expect, "len = {len}, batch = {batch}");
+            for r in &ranges {
+                assert!(r.len() <= batch.max(1), "len = {len}, batch = {batch}");
+                assert!(!r.is_empty(), "len = {len}, batch = {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_map_returns_input_order_for_any_thread_count() {
+        let serial: Vec<usize> = (0..37).map(|x| x * 3 + 1).collect();
+        for threads in [1, 2, 4, 7] {
+            for batch in [1, 4, 8, 64] {
+                let got = try_par_map_batched_init::<_, (), _, _, _>(
+                    threads,
+                    37,
+                    batch,
+                    || (),
+                    |(), range| Ok(range.map(|x| x * 3 + 1).collect()),
+                )
+                .unwrap();
+                assert_eq!(got, serial, "threads = {threads}, batch = {batch}");
+            }
+        }
+    }
+
+    #[test]
+    fn batched_map_reports_first_error_in_input_order() {
+        // Batches 3 (items 12..16) and 7 (items 28..32) both fail; the
+        // lower-indexed batch's error must win for every thread count.
+        for threads in [1, 2, 4] {
+            let got = try_par_map_batched_init::<usize, usize, _, _, _>(
+                threads,
+                40,
+                4,
+                || (),
+                |(), range| {
+                    if range.start == 12 || range.start == 28 {
+                        Err(range.start)
+                    } else {
+                        Ok(range.collect())
+                    }
+                },
+            );
+            assert_eq!(got.unwrap_err(), 12, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn batched_map_threads_worker_state() {
+        // Worker state must be reusable across batches without changing
+        // results: a scratch counter bumps per batch, results ignore it.
+        let got = try_par_map_batched_init::<_, (), _, _, _>(
+            3,
+            50,
+            8,
+            || 0u64,
+            |calls, range| {
+                *calls += 1;
+                Ok(range.map(|x| x + 100).collect())
+            },
+        )
+        .unwrap();
+        let expect: Vec<usize> = (0..50).map(|x| x + 100).collect();
+        assert_eq!(got, expect);
     }
 }

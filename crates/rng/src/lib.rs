@@ -130,6 +130,59 @@ impl RngExt for StdRng {
     }
 }
 
+/// `N` independent xoshiro256++ streams stepped in lockstep, state held
+/// structure-of-arrays so one step's add/xor/rotate lattice runs as
+/// straight-line `N`-wide lane loops (autovectorized in release builds).
+///
+/// Lane `l` replays exactly the stream of
+/// `StdRng::seed_from_u64(seeds[l])` — the Monte Carlo batch sampler
+/// relies on that equivalence for its scalar/batched bit-parity.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneRng<const N: usize> {
+    s: [[u64; N]; 4],
+}
+
+impl<const N: usize> LaneRng<N> {
+    /// Builds the lockstep streams of `seeds`, each expanded through
+    /// SplitMix64 exactly as [`SeedableRng::seed_from_u64`] expands one.
+    #[must_use]
+    pub fn seed_from(seeds: [u64; N]) -> Self {
+        let mut s = [[0u64; N]; 4];
+        for (l, &seed) in seeds.iter().enumerate() {
+            let mut sm = seed;
+            for word in &mut s {
+                word[l] = splitmix64(&mut sm);
+            }
+        }
+        LaneRng { s }
+    }
+
+    /// Steps every stream once; lane `l` of the result is the draw the
+    /// scalar generator seeded with `seeds[l]` would produce at this
+    /// position of its stream.
+    #[inline]
+    pub fn next_u64s(&mut self) -> [u64; N] {
+        let [s0, s1, s2, s3] = &mut self.s;
+        let mut out = [0u64; N];
+        for l in 0..N {
+            out[l] = s0[l]
+                .wrapping_add(s3[l])
+                .rotate_left(23)
+                .wrapping_add(s0[l]);
+        }
+        for l in 0..N {
+            let t = s1[l] << 17;
+            s2[l] ^= s0[l];
+            s3[l] ^= s1[l];
+            s1[l] ^= s2[l];
+            s0[l] ^= s3[l];
+            s2[l] ^= t;
+            s3[l] = s3[l].rotate_left(45);
+        }
+        out
+    }
+}
+
 /// A range that [`RngExt::random_range`] can sample from.
 pub trait SampleRange {
     /// The sampled value type.
@@ -142,15 +195,27 @@ impl SampleRange for Range<f64> {
     type Output = f64;
     fn sample<G: RngExt>(self, rng: &mut G) -> f64 {
         assert!(self.start < self.end, "empty range {:?}", self);
-        // 53 uniform mantissa bits in [0, 1).
-        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
-        let v = self.start + u * (self.end - self.start);
-        // Guard the pathological rounding case v == end.
-        if v < self.end {
-            v
-        } else {
-            self.start
-        }
+        unit_range_f64(rng.next_u64(), self.start, self.end)
+    }
+}
+
+/// Maps 64 raw uniform bits onto `[start, end)`: the top 53 bits as a
+/// uniform in `[0, 1)`, lerped onto the range, with the pathological
+/// round-up-to-`end` case folded back to `start`.
+///
+/// This is the sampling kernel of [`RngExt::random_range`] over
+/// `Range<f64>`, exposed so lane-parallel fills over [`LaneRng`] draws
+/// run the identical float ops — and so produce the identical bits — as
+/// the scalar path.
+#[inline]
+#[must_use]
+pub fn unit_range_f64(raw: u64, start: f64, end: f64) -> f64 {
+    let u = (raw >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+    let v = start + u * (end - start);
+    if v < end {
+        v
+    } else {
+        start
     }
 }
 
@@ -218,6 +283,32 @@ mod tests {
         let mut b = StdRng::seed_from_u64(2);
         let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
         assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn lane_rng_replays_scalar_streams() {
+        // The lockstep generator's whole contract: lane l IS the stream
+        // of StdRng::seed_from_u64(seeds[l]), draw for draw.
+        let seeds = [7u64, 0, 42, u64::MAX, 1, 2, 3, 0xDEAD_BEEF];
+        let mut lanes = LaneRng::seed_from(seeds);
+        let mut scalars: Vec<StdRng> = seeds.iter().map(|&s| StdRng::seed_from_u64(s)).collect();
+        for _ in 0..256 {
+            let step = lanes.next_u64s();
+            for (l, rng) in scalars.iter_mut().enumerate() {
+                assert_eq!(step[l], rng.next_u64(), "lane {l}");
+            }
+        }
+    }
+
+    #[test]
+    fn unit_range_f64_matches_random_range() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let direct = a.random_range(0.25..0.75);
+            let via_raw = unit_range_f64(b.next_u64(), 0.25, 0.75);
+            assert_eq!(direct.to_bits(), via_raw.to_bits());
+        }
     }
 
     #[test]

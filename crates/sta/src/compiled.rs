@@ -16,12 +16,20 @@
 use crate::annotate::{CdAnnotation, TransistorCd};
 use crate::error::{Result, StaError};
 use crate::graph::{TimingModel, TimingReport};
-use crate::liberty::{
-    CellTiming, CharacterizationCache, NldmTable, CLOCK_SLEW_PS, PRIMARY_INPUT_SLEW_PS,
-};
+use crate::liberty::{CellTiming, CharacterizationCache, CLOCK_SLEW_PS, PRIMARY_INPUT_SLEW_PS};
 use postopc_device::Wire;
 use postopc_layout::{GateId, GateKind, NetId};
 use std::collections::HashMap;
+
+/// Samples evaluated per gate visit by [`CompiledSta::evaluate_shifted_batch`].
+///
+/// Lane state is stored as `[f64; LANES]` arrays (structure-of-arrays per
+/// net/gate), so the per-lane loops compile to straight-line vector code in
+/// release builds without any architecture-specific intrinsics. Eight lanes
+/// amortize the per-gate walk (topological order, netlist indirections,
+/// endpoint pushes) across eight samples while keeping the per-batch state
+/// well inside L2 for realistic designs.
+pub const LANES: usize = 8;
 
 /// Summary of one evaluated sample — the quantities Monte Carlo keeps,
 /// produced without materializing a full [`TimingReport`].
@@ -54,6 +62,13 @@ impl SampleCells {
     /// Number of distinct cells the gates collapsed to.
     pub fn distinct(&self) -> usize {
         self.cells.len()
+    }
+
+    /// Cell slot of each gate, indexed by gate (the key space of the
+    /// shift caches — samplers scan this to enumerate `(cell, bin)` pairs
+    /// worth prewarming).
+    pub fn cell_of_gate(&self) -> &[u32] {
+        &self.cell_of_gate
     }
 }
 
@@ -114,6 +129,20 @@ pub struct StaScratch {
     records: Vec<TransistorCd>,
     cache: CharacterizationCache,
     shift_cache: ShiftTimingCache,
+    /// Per-(gate, lane) tagged timing indices of the current batch
+    /// (`gate * LANES + lane`; see `LANE_LOCAL_BIT` / `LANE_OVERFLOW_BIT`).
+    lane_timing_idx: Vec<u32>,
+    /// Batch-local timings characterized past the local-cache cap.
+    lane_overflow: Vec<CellTiming>,
+    /// Per-net lane-parallel propagation state (SoA: one `[f64; LANES]`
+    /// row per net/gate, so lane loops autovectorize).
+    lane_sink_cap: Vec<[f64; LANES]>,
+    /// Per-gate input-pin caps of the current batch, filled while the
+    /// lane timings resolve so the sink-load pass reads straight rows.
+    lane_input_cap: Vec<[f64; LANES]>,
+    lane_slews: Vec<[f64; LANES]>,
+    lane_arrivals: Vec<[f64; LANES]>,
+    lane_endpoint_required: Vec<(NetId, [f64; LANES])>,
 }
 
 impl StaScratch {
@@ -125,7 +154,7 @@ impl StaScratch {
     /// Entries in the `(cell, shift-bin)` cache of the Monte Carlo fast
     /// path ([`CompiledSta::evaluate_shifted`]).
     pub fn shift_cache_len(&self) -> usize {
-        self.shift_cache.len
+        self.shift_cache.store.len()
     }
 
     /// Hits of the `(cell, shift-bin)` cache.
@@ -136,6 +165,39 @@ impl StaScratch {
     /// Misses of the `(cell, shift-bin)` cache (device-model evaluations).
     pub fn shift_cache_misses(&self) -> u64 {
         self.shift_cache.misses
+    }
+
+    /// Lookups served by a caller-supplied [`SharedShiftCache`] (prewarmed
+    /// entries never probe the local cache, so they are counted apart).
+    pub fn shift_cache_shared_hits(&self) -> u64 {
+        self.shift_cache.shared_hits
+    }
+}
+
+/// Tag bit marking a lane timing index as pointing into the scratch's
+/// local shift-cache store rather than the shared prewarmed cache.
+const LANE_LOCAL_BIT: u32 = 1 << 31;
+/// Tag bit (alongside `LANE_LOCAL_BIT`) for the batch-local overflow
+/// staging area used once the local cache hits its entry cap.
+const LANE_OVERFLOW_BIT: u32 = 1 << 30;
+/// Mask extracting the store index from a tagged lane timing index.
+const LANE_IDX_MASK: u32 = LANE_OVERFLOW_BIT - 1;
+
+/// Resolves a tagged per-lane timing index against the three possible
+/// stores (shared prewarmed cache, local shift cache, batch overflow).
+#[inline]
+fn lane_timing<'a>(
+    shared: &'a [CellTiming],
+    local: &'a [CellTiming],
+    overflow: &'a [CellTiming],
+    tagged: u32,
+) -> &'a CellTiming {
+    if tagged & LANE_LOCAL_BIT == 0 {
+        &shared[tagged as usize]
+    } else if tagged & LANE_OVERFLOW_BIT != 0 {
+        &overflow[(tagged & LANE_IDX_MASK) as usize]
+    } else {
+        &local[(tagged & LANE_IDX_MASK) as usize]
     }
 }
 
@@ -154,15 +216,24 @@ const SHIFT_CACHE_CAP: usize = 1 << 18;
 /// `u64`, so a lookup is one multiply-shift hash and a short linear probe:
 /// orders of magnitude cheaper than hashing a transistor ensemble, which
 /// is what makes the per-sample hot loop allocation- and hash-free.
+///
+/// Values live in an append-only `store` and the slot array holds `u32`
+/// indices into it: a rehash moves 12 bytes per entry instead of a whole
+/// [`CellTiming`], and the batched evaluator can stage per-lane *indices*
+/// (4 bytes each) instead of copying ~400-byte timings per gate visit.
 #[derive(Debug)]
 struct ShiftTimingCache {
     /// Power-of-two slot array; `SHIFT_EMPTY` marks free slots.
     keys: Vec<u64>,
-    /// Timing of the same slot (dummy where the key is empty).
-    vals: Vec<CellTiming>,
-    len: usize,
+    /// `store` index of the same slot (garbage where the key is empty).
+    slot_idx: Vec<u32>,
+    /// Cached timings in insertion order.
+    store: Vec<CellTiming>,
     hits: u64,
     misses: u64,
+    /// Hits served by a caller-supplied [`SharedShiftCache`] instead of
+    /// this local map (counted here so the scratch owns all counters).
+    shared_hits: u64,
 }
 
 impl ShiftTimingCache {
@@ -170,24 +241,11 @@ impl ShiftTimingCache {
         let slots = 1024;
         ShiftTimingCache {
             keys: vec![SHIFT_EMPTY; slots],
-            vals: vec![Self::dummy(); slots],
-            len: 0,
+            slot_idx: vec![0; slots],
+            store: Vec::new(),
             hits: 0,
             misses: 0,
-        }
-    }
-
-    /// Placeholder timing stored in empty slots (never read).
-    fn dummy() -> CellTiming {
-        CellTiming {
-            input_cap_ff: 0.0,
-            pull_up_r_kohm: 0.0,
-            pull_down_r_kohm: 0.0,
-            intrinsic_ps: 0.0,
-            output_cap_ff: 0.0,
-            leakage_ua: 0.0,
-            sequential: None,
-            nldm: NldmTable::ZERO,
+            shared_hits: 0,
         }
     }
 
@@ -200,7 +258,8 @@ impl ShiftTimingCache {
         x ^ (x >> 31)
     }
 
-    fn get(&mut self, key: u64) -> Option<CellTiming> {
+    /// Index into `store` of the cached timing for `key`, if present.
+    fn get(&mut self, key: u64) -> Option<u32> {
         debug_assert_ne!(key, SHIFT_EMPTY);
         let mask = self.keys.len() - 1;
         let mut i = Self::hash(key) as usize & mask;
@@ -208,7 +267,7 @@ impl ShiftTimingCache {
             let k = self.keys[i];
             if k == key {
                 self.hits += 1;
-                return Some(self.vals[i]);
+                return Some(self.slot_idx[i]);
             }
             if k == SHIFT_EMPTY {
                 self.misses += 1;
@@ -218,32 +277,36 @@ impl ShiftTimingCache {
         }
     }
 
-    fn insert(&mut self, key: u64, val: CellTiming) {
-        if self.len >= SHIFT_CACHE_CAP {
-            return; // past the cap: characterize without memoizing
+    /// Inserts `val` under `key`, returning its `store` index; `None` past
+    /// the cap (the value is then characterized without memoizing).
+    fn insert(&mut self, key: u64, val: CellTiming) -> Option<u32> {
+        if self.store.len() >= SHIFT_CACHE_CAP {
+            return None;
         }
-        if (self.len + 1) * 4 > self.keys.len() * 3 {
+        if (self.store.len() + 1) * 4 > self.keys.len() * 3 {
             self.grow();
         }
         let mask = self.keys.len() - 1;
         let mut i = Self::hash(key) as usize & mask;
         while self.keys[i] != SHIFT_EMPTY {
             if self.keys[i] == key {
-                return; // already present (double-insert is a no-op)
+                return Some(self.slot_idx[i]); // double-insert is a no-op
             }
             i = (i + 1) & mask;
         }
+        let idx = self.store.len() as u32;
+        self.store.push(val);
         self.keys[i] = key;
-        self.vals[i] = val;
-        self.len += 1;
+        self.slot_idx[i] = idx;
+        Some(idx)
     }
 
     fn grow(&mut self) {
         let new_slots = self.keys.len() * 2;
         let old_keys = std::mem::replace(&mut self.keys, vec![SHIFT_EMPTY; new_slots]);
-        let old_vals = std::mem::replace(&mut self.vals, vec![Self::dummy(); new_slots]);
+        let old_idx = std::mem::replace(&mut self.slot_idx, vec![0; new_slots]);
         let mask = new_slots - 1;
-        for (key, val) in old_keys.into_iter().zip(old_vals) {
+        for (key, idx) in old_keys.into_iter().zip(old_idx) {
             if key == SHIFT_EMPTY {
                 continue;
             }
@@ -252,8 +315,54 @@ impl ShiftTimingCache {
                 i = (i + 1) & mask;
             }
             self.keys[i] = key;
-            self.vals[i] = val;
+            self.slot_idx[i] = idx;
         }
+    }
+}
+
+/// A read-only `(cell, shift-bin) → CellTiming` table built once by
+/// [`CompiledSta::prewarm_shift_cache`] and shared by reference across
+/// Monte Carlo workers.
+///
+/// Storage is a dense 2-D direct-index map (`cells × bin span`), so a probe
+/// is one bounds check and two loads — no hashing at all. Entries are
+/// characterized by the same staging + device-model path a cold
+/// [`ShiftTimingCache`] miss runs, so a shared hit replays exactly the bits
+/// a cold evaluation would compute (warm/cold bit-identity, proven by the
+/// `batched_parity` tests).
+#[derive(Debug)]
+pub struct SharedShiftCache {
+    /// Smallest prewarmed bin (row offset of the dense table).
+    min_bin: i32,
+    /// Dense bin-range width (`max_bin - min_bin + 1`; 0 when empty).
+    span: usize,
+    /// `cell * span + (bin - min_bin)` → `store` index; `u32::MAX` absent.
+    idx: Vec<u32>,
+    /// Prewarmed timings, sorted by `(cell, bin)`.
+    store: Vec<CellTiming>,
+    /// `store[i].leakage_ua`, densely packed — the batch fill pass sums
+    /// leakage for every (gate, lane) and these 8-byte rows keep it from
+    /// dragging whole `CellTiming`s through the cache.
+    leak: Vec<f64>,
+    /// `store[i].input_cap_ff`, densely packed (same rationale).
+    cap: Vec<f64>,
+}
+
+impl SharedShiftCache {
+    /// Number of prewarmed `(cell, bin)` entries.
+    pub fn entries(&self) -> usize {
+        self.store.len()
+    }
+
+    /// `store` index of `(cell, bin)`, if prewarmed.
+    #[inline]
+    fn get(&self, cell: u32, bin: i32) -> Option<u32> {
+        let off = i64::from(bin) - i64::from(self.min_bin);
+        if off < 0 || off >= self.span as i64 {
+            return None;
+        }
+        let i = self.idx[cell as usize * self.span + off as usize];
+        (i != u32::MAX).then_some(i)
     }
 }
 
@@ -330,6 +439,13 @@ impl<'m> CompiledSta<'m> {
             records: Vec::new(),
             cache: CharacterizationCache::new(),
             shift_cache: ShiftTimingCache::new(),
+            lane_timing_idx: vec![0; n_gates * LANES],
+            lane_overflow: Vec::new(),
+            lane_sink_cap: vec![[0.0; LANES]; n_nets],
+            lane_input_cap: vec![[0.0; LANES]; n_gates],
+            lane_slews: vec![[0.0; LANES]; n_nets],
+            lane_arrivals: vec![[0.0; LANES]; n_nets],
+            lane_endpoint_required: Vec::new(),
         }
     }
 
@@ -458,14 +574,18 @@ impl<'m> CompiledSta<'m> {
     /// CDs are the gate's base ensemble (see [`Self::sample_cells`])
     /// uniformly shifted by `shift_of(gi)` — called once per gate in gate
     /// order, returning the `(grid bin, shift nm)` pair produced by the
-    /// sampler's quantizer.
+    /// sampler's quantizer. The shift must be a pure function of the bin
+    /// (the bin is the cache identity of the shift).
     ///
     /// Characterization is memoized per `(cell, bin)` in the scratch's
     /// integer-keyed shift cache: because a cell's gates share base
     /// records bit for bit and the shift value is a pure function of the
     /// bin, a hit replays exactly the bits a miss would compute. Records
     /// are only materialized on a miss, so a warm sample runs the device
-    /// model zero times and allocates nothing.
+    /// model zero times and allocates nothing. A prewarmed
+    /// [`SharedShiftCache`] (see [`Self::prewarm_shift_cache`]) is probed
+    /// first when supplied; its entries were characterized by the same
+    /// path, so results are bit-identical with or without it.
     ///
     /// # Errors
     ///
@@ -474,6 +594,7 @@ impl<'m> CompiledSta<'m> {
         &self,
         scratch: &mut StaScratch,
         cells: &SampleCells,
+        shared: Option<&SharedShiftCache>,
         mut shift_of: F,
     ) -> Result<SampleTiming>
     where
@@ -483,23 +604,19 @@ impl<'m> CompiledSta<'m> {
         let mut leakage = 0.0;
         for (gi, &cell) in cells.cell_of_gate.iter().enumerate() {
             let (bin, shift) = shift_of(gi);
-            let key = (u64::from(cell) << 32) | u64::from(bin as u32);
-            let timing = match scratch.shift_cache.get(key) {
-                Some(t) => t,
-                None => {
-                    let (kind, base) = &cells.cells[cell as usize];
-                    scratch.records.clear();
-                    scratch.records.extend_from_slice(base);
-                    for r in scratch.records.iter_mut() {
-                        r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
-                        r.l_leakage_nm = (r.l_leakage_nm + shift).max(1.0);
+            let shared_hit = shared.and_then(|s| s.get(cell, bin).map(|i| (s, i)));
+            let timing = if let Some((s, i)) = shared_hit {
+                scratch.shift_cache.shared_hits += 1;
+                s.store[i as usize]
+            } else {
+                let key = (u64::from(cell) << 32) | u64::from(bin as u32);
+                match scratch.shift_cache.get(key) {
+                    Some(i) => scratch.shift_cache.store[i as usize],
+                    None => {
+                        let t = self.characterize_shift(cells, cell, shift, scratch)?;
+                        scratch.shift_cache.insert(key, t);
+                        t
                     }
-                    let t = self
-                        .model
-                        .library()
-                        .annotated_timing(*kind, &scratch.records)?;
-                    scratch.shift_cache.insert(key, t);
-                    t
                 }
             };
             leakage += timing.leakage_ua;
@@ -516,6 +633,330 @@ impl<'m> CompiledSta<'m> {
             critical_delay_ps: self.model.clock_ps() - worst_slack_ps,
             leakage_ua: leakage,
         })
+    }
+
+    /// Characterizes one `(cell, shift)` ensemble through the scratch's
+    /// record staging buffer — the single code path behind local shift-
+    /// cache misses, shared-cache prewarming and the batched evaluator, so
+    /// every consumer computes identical bits for identical inputs.
+    fn characterize_shift(
+        &self,
+        cells: &SampleCells,
+        cell: u32,
+        shift: f64,
+        scratch: &mut StaScratch,
+    ) -> Result<CellTiming> {
+        let (kind, base) = &cells.cells[cell as usize];
+        scratch.records.clear();
+        scratch.records.extend_from_slice(base);
+        for r in scratch.records.iter_mut() {
+            r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
+            r.l_leakage_nm = (r.l_leakage_nm + shift).max(1.0);
+        }
+        self.model
+            .library()
+            .annotated_timing(*kind, &scratch.records)
+    }
+
+    /// Characterizes every `(cell, bin)` pair of `keys` once, in parallel,
+    /// into a read-only [`SharedShiftCache`] that Monte Carlo workers
+    /// share by reference — the per-worker caches then start warm instead
+    /// of each re-running the device model for the same bins.
+    ///
+    /// `shift_of_bin` maps a grid bin to its shift in nm and must be the
+    /// same pure function the evaluation-time sampler uses (for the
+    /// `sigma / 16` grid: `bin as f64 * step`). Duplicate keys are
+    /// deduplicated; the build is deterministic for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors for non-physical shifted dimensions.
+    pub fn prewarm_shift_cache<F>(
+        &self,
+        cells: &SampleCells,
+        keys: &[(u32, i32)],
+        threads: usize,
+        shift_of_bin: F,
+    ) -> Result<SharedShiftCache>
+    where
+        F: Fn(i32) -> f64 + Sync,
+    {
+        let mut sorted: Vec<(u32, i32)> = keys.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        if sorted.is_empty() {
+            return Ok(SharedShiftCache {
+                min_bin: 0,
+                span: 0,
+                idx: Vec::new(),
+                store: Vec::new(),
+                leak: Vec::new(),
+                cap: Vec::new(),
+            });
+        }
+        let min_bin = sorted.iter().map(|&(_, b)| b).min().unwrap_or(0);
+        let max_bin = sorted.iter().map(|&(_, b)| b).max().unwrap_or(0);
+        let store = postopc_parallel::try_par_map(threads, &sorted, |_, &(cell, bin)| {
+            let (kind, base) = &cells.cells[cell as usize];
+            let shift = shift_of_bin(bin);
+            let mut records = base.clone();
+            for r in records.iter_mut() {
+                r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
+                r.l_leakage_nm = (r.l_leakage_nm + shift).max(1.0);
+            }
+            self.model.library().annotated_timing(*kind, &records)
+        })?;
+        let span = (max_bin - min_bin) as usize + 1;
+        let mut idx = vec![u32::MAX; cells.cells.len() * span];
+        for (i, &(cell, bin)) in sorted.iter().enumerate() {
+            idx[cell as usize * span + (bin - min_bin) as usize] = i as u32;
+        }
+        let leak = store.iter().map(|t| t.leakage_ua).collect();
+        let cap = store.iter().map(|t| t.input_cap_ff).collect();
+        Ok(SharedShiftCache {
+            min_bin,
+            span,
+            idx,
+            store,
+            leak,
+            cap,
+        })
+    }
+
+    /// The batched Monte Carlo hot path: evaluates [`LANES`] samples per
+    /// gate visit. `shift_of(lane, gi)` supplies the `(grid bin, shift)`
+    /// of gate `gi` in lane `lane` — called in gate-major order (all lanes
+    /// of gate 0, then gate 1, …) so lane fills stay cache-local.
+    ///
+    /// Per lane, every float operation mirrors [`Self::evaluate_shifted`]
+    /// exactly (same fold orders, same table lookups, same endpoint
+    /// accumulation), so each returned [`SampleTiming`] is bit-identical
+    /// to a scalar evaluation of the same shift stream — the contract the
+    /// `batched_parity` suite enforces. The propagation state is laid out
+    /// as `[f64; LANES]` rows (structure-of-arrays), so the per-lane loops
+    /// autovectorize in release builds, and timings are staged as 4-byte
+    /// indices into the shift caches instead of being copied per gate.
+    /// The backward required-time relaxation is skipped entirely: a sample
+    /// summary only reads endpoint required times and arrivals, which are
+    /// fixed before that pass runs.
+    ///
+    /// Callers with fewer than [`LANES`] live samples pad the tail lanes
+    /// by repeating a live sample's stream and discard the padded results
+    /// (every lane is always evaluated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors for non-physical shifted dimensions.
+    pub fn evaluate_shifted_batch<F>(
+        &self,
+        scratch: &mut StaScratch,
+        cells: &SampleCells,
+        shared: Option<&SharedShiftCache>,
+        mut shift_of: F,
+    ) -> Result<[SampleTiming; LANES]>
+    where
+        F: FnMut(usize, usize) -> (i32, f64),
+    {
+        let clock_ps = self.model.clock_ps();
+        let mut leakage = [0.0f64; LANES];
+        // Phase 1 — resolve every (gate, lane) timing to a tagged store
+        // index, characterizing misses through the shared scalar path.
+        // Leakage accumulates here in gate order, matching the scalar
+        // engine's accumulation order per lane.
+        scratch.lane_overflow.clear();
+        for (gi, &cell) in cells.cell_of_gate.iter().enumerate() {
+            // `lane` feeds `shift_of` and three lane-indexed arrays; an
+            // iterator over any one of them would obscure that.
+            #[allow(clippy::needless_range_loop)]
+            for lane in 0..LANES {
+                let (bin, shift) = shift_of(lane, gi);
+                // Hot path first: a prewarmed run resolves every lookup
+                // here, reading leakage and input cap from the shared
+                // cache's dense 8-byte side rows instead of dragging the
+                // full `CellTiming` through the cache (the values are
+                // copies of the same store fields — same bits).
+                if let Some((s, i)) = shared.and_then(|s| s.get(cell, bin).map(|i| (s, i))) {
+                    scratch.shift_cache.shared_hits += 1;
+                    debug_assert_eq!(i & (LANE_LOCAL_BIT | LANE_OVERFLOW_BIT), 0);
+                    leakage[lane] += s.leak[i as usize];
+                    scratch.lane_input_cap[gi][lane] = s.cap[i as usize];
+                    scratch.lane_timing_idx[gi * LANES + lane] = i;
+                    continue;
+                }
+                let key = (u64::from(cell) << 32) | u64::from(bin as u32);
+                let tagged = match scratch.shift_cache.get(key) {
+                    Some(i) => i | LANE_LOCAL_BIT,
+                    None => {
+                        let t = self.characterize_shift(cells, cell, shift, scratch)?;
+                        match scratch.shift_cache.insert(key, t) {
+                            Some(i) => i | LANE_LOCAL_BIT,
+                            None => {
+                                // Past the local cap: stage in the
+                                // batch-local overflow area.
+                                scratch.lane_overflow.push(t);
+                                (scratch.lane_overflow.len() - 1) as u32
+                                    | LANE_LOCAL_BIT
+                                    | LANE_OVERFLOW_BIT
+                            }
+                        }
+                    }
+                };
+                let t = lane_timing(
+                    &[],
+                    &scratch.shift_cache.store,
+                    &scratch.lane_overflow,
+                    tagged,
+                );
+                leakage[lane] += t.leakage_ua;
+                let cap = t.input_cap_ff;
+                scratch.lane_input_cap[gi][lane] = cap;
+                scratch.lane_timing_idx[gi * LANES + lane] = tagged;
+            }
+        }
+
+        // Phase 2 — lane-parallel propagation. Split-borrow the scratch so
+        // the timing stores stay readable while lane arrays mutate.
+        let StaScratch {
+            ref shift_cache,
+            ref lane_overflow,
+            ref lane_timing_idx,
+            ref lane_input_cap,
+            ref mut lane_sink_cap,
+            ref mut lane_slews,
+            ref mut lane_arrivals,
+            ref mut lane_endpoint_required,
+            ..
+        } = *scratch;
+        let shared_store: &[CellTiming] = shared.map_or(&[], |s| &s.store);
+        let local_store = &shift_cache.store;
+        let netlist = self.model.design().netlist();
+
+        // Sink loads (gate order, one add per input per lane — the scalar
+        // pass order, so partial sums agree bit for bit). The caps were
+        // staged per gate while the lane timings resolved above, so this
+        // pass never re-resolves a tagged index.
+        for row in lane_sink_cap.iter_mut() {
+            *row = [0.0; LANES];
+        }
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            let caps = lane_input_cap[gi];
+            for &input in &gate.inputs {
+                let row = &mut lane_sink_cap[input.0 as usize];
+                for l in 0..LANES {
+                    row[l] += caps[l];
+                }
+            }
+        }
+
+        // Delays, output slews and forward arrivals fused into a single
+        // topological walk: a gate's input slews *and* input arrivals are
+        // both final before the walk reaches it, so folding arrivals here
+        // performs exactly the float ops of the scalar engine's split
+        // delay/arrival passes — one traversal and one per-gate delay
+        // store/reload cheaper, and each lane timing resolves once.
+        for row in lane_slews.iter_mut() {
+            *row = [PRIMARY_INPUT_SLEW_PS; LANES];
+        }
+        for row in lane_arrivals.iter_mut() {
+            *row = [0.0; LANES];
+        }
+        for &gid in netlist.topological_order() {
+            let gate = netlist.gate(gid);
+            let gi = gid.0 as usize;
+            let ts: [&CellTiming; LANES] = std::array::from_fn(|l| {
+                lane_timing(
+                    shared_store,
+                    local_store,
+                    lane_overflow,
+                    lane_timing_idx[gi * LANES + l],
+                )
+            });
+            let (slew_in, worst_in) = if gate.kind.is_sequential() {
+                ([CLOCK_SLEW_PS; LANES], [0.0; LANES])
+            } else {
+                let mut s = [0.0f64; LANES];
+                let mut a = [0.0f64; LANES];
+                for n in &gate.inputs {
+                    let srow = &lane_slews[n.0 as usize];
+                    let arow = &lane_arrivals[n.0 as usize];
+                    for l in 0..LANES {
+                        s[l] = s[l].max(srow[l]);
+                        a[l] = a[l].max(arow[l]);
+                    }
+                }
+                (s, a)
+            };
+            let out = gate.output.0 as usize;
+            let sinks = lane_sink_cap[out];
+            let mut out_slews = [0.0f64; LANES];
+            let mut arrivals = [0.0f64; LANES];
+            let wire = self.drawn_wires[out].as_ref();
+            for l in 0..LANES {
+                let t = ts[l];
+                let c_sinks = sinks[l] + t.output_cap_ff;
+                let (table_delay, out_slew) = t.nldm.delay_and_slew_ps(slew_in[l], c_sinks);
+                let delay = match wire {
+                    Some(w) => {
+                        let r = t.drive_r_kohm();
+                        table_delay + (w.elmore_delay_ps(r, c_sinks) - r * c_sinks)
+                    }
+                    None => table_delay,
+                };
+                out_slews[l] = out_slew;
+                arrivals[l] = worst_in[l] + delay;
+            }
+            lane_slews[out] = out_slews;
+            lane_arrivals[out] = arrivals;
+        }
+
+        // Endpoint required times in the scalar push order (primary
+        // outputs, then sequential gates in index order). The backward
+        // relaxation over internal nets is omitted: the sample summary
+        // below never reads it.
+        lane_endpoint_required.clear();
+        for &po in netlist.primary_outputs() {
+            lane_endpoint_required.push((po, [clock_ps; LANES]));
+        }
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            let t0 = lane_timing(
+                shared_store,
+                local_store,
+                lane_overflow,
+                lane_timing_idx[gi * LANES],
+            );
+            if t0.sequential.is_none() {
+                continue;
+            }
+            // Sequential-ness is a property of the cell kind, so every
+            // lane of a gate agrees on it; setup times still vary per bin.
+            let mut req = [clock_ps; LANES];
+            for (l, r) in req.iter_mut().enumerate() {
+                let t = lane_timing(
+                    shared_store,
+                    local_store,
+                    lane_overflow,
+                    lane_timing_idx[gi * LANES + l],
+                );
+                if let Some(seq) = &t.sequential {
+                    *r = clock_ps - seq.setup_ps;
+                }
+            }
+            lane_endpoint_required.push((gate.inputs[0], req));
+        }
+
+        // Worst slack per lane: min-fold over endpoints in push order.
+        let mut worst = [f64::INFINITY; LANES];
+        for &(net, req) in lane_endpoint_required.iter() {
+            let arr = &lane_arrivals[net.0 as usize];
+            for l in 0..LANES {
+                worst[l] = worst[l].min(req[l] - arr[l]);
+            }
+        }
+        Ok(std::array::from_fn(|l| SampleTiming {
+            worst_slack_ps: worst[l],
+            critical_delay_ps: clock_ps - worst[l],
+            leakage_ua: leakage[l],
+        }))
     }
 
     /// Delay/arrival/required propagation over `scratch.timings`,
@@ -550,7 +991,7 @@ impl<'m> CompiledSta<'m> {
             };
             let out = gate.output.0 as usize;
             let c_sinks = scratch.sink_cap[out] + t.output_cap_ff;
-            let table_delay = t.nldm.delay_ps(slew_in, c_sinks);
+            let (table_delay, out_slew) = t.nldm.delay_and_slew_ps(slew_in, c_sinks);
             scratch.gate_delays[gid.0 as usize] = match &self.drawn_wires[out] {
                 Some(w) => {
                     let wire = match annotation.and_then(|a| a.net(NetId(out as u32))) {
@@ -564,7 +1005,7 @@ impl<'m> CompiledSta<'m> {
                 }
                 None => table_delay,
             };
-            scratch.slews[out] = t.nldm.output_slew_ps(slew_in, c_sinks);
+            scratch.slews[out] = out_slew;
         }
 
         // Forward arrivals in topological order.
@@ -721,7 +1162,7 @@ mod tests {
         };
         let mut scratch = compiled.scratch();
         let shifted = compiled
-            .evaluate_shifted(&mut scratch, &cells, shift_of)
+            .evaluate_shifted(&mut scratch, &cells, None, shift_of)
             .expect("shifted");
         // The generic record-fill path on the same shifts must agree
         // exactly (the shift cache replays the bits a fill computes).
@@ -740,7 +1181,7 @@ mod tests {
         let entries = scratch.shift_cache_len();
         let hits = scratch.shift_cache_hits();
         let again = compiled
-            .evaluate_shifted(&mut scratch, &cells, shift_of)
+            .evaluate_shifted(&mut scratch, &cells, None, shift_of)
             .expect("again");
         assert_eq!(again, shifted);
         assert_eq!(scratch.shift_cache_len(), entries);

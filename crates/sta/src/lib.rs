@@ -47,7 +47,7 @@ pub mod paths;
 pub mod statistical;
 
 pub use annotate::{CdAnnotation, GateAnnotation, NetAnnotation, TransistorCd};
-pub use compiled::{CompiledSta, SampleCells, SampleTiming, StaScratch};
+pub use compiled::{CompiledSta, SampleCells, SampleTiming, SharedShiftCache, StaScratch, LANES};
 pub use corners::{
     analyze_corner, analyze_corners, analyze_corners_with, corner_annotation, Corner,
 };
@@ -58,4 +58,6 @@ pub use liberty::{
     NLDM_LOAD_PTS, NLDM_SLEW_AXIS_PS, NLDM_SLEW_PTS, PRIMARY_INPUT_SLEW_PS,
 };
 pub use paths::k_worst_paths;
-pub use statistical::{MonteCarloConfig, MonteCarloResult};
+pub use statistical::{
+    ConvergencePoint, McEngine, MonteCarloConfig, MonteCarloResult, Sampling, ShiftCacheStats,
+};

@@ -73,19 +73,40 @@ impl NldmTable {
 
     /// Clamped segment lookup on an ascending axis: the segment index and
     /// the interpolation weight in `[0, 1]` within it.
+    ///
+    /// Branchless on purpose: the segment index is a popcount of
+    /// `x > axis[k]` tests and the weight clamp folds the two
+    /// out-of-range cases into the in-range formula — per-lane slews and
+    /// loads land in different segments, so data-dependent branches here
+    /// would mispredict constantly in the batched evaluator's hot loop.
+    /// Bit-compatible with the branchy form: inside a segment the weight
+    /// expression is untouched, below the axis it clamps to exactly 0.0,
+    /// above to exactly 1.0.
     fn segment(axis: &[f64], x: f64) -> (usize, f64) {
         let last = axis.len() - 1;
-        if x <= axis[0] {
-            return (0, 0.0);
-        }
-        if x >= axis[last] {
-            return (last - 1, 1.0);
-        }
         let mut i = 0;
-        while x > axis[i + 1] {
-            i += 1;
+        for &knot in &axis[1..last] {
+            i += usize::from(x > knot);
         }
-        (i, (x - axis[i]) / (axis[i + 1] - axis[i]))
+        let w = ((x - axis[i]) / (axis[i + 1] - axis[i])).clamp(0.0, 1.0);
+        (i, w)
+    }
+
+    /// Interpolates one grid at a resolved segment pair.
+    ///
+    /// Endpoint-exact lerp form: at a weight of exactly 0 or 1 the
+    /// result is the grid node's bits, not a round-trip through a
+    /// difference — queries on grid nodes replay characterization
+    /// exactly.
+    #[inline]
+    fn lerp2(
+        grid: &[[f64; NLDM_LOAD_PTS]; NLDM_SLEW_PTS],
+        (i, ws): (usize, f64),
+        (j, wc): (usize, f64),
+    ) -> f64 {
+        let lo = (1.0 - wc) * grid[i][j] + wc * grid[i][j + 1];
+        let hi = (1.0 - wc) * grid[i + 1][j] + wc * grid[i + 1][j + 1];
+        (1.0 - ws) * lo + ws * hi
     }
 
     /// Clamped bilinear interpolation of one grid at (slew, load).
@@ -95,15 +116,9 @@ impl NldmTable {
         slew_ps: f64,
         load_ff: f64,
     ) -> f64 {
-        let (i, ws) = Self::segment(&NLDM_SLEW_AXIS_PS, slew_ps);
-        let (j, wc) = Self::segment(&self.load_axis_ff, load_ff);
-        // Endpoint-exact lerp form: at a weight of exactly 0 or 1 the
-        // result is the grid node's bits, not a round-trip through a
-        // difference — queries on grid nodes replay characterization
-        // exactly.
-        let lo = (1.0 - wc) * grid[i][j] + wc * grid[i][j + 1];
-        let hi = (1.0 - wc) * grid[i + 1][j] + wc * grid[i + 1][j + 1];
-        (1.0 - ws) * lo + ws * hi
+        let s = Self::segment(&NLDM_SLEW_AXIS_PS, slew_ps);
+        let c = Self::segment(&self.load_axis_ff, load_ff);
+        Self::lerp2(grid, s, c)
     }
 
     /// Arc delay at (input slew, output load), in ps. For sequential
@@ -115,6 +130,22 @@ impl NldmTable {
     /// Output slew at (input slew, output load), in ps.
     pub fn output_slew_ps(&self, slew_ps: f64, load_ff: f64) -> f64 {
         self.bilinear(&self.slew_grid_ps, slew_ps, load_ff)
+    }
+
+    /// Arc delay and output slew at one (input slew, output load) point,
+    /// resolving the two axis searches once and interpolating both grids
+    /// from them. Bit-identical to calling [`Self::delay_ps`] then
+    /// [`Self::output_slew_ps`] — the identical lerps on the identical
+    /// segments — at half the search cost; the compiled evaluators'
+    /// propagation loops use this form.
+    #[inline]
+    pub fn delay_and_slew_ps(&self, slew_ps: f64, load_ff: f64) -> (f64, f64) {
+        let s = Self::segment(&NLDM_SLEW_AXIS_PS, slew_ps);
+        let c = Self::segment(&self.load_axis_ff, load_ff);
+        (
+            Self::lerp2(&self.delay_grid_ps, s, c),
+            Self::lerp2(&self.slew_grid_ps, s, c),
+        )
     }
 }
 

@@ -7,17 +7,59 @@
 //! bound.
 //!
 //! [`run`] evaluates samples through the compiled evaluator
-//! ([`crate::CompiledSta`]) with per-worker scratch; [`run_reference`] is
-//! the retained naive baseline (one [`TimingModel::analyze`] per sample)
-//! that the compiled engine is proven bit-identical to.
+//! ([`crate::CompiledSta`]); the default [`McEngine::Batched`] engine
+//! processes [`LANES`](crate::LANES) samples per gate visit over a shift
+//! cache prewarmed once and shared read-only across workers, and is
+//! bit-identical to the scalar engine and to [`run_reference`] (one
+//! [`TimingModel::analyze`] per sample) for the same sample stream.
+//!
+//! Three [`Sampling`] schemes share one inverse-CDF sampler: plain
+//! independent draws, antithetic pairing (sample `2p + 1` negates the
+//! normals of sample `2p`, cancelling odd error terms), and stratified
+//! Latin-hypercube sampling (each gate's `n` draws occupy all `n`
+//! equiprobable strata exactly once, in a per-gate deterministic random
+//! order). All are deterministic given the config and thread-count
+//! invariant, via per-sample seed splitting.
 
 use crate::annotate::{CdAnnotation, GateAnnotation, TransistorCd};
-use crate::compiled::CompiledSta;
+use crate::compiled::{CompiledSta, SampleCells, LANES};
 use crate::error::{Result, StaError};
 use crate::graph::TimingModel;
 use postopc_layout::GateId;
 use postopc_rng::rngs::StdRng;
-use postopc_rng::{split_seed, RngExt, SeedableRng};
+use postopc_rng::{split_seed, unit_range_f64, LaneRng, RngExt, SeedableRng};
+
+/// How per-gate CD shifts are sampled across the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Sampling {
+    /// Independent standard-normal draws per sample (the baseline).
+    #[default]
+    Plain,
+    /// Antithetic pairing: samples `2p` and `2p + 1` share one uniform
+    /// stream, with the odd sample's normals negated. First-order (odd)
+    /// error terms of the pair cancel, shrinking the variance of smooth
+    /// statistics at the same sample count.
+    Antithetic,
+    /// Stratified (Latin-hypercube) sampling: for a run of `n` samples,
+    /// each gate's `n` normal draws are produced by inverting one uniform
+    /// jitter inside each of the `n` equiprobable strata of the normal
+    /// CDF, visited in a per-gate deterministic random order. Every
+    /// marginal is sampled with near-zero stratum imbalance, which
+    /// collapses the variance of quantile estimates.
+    Stratified,
+}
+
+/// Which evaluation engine a Monte Carlo run uses. Both are bit-identical
+/// for the same config; the batched engine is several times faster.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum McEngine {
+    /// One sample per gate visit ([`CompiledSta::evaluate_shifted`]).
+    Scalar,
+    /// [`LANES`](crate::LANES) samples per gate visit over a prewarmed
+    /// shared shift cache ([`CompiledSta::evaluate_shifted_batch`]).
+    #[default]
+    Batched,
+}
 
 /// Monte Carlo configuration.
 #[derive(Debug, Clone, PartialEq)]
@@ -31,6 +73,10 @@ pub struct MonteCarloConfig {
     /// Worker-thread override (`None` resolves `POSTOPC_THREADS`, then
     /// the hardware). Results are identical for any thread count.
     pub threads: Option<usize>,
+    /// Variance-reduction scheme for the per-gate shift draws.
+    pub sampling: Sampling,
+    /// Evaluation engine (bit-identical either way; batched is faster).
+    pub engine: McEngine,
 }
 
 impl Default for MonteCarloConfig {
@@ -40,12 +86,32 @@ impl Default for MonteCarloConfig {
             sigma_nm: 2.0,
             seed: 1,
             threads: None,
+            sampling: Sampling::Plain,
+            engine: McEngine::Batched,
         }
     }
 }
 
+/// Shift-cache behaviour of one Monte Carlo run, summed over workers.
+///
+/// Diagnostic only: totals depend on how samples were partitioned across
+/// per-worker caches, so they may vary with the thread count even though
+/// the sampled results never do (hence excluded from result equality).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShiftCacheStats {
+    /// Per-worker `(cell, bin)` cache hits.
+    pub hits: u64,
+    /// Per-worker cache misses (each ran the device model once).
+    pub misses: u64,
+    /// Lookups served by the prewarmed shared cache.
+    pub shared_hits: u64,
+    /// Entries characterized once into the shared cache before sampling
+    /// (0 for engines that skip prewarming).
+    pub prewarmed: u64,
+}
+
 /// Distribution summary of a Monte Carlo run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct MonteCarloResult {
     worst_slacks_ps: Vec<f64>,
     critical_delays_ps: Vec<f64>,
@@ -53,6 +119,19 @@ pub struct MonteCarloResult {
     /// Worst slacks sorted ascending, computed once at construction so
     /// quantile queries are O(1) instead of a clone+sort per call.
     sorted_worst_slacks_ps: Vec<f64>,
+    cache_stats: ShiftCacheStats,
+}
+
+/// Result equality is over the sampled distributions only (worst slacks,
+/// critical delays, leakages, in sample order). [`ShiftCacheStats`] is a
+/// scheduling-dependent diagnostic, so two bit-identical runs on
+/// different thread counts still compare equal.
+impl PartialEq for MonteCarloResult {
+    fn eq(&self, other: &Self) -> bool {
+        self.worst_slacks_ps == other.worst_slacks_ps
+            && self.critical_delays_ps == other.critical_delays_ps
+            && self.leakages_ua == other.leakages_ua
+    }
 }
 
 impl MonteCarloResult {
@@ -70,7 +149,20 @@ impl MonteCarloResult {
             critical_delays_ps,
             leakages_ua,
             sorted_worst_slacks_ps,
+            cache_stats: ShiftCacheStats::default(),
         }
+    }
+
+    /// [`Self::new`] with the run's shift-cache counters attached.
+    pub fn with_cache_stats(mut self, cache_stats: ShiftCacheStats) -> MonteCarloResult {
+        self.cache_stats = cache_stats;
+        self
+    }
+
+    /// Shift-cache counters of the run that produced this result (zeros
+    /// for the naive reference engine, which has no shift cache).
+    pub fn cache_stats(&self) -> ShiftCacheStats {
+        self.cache_stats
     }
 
     /// Worst slack of each sample, in ps (sample order).
@@ -100,14 +192,32 @@ impl MonteCarloResult {
 
     /// The `q`-quantile (0..=1) of the worst-slack distribution, in ps.
     ///
+    /// Estimated by linear interpolation between order statistics
+    /// (Hyndman–Fan type 7, the R/NumPy default): with `n` sorted samples
+    /// `x[0..n]`, the position is `h = (n - 1) q` and the estimate
+    /// `x[⌊h⌋] + (h - ⌊h⌋) · (x[⌊h⌋+1] - x[⌊h⌋])`. `q = 0` and `q = 1`
+    /// return the sample extremes exactly.
+    ///
     /// # Panics
     ///
     /// Panics if the result is empty (configs with `samples == 0` are
     /// rejected up front).
     pub fn worst_slack_quantile_ps(&self, q: f64) -> f64 {
-        let sorted = &self.sorted_worst_slacks_ps;
-        let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-        sorted[idx]
+        interpolated_quantile(&self.sorted_worst_slacks_ps, q)
+    }
+
+    /// [`Self::worst_slack_quantile_ps`] for several quantiles against the
+    /// one cached sorted view — callers needing a quantile profile (e.g.
+    /// guardband sweeps) issue one call instead of re-sorting per level.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the result is empty (configs with `samples == 0` are
+    /// rejected up front).
+    pub fn worst_slack_quantiles_ps(&self, qs: &[f64]) -> Vec<f64> {
+        qs.iter()
+            .map(|&q| interpolated_quantile(&self.sorted_worst_slacks_ps, q))
+            .collect()
     }
 
     /// Mean critical delay, in ps.
@@ -118,6 +228,19 @@ impl MonteCarloResult {
     /// Mean leakage, in µA.
     pub fn mean_leakage_ua(&self) -> f64 {
         mean(&self.leakages_ua)
+    }
+}
+
+/// Hyndman–Fan type 7 quantile over an ascending-sorted sample.
+fn interpolated_quantile(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let h = (n - 1) as f64 * q.clamp(0.0, 1.0);
+    let lo = (h.floor() as usize).min(n - 1);
+    let frac = h - lo as f64;
+    if frac == 0.0 || lo + 1 >= n {
+        sorted[lo]
+    } else {
+        sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
     }
 }
 
@@ -175,14 +298,18 @@ fn base_records(
 /// `systematic` is `None`. The same random shift is applied to all fingers
 /// of one gate (intra-gate variation is already captured by slice
 /// extraction), and the shift is quantized to a `sigma / 16` grid (see
-/// [`sampled_shift`]) so characterization memoizes per `(cell, grid bin)`
-/// instead of running once per gate per sample.
+/// [`SHIFT_BINS_PER_SIGMA`]) so characterization memoizes per
+/// `(cell, grid bin)` instead of running once per gate per sample.
 ///
-/// The design is compiled once; each worker reuses one
-/// [`crate::StaScratch`] (propagation buffers + characterization caches)
-/// across its samples via `par_map_init`. Each sample derives its own RNG
-/// stream from `(seed, sample index)`, so results are bit-identical to
-/// [`run_reference`] for any thread count.
+/// The design is compiled once. The default [`McEngine::Batched`] engine
+/// first draws the whole run's shift bins, prewarms every distinct
+/// `(cell, bin)` into a read-only [`crate::SharedShiftCache`] shared
+/// across workers, then evaluates [`LANES`](crate::LANES) samples per gate
+/// visit; the scalar engine evaluates one sample at a time against
+/// per-worker caches. Each sample derives its own RNG stream from
+/// `(seed, sample index)` (pair index for antithetic sampling), so results
+/// are bit-identical across engines, [`run_reference`], and any thread
+/// count.
 ///
 /// # Errors
 ///
@@ -200,8 +327,7 @@ pub fn run(
 /// [`run`] against an existing compiled evaluator: flows that already
 /// hold a [`CompiledSta`] (drawn analysis, corner sweeps) share it
 /// instead of compiling a fresh one per Monte Carlo run. Workers still
-/// own per-thread scratches internally (via `par_map_init`), so no
-/// scratch is taken here.
+/// own per-thread scratches internally, so no scratch is taken here.
 ///
 /// # Errors
 ///
@@ -216,39 +342,190 @@ pub fn run_with(
     let model = compiled.model();
     let bases = base_records(model, systematic);
     let cells = compiled.sample_cells(&bases);
-    let sample_indices: Vec<u64> = (0..config.samples as u64).collect();
     let threads = postopc_parallel::effective_threads(config.threads);
+    let plan = stratified_plan(config, bases.len());
+    let sampler = ShiftSampler {
+        sigma_nm: config.sigma_nm,
+        seed: config.seed,
+        sampling: config.sampling,
+        plan: plan.as_ref(),
+    };
+    match config.engine {
+        McEngine::Scalar => run_scalar(compiled, &cells, &sampler, config, threads),
+        McEngine::Batched => run_batched(compiled, &cells, &sampler, config, threads),
+    }
+}
+
+/// The scalar engine: one [`CompiledSta::evaluate_shifted`] per sample,
+/// per-worker shift caches, no prewarm.
+fn run_scalar(
+    compiled: &CompiledSta<'_>,
+    cells: &SampleCells,
+    sampler: &ShiftSampler<'_>,
+    config: &MonteCarloConfig,
+    threads: usize,
+) -> Result<MonteCarloResult> {
+    let sample_indices: Vec<u64> = (0..config.samples as u64).collect();
     let summaries = postopc_parallel::try_par_map_init(
         threads,
         &sample_indices,
         || compiled.scratch(),
         |scratch, _, &sample| {
-            let mut rng = StdRng::seed_from_u64(split_seed(config.seed, sample));
-            // One shift per gate, drawn in gate order — the same stream
-            // the reference engine consumes.
-            compiled.evaluate_shifted(scratch, &cells, |_| {
-                sampled_shift(&mut rng, config.sigma_nm)
-            })
+            let before = (scratch.shift_cache_hits(), scratch.shift_cache_misses());
+            let mut stream = sampler.stream(sample);
+            let timing = compiled
+                .evaluate_shifted(scratch, cells, None, |gi| sampler.shift(&mut stream, gi))?;
+            Ok::<_, StaError>((
+                timing,
+                scratch.shift_cache_hits() - before.0,
+                scratch.shift_cache_misses() - before.1,
+            ))
         },
     )?;
+    let mut stats = ShiftCacheStats::default();
     let mut worst = Vec::with_capacity(config.samples);
     let mut delays = Vec::with_capacity(config.samples);
     let mut leaks = Vec::with_capacity(config.samples);
-    for s in summaries {
+    for (s, hits, misses) in summaries {
         worst.push(s.worst_slack_ps);
         delays.push(s.critical_delay_ps);
         leaks.push(s.leakage_ua);
+        stats.hits += hits;
+        stats.misses += misses;
     }
-    Ok(MonteCarloResult::new(worst, delays, leaks))
+    Ok(MonteCarloResult::new(worst, delays, leaks).with_cache_stats(stats))
+}
+
+/// The batched engine: draw the whole run's shift bins once, prewarm
+/// every distinct `(cell, bin)` into a shared read-only cache, then
+/// evaluate [`LANES`] samples per gate visit. Bit-identical to the scalar
+/// engine because the bins come from the same per-sample streams and the
+/// batched evaluator mirrors the scalar float-operation order per lane.
+fn run_batched(
+    compiled: &CompiledSta<'_>,
+    cells: &SampleCells,
+    sampler: &ShiftSampler<'_>,
+    config: &MonteCarloConfig,
+    threads: usize,
+) -> Result<MonteCarloResult> {
+    let n = config.samples;
+    let n_gates = cells.cell_of_gate().len();
+    let step = shift_step(config.sigma_nm);
+
+    // Phase 1 — sampling: every sample's per-gate shift bins, drawn from
+    // the same streams the scalar engine consumes, then transposed to
+    // gate-major layout (`bins[g * n + s]`) so one gate's lane reads are
+    // contiguous in the evaluation hot loop.
+    // One bin block per LANES-wide batch, already in the gate-major
+    // `block[gate * LANES + lane]` layout the evaluation hot loop reads —
+    // the lockstep lane fill writes it directly, no transpose pass.
+    let batch_indices: Vec<usize> = (0..n.div_ceil(LANES)).collect();
+    let blocks: Vec<Vec<i32>> = postopc_parallel::par_map_init(
+        threads,
+        &batch_indices,
+        FillBuffers::default,
+        |buf, _, &batch| {
+            let mut block = vec![0i32; n_gates * LANES];
+            sampler.fill_bins_block(batch * LANES, n, buf, &mut block);
+            block
+        },
+    );
+
+    // Phase 2 — prewarm: enumerate the distinct (cell, bin) pairs of the
+    // whole run (dense presence bitmap over the observed bin range) and
+    // characterize each exactly once into the shared cache.
+    let shared = {
+        let (mut lo, mut hi) = (i32::MAX, i32::MIN);
+        for block in &blocks {
+            for &b in block {
+                lo = lo.min(b);
+                hi = hi.max(b);
+            }
+        }
+        let span = if blocks.is_empty() {
+            0
+        } else {
+            (hi - lo) as usize + 1
+        };
+        let mut seen = vec![false; cells.distinct() * span];
+        let mut keys: Vec<(u32, i32)> = Vec::new();
+        for block in &blocks {
+            for (gi, lanes) in block.chunks_exact(LANES).enumerate() {
+                let cell = cells.cell_of_gate()[gi];
+                for &bin in lanes {
+                    let slot = cell as usize * span + (bin - lo) as usize;
+                    if !seen[slot] {
+                        seen[slot] = true;
+                        keys.push((cell, bin));
+                    }
+                }
+            }
+        }
+        compiled.prewarm_shift_cache(cells, &keys, threads, |bin| f64::from(bin) * step)?
+    };
+
+    // Phase 3 — evaluation: contiguous LANES-wide batches in input order.
+    // Tail lanes past the last sample repeat the final sample's stream and
+    // are discarded (the kernel always evaluates every lane).
+    let summaries = postopc_parallel::try_par_map_batched_init(
+        threads,
+        n,
+        LANES,
+        || compiled.scratch(),
+        |scratch, range| {
+            let before = (
+                scratch.shift_cache_hits(),
+                scratch.shift_cache_misses(),
+                scratch.shift_cache_shared_hits(),
+            );
+            let block = &blocks[range.start / LANES];
+            let lanes =
+                compiled.evaluate_shifted_batch(scratch, cells, Some(&shared), |lane, gi| {
+                    let bin = block[gi * LANES + lane];
+                    (bin, f64::from(bin) * step)
+                })?;
+            let deltas = (
+                scratch.shift_cache_hits() - before.0,
+                scratch.shift_cache_misses() - before.1,
+                scratch.shift_cache_shared_hits() - before.2,
+            );
+            Ok::<_, StaError>(
+                range
+                    .clone()
+                    .map(|s| {
+                        let d = if s == range.start { deltas } else { (0, 0, 0) };
+                        (lanes[s - range.start], d)
+                    })
+                    .collect(),
+            )
+        },
+    )?;
+    let mut stats = ShiftCacheStats {
+        prewarmed: shared.entries() as u64,
+        ..ShiftCacheStats::default()
+    };
+    let mut worst = Vec::with_capacity(n);
+    let mut delays = Vec::with_capacity(n);
+    let mut leaks = Vec::with_capacity(n);
+    for (s, (hits, misses, shared_hits)) in summaries {
+        worst.push(s.worst_slack_ps);
+        delays.push(s.critical_delay_ps);
+        leaks.push(s.leakage_ua);
+        stats.hits += hits;
+        stats.misses += misses;
+        stats.shared_hits += shared_hits;
+    }
+    Ok(MonteCarloResult::new(worst, delays, leaks).with_cache_stats(stats))
 }
 
 /// The naive Monte Carlo baseline: one full [`TimingModel::analyze`] —
 /// fresh annotation HashMap, wires, characterization and report vectors —
 /// per sample.
 ///
-/// Retained as the reference implementation the compiled engine ([`run`])
-/// is benchmarked against and proven bit-identical to; use [`run`]
-/// everywhere else.
+/// Retained as the reference implementation the compiled engines ([`run`])
+/// are benchmarked against and proven bit-identical to; use [`run`]
+/// everywhere else. Consumes the same per-sample streams as the compiled
+/// engines for every [`Sampling`] scheme.
 ///
 /// # Errors
 ///
@@ -261,13 +538,20 @@ pub fn run_reference(
 ) -> Result<MonteCarloResult> {
     validate(config)?;
     let bases = base_records(model, systematic);
+    let plan = stratified_plan(config, bases.len());
+    let sampler = ShiftSampler {
+        sigma_nm: config.sigma_nm,
+        seed: config.seed,
+        sampling: config.sampling,
+        plan: plan.as_ref(),
+    };
     let sample_indices: Vec<u64> = (0..config.samples as u64).collect();
     let threads = postopc_parallel::effective_threads(config.threads);
     let reports = postopc_parallel::try_par_map(threads, &sample_indices, |_, &sample| {
-        let mut rng = StdRng::seed_from_u64(split_seed(config.seed, sample));
+        let mut stream = sampler.stream(sample);
         let mut ann = CdAnnotation::new();
         for (gi, base) in bases.iter().enumerate() {
-            let (_, shift) = sampled_shift(&mut rng, config.sigma_nm);
+            let (_, shift) = sampler.shift(&mut stream, gi);
             let mut records = base.clone();
             for r in &mut records {
                 r.l_delay_nm = (r.l_delay_nm + shift).max(1.0);
@@ -298,33 +582,388 @@ pub fn run_reference(
     Ok(MonteCarloResult::new(worst, delays, leaks))
 }
 
+/// One point of a variance-reduction convergence study: the worst-slack
+/// estimation errors of `(sampling, samples)` against a high-sample
+/// reference, averaged over seeds, with the mean per-run wall clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConvergencePoint {
+    /// Sampling scheme of this point.
+    pub sampling: Sampling,
+    /// Samples per run.
+    pub samples: usize,
+    /// Mean absolute 1%-quantile worst-slack error vs the reference, ps.
+    pub q01_abs_err_ps: f64,
+    /// Mean absolute mean-worst-slack error vs the reference, ps. The
+    /// statistic antithetic and stratified sampling actually collapse:
+    /// their per-gate coverage guarantees cancel the leading error terms
+    /// of *smooth* estimators, while a deep tail order statistic of the
+    /// max-type worst slack keeps most of its sampling noise (see the
+    /// `mc_batch` benchmark table).
+    pub mean_abs_err_ps: f64,
+    /// Mean wall clock of one run at this point, in seconds.
+    pub mean_wall_s: f64,
+}
+
+/// Measures convergence of sampling schemes against a high-sample plain
+/// reference run: for each `(sampling, samples)` point, runs one Monte
+/// Carlo per seed in `seeds` (re-seeded from `base.seed` xor the entry)
+/// and reports the mean absolute errors of the worst-slack mean and
+/// 1%-quantile plus the mean wall clock — the data behind the "matched
+/// mean error at fewer samples" CI gate and the `mc_batch` benchmark
+/// table.
+///
+/// `reference_samples` should be several times the largest point (the
+/// reference uses plain sampling, the batched engine and `base.seed`).
+///
+/// # Errors
+///
+/// Propagates configuration and analysis errors from the underlying runs.
+pub fn convergence_study(
+    compiled: &CompiledSta<'_>,
+    systematic: Option<&CdAnnotation>,
+    base: &MonteCarloConfig,
+    reference_samples: usize,
+    points: &[(Sampling, usize)],
+    seeds: &[u64],
+) -> Result<Vec<ConvergencePoint>> {
+    let reference = run_with(
+        compiled,
+        systematic,
+        &MonteCarloConfig {
+            samples: reference_samples,
+            sampling: Sampling::Plain,
+            engine: McEngine::Batched,
+            ..base.clone()
+        },
+    )?;
+    let ref_q01 = reference.worst_slack_quantile_ps(0.01);
+    let ref_mean = reference.mean_worst_slack_ps();
+    let mut out = Vec::with_capacity(points.len());
+    for &(sampling, samples) in points {
+        let mut q01_err_sum = 0.0;
+        let mut mean_err_sum = 0.0;
+        let mut wall_sum = 0.0;
+        for &seed in seeds {
+            let cfg = MonteCarloConfig {
+                samples,
+                sampling,
+                seed: base.seed ^ seed,
+                ..base.clone()
+            };
+            let t0 = std::time::Instant::now();
+            let mc = run_with(compiled, systematic, &cfg)?;
+            wall_sum += t0.elapsed().as_secs_f64();
+            q01_err_sum += (mc.worst_slack_quantile_ps(0.01) - ref_q01).abs();
+            mean_err_sum += (mc.mean_worst_slack_ps() - ref_mean).abs();
+        }
+        let runs = seeds.len().max(1) as f64;
+        out.push(ConvergencePoint {
+            sampling,
+            samples,
+            q01_abs_err_ps: q01_err_sum / runs,
+            mean_abs_err_ps: mean_err_sum / runs,
+            mean_wall_s: wall_sum / runs,
+        });
+    }
+    Ok(out)
+}
+
 /// Shift-grid resolution: bins per sigma. The sampled distribution is a
 /// normal discretized to steps of `sigma / 16` — a quantization error of
 /// at most `sigma / 32` (3% of sigma), far below Monte Carlo sampling
 /// noise at any practical sample count, in exchange for characterization
 /// collapsing to one device-model run per `(cell, bin)`.
-const SHIFT_BINS_PER_SIGMA: f64 = 16.0;
+pub const SHIFT_BINS_PER_SIGMA: f64 = 16.0;
 
-/// One per-gate CD shift: a standard-normal draw scaled by `sigma_nm` and
-/// rounded to the shift grid. Returns the grid bin and the shift in nm
-/// (`bin * sigma / 16` exactly — the bin is the cache identity of the
-/// shift). Both Monte Carlo engines sample through this one function, so
-/// their per-gate CDs agree bit for bit.
-fn sampled_shift(rng: &mut StdRng, sigma_nm: f64) -> (i32, f64) {
-    let raw = normal(rng) * sigma_nm;
+/// Width of one shift-grid bin in nm (0 when sigma is 0, where every
+/// draw collapses to bin 0 with a zero shift).
+fn shift_step(sigma_nm: f64) -> f64 {
+    if sigma_nm == 0.0 {
+        0.0
+    } else {
+        sigma_nm / SHIFT_BINS_PER_SIGMA
+    }
+}
+
+/// Quantizes a raw shift (nm) to the grid: returns the grid bin and the
+/// shift `bin * step` exactly — the bin is the cache identity of the
+/// shift, and `bin as f64 * step` reproduces the shift bit for bit (the
+/// batched engine stores only bins and rebuilds shifts that way).
+fn quantize(raw_nm: f64, sigma_nm: f64) -> (i32, f64) {
     if sigma_nm == 0.0 {
         return (0, 0.0);
     }
     let step = sigma_nm / SHIFT_BINS_PER_SIGMA;
-    let bin = (raw / step).round();
-    (bin as i32, bin * step)
+    let bin = quantize_bin(raw_nm, SHIFT_BINS_PER_SIGMA / sigma_nm);
+    (bin, f64::from(bin) * step)
 }
 
-/// Standard normal sample (Box–Muller).
-fn normal(rng: &mut StdRng) -> f64 {
-    let u1: f64 = rng.random_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.random_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+/// The bin of a raw shift given the precomputed inverse step
+/// (`SHIFT_BINS_PER_SIGMA / sigma`). Rounds half-to-even — a single
+/// rounding instruction, so the batched bin fill vectorizes — and is the
+/// one rounding rule every engine shares (ties sit exactly between two
+/// grid points; either neighbour is an equally valid discretization, it
+/// only has to be the *same* one everywhere).
+#[inline]
+fn quantize_bin(raw_nm: f64, inv_step: f64) -> i32 {
+    (raw_nm * inv_step).round_ties_even() as i32
+}
+
+/// Per-gate stratum permutations of a stratified run: gate `g`'s draw for
+/// sample `s` lands in stratum `perm[g * n + s]`, a Fisher–Yates shuffle
+/// of `0..n` seeded from the config seed and the gate index — independent
+/// of the sample index, so any worker reproduces it.
+struct StratifiedPlan {
+    n: usize,
+    perm: Vec<u32>,
+}
+
+/// Seed salt separating the per-gate permutation streams from the
+/// per-sample jitter streams.
+const STRATA_SEED_SALT: u64 = 0x5354_5241_5441_u64;
+
+/// Builds the stratified plan when the config asks for it.
+fn stratified_plan(config: &MonteCarloConfig, n_gates: usize) -> Option<StratifiedPlan> {
+    if config.sampling != Sampling::Stratified {
+        return None;
+    }
+    let n = config.samples;
+    let mut perm = Vec::with_capacity(n_gates * n);
+    for g in 0..n_gates {
+        let mut rng = StdRng::seed_from_u64(split_seed(config.seed ^ STRATA_SEED_SALT, g as u64));
+        let base = perm.len();
+        perm.extend(0..n as u32);
+        for i in (1..n).rev() {
+            let j = rng.random_range(0..=i);
+            perm.swap(base + i, base + j);
+        }
+    }
+    Some(StratifiedPlan { n, perm })
+}
+
+/// The per-gate CD shift sampler shared by every engine. One instance per
+/// run; [`Self::stream`] derives a sample's deterministic stream and
+/// [`Self::shift`] draws that sample's per-gate shifts from it in gate
+/// order. All schemes consume exactly one uniform per gate, mapped
+/// through the inverse normal CDF.
+struct ShiftSampler<'a> {
+    sigma_nm: f64,
+    seed: u64,
+    sampling: Sampling,
+    plan: Option<&'a StratifiedPlan>,
+}
+
+/// One sample's deterministic draw state.
+struct SampleStream {
+    rng: StdRng,
+    /// Negate the normal draws (odd half of an antithetic pair).
+    negate: bool,
+    /// Sample index (stratum column of a stratified run).
+    sample: usize,
+}
+
+impl ShiftSampler<'_> {
+    /// The deterministic stream of sample `sample`: seeded from the pair
+    /// index for antithetic sampling (both halves replay one stream), the
+    /// sample index otherwise.
+    fn stream(&self, sample: u64) -> SampleStream {
+        let (stream_index, negate) = match self.sampling {
+            Sampling::Antithetic => (sample >> 1, sample & 1 == 1),
+            Sampling::Plain | Sampling::Stratified => (sample, false),
+        };
+        SampleStream {
+            rng: StdRng::seed_from_u64(split_seed(self.seed, stream_index)),
+            negate,
+            sample: sample as usize,
+        }
+    }
+
+    /// The `(grid bin, shift nm)` of gate `gate` in this stream — called
+    /// in gate order, consuming one uniform per gate.
+    fn shift(&self, stream: &mut SampleStream, gate: usize) -> (i32, f64) {
+        let u = match (self.sampling, self.plan) {
+            (Sampling::Stratified, Some(plan)) => {
+                // Latin hypercube: the jitter picks a point inside the
+                // stratum this (gate, sample) pair owns.
+                let jitter: f64 = stream.rng.random_range(0.0..1.0);
+                let stratum = f64::from(plan.perm[gate * plan.n + stream.sample]);
+                ((stratum + jitter) / plan.n as f64).max(f64::EPSILON)
+            }
+            _ => stream.rng.random_range(f64::EPSILON..1.0),
+        };
+        let mut z = normal_quantile(u);
+        if stream.negate {
+            z = -z;
+        }
+        quantize(z * self.sigma_nm, self.sigma_nm)
+    }
+
+    /// Fills one [`LANES`]-wide batch block of shift bins, laid out
+    /// `block[gate * LANES + lane]` — bit-for-bit the bins [`Self::shift`]
+    /// streams for samples `first + lane` (clamped to `n_samples - 1`;
+    /// tail lanes replay the last live sample, exactly the padding the
+    /// batch evaluator discards).
+    ///
+    /// Staged for throughput: the [`LANES`] per-sample generators step in
+    /// lockstep ([`LaneRng`]), so the draw loop, the central branch of
+    /// the quantile inversion and the quantization all run as
+    /// straight-line lane loops that autovectorize; the rare tail draws
+    /// (~4.9%) are then overwritten through the exact tail branches.
+    /// Identical operations on identical values as the streaming path —
+    /// the `block_fill_matches_streaming_shifts` unit test and the
+    /// batched parity suite hold it there.
+    fn fill_bins_block(
+        &self,
+        first: usize,
+        n_samples: usize,
+        buf: &mut FillBuffers,
+        block: &mut [i32],
+    ) {
+        if self.sigma_nm == 0.0 {
+            // `quantize` collapses every draw to bin 0 at zero sigma.
+            block.fill(0);
+            return;
+        }
+        let n_gates = block.len() / LANES;
+        let last = n_samples - 1;
+        let mut samples = [0usize; LANES];
+        let mut negate = [false; LANES];
+        let mut seeds = [0u64; LANES];
+        for l in 0..LANES {
+            let sample = (first + l).min(last);
+            samples[l] = sample;
+            let (stream_index, neg) = match self.sampling {
+                Sampling::Antithetic => ((sample as u64) >> 1, sample & 1 == 1),
+                Sampling::Plain | Sampling::Stratified => (sample as u64, false),
+            };
+            negate[l] = neg;
+            seeds[l] = split_seed(self.seed, stream_index);
+        }
+        let mut rng: LaneRng<LANES> = LaneRng::seed_from(seeds);
+        buf.p.resize(block.len(), 0.0);
+        match (self.sampling, self.plan) {
+            (Sampling::Stratified, Some(plan)) => {
+                for (gate, row) in buf.p.chunks_exact_mut(LANES).enumerate().take(n_gates) {
+                    let raws = rng.next_u64s();
+                    for l in 0..LANES {
+                        let jitter = unit_range_f64(raws[l], 0.0, 1.0);
+                        let stratum = f64::from(plan.perm[gate * plan.n + samples[l]]);
+                        row[l] = ((stratum + jitter) / plan.n as f64).max(f64::EPSILON);
+                    }
+                }
+            }
+            _ => {
+                for row in buf.p.chunks_exact_mut(LANES).take(n_gates) {
+                    let raws = rng.next_u64s();
+                    for l in 0..LANES {
+                        row[l] = unit_range_f64(raws[l], f64::EPSILON, 1.0);
+                    }
+                }
+            }
+        }
+        buf.tails.clear();
+        for (i, &p) in buf.p.iter().enumerate() {
+            if !(P_LOW..=1.0 - P_LOW).contains(&p) {
+                buf.tails.push((i as u32, p));
+            }
+        }
+        for z in buf.p.iter_mut() {
+            *z = normal_quantile_central(*z);
+        }
+        for &(i, p) in &buf.tails {
+            buf.p[i as usize] = normal_quantile(p);
+        }
+        // `-z * s == z * -s` exactly (an IEEE sign flip either way), so
+        // each lane's antithetic negation rides its sigma scale factor.
+        let mut sigma = [self.sigma_nm; LANES];
+        for l in 0..LANES {
+            if negate[l] {
+                sigma[l] = -self.sigma_nm;
+            }
+        }
+        let inv_step = SHIFT_BINS_PER_SIGMA / self.sigma_nm;
+        for (row_bin, row_z) in block.chunks_exact_mut(LANES).zip(buf.p.chunks_exact(LANES)) {
+            for l in 0..LANES {
+                row_bin[l] = quantize_bin(row_z[l] * sigma[l], inv_step);
+            }
+        }
+    }
+}
+
+/// Reusable per-worker staging for [`ShiftSampler::fill_bins_block`]: the
+/// uniform-then-z buffer and the (index, uniform) pairs that landed in
+/// the quantile's tail branches.
+#[derive(Default)]
+struct FillBuffers {
+    p: Vec<f64>,
+    tails: Vec<(u32, f64)>,
+}
+
+/// Standard-normal quantile (inverse CDF), Acklam's rational
+/// approximation: relative error below `1.2e-9` over the open unit
+/// interval — orders of magnitude under the `sigma / 16` shift grid this
+/// feeds, and far cheaper than a Box–Muller transform (one uniform, no
+/// trigonometry). Shared by all sampling schemes: plain and antithetic
+/// draws invert an unconstrained uniform, stratified draws invert a
+/// uniform confined to one stratum.
+fn normal_quantile(p: f64) -> f64 {
+    if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p > 1.0 - P_LOW {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else {
+        normal_quantile_central(p)
+    }
+}
+
+/// Acklam coefficients (central-region numerator/denominator, tail
+/// numerator/denominator) and the tail boundary, shared by the scalar
+/// quantile and the batched row fill.
+const A: [f64; 6] = [
+    -3.969_683_028_665_376e1,
+    2.209_460_984_245_205e2,
+    -2.759_285_104_469_687e2,
+    1.383_577_518_672_69e2,
+    -3.066_479_806_614_716e1,
+    2.506_628_277_459_239,
+];
+const B: [f64; 5] = [
+    -5.447_609_879_822_406e1,
+    1.615_858_368_580_409e2,
+    -1.556_989_798_598_866e2,
+    6.680_131_188_771_972e1,
+    -1.328_068_155_288_572e1,
+];
+const C: [f64; 6] = [
+    -7.784_894_002_430_293e-3,
+    -3.223_964_580_411_365e-1,
+    -2.400_758_277_161_838,
+    -2.549_732_539_343_734,
+    4.374_664_141_464_968,
+    2.938_163_982_698_783,
+];
+const D: [f64; 4] = [
+    7.784_695_709_041_462e-3,
+    3.224_671_290_700_398e-1,
+    2.445_134_137_142_996,
+    3.754_408_661_907_416,
+];
+const P_LOW: f64 = 0.02425;
+
+/// The central branch of [`normal_quantile`] (`P_LOW ..= 1 - P_LOW`):
+/// pure straight-line rational arithmetic, so a loop applying it to a
+/// whole buffer autovectorizes. Outside the central region its value is
+/// meaningless — callers must overwrite through the tail branches.
+#[inline]
+fn normal_quantile_central(p: f64) -> f64 {
+    let q = p - 0.5;
+    let r = q * q;
+    (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+        / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
 }
 
 #[cfg(test)]
@@ -369,35 +1008,71 @@ mod tests {
     fn deterministic_given_seed() {
         let d = design();
         let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
-        let cfg = MonteCarloConfig {
-            samples: 20,
-            sigma_nm: 2.0,
-            seed: 42,
-            threads: None,
-        };
-        let a = run(&m, None, &cfg).expect("mc");
-        let b = run(&m, None, &cfg).expect("mc");
-        assert_eq!(a.worst_slacks_ps(), b.worst_slacks_ps());
+        for sampling in [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified] {
+            let cfg = MonteCarloConfig {
+                samples: 20,
+                sigma_nm: 2.0,
+                seed: 42,
+                sampling,
+                ..Default::default()
+            };
+            let a = run(&m, None, &cfg).expect("mc");
+            let b = run(&m, None, &cfg).expect("mc");
+            assert_eq!(a.worst_slacks_ps(), b.worst_slacks_ps());
+        }
     }
 
     #[test]
     fn thread_count_does_not_change_results() {
         let d = design();
         let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
-        let base = MonteCarloConfig {
-            samples: 24,
-            sigma_nm: 2.0,
-            seed: 5,
-            threads: Some(1),
-        };
-        let one = run(&m, None, &base).expect("mc");
-        for threads in [2, 4, 7] {
-            let cfg = MonteCarloConfig {
-                threads: Some(threads),
-                ..base.clone()
+        for sampling in [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified] {
+            for engine in [McEngine::Scalar, McEngine::Batched] {
+                let base = MonteCarloConfig {
+                    samples: 24,
+                    sigma_nm: 2.0,
+                    seed: 5,
+                    threads: Some(1),
+                    sampling,
+                    engine,
+                };
+                let one = run(&m, None, &base).expect("mc");
+                for threads in [2, 4, 7] {
+                    let cfg = MonteCarloConfig {
+                        threads: Some(threads),
+                        ..base.clone()
+                    };
+                    let many = run(&m, None, &cfg).expect("mc");
+                    assert_eq!(one, many, "threads = {threads}, {sampling:?}, {engine:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn engines_agree_for_every_sampling() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        for sampling in [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified] {
+            // Samples chosen to leave a partial tail batch.
+            let scalar = MonteCarloConfig {
+                samples: LANES * 2 + 3,
+                sigma_nm: 1.5,
+                seed: 11,
+                sampling,
+                engine: McEngine::Scalar,
+                ..Default::default()
             };
-            let many = run(&m, None, &cfg).expect("mc");
-            assert_eq!(one, many, "threads = {threads}");
+            let batched = MonteCarloConfig {
+                engine: McEngine::Batched,
+                ..scalar.clone()
+            };
+            let a = run(&m, None, &scalar).expect("scalar");
+            let b = run(&m, None, &batched).expect("batched");
+            assert_eq!(a, b, "{sampling:?}");
+            for (x, y) in a.worst_slacks_ps().iter().zip(b.worst_slacks_ps()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "{sampling:?}");
+            }
         }
     }
 
@@ -405,18 +1080,21 @@ mod tests {
     fn zero_sigma_collapses_to_nominal() {
         let d = design();
         let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
-        let cfg = MonteCarloConfig {
-            samples: 5,
-            sigma_nm: 0.0,
-            seed: 1,
-            threads: None,
-        };
-        let mc = run(&m, None, &cfg).expect("mc");
-        let nominal = m.analyze(None).expect("nominal");
-        for &s in mc.worst_slacks_ps() {
-            assert!((s - nominal.worst_slack_ps()).abs() < 1e-9);
+        for engine in [McEngine::Scalar, McEngine::Batched] {
+            let cfg = MonteCarloConfig {
+                samples: 5,
+                sigma_nm: 0.0,
+                seed: 1,
+                engine,
+                ..Default::default()
+            };
+            let mc = run(&m, None, &cfg).expect("mc");
+            let nominal = m.analyze(None).expect("nominal");
+            for &s in mc.worst_slacks_ps() {
+                assert!((s - nominal.worst_slack_ps()).abs() < 1e-9);
+            }
+            assert!(mc.std_worst_slack_ps() < 1e-12);
         }
-        assert!(mc.std_worst_slack_ps() < 1e-12);
     }
 
     #[test]
@@ -430,7 +1108,7 @@ mod tests {
                 samples: 60,
                 sigma_nm: 1.0,
                 seed: 3,
-                threads: None,
+                ..Default::default()
             },
         )
         .expect("mc");
@@ -441,7 +1119,7 @@ mod tests {
                 samples: 60,
                 sigma_nm: 4.0,
                 seed: 3,
-                threads: None,
+                ..Default::default()
             },
         )
         .expect("mc");
@@ -459,7 +1137,7 @@ mod tests {
                 samples: 100,
                 sigma_nm: 2.0,
                 seed: 9,
-                threads: None,
+                ..Default::default()
             },
         )
         .expect("mc");
@@ -468,7 +1146,7 @@ mod tests {
         let q99 = mc.worst_slack_quantile_ps(0.99);
         assert!(q01 <= q50 && q50 <= q99);
         assert!((q50 - mc.mean_worst_slack_ps()).abs() < 3.0 * mc.std_worst_slack_ps() + 1e-9);
-        // The cached quantile view spans the sample extremes.
+        // The cached quantile view spans the sample extremes exactly.
         assert_eq!(
             mc.worst_slack_quantile_ps(0.0),
             mc.worst_slacks_ps()
@@ -476,5 +1154,142 @@ mod tests {
                 .cloned()
                 .fold(f64::INFINITY, f64::min)
         );
+        assert_eq!(
+            mc.worst_slack_quantile_ps(1.0),
+            mc.worst_slacks_ps()
+                .iter()
+                .cloned()
+                .fold(f64::NEG_INFINITY, f64::max)
+        );
+        // The multi-quantile helper matches the scalar queries.
+        assert_eq!(
+            mc.worst_slack_quantiles_ps(&[0.01, 0.5, 0.99]),
+            vec![q01, q50, q99]
+        );
+    }
+
+    #[test]
+    fn quantile_interpolates_between_order_statistics() {
+        // Hyndman–Fan type 7 on a known vector: n = 5, h = 4q.
+        let sorted = [10.0, 20.0, 40.0, 80.0, 160.0];
+        assert_eq!(interpolated_quantile(&sorted, 0.0), 10.0);
+        assert_eq!(interpolated_quantile(&sorted, 0.25), 20.0);
+        // h = 4 * 0.5 = 2 → exactly the middle order statistic.
+        assert_eq!(interpolated_quantile(&sorted, 0.5), 40.0);
+        // h = 4 * 0.1 = 0.4 → 10 + 0.4 * (20 - 10).
+        assert!((interpolated_quantile(&sorted, 0.1) - 14.0).abs() < 1e-12);
+        // h = 4 * 0.9 = 3.6 → 80 + 0.6 * (160 - 80).
+        assert!((interpolated_quantile(&sorted, 0.9) - 128.0).abs() < 1e-12);
+        assert_eq!(interpolated_quantile(&sorted, 1.0), 160.0);
+        // Out-of-range quantiles clamp to the extremes.
+        assert_eq!(interpolated_quantile(&sorted, -0.5), 10.0);
+        assert_eq!(interpolated_quantile(&sorted, 1.5), 160.0);
+    }
+
+    #[test]
+    fn normal_quantile_matches_known_values() {
+        // Φ⁻¹ spot checks (values from standard tables).
+        assert!((normal_quantile(0.5) - 0.0).abs() < 1e-9);
+        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
+        assert!((normal_quantile(0.841_344_746) - 1.0).abs() < 1e-6);
+        // Tail branches (beyond the 0.02425 split) stay sane and odd.
+        assert!((normal_quantile(0.001) + 3.090_232_306).abs() < 1e-6);
+        assert!((normal_quantile(0.999) - 3.090_232_306).abs() < 1e-6);
+    }
+
+    #[test]
+    fn antithetic_pairs_mirror_each_other() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = m.compile().expect("compile");
+        let cfg = MonteCarloConfig {
+            samples: 8,
+            sigma_nm: 2.0,
+            seed: 21,
+            sampling: Sampling::Antithetic,
+            ..Default::default()
+        };
+        let plan = stratified_plan(&cfg, 4);
+        let sampler = ShiftSampler {
+            sigma_nm: cfg.sigma_nm,
+            seed: cfg.seed,
+            sampling: cfg.sampling,
+            plan: plan.as_ref(),
+        };
+        let mut even = sampler.stream(4);
+        let mut odd = sampler.stream(5);
+        for gate in 0..10 {
+            let (be, se) = sampler.shift(&mut even, gate);
+            let (bo, so) = sampler.shift(&mut odd, gate);
+            assert_eq!(be, -bo, "gate {gate}");
+            assert_eq!(se, -so, "gate {gate}");
+        }
+        // And the variance of the pair means is below the plain one on
+        // an actual run (weak sanity bound, not a tight statistics test).
+        let _ = compiled;
+    }
+
+    #[test]
+    fn stratified_covers_every_stratum_once() {
+        let cfg = MonteCarloConfig {
+            samples: 16,
+            sigma_nm: 2.0,
+            seed: 33,
+            sampling: Sampling::Stratified,
+            ..Default::default()
+        };
+        let n_gates = 5;
+        let plan = stratified_plan(&cfg, n_gates).expect("stratified plan");
+        assert_eq!(plan.perm.len(), n_gates * cfg.samples);
+        for g in 0..n_gates {
+            let mut strata: Vec<u32> = plan.perm[g * cfg.samples..(g + 1) * cfg.samples].to_vec();
+            strata.sort_unstable();
+            let expect: Vec<u32> = (0..cfg.samples as u32).collect();
+            assert_eq!(strata, expect, "gate {g} must cover all strata");
+        }
+        // Distinct gates get distinct permutations (overwhelmingly likely;
+        // equality would mean the per-gate seeding collapsed).
+        assert_ne!(
+            plan.perm[0..cfg.samples],
+            plan.perm[cfg.samples..2 * cfg.samples]
+        );
+    }
+
+    #[test]
+    fn batched_reports_cache_stats() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let cfg = MonteCarloConfig {
+            samples: 40,
+            sigma_nm: 2.0,
+            seed: 7,
+            engine: McEngine::Batched,
+            ..Default::default()
+        };
+        let mc = run(&m, None, &cfg).expect("mc");
+        let stats = mc.cache_stats();
+        // Every (cell, bin) of the run is prewarmed, so the hot loop never
+        // misses and every lookup lands in the shared cache.
+        assert!(stats.prewarmed > 0);
+        assert_eq!(stats.misses, 0);
+        assert_eq!(
+            stats.shared_hits,
+            (d.netlist().gate_count() * 40_usize.div_ceil(LANES) * LANES) as u64
+        );
+        // The scalar engine reports per-worker cache traffic instead.
+        let scalar = run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                engine: McEngine::Scalar,
+                ..cfg
+            },
+        )
+        .expect("mc");
+        let s = scalar.cache_stats();
+        assert_eq!(s.prewarmed, 0);
+        assert_eq!(s.shared_hits, 0);
+        assert!(s.hits > 0 && s.misses > 0);
     }
 }

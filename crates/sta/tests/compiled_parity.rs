@@ -151,7 +151,7 @@ fn shared_compile_matches_per_call_apis() {
         samples: 12,
         sigma_nm: 1.0,
         seed: 3,
-        threads: None,
+        ..MonteCarloConfig::default()
     };
     let mc_shared = statistical::run_with(&compiled, None, &cfg).expect("shared mc");
     assert_eq!(mc_shared, statistical::run(&model, None, &cfg).expect("mc"));
@@ -215,7 +215,7 @@ fn monte_carlo_engines_are_bit_identical() {
                 samples: 25,
                 sigma_nm: 1.5,
                 seed: 17,
-                threads: None,
+                ..MonteCarloConfig::default()
             };
             let compiled = statistical::run(&model, systematic, &cfg).expect("compiled mc");
             let naive = statistical::run_reference(&model, systematic, &cfg).expect("naive mc");

@@ -20,6 +20,8 @@
 #   smoke     perf_smoke parity gates (ambient thread count)
 #   threads   perf_smoke parity gates under POSTOPC_THREADS=1,2,4
 #   faults    fault_smoke: seeded injection, quarantine determinism gates
+#   mc_batch  mc_batch_smoke: batched-engine parity, warm shared shift
+#             cache, variance-reduction convergence gates
 #   bench     perf_smoke --bench-regression vs committed BENCH_*.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -80,6 +82,12 @@ stage threads thread_matrix
 # complete under quarantine, report exact counts, stay bit-identical
 # across the thread matrix, and trip the budget past the cap.
 stage faults cargo run --release -p postopc-bench --bin fault_smoke
+
+# Batched Monte Carlo smoke: cross-engine bit-parity over sampling
+# schemes and lane remainders, warm shared-cache effectiveness, and the
+# variance-reduction convergence gate (antithetic/stratified @500 vs
+# plain @2000 on the mean worst slack).
+stage mc_batch cargo run --release -p postopc-bench --bin mc_batch_smoke
 
 stage bench cargo run --release -p postopc-bench --bin perf_smoke -- --bench-regression
 
