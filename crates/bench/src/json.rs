@@ -64,6 +64,30 @@ pub struct StaBenchRow {
     pub shift_misses: u64,
 }
 
+/// Schema identifier of the warm-service document (`BENCH_serve.json`):
+/// cold full-pipeline bring-up vs repeat queries against a warm
+/// [`postopc::TimingSession`].
+pub const SERVE_BENCH_SCHEMA: &str = "postopc-bench-serve-v1";
+
+/// One warm-service measurement: a (design, engine) cell of the serve
+/// table. `engine` is `"warm session"` for the gated rows; the speedup
+/// is cold wall time over warm wall time for the same query batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchRow {
+    /// Workload name (e.g. `T6 composite 70%`).
+    pub design: String,
+    /// Serving configuration (`cold pipeline` or `warm session`).
+    pub engine: String,
+    /// Queries answered per measured batch.
+    pub queries: usize,
+    /// Wall-clock seconds to answer the batch.
+    pub wall_s: f64,
+    /// Speedup versus the cold full pipeline on the same batch.
+    pub speedup: f64,
+    /// Whether the warm answers matched the cold answers bit for bit.
+    pub identical: bool,
+}
+
 /// Escapes a string for a JSON string literal.
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
@@ -166,6 +190,45 @@ pub fn render_sta_rows(threads: usize, rows: &[StaBenchRow]) -> String {
 pub fn write_sta_rows(path: &Path, threads: usize, rows: &[StaBenchRow]) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
     file.write_all(render_sta_rows(threads, rows).as_bytes())
+}
+
+/// Renders the warm-service document.
+pub fn render_serve_rows(threads: usize, rows: &[ServeBenchRow]) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema\": \"{SERVE_BENCH_SCHEMA}\",\n"));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"engine\": \"{}\", \"queries\": {}, \"wall_s\": {}, \
+             \"speedup\": {}, \"identical\": {}}}{}\n",
+            escape(&row.design),
+            escape(&row.engine),
+            row.queries,
+            number(row.wall_s),
+            number(row.speedup),
+            row.identical,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Writes the warm-service document to `path`.
+///
+/// # Errors
+///
+/// Propagates filesystem errors (callers report and continue — a missing
+/// artifact must not fail the benchmark itself).
+pub fn write_serve_rows(
+    path: &Path,
+    threads: usize,
+    rows: &[ServeBenchRow],
+) -> std::io::Result<()> {
+    let mut file = std::fs::File::create(path)?;
+    file.write_all(render_serve_rows(threads, rows).as_bytes())
 }
 
 /// One recorded measurement read back from a committed `BENCH_*.json`
@@ -346,6 +409,43 @@ mod tests {
         // A line with a design but no speedup is not a row.
         assert!(parse_speedups("{\"design\": \"x\", \"engine\": \"y\"}").is_empty());
         assert!(parse_speedups("not json at all").is_empty());
+    }
+
+    fn serve_row() -> ServeBenchRow {
+        ServeBenchRow {
+            design: "T6 composite 70%".to_string(),
+            engine: "warm session".to_string(),
+            queries: 3,
+            wall_s: 0.004,
+            speedup: 120.0,
+            identical: true,
+        }
+    }
+
+    #[test]
+    fn renders_serve_schema_and_parses_back() {
+        let doc = render_serve_rows(1, &[serve_row()]);
+        assert!(doc.contains("\"schema\": \"postopc-bench-serve-v1\""));
+        assert!(doc.contains("\"queries\": 3"));
+        assert!(doc.contains("\"identical\": true"));
+        assert!(!doc.contains("}},\n  ]"));
+        let parsed = parse_speedups(&doc);
+        assert_eq!(parsed.len(), 1);
+        assert_eq!(parsed[0].design, "T6 composite 70%");
+        assert_eq!(parsed[0].engine, "warm session");
+        assert_eq!(parsed[0].samples, None);
+        assert_eq!(parsed[0].speedup, 120.0);
+    }
+
+    #[test]
+    fn writes_serve_rows_to_disk() {
+        let dir = std::env::temp_dir().join("postopc_json_test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("BENCH_serve.json");
+        write_serve_rows(&path, 1, &[serve_row()]).expect("write");
+        let read = std::fs::read_to_string(&path).expect("read back");
+        assert_eq!(read, render_serve_rows(1, &[serve_row()]));
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

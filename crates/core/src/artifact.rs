@@ -1,0 +1,576 @@
+//! Persistent warm-timing artifacts: one expensive compile serves many
+//! cheap sessions.
+//!
+//! A [`WarmArtifact`] captures everything a warm timing session would
+//! otherwise have to recompute — the post-OPC [`CdAnnotation`], the
+//! characterization-cache entries, the Monte Carlo shift-cache entries
+//! and the extraction [`ContextStore`] — in an in-tree, versioned binary
+//! format (no external serialization dependency, so the offline build
+//! stays intact). Every float is stored as its exact bit pattern, so a
+//! loaded artifact replays timing **bit-identically** to the fresh
+//! compile that produced it.
+//!
+//! # Format
+//!
+//! ```text
+//! magic      8 bytes   b"POCWARM1"
+//! version    u32 LE    bumped on any layout change
+//! hash       u64 LE    content hash of (layout, process, clock, config)
+//! sections   ...       annotation, char entries, shift entries, store
+//! checksum   u64 LE    FNV-1a over every preceding byte
+//! ```
+//!
+//! All sections are length-prefixed little-endian; loading validates the
+//! magic, version and checksum and length-checks every read, returning a
+//! typed [`FlowError::Artifact`] — never panicking — on any malformed
+//! input. The **invalidation key** is the content hash: it digests the
+//! design's netlist, transistor sites and die, the process parameters,
+//! the clock, and the extraction configuration *minus* fields that
+//! cannot change results (thread count, context-cache toggle, fault
+//! policy/injection — all bit-identical by construction). A consumer
+//! compares [`content_hash`] of its current inputs against the stored
+//! hash and falls back to a cold compile on mismatch.
+
+use crate::error::Result;
+use crate::extract::{artifact_err, put_u64, take_u64, ContextStore, ExtractionConfig};
+use crate::fault::FaultPolicy;
+use postopc_device::{MosKind, ProcessParams};
+use postopc_layout::{Design, GateId, GateKind, NetId};
+use postopc_sta::{
+    CdAnnotation, CellTiming, CharCacheEntry, GateAnnotation, NetAnnotation, NldmTable,
+    SequentialTiming, TransistorCd, NLDM_LOAD_PTS, NLDM_SLEW_PTS,
+};
+use std::path::Path;
+
+/// Magic bytes identifying a warm-timing artifact.
+pub const ARTIFACT_MAGIC: [u8; 8] = *b"POCWARM1";
+
+/// Current artifact format version; readers reject any other.
+pub const ARTIFACT_VERSION: u32 = 1;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// FNV-1a over a byte stream — the stable in-tree hash both the
+/// checksum and the content hash ride on (never `DefaultHasher`, whose
+/// output may change across Rust releases).
+fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
+    let mut h = seed;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Content hash of a timing compile's inputs: the artifact invalidation
+/// key. Digests the design (netlist connectivity, placed transistor
+/// sites, die), the device process, the clock, and the extraction
+/// configuration with results-invariant fields (threads, cache toggle,
+/// fault policy/injection) normalised away — so re-running on more
+/// threads does not orphan an artifact.
+pub fn content_hash(
+    design: &Design,
+    process: &ProcessParams,
+    clock_ps: f64,
+    extraction: &ExtractionConfig,
+) -> u64 {
+    let mut canon = extraction.clone();
+    canon.threads = None;
+    canon.cache = true;
+    canon.fault_policy = FaultPolicy::Fail;
+    canon.fault_injection = None;
+    let mut h = fnv1a(FNV_OFFSET, b"postopc-warm-artifact");
+    h = fnv1a(h, format!("{:?}", design.netlist().gates()).as_bytes());
+    h = fnv1a(h, format!("{:?}", design.transistor_sites()).as_bytes());
+    h = fnv1a(h, format!("{:?}", design.die()).as_bytes());
+    h = fnv1a(h, format!("{process:?}").as_bytes());
+    h = fnv1a(h, &clock_ps.to_bits().to_le_bytes());
+    h = fnv1a(h, format!("{canon:?}").as_bytes());
+    h
+}
+
+/// Everything a warm timing session reuses from one expensive compile,
+/// in exact bits. See the module docs for the byte format.
+#[derive(Debug)]
+pub struct WarmArtifact {
+    /// [`content_hash`] of the inputs this artifact was built from.
+    pub content_hash: u64,
+    /// The post-OPC extraction annotation.
+    pub annotation: CdAnnotation,
+    /// Exported characterization-cache entries
+    /// ([`postopc_sta::CharacterizationCache::export`]).
+    pub char_entries: Vec<CharCacheEntry>,
+    /// Exported per-worker shift-cache entries
+    /// ([`postopc_sta::StaScratch::export_shift_entries`]).
+    pub shift_entries: Vec<(u64, CellTiming)>,
+    /// Retained distinct litho contexts for incremental re-extraction.
+    pub context_store: ContextStore,
+}
+
+impl WarmArtifact {
+    /// Serializes the artifact to its canonical byte form (equal
+    /// artifacts produce equal bytes).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&ARTIFACT_MAGIC);
+        out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
+        put_u64(&mut out, self.content_hash);
+        encode_annotation(&self.annotation, &mut out);
+        put_u64(&mut out, self.char_entries.len() as u64);
+        for entry in &self.char_entries {
+            out.push(gate_kind_tag(entry.kind));
+            put_u64(&mut out, entry.records.len() as u64);
+            for r in &entry.records {
+                encode_record(r, &mut out);
+            }
+            encode_cell_timing(&entry.timing, &mut out);
+        }
+        put_u64(&mut out, self.shift_entries.len() as u64);
+        for (key, timing) in &self.shift_entries {
+            put_u64(&mut out, *key);
+            encode_cell_timing(timing, &mut out);
+        }
+        self.context_store.encode_into(&mut out);
+        let checksum = fnv1a(FNV_OFFSET, &out);
+        put_u64(&mut out, checksum);
+        out
+    }
+
+    /// Parses an artifact from bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Artifact`] on bad magic, unsupported version,
+    /// checksum mismatch, truncation or any corrupt field — loading
+    /// never panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<WarmArtifact> {
+        let header = ARTIFACT_MAGIC.len() + 4 + 8;
+        if bytes.len() < header + 8 {
+            return Err(artifact_err("too short to hold a header and checksum"));
+        }
+        if bytes[..ARTIFACT_MAGIC.len()] != ARTIFACT_MAGIC {
+            return Err(artifact_err("bad magic: not a warm-timing artifact"));
+        }
+        let mut cursor = ARTIFACT_MAGIC.len();
+        let mut ver = [0u8; 4];
+        ver.copy_from_slice(&bytes[cursor..cursor + 4]);
+        let version = u32::from_le_bytes(ver);
+        if version != ARTIFACT_VERSION {
+            return Err(artifact_err(&format!(
+                "unsupported version {version} (expected {ARTIFACT_VERSION})"
+            )));
+        }
+        cursor += 4;
+        let body = &bytes[..bytes.len() - 8];
+        let stored_checksum = take_u64(bytes, &mut { bytes.len() - 8 })?;
+        if fnv1a(FNV_OFFSET, body) != stored_checksum {
+            return Err(artifact_err("checksum mismatch: artifact is corrupt"));
+        }
+        let content_hash = take_u64(body, &mut cursor)?;
+        let annotation = decode_annotation(body, &mut cursor)?;
+        let n_char = take_u64(body, &mut cursor)?;
+        let mut char_entries = Vec::with_capacity(n_char.min(1 << 20) as usize);
+        for _ in 0..n_char {
+            let kind = gate_kind_of(body, &mut cursor)?;
+            let n_records = take_u64(body, &mut cursor)?;
+            let mut records = Vec::with_capacity(n_records.min(1 << 20) as usize);
+            for _ in 0..n_records {
+                records.push(decode_record(body, &mut cursor)?);
+            }
+            let timing = decode_cell_timing(body, &mut cursor)?;
+            char_entries.push(CharCacheEntry {
+                kind,
+                records,
+                timing,
+            });
+        }
+        let n_shift = take_u64(body, &mut cursor)?;
+        let mut shift_entries = Vec::with_capacity(n_shift.min(1 << 20) as usize);
+        for _ in 0..n_shift {
+            let key = take_u64(body, &mut cursor)?;
+            shift_entries.push((key, decode_cell_timing(body, &mut cursor)?));
+        }
+        let context_store = ContextStore::decode_from(body, &mut cursor)?;
+        if cursor != body.len() {
+            return Err(artifact_err("trailing bytes after the last section"));
+        }
+        Ok(WarmArtifact {
+            content_hash,
+            annotation,
+            char_entries,
+            shift_entries,
+            context_store,
+        })
+    }
+
+    /// Writes the artifact to `path` ([`Self::to_bytes`] + one `write`).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Artifact`] carrying the rendered I/O error.
+    pub fn save(&self, path: &Path) -> Result<()> {
+        std::fs::write(path, self.to_bytes())
+            .map_err(|e| artifact_err(&format!("cannot write {}: {e}", path.display())))
+    }
+
+    /// Reads and parses an artifact from `path`.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Artifact`] for I/O failures and, via
+    /// [`Self::from_bytes`], for any malformed content.
+    pub fn load(path: &Path) -> Result<WarmArtifact> {
+        let bytes = std::fs::read(path)
+            .map_err(|e| artifact_err(&format!("cannot read {}: {e}", path.display())))?;
+        WarmArtifact::from_bytes(&bytes)
+    }
+
+    /// [`Self::load`] plus an invalidation check against the hash of the
+    /// consumer's current inputs.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Artifact`] when the stored hash differs from
+    /// `expected_hash` (the inputs changed: recompile cold), plus
+    /// everything [`Self::load`] can return.
+    pub fn load_validated(path: &Path, expected_hash: u64) -> Result<WarmArtifact> {
+        let artifact = WarmArtifact::load(path)?;
+        if artifact.content_hash != expected_hash {
+            return Err(artifact_err(&format!(
+                "content hash mismatch: artifact {:#018x}, inputs {:#018x} — \
+                 layout, process or config changed since it was built",
+                artifact.content_hash, expected_hash
+            )));
+        }
+        Ok(artifact)
+    }
+}
+
+fn gate_kind_tag(kind: GateKind) -> u8 {
+    match kind {
+        GateKind::Inv => 0,
+        GateKind::Buf => 1,
+        GateKind::Nand2 => 2,
+        GateKind::Nor2 => 3,
+        GateKind::Nand3 => 4,
+        GateKind::Dff => 5,
+    }
+}
+
+fn gate_kind_of(bytes: &[u8], cursor: &mut usize) -> Result<GateKind> {
+    let kind = match bytes.get(*cursor) {
+        Some(0) => GateKind::Inv,
+        Some(1) => GateKind::Buf,
+        Some(2) => GateKind::Nand2,
+        Some(3) => GateKind::Nor2,
+        Some(4) => GateKind::Nand3,
+        Some(5) => GateKind::Dff,
+        _ => return Err(artifact_err("invalid stored gate kind")),
+    };
+    *cursor += 1;
+    Ok(kind)
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
+    put_u64(out, v.to_bits());
+}
+
+fn take_f64(bytes: &[u8], cursor: &mut usize) -> Result<f64> {
+    Ok(f64::from_bits(take_u64(bytes, cursor)?))
+}
+
+fn encode_record(r: &TransistorCd, out: &mut Vec<u8>) {
+    out.push(match r.kind {
+        MosKind::Nmos => 0,
+        MosKind::Pmos => 1,
+    });
+    put_f64(out, r.width_nm);
+    put_f64(out, r.l_delay_nm);
+    put_f64(out, r.l_leakage_nm);
+    put_u64(out, r.input_pin.map_or(u64::MAX, |p| p as u64));
+    put_u64(out, r.finger as u64);
+}
+
+fn decode_record(bytes: &[u8], cursor: &mut usize) -> Result<TransistorCd> {
+    let kind = match bytes.get(*cursor) {
+        Some(0) => MosKind::Nmos,
+        Some(1) => MosKind::Pmos,
+        _ => return Err(artifact_err("invalid stored MOS kind")),
+    };
+    *cursor += 1;
+    let width_nm = take_f64(bytes, cursor)?;
+    let l_delay_nm = take_f64(bytes, cursor)?;
+    let l_leakage_nm = take_f64(bytes, cursor)?;
+    let pin = take_u64(bytes, cursor)?;
+    let finger = take_u64(bytes, cursor)? as usize;
+    Ok(TransistorCd {
+        kind,
+        width_nm,
+        l_delay_nm,
+        l_leakage_nm,
+        input_pin: (pin != u64::MAX).then_some(pin as usize),
+        finger,
+    })
+}
+
+fn encode_cell_timing(t: &CellTiming, out: &mut Vec<u8>) {
+    put_f64(out, t.input_cap_ff);
+    put_f64(out, t.pull_up_r_kohm);
+    put_f64(out, t.pull_down_r_kohm);
+    put_f64(out, t.intrinsic_ps);
+    put_f64(out, t.output_cap_ff);
+    put_f64(out, t.leakage_ua);
+    match &t.sequential {
+        None => out.push(0),
+        Some(seq) => {
+            out.push(1);
+            put_f64(out, seq.clk_to_q_ps);
+            put_f64(out, seq.setup_ps);
+        }
+    }
+    for v in t.nldm.load_axis_ff {
+        put_f64(out, v);
+    }
+    for row in t.nldm.delay_grid_ps {
+        for v in row {
+            put_f64(out, v);
+        }
+    }
+    for row in t.nldm.slew_grid_ps {
+        for v in row {
+            put_f64(out, v);
+        }
+    }
+}
+
+fn decode_cell_timing(bytes: &[u8], cursor: &mut usize) -> Result<CellTiming> {
+    let input_cap_ff = take_f64(bytes, cursor)?;
+    let pull_up_r_kohm = take_f64(bytes, cursor)?;
+    let pull_down_r_kohm = take_f64(bytes, cursor)?;
+    let intrinsic_ps = take_f64(bytes, cursor)?;
+    let output_cap_ff = take_f64(bytes, cursor)?;
+    let leakage_ua = take_f64(bytes, cursor)?;
+    let sequential = match bytes.get(*cursor) {
+        Some(0) => {
+            *cursor += 1;
+            None
+        }
+        Some(1) => {
+            *cursor += 1;
+            Some(SequentialTiming {
+                clk_to_q_ps: take_f64(bytes, cursor)?,
+                setup_ps: take_f64(bytes, cursor)?,
+            })
+        }
+        _ => return Err(artifact_err("invalid stored sequential tag")),
+    };
+    let mut load_axis_ff = [0.0; NLDM_LOAD_PTS];
+    for v in &mut load_axis_ff {
+        *v = take_f64(bytes, cursor)?;
+    }
+    let mut delay_grid_ps = [[0.0; NLDM_LOAD_PTS]; NLDM_SLEW_PTS];
+    for row in &mut delay_grid_ps {
+        for v in row.iter_mut() {
+            *v = take_f64(bytes, cursor)?;
+        }
+    }
+    let mut slew_grid_ps = [[0.0; NLDM_LOAD_PTS]; NLDM_SLEW_PTS];
+    for row in &mut slew_grid_ps {
+        for v in row.iter_mut() {
+            *v = take_f64(bytes, cursor)?;
+        }
+    }
+    Ok(CellTiming {
+        input_cap_ff,
+        pull_up_r_kohm,
+        pull_down_r_kohm,
+        intrinsic_ps,
+        output_cap_ff,
+        leakage_ua,
+        sequential,
+        nldm: NldmTable {
+            load_axis_ff,
+            delay_grid_ps,
+            slew_grid_ps,
+        },
+    })
+}
+
+fn encode_annotation(ann: &CdAnnotation, out: &mut Vec<u8>) {
+    // HashMap iteration is unordered; sort by id for canonical bytes.
+    let mut gates: Vec<(&GateId, &GateAnnotation)> = ann.gates().collect();
+    gates.sort_by_key(|(g, _)| g.0);
+    put_u64(out, gates.len() as u64);
+    for (gate, g) in gates {
+        put_u64(out, u64::from(gate.0));
+        put_u64(out, g.transistors.len() as u64);
+        for r in &g.transistors {
+            encode_record(r, out);
+        }
+    }
+    let mut nets: Vec<(&NetId, &NetAnnotation)> = ann.nets().collect();
+    nets.sort_by_key(|(n, _)| n.0);
+    put_u64(out, nets.len() as u64);
+    for (net, n) in nets {
+        put_u64(out, u64::from(net.0));
+        put_f64(out, n.printed_width_nm);
+    }
+}
+
+fn decode_annotation(bytes: &[u8], cursor: &mut usize) -> Result<CdAnnotation> {
+    let mut ann = CdAnnotation::new();
+    let n_gates = take_u64(bytes, cursor)?;
+    for _ in 0..n_gates {
+        let gate = take_u64(bytes, cursor)?;
+        if gate > u64::from(u32::MAX) {
+            return Err(artifact_err("stored gate id out of range"));
+        }
+        let n_records = take_u64(bytes, cursor)?;
+        let mut transistors = Vec::with_capacity(n_records.min(1 << 20) as usize);
+        for _ in 0..n_records {
+            transistors.push(decode_record(bytes, cursor)?);
+        }
+        ann.set_gate(GateId(gate as u32), GateAnnotation { transistors });
+    }
+    let n_nets = take_u64(bytes, cursor)?;
+    for _ in 0..n_nets {
+        let net = take_u64(bytes, cursor)?;
+        if net > u64::from(u32::MAX) {
+            return Err(artifact_err("stored net id out of range"));
+        }
+        let printed_width_nm = take_f64(bytes, cursor)?;
+        ann.set_net(NetId(net as u32), NetAnnotation { printed_width_nm });
+    }
+    Ok(ann)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::FlowError;
+    use postopc_layout::{generate, TechRules};
+
+    fn design() -> Design {
+        Design::compile(
+            generate::inverter_chain(4).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design")
+    }
+
+    fn sample_artifact() -> WarmArtifact {
+        let d = design();
+        let cfg = ExtractionConfig::standard();
+        let tags = crate::tags::TagSet::all(&d);
+        let mut fast = cfg.clone();
+        fast.opc_mode = crate::extract::OpcMode::Rule;
+        let mut store = ContextStore::new();
+        let out = crate::extract::extract_gates_with_store(&d, &fast, &tags, Some(&mut store))
+            .expect("extract");
+        let model = postopc_sta::TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let mut scratch = compiled.scratch();
+        compiled
+            .evaluate(&mut scratch, Some(&out.annotation))
+            .expect("evaluate");
+        WarmArtifact {
+            content_hash: content_hash(&d, &ProcessParams::n90(), 800.0, &fast),
+            annotation: out.annotation,
+            char_entries: scratch.cache().export(),
+            shift_entries: scratch.export_shift_entries(),
+            context_store: store,
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let artifact = sample_artifact();
+        let bytes = artifact.to_bytes();
+        // Canonical bytes: serializing twice is identical.
+        assert_eq!(bytes, artifact.to_bytes());
+        let loaded = WarmArtifact::from_bytes(&bytes).expect("parse");
+        assert_eq!(loaded.content_hash, artifact.content_hash);
+        assert_eq!(loaded.annotation, artifact.annotation);
+        assert_eq!(loaded.char_entries, artifact.char_entries);
+        assert_eq!(loaded.shift_entries, artifact.shift_entries);
+        assert_eq!(loaded.context_store.len(), artifact.context_store.len());
+        // And the round trip is a fixed point.
+        assert_eq!(loaded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn corrupt_inputs_return_typed_errors_never_panic() {
+        let artifact = sample_artifact();
+        let bytes = artifact.to_bytes();
+        // Bad magic.
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            WarmArtifact::from_bytes(&bad),
+            Err(FlowError::Artifact(_))
+        ));
+        // Unsupported version.
+        let mut bad = bytes.clone();
+        bad[8] = 0xfe;
+        let err = WarmArtifact::from_bytes(&bad).expect_err("version");
+        assert!(err.to_string().contains("version"));
+        // Flipped payload byte: checksum catches it.
+        let mut bad = bytes.clone();
+        let mid = bytes.len() / 2;
+        bad[mid] ^= 0x01;
+        let err = WarmArtifact::from_bytes(&bad).expect_err("corrupt");
+        assert!(err.to_string().contains("checksum"));
+        // Truncation at every prefix parses to a typed error, not a panic.
+        for cut in [0, 7, 12, 19, 20, bytes.len() / 3, bytes.len() - 1] {
+            assert!(
+                WarmArtifact::from_bytes(&bytes[..cut]).is_err(),
+                "prefix of {cut} bytes must be rejected"
+            );
+        }
+        // Empty input.
+        assert!(WarmArtifact::from_bytes(&[]).is_err());
+    }
+
+    #[test]
+    fn content_hash_tracks_inputs() {
+        let d = design();
+        let cfg = ExtractionConfig::standard();
+        let p = ProcessParams::n90();
+        let base = content_hash(&d, &p, 800.0, &cfg);
+        assert_eq!(base, content_hash(&d, &p, 800.0, &cfg));
+        // Results-invariant knobs do not invalidate.
+        let mut threads = cfg.clone();
+        threads.threads = Some(7);
+        threads.cache = false;
+        assert_eq!(base, content_hash(&d, &p, 800.0, &threads));
+        // Result-relevant inputs do.
+        assert_ne!(base, content_hash(&d, &p, 900.0, &cfg));
+        let mut opc = cfg.clone();
+        opc.opc_mode = crate::extract::OpcMode::Rule;
+        assert_ne!(base, content_hash(&d, &p, 800.0, &opc));
+        let mut proc2 = p;
+        proc2.vdd += 0.1;
+        assert_ne!(base, content_hash(&d, &proc2, 800.0, &cfg));
+    }
+
+    #[test]
+    fn load_validated_enforces_the_invalidation_key() {
+        let artifact = sample_artifact();
+        let dir = std::env::temp_dir().join("postopc-artifact-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("warm.bin");
+        artifact.save(&path).expect("save");
+        let ok = WarmArtifact::load_validated(&path, artifact.content_hash).expect("load");
+        assert_eq!(ok.annotation, artifact.annotation);
+        let err = WarmArtifact::load_validated(&path, artifact.content_hash ^ 1)
+            .expect_err("stale artifact must be rejected");
+        assert!(err.to_string().contains("content hash mismatch"));
+        // Missing file is a typed error too.
+        assert!(matches!(
+            WarmArtifact::load(&dir.join("absent.bin")),
+            Err(FlowError::Artifact(_))
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+}

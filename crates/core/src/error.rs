@@ -21,6 +21,10 @@ pub enum FlowError {
     Geometry(postopc_geom::GeomError),
     /// A flow configuration value was out of range.
     InvalidConfig(String),
+    /// A persisted artifact was unreadable: bad magic, unsupported
+    /// version, checksum mismatch, truncation, or a corrupt field.
+    /// Loading never panics — every malformed input lands here.
+    Artifact(String),
     /// Quarantined gates exceeded the configured budget
     /// ([`crate::FaultPolicy::Quarantine`]'s `max_fraction`).
     QuarantineExceeded {
@@ -43,6 +47,7 @@ impl fmt::Display for FlowError {
             FlowError::Sta(e) => write!(f, "timing error: {e}"),
             FlowError::Geometry(e) => write!(f, "geometry error: {e}"),
             FlowError::InvalidConfig(reason) => write!(f, "invalid flow configuration: {reason}"),
+            FlowError::Artifact(reason) => write!(f, "invalid artifact: {reason}"),
             FlowError::QuarantineExceeded {
                 quarantined,
                 total,
@@ -66,6 +71,7 @@ impl Error for FlowError {
             FlowError::Sta(e) => Some(e),
             FlowError::Geometry(e) => Some(e),
             FlowError::InvalidConfig(_) => None,
+            FlowError::Artifact(_) => None,
             FlowError::QuarantineExceeded { .. } => None,
         }
     }

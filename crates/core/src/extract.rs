@@ -275,6 +275,11 @@ pub struct ExtractionStats {
     pub cache_hits: usize,
     /// Gates whose litho context was computed from scratch.
     pub cache_misses: usize,
+    /// Distinct contexts served from a warm [`ContextStore`] instead of
+    /// being re-imaged (always `0` without one). `windows` counts only the
+    /// contexts this run actually imaged, so under an incremental (ECO)
+    /// re-extraction `windows` *is* the number of dirtied windows.
+    pub store_hits: usize,
     /// All per-transistor extraction records (input to CD statistics, T2).
     pub extracted: Vec<ExtractedGate>,
     /// Gates quarantined under [`FaultPolicy::Quarantine`] (they keep
@@ -348,6 +353,7 @@ struct GateWork {
 }
 
 /// Phase-2 output for one distinct context.
+#[derive(Clone)]
 struct UniqueOutcome {
     opc_simulations: usize,
     opc_fragment_moves: usize,
@@ -365,6 +371,280 @@ enum UniqueResult {
     Ok(UniqueOutcome),
     Err(FlowError),
     Fault(String),
+}
+
+/// A warm store of distinct litho-context outcomes, keyed by the engine's
+/// canonical [`ContextKey`]s (exact window-local geometry + quantised
+/// conditions — the same keys the in-run dedup uses, so reuse is exact,
+/// never approximate).
+///
+/// Pass one to [`extract_gates_with_store`] to make extraction
+/// incremental: contexts already in the store are *not* re-imaged — their
+/// stored per-site measurements are merged as if freshly computed, bit
+/// for bit — and every novel context is imaged once and then retained.
+/// After an ECO that dirties K gates, a re-extraction therefore images
+/// only the dirtied optical-influence windows ([`ExtractionStats::windows`]
+/// counts exactly those; [`ExtractionStats::store_hits`] the reused ones).
+///
+/// The store is bypassed whenever fault injection is active — injected
+/// faults are validation plumbing and must not poison warm state.
+#[derive(Clone, Default)]
+pub struct ContextStore {
+    entries: HashMap<ContextKey, UniqueOutcome>,
+}
+
+impl std::fmt::Debug for ContextStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ContextStore")
+            .field("entries", &self.entries.len())
+            .finish()
+    }
+}
+
+impl ContextStore {
+    /// An empty store.
+    pub fn new() -> ContextStore {
+        ContextStore::default()
+    }
+
+    /// Number of distinct contexts retained.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the store holds no contexts yet.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Serializes the store into `out` as length-prefixed canonical bytes
+    /// (entries sorted by their encoding, so equal stores produce equal
+    /// bytes regardless of hash-map iteration order).
+    pub(crate) fn encode_into(&self, out: &mut Vec<u8>) {
+        let mut encoded: Vec<Vec<u8>> = self
+            .entries
+            .iter()
+            .map(|(key, outcome)| {
+                let mut buf = Vec::new();
+                encode_context_key(key, &mut buf);
+                encode_unique_outcome(outcome, &mut buf);
+                buf
+            })
+            .collect();
+        encoded.sort_unstable();
+        put_u64(out, encoded.len() as u64);
+        for buf in encoded {
+            put_u64(out, buf.len() as u64);
+            out.extend_from_slice(&buf);
+        }
+    }
+
+    /// Decodes a store previously written by [`Self::encode_into`].
+    pub(crate) fn decode_from(bytes: &[u8], cursor: &mut usize) -> Result<ContextStore> {
+        let count = take_u64(bytes, cursor)?;
+        let mut entries = HashMap::with_capacity(count.min(1 << 20) as usize);
+        for _ in 0..count {
+            let len = take_u64(bytes, cursor)? as usize;
+            let end = cursor
+                .checked_add(len)
+                .filter(|&e| e <= bytes.len())
+                .ok_or_else(|| artifact_err("context store entry overruns the payload"))?;
+            let entry = &bytes[..end];
+            let key = decode_context_key(entry, cursor)?;
+            let outcome = decode_unique_outcome(entry, cursor)?;
+            if *cursor != end {
+                return Err(artifact_err("context store entry has trailing bytes"));
+            }
+            entries.insert(key, outcome);
+        }
+        Ok(ContextStore { entries })
+    }
+}
+
+pub(crate) fn artifact_err(reason: &str) -> FlowError {
+    FlowError::Artifact(reason.to_string())
+}
+
+pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_i64(out: &mut Vec<u8>, v: i64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn take_u64(bytes: &[u8], cursor: &mut usize) -> Result<u64> {
+    let end = cursor
+        .checked_add(8)
+        .filter(|&e| e <= bytes.len())
+        .ok_or_else(|| artifact_err("truncated integer field"))?;
+    let mut raw = [0u8; 8];
+    raw.copy_from_slice(&bytes[*cursor..end]);
+    *cursor = end;
+    Ok(u64::from_le_bytes(raw))
+}
+
+pub(crate) fn take_i64(bytes: &[u8], cursor: &mut usize) -> Result<i64> {
+    Ok(take_u64(bytes, cursor)? as i64)
+}
+
+fn encode_polygon(p: &Polygon, out: &mut Vec<u8>) {
+    put_u64(out, p.vertices().len() as u64);
+    for v in p.vertices() {
+        put_i64(out, v.x);
+        put_i64(out, v.y);
+    }
+}
+
+fn decode_polygon(bytes: &[u8], cursor: &mut usize) -> Result<Polygon> {
+    let n = take_u64(bytes, cursor)?;
+    if n > 1 << 20 {
+        return Err(artifact_err("polygon vertex count out of range"));
+    }
+    let mut vertices = Vec::with_capacity(n as usize);
+    for _ in 0..n {
+        let x = take_i64(bytes, cursor)?;
+        let y = take_i64(bytes, cursor)?;
+        vertices.push(postopc_geom::Point::new(x, y));
+    }
+    Polygon::new(vertices).map_err(|e| artifact_err(&format!("invalid stored polygon: {e}")))
+}
+
+fn encode_rect(r: Rect, out: &mut Vec<u8>) {
+    put_i64(out, r.left());
+    put_i64(out, r.bottom());
+    put_i64(out, r.right());
+    put_i64(out, r.top());
+}
+
+fn decode_rect(bytes: &[u8], cursor: &mut usize) -> Result<Rect> {
+    let (x0, y0) = (take_i64(bytes, cursor)?, take_i64(bytes, cursor)?);
+    let (x1, y1) = (take_i64(bytes, cursor)?, take_i64(bytes, cursor)?);
+    Rect::new(x0, y0, x1, y1).map_err(|e| artifact_err(&format!("invalid stored rect: {e}")))
+}
+
+fn encode_context_key(key: &ContextKey, out: &mut Vec<u8>) {
+    put_u64(out, key.targets.len() as u64);
+    for p in &key.targets {
+        encode_polygon(p, out);
+    }
+    put_u64(out, key.context.len() as u64);
+    for p in &key.context {
+        encode_polygon(p, out);
+    }
+    encode_rect(key.window, out);
+    put_u64(out, key.sites.len() as u64);
+    for s in &key.sites {
+        encode_rect(s.channel, out);
+        out.push(match s.kind {
+            MosKind::Nmos => 0,
+            MosKind::Pmos => 1,
+        });
+        put_u64(out, s.width_bits);
+        put_u64(out, s.drawn_bits);
+        put_u64(out, s.finger as u64);
+    }
+    put_u64(out, key.focus_bits);
+    put_u64(out, key.dose_bits);
+}
+
+fn decode_context_key(bytes: &[u8], cursor: &mut usize) -> Result<ContextKey> {
+    let n_targets = take_u64(bytes, cursor)?;
+    let mut targets = Vec::with_capacity(n_targets.min(1 << 20) as usize);
+    for _ in 0..n_targets {
+        targets.push(decode_polygon(bytes, cursor)?);
+    }
+    let n_context = take_u64(bytes, cursor)?;
+    let mut context = Vec::with_capacity(n_context.min(1 << 20) as usize);
+    for _ in 0..n_context {
+        context.push(decode_polygon(bytes, cursor)?);
+    }
+    let window = decode_rect(bytes, cursor)?;
+    let n_sites = take_u64(bytes, cursor)?;
+    let mut sites = Vec::with_capacity(n_sites.min(1 << 20) as usize);
+    for _ in 0..n_sites {
+        let channel = decode_rect(bytes, cursor)?;
+        let kind = match bytes.get(*cursor) {
+            Some(0) => MosKind::Nmos,
+            Some(1) => MosKind::Pmos,
+            _ => return Err(artifact_err("invalid stored MOS kind")),
+        };
+        *cursor += 1;
+        sites.push(SiteKey {
+            channel,
+            kind,
+            width_bits: take_u64(bytes, cursor)?,
+            drawn_bits: take_u64(bytes, cursor)?,
+            finger: take_u64(bytes, cursor)? as usize,
+        });
+    }
+    Ok(ContextKey {
+        targets,
+        context,
+        window,
+        sites,
+        focus_bits: take_u64(bytes, cursor)?,
+        dose_bits: take_u64(bytes, cursor)?,
+    })
+}
+
+fn encode_unique_outcome(outcome: &UniqueOutcome, out: &mut Vec<u8>) {
+    put_u64(out, outcome.opc_simulations as u64);
+    put_u64(out, outcome.opc_fragment_moves as u64);
+    match &outcome.sites {
+        None => out.push(0),
+        Some(per_site) => {
+            out.push(1);
+            put_u64(out, per_site.len() as u64);
+            for (slices, equivalent) in per_site {
+                put_u64(out, slices.len() as u64);
+                for s in slices {
+                    put_u64(out, s.w_nm.to_bits());
+                    put_u64(out, s.l_nm.to_bits());
+                }
+                put_u64(out, equivalent.w_nm.to_bits());
+                put_u64(out, equivalent.l_delay_nm.to_bits());
+                put_u64(out, equivalent.l_leakage_nm.to_bits());
+            }
+        }
+    }
+}
+
+fn decode_unique_outcome(bytes: &[u8], cursor: &mut usize) -> Result<UniqueOutcome> {
+    let opc_simulations = take_u64(bytes, cursor)? as usize;
+    let opc_fragment_moves = take_u64(bytes, cursor)? as usize;
+    let tag = bytes.get(*cursor).copied();
+    *cursor += 1;
+    let sites = match tag {
+        Some(0) => None,
+        Some(1) => {
+            let n = take_u64(bytes, cursor)?;
+            let mut per_site = Vec::with_capacity(n.min(1 << 20) as usize);
+            for _ in 0..n {
+                let n_slices = take_u64(bytes, cursor)?;
+                let mut slices = Vec::with_capacity(n_slices.min(1 << 20) as usize);
+                for _ in 0..n_slices {
+                    slices.push(GateSlice {
+                        w_nm: f64::from_bits(take_u64(bytes, cursor)?),
+                        l_nm: f64::from_bits(take_u64(bytes, cursor)?),
+                    });
+                }
+                let equivalent = EquivalentGate {
+                    w_nm: f64::from_bits(take_u64(bytes, cursor)?),
+                    l_delay_nm: f64::from_bits(take_u64(bytes, cursor)?),
+                    l_leakage_nm: f64::from_bits(take_u64(bytes, cursor)?),
+                };
+                per_site.push((slices, equivalent));
+            }
+            Some(per_site)
+        }
+        _ => return Err(artifact_err("invalid stored outcome tag")),
+    };
+    Ok(UniqueOutcome {
+        opc_simulations,
+        opc_fragment_moves,
+        sites,
+    })
 }
 
 /// First non-physical (non-finite or non-positive) dimension in a gate's
@@ -411,6 +691,24 @@ pub fn extract_gates(
     design: &Design,
     config: &ExtractionConfig,
     tags: &TagSet,
+) -> Result<ExtractionOutcome> {
+    extract_gates_with_store(design, config, tags, None)
+}
+
+/// [`extract_gates`] against a warm [`ContextStore`]: contexts already in
+/// the store skip the OPC → imaging → measurement pipeline (their stored
+/// results are merged bit-identically), novel contexts are imaged once
+/// and retained. With `None` (or an empty store) this *is* a cold run.
+///
+/// # Errors
+///
+/// As [`extract_gates`] — the store only changes where a context's result
+/// comes from, never its value.
+pub fn extract_gates_with_store(
+    design: &Design,
+    config: &ExtractionConfig,
+    tags: &TagSet,
+    store: Option<&mut ContextStore>,
 ) -> Result<ExtractionOutcome> {
     config.validate()?;
     // Group transistor sites by gate for quick lookup.
@@ -481,14 +779,41 @@ pub fn extract_gates(
             unique_keys.push(&work.key);
         }
     }
+    // Partition distinct contexts into store-served (their retained
+    // outcome replays bit for bit, no pipeline) and novel. Injection runs
+    // bypass the store entirely: injected faults must not poison it.
+    let store_enabled = config.fault_injection.is_none();
+    let mut served: Vec<Option<UniqueResult>> = (0..unique_keys.len()).map(|_| None).collect();
+    let mut from_store = vec![false; unique_keys.len()];
+    let mut novel_pos: Vec<usize> = Vec::new();
+    let mut novel_keys: Vec<&ContextKey> = Vec::new();
+    {
+        let warm = if store_enabled {
+            store.as_deref()
+        } else {
+            None
+        };
+        for (i, key) in unique_keys.iter().enumerate() {
+            match warm.and_then(|s| s.entries.get(*key)) {
+                Some(outcome) => {
+                    served[i] = Some(UniqueResult::Ok(outcome.clone()));
+                    from_store[i] = true;
+                }
+                None => {
+                    novel_pos.push(i);
+                    novel_keys.push(key);
+                }
+            }
+        }
+    }
     // Cost-aware scheduling: a window's pipeline cost scales with its
     // pixel count (OPC iterations and measurement both ride on the same
     // raster), so the pool hands out chunks weighted by estimated pixels
     // instead of item counts.
-    let results: Vec<UniqueResult> = match config.fault_policy {
+    let novel_results: Vec<UniqueResult> = match config.fault_policy {
         FaultPolicy::Fail => postopc_parallel::par_map_costed(
             threads,
-            &unique_keys,
+            &novel_keys,
             |_, key| window_pixel_cost(config, key),
             |_, key| run_unique(config, key),
         )
@@ -501,7 +826,7 @@ pub fn extract_gates(
         FaultPolicy::Quarantine { .. } => {
             let (oks, faults) = postopc_parallel::try_par_map_quarantine_init(
                 threads,
-                &unique_keys,
+                &novel_keys,
                 "pipeline",
                 |_, key| window_pixel_cost(config, key),
                 || (),
@@ -517,6 +842,26 @@ pub fn extract_gates(
                 .collect()
         }
     };
+    // Retain every freshly computed context, then slot the novel results
+    // back into key order.
+    if store_enabled {
+        if let Some(store) = store {
+            for (&pos, result) in novel_pos.iter().zip(&novel_results) {
+                if let UniqueResult::Ok(outcome) = result {
+                    store
+                        .entries
+                        .insert(unique_keys[pos].clone(), outcome.clone());
+                }
+            }
+        }
+    }
+    for (pos, result) in novel_pos.into_iter().zip(novel_results) {
+        served[pos] = Some(result);
+    }
+    let results: Vec<UniqueResult> = served
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|| unreachable!("every context is served or novel")))
+        .collect();
 
     // Phase 3: merge in gate order — deterministic regardless of which
     // worker computed which context.
@@ -546,9 +891,15 @@ pub fn extract_gates(
         } else {
             seen[uidx] = true;
             stats.cache_misses += 1;
-            stats.windows += 1;
-            stats.opc_simulations += outcome.opc_simulations;
-            stats.opc_fragment_moves += outcome.opc_fragment_moves;
+            if from_store[uidx] {
+                // Served warm: no window was imaged, no OPC cost was paid
+                // this run — only the reuse is recorded.
+                stats.store_hits += 1;
+            } else {
+                stats.windows += 1;
+                stats.opc_simulations += outcome.opc_simulations;
+                stats.opc_fragment_moves += outcome.opc_fragment_moves;
+            }
         }
         let per_site = match &outcome.sites {
             Some(per_site) if !work.site_indices.is_empty() => per_site,
@@ -1010,6 +1361,53 @@ mod tests {
         let got = extract_gates(&d, &via_env, &tags);
         std::env::remove_var(postopc_parallel::THREADS_ENV);
         assert_eq!(got.expect("env fallback"), expected);
+    }
+
+    #[test]
+    fn warm_store_reuses_contexts_bit_identically() {
+        let d = chain_design(8);
+        let tags = TagSet::all(&d);
+        let cfg = fast_config(OpcMode::Rule);
+        let cold = extract_gates(&d, &cfg, &tags).expect("cold");
+        let mut store = ContextStore::new();
+        let first = extract_gates_with_store(&d, &cfg, &tags, Some(&mut store)).expect("first");
+        // Filling pass: behaves exactly like a cold run, then retains
+        // every distinct context.
+        assert_eq!(first, cold);
+        assert_eq!(store.len(), cold.stats.windows);
+        // Warm pass: nothing is re-imaged, the annotation replays exactly.
+        let warm = extract_gates_with_store(&d, &cfg, &tags, Some(&mut store)).expect("warm");
+        assert_eq!(warm.annotation, cold.annotation);
+        assert_eq!(warm.stats.extracted, cold.stats.extracted);
+        assert_eq!(warm.stats.windows, 0);
+        assert_eq!(warm.stats.store_hits, cold.stats.windows);
+    }
+
+    #[test]
+    fn context_store_round_trips_through_bytes() {
+        let d = chain_design(6);
+        let tags = TagSet::all(&d);
+        let cfg = fast_config(OpcMode::Rule);
+        let mut store = ContextStore::new();
+        let cold = extract_gates_with_store(&d, &cfg, &tags, Some(&mut store)).expect("fill");
+        let mut bytes = Vec::new();
+        store.encode_into(&mut bytes);
+        // Canonical encoding: equal stores produce equal bytes.
+        let mut again = Vec::new();
+        store.encode_into(&mut again);
+        assert_eq!(bytes, again);
+        let mut cursor = 0;
+        let mut decoded = ContextStore::decode_from(&bytes, &mut cursor).expect("decode");
+        assert_eq!(cursor, bytes.len());
+        assert_eq!(decoded.len(), store.len());
+        // The decoded store serves every context of a fresh run.
+        let replay = extract_gates_with_store(&d, &cfg, &tags, Some(&mut decoded)).expect("warm");
+        assert_eq!(replay.annotation, cold.annotation);
+        assert_eq!(replay.stats.windows, 0);
+        // Truncation surfaces as a typed error, never a panic.
+        let err = ContextStore::decode_from(&bytes[..bytes.len() - 3], &mut 0)
+            .expect_err("truncated store must fail");
+        assert!(matches!(err, FlowError::Artifact(_)));
     }
 
     #[test]

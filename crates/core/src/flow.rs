@@ -11,15 +11,18 @@
 //! 5. **back-annotated STA** and comparison (criticality reordering,
 //!    worst-slack deviation).
 
+use crate::artifact::{content_hash, WarmArtifact};
 use crate::compare::TimingComparison;
 use crate::error::Result;
 use crate::extract::{extract_gates, ExtractionConfig, ExtractionStats};
 use crate::fault::FaultPolicy;
 use crate::multilayer::{extract_wires, WireExtractionConfig, WireExtractionStats};
+use crate::session::{QueryOutcome, SessionQuery, TimingSession};
 use crate::tags::TagSet;
 use postopc_device::ProcessParams;
 use postopc_layout::{Design, NetId};
 use postopc_sta::{CdAnnotation, TimingModel};
+use std::path::Path;
 use std::time::{Duration, Instant};
 
 /// Which gates the flow extracts.
@@ -167,6 +170,71 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowReport> {
     })
 }
 
+/// The result of one [`serve`] invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// One outcome per submitted query, in submission order.
+    pub outcomes: Vec<QueryOutcome>,
+    /// Whether the session came up warm from a valid persisted artifact
+    /// (false: it compiled cold, and — when a path was given — wrote a
+    /// fresh artifact for the next invocation).
+    pub warm: bool,
+    /// Wall-clock time to bring the session up (cold compile + extract,
+    /// or artifact load + cache-hot re-evaluation).
+    pub startup_time: Duration,
+    /// Wall-clock time to answer all queries against the warm state.
+    pub query_time: Duration,
+}
+
+/// Batch-query service mode: brings up one [`TimingSession`] — warm from
+/// `artifact_path` when a valid artifact for these exact inputs exists
+/// there, cold otherwise (persisting a fresh artifact to the path for
+/// the next caller) — and answers every query against it.
+///
+/// A stale artifact (different layout/process/clock/extraction-config
+/// content hash) or a corrupt one is treated as absent: the service
+/// recompiles cold and overwrites it. Answers are bit-identical either
+/// way; only `startup_time` differs.
+///
+/// # Errors
+///
+/// Propagates configuration, extraction, timing and artifact-write
+/// errors.
+pub fn serve(
+    design: &Design,
+    config: &FlowConfig,
+    artifact_path: Option<&Path>,
+    queries: &[SessionQuery],
+) -> Result<ServeReport> {
+    let model = TimingModel::new(design, config.process.clone(), config.clock_ps)?;
+    let t0 = Instant::now();
+    let expected = content_hash(design, &config.process, config.clock_ps, &config.extraction);
+    let restored = artifact_path
+        .filter(|p| p.exists())
+        .and_then(|p| WarmArtifact::load_validated(p, expected).ok());
+    let warm = restored.is_some();
+    let mut session = match restored {
+        Some(artifact) => TimingSession::restore(&model, config, artifact)?,
+        None => TimingSession::new(&model, config)?,
+    };
+    if let (Some(path), false) = (artifact_path, warm) {
+        session.artifact().save(path)?;
+    }
+    let startup_time = t0.elapsed();
+    let t1 = Instant::now();
+    let outcomes = queries
+        .iter()
+        .map(|q| session.run(q))
+        .collect::<Result<Vec<_>>>()?;
+    let query_time = t1.elapsed();
+    Ok(ServeReport {
+        outcomes,
+        warm,
+        startup_time,
+        query_time,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -218,6 +286,39 @@ mod tests {
         let selective = run_flow(&d, &fast_flow(Selection::Critical { paths: 1 })).expect("flow");
         let full = run_flow(&d, &fast_flow(Selection::All)).expect("flow");
         assert!(selective.extraction.windows < full.extraction.windows);
+    }
+
+    #[test]
+    fn serve_warms_up_from_its_own_artifact_bit_identically() {
+        let d = small_design();
+        let cfg = fast_flow(Selection::Critical { paths: 2 });
+        let queries = vec![
+            SessionQuery::Corners(postopc_sta::Corner::classic_set(6.0)),
+            SessionQuery::MonteCarlo(postopc_sta::MonteCarloConfig {
+                samples: 30,
+                sigma_nm: 1.5,
+                seed: 7,
+                ..postopc_sta::MonteCarloConfig::default()
+            }),
+        ];
+        let dir = std::env::temp_dir().join("postopc-serve-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("serve.bin");
+        std::fs::remove_file(&path).ok();
+
+        let cold = serve(&d, &cfg, Some(&path), &queries).expect("cold serve");
+        assert!(!cold.warm);
+        assert!(path.exists(), "cold serve persists an artifact");
+        let warm = serve(&d, &cfg, Some(&path), &queries).expect("warm serve");
+        assert!(warm.warm);
+        assert_eq!(cold.outcomes, warm.outcomes);
+
+        // A config change invalidates the artifact: back to cold.
+        let mut other = cfg.clone();
+        other.clock_ps = 900.0;
+        let stale = serve(&d, &other, Some(&path), &queries).expect("stale serve");
+        assert!(!stale.warm);
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -8,7 +8,8 @@
 
 use crate::error::Result;
 use postopc_sta::{
-    analyze_corners_with, statistical, CdAnnotation, Corner, MonteCarloConfig, TimingModel,
+    analyze_corners_with, statistical, CdAnnotation, CompiledSta, Corner, MonteCarloConfig,
+    StaScratch, TimingModel,
 };
 
 /// Guardband comparison configuration.
@@ -74,10 +75,31 @@ impl GuardbandAnalysis {
         // corner, Monte Carlo) instead of compiling per call.
         let compiled = model.compile()?;
         let mut scratch = compiled.scratch();
-        let nominal = compiled.evaluate(&mut scratch, None)?;
+        Self::compute_with(&compiled, &mut scratch, extracted, config)
+    }
+
+    /// [`Self::compute`] against an existing compiled evaluator and
+    /// scratch — warm sessions ([`crate::TimingSession`]) answer repeated
+    /// guardband queries without recompiling or re-characterizing.
+    ///
+    /// Leaves `scratch` holding the SS-corner evaluation, not the
+    /// extracted baseline; callers that interleave incremental (ECO)
+    /// queries must re-establish their baseline afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing and Monte Carlo errors.
+    pub fn compute_with(
+        compiled: &CompiledSta<'_>,
+        scratch: &mut StaScratch,
+        extracted: &CdAnnotation,
+        config: &GuardbandConfig,
+    ) -> Result<GuardbandAnalysis> {
+        let model = compiled.model();
+        let nominal = compiled.evaluate(scratch, None)?;
         let ss = analyze_corners_with(
-            &compiled,
-            &mut scratch,
+            compiled,
+            scratch,
             &[Corner {
                 name: "SS".into(),
                 delta_l_nm: config.corner_sigma3_nm,
@@ -85,7 +107,7 @@ impl GuardbandAnalysis {
         )?
         .pop()
         .unwrap_or_else(|| unreachable!("one corner in, one report out"));
-        let mc = statistical::run_with(&compiled, Some(extracted), &config.monte_carlo)?;
+        let mc = statistical::run_with(compiled, Some(extracted), &config.monte_carlo)?;
         // One multi-quantile query against the cached sorted view: the
         // signoff percentile plus the p50/p90/p99 delay profile (delay
         // percentile p = slack quantile 1 - p).

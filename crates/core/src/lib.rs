@@ -39,6 +39,7 @@
 
 #![warn(missing_docs)]
 
+mod artifact;
 mod compare;
 pub mod dfm;
 mod error;
@@ -48,14 +49,18 @@ mod flow;
 pub mod guardband;
 mod multilayer;
 pub mod report;
+mod session;
 mod tags;
 
+pub use artifact::{content_hash, WarmArtifact, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use compare::TimingComparison;
 pub use error::{FlowError, Result};
 pub use extract::{
-    extract_gates, AcrossChipMap, ExtractionConfig, ExtractionOutcome, ExtractionStats, OpcMode,
+    extract_gates, extract_gates_with_store, AcrossChipMap, ContextStore, ExtractionConfig,
+    ExtractionOutcome, ExtractionStats, OpcMode,
 };
 pub use fault::{FaultInjection, FaultPolicy, FaultStage, InjectedFault, QuarantinedGate};
-pub use flow::{run_flow, FlowConfig, FlowReport, Selection};
+pub use flow::{run_flow, serve, FlowConfig, FlowReport, Selection, ServeReport};
 pub use multilayer::{extract_wires, WireExtractionConfig, WireExtractionStats};
+pub use session::{EcoOutcome, QueryOutcome, SessionQuery, TimingSession};
 pub use tags::TagSet;

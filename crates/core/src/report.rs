@@ -66,6 +66,7 @@ pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
         format!("{}", stats.gates_failed),
         format!("{}", stats.gates_quarantined),
         format!("{}", stats.windows),
+        format!("{}", stats.store_hits),
         format!("{}", stats.opc_simulations),
         format!("{}", stats.cache_hits),
         format!("{}", stats.cache_misses),
@@ -78,6 +79,7 @@ pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
             "failed",
             "quarantined",
             "windows",
+            "store hits",
             "opc sims",
             "cache hits",
             "cache misses",
@@ -85,6 +87,75 @@ pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
         ],
         &rows,
     )
+}
+
+/// Renders one [`crate::serve`] invocation: how the session came up
+/// (warm/cold), the startup-vs-query wall clock, and a one-line summary
+/// per answered query.
+///
+/// ```
+/// use postopc::report::render_serve_report;
+/// use postopc::ServeReport;
+/// let t = render_serve_report(&ServeReport {
+///     outcomes: vec![],
+///     warm: true,
+///     startup_time: std::time::Duration::from_millis(12),
+///     query_time: std::time::Duration::from_millis(3),
+/// });
+/// assert!(t.contains("warm"));
+/// ```
+pub fn render_serve_report(report: &crate::ServeReport) -> String {
+    let rows: Vec<Vec<String>> = report
+        .outcomes
+        .iter()
+        .enumerate()
+        .map(|(i, outcome)| {
+            let (kind, summary) = match outcome {
+                crate::QueryOutcome::Guardband(g) => (
+                    "guardband",
+                    format!(
+                        "corner {:.1} ps vs statistical {:.1} ps (recoverable {:.1} ps)",
+                        g.corner_delay_ps, g.statistical_delay_ps, g.recoverable_margin_ps
+                    ),
+                ),
+                crate::QueryOutcome::Corners(reports) => (
+                    "corners",
+                    reports
+                        .iter()
+                        .map(|r| format!("{:.1} ps", r.critical_delay_ps()))
+                        .collect::<Vec<_>>()
+                        .join(", "),
+                ),
+                crate::QueryOutcome::MonteCarlo(mc) => (
+                    "monte carlo",
+                    format!(
+                        "{} samples, mean delay {:.1} ps, p1 slack {:.1} ps",
+                        mc.worst_slacks_ps().len(),
+                        mc.mean_critical_delay_ps(),
+                        mc.worst_slack_quantile_ps(0.01)
+                    ),
+                ),
+                crate::QueryOutcome::WhatIf(r) => (
+                    "what-if",
+                    format!(
+                        "critical {:.1} ps, worst slack {:.1} ps",
+                        r.critical_delay_ps(),
+                        r.worst_slack_ps()
+                    ),
+                ),
+            };
+            vec![format!("{}", i + 1), kind.into(), summary]
+        })
+        .collect();
+    let mut out = render_table("warm service queries", &["#", "query", "answer"], &rows);
+    out.push_str(&format!(
+        "session: {} startup {:.3} s, {} queries in {:.3} s\n",
+        if report.warm { "warm" } else { "cold" },
+        report.startup_time.as_secs_f64(),
+        report.outcomes.len(),
+        report.query_time.as_secs_f64(),
+    ));
+    out
 }
 
 /// Renders the per-gate quarantine diagnostics: which gates were set

@@ -1,0 +1,537 @@
+//! Warm batch-query timing sessions: one expensive compile, many cheap
+//! queries.
+//!
+//! A cold [`run_flow`](crate::run_flow) pays for OPC + imaging +
+//! extraction + characterization on every invocation, even when the
+//! design has not changed. A [`TimingSession`] pays once — or not at
+//! all, when restored from a persisted [`WarmArtifact`] — and then
+//! answers guardband, corner, Monte Carlo and what-if queries against
+//! the warm compiled state, reusing one [`StaScratch`] (and its
+//! characterization cache) across every query.
+//!
+//! Incremental ECO re-analysis rides the same state: an edit that
+//! dirties K gates re-images only the litho contexts the warm
+//! [`ContextStore`] has not seen (`stats.windows` counts exactly those)
+//! and re-propagates only the affected fanout cone through the compiled
+//! CSR graph ([`CompiledSta::evaluate_eco`]) — bit-identical to a full
+//! recompile, by construction and by test.
+
+use crate::artifact::{content_hash, WarmArtifact};
+use crate::error::{FlowError, Result};
+use crate::extract::{extract_gates_with_store, ContextStore, ExtractionStats};
+use crate::flow::{FlowConfig, Selection};
+use crate::guardband::{GuardbandAnalysis, GuardbandConfig};
+use crate::multilayer::extract_wires;
+use crate::tags::TagSet;
+use postopc_layout::{Design, NetId};
+use postopc_sta::{
+    analyze_corners_with, statistical, CdAnnotation, CompiledSta, Corner, MonteCarloConfig,
+    MonteCarloResult, StaScratch, TimingModel, TimingReport,
+};
+
+/// One request against a warm session.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SessionQuery {
+    /// Corner-vs-statistical guardband comparison around the session's
+    /// extracted baseline.
+    Guardband(GuardbandConfig),
+    /// A corner sweep (uniform CD shifts) through the warm evaluator.
+    Corners(Vec<Corner>),
+    /// A Monte Carlo run around the session's extracted baseline.
+    MonteCarlo(MonteCarloConfig),
+    /// A speculative annotation edit: evaluated incrementally against
+    /// the baseline, then rolled back — the session baseline is
+    /// unchanged afterwards.
+    WhatIf(CdAnnotation),
+}
+
+/// The answer to one [`SessionQuery`], in the same order they were
+/// submitted.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryOutcome {
+    /// Answer to [`SessionQuery::Guardband`].
+    Guardband(GuardbandAnalysis),
+    /// Answer to [`SessionQuery::Corners`]: one report per corner.
+    Corners(Vec<TimingReport>),
+    /// Answer to [`SessionQuery::MonteCarlo`].
+    MonteCarlo(MonteCarloResult),
+    /// Answer to [`SessionQuery::WhatIf`]: full timing under the edit.
+    WhatIf(TimingReport),
+}
+
+/// The result of one incremental ECO re-analysis
+/// ([`TimingSession::apply_eco`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EcoOutcome {
+    /// Extraction statistics of the incremental pass. `stats.windows`
+    /// is the number of freshly-imaged (dirtied) litho contexts;
+    /// `stats.store_hits` the contexts served from the warm store.
+    pub stats: ExtractionStats,
+    /// Timing under the new baseline (bit-identical to a full re-run).
+    pub report: TimingReport,
+}
+
+/// A long-running timing service over one compiled design.
+///
+/// Borrows the caller's [`TimingModel`] (which borrows the [`Design`]),
+/// so a session lives as long as the model it was opened against:
+///
+/// ```no_run
+/// use postopc::{FlowConfig, SessionQuery, TimingSession};
+/// use postopc_layout::{generate, Design, TechRules};
+/// use postopc_sta::TimingModel;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let design = Design::compile(generate::ripple_carry_adder(8)?, TechRules::n90())?;
+/// let config = FlowConfig::standard(800.0);
+/// let model = TimingModel::new(&design, config.process.clone(), config.clock_ps)?;
+/// let mut session = TimingSession::new(&model, &config)?; // pay once
+/// for corner_nm in [2.0, 4.0, 6.0] {
+///     let out = session.run(&SessionQuery::Corners(
+///         postopc_sta::Corner::classic_set(corner_nm),
+///     ))?; // cheap
+///     println!("{out:?}");
+/// }
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TimingSession<'m> {
+    config: FlowConfig,
+    compiled: CompiledSta<'m>,
+    scratch: StaScratch,
+    store: ContextStore,
+    tags: TagSet,
+    annotation: CdAnnotation,
+    baseline: TimingReport,
+    extraction_stats: ExtractionStats,
+    /// True when the scratch holds some query's evaluation instead of
+    /// the baseline; incremental passes re-establish the baseline first.
+    scratch_dirty: bool,
+}
+
+/// Runs the (optional) multi-layer wire step for the tagged gates' nets
+/// into `annotation` — the same net selection as [`crate::run_flow`].
+fn annotate_wires(
+    design: &Design,
+    config: &FlowConfig,
+    tags: &TagSet,
+    annotation: &mut CdAnnotation,
+) -> Result<()> {
+    if let Some(wire_config) = &config.wires {
+        let mut nets: Vec<NetId> = Vec::new();
+        for gate in tags.sorted() {
+            let g = design.netlist().gate(gate);
+            nets.push(g.output);
+            nets.extend(g.inputs.iter().copied());
+        }
+        nets.sort_unstable();
+        nets.dedup();
+        extract_wires(design, wire_config, &nets, annotation)?;
+    }
+    Ok(())
+}
+
+impl<'m> TimingSession<'m> {
+    /// Opens a session cold: compiles the evaluator, runs drawn timing,
+    /// tags, extracts (filling a fresh [`ContextStore`]) and establishes
+    /// the annotated baseline. This is the expensive call every
+    /// subsequent query amortizes.
+    ///
+    /// The model must have been built with the same process and clock as
+    /// `config` for artifact keys to line up.
+    ///
+    /// # Errors
+    ///
+    /// Propagates configuration, simulation, extraction and timing
+    /// errors.
+    pub fn new(model: &'m TimingModel<'m>, config: &FlowConfig) -> Result<TimingSession<'m>> {
+        let design = model.design();
+        let compiled = model.compile()?;
+        let mut scratch = compiled.scratch();
+        let drawn = compiled.evaluate(&mut scratch, None)?;
+        let tags = match config.selection {
+            Selection::All => TagSet::all(design),
+            Selection::Critical { paths } => TagSet::from_critical_paths(design, &drawn, paths),
+        };
+        let mut store = ContextStore::new();
+        let outcome =
+            extract_gates_with_store(design, &config.extraction, &tags, Some(&mut store))?;
+        let mut annotation = outcome.annotation;
+        annotate_wires(design, config, &tags, &mut annotation)?;
+        let baseline = compiled.evaluate(&mut scratch, Some(&annotation))?;
+        Ok(TimingSession {
+            config: config.clone(),
+            compiled,
+            scratch,
+            store,
+            tags,
+            annotation,
+            baseline,
+            extraction_stats: outcome.stats,
+            scratch_dirty: false,
+        })
+    }
+
+    /// Opens a session warm from a persisted artifact: no OPC, no
+    /// imaging, no device-model characterization — the annotation,
+    /// caches and context store are restored in exact bits and one
+    /// (cache-hot) evaluation re-establishes the baseline.
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Artifact`] when the artifact's content hash does not
+    /// match the (design, process, clock, extraction-config) the session
+    /// is being opened for — a stale artifact is rejected, never
+    /// silently reused; plus ordinary timing errors.
+    pub fn restore(
+        model: &'m TimingModel<'m>,
+        config: &FlowConfig,
+        artifact: WarmArtifact,
+    ) -> Result<TimingSession<'m>> {
+        let design = model.design();
+        let expected = content_hash(design, &config.process, config.clock_ps, &config.extraction);
+        if artifact.content_hash != expected {
+            return Err(FlowError::Artifact(format!(
+                "content hash mismatch: artifact {:#018x}, session inputs {:#018x}",
+                artifact.content_hash, expected
+            )));
+        }
+        let compiled = model.compile()?;
+        let mut scratch = compiled.scratch();
+        for entry in &artifact.char_entries {
+            scratch.cache_mut().absorb(entry);
+        }
+        scratch.absorb_shift_entries(&artifact.shift_entries);
+        let drawn = compiled.evaluate(&mut scratch, None)?;
+        let tags = match config.selection {
+            Selection::All => TagSet::all(design),
+            Selection::Critical { paths } => TagSet::from_critical_paths(design, &drawn, paths),
+        };
+        let annotation = artifact.annotation;
+        let baseline = compiled.evaluate(&mut scratch, Some(&annotation))?;
+        let stats = ExtractionStats {
+            gates_extracted: annotation.gate_count(),
+            ..Default::default()
+        };
+        Ok(TimingSession {
+            config: config.clone(),
+            compiled,
+            scratch,
+            store: artifact.context_store,
+            tags,
+            annotation,
+            baseline,
+            extraction_stats: stats,
+            scratch_dirty: false,
+        })
+    }
+
+    /// Snapshots the session's warm state into a [`WarmArtifact`] for
+    /// persistence; [`Self::restore`] of the result reproduces this
+    /// session's answers bit-identically.
+    pub fn artifact(&self) -> WarmArtifact {
+        WarmArtifact {
+            content_hash: content_hash(
+                self.compiled.model().design(),
+                &self.config.process,
+                self.config.clock_ps,
+                &self.config.extraction,
+            ),
+            annotation: self.annotation.clone(),
+            char_entries: self.scratch.cache().export(),
+            shift_entries: self.scratch.export_shift_entries(),
+            context_store: self.store.clone(),
+        }
+    }
+
+    /// The annotated baseline timing report.
+    pub fn baseline(&self) -> &TimingReport {
+        &self.baseline
+    }
+
+    /// The session's extracted baseline annotation.
+    pub fn annotation(&self) -> &CdAnnotation {
+        &self.annotation
+    }
+
+    /// The tagged gates the baseline extraction covered.
+    pub fn tags(&self) -> &TagSet {
+        &self.tags
+    }
+
+    /// The warm litho-context store backing incremental re-extraction.
+    pub fn store(&self) -> &ContextStore {
+        &self.store
+    }
+
+    /// Statistics of the session's most recent extraction pass (zeroed,
+    /// except for the gate count, after a warm [`Self::restore`]).
+    pub fn extraction_stats(&self) -> &ExtractionStats {
+        &self.extraction_stats
+    }
+
+    /// Re-establishes the baseline evaluation in the scratch after a
+    /// query left other state there. Cache-hot: no device-model calls.
+    fn ensure_baseline(&mut self) -> Result<()> {
+        if self.scratch_dirty {
+            self.baseline = self
+                .compiled
+                .evaluate(&mut self.scratch, Some(&self.annotation))?;
+            self.scratch_dirty = false;
+        }
+        Ok(())
+    }
+
+    /// Answers one query against the warm state.
+    ///
+    /// # Errors
+    ///
+    /// Propagates timing and Monte Carlo errors; the session stays
+    /// usable after an error.
+    pub fn run(&mut self, query: &SessionQuery) -> Result<QueryOutcome> {
+        match query {
+            SessionQuery::Guardband(config) => {
+                self.scratch_dirty = true;
+                Ok(QueryOutcome::Guardband(GuardbandAnalysis::compute_with(
+                    &self.compiled,
+                    &mut self.scratch,
+                    &self.annotation,
+                    config,
+                )?))
+            }
+            SessionQuery::Corners(corners) => {
+                self.scratch_dirty = true;
+                Ok(QueryOutcome::Corners(analyze_corners_with(
+                    &self.compiled,
+                    &mut self.scratch,
+                    corners,
+                )?))
+            }
+            SessionQuery::MonteCarlo(config) => Ok(QueryOutcome::MonteCarlo(
+                statistical::run_with(&self.compiled, Some(&self.annotation), config)?,
+            )),
+            SessionQuery::WhatIf(next) => {
+                self.ensure_baseline()?;
+                let report = self.compiled.evaluate_eco(
+                    &mut self.scratch,
+                    Some(&self.annotation),
+                    Some(next),
+                )?;
+                // Roll the scratch back so the next incremental query
+                // starts from the unchanged baseline.
+                self.compiled.evaluate_eco(
+                    &mut self.scratch,
+                    Some(next),
+                    Some(&self.annotation),
+                )?;
+                Ok(QueryOutcome::WhatIf(report))
+            }
+        }
+    }
+
+    /// Applies an ECO: re-extracts for `tags` against the warm context
+    /// store — only litho contexts the store has never imaged are
+    /// simulated (`outcome.stats.windows` counts exactly those dirtied
+    /// windows) — then re-propagates only the affected fanout cone
+    /// through the compiled graph. The session baseline advances to the
+    /// new annotation. Bit-identical to extracting and evaluating from
+    /// scratch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates extraction and timing errors.
+    pub fn apply_eco(&mut self, tags: &TagSet) -> Result<EcoOutcome> {
+        self.ensure_baseline()?;
+        let design = self.compiled.model().design();
+        let outcome =
+            extract_gates_with_store(design, &self.config.extraction, tags, Some(&mut self.store))?;
+        let mut next = outcome.annotation;
+        annotate_wires(design, &self.config, tags, &mut next)?;
+        let report =
+            self.compiled
+                .evaluate_eco(&mut self.scratch, Some(&self.annotation), Some(&next))?;
+        self.tags = tags.clone();
+        self.annotation = next;
+        self.baseline = report.clone();
+        self.extraction_stats = outcome.stats.clone();
+        Ok(EcoOutcome {
+            stats: outcome.stats,
+            report,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::extract::OpcMode;
+    use crate::run_flow;
+    use postopc_layout::{generate, TechRules};
+
+    fn design() -> Design {
+        Design::compile(
+            generate::ripple_carry_adder(2).expect("netlist"),
+            TechRules::n90(),
+        )
+        .expect("design")
+    }
+
+    fn fast_config(selection: Selection) -> FlowConfig {
+        let mut cfg = FlowConfig::standard(800.0);
+        cfg.selection = selection;
+        cfg.extraction.opc_mode = OpcMode::Rule;
+        cfg
+    }
+
+    fn mc_config() -> MonteCarloConfig {
+        MonteCarloConfig {
+            samples: 40,
+            sigma_nm: 1.5,
+            seed: 7,
+            ..MonteCarloConfig::default()
+        }
+    }
+
+    #[test]
+    fn session_answers_match_cold_runs_bit_identically() {
+        let d = design();
+        let cfg = fast_config(Selection::Critical { paths: 3 });
+        let model = TimingModel::new(&d, cfg.process.clone(), cfg.clock_ps).expect("model");
+        let mut session = TimingSession::new(&model, &cfg).expect("session");
+
+        // Baseline == the flow's annotated report.
+        let flow = run_flow(&d, &cfg).expect("flow");
+        assert_eq!(flow.annotation, *session.annotation());
+        assert_eq!(flow.comparison.annotated, *session.baseline());
+
+        // Monte Carlo through the session == cold run, bit for bit, and
+        // answers are stable across repeated queries on the warm state.
+        let mc = mc_config();
+        let cold = statistical::run(&model, Some(session.annotation()), &mc).expect("cold mc");
+        let a = session
+            .run(&SessionQuery::MonteCarlo(mc.clone()))
+            .expect("q");
+        let b = session
+            .run(&SessionQuery::MonteCarlo(mc.clone()))
+            .expect("q");
+        match (&a, &b) {
+            (QueryOutcome::MonteCarlo(a), QueryOutcome::MonteCarlo(b)) => {
+                assert_eq!(a, &cold);
+                assert_eq!(a, b);
+            }
+            other => panic!("expected Monte Carlo outcomes, got {other:?}"),
+        }
+
+        // Corners through the warm scratch == corners cold.
+        let corners = Corner::classic_set(6.0);
+        let warm = session
+            .run(&SessionQuery::Corners(corners.clone()))
+            .expect("q");
+        let cold = postopc_sta::analyze_corners(&model, &corners).expect("cold corners");
+        assert_eq!(warm, QueryOutcome::Corners(cold));
+
+        // Guardband through the session == guardband cold.
+        let gb = GuardbandConfig {
+            monte_carlo: mc_config(),
+            ..GuardbandConfig::default()
+        };
+        let warm = session
+            .run(&SessionQuery::Guardband(gb.clone()))
+            .expect("q");
+        let cold = GuardbandAnalysis::compute(&model, session.annotation(), &gb).expect("cold gb");
+        assert_eq!(warm, QueryOutcome::Guardband(cold));
+    }
+
+    #[test]
+    fn what_if_is_bit_identical_and_rolls_back() {
+        let d = design();
+        let cfg = fast_config(Selection::Critical { paths: 2 });
+        let model = TimingModel::new(&d, cfg.process.clone(), cfg.clock_ps).expect("model");
+        let mut session = TimingSession::new(&model, &cfg).expect("session");
+        let baseline = session.baseline().clone();
+
+        let edit = postopc_sta::corner_annotation(&model, 3.0);
+        let compiled = model.compile().expect("compile");
+        let mut scratch = compiled.scratch();
+        let full = compiled.evaluate(&mut scratch, Some(&edit)).expect("full");
+
+        let out = session.run(&SessionQuery::WhatIf(edit)).expect("what-if");
+        assert_eq!(out, QueryOutcome::WhatIf(full));
+        // Rolled back: the baseline answer is unchanged afterwards.
+        assert_eq!(*session.baseline(), baseline);
+        let again = session
+            .run(&SessionQuery::Corners(vec![Corner {
+                name: "TT".into(),
+                delta_l_nm: 0.0,
+            }]))
+            .expect("corner");
+        match again {
+            QueryOutcome::Corners(reports) => {
+                let drawn = compiled.evaluate(&mut scratch, None).expect("drawn");
+                assert_eq!(reports[0], drawn);
+            }
+            other => panic!("expected corner outcome, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn eco_reextracts_only_dirtied_windows_bit_identically() {
+        let d = design();
+        let cfg = fast_config(Selection::Critical { paths: 2 });
+        let model = TimingModel::new(&d, cfg.process.clone(), cfg.clock_ps).expect("model");
+        let mut session = TimingSession::new(&model, &cfg).expect("session");
+        let cold_windows = session.extraction_stats().windows;
+        assert!(cold_windows > 0);
+
+        // The ECO: widen extraction to every gate. Contexts already in
+        // the warm store are served, only novel ones are imaged.
+        let all = TagSet::all(&d);
+        let eco = session.apply_eco(&all).expect("eco");
+        let full_cfg = fast_config(Selection::All);
+        let full = run_flow(&d, &full_cfg).expect("full flow");
+        assert_eq!(*session.annotation(), full.annotation);
+        assert_eq!(eco.report, full.comparison.annotated);
+        // Only the dirtied windows were imaged incrementally.
+        assert!(eco.stats.windows < full.extraction.windows);
+        assert_eq!(
+            eco.stats.windows + eco.stats.store_hits,
+            full.extraction.windows
+        );
+
+        // A no-op ECO dirties nothing at all.
+        let noop = session.apply_eco(&all).expect("noop eco");
+        assert_eq!(noop.stats.windows, 0);
+        assert_eq!(noop.report, full.comparison.annotated);
+    }
+
+    #[test]
+    fn artifact_restore_reproduces_the_session() {
+        let d = design();
+        let cfg = fast_config(Selection::Critical { paths: 3 });
+        let model = TimingModel::new(&d, cfg.process.clone(), cfg.clock_ps).expect("model");
+        let mut cold = TimingSession::new(&model, &cfg).expect("cold session");
+        let artifact = cold.artifact();
+        let bytes = artifact.to_bytes();
+        let restored = WarmArtifact::from_bytes(&bytes).expect("parse");
+        let mut warm = TimingSession::restore(&model, &cfg, restored).expect("warm session");
+        assert_eq!(cold.annotation(), warm.annotation());
+        assert_eq!(cold.baseline(), warm.baseline());
+        assert_eq!(cold.store().len(), warm.store().len());
+
+        let mc = SessionQuery::MonteCarlo(mc_config());
+        assert_eq!(
+            cold.run(&mc).expect("cold q"),
+            warm.run(&mc).expect("warm q")
+        );
+
+        // A mismatched config is rejected, not silently reused.
+        let mut other = cfg.clone();
+        other.clock_ps = 900.0;
+        let model2 = TimingModel::new(&d, other.process.clone(), other.clock_ps).expect("model");
+        let stale = WarmArtifact::from_bytes(&bytes).expect("parse");
+        assert!(matches!(
+            TimingSession::restore(&model2, &other, stale),
+            Err(FlowError::Artifact(_))
+        ));
+    }
+}

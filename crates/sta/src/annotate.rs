@@ -109,6 +109,11 @@ impl CdAnnotation {
         self.gates.iter()
     }
 
+    /// Iterator over annotated nets.
+    pub fn nets(&self) -> impl Iterator<Item = (&NetId, &NetAnnotation)> {
+        self.nets.iter()
+    }
+
     /// Mean delay-equivalent length over all annotated transistors, or
     /// `None` if nothing is annotated (a quick sanity statistic).
     pub fn mean_l_delay_nm(&self) -> Option<f64> {

@@ -31,6 +31,42 @@ use std::collections::HashMap;
 /// well inside L2 for realistic designs.
 pub const LANES: usize = 8;
 
+/// Exact-bit equality of two cell timings. The incremental (ECO) path
+/// must treat `-0.0`/`+0.0` and distinct NaN payloads as *different* —
+/// `PartialEq` would not — because "unchanged" there means "the stored
+/// bits the full pass would have produced".
+fn timing_bits_eq(a: &CellTiming, b: &CellTiming) -> bool {
+    let bits = |x: f64, y: f64| x.to_bits() == y.to_bits();
+    let seq = match (&a.sequential, &b.sequential) {
+        (None, None) => true,
+        (Some(x), Some(y)) => bits(x.clk_to_q_ps, y.clk_to_q_ps) && bits(x.setup_ps, y.setup_ps),
+        _ => false,
+    };
+    seq && bits(a.input_cap_ff, b.input_cap_ff)
+        && bits(a.pull_up_r_kohm, b.pull_up_r_kohm)
+        && bits(a.pull_down_r_kohm, b.pull_down_r_kohm)
+        && bits(a.intrinsic_ps, b.intrinsic_ps)
+        && bits(a.output_cap_ff, b.output_cap_ff)
+        && bits(a.leakage_ua, b.leakage_ua)
+        && a.nldm
+            .load_axis_ff
+            .iter()
+            .zip(b.nldm.load_axis_ff.iter())
+            .all(|(x, y)| bits(*x, *y))
+        && a.nldm
+            .delay_grid_ps
+            .iter()
+            .flatten()
+            .zip(b.nldm.delay_grid_ps.iter().flatten())
+            .all(|(x, y)| bits(*x, *y))
+        && a.nldm
+            .slew_grid_ps
+            .iter()
+            .flatten()
+            .zip(b.nldm.slew_grid_ps.iter().flatten())
+            .all(|(x, y)| bits(*x, *y))
+}
+
 /// Summary of one evaluated sample — the quantities Monte Carlo keeps,
 /// produced without materializing a full [`TimingReport`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -103,6 +139,14 @@ pub struct CompiledSta<'m> {
     base_timings: Vec<CellTiming>,
     /// Drawn per-gate transistor records (annotation templates).
     base_records: Vec<Vec<TransistorCd>>,
+    /// Net → sink-gate indices, one entry per input-pin occurrence, in
+    /// gate order — re-summing one net's sink load walks the exact
+    /// addends of the full pass in the exact order (the incremental ECO
+    /// path's bit-identity depends on it).
+    net_sinks: Vec<Vec<u32>>,
+    /// Net → driver gate index (`u32::MAX` for primary inputs), the O(1)
+    /// form of `Netlist::driver`'s linear scan.
+    net_driver: Vec<u32>,
 }
 
 /// Reusable per-worker evaluation state: propagation buffers, a record
@@ -143,6 +187,18 @@ pub struct StaScratch {
     lane_slews: Vec<[f64; LANES]>,
     lane_arrivals: Vec<[f64; LANES]>,
     lane_endpoint_required: Vec<(NetId, [f64; LANES])>,
+    /// Incremental (ECO) dirty flags: gates whose timing or sink load
+    /// changed and must re-derive delay/slew this pass.
+    eco_gate_dirty: Vec<bool>,
+    /// Incremental dirty flags: nets whose sink capacitance must be
+    /// re-summed (a sink gate's input cap changed).
+    eco_net_cap_dirty: Vec<bool>,
+    /// Incremental change flags: nets whose output slew bits moved.
+    eco_slew_changed: Vec<bool>,
+    /// Incremental change flags: nets whose arrival bits moved.
+    eco_arrival_changed: Vec<bool>,
+    /// Incremental change flags: gates whose delay bits moved.
+    eco_delay_changed: Vec<bool>,
 }
 
 impl StaScratch {
@@ -171,6 +227,56 @@ impl StaScratch {
     /// entries never probe the local cache, so they are counted apart).
     pub fn shift_cache_shared_hits(&self) -> u64 {
         self.shift_cache.shared_hits
+    }
+
+    /// Insertions the `(cell, shift-bin)` cache refused because it was at
+    /// its entry cap ([`SHIFT_CACHE_CAP_DEFAULT`] or the
+    /// [`SHIFT_CACHE_CAP_ENV`] override) — those shifts were characterized
+    /// without being memoized.
+    pub fn shift_cache_rejected(&self) -> u64 {
+        self.shift_cache.rejected
+    }
+
+    /// The entry cap of the `(cell, shift-bin)` cache, resolved when this
+    /// scratch was created.
+    pub fn shift_cache_cap(&self) -> usize {
+        self.shift_cache.cap
+    }
+
+    /// Snapshot of the `(cell, shift-bin)` cache, sorted by packed key —
+    /// the serialization view the warm-artifact store persists. Keys are
+    /// `(cell << 32) | bin` against the [`SampleCells`] dedup of the run
+    /// that filled the cache, so entries only transfer between runs whose
+    /// base ensembles (and hence cell slots) match — exactly the
+    /// invariant a content-addressed artifact guarantees.
+    pub fn export_shift_entries(&self) -> Vec<(u64, CellTiming)> {
+        let mut out = Vec::with_capacity(self.shift_cache.store.len());
+        for (&key, &idx) in self.shift_cache.keys.iter().zip(&self.shift_cache.slot_idx) {
+            if key != SHIFT_EMPTY {
+                out.push((key, self.shift_cache.store[idx as usize]));
+            }
+        }
+        out.sort_unstable_by_key(|&(key, _)| key);
+        out
+    }
+
+    /// Re-memoizes previously exported `(cell, shift-bin)` entries.
+    /// Entries already present are left alone; entries past the cap are
+    /// dropped (and counted as rejected). Because a hit replays exact
+    /// bits, absorbing entries can only skip device-model calls — it can
+    /// never change a result.
+    pub fn absorb_shift_entries(&mut self, entries: &[(u64, CellTiming)]) {
+        for &(key, timing) in entries {
+            if key == SHIFT_EMPTY {
+                continue;
+            }
+            self.shift_cache.insert(key, timing);
+        }
+    }
+
+    /// Mutable access to the characterization cache (artifact absorb path).
+    pub fn cache_mut(&mut self) -> &mut CharacterizationCache {
+        &mut self.cache
     }
 }
 
@@ -206,10 +312,17 @@ fn lane_timing<'a>(
 /// so they can never collide with the marker.
 const SHIFT_EMPTY: u64 = u64::MAX;
 
-/// Entries the shift cache stops growing at: bounded by
+/// Default entry cap of the shift cache: bounded by
 /// `distinct cells × occupied shift bins`, which stays far below this for
 /// real designs; the cap only guards against pathological workloads.
-const SHIFT_CACHE_CAP: usize = 1 << 18;
+/// Overridable per process via [`SHIFT_CACHE_CAP_ENV`].
+pub const SHIFT_CACHE_CAP_DEFAULT: usize = 1 << 18;
+
+/// Environment variable overriding the shift-cache entry cap (positive
+/// integer; unset, empty or unparsable values fall back to
+/// [`SHIFT_CACHE_CAP_DEFAULT`]). Read when a scratch is created, following
+/// the `POSTOPC_THREADS` precedent.
+pub const SHIFT_CACHE_CAP_ENV: &str = "POSTOPC_SHIFT_CACHE_CAP";
 
 /// Open-addressed `(cell, shift-bin) → CellTiming` map — the Monte Carlo
 /// characterization cache. The key is two small integers packed into a
@@ -229,11 +342,15 @@ struct ShiftTimingCache {
     slot_idx: Vec<u32>,
     /// Cached timings in insertion order.
     store: Vec<CellTiming>,
+    /// Entry cap resolved at construction (env override or default).
+    cap: usize,
     hits: u64,
     misses: u64,
     /// Hits served by a caller-supplied [`SharedShiftCache`] instead of
     /// this local map (counted here so the scratch owns all counters).
     shared_hits: u64,
+    /// Insertions refused because the store was at its cap.
+    rejected: u64,
 }
 
 impl ShiftTimingCache {
@@ -243,9 +360,11 @@ impl ShiftTimingCache {
             keys: vec![SHIFT_EMPTY; slots],
             slot_idx: vec![0; slots],
             store: Vec::new(),
+            cap: crate::liberty::env_cache_cap(SHIFT_CACHE_CAP_ENV, SHIFT_CACHE_CAP_DEFAULT),
             hits: 0,
             misses: 0,
             shared_hits: 0,
+            rejected: 0,
         }
     }
 
@@ -280,7 +399,8 @@ impl ShiftTimingCache {
     /// Inserts `val` under `key`, returning its `store` index; `None` past
     /// the cap (the value is then characterized without memoizing).
     fn insert(&mut self, key: u64, val: CellTiming) -> Option<u32> {
-        if self.store.len() >= SHIFT_CACHE_CAP {
+        if self.store.len() >= self.cap {
+            self.rejected += 1;
             return None;
         }
         if (self.store.len() + 1) * 4 > self.keys.len() * 3 {
@@ -403,11 +523,21 @@ impl<'m> CompiledSta<'m> {
             .map_err(StaError::from)?;
             drawn_wires.push(Some(wire));
         }
+        let mut net_sinks: Vec<Vec<u32>> = vec![Vec::new(); netlist.nets().len()];
+        let mut net_driver = vec![u32::MAX; netlist.nets().len()];
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            for &input in &gate.inputs {
+                net_sinks[input.0 as usize].push(gi as u32);
+            }
+            net_driver[gate.output.0 as usize] = gi as u32;
+        }
         Ok(CompiledSta {
             model,
             drawn_wires,
             base_timings,
             base_records,
+            net_sinks,
+            net_driver,
         })
     }
 
@@ -446,6 +576,11 @@ impl<'m> CompiledSta<'m> {
             lane_slews: vec![[0.0; LANES]; n_nets],
             lane_arrivals: vec![[0.0; LANES]; n_nets],
             lane_endpoint_required: Vec::new(),
+            eco_gate_dirty: vec![false; n_gates],
+            eco_net_cap_dirty: vec![false; n_nets],
+            eco_slew_changed: vec![false; n_nets],
+            eco_arrival_changed: vec![false; n_nets],
+            eco_delay_changed: vec![false; n_gates],
         }
     }
 
@@ -516,6 +651,216 @@ impl<'m> CompiledSta<'m> {
         }
         self.propagate(scratch, annotation)?;
         let endpoint_slacks = Self::sorted_endpoint_slacks(scratch);
+        Ok(TimingReport::from_parts(
+            scratch.arrivals.clone(),
+            scratch.requireds.clone(),
+            scratch.gate_delays.clone(),
+            scratch.slews.clone(),
+            endpoint_slacks,
+            self.model.clock_ps(),
+            leakage,
+        ))
+    }
+
+    /// Incremental ECO re-analysis: re-derives only the state an
+    /// annotation edit actually moved, bit-identical to a full
+    /// [`Self::evaluate`] with `next`.
+    ///
+    /// `scratch` must hold the state of a completed evaluation with
+    /// `prev` on this compiled model (that is the warm state the
+    /// increments are applied to). The diff of `prev` → `next` seeds the
+    /// dirty set: gates whose annotation entry changed re-characterize
+    /// (through the scratch's cache); nets whose sink gates changed input
+    /// capacitance re-sum their load over the precompiled sink adjacency
+    /// in gate order (the exact addend order of the full pass); then two
+    /// topological sweeps recompute delay/slew and arrivals only for
+    /// gates flagged dirty or fed by a changed net, propagating flags
+    /// precisely when stored bits move. Untouched gates keep their stored
+    /// bits, recomputed gates run the same float ops on the same values
+    /// as the full pass — so the result is bit-identical by induction
+    /// (enforced by the `eco` parity tests and the `serve` CI stage).
+    /// The backward required pass, endpoint slacks and the leakage sum
+    /// are cheap pure functions of the forward state and re-run whole.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaError::InvalidIncremental`] when the scratch holds no
+    /// prior full evaluation; propagates device errors for non-physical
+    /// annotated dimensions.
+    pub fn evaluate_eco(
+        &self,
+        scratch: &mut StaScratch,
+        prev: Option<&CdAnnotation>,
+        next: Option<&CdAnnotation>,
+    ) -> Result<TimingReport> {
+        let netlist = self.model.design().netlist();
+        let n_gates = self.base_timings.len();
+        if scratch.timings.len() != n_gates {
+            return Err(StaError::InvalidIncremental(
+                "scratch holds no prior full evaluation (run evaluate first)".into(),
+            ));
+        }
+        scratch.eco_gate_dirty.fill(false);
+        scratch.eco_net_cap_dirty.fill(false);
+        scratch.eco_slew_changed.fill(false);
+        scratch.eco_arrival_changed.fill(false);
+        scratch.eco_delay_changed.fill(false);
+
+        // Phase 1a — candidate gates: anything annotated on either side.
+        for a in [prev, next].into_iter().flatten() {
+            for (&gid, _) in a.gates() {
+                scratch.eco_gate_dirty[gid.0 as usize] = true;
+            }
+        }
+        // Re-characterize candidates whose entries actually differ; drop
+        // the flag when the annotation (or the resulting timing) is
+        // unchanged bit for bit.
+        for gi in 0..n_gates {
+            if !scratch.eco_gate_dirty[gi] {
+                continue;
+            }
+            let gid = GateId(gi as u32);
+            if prev.and_then(|a| a.gate(gid)) == next.and_then(|a| a.gate(gid)) {
+                scratch.eco_gate_dirty[gi] = false;
+                continue;
+            }
+            let gate = netlist.gate(gid);
+            let timing = match next.and_then(|a| a.gate(gid)) {
+                Some(ann) => self.model.library().annotated_timing_cached(
+                    &mut scratch.cache,
+                    gate.kind,
+                    &ann.transistors,
+                )?,
+                None => self.base_timings[gi],
+            };
+            let old = scratch.timings[gi];
+            if timing_bits_eq(&old, &timing) {
+                scratch.eco_gate_dirty[gi] = false;
+                continue;
+            }
+            let cap_changed = old.input_cap_ff.to_bits() != timing.input_cap_ff.to_bits();
+            scratch.timings[gi] = timing;
+            if cap_changed {
+                for &input in &gate.inputs {
+                    scratch.eco_net_cap_dirty[input.0 as usize] = true;
+                }
+            }
+        }
+        // Phase 1b — net annotation edits re-width the driver's wire.
+        for a in [prev, next].into_iter().flatten() {
+            for (&nid, _) in a.nets() {
+                if prev.and_then(|p| p.net(nid)) != next.and_then(|q| q.net(nid)) {
+                    let driver = self.net_driver[nid.0 as usize];
+                    if driver != u32::MAX {
+                        scratch.eco_gate_dirty[driver as usize] = true;
+                    }
+                }
+            }
+        }
+
+        // Phase 2 — re-sum dirtied sink loads over the precompiled sink
+        // adjacency (gate order — the full pass's addend order).
+        for ni in 0..self.net_sinks.len() {
+            if !scratch.eco_net_cap_dirty[ni] {
+                continue;
+            }
+            let mut sum = 0.0;
+            for &gi in &self.net_sinks[ni] {
+                sum += scratch.timings[gi as usize].input_cap_ff;
+            }
+            if sum.to_bits() != scratch.sink_cap[ni].to_bits() {
+                scratch.sink_cap[ni] = sum;
+                let driver = self.net_driver[ni];
+                if driver != u32::MAX {
+                    scratch.eco_gate_dirty[driver as usize] = true;
+                }
+            }
+        }
+
+        // Phase 3 — delays and output slews of the dirty cone, in the
+        // full pass's topological order and with its exact formulas.
+        for &gid in netlist.topological_order() {
+            let gi = gid.0 as usize;
+            let gate = netlist.gate(gid);
+            let sequential = gate.kind.is_sequential();
+            let inputs_changed = !sequential
+                && gate
+                    .inputs
+                    .iter()
+                    .any(|n| scratch.eco_slew_changed[n.0 as usize]);
+            if !(scratch.eco_gate_dirty[gi] || inputs_changed) {
+                continue;
+            }
+            let t = scratch.timings[gi];
+            let slew_in = if sequential {
+                CLOCK_SLEW_PS
+            } else {
+                gate.inputs
+                    .iter()
+                    .map(|n| scratch.slews[n.0 as usize])
+                    .fold(0.0, f64::max)
+            };
+            let out = gate.output.0 as usize;
+            let c_sinks = scratch.sink_cap[out] + t.output_cap_ff;
+            let (table_delay, out_slew) = t.nldm.delay_and_slew_ps(slew_in, c_sinks);
+            let delay = match &self.drawn_wires[out] {
+                Some(w) => {
+                    let wire = match next.and_then(|a| a.net(NetId(out as u32))) {
+                        Some(net_ann) => w
+                            .with_printed_width(net_ann.printed_width_nm)
+                            .map_err(StaError::from)?,
+                        None => *w,
+                    };
+                    let r = t.drive_r_kohm();
+                    table_delay + (wire.elmore_delay_ps(r, c_sinks) - r * c_sinks)
+                }
+                None => table_delay,
+            };
+            if delay.to_bits() != scratch.gate_delays[gi].to_bits() {
+                scratch.gate_delays[gi] = delay;
+                scratch.eco_delay_changed[gi] = true;
+            }
+            if out_slew.to_bits() != scratch.slews[out].to_bits() {
+                scratch.slews[out] = out_slew;
+                scratch.eco_slew_changed[out] = true;
+            }
+        }
+
+        // Phase 4 — arrivals of the dirty fanout cone.
+        for &gid in netlist.topological_order() {
+            let gi = gid.0 as usize;
+            let gate = netlist.gate(gid);
+            let sequential = gate.kind.is_sequential();
+            let inputs_changed = !sequential
+                && gate
+                    .inputs
+                    .iter()
+                    .any(|n| scratch.eco_arrival_changed[n.0 as usize]);
+            if !(scratch.eco_delay_changed[gi] || inputs_changed) {
+                continue;
+            }
+            let worst_in = if sequential {
+                0.0
+            } else {
+                gate.inputs
+                    .iter()
+                    .map(|n| scratch.arrivals[n.0 as usize])
+                    .fold(0.0, f64::max)
+            };
+            let out = gate.output.0 as usize;
+            let arrival = worst_in + scratch.gate_delays[gi];
+            if arrival.to_bits() != scratch.arrivals[out].to_bits() {
+                scratch.arrivals[out] = arrival;
+                scratch.eco_arrival_changed[out] = true;
+            }
+        }
+
+        // Phase 5 — cheap whole-pass tail: backward requireds, endpoint
+        // slacks, and the leakage re-sum in gate order (the same fold the
+        // full evaluation accumulates).
+        self.backward_requireds(scratch);
+        let endpoint_slacks = Self::sorted_endpoint_slacks(scratch);
+        let leakage = scratch.timings.iter().map(|t| t.leakage_ua).sum();
         Ok(TimingReport::from_parts(
             scratch.arrivals.clone(),
             scratch.requireds.clone(),
@@ -1025,6 +1370,17 @@ impl<'m> CompiledSta<'m> {
         }
 
         // Backward requireds from the endpoints.
+        self.backward_requireds(scratch);
+        Ok(())
+    }
+
+    /// Backward required-time relaxation from the endpoints — the final
+    /// pass of [`Self::propagate`], shared verbatim with the incremental
+    /// ECO path (it is cheap and a pure function of the forward state, so
+    /// the incremental evaluator reruns it whole rather than tracking
+    /// dirty cones backwards).
+    fn backward_requireds(&self, scratch: &mut StaScratch) {
+        let netlist = self.model.design().netlist();
         scratch.requireds.fill(f64::INFINITY);
         let clock_ps = self.model.clock_ps();
         scratch.endpoint_required.clear();
@@ -1055,7 +1411,6 @@ impl<'m> CompiledSta<'m> {
                 }
             }
         }
-        Ok(())
     }
 
     /// Per-endpoint worst slacks, most critical first — the dense-array
@@ -1209,5 +1564,87 @@ mod tests {
         let cache = scratch.cache();
         assert!(cache.len() < d.netlist().gate_count());
         assert!(cache.hits() > cache.misses());
+    }
+
+    #[test]
+    fn eco_reanalysis_is_bit_identical_to_full() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let prev = crate::corners::corner_annotation(&model, 2.0);
+        // Edit a handful of gates (K ≪ N) plus one routed net's width.
+        let wide = crate::corners::corner_annotation(&model, 5.0);
+        let mut next = prev.clone();
+        for gi in [0u32, 2, 5] {
+            next.set_gate(GateId(gi), wide.gate(GateId(gi)).expect("gate").clone());
+        }
+        let routed = (0..compiled.drawn_wires.len())
+            .find(|&n| compiled.drawn_wires[n].is_some())
+            .expect("routed net");
+        next.set_net(
+            NetId(routed as u32),
+            crate::annotate::NetAnnotation {
+                printed_width_nm: 120.0,
+            },
+        );
+
+        let mut warm = compiled.scratch();
+        compiled.evaluate(&mut warm, Some(&prev)).expect("warm");
+        let eco = compiled
+            .evaluate_eco(&mut warm, Some(&prev), Some(&next))
+            .expect("eco");
+        let mut fresh = compiled.scratch();
+        let full = compiled.evaluate(&mut fresh, Some(&next)).expect("full");
+        assert_eq!(eco, full);
+        // A sparse edit must not dirty the whole design.
+        assert!(
+            warm.eco_gate_dirty.iter().filter(|&&dirty| dirty).count() < d.netlist().gate_count()
+        );
+        // The warm state is itself a valid base: ECO back to `prev`
+        // reproduces the original full analysis bit for bit.
+        let back = compiled
+            .evaluate_eco(&mut warm, Some(&next), Some(&prev))
+            .expect("back");
+        let mut s2 = compiled.scratch();
+        let orig = compiled.evaluate(&mut s2, Some(&prev)).expect("orig");
+        assert_eq!(back, orig);
+    }
+
+    #[test]
+    fn eco_handles_missing_annotations() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let ann = crate::corners::corner_annotation(&model, 3.0);
+        let mut warm = compiled.scratch();
+        let drawn = compiled.evaluate(&mut warm, None).expect("drawn");
+        // None → Some: every annotated gate dirties; still bit-identical.
+        let eco = compiled
+            .evaluate_eco(&mut warm, None, Some(&ann))
+            .expect("eco");
+        let mut fresh = compiled.scratch();
+        let full = compiled.evaluate(&mut fresh, Some(&ann)).expect("full");
+        assert_eq!(eco, full);
+        // Some → None: retracting the ECO restores the drawn analysis.
+        let reverted = compiled
+            .evaluate_eco(&mut warm, Some(&ann), None)
+            .expect("revert");
+        assert_eq!(reverted, drawn);
+        // A no-op diff leaves every stored bit alone.
+        let noop = compiled.evaluate_eco(&mut warm, None, None).expect("noop");
+        assert_eq!(noop, drawn);
+        assert!(warm.eco_gate_dirty.iter().all(|&dirty| !dirty));
+    }
+
+    #[test]
+    fn eco_without_prior_evaluation_is_rejected() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let mut cold = compiled.scratch();
+        let err = compiled
+            .evaluate_eco(&mut cold, None, None)
+            .expect_err("cold scratch must be rejected");
+        assert!(matches!(err, StaError::InvalidIncremental(_)));
     }
 }

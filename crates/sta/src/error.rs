@@ -20,6 +20,9 @@ pub enum StaError {
     },
     /// A Monte Carlo configuration was invalid (zero samples, negative σ).
     InvalidMonteCarlo(String),
+    /// An incremental (ECO) evaluation was requested against a scratch
+    /// that does not hold a prior full evaluation of the same design.
+    InvalidIncremental(String),
     /// An annotated critical dimension was non-physical (non-finite or
     /// non-positive) — the extraction → STA boundary guard.
     InvalidCd {
@@ -40,6 +43,9 @@ impl fmt::Display for StaError {
             }
             StaError::InvalidMonteCarlo(reason) => {
                 write!(f, "invalid monte carlo configuration: {reason}")
+            }
+            StaError::InvalidIncremental(reason) => {
+                write!(f, "invalid incremental evaluation: {reason}")
             }
             StaError::InvalidCd { field, value } => {
                 write!(f, "non-physical annotated CD: {field} = {value}")

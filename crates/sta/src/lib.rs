@@ -44,18 +44,23 @@ mod error;
 mod graph;
 mod liberty;
 pub mod paths;
+pub mod quantile;
 pub mod statistical;
 
 pub use annotate::{CdAnnotation, GateAnnotation, NetAnnotation, TransistorCd};
-pub use compiled::{CompiledSta, SampleCells, SampleTiming, SharedShiftCache, StaScratch, LANES};
+pub use compiled::{
+    CompiledSta, SampleCells, SampleTiming, SharedShiftCache, StaScratch, LANES,
+    SHIFT_CACHE_CAP_DEFAULT, SHIFT_CACHE_CAP_ENV,
+};
 pub use corners::{
     analyze_corner, analyze_corners, analyze_corners_with, corner_annotation, Corner,
 };
 pub use error::{Result, StaError};
 pub use graph::{TimingModel, TimingPath, TimingReport};
 pub use liberty::{
-    CellTiming, CharacterizationCache, NldmTable, SequentialTiming, TimingLibrary, CLOCK_SLEW_PS,
-    NLDM_LOAD_PTS, NLDM_SLEW_AXIS_PS, NLDM_SLEW_PTS, PRIMARY_INPUT_SLEW_PS,
+    CellTiming, CharCacheEntry, CharacterizationCache, NldmTable, SequentialTiming, TimingLibrary,
+    CHAR_CACHE_CAP_DEFAULT, CHAR_CACHE_CAP_ENV, CLOCK_SLEW_PS, NLDM_LOAD_PTS, NLDM_SLEW_AXIS_PS,
+    NLDM_SLEW_PTS, PRIMARY_INPUT_SLEW_PS,
 };
 pub use paths::k_worst_paths;
 pub use statistical::{

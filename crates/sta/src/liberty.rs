@@ -471,14 +471,45 @@ impl RecordKey {
             finger: t.finger,
         }
     }
+
+    /// Inverse of [`Self::of`] — the key stores the record's exact bit
+    /// patterns, so the round-trip reproduces the record bit for bit.
+    fn expand(&self) -> TransistorCd {
+        TransistorCd {
+            kind: self.kind,
+            width_nm: f64::from_bits(self.width_bits),
+            l_delay_nm: f64::from_bits(self.l_delay_bits),
+            l_leakage_nm: f64::from_bits(self.l_leakage_bits),
+            input_pin: self.input_pin,
+            finger: self.finger,
+        }
+    }
 }
 
-/// Entries the cache stops growing at. Corner and extraction workloads
-/// deduplicate to a handful of distinct ensembles; a Monte Carlo stream of
-/// fresh random CDs would otherwise grow one entry per gate per sample, so
-/// past the cap new ensembles are characterized without being stored
-/// (existing entries keep hitting).
-const CHAR_CACHE_CAP: usize = 4096;
+/// Default entry cap of the characterization cache. Corner and extraction
+/// workloads deduplicate to a handful of distinct ensembles; a Monte Carlo
+/// stream of fresh random CDs would otherwise grow one entry per gate per
+/// sample, so past the cap new ensembles are characterized without being
+/// stored (existing entries keep hitting). Overridable per process via
+/// [`CHAR_CACHE_CAP_ENV`].
+pub const CHAR_CACHE_CAP_DEFAULT: usize = 4096;
+
+/// Environment variable overriding the characterization-cache entry cap
+/// (positive integer; unset, empty or unparsable values fall back to
+/// [`CHAR_CACHE_CAP_DEFAULT`]). Read when a cache is created, following
+/// the `POSTOPC_THREADS` precedent.
+pub const CHAR_CACHE_CAP_ENV: &str = "POSTOPC_CHAR_CACHE_CAP";
+
+/// Resolves a positive cache cap from an environment variable, falling
+/// back to `default` when unset or unparsable (shared by the
+/// characterization and shift caches).
+pub(crate) fn env_cache_cap(var: &str, default: usize) -> usize {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&cap| cap > 0)
+        .unwrap_or(default)
+}
 
 /// One memoized characterization: the kind + exact record keys it was
 /// computed for, and the resulting timing.
@@ -493,7 +524,7 @@ type CacheEntry = (GateKind, Box<[RecordKey]>, CellTiming);
 /// state: each evaluation scratch (worker) owns one, and because a hit
 /// replays the exact bits a miss would compute, results never depend on
 /// hit/miss history or cache sharing.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct CharacterizationCache {
     /// Hash-bucketed entries; collisions resolved by full-key comparison.
     buckets: HashMap<u64, Vec<CacheEntry>>,
@@ -501,15 +532,41 @@ pub struct CharacterizationCache {
     key_buf: Vec<RecordKey>,
     /// Hash of the last staged probe (consumed by `insert`).
     staged_hash: u64,
+    /// Entry cap resolved at construction (env override or default).
+    cap: usize,
     entries: usize,
     hits: u64,
     misses: u64,
+    /// Insertions refused because the cache was at its cap.
+    rejected: u64,
+}
+
+impl Default for CharacterizationCache {
+    fn default() -> CharacterizationCache {
+        CharacterizationCache::new()
+    }
 }
 
 impl CharacterizationCache {
-    /// An empty cache.
+    /// An empty cache whose entry cap is [`CHAR_CACHE_CAP_DEFAULT`] or the
+    /// [`CHAR_CACHE_CAP_ENV`] override, resolved now.
     pub fn new() -> CharacterizationCache {
-        CharacterizationCache::default()
+        Self::with_cap(env_cache_cap(CHAR_CACHE_CAP_ENV, CHAR_CACHE_CAP_DEFAULT))
+    }
+
+    /// An empty cache with an explicit entry cap (tests and tools that
+    /// should not depend on the process environment).
+    pub fn with_cap(cap: usize) -> CharacterizationCache {
+        CharacterizationCache {
+            buckets: HashMap::new(),
+            key_buf: Vec::new(),
+            staged_hash: 0,
+            cap: cap.max(1),
+            entries: 0,
+            hits: 0,
+            misses: 0,
+            rejected: 0,
+        }
     }
 
     /// Number of memoized characterizations.
@@ -522,6 +579,11 @@ impl CharacterizationCache {
         self.entries == 0
     }
 
+    /// The entry cap this cache was created with.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
     /// Lookups that replayed a memoized characterization.
     pub fn hits(&self) -> u64 {
         self.hits
@@ -530,6 +592,12 @@ impl CharacterizationCache {
     /// Lookups that fell through to the device model.
     pub fn misses(&self) -> u64 {
         self.misses
+    }
+
+    /// Insertions refused because the cache was at its cap (those
+    /// ensembles were characterized without being memoized).
+    pub fn rejected(&self) -> u64 {
+        self.rejected
     }
 
     /// Stages the probe key for `(kind, transistors)` and returns the
@@ -562,7 +630,8 @@ impl CharacterizationCache {
 
     /// Memoizes `timing` under the key staged by the preceding `get` miss.
     fn insert(&mut self, kind: GateKind, timing: CellTiming) {
-        if self.entries >= CHAR_CACHE_CAP {
+        if self.entries >= self.cap {
+            self.rejected += 1;
             return;
         }
         self.buckets.entry(self.staged_hash).or_default().push((
@@ -572,6 +641,55 @@ impl CharacterizationCache {
         ));
         self.entries += 1;
     }
+
+    /// Snapshot of every memoized entry, in a deterministic order (sorted
+    /// by bucket hash, then bucket position) — the serialization view the
+    /// warm-artifact store persists. Record keys are expanded back to the
+    /// exact [`TransistorCd`]s they were staged from: the key *is* the
+    /// record's bit patterns, so the round-trip is lossless.
+    pub fn export(&self) -> Vec<CharCacheEntry> {
+        let mut hashes: Vec<u64> = self.buckets.keys().copied().collect();
+        hashes.sort_unstable();
+        let mut out = Vec::with_capacity(self.entries);
+        for h in hashes {
+            let Some(bucket) = self.buckets.get(&h) else {
+                continue;
+            };
+            for (kind, keys, timing) in bucket {
+                out.push(CharCacheEntry {
+                    kind: *kind,
+                    records: keys.iter().map(RecordKey::expand).collect(),
+                    timing: *timing,
+                });
+            }
+        }
+        out
+    }
+
+    /// Re-memoizes a previously exported entry, staging its key through
+    /// the regular probe path so absorbed and natively inserted entries
+    /// hash identically. Entries already present (or past the cap) are
+    /// left alone; the probe counts toward the miss/hit counters like any
+    /// other lookup.
+    pub fn absorb(&mut self, entry: &CharCacheEntry) {
+        if self.get(entry.kind, &entry.records).is_none() {
+            self.insert(entry.kind, entry.timing);
+        }
+    }
+}
+
+/// One exported characterization-cache entry (see
+/// [`CharacterizationCache::export`] / [`CharacterizationCache::absorb`]):
+/// the exact transistor ensemble the timing was computed for, and the
+/// timing itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CharCacheEntry {
+    /// Gate kind of the characterized cell.
+    pub kind: GateKind,
+    /// The exact CD records the timing was memoized under.
+    pub records: Vec<TransistorCd>,
+    /// The memoized electrical view.
+    pub timing: CellTiming,
 }
 
 #[cfg(test)]
@@ -892,5 +1010,69 @@ mod tests {
         let extra_slew = NLDM_SLEW_AXIS_PS[3] - NLDM_SLEW_AXIS_PS[0];
         assert!(slow_edge > fast_edge + 1.0, "slew penalty too small");
         assert!(slow_edge - fast_edge < extra_slew, "slew penalty too large");
+    }
+
+    #[test]
+    fn characterization_cache_rejects_at_cap() {
+        let lib = library();
+        let mut cache = CharacterizationCache::with_cap(1);
+        assert_eq!(cache.cap(), 1);
+        let drawn = |kind| lib.drawn_transistors(kind, Drive::X1).to_vec();
+        lib.annotated_timing_cached(&mut cache, GateKind::Inv, &drawn(GateKind::Inv))
+            .expect("first");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.rejected(), 0);
+        // A second distinct cell does not fit: characterized but refused.
+        lib.annotated_timing_cached(&mut cache, GateKind::Nand2, &drawn(GateKind::Nand2))
+            .expect("second");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.rejected(), 1);
+        // The resident entry still hits; the refused one misses again.
+        let hits = cache.hits();
+        lib.annotated_timing_cached(&mut cache, GateKind::Inv, &drawn(GateKind::Inv))
+            .expect("hit");
+        assert_eq!(cache.hits(), hits + 1);
+        lib.annotated_timing_cached(&mut cache, GateKind::Nand2, &drawn(GateKind::Nand2))
+            .expect("miss again");
+        assert_eq!(cache.rejected(), 2);
+    }
+
+    #[test]
+    fn env_cap_parsing_falls_back_to_default() {
+        // Not set → default; the parser itself rejects zero and garbage.
+        assert_eq!(
+            env_cache_cap("POSTOPC_TEST_UNSET_CAP_VAR", CHAR_CACHE_CAP_DEFAULT),
+            CHAR_CACHE_CAP_DEFAULT
+        );
+        // with_cap(0) clamps to one resident entry instead of disabling.
+        assert_eq!(CharacterizationCache::with_cap(0).cap(), 1);
+    }
+
+    #[test]
+    fn export_absorb_round_trips_entries() {
+        let lib = library();
+        let mut cache = CharacterizationCache::new();
+        for kind in [GateKind::Inv, GateKind::Nand2, GateKind::Nor2] {
+            let records = lib.drawn_transistors(kind, Drive::X1).to_vec();
+            lib.annotated_timing_cached(&mut cache, kind, &records)
+                .expect("characterize");
+        }
+        let exported = cache.export();
+        assert_eq!(exported.len(), cache.len());
+        // Absorbing into a fresh cache reproduces every entry: lookups
+        // hit without running the device model.
+        let mut warm = CharacterizationCache::new();
+        for entry in &exported {
+            warm.absorb(entry);
+        }
+        assert_eq!(warm.len(), exported.len());
+        for entry in &exported {
+            let timing = lib
+                .annotated_timing_cached(&mut warm, entry.kind, &entry.records)
+                .expect("lookup");
+            assert_eq!(timing, entry.timing);
+        }
+        // Export order is deterministic: two exports agree exactly.
+        assert_eq!(cache.export(), exported);
     }
 }

@@ -1,0 +1,113 @@
+//! Sort-once quantile estimation.
+//!
+//! One public home for the Hyndman–Fan type 7 estimator (the R/NumPy
+//! default) that statistical timing consumers — the Monte Carlo result
+//! ([`crate::MonteCarloResult`]), the convergence study behind the
+//! `mc_batch` gate, and guardband sweeps — previously each re-derived.
+//! The contract is *sort once, query many times*: callers build an
+//! ascending view with [`sorted_ascending`] (or keep their own), then
+//! issue O(1) [`quantile_of_sorted`] queries against it.
+
+/// Returns a copy of `values` sorted ascending by [`f64::total_cmp`],
+/// the view the `*_of_sorted` queries expect. Total ordering means NaNs
+/// (if any leak in) land deterministically at the top instead of
+/// poisoning the sort.
+#[must_use]
+pub fn sorted_ascending(values: &[f64]) -> Vec<f64> {
+    let mut sorted = values.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    sorted
+}
+
+/// The `q`-quantile (0..=1, clamped) of an ascending-sorted sample, by
+/// linear interpolation between order statistics (Hyndman–Fan type 7):
+/// with `n` sorted samples `x[0..n]`, the position is `h = (n - 1) q`
+/// and the estimate `x[⌊h⌋] + (h - ⌊h⌋) · (x[⌊h⌋+1] - x[⌊h⌋])`.
+/// `q = 0` and `q = 1` return the sample extremes exactly.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty — a quantile of nothing has no value.
+#[must_use]
+pub fn quantile_of_sorted(sorted: &[f64], q: f64) -> f64 {
+    let n = sorted.len();
+    let h = (n - 1) as f64 * q.clamp(0.0, 1.0);
+    let lo = (h.floor() as usize).min(n - 1);
+    let frac = h - lo as f64;
+    if frac == 0.0 || lo + 1 >= n {
+        sorted[lo]
+    } else {
+        sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
+    }
+}
+
+/// [`quantile_of_sorted`] for several levels against one sorted view —
+/// callers needing a quantile profile (e.g. guardband sweeps) issue one
+/// call instead of re-sorting per level.
+///
+/// # Panics
+///
+/// Panics if `sorted` is empty.
+#[must_use]
+pub fn quantiles_of_sorted(sorted: &[f64], qs: &[f64]) -> Vec<f64> {
+    qs.iter().map(|&q| quantile_of_sorted(sorted, q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_between_order_statistics() {
+        // Hyndman–Fan type 7 on a known vector: n = 5, h = 4q.
+        let sorted = [10.0, 20.0, 40.0, 80.0, 160.0];
+        assert_eq!(quantile_of_sorted(&sorted, 0.0), 10.0);
+        assert_eq!(quantile_of_sorted(&sorted, 0.25), 20.0);
+        // h = 4 * 0.5 = 2 → exactly the middle order statistic.
+        assert_eq!(quantile_of_sorted(&sorted, 0.5), 40.0);
+        // h = 4 * 0.1 = 0.4 → 10 + 0.4 * (20 - 10).
+        assert!((quantile_of_sorted(&sorted, 0.1) - 14.0).abs() < 1e-12);
+        // h = 4 * 0.9 = 3.6 → 80 + 0.6 * (160 - 80).
+        assert!((quantile_of_sorted(&sorted, 0.9) - 128.0).abs() < 1e-12);
+        assert_eq!(quantile_of_sorted(&sorted, 1.0), 160.0);
+        // Out-of-range quantiles clamp to the extremes.
+        assert_eq!(quantile_of_sorted(&sorted, -0.5), 10.0);
+        assert_eq!(quantile_of_sorted(&sorted, 1.5), 160.0);
+    }
+
+    #[test]
+    fn single_sample_is_every_quantile() {
+        let sorted = [7.5];
+        for q in [0.0, 0.01, 0.5, 0.99, 1.0] {
+            assert_eq!(quantile_of_sorted(&sorted, q), 7.5);
+        }
+    }
+
+    #[test]
+    fn sorted_ascending_orders_totally() {
+        let sorted = sorted_ascending(&[3.0, -1.0, 2.0, -0.0, 0.0]);
+        // total_cmp puts -0.0 before +0.0 deterministically.
+        assert_eq!(sorted.len(), 5);
+        assert_eq!(sorted[0], -1.0);
+        assert!(sorted[1].is_sign_negative() && sorted[1] == 0.0);
+        assert!(sorted[2].is_sign_positive() && sorted[2] == 0.0);
+        assert_eq!(&sorted[3..], &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn multi_quantile_matches_scalar_queries() {
+        let sorted = sorted_ascending(&[5.0, 1.0, 9.0, 3.0, 7.0, 2.0]);
+        let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0];
+        let profile = quantiles_of_sorted(&sorted, &qs);
+        for (i, &q) in qs.iter().enumerate() {
+            assert_eq!(
+                profile[i].to_bits(),
+                quantile_of_sorted(&sorted, q).to_bits()
+            );
+        }
+        // Quantile profile of any sample is monotone in q.
+        for pair in profile.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+    }
+}

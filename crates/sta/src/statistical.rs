@@ -108,6 +108,13 @@ pub struct ShiftCacheStats {
     /// Entries characterized once into the shared cache before sampling
     /// (0 for engines that skip prewarming).
     pub prewarmed: u64,
+    /// Insertions refused because a per-worker cache was at its
+    /// configured capacity (`POSTOPC_SHIFT_CACHE_CAP`); those lookups
+    /// re-run the device model on every recurrence instead of caching.
+    pub rejected: u64,
+    /// Entries resident across per-worker caches when the run finished —
+    /// against the cap, this says how close the run came to rejecting.
+    pub occupancy: u64,
 }
 
 /// Distribution summary of a Monte Carlo run.
@@ -142,8 +149,7 @@ impl MonteCarloResult {
         critical_delays_ps: Vec<f64>,
         leakages_ua: Vec<f64>,
     ) -> MonteCarloResult {
-        let mut sorted_worst_slacks_ps = worst_slacks_ps.clone();
-        sorted_worst_slacks_ps.sort_by(f64::total_cmp);
+        let sorted_worst_slacks_ps = crate::quantile::sorted_ascending(&worst_slacks_ps);
         MonteCarloResult {
             worst_slacks_ps,
             critical_delays_ps,
@@ -203,7 +209,7 @@ impl MonteCarloResult {
     /// Panics if the result is empty (configs with `samples == 0` are
     /// rejected up front).
     pub fn worst_slack_quantile_ps(&self, q: f64) -> f64 {
-        interpolated_quantile(&self.sorted_worst_slacks_ps, q)
+        crate::quantile::quantile_of_sorted(&self.sorted_worst_slacks_ps, q)
     }
 
     /// [`Self::worst_slack_quantile_ps`] for several quantiles against the
@@ -215,9 +221,7 @@ impl MonteCarloResult {
     /// Panics if the result is empty (configs with `samples == 0` are
     /// rejected up front).
     pub fn worst_slack_quantiles_ps(&self, qs: &[f64]) -> Vec<f64> {
-        qs.iter()
-            .map(|&q| interpolated_quantile(&self.sorted_worst_slacks_ps, q))
-            .collect()
+        crate::quantile::quantiles_of_sorted(&self.sorted_worst_slacks_ps, qs)
     }
 
     /// Mean critical delay, in ps.
@@ -228,19 +232,6 @@ impl MonteCarloResult {
     /// Mean leakage, in µA.
     pub fn mean_leakage_ua(&self) -> f64 {
         mean(&self.leakages_ua)
-    }
-}
-
-/// Hyndman–Fan type 7 quantile over an ascending-sorted sample.
-fn interpolated_quantile(sorted: &[f64], q: f64) -> f64 {
-    let n = sorted.len();
-    let h = (n - 1) as f64 * q.clamp(0.0, 1.0);
-    let lo = (h.floor() as usize).min(n - 1);
-    let frac = h - lo as f64;
-    if frac == 0.0 || lo + 1 >= n {
-        sorted[lo]
-    } else {
-        sorted[lo] + frac * (sorted[lo + 1] - sorted[lo])
     }
 }
 
@@ -371,7 +362,12 @@ fn run_scalar(
         &sample_indices,
         || compiled.scratch(),
         |scratch, _, &sample| {
-            let before = (scratch.shift_cache_hits(), scratch.shift_cache_misses());
+            let before = (
+                scratch.shift_cache_hits(),
+                scratch.shift_cache_misses(),
+                scratch.shift_cache_rejected(),
+                scratch.shift_cache_len() as u64,
+            );
             let mut stream = sampler.stream(sample);
             let timing = compiled
                 .evaluate_shifted(scratch, cells, None, |gi| sampler.shift(&mut stream, gi))?;
@@ -379,6 +375,8 @@ fn run_scalar(
                 timing,
                 scratch.shift_cache_hits() - before.0,
                 scratch.shift_cache_misses() - before.1,
+                scratch.shift_cache_rejected() - before.2,
+                scratch.shift_cache_len() as u64 - before.3,
             ))
         },
     )?;
@@ -386,12 +384,16 @@ fn run_scalar(
     let mut worst = Vec::with_capacity(config.samples);
     let mut delays = Vec::with_capacity(config.samples);
     let mut leaks = Vec::with_capacity(config.samples);
-    for (s, hits, misses) in summaries {
+    for (s, hits, misses, rejected, grown) in summaries {
         worst.push(s.worst_slack_ps);
         delays.push(s.critical_delay_ps);
         leaks.push(s.leakage_ua);
         stats.hits += hits;
         stats.misses += misses;
+        stats.rejected += rejected;
+        // Per-worker cache sizes only grow, so summing the per-sample
+        // growth telescopes to the final resident total across workers.
+        stats.occupancy += grown;
     }
     Ok(MonteCarloResult::new(worst, delays, leaks).with_cache_stats(stats))
 }
@@ -477,6 +479,8 @@ fn run_batched(
                 scratch.shift_cache_hits(),
                 scratch.shift_cache_misses(),
                 scratch.shift_cache_shared_hits(),
+                scratch.shift_cache_rejected(),
+                scratch.shift_cache_len() as u64,
             );
             let block = &blocks[range.start / LANES];
             let lanes =
@@ -488,12 +492,18 @@ fn run_batched(
                 scratch.shift_cache_hits() - before.0,
                 scratch.shift_cache_misses() - before.1,
                 scratch.shift_cache_shared_hits() - before.2,
+                scratch.shift_cache_rejected() - before.3,
+                scratch.shift_cache_len() as u64 - before.4,
             );
             Ok::<_, StaError>(
                 range
                     .clone()
                     .map(|s| {
-                        let d = if s == range.start { deltas } else { (0, 0, 0) };
+                        let d = if s == range.start {
+                            deltas
+                        } else {
+                            (0, 0, 0, 0, 0)
+                        };
                         (lanes[s - range.start], d)
                     })
                     .collect(),
@@ -507,13 +517,15 @@ fn run_batched(
     let mut worst = Vec::with_capacity(n);
     let mut delays = Vec::with_capacity(n);
     let mut leaks = Vec::with_capacity(n);
-    for (s, (hits, misses, shared_hits)) in summaries {
+    for (s, (hits, misses, shared_hits, rejected, grown)) in summaries {
         worst.push(s.worst_slack_ps);
         delays.push(s.critical_delay_ps);
         leaks.push(s.leakage_ua);
         stats.hits += hits;
         stats.misses += misses;
         stats.shared_hits += shared_hits;
+        stats.rejected += rejected;
+        stats.occupancy += grown;
     }
     Ok(MonteCarloResult::new(worst, delays, leaks).with_cache_stats(stats))
 }
@@ -1166,24 +1178,6 @@ mod tests {
             mc.worst_slack_quantiles_ps(&[0.01, 0.5, 0.99]),
             vec![q01, q50, q99]
         );
-    }
-
-    #[test]
-    fn quantile_interpolates_between_order_statistics() {
-        // Hyndman–Fan type 7 on a known vector: n = 5, h = 4q.
-        let sorted = [10.0, 20.0, 40.0, 80.0, 160.0];
-        assert_eq!(interpolated_quantile(&sorted, 0.0), 10.0);
-        assert_eq!(interpolated_quantile(&sorted, 0.25), 20.0);
-        // h = 4 * 0.5 = 2 → exactly the middle order statistic.
-        assert_eq!(interpolated_quantile(&sorted, 0.5), 40.0);
-        // h = 4 * 0.1 = 0.4 → 10 + 0.4 * (20 - 10).
-        assert!((interpolated_quantile(&sorted, 0.1) - 14.0).abs() < 1e-12);
-        // h = 4 * 0.9 = 3.6 → 80 + 0.6 * (160 - 80).
-        assert!((interpolated_quantile(&sorted, 0.9) - 128.0).abs() < 1e-12);
-        assert_eq!(interpolated_quantile(&sorted, 1.0), 160.0);
-        // Out-of-range quantiles clamp to the extremes.
-        assert_eq!(interpolated_quantile(&sorted, -0.5), 10.0);
-        assert_eq!(interpolated_quantile(&sorted, 1.5), 160.0);
     }
 
     #[test]

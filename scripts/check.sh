@@ -22,7 +22,11 @@
 #   faults    fault_smoke: seeded injection, quarantine determinism gates
 #   mc_batch  mc_batch_smoke: batched-engine parity, warm shared shift
 #             cache, variance-reduction convergence gates
-#   bench     perf_smoke --bench-regression vs committed BENCH_*.json
+#   serve     serve_smoke: cold-vs-warm artifact bit parity, typed bad-
+#             artifact errors, incremental-vs-full ECO bit parity, and
+#             the warm-query speedup floor
+#   bench     perf_smoke --bench-regression vs committed BENCH_*.json,
+#             then serve_smoke --bench-regression vs BENCH_serve.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -89,6 +93,13 @@ stage faults cargo run --release -p postopc-bench --bin fault_smoke
 # plain @2000 on the mean worst slack).
 stage mc_batch cargo run --release -p postopc-bench --bin mc_batch_smoke
 
+# Warm-service smoke: persisted-artifact round trips (cold == warm, bit
+# for bit; corrupt/truncated/stale artifacts come back as typed errors),
+# incremental ECO re-analysis parity against a from-scratch run, and the
+# 10x warm-query speedup floor on the T6/T9 workloads.
+stage serve cargo run --release -p postopc-bench --bin serve_smoke
+
 stage bench cargo run --release -p postopc-bench --bin perf_smoke -- --bench-regression
+stage bench_serve cargo run --release -p postopc-bench --bin serve_smoke -- --bench-regression
 
 echo "check.sh: all gates passed"
