@@ -15,7 +15,7 @@
 //! ```text
 //! magic      8 bytes   b"POCWARM1"
 //! version    u32 LE    bumped on any layout change
-//! hash       u64 LE    content hash of (layout, process, clock, config)
+//! hash       u64 LE    content hash of (layout, process, clock, flow config)
 //! sections   ...       annotation, char entries, shift entries, store
 //! checksum   u64 LE    FNV-1a over every preceding byte
 //! ```
@@ -25,16 +25,19 @@
 //! typed [`FlowError::Artifact`] — never panicking — on any malformed
 //! input. The **invalidation key** is the content hash: it digests the
 //! design's netlist, transistor sites and die, the process parameters,
-//! the clock, and the extraction configuration *minus* fields that
-//! cannot change results (thread count, context-cache toggle, fault
-//! policy/injection — all bit-identical by construction). A consumer
-//! compares [`content_hash`] of its current inputs against the stored
-//! hash and falls back to a cold compile on mismatch.
+//! the clock, the gate-selection policy, the wire-extraction config and
+//! the extraction configuration *minus* fields that cannot change
+//! results (thread count, context-cache toggle, fault policy/injection —
+//! all bit-identical by construction; likewise `report_paths`, which
+//! only shapes the printed comparison). A consumer compares
+//! [`content_hash`] of its current inputs against the stored hash and
+//! falls back to a cold compile on mismatch.
 
 use crate::error::Result;
-use crate::extract::{artifact_err, put_u64, take_u64, ContextStore, ExtractionConfig};
+use crate::extract::{artifact_err, put_u64, take_u64, ContextStore};
 use crate::fault::FaultPolicy;
-use postopc_device::{MosKind, ProcessParams};
+use crate::flow::FlowConfig;
+use postopc_device::MosKind;
 use postopc_layout::{Design, GateId, GateKind, NetId};
 use postopc_sta::{
     CdAnnotation, CellTiming, CharCacheEntry, GateAnnotation, NetAnnotation, NldmTable,
@@ -65,17 +68,14 @@ fn fnv1a(seed: u64, bytes: &[u8]) -> u64 {
 
 /// Content hash of a timing compile's inputs: the artifact invalidation
 /// key. Digests the design (netlist connectivity, placed transistor
-/// sites, die), the device process, the clock, and the extraction
-/// configuration with results-invariant fields (threads, cache toggle,
-/// fault policy/injection) normalised away — so re-running on more
-/// threads does not orphan an artifact.
-pub fn content_hash(
-    design: &Design,
-    process: &ProcessParams,
-    clock_ps: f64,
-    extraction: &ExtractionConfig,
-) -> u64 {
-    let mut canon = extraction.clone();
+/// sites, die), the device process, the clock, the gate-selection
+/// policy, the wire-extraction config and the extraction configuration —
+/// everything the flow lets vary that can move an annotated answer.
+/// Results-invariant fields (threads, cache toggle, fault
+/// policy/injection, `report_paths`) are normalised away — so re-running
+/// on more threads does not orphan an artifact.
+pub fn content_hash(design: &Design, config: &FlowConfig) -> u64 {
+    let mut canon = config.extraction.clone();
     canon.threads = None;
     canon.cache = true;
     canon.fault_policy = FaultPolicy::Fail;
@@ -84,9 +84,11 @@ pub fn content_hash(
     h = fnv1a(h, format!("{:?}", design.netlist().gates()).as_bytes());
     h = fnv1a(h, format!("{:?}", design.transistor_sites()).as_bytes());
     h = fnv1a(h, format!("{:?}", design.die()).as_bytes());
-    h = fnv1a(h, format!("{process:?}").as_bytes());
-    h = fnv1a(h, &clock_ps.to_bits().to_le_bytes());
+    h = fnv1a(h, format!("{:?}", config.process).as_bytes());
+    h = fnv1a(h, &config.clock_ps.to_bits().to_le_bytes());
     h = fnv1a(h, format!("{canon:?}").as_bytes());
+    h = fnv1a(h, format!("{:?}", config.selection).as_bytes());
+    h = fnv1a(h, format!("{:?}", config.wires).as_bytes());
     h
 }
 
@@ -449,6 +451,8 @@ fn decode_annotation(bytes: &[u8], cursor: &mut usize) -> Result<CdAnnotation> {
 mod tests {
     use super::*;
     use crate::error::FlowError;
+    use crate::flow::Selection;
+    use crate::multilayer::WireExtractionConfig;
     use postopc_layout::{generate, TechRules};
 
     fn design() -> Design {
@@ -459,23 +463,30 @@ mod tests {
         .expect("design")
     }
 
+    fn fast_config() -> FlowConfig {
+        let mut cfg = FlowConfig::standard(800.0);
+        cfg.selection = Selection::All;
+        cfg.extraction.opc_mode = crate::extract::OpcMode::Rule;
+        cfg
+    }
+
     fn sample_artifact() -> WarmArtifact {
         let d = design();
-        let cfg = ExtractionConfig::standard();
+        let cfg = fast_config();
         let tags = crate::tags::TagSet::all(&d);
-        let mut fast = cfg.clone();
-        fast.opc_mode = crate::extract::OpcMode::Rule;
         let mut store = ContextStore::new();
-        let out = crate::extract::extract_gates_with_store(&d, &fast, &tags, Some(&mut store))
-            .expect("extract");
-        let model = postopc_sta::TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let out =
+            crate::extract::extract_gates_with_store(&d, &cfg.extraction, &tags, Some(&mut store))
+                .expect("extract");
+        let model =
+            postopc_sta::TimingModel::new(&d, cfg.process.clone(), cfg.clock_ps).expect("model");
         let compiled = model.compile().expect("compile");
         let mut scratch = compiled.scratch();
         compiled
             .evaluate(&mut scratch, Some(&out.annotation))
             .expect("evaluate");
         WarmArtifact {
-            content_hash: content_hash(&d, &ProcessParams::n90(), 800.0, &fast),
+            content_hash: content_hash(&d, &cfg),
             annotation: out.annotation,
             char_entries: scratch.cache().export(),
             shift_entries: scratch.export_shift_entries(),
@@ -535,23 +546,37 @@ mod tests {
     #[test]
     fn content_hash_tracks_inputs() {
         let d = design();
-        let cfg = ExtractionConfig::standard();
-        let p = ProcessParams::n90();
-        let base = content_hash(&d, &p, 800.0, &cfg);
-        assert_eq!(base, content_hash(&d, &p, 800.0, &cfg));
+        let cfg = FlowConfig::standard(800.0);
+        let base = content_hash(&d, &cfg);
+        assert_eq!(base, content_hash(&d, &cfg));
         // Results-invariant knobs do not invalidate.
-        let mut threads = cfg.clone();
-        threads.threads = Some(7);
-        threads.cache = false;
-        assert_eq!(base, content_hash(&d, &p, 800.0, &threads));
+        let mut invariant = cfg.clone();
+        invariant.extraction.threads = Some(7);
+        invariant.extraction.cache = false;
+        invariant.report_paths = 3;
+        assert_eq!(base, content_hash(&d, &invariant));
         // Result-relevant inputs do.
-        assert_ne!(base, content_hash(&d, &p, 900.0, &cfg));
+        let mut clock = cfg.clone();
+        clock.clock_ps = 900.0;
+        assert_ne!(base, content_hash(&d, &clock));
         let mut opc = cfg.clone();
-        opc.opc_mode = crate::extract::OpcMode::Rule;
-        assert_ne!(base, content_hash(&d, &p, 800.0, &opc));
-        let mut proc2 = p;
-        proc2.vdd += 0.1;
-        assert_ne!(base, content_hash(&d, &proc2, 800.0, &cfg));
+        opc.extraction.opc_mode = crate::extract::OpcMode::Rule;
+        assert_ne!(base, content_hash(&d, &opc));
+        let mut proc2 = cfg.clone();
+        proc2.process.vdd += 0.1;
+        assert_ne!(base, content_hash(&d, &proc2));
+        // The selection policy shapes which gates the annotation covers,
+        // so it is part of the key …
+        let mut paths = cfg.clone();
+        paths.selection = Selection::Critical { paths: 10 };
+        assert_ne!(base, content_hash(&d, &paths));
+        let mut all = cfg.clone();
+        all.selection = Selection::All;
+        assert_ne!(base, content_hash(&d, &all));
+        // … and so is the wire-extraction config, which adds net entries.
+        let mut wired = cfg.clone();
+        wired.wires = Some(WireExtractionConfig::standard());
+        assert_ne!(base, content_hash(&d, &wired));
     }
 
     #[test]

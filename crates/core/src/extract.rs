@@ -270,10 +270,13 @@ pub struct ExtractionStats {
     pub opc_simulations: usize,
     /// Model-OPC fragment moves.
     pub opc_fragment_moves: usize,
-    /// Gates whose litho context matched an already-computed one and
-    /// reused its result.
+    /// Gates whose litho context matched one already seen earlier in
+    /// this run and reused its result.
     pub cache_hits: usize,
-    /// Gates whose litho context was computed from scratch.
+    /// Gates that were the first in-run occurrence of their distinct
+    /// litho context (every other gate is a `cache_hit`). Split by
+    /// provenance into `windows` (imaged this run) and `store_hits`
+    /// (served from a warm [`ContextStore`] without re-imaging).
     pub cache_misses: usize,
     /// Distinct contexts served from a warm [`ContextStore`] instead of
     /// being re-imaged (always `0` without one). `windows` counts only the

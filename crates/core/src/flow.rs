@@ -191,10 +191,11 @@ pub struct ServeReport {
 /// there, cold otherwise (persisting a fresh artifact to the path for
 /// the next caller) — and answers every query against it.
 ///
-/// A stale artifact (different layout/process/clock/extraction-config
-/// content hash) or a corrupt one is treated as absent: the service
-/// recompiles cold and overwrites it. Answers are bit-identical either
-/// way; only `startup_time` differs.
+/// A stale artifact (different content hash over the layout, process,
+/// clock, gate selection, wire config or extraction config) or a corrupt
+/// one is treated as absent: the service recompiles cold and overwrites
+/// it. Answers are bit-identical either way; only `startup_time`
+/// differs.
 ///
 /// # Errors
 ///
@@ -208,7 +209,7 @@ pub fn serve(
 ) -> Result<ServeReport> {
     let model = TimingModel::new(design, config.process.clone(), config.clock_ps)?;
     let t0 = Instant::now();
-    let expected = content_hash(design, &config.process, config.clock_ps, &config.extraction);
+    let expected = content_hash(design, config);
     let restored = artifact_path
         .filter(|p| p.exists())
         .and_then(|p| WarmArtifact::load_validated(p, expected).ok());
@@ -318,6 +319,52 @@ mod tests {
         other.clock_ps = 900.0;
         let stale = serve(&d, &other, Some(&path), &queries).expect("stale serve");
         assert!(!stale.warm);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn serve_invalidates_on_selection_or_wire_changes() {
+        let d = small_design();
+        let cfg = fast_flow(Selection::Critical { paths: 2 });
+        // Monte Carlo samples around the extracted baseline, so its
+        // answer genuinely depends on which gates the selection tagged.
+        let queries = vec![SessionQuery::MonteCarlo(postopc_sta::MonteCarloConfig {
+            samples: 30,
+            sigma_nm: 1.5,
+            seed: 7,
+            ..postopc_sta::MonteCarloConfig::default()
+        })];
+        let dir = std::env::temp_dir().join("postopc-serve-selection-test");
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let path = dir.join("serve.bin");
+        std::fs::remove_file(&path).ok();
+        let cold = serve(&d, &cfg, Some(&path), &queries).expect("cold serve");
+        assert!(!cold.warm);
+
+        // Varying only the tagged-path count must not reuse the artifact:
+        // the extraction (and so every answer) covers different gates.
+        let mut wider = cfg.clone();
+        wider.selection = Selection::Critical { paths: 3 };
+        let invalidated = serve(&d, &wider, Some(&path), &queries).expect("wider serve");
+        assert!(
+            !invalidated.warm,
+            "a --paths change must invalidate the artifact"
+        );
+        let reference = serve(&d, &wider, None, &queries).expect("reference serve");
+        assert_eq!(invalidated.outcomes, reference.outcomes);
+        // The overwritten artifact now serves the wider selection warm.
+        let warm = serve(&d, &wider, Some(&path), &queries).expect("warm serve");
+        assert!(warm.warm);
+        assert_eq!(warm.outcomes, reference.outcomes);
+
+        // Enabling the wire step likewise invalidates.
+        let mut wired = wider.clone();
+        wired.wires = Some(WireExtractionConfig::standard());
+        let rewired = serve(&d, &wired, Some(&path), &queries).expect("wired serve");
+        assert!(
+            !rewired.warm,
+            "a wire-config change must invalidate the artifact"
+        );
         std::fs::remove_file(&path).ok();
     }
 

@@ -180,16 +180,17 @@ impl<'m> TimingSession<'m> {
     /// # Errors
     ///
     /// [`FlowError::Artifact`] when the artifact's content hash does not
-    /// match the (design, process, clock, extraction-config) the session
-    /// is being opened for — a stale artifact is rejected, never
-    /// silently reused; plus ordinary timing errors.
+    /// match the flow inputs (design, process, clock, selection, wire
+    /// and extraction config) the session is being opened for — a stale
+    /// artifact is rejected, never silently reused; plus ordinary timing
+    /// errors.
     pub fn restore(
         model: &'m TimingModel<'m>,
         config: &FlowConfig,
         artifact: WarmArtifact,
     ) -> Result<TimingSession<'m>> {
         let design = model.design();
-        let expected = content_hash(design, &config.process, config.clock_ps, &config.extraction);
+        let expected = content_hash(design, config);
         if artifact.content_hash != expected {
             return Err(FlowError::Artifact(format!(
                 "content hash mismatch: artifact {:#018x}, session inputs {:#018x}",
@@ -231,12 +232,7 @@ impl<'m> TimingSession<'m> {
     /// session's answers bit-identically.
     pub fn artifact(&self) -> WarmArtifact {
         WarmArtifact {
-            content_hash: content_hash(
-                self.compiled.model().design(),
-                &self.config.process,
-                self.config.clock_ps,
-                &self.config.extraction,
-            ),
+            content_hash: content_hash(self.compiled.model().design(), &self.config),
             annotation: self.annotation.clone(),
             char_entries: self.scratch.cache().export(),
             shift_entries: self.scratch.export_shift_entries(),
@@ -312,6 +308,13 @@ impl<'m> TimingSession<'m> {
             )),
             SessionQuery::WhatIf(next) => {
                 self.ensure_baseline()?;
+                // `evaluate_eco` mutates warm scratch state before the
+                // points where it can fail (a non-physical user-supplied
+                // CD errors mid-recharacterization), so the scratch is
+                // dirty until the roll-back lands — an error here then
+                // forces a full baseline re-evaluation on the next query
+                // instead of incrementing against corrupted state.
+                self.scratch_dirty = true;
                 let report = self.compiled.evaluate_eco(
                     &mut self.scratch,
                     Some(&self.annotation),
@@ -324,6 +327,7 @@ impl<'m> TimingSession<'m> {
                     Some(next),
                     Some(&self.annotation),
                 )?;
+                self.scratch_dirty = false;
                 Ok(QueryOutcome::WhatIf(report))
             }
         }
@@ -347,9 +351,14 @@ impl<'m> TimingSession<'m> {
             extract_gates_with_store(design, &self.config.extraction, tags, Some(&mut self.store))?;
         let mut next = outcome.annotation;
         annotate_wires(design, &self.config, tags, &mut next)?;
+        // As in the what-if path: a failing `evaluate_eco` leaves
+        // half-updated scratch state behind, so flag it dirty until the
+        // commit below succeeds.
+        self.scratch_dirty = true;
         let report =
             self.compiled
                 .evaluate_eco(&mut self.scratch, Some(&self.annotation), Some(&next))?;
+        self.scratch_dirty = false;
         self.tags = tags.clone();
         self.annotation = next;
         self.baseline = report.clone();
@@ -472,6 +481,53 @@ mod tests {
             }
             other => panic!("expected corner outcome, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn session_recovers_after_a_failed_what_if() {
+        let d = design();
+        let cfg = fast_config(Selection::All);
+        let model = TimingModel::new(&d, cfg.process.clone(), cfg.clock_ps).expect("model");
+        let mut session = TimingSession::new(&model, &cfg).expect("session");
+        let baseline = session.baseline().clone();
+
+        let mut ids: Vec<postopc_layout::GateId> =
+            session.annotation().gates().map(|(&g, _)| g).collect();
+        ids.sort_by_key(|g| g.0);
+        assert!(ids.len() >= 3, "need several annotated gates");
+
+        // A what-if where a low-id gate changes validly and a high-id
+        // gate carries a non-physical CD: `evaluate_eco` re-characterizes
+        // in id order, so the valid edit lands in the warm scratch before
+        // the bad one aborts the pass mid-way.
+        let mut bad = session.annotation().clone();
+        let mut valid = bad.gate(ids[0]).expect("annotated").clone();
+        valid.transistors[0].l_delay_nm *= 1.05;
+        valid.transistors[0].l_leakage_nm *= 1.05;
+        bad.set_gate(ids[0], valid);
+        let last = *ids.last().expect("last");
+        let mut broken = bad.gate(last).expect("annotated").clone();
+        broken.transistors[0].l_delay_nm = -1.0;
+        bad.set_gate(last, broken);
+        session
+            .run(&SessionQuery::WhatIf(bad))
+            .expect_err("a non-physical what-if CD must fail");
+
+        // The failure must not poison the warm state: a following what-if
+        // touching a *different* gate (so nothing re-characterizes the
+        // gate the aborted pass already moved) must still be bit-identical
+        // to a cold full evaluation of the same edit.
+        let mut edit = session.annotation().clone();
+        let mut probe = edit.gate(ids[1]).expect("annotated").clone();
+        probe.transistors[0].l_delay_nm *= 1.02;
+        edit.set_gate(ids[1], probe);
+        let compiled = model.compile().expect("compile");
+        let mut scratch = compiled.scratch();
+        let full = compiled.evaluate(&mut scratch, Some(&edit)).expect("full");
+        let out = session.run(&SessionQuery::WhatIf(edit)).expect("what-if");
+        assert_eq!(out, QueryOutcome::WhatIf(full));
+        // And the baseline survived both queries untouched.
+        assert_eq!(*session.baseline(), baseline);
     }
 
     #[test]
