@@ -61,6 +61,8 @@ fn main() {
                 windows: out.stats.windows,
                 hits: out.stats.cache_hits,
                 hit_rate: out.stats.cache_hit_rate(),
+                surrogate_hits: out.stats.surrogate_hits,
+                surrogate_fallbacks: out.stats.surrogate_fallbacks,
                 wall_s: stats.best_s,
                 speedup: baseline_s / stats.best_s.max(1e-9),
             });

@@ -25,7 +25,7 @@
 //! cannot silently regress. Run once per CI pass (it is the expensive
 //! stage: the extraction baseline alone is a few seconds).
 
-use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc::{extract_gates, ExtractionConfig, OpcMode, SurrogateConfig, TagSet};
 use postopc_bench::json::parse_speedups;
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
@@ -52,6 +52,13 @@ struct BenchFloor {
 /// absorb machine-to-machine variance while still catching a lost cache or
 /// a de-compiled hot loop (which cost integer factors, not 40%).
 const BENCH_FLOORS: &[BenchFloor] = &[
+    BenchFloor {
+        file: "BENCH_extract.json",
+        design: "shuffled farm 20x24",
+        engine: "cache + surrogate",
+        samples: None,
+        fraction: 0.6,
+    },
     BenchFloor {
         file: "BENCH_extract.json",
         design: "uniform inv farm 240",
@@ -281,6 +288,43 @@ fn check_floor(gate: &BenchFloor, fresh: f64) -> bool {
 fn bench_regression() -> bool {
     let mut failed = false;
 
+    // Extraction: the T9 shuffled-farm surrogate row — the learned CD
+    // surrogate (cache + pool + online-trained model) vs the serial
+    // no-cache baseline on the diverse-context workload where plain
+    // dedup buys little.
+    let farm = Design::compile_with(
+        generate::speed_path_farm(20, 24, 11).expect("netlist"),
+        TechRules::n90(),
+        &PlacementOptions {
+            utilization: 1.0,
+            seed: 11,
+        },
+    )
+    .expect("farm design");
+    let farm_tags = TagSet::all(&farm);
+    let mut farm_baseline = ExtractionConfig::standard();
+    farm_baseline.opc_mode = OpcMode::Rule;
+    farm_baseline.cache = false;
+    farm_baseline.threads = Some(1);
+    let mut farm_surrogate = farm_baseline.clone();
+    farm_surrogate.cache = true;
+    farm_surrogate.threads = None; // all cores
+    farm_surrogate.surrogate = SurrogateConfig::standard();
+    let (_, farm_baseline_s) = postopc_bench::timing::time(|| {
+        extract_gates(&farm, &farm_baseline, &farm_tags).expect("farm baseline")
+    });
+    let (surrogate_out, farm_surrogate_s) = postopc_bench::timing::time(|| {
+        extract_gates(&farm, &farm_surrogate, &farm_tags).expect("farm surrogate")
+    });
+    if surrogate_out.stats.surrogate_hits == 0 {
+        eprintln!("perf_smoke: FAIL - surrogate served no contexts on the shuffled farm");
+        failed = true;
+    }
+    failed |= check_floor(
+        &BENCH_FLOORS[0],
+        farm_baseline_s / farm_surrogate_s.max(1e-9),
+    );
+
     // Extraction: the T9 uniform-farm row — baseline (serial, no cache)
     // vs context cache vs cache + pool, dense 240-inverter farm.
     let design = Design::compile_with(
@@ -307,8 +351,8 @@ fn bench_regression() -> bool {
         postopc_bench::timing::time(|| extract_gates(&design, &cached, &tags).expect("cached"));
     let (_, pooled_s) =
         postopc_bench::timing::time(|| extract_gates(&design, &pooled, &tags).expect("pooled"));
-    failed |= check_floor(&BENCH_FLOORS[0], baseline_s / cached_s.max(1e-9));
-    failed |= check_floor(&BENCH_FLOORS[1], baseline_s / pooled_s.max(1e-9));
+    failed |= check_floor(&BENCH_FLOORS[1], baseline_s / cached_s.max(1e-9));
+    failed |= check_floor(&BENCH_FLOORS[2], baseline_s / pooled_s.max(1e-9));
 
     // STA: the mc_scaling 250-sample row — naive per-sample analyze vs the
     // compiled evaluator on the T6 composite workload, one thread.
@@ -352,8 +396,8 @@ fn bench_regression() -> bool {
         eprintln!("perf_smoke: FAIL - engines diverged during the bench-regression run");
         failed = true;
     }
-    failed |= check_floor(&BENCH_FLOORS[2], naive_s / compiled_s.max(1e-9));
-    failed |= check_floor(&BENCH_FLOORS[3], naive_s / batched_s.max(1e-9));
+    failed |= check_floor(&BENCH_FLOORS[3], naive_s / compiled_s.max(1e-9));
+    failed |= check_floor(&BENCH_FLOORS[4], naive_s / batched_s.max(1e-9));
 
     if !failed {
         println!("perf_smoke: PASS - all gated speedups within their recorded floors");

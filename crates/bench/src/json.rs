@@ -11,8 +11,10 @@ use std::io::Write;
 use std::path::Path;
 
 /// Schema identifier stamped into every document so future PRs can evolve
-/// the format without breaking diff tooling silently.
-pub const ENGINE_BENCH_SCHEMA: &str = "postopc-bench-extract-v1";
+/// the format without breaking diff tooling silently. v2 adds the learned
+/// CD surrogate counters (`surrogate_hits` / `surrogate_fallbacks`) of
+/// each run to every row (0 for the pre-surrogate engines).
+pub const ENGINE_BENCH_SCHEMA: &str = "postopc-bench-extract-v2";
 
 /// One engine-comparison measurement: a (design, engine) cell of the T9
 /// engine table.
@@ -28,6 +30,12 @@ pub struct EngineBenchRow {
     pub hits: usize,
     /// Cache hit rate in `[0, 1]`.
     pub hit_rate: f64,
+    /// Unique contexts served by the learned CD surrogate without
+    /// simulation (0 for engines that do not enable it).
+    pub surrogate_hits: usize,
+    /// Unique contexts the surrogate declined (warm-up, leverage-gate
+    /// rejection, audit or implausible prediction) that simulated instead.
+    pub surrogate_fallbacks: usize,
     /// Wall-clock seconds of the extraction run.
     pub wall_s: f64,
     /// Speedup versus the baseline engine on the same design.
@@ -125,12 +133,15 @@ pub fn render_engine_rows(threads: usize, rows: &[EngineBenchRow]) -> String {
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"design\": \"{}\", \"engine\": \"{}\", \"windows\": {}, \"hits\": {}, \
-             \"hit_rate\": {}, \"wall_s\": {}, \"speedup\": {}}}{}\n",
+             \"hit_rate\": {}, \"surrogate_hits\": {}, \"surrogate_fallbacks\": {}, \
+             \"wall_s\": {}, \"speedup\": {}}}{}\n",
             escape(&row.design),
             escape(&row.engine),
             row.windows,
             row.hits,
             number(row.hit_rate),
+            row.surrogate_hits,
+            row.surrogate_fallbacks,
             number(row.wall_s),
             number(row.speedup),
             if i + 1 < rows.len() { "," } else { "" },
@@ -312,6 +323,8 @@ mod tests {
             windows: 16,
             hits: 224,
             hit_rate: 0.9333333333333333,
+            surrogate_hits: 42,
+            surrogate_fallbacks: 7,
             wall_s: 0.99,
             speedup: 15.5,
         }
@@ -320,10 +333,12 @@ mod tests {
     #[test]
     fn renders_stable_schema() {
         let doc = render_engine_rows(1, &[row()]);
-        assert!(doc.contains("\"schema\": \"postopc-bench-extract-v1\""));
+        assert!(doc.contains("\"schema\": \"postopc-bench-extract-v2\""));
         assert!(doc.contains("\"threads\": 1"));
         assert!(doc.contains("\"design\": \"uniform inv farm 240\""));
         assert!(doc.contains("\"windows\": 16"));
+        assert!(doc.contains("\"surrogate_hits\": 42"));
+        assert!(doc.contains("\"surrogate_fallbacks\": 7"));
         assert!(doc.contains("\"wall_s\": 0.99"));
         // Exactly one row: no trailing comma.
         assert!(!doc.contains("}},\n  ]"));

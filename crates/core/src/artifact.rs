@@ -16,7 +16,8 @@
 //! magic      8 bytes   b"POCWARM1"
 //! version    u32 LE    bumped on any layout change
 //! hash       u64 LE    content hash of (layout, process, clock, flow config)
-//! sections   ...       annotation, char entries, shift entries, store
+//! sections   ...       annotation, char entries, shift entries, store,
+//!                      optional surrogate model (since version 2)
 //! checksum   u64 LE    FNV-1a over every preceding byte
 //! ```
 //!
@@ -49,7 +50,8 @@ use std::path::Path;
 pub const ARTIFACT_MAGIC: [u8; 8] = *b"POCWARM1";
 
 /// Current artifact format version; readers reject any other.
-pub const ARTIFACT_VERSION: u32 = 1;
+/// Version 2 added the optional surrogate-model section.
+pub const ARTIFACT_VERSION: u32 = 2;
 
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
@@ -80,6 +82,14 @@ pub fn content_hash(design: &Design, config: &FlowConfig) -> u64 {
     canon.cache = true;
     canon.fault_policy = FaultPolicy::Fail;
     canon.fault_injection = None;
+    // The surrogate tier changes annotated results, so its knobs — and the
+    // fingerprint of any pre-trained model (via `SurrogateConfig`'s `Debug`
+    // rendering) — stay in the key while it is enabled: a warm start must
+    // never mix surrogate and non-surrogate artifacts. With it disabled
+    // the knobs are inert, so they are normalised away.
+    if !canon.surrogate.enabled {
+        canon.surrogate = crate::extract::SurrogateConfig::off();
+    }
     let mut h = fnv1a(FNV_OFFSET, b"postopc-warm-artifact");
     h = fnv1a(h, format!("{:?}", design.netlist().gates()).as_bytes());
     h = fnv1a(h, format!("{:?}", design.transistor_sites()).as_bytes());
@@ -108,6 +118,10 @@ pub struct WarmArtifact {
     pub shift_entries: Vec<(u64, CellTiming)>,
     /// Retained distinct litho contexts for incremental re-extraction.
     pub context_store: ContextStore,
+    /// Trained CD-surrogate state, when the compile ran with the
+    /// surrogate tier enabled: a restored session resumes gating and
+    /// online training exactly where the compile left off.
+    pub surrogate: Option<postopc_litho::SurrogateModel>,
 }
 
 impl WarmArtifact {
@@ -134,6 +148,13 @@ impl WarmArtifact {
             encode_cell_timing(timing, &mut out);
         }
         self.context_store.encode_into(&mut out);
+        match &self.surrogate {
+            None => out.push(0),
+            Some(model) => {
+                out.push(1);
+                model.encode_into(&mut out);
+            }
+        }
         let checksum = fnv1a(FNV_OFFSET, &out);
         put_u64(&mut out, checksum);
         out
@@ -194,6 +215,19 @@ impl WarmArtifact {
             shift_entries.push((key, decode_cell_timing(body, &mut cursor)?));
         }
         let context_store = ContextStore::decode_from(body, &mut cursor)?;
+        let surrogate = match body.get(cursor).copied() {
+            Some(0) => {
+                cursor += 1;
+                None
+            }
+            Some(1) => {
+                cursor += 1;
+                let model = postopc_litho::SurrogateModel::decode_from(body, &mut cursor)
+                    .map_err(|e| artifact_err(&format!("surrogate section: {e}")))?;
+                Some(model)
+            }
+            _ => return Err(artifact_err("invalid stored surrogate tag")),
+        };
         if cursor != body.len() {
             return Err(artifact_err("trailing bytes after the last section"));
         }
@@ -203,6 +237,7 @@ impl WarmArtifact {
             char_entries,
             shift_entries,
             context_store,
+            surrogate,
         })
     }
 
@@ -491,6 +526,7 @@ mod tests {
             char_entries: scratch.cache().export(),
             shift_entries: scratch.export_shift_entries(),
             context_store: store,
+            surrogate: None,
         }
     }
 
@@ -577,6 +613,63 @@ mod tests {
         let mut wired = cfg.clone();
         wired.wires = Some(WireExtractionConfig::standard());
         assert_ne!(base, content_hash(&d, &wired));
+    }
+
+    #[test]
+    fn surrogate_section_round_trips_and_is_validated() {
+        let mut artifact = sample_artifact();
+        let mut model = crate::extract::SurrogateConfig::standard().fresh_model();
+        for i in 0..20 {
+            let a = i as f64 / 10.0 - 1.0;
+            let mut x = vec![0.0; crate::extract::SURROGATE_FEATURE_DIM];
+            x[0] = 1.0;
+            x[1] = a;
+            model.absorb(&x, [2.0 * a, -a]).expect("absorb");
+        }
+        let fingerprint = model.fingerprint();
+        artifact.surrogate = Some(model);
+        let bytes = artifact.to_bytes();
+        let loaded = WarmArtifact::from_bytes(&bytes).expect("parse");
+        let restored = loaded.surrogate.as_ref().expect("surrogate section");
+        assert_eq!(restored.len(), 20);
+        assert_eq!(restored.fingerprint(), fingerprint);
+        assert_eq!(loaded.to_bytes(), bytes, "round trip is a fixed point");
+        // Truncations inside the surrogate section are typed errors.
+        for cut in [bytes.len() - 9, bytes.len() - 50] {
+            assert!(matches!(
+                WarmArtifact::from_bytes(&bytes[..cut]),
+                Err(FlowError::Artifact(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn content_hash_tracks_the_surrogate_knob() {
+        let d = design();
+        let cfg = fast_config();
+        let base = content_hash(&d, &cfg);
+        // Flipping *only* the surrogate switch invalidates: a warm start
+        // must never mix surrogate and non-surrogate artifacts.
+        let mut on = cfg.clone();
+        on.extraction.surrogate = crate::extract::SurrogateConfig::standard();
+        let on_hash = content_hash(&d, &on);
+        assert_ne!(base, on_hash);
+        // While enabled, the gate threshold is part of the key …
+        let mut stricter = on.clone();
+        stricter.extraction.surrogate.gate_threshold = 2.0;
+        assert_ne!(on_hash, content_hash(&d, &stricter));
+        // … and so is the pre-trained model (via its fingerprint).
+        let mut pretrained = on.clone();
+        let mut model = on.extraction.surrogate.fresh_model();
+        let x = vec![1.0; crate::extract::SURROGATE_FEATURE_DIM];
+        model.absorb(&x, [1.0, 1.0]).expect("absorb");
+        pretrained.extraction.surrogate.pretrained = Some(model);
+        assert_ne!(on_hash, content_hash(&d, &pretrained));
+        // With the surrogate disabled its inert knobs are normalised away.
+        let mut inert = cfg.clone();
+        inert.extraction.surrogate.gate_threshold = 9.0;
+        inert.extraction.surrogate.min_train = 5;
+        assert_eq!(base, content_hash(&d, &inert));
     }
 
     #[test]

@@ -56,8 +56,9 @@ pub use artifact::{content_hash, WarmArtifact, ARTIFACT_MAGIC, ARTIFACT_VERSION}
 pub use compare::TimingComparison;
 pub use error::{FlowError, Result};
 pub use extract::{
-    extract_gates, extract_gates_with_store, AcrossChipMap, ContextStore, ExtractionConfig,
-    ExtractionOutcome, ExtractionStats, OpcMode,
+    extract_gates, extract_gates_with_caches, extract_gates_with_store, AcrossChipMap,
+    ContextStore, ExtractionConfig, ExtractionOutcome, ExtractionStats, OpcMode, SurrogateConfig,
+    SURROGATE_FEATURE_DIM,
 };
 pub use fault::{FaultInjection, FaultPolicy, FaultStage, InjectedFault, QuarantinedGate};
 pub use flow::{run_flow, serve, FlowConfig, FlowReport, Selection, ServeReport};

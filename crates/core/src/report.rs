@@ -48,7 +48,9 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 }
 
 /// Renders an extraction run's statistics: gate counts, window/OPC cost,
-/// and how much of the work the litho-context cache deduplicated.
+/// how much of the work the litho-context cache deduplicated, and — when
+/// the learned CD surrogate is enabled — how many unique contexts it
+/// served without simulation (plus the worst audited residual).
 ///
 /// ```
 /// use postopc::report::render_extraction_stats;
@@ -59,6 +61,7 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
 /// stats.cache_misses = 3;
 /// let t = render_extraction_stats(&stats);
 /// assert!(t.contains("62.5%"));
+/// assert!(t.contains("surr hits"));
 /// ```
 pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
     let rows = vec![vec![
@@ -67,12 +70,14 @@ pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
         format!("{}", stats.gates_quarantined),
         format!("{}", stats.windows),
         format!("{}", stats.store_hits),
+        format!("{}", stats.surrogate_hits),
+        format!("{}", stats.surrogate_fallbacks),
         format!("{}", stats.opc_simulations),
         format!("{}", stats.cache_hits),
         format!("{}", stats.cache_misses),
         format!("{:.1}%", 100.0 * stats.cache_hit_rate()),
     ]];
-    render_table(
+    let mut out = render_table(
         "extraction statistics",
         &[
             "extracted",
@@ -80,13 +85,22 @@ pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
             "quarantined",
             "windows",
             "store hits",
+            "surr hits",
+            "surr fbacks",
             "opc sims",
             "cache hits",
             "cache misses",
             "hit rate",
         ],
         &rows,
-    )
+    );
+    if stats.surrogate_hits > 0 || stats.surrogate_fallbacks > 0 {
+        out.push_str(&format!(
+            "surrogate: {} contexts predicted, {} fell back to simulation, max audited residual {:.3} nm\n",
+            stats.surrogate_hits, stats.surrogate_fallbacks, stats.surrogate_max_residual_nm,
+        ));
+    }
+    out
 }
 
 /// Renders one [`crate::serve`] invocation: how the session came up

@@ -18,12 +18,13 @@
 
 use crate::artifact::{content_hash, WarmArtifact};
 use crate::error::{FlowError, Result};
-use crate::extract::{extract_gates_with_store, ContextStore, ExtractionStats};
+use crate::extract::{extract_gates_with_caches, ContextStore, ExtractionStats};
 use crate::flow::{FlowConfig, Selection};
 use crate::guardband::{GuardbandAnalysis, GuardbandConfig};
 use crate::multilayer::extract_wires;
 use crate::tags::TagSet;
 use postopc_layout::{Design, NetId};
+use postopc_litho::SurrogateModel;
 use postopc_sta::{
     analyze_corners_with, statistical, CdAnnotation, CompiledSta, Corner, MonteCarloConfig,
     MonteCarloResult, StaScratch, TimingModel, TimingReport,
@@ -100,6 +101,11 @@ pub struct TimingSession<'m> {
     compiled: CompiledSta<'m>,
     scratch: StaScratch,
     store: ContextStore,
+    /// Warm CD-surrogate state (`Some` iff the config enables the tier):
+    /// incremental passes keep gating and training against it, so the
+    /// model's experience accumulates across ECOs — and persists through
+    /// [`Self::artifact`].
+    surrogate: Option<SurrogateModel>,
     tags: TagSet,
     annotation: CdAnnotation,
     baseline: TimingReport,
@@ -107,6 +113,16 @@ pub struct TimingSession<'m> {
     /// True when the scratch holds some query's evaluation instead of
     /// the baseline; incremental passes re-establish the baseline first.
     scratch_dirty: bool,
+}
+
+/// The session's starting surrogate model for `config`: pre-trained if
+/// one is configured, fresh otherwise, `None` with the tier disabled.
+fn session_model(config: &FlowConfig) -> Option<SurrogateModel> {
+    let sc = &config.extraction.surrogate;
+    sc.enabled.then(|| match &sc.pretrained {
+        Some(pre) => pre.clone(),
+        None => sc.fresh_model(),
+    })
 }
 
 /// Runs the (optional) multi-layer wire step for the tagged gates' nets
@@ -154,8 +170,14 @@ impl<'m> TimingSession<'m> {
             Selection::Critical { paths } => TagSet::from_critical_paths(design, &drawn, paths),
         };
         let mut store = ContextStore::new();
-        let outcome =
-            extract_gates_with_store(design, &config.extraction, &tags, Some(&mut store))?;
+        let mut surrogate = session_model(config);
+        let outcome = extract_gates_with_caches(
+            design,
+            &config.extraction,
+            &tags,
+            Some(&mut store),
+            surrogate.as_mut(),
+        )?;
         let mut annotation = outcome.annotation;
         annotate_wires(design, config, &tags, &mut annotation)?;
         let baseline = compiled.evaluate(&mut scratch, Some(&annotation))?;
@@ -164,6 +186,7 @@ impl<'m> TimingSession<'m> {
             compiled,
             scratch,
             store,
+            surrogate,
             tags,
             annotation,
             baseline,
@@ -214,11 +237,21 @@ impl<'m> TimingSession<'m> {
             gates_extracted: annotation.gate_count(),
             ..Default::default()
         };
+        // Resume the trained surrogate iff the config still enables the
+        // tier (the content hash already guarantees surrogate/non-
+        // surrogate artifacts are never mixed); a version-2 artifact built
+        // without one falls back to a fresh session model.
+        let surrogate = if config.extraction.surrogate.enabled {
+            artifact.surrogate.or_else(|| session_model(config))
+        } else {
+            None
+        };
         Ok(TimingSession {
             config: config.clone(),
             compiled,
             scratch,
             store: artifact.context_store,
+            surrogate,
             tags,
             annotation,
             baseline,
@@ -237,6 +270,7 @@ impl<'m> TimingSession<'m> {
             char_entries: self.scratch.cache().export(),
             shift_entries: self.scratch.export_shift_entries(),
             context_store: self.store.clone(),
+            surrogate: self.surrogate.clone(),
         }
     }
 
@@ -347,8 +381,13 @@ impl<'m> TimingSession<'m> {
     pub fn apply_eco(&mut self, tags: &TagSet) -> Result<EcoOutcome> {
         self.ensure_baseline()?;
         let design = self.compiled.model().design();
-        let outcome =
-            extract_gates_with_store(design, &self.config.extraction, tags, Some(&mut self.store))?;
+        let outcome = extract_gates_with_caches(
+            design,
+            &self.config.extraction,
+            tags,
+            Some(&mut self.store),
+            self.surrogate.as_mut(),
+        )?;
         let mut next = outcome.annotation;
         annotate_wires(design, &self.config, tags, &mut next)?;
         // As in the what-if path: a failing `evaluate_eco` leaves
@@ -558,6 +597,43 @@ mod tests {
         let noop = session.apply_eco(&all).expect("noop eco");
         assert_eq!(noop.stats.windows, 0);
         assert_eq!(noop.report, full.comparison.annotated);
+    }
+
+    #[test]
+    fn surrogate_session_persists_and_resumes_the_model() {
+        let d = design();
+        let mut cfg = fast_config(Selection::All);
+        cfg.extraction.surrogate = crate::extract::SurrogateConfig {
+            enabled: true,
+            min_train: 4,
+            round: 4,
+            audit_every: 3,
+            ..crate::extract::SurrogateConfig::standard()
+        };
+        let model = TimingModel::new(&d, cfg.process.clone(), cfg.clock_ps).expect("model");
+        let session = TimingSession::new(&model, &cfg).expect("session");
+        let artifact = session.artifact();
+        let trained = artifact.surrogate.as_ref().expect("model persisted").len();
+        assert!(trained > 0, "the compile must train the session model");
+        let bytes = artifact.to_bytes();
+
+        // The restored session resumes the trained model, not a blank one.
+        let restored = WarmArtifact::from_bytes(&bytes).expect("parse");
+        let warm = TimingSession::restore(&model, &cfg, restored).expect("restore");
+        assert_eq!(
+            warm.artifact().surrogate.expect("resumed model").len(),
+            trained
+        );
+        assert_eq!(session.baseline(), warm.baseline());
+
+        // A surrogate-off consumer must reject the surrogate artifact —
+        // the invalidation key keeps the two worlds apart.
+        let off = fast_config(Selection::All);
+        let stale = WarmArtifact::from_bytes(&bytes).expect("parse");
+        assert!(matches!(
+            TimingSession::restore(&model, &off, stale),
+            Err(FlowError::Artifact(_))
+        ));
     }
 
     #[test]

@@ -23,6 +23,9 @@ pub enum LithoError {
         /// Search start y in nm.
         y_nm: f64,
     },
+    /// Learned CD surrogate failure (bad training sample, unsolvable
+    /// normal equations, or a corrupt persisted model).
+    Surrogate(String),
 }
 
 impl fmt::Display for LithoError {
@@ -35,6 +38,7 @@ impl fmt::Display for LithoError {
             LithoError::NoContourCrossing { x_nm, y_nm } => {
                 write!(f, "no printed contour crossing near ({x_nm}, {y_nm})")
             }
+            LithoError::Surrogate(reason) => write!(f, "surrogate model error: {reason}"),
         }
     }
 }

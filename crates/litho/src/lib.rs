@@ -38,6 +38,7 @@ mod image;
 mod kernels;
 mod optics;
 mod resist;
+pub mod surrogate;
 mod workspace;
 
 pub use error::{LithoError, Result};
@@ -46,4 +47,5 @@ pub use image::{AerialImage, KernelMode, SimulationSpec};
 pub use kernels::{ImagingKernel, KernelStack, TapCache};
 pub use optics::{OpticsParams, ProcessConditions};
 pub use resist::ResistModel;
+pub use surrogate::{SurrogateModel, SURROGATE_TARGETS};
 pub use workspace::SimWorkspace;

@@ -25,8 +25,13 @@
 #   serve     serve_smoke: cold-vs-warm artifact bit parity, typed bad-
 #             artifact errors, incremental-vs-full ECO bit parity, and
 #             the warm-query speedup floor
-#   bench     perf_smoke --bench-regression vs committed BENCH_*.json,
-#             then serve_smoke --bench-regression vs BENCH_serve.json
+#   surrogate surrogate_train + surrogate_smoke: learned-CD-surrogate
+#             parity vs SOCS, serial-vs-pool bit identity, 100% fallback
+#             on an out-of-distribution layout, the speedup floor, and
+#             the POCSURR1 model-file round trip
+#   bench     perf_smoke --bench-regression vs committed BENCH_*.json
+#             (extract floors now include the surrogate row), then
+#             serve_smoke --bench-regression vs BENCH_serve.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -98,6 +103,19 @@ stage mc_batch cargo run --release -p postopc-bench --bin mc_batch_smoke
 # incremental ECO re-analysis parity against a from-scratch run, and the
 # 10x warm-query speedup floor on the T6/T9 workloads.
 stage serve cargo run --release -p postopc-bench --bin serve_smoke
+
+# Learned-CD-surrogate smoke: offline training via surrogate_train (the
+# POCSURR1 file write), then surrogate_smoke's gates — in-distribution
+# parity vs SOCS, serial-vs-pool bit identity, 100% fallback on an out-
+# of-distribution layout, the wall-time speedup floor, and the trained
+# model loading back in as a warm seed.
+surrogate_stage() {
+  cargo run --release -p postopc-bench --bin surrogate_train -- \
+    --out target/surrogate_ci.bin
+  cargo run --release -p postopc-bench --bin surrogate_smoke -- \
+    --model target/surrogate_ci.bin
+}
+stage surrogate surrogate_stage
 
 stage bench cargo run --release -p postopc-bench --bin perf_smoke -- --bench-regression
 stage bench_serve cargo run --release -p postopc-bench --bin serve_smoke -- --bench-regression
