@@ -112,8 +112,23 @@ fn main() {
             "batched engine diverged at {samples} samples"
         );
     }
+    // The schema-v3 accuracy section: sampling-scheme convergence errors
+    // against a 16384-sample plain reference (deterministic, so the
+    // committed artifact regenerates bit-identically).
+    let accuracy =
+        postopc_bench::sta_accuracy_rows("T6 composite 70%", &compiled_sta, Some(&out.annotation));
+    println!(
+        "\n{:>12} {:>8} {:>14} {:>15} {:>15}",
+        "sampling", "samples", "q01 err (ps)", "q001 err (ps)", "mean err (ps)"
+    );
+    for row in &accuracy {
+        println!(
+            "{:>12} {:>8} {:>14.3} {:>15.3} {:>15.4}",
+            row.sampling, row.samples, row.q01_abs_err_ps, row.q001_abs_err_ps, row.mean_abs_err_ps
+        );
+    }
     let path = std::path::Path::new("BENCH_sta.json");
-    match write_sta_rows(path, 1, &rows) {
+    match write_sta_rows(path, 1, &rows, &accuracy) {
         Ok(()) => println!("[mc_scaling wrote {}]", path.display()),
         Err(e) => eprintln!("[mc_scaling could not write {}: {e}]", path.display()),
     }

@@ -138,15 +138,17 @@ fn convergence_gate() -> bool {
     let mut failed = false;
     for vr in &points[1..] {
         println!(
-            "mc_batch convergence: {:?}@{} mean err {:.4} ps, q01 err {:.3} ps \
-             (plain@{} mean err {:.4} ps, q01 err {:.3} ps)",
+            "mc_batch convergence: {:?}@{} mean err {:.4} ps, q01 err {:.3} ps, q001 err \
+             {:.3} ps (plain@{} mean err {:.4} ps, q01 err {:.3} ps, q001 err {:.3} ps)",
             vr.sampling,
             vr.samples,
             vr.mean_abs_err_ps,
             vr.q01_abs_err_ps,
+            vr.q001_abs_err_ps,
             plain.samples,
             plain.mean_abs_err_ps,
-            plain.q01_abs_err_ps
+            plain.q01_abs_err_ps,
+            plain.q001_abs_err_ps
         );
         let bound = plain.mean_abs_err_ps * CONVERGENCE_RATIO;
         if vr.mean_abs_err_ps > bound {

@@ -26,7 +26,7 @@
 //! stage: the extraction baseline alone is a few seconds).
 
 use postopc::{extract_gates, ExtractionConfig, OpcMode, SurrogateConfig, TagSet};
-use postopc_bench::json::parse_speedups;
+use postopc_bench::json::{parse_accuracy, parse_speedups};
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
 use postopc_sta::{
@@ -36,6 +36,15 @@ use postopc_sta::{
 
 /// Pool wall time may exceed serial by at most this factor.
 const POOL_TOLERANCE: f64 = 1.25;
+
+/// A fresh sampling-accuracy error may exceed its recorded value by at
+/// most this factor. The convergence study is deterministic and
+/// thread-invariant, so a fresh run normally reproduces the artifact
+/// exactly — the headroom only lets intentional estimator retunes land
+/// without re-recording in the same commit, while a real regression
+/// (a broken weight path, a lost tilt) blows the quantile errors by
+/// integer factors.
+const ACCURACY_TOLERANCE: f64 = 1.5;
 
 /// One gated benchmark row: where its recorded speedup lives and the
 /// fraction of it a fresh measurement must retain. The floors live in this
@@ -207,10 +216,20 @@ fn parity_gates() -> bool {
         failed = true;
     }
     // The batched SoA engine must agree bit for bit too, for every
-    // sampling scheme (same streams, different evaluation shape).
-    for sampling in [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified] {
+    // sampling scheme (same streams, different evaluation shape). The
+    // tail-IS row runs with the control variate attached so the weight
+    // and control accumulators are parity-checked as well.
+    for sampling in [
+        Sampling::Plain,
+        Sampling::Antithetic,
+        Sampling::Stratified,
+        Sampling::TailIs {
+            tilt: postopc_bench::TAIL_TILT,
+        },
+    ] {
         let scalar_cfg = MonteCarloConfig {
             sampling,
+            control_variate: matches!(sampling, Sampling::TailIs { .. }),
             engine: McEngine::Scalar,
             ..mc.clone()
         };
@@ -399,8 +418,95 @@ fn bench_regression() -> bool {
     failed |= check_floor(&BENCH_FLOORS[3], naive_s / compiled_s.max(1e-9));
     failed |= check_floor(&BENCH_FLOORS[4], naive_s / batched_s.max(1e-9));
 
+    // STA accuracy: the schema-v3 rows of BENCH_sta.json — the sampling
+    // convergence study on the same compiled T6 workload. Every fresh
+    // (sampling, samples) error must stay within ACCURACY_TOLERANCE of
+    // the recorded value, and the tail claim itself is re-proved: the
+    // importance sampler at 500 samples must still beat plain at 2000
+    // on the 1%-quantile.
+    failed |= accuracy_floors(&postopc_bench::sta_accuracy_rows(
+        "T6 composite 70%",
+        &compiled_sta,
+        Some(&out.annotation),
+    ));
+
     if !failed {
         println!("perf_smoke: PASS - all gated speedups within their recorded floors");
+    }
+    failed
+}
+
+/// Applies the sampling-accuracy floors to a fresh convergence study.
+/// Returns `true` on failure (missing recorded rows count as failure).
+fn accuracy_floors(fresh: &[postopc_bench::json::StaAccuracyRow]) -> bool {
+    let recorded = match std::fs::read_to_string("BENCH_sta.json") {
+        Ok(doc) => parse_accuracy(&doc),
+        Err(e) => {
+            eprintln!("perf_smoke: FAIL - cannot read BENCH_sta.json: {e}");
+            return true;
+        }
+    };
+    let mut failed = false;
+    for row in fresh {
+        let label = format!(
+            "{} / {} @ {} samples",
+            row.design, row.sampling, row.samples
+        );
+        let Some(rec) = recorded.iter().find(|r| {
+            r.design == row.design && r.sampling == row.sampling && r.samples == row.samples
+        }) else {
+            eprintln!(
+                "perf_smoke: FAIL - no recorded accuracy row for {label} \
+                 (re-record BENCH_sta.json with mc_scaling?)"
+            );
+            failed = true;
+            continue;
+        };
+        let q01_bound = rec.q01_abs_err_ps * ACCURACY_TOLERANCE;
+        let q001_bound = rec.q001_abs_err_ps * ACCURACY_TOLERANCE;
+        let ok = row.q01_abs_err_ps <= q01_bound && row.q001_abs_err_ps <= q001_bound;
+        println!(
+            "perf_smoke: accuracy {label}: fresh q01 {:.3} ps / q001 {:.3} ps vs recorded \
+             {:.3} / {:.3} ps (x{ACCURACY_TOLERANCE}) - {}",
+            row.q01_abs_err_ps,
+            row.q001_abs_err_ps,
+            rec.q01_abs_err_ps,
+            rec.q001_abs_err_ps,
+            if ok { "OK" } else { "FAIL" }
+        );
+        if !ok {
+            eprintln!("perf_smoke: FAIL - {label} quantile error regressed past its floor");
+            failed = true;
+        }
+    }
+    // The headline tail claim, re-proved on the fresh study.
+    let tail = fresh
+        .iter()
+        .find(|r| r.sampling == "tail-is" && r.samples == 500);
+    let plain = fresh
+        .iter()
+        .find(|r| r.sampling == "plain" && r.samples == 2000);
+    match (tail, plain) {
+        (Some(tail), Some(plain)) => {
+            if tail.q01_abs_err_ps > plain.q01_abs_err_ps {
+                eprintln!(
+                    "perf_smoke: FAIL - tail-IS@500 q01 err {:.3} ps exceeds plain@2000 \
+                     q01 err {:.3} ps",
+                    tail.q01_abs_err_ps, plain.q01_abs_err_ps
+                );
+                failed = true;
+            } else {
+                println!(
+                    "perf_smoke: accuracy tail-IS@500 q01 err {:.3} ps <= plain@2000 \
+                     q01 err {:.3} ps - OK",
+                    tail.q01_abs_err_ps, plain.q01_abs_err_ps
+                );
+            }
+        }
+        _ => {
+            eprintln!("perf_smoke: FAIL - fresh study missing tail-is@500 or plain@2000");
+            failed = true;
+        }
     }
     failed
 }

@@ -44,11 +44,11 @@ fn main() {
             }
             "f5" => experiments::f5(),
             "t6" => {
-                let (text, rows) = experiments::t6();
+                let (text, rows, accuracy) = experiments::t6();
                 let path = std::path::Path::new("BENCH_sta.json");
                 // Both engines run on one thread inside t6 regardless of
                 // the pool width; stamp the document with that.
-                match postopc_bench::json::write_sta_rows(path, 1, &rows) {
+                match postopc_bench::json::write_sta_rows(path, 1, &rows, &accuracy) {
                     Ok(()) => println!("[t6 wrote {}]", path.display()),
                     Err(e) => eprintln!("[t6 could not write {}: {e}]", path.display()),
                 }

@@ -364,9 +364,15 @@ pub fn f5() -> String {
 /// **T6 — corner pessimism vs extracted-distribution Monte Carlo.**
 ///
 /// Returns the human-readable report plus the STA engine-comparison rows
-/// for the machine-readable `BENCH_sta.json` artifact (naive per-sample
-/// `analyze` vs the compiled evaluator at the same N = 2000).
-pub fn t6() -> (String, Vec<crate::json::StaBenchRow>) {
+/// and the sampling-accuracy rows for the machine-readable
+/// `BENCH_sta.json` artifact (schema v3: naive per-sample `analyze` vs
+/// the compiled evaluator at the same N = 2000, plus the convergence
+/// errors of plain / antithetic / tail-IS sampling).
+pub fn t6() -> (
+    String,
+    Vec<crate::json::StaBenchRow>,
+    Vec<crate::json::StaAccuracyRow>,
+) {
     let design = crate::evaluation_design(11);
     let model = model_with_margin(&design, 0.10);
     // One compiled evaluator serves the drawn pass, the corner sweep and
@@ -516,7 +522,28 @@ pub fn t6() -> (String, Vec<crate::json::StaBenchRow>) {
         batched_stats.shared_hits,
         batched_stats.misses
     ));
-    (text, bench_rows)
+    // Schema-v3 accuracy section: the sampling-scheme convergence study
+    // (tail-IS at 500 samples vs plain at 2000 on the deep quantiles).
+    let accuracy = crate::sta_accuracy_rows("T6 composite 70%", &compiled, Some(&out.annotation));
+    let tail = accuracy
+        .iter()
+        .find(|r| r.sampling == "tail-is" && r.samples == 500);
+    let plain = accuracy
+        .iter()
+        .find(|r| r.sampling == "plain" && r.samples == 2000);
+    if let (Some(tail), Some(plain)) = (tail, plain) {
+        text.push_str(&format!(
+            "tail check: tail-IS@500 q01 err {:.3} ps <= plain@2000 q01 err {:.3} ps -> {}\n",
+            tail.q01_abs_err_ps,
+            plain.q01_abs_err_ps,
+            if tail.q01_abs_err_ps <= plain.q01_abs_err_ps {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            }
+        ));
+    }
+    (text, bench_rows, accuracy)
 }
 
 /// **T7 — selective OPC.** Model OPC on tagged critical gates vs rule

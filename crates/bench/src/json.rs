@@ -45,8 +45,10 @@ pub struct EngineBenchRow {
 /// Schema identifier of the STA engine-comparison document
 /// (`BENCH_sta.json`): naive per-sample `analyze` vs the compiled
 /// evaluators on the same Monte Carlo workload. v2 adds the shift-cache
-/// hit/miss counters of each run.
-pub const STA_BENCH_SCHEMA: &str = "postopc-bench-sta-v2";
+/// hit/miss counters of each run; v3 adds the `accuracy` section — the
+/// sampling-scheme convergence errors ([`StaAccuracyRow`]) behind the
+/// tail-targeted importance-sampling floors of the perf regression gate.
+pub const STA_BENCH_SCHEMA: &str = "postopc-bench-sta-v3";
 
 /// One STA engine measurement: a (design, engine, samples) cell of the
 /// Monte Carlo scaling table.
@@ -70,6 +72,31 @@ pub struct StaBenchRow {
     /// Shift-cache misses of the run (each ran the device model once;
     /// the batched engine prewarms, so its hot loop records 0).
     pub shift_misses: u64,
+}
+
+/// One sampling-accuracy measurement of the `accuracy` section (schema
+/// v3): the worst-slack estimation errors of a `(sampling, samples)`
+/// point against a high-sample plain reference, averaged over fixed
+/// seeds (`postopc_sta::statistical::convergence_study`). The study is
+/// deterministic and thread-invariant, so the recorded values
+/// regenerate bit-identically on any machine — the regression gate
+/// compares them with headroom only to survive intentional estimator
+/// changes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaAccuracyRow {
+    /// Workload name (e.g. `T6 composite 70%`).
+    pub design: String,
+    /// Sampling scheme label (`plain`, `antithetic`, `tail-is`).
+    pub sampling: String,
+    /// Monte Carlo samples per run.
+    pub samples: usize,
+    /// Mean absolute 1%-quantile worst-slack error vs the reference, ps.
+    pub q01_abs_err_ps: f64,
+    /// Mean absolute 0.1%-quantile worst-slack error vs the reference,
+    /// ps — the deep-tail statistic tail-IS targets.
+    pub q001_abs_err_ps: f64,
+    /// Mean absolute mean-worst-slack error vs the reference, ps.
+    pub mean_abs_err_ps: f64,
 }
 
 /// Schema identifier of the warm-service document (`BENCH_serve.json`):
@@ -166,8 +193,13 @@ pub fn write_engine_rows(
     file.write_all(render_engine_rows(threads, rows).as_bytes())
 }
 
-/// Renders the STA engine-comparison document.
-pub fn render_sta_rows(threads: usize, rows: &[StaBenchRow]) -> String {
+/// Renders the STA engine-comparison document: the timing `rows` plus
+/// the schema-v3 `accuracy` section (pass `&[]` to omit the study).
+pub fn render_sta_rows(
+    threads: usize,
+    rows: &[StaBenchRow],
+    accuracy: &[StaAccuracyRow],
+) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"schema\": \"{STA_BENCH_SCHEMA}\",\n"));
@@ -188,6 +220,21 @@ pub fn render_sta_rows(threads: usize, rows: &[StaBenchRow]) -> String {
             if i + 1 < rows.len() { "," } else { "" },
         ));
     }
+    out.push_str("  ],\n");
+    out.push_str("  \"accuracy\": [\n");
+    for (i, row) in accuracy.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"design\": \"{}\", \"sampling\": \"{}\", \"samples\": {}, \
+             \"q01_abs_err_ps\": {}, \"q001_abs_err_ps\": {}, \"mean_abs_err_ps\": {}}}{}\n",
+            escape(&row.design),
+            escape(&row.sampling),
+            row.samples,
+            number(row.q01_abs_err_ps),
+            number(row.q001_abs_err_ps),
+            number(row.mean_abs_err_ps),
+            if i + 1 < accuracy.len() { "," } else { "" },
+        ));
+    }
     out.push_str("  ]\n}\n");
     out
 }
@@ -198,9 +245,14 @@ pub fn render_sta_rows(threads: usize, rows: &[StaBenchRow]) -> String {
 ///
 /// Propagates filesystem errors (callers report and continue — a missing
 /// artifact must not fail the benchmark itself).
-pub fn write_sta_rows(path: &Path, threads: usize, rows: &[StaBenchRow]) -> std::io::Result<()> {
+pub fn write_sta_rows(
+    path: &Path,
+    threads: usize,
+    rows: &[StaBenchRow],
+    accuracy: &[StaAccuracyRow],
+) -> std::io::Result<()> {
     let mut file = std::fs::File::create(path)?;
-    file.write_all(render_sta_rows(threads, rows).as_bytes())
+    file.write_all(render_sta_rows(threads, rows, accuracy).as_bytes())
 }
 
 /// Renders the warm-service document.
@@ -312,6 +364,26 @@ pub fn parse_speedups(doc: &str) -> Vec<RecordedSpeedup> {
         .collect()
 }
 
+/// Reads the sampling-accuracy rows back out of a schema-v3 STA
+/// document. Same line-oriented contract as [`parse_speedups`]: rows of
+/// the `accuracy` section carry a `sampling` string field that timing
+/// rows lack, so the two sections never shadow each other, and a line
+/// missing any required field is skipped.
+pub fn parse_accuracy(doc: &str) -> Vec<StaAccuracyRow> {
+    doc.lines()
+        .filter_map(|line| {
+            Some(StaAccuracyRow {
+                design: str_field(line, "design")?,
+                sampling: str_field(line, "sampling")?,
+                samples: num_field(line, "samples")? as usize,
+                q01_abs_err_ps: num_field(line, "q01_abs_err_ps")?,
+                q001_abs_err_ps: num_field(line, "q001_abs_err_ps")?,
+                mean_abs_err_ps: num_field(line, "mean_abs_err_ps")?,
+            })
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,15 +446,30 @@ mod tests {
         }
     }
 
+    fn accuracy_row() -> StaAccuracyRow {
+        StaAccuracyRow {
+            design: "T6 composite 70%".to_string(),
+            sampling: "tail-is".to_string(),
+            samples: 500,
+            q01_abs_err_ps: 1.298,
+            q001_abs_err_ps: 1.656,
+            mean_abs_err_ps: 1.9826,
+        }
+    }
+
     #[test]
     fn renders_sta_schema() {
-        let doc = render_sta_rows(1, &[sta_row()]);
-        assert!(doc.contains("\"schema\": \"postopc-bench-sta-v2\""));
+        let doc = render_sta_rows(1, &[sta_row()], &[accuracy_row()]);
+        assert!(doc.contains("\"schema\": \"postopc-bench-sta-v3\""));
         assert!(doc.contains("\"samples\": 2000"));
         assert!(doc.contains("\"identical\": true"));
         assert!(doc.contains("\"speedup\": 8"));
         assert!(doc.contains("\"shift_hits\": 123456"));
         assert!(doc.contains("\"shift_misses\": 789"));
+        assert!(doc.contains("\"accuracy\": ["));
+        assert!(doc.contains("\"sampling\": \"tail-is\""));
+        assert!(doc.contains("\"q01_abs_err_ps\": 1.298"));
+        assert!(doc.contains("\"q001_abs_err_ps\": 1.656"));
         assert!(!doc.contains("}},\n  ]"));
     }
 
@@ -391,9 +478,9 @@ mod tests {
         let dir = std::env::temp_dir().join("postopc_json_test");
         std::fs::create_dir_all(&dir).expect("temp dir");
         let path = dir.join("BENCH_sta.json");
-        write_sta_rows(&path, 1, &[sta_row()]).expect("write");
+        write_sta_rows(&path, 1, &[sta_row()], &[accuracy_row()]).expect("write");
         let read = std::fs::read_to_string(&path).expect("read back");
-        assert_eq!(read, render_sta_rows(1, &[sta_row()]));
+        assert_eq!(read, render_sta_rows(1, &[sta_row()], &[accuracy_row()]));
         let _ = std::fs::remove_file(&path);
     }
 
@@ -406,11 +493,23 @@ mod tests {
         assert_eq!(parsed[0].engine, "context cache");
         assert_eq!(parsed[0].samples, None);
         assert_eq!(parsed[0].speedup, 15.5);
-        let sta_doc = render_sta_rows(1, &[sta_row()]);
+        let sta_doc = render_sta_rows(1, &[sta_row()], &[accuracy_row()]);
         let parsed = parse_speedups(&sta_doc);
         assert_eq!(parsed.len(), 1);
         assert_eq!(parsed[0].samples, Some(2000));
         assert_eq!(parsed[0].speedup, 8.0);
+    }
+
+    #[test]
+    fn parse_accuracy_round_trips_and_ignores_timing_rows() {
+        let doc = render_sta_rows(1, &[sta_row()], &[accuracy_row(), accuracy_row()]);
+        let parsed = parse_accuracy(&doc);
+        assert_eq!(parsed.len(), 2);
+        assert_eq!(parsed[0], accuracy_row());
+        // Timing rows carry no `sampling` field; an accuracy-free (or
+        // pre-v3) document parses to an empty study.
+        assert!(parse_accuracy(&render_sta_rows(1, &[sta_row()], &[])).is_empty());
+        assert!(parse_accuracy("not json at all").is_empty());
     }
 
     #[test]

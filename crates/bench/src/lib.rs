@@ -18,6 +18,70 @@ pub mod json;
 pub mod timing;
 
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
+use postopc_sta::{statistical, CdAnnotation, CompiledSta, MonteCarloConfig, Sampling};
+
+/// Slow-corner tilt budget of the gated tail-IS rows — kept equal to the
+/// `postopc serve --tilt` default so the recorded accuracy numbers
+/// describe the configuration users actually get.
+pub const TAIL_TILT: f64 = 1.2;
+
+/// Runs the sampling-accuracy study behind the `accuracy` section of
+/// `BENCH_sta.json` (schema v3): q01 / q001 / mean absolute worst-slack
+/// errors of plain, antithetic and tail-tilted importance sampling at
+/// 500 and 2000 samples, against a 16384-sample plain reference over
+/// ten fixed seeds. Deterministic and thread-invariant, so the recorded
+/// artifact regenerates bit-identically on any machine.
+///
+/// # Panics
+///
+/// Panics if a Monte Carlo run fails (binary-harness context).
+pub fn sta_accuracy_rows(
+    design_name: &str,
+    compiled: &CompiledSta<'_>,
+    systematic: Option<&CdAnnotation>,
+) -> Vec<json::StaAccuracyRow> {
+    let base = MonteCarloConfig {
+        sigma_nm: 1.5,
+        seed: 17,
+        ..MonteCarloConfig::default()
+    };
+    let schemes = [
+        ("plain", Sampling::Plain),
+        ("antithetic", Sampling::Antithetic),
+        ("tail-is", Sampling::TailIs { tilt: TAIL_TILT }),
+    ];
+    let mut points = Vec::new();
+    for &(_, sampling) in &schemes {
+        for samples in [500usize, 2000] {
+            points.push((sampling, samples));
+        }
+    }
+    let study = statistical::convergence_study(
+        compiled,
+        systematic,
+        &base,
+        16_384,
+        &points,
+        &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
+    )
+    .expect("accuracy study");
+    study
+        .iter()
+        .zip(&points)
+        .map(|(point, &(sampling, _))| json::StaAccuracyRow {
+            design: design_name.to_string(),
+            sampling: schemes
+                .iter()
+                .find(|(_, s)| *s == sampling)
+                .map(|(name, _)| (*name).to_string())
+                .expect("scheme label"),
+            samples: point.samples,
+            q01_abs_err_ps: point.q01_abs_err_ps,
+            q001_abs_err_ps: point.q001_abs_err_ps,
+            mean_abs_err_ps: point.mean_abs_err_ps,
+        })
+        .collect()
+}
 
 /// Compiles the composite evaluation design (adder + multiplier + random
 /// logic; see [`generate::paper_testcase`]).

@@ -140,15 +140,32 @@ pub fn render_serve_report(report: &crate::ServeReport) -> String {
                         .collect::<Vec<_>>()
                         .join(", "),
                 ),
-                crate::QueryOutcome::MonteCarlo(mc) => (
-                    "monte carlo",
-                    format!(
-                        "{} samples, mean delay {:.1} ps, p1 slack {:.1} ps",
-                        mc.worst_slacks_ps().len(),
-                        mc.mean_critical_delay_ps(),
-                        mc.worst_slack_quantile_ps(0.01)
-                    ),
-                ),
+                crate::QueryOutcome::MonteCarlo(mc) => {
+                    let scheme = match mc.sampling() {
+                        postopc_sta::Sampling::Plain => String::new(),
+                        postopc_sta::Sampling::Antithetic => " [antithetic]".into(),
+                        postopc_sta::Sampling::Stratified => " [stratified]".into(),
+                        postopc_sta::Sampling::TailIs { tilt } => {
+                            format!(" [tail-IS tilt {tilt:.2}]")
+                        }
+                    };
+                    let mean_ps = if mc.control_values_ps().is_empty() {
+                        format!("mean slack {:.1} ps", mc.mean_worst_slack_ps())
+                    } else {
+                        format!(
+                            "CV-adjusted mean slack {:.1} ps",
+                            mc.cv_adjusted_mean_worst_slack_ps()
+                        )
+                    };
+                    (
+                        "monte carlo",
+                        format!(
+                            "{} samples{scheme}, {mean_ps}, p1 slack {:.1} ps",
+                            mc.worst_slacks_ps().len(),
+                            mc.worst_slack_quantile_ps(0.01)
+                        ),
+                    )
+                }
                 crate::QueryOutcome::WhatIf(r) => (
                     "what-if",
                     format!(
@@ -162,6 +179,13 @@ pub fn render_serve_report(report: &crate::ServeReport) -> String {
         })
         .collect();
     let mut out = render_table("warm service queries", &["#", "query", "answer"], &rows);
+    for (i, outcome) in report.outcomes.iter().enumerate() {
+        if let crate::QueryOutcome::MonteCarlo(mc) = outcome {
+            if let Some(caveat) = mc.tail_quantile_caveat(0.01) {
+                out.push_str(&format!("warning (query {}): {caveat}\n", i + 1));
+            }
+        }
+    }
     out.push_str(&format!(
         "session: {} startup {:.3} s, {} queries in {:.3} s\n",
         if report.warm { "warm" } else { "cold" },

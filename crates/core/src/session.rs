@@ -491,6 +491,55 @@ mod tests {
     }
 
     #[test]
+    fn tail_is_round_trips_warm_session_bit_identically() {
+        // A tail-targeted importance-sampled query (with the control
+        // variate on) through a warm restored session must equal the cold
+        // run bit for bit — weights and control values included. The
+        // tilt plan is re-derived from the restored compiled state, so
+        // this proves the whole sensitivity pass is artifact-stable.
+        let d = design();
+        let cfg = fast_config(Selection::Critical { paths: 3 });
+        let model = TimingModel::new(&d, cfg.process.clone(), cfg.clock_ps).expect("model");
+        let mut cold = TimingSession::new(&model, &cfg).expect("cold session");
+        let mc = MonteCarloConfig {
+            samples: 48,
+            sigma_nm: 1.5,
+            seed: 19,
+            sampling: postopc_sta::Sampling::TailIs { tilt: 1.2 },
+            control_variate: true,
+            ..MonteCarloConfig::default()
+        };
+        let direct = statistical::run(&model, Some(cold.annotation()), &mc).expect("direct mc");
+        assert_eq!(direct.weights().len(), 48, "IS must attach weights");
+        assert_eq!(direct.control_values_ps().len(), 48);
+
+        let bytes = cold.artifact().to_bytes();
+        let restored = WarmArtifact::from_bytes(&bytes).expect("parse");
+        let mut warm = TimingSession::restore(&model, &cfg, restored).expect("warm session");
+        for session in [&mut cold, &mut warm] {
+            match session
+                .run(&SessionQuery::MonteCarlo(mc.clone()))
+                .expect("query")
+            {
+                QueryOutcome::MonteCarlo(mc_out) => {
+                    assert_eq!(mc_out, direct);
+                    for (a, b) in mc_out.weights().iter().zip(direct.weights()) {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                    for (a, b) in mc_out
+                        .control_values_ps()
+                        .iter()
+                        .zip(direct.control_values_ps())
+                    {
+                        assert_eq!(a.to_bits(), b.to_bits());
+                    }
+                }
+                other => panic!("expected Monte Carlo outcome, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
     fn what_if_is_bit_identical_and_rolls_back() {
         let d = design();
         let cfg = fast_config(Selection::Critical { paths: 2 });

@@ -79,6 +79,21 @@ pub struct SampleTiming {
     pub leakage_ua: f64,
 }
 
+/// Per-gate sensitivities produced by [`CompiledSta::gate_sensitivities`]
+/// — the inputs tail-targeted (importance-sampled) Monte Carlo derives
+/// its per-gate tilt from.
+#[derive(Debug, Clone)]
+pub struct GateSensitivity {
+    /// Worst endpoint slack of the zero-shift baseline, in ps.
+    pub worst_slack_ps: f64,
+    /// Slack of each gate's output net (`required − arrival`;
+    /// `INFINITY` when no endpoint constrains the net), in ps.
+    pub slack_ps: Vec<f64>,
+    /// Central-difference derivative of each gate's stage delay with
+    /// respect to a uniform channel-length shift, in ps per nm.
+    pub ddelay_dl_ps_per_nm: Vec<f64>,
+}
+
 /// The per-gate base ensembles of a Monte Carlo run, deduplicated into
 /// distinct cells — built once per run by [`CompiledSta::sample_cells`]
 /// and consumed by [`CompiledSta::evaluate_shifted`].
@@ -1413,6 +1428,84 @@ impl<'m> CompiledSta<'m> {
         }
     }
 
+    /// Per-gate tail-sampling sensitivities: one zero-shift baseline
+    /// evaluation (forward arrivals plus the backward required-time
+    /// relaxation — the "extra backward pass"), then per gate:
+    ///
+    /// - `slack_ps[gi]`: the slack of the gate's output net
+    ///   (`required − arrival`; `INFINITY` when no endpoint constrains
+    ///   it) — the criticality signal;
+    /// - `ddelay_dl_ps_per_nm[gi]`: the central-difference derivative of
+    ///   the gate's stage delay (NLDM table plus Elmore wire excess, the
+    ///   exact formula [`Self::propagate`] uses) with respect to a
+    ///   uniform channel-length shift of ±`step_nm`, evaluated at the
+    ///   gate's baseline input slew and sink load. Loading feedback
+    ///   through neighbour input caps is second-order and ignored — the
+    ///   derivative seeds a sampling tilt, not a timing result.
+    ///
+    /// The device model runs twice per *distinct cell* (±`step_nm`), not
+    /// per gate, so the pass costs about two corner characterizations.
+    /// Everything is computed serially in gate order from deterministic
+    /// inputs, so the result is identical for any thread count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates device errors for non-physical shifted dimensions.
+    pub fn gate_sensitivities(
+        &self,
+        scratch: &mut StaScratch,
+        cells: &SampleCells,
+        step_nm: f64,
+    ) -> Result<GateSensitivity> {
+        let baseline = self.evaluate_shifted(scratch, cells, None, |_| (0, 0.0))?;
+
+        // ±step characterizations, once per distinct cell.
+        let n_cells = cells.cells.len();
+        let mut plus = Vec::with_capacity(n_cells);
+        let mut minus = Vec::with_capacity(n_cells);
+        for cell in 0..n_cells as u32 {
+            plus.push(self.characterize_shift(cells, cell, step_nm, scratch)?);
+            minus.push(self.characterize_shift(cells, cell, -step_nm, scratch)?);
+        }
+
+        let netlist = self.model.design().netlist();
+        let n_gates = netlist.gate_count();
+        let mut slack_ps = Vec::with_capacity(n_gates);
+        let mut ddelay = Vec::with_capacity(n_gates);
+        for (gi, gate) in netlist.gates().iter().enumerate() {
+            let out = gate.output.0 as usize;
+            slack_ps.push(scratch.requireds[out] - scratch.arrivals[out]);
+            let slew_in = if gate.kind.is_sequential() {
+                CLOCK_SLEW_PS
+            } else {
+                gate.inputs
+                    .iter()
+                    .map(|n| scratch.slews[n.0 as usize])
+                    .fold(0.0, f64::max)
+            };
+            let wire = self.drawn_wires[out].as_ref();
+            let sink_cap = scratch.sink_cap[out];
+            let stage_delay = |t: &CellTiming| {
+                let c_sinks = sink_cap + t.output_cap_ff;
+                let (table_delay, _) = t.nldm.delay_and_slew_ps(slew_in, c_sinks);
+                match wire {
+                    Some(w) => {
+                        let r = t.drive_r_kohm();
+                        table_delay + (w.elmore_delay_ps(r, c_sinks) - r * c_sinks)
+                    }
+                    None => table_delay,
+                }
+            };
+            let cell = cells.cell_of_gate[gi] as usize;
+            ddelay.push((stage_delay(&plus[cell]) - stage_delay(&minus[cell])) / (2.0 * step_nm));
+        }
+        Ok(GateSensitivity {
+            worst_slack_ps: baseline.worst_slack_ps,
+            slack_ps,
+            ddelay_dl_ps_per_nm: ddelay,
+        })
+    }
+
     /// Per-endpoint worst slacks, most critical first — the dense-array
     /// equivalent of `analyze`'s HashMap min-combine. The final sort key
     /// `(slack, NetId)` is a total order over unique net ids, so the
@@ -1634,6 +1727,49 @@ mod tests {
         let noop = compiled.evaluate_eco(&mut warm, None, None).expect("noop");
         assert_eq!(noop, drawn);
         assert!(warm.eco_gate_dirty.iter().all(|&dirty| !dirty));
+    }
+
+    #[test]
+    fn gate_sensitivities_match_baseline_and_point_slow() {
+        let d = design();
+        let model = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let compiled = model.compile().expect("compile");
+        let bases: Vec<Vec<_>> = (0..d.netlist().gate_count())
+            .map(|gi| compiled.base_records(GateId(gi as u32)).to_vec())
+            .collect();
+        let cells = compiled.sample_cells(&bases);
+        let mut scratch = compiled.scratch();
+        let report = compiled.evaluate(&mut scratch, None).expect("report");
+        let sens = compiled
+            .gate_sensitivities(&mut scratch, &cells, 0.125)
+            .expect("sensitivities");
+        let n = d.netlist().gate_count();
+        assert_eq!(sens.slack_ps.len(), n);
+        assert_eq!(sens.ddelay_dl_ps_per_nm.len(), n);
+        // The baseline of the pass is the drawn analysis.
+        assert_eq!(sens.worst_slack_ps, report.worst_slack_ps());
+        // Net slacks are bounded below by the worst endpoint slack, and
+        // the worst path's driver attains it.
+        let min = sens.slack_ps.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(sens
+            .slack_ps
+            .iter()
+            .all(|s| *s >= sens.worst_slack_ps - 1e-9));
+        assert!((min - sens.worst_slack_ps).abs() < 1e-6);
+        // Longer channels are slower: the derivative is positive for the
+        // bulk of the design (every gate, for this library).
+        let positive = sens
+            .ddelay_dl_ps_per_nm
+            .iter()
+            .filter(|d| **d > 0.0)
+            .count();
+        assert!(positive * 2 > n, "{positive} of {n} gates slow with L");
+        // Deterministic: a second pass reproduces identical bits.
+        let again = compiled
+            .gate_sensitivities(&mut scratch, &cells, 0.125)
+            .expect("again");
+        assert_eq!(sens.slack_ps, again.slack_ps);
+        assert_eq!(sens.ddelay_dl_ps_per_nm, again.ddelay_dl_ps_per_nm);
     }
 
     #[test]

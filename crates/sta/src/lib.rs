@@ -49,7 +49,7 @@ pub mod statistical;
 
 pub use annotate::{CdAnnotation, GateAnnotation, NetAnnotation, TransistorCd};
 pub use compiled::{
-    CompiledSta, SampleCells, SampleTiming, SharedShiftCache, StaScratch, LANES,
+    CompiledSta, GateSensitivity, SampleCells, SampleTiming, SharedShiftCache, StaScratch, LANES,
     SHIFT_CACHE_CAP_DEFAULT, SHIFT_CACHE_CAP_ENV,
 };
 pub use corners::{

@@ -13,13 +13,20 @@
 //! bit-identical to the scalar engine and to [`run_reference`] (one
 //! [`TimingModel::analyze`] per sample) for the same sample stream.
 //!
-//! Three [`Sampling`] schemes share one inverse-CDF sampler: plain
-//! independent draws, antithetic pairing (sample `2p + 1` negates the
-//! normals of sample `2p`, cancelling odd error terms), and stratified
-//! Latin-hypercube sampling (each gate's `n` draws occupy all `n`
-//! equiprobable strata exactly once, in a per-gate deterministic random
-//! order). All are deterministic given the config and thread-count
-//! invariant, via per-sample seed splitting.
+//! Four [`Sampling`] schemes share one inverse-CDF sampler (the Acklam
+//! inverse normal CDF now lives in [`postopc_rng`], next to the streams
+//! it inverts): plain independent draws, antithetic pairing (sample
+//! `2p + 1` negates the normals of sample `2p`, cancelling odd error
+//! terms), stratified Latin-hypercube sampling (each gate's `n` draws
+//! occupy all `n` equiprobable strata exactly once, in a per-gate
+//! deterministic random order), and tail-targeted importance sampling
+//! ([`Sampling::TailIs`]: per-gate draws tilted toward the slow corner
+//! along a criticality-weighted sensitivity direction, with exact
+//! per-sample log-likelihood-ratio reweighting and self-normalized
+//! weighted estimation). A linearized first-order control variate
+//! ([`MonteCarloConfig::control_variate`]) composes with every scheme
+//! and both engines. All are deterministic given the config and
+//! thread-count invariant, via per-sample seed splitting.
 
 use crate::annotate::{CdAnnotation, GateAnnotation, TransistorCd};
 use crate::compiled::{CompiledSta, SampleCells, LANES};
@@ -27,10 +34,13 @@ use crate::error::{Result, StaError};
 use crate::graph::TimingModel;
 use postopc_layout::GateId;
 use postopc_rng::rngs::StdRng;
-use postopc_rng::{split_seed, unit_range_f64, LaneRng, RngExt, SeedableRng};
+use postopc_rng::{
+    normal_quantile, normal_quantile_central, split_seed, unit_range_f64, LaneRng, RngExt,
+    SeedableRng, NORMAL_QUANTILE_P_LOW as P_LOW,
+};
 
 /// How per-gate CD shifts are sampled across the run.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum Sampling {
     /// Independent standard-normal draws per sample (the baseline).
     #[default]
@@ -45,8 +55,30 @@ pub enum Sampling {
     /// jitter inside each of the `n` equiprobable strata of the normal
     /// CDF, visited in a per-gate deterministic random order. Every
     /// marginal is sampled with near-zero stratum imbalance, which
-    /// collapses the variance of quantile estimates.
+    /// collapses the variance of quantile estimates — of the *mean* and
+    /// central quantiles; deep-tail order statistics stay biased low at
+    /// small `n` (see [`MonteCarloResult::tail_quantile_caveat`]).
     Stratified,
+    /// Tail-targeted importance sampling: every gate's draw distribution
+    /// is shifted from `N(0, 1)` to `N(μ_g, 1)`, where the per-gate means
+    /// `μ_g` point along the criticality-weighted slack-sensitivity
+    /// direction (one extra backward pass over the compiled model, see
+    /// [`crate::CompiledSta::gate_sensitivities`]) with
+    /// `Σ μ_g² = tilt²` — so `tilt` is both the slow-corner push in
+    /// z-units and the standard deviation of the per-sample
+    /// log-likelihood ratio (the weight-degeneracy budget). Each sample
+    /// carries the exact log-likelihood ratio
+    /// `log w = Σ_g (μ_g²/2 − μ_g z_g)` against the nominal density, and
+    /// estimates are self-normalized weighted statistics
+    /// ([`MonteCarloResult::weights`]), which concentrates samples — and
+    /// so estimator accuracy — on the slow tail the guardband quantiles
+    /// read.
+    TailIs {
+        /// Slow-corner tilt in z-units (`0` degenerates to plain
+        /// sampling with unit weights up to rounding; `1.0..=1.5` is the
+        /// productive range for q01/q001 estimation).
+        tilt: f64,
+    },
 }
 
 /// Which evaluation engine a Monte Carlo run uses. Both are bit-identical
@@ -77,6 +109,15 @@ pub struct MonteCarloConfig {
     pub sampling: Sampling,
     /// Evaluation engine (bit-identical either way; batched is faster).
     pub engine: McEngine,
+    /// Attach the linearized first-order worst slack (sensitivity
+    /// gradient dot sampled shifts) as a control variate: it is exactly
+    /// integrable against the nominal normal (`E[C] = 0`), and the
+    /// optimal coefficient `β = Cov(Y, C) / Var(C)` is estimated online
+    /// from the run itself, so
+    /// [`MonteCarloResult::cv_adjusted_mean_worst_slack_ps`] subtracts
+    /// the linear part of the sampling noise. Composes with every
+    /// [`Sampling`] scheme and both engines.
+    pub control_variate: bool,
 }
 
 impl Default for MonteCarloConfig {
@@ -88,6 +129,7 @@ impl Default for MonteCarloConfig {
             threads: None,
             sampling: Sampling::Plain,
             engine: McEngine::Batched,
+            control_variate: false,
         }
     }
 }
@@ -126,18 +168,33 @@ pub struct MonteCarloResult {
     /// Worst slacks sorted ascending, computed once at construction so
     /// quantile queries are O(1) instead of a clone+sort per call.
     sorted_worst_slacks_ps: Vec<f64>,
+    /// Self-normalized importance weights in sample order; empty means
+    /// every sample carries weight `1/n` (all non-IS schemes).
+    weights: Vec<f64>,
+    /// The weights realigned to `sorted_worst_slacks_ps` (same length
+    /// regime as `weights`).
+    sorted_weights: Vec<f64>,
+    /// Per-sample control-variate values in ps (the linearized
+    /// first-order worst slack); empty when the run had no CV.
+    control_ps: Vec<f64>,
+    /// Sampling scheme that produced the run — lets consumers fence
+    /// scheme-specific caveats (see [`Self::tail_quantile_caveat`]).
+    sampling: Sampling,
     cache_stats: ShiftCacheStats,
 }
 
-/// Result equality is over the sampled distributions only (worst slacks,
-/// critical delays, leakages, in sample order). [`ShiftCacheStats`] is a
-/// scheduling-dependent diagnostic, so two bit-identical runs on
-/// different thread counts still compare equal.
+/// Result equality is over the sampled distributions and the attached
+/// estimator state (importance weights, control-variate values), in
+/// sample order. [`ShiftCacheStats`] is a scheduling-dependent
+/// diagnostic, so two bit-identical runs on different thread counts
+/// still compare equal.
 impl PartialEq for MonteCarloResult {
     fn eq(&self, other: &Self) -> bool {
         self.worst_slacks_ps == other.worst_slacks_ps
             && self.critical_delays_ps == other.critical_delays_ps
             && self.leakages_ua == other.leakages_ua
+            && self.weights == other.weights
+            && self.control_ps == other.control_ps
     }
 }
 
@@ -155,6 +212,10 @@ impl MonteCarloResult {
             critical_delays_ps,
             leakages_ua,
             sorted_worst_slacks_ps,
+            weights: Vec::new(),
+            sorted_weights: Vec::new(),
+            control_ps: Vec::new(),
+            sampling: Sampling::Plain,
             cache_stats: ShiftCacheStats::default(),
         }
     }
@@ -162,6 +223,50 @@ impl MonteCarloResult {
     /// [`Self::new`] with the run's shift-cache counters attached.
     pub fn with_cache_stats(mut self, cache_stats: ShiftCacheStats) -> MonteCarloResult {
         self.cache_stats = cache_stats;
+        self
+    }
+
+    /// [`Self::new`] with the producing sampling scheme recorded.
+    pub fn with_sampling(mut self, sampling: Sampling) -> MonteCarloResult {
+        self.sampling = sampling;
+        self
+    }
+
+    /// Attaches per-sample log-likelihood ratios of an importance-sampled
+    /// run: weights are self-normalized ([`normalize_log_weights`],
+    /// serially in sample order, so they are identical for any thread
+    /// count) and every mean/quantile query becomes weighted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `log_weights` does not cover every sample.
+    pub fn with_log_weights(mut self, log_weights: &[f64]) -> MonteCarloResult {
+        assert_eq!(
+            log_weights.len(),
+            self.worst_slacks_ps.len(),
+            "one log weight per sample"
+        );
+        let weights = normalize_log_weights(log_weights);
+        let (sorted, sorted_weights) =
+            crate::quantile::sorted_with_weights(&self.worst_slacks_ps, &weights);
+        self.sorted_worst_slacks_ps = sorted;
+        self.sorted_weights = sorted_weights;
+        self.weights = weights;
+        self
+    }
+
+    /// Attaches per-sample control-variate values (ps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `control_ps` does not cover every sample.
+    pub fn with_control(mut self, control_ps: Vec<f64>) -> MonteCarloResult {
+        assert_eq!(
+            control_ps.len(),
+            self.worst_slacks_ps.len(),
+            "one control value per sample"
+        );
+        self.control_ps = control_ps;
         self
     }
 
@@ -186,14 +291,102 @@ impl MonteCarloResult {
         &self.leakages_ua
     }
 
-    /// Mean of the worst-slack distribution, in ps.
-    pub fn mean_worst_slack_ps(&self) -> f64 {
-        mean(&self.worst_slacks_ps)
+    /// Self-normalized importance weights in sample order (they sum to 1
+    /// by construction); empty for unit-weight runs, where every sample
+    /// effectively weighs `1/n`.
+    pub fn weights(&self) -> &[f64] {
+        &self.weights
     }
 
-    /// Standard deviation of the worst-slack distribution, in ps.
+    /// Per-sample control-variate values in ps (the linearized
+    /// first-order worst slack); empty when the run had no CV attached.
+    pub fn control_values_ps(&self) -> &[f64] {
+        &self.control_ps
+    }
+
+    /// The sampling scheme that produced this result.
+    pub fn sampling(&self) -> Sampling {
+        self.sampling
+    }
+
+    /// Weighted mean of `v` under the run's (self-normalized) importance
+    /// weights; the plain mean for unit-weight runs.
+    fn weighted_mean(&self, v: &[f64]) -> f64 {
+        if self.weights.is_empty() {
+            mean(v)
+        } else {
+            self.weights.iter().zip(v).map(|(w, x)| w * x).sum()
+        }
+    }
+
+    /// Mean of the worst-slack distribution, in ps — the self-normalized
+    /// weighted mean for importance-sampled runs.
+    pub fn mean_worst_slack_ps(&self) -> f64 {
+        self.weighted_mean(&self.worst_slacks_ps)
+    }
+
+    /// The control-variate-adjusted mean worst slack, in ps:
+    /// `Ȳ_w − β · C̄_w` with `β = Cov_w(Y, C) / Var_w(C)` estimated
+    /// online from the run (the optimal linear coefficient) and
+    /// `E[C] = 0` exactly under the nominal normal — so on a model whose
+    /// worst slack is exactly linear in the sampled shifts, the adjusted
+    /// mean reproduces the deterministic value up to rounding, for *any*
+    /// seed. Falls back to [`Self::mean_worst_slack_ps`] when the run
+    /// carried no control variate or `Var(C)` is degenerate.
+    pub fn cv_adjusted_mean_worst_slack_ps(&self) -> f64 {
+        if self.control_ps.is_empty() {
+            return self.mean_worst_slack_ps();
+        }
+        let y_bar = self.weighted_mean(&self.worst_slacks_ps);
+        let c_bar = self.weighted_mean(&self.control_ps);
+        let n = self.worst_slacks_ps.len();
+        let uniform = 1.0 / n.max(1) as f64;
+        let mut var_c = 0.0;
+        let mut cov = 0.0;
+        for i in 0..n {
+            let w = if self.weights.is_empty() {
+                uniform
+            } else {
+                self.weights[i]
+            };
+            let dc = self.control_ps[i] - c_bar;
+            var_c += w * dc * dc;
+            cov += w * (self.worst_slacks_ps[i] - y_bar) * dc;
+        }
+        let beta = if var_c > f64::MIN_POSITIVE {
+            cov / var_c
+        } else {
+            0.0
+        };
+        y_bar - beta * c_bar
+    }
+
+    /// Standard deviation of the worst-slack distribution, in ps (the
+    /// weighted deviation for importance-sampled runs).
     pub fn std_worst_slack_ps(&self) -> f64 {
-        std(&self.worst_slacks_ps)
+        if self.weights.is_empty() {
+            return std(&self.worst_slacks_ps);
+        }
+        let m = self.mean_worst_slack_ps();
+        self.weights
+            .iter()
+            .zip(&self.worst_slacks_ps)
+            .map(|(w, x)| w * (x - m) * (x - m))
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// The documented caveat, if any, of asking this run for the `q`
+    /// tail quantile. Stratified-LHS runs estimate deep-tail order
+    /// statistics (`q` outside `0.05..=0.95`) biased low at small `n`
+    /// (EXPERIMENTS.md caveat 7) — callers rendering reports surface
+    /// this string next to the number; [`Sampling::TailIs`] is the
+    /// estimator built for those quantiles.
+    pub fn tail_quantile_caveat(&self, q: f64) -> Option<&'static str> {
+        (matches!(self.sampling, Sampling::Stratified) && !(0.05..=0.95).contains(&q)).then_some(
+            "stratified-LHS deep-tail quantiles are biased low at small n \
+             (EXPERIMENTS.md caveat 7); use Sampling::TailIs for tail estimates",
+        )
     }
 
     /// The `q`-quantile (0..=1) of the worst-slack distribution, in ps.
@@ -204,12 +397,24 @@ impl MonteCarloResult {
     /// `x[⌊h⌋] + (h - ⌊h⌋) · (x[⌊h⌋+1] - x[⌊h⌋])`. `q = 0` and `q = 1`
     /// return the sample extremes exactly.
     ///
+    /// Importance-sampled runs answer with the self-normalized weighted
+    /// type-7 estimator instead
+    /// ([`crate::quantile::weighted_quantile_of_sorted`]).
+    ///
     /// # Panics
     ///
     /// Panics if the result is empty (configs with `samples == 0` are
     /// rejected up front).
     pub fn worst_slack_quantile_ps(&self, q: f64) -> f64 {
-        crate::quantile::quantile_of_sorted(&self.sorted_worst_slacks_ps, q)
+        if self.weights.is_empty() {
+            crate::quantile::quantile_of_sorted(&self.sorted_worst_slacks_ps, q)
+        } else {
+            crate::quantile::weighted_quantile_of_sorted(
+                &self.sorted_worst_slacks_ps,
+                &self.sorted_weights,
+                q,
+            )
+        }
     }
 
     /// [`Self::worst_slack_quantile_ps`] for several quantiles against the
@@ -221,7 +426,9 @@ impl MonteCarloResult {
     /// Panics if the result is empty (configs with `samples == 0` are
     /// rejected up front).
     pub fn worst_slack_quantiles_ps(&self, qs: &[f64]) -> Vec<f64> {
-        crate::quantile::quantiles_of_sorted(&self.sorted_worst_slacks_ps, qs)
+        qs.iter()
+            .map(|&q| self.worst_slack_quantile_ps(q))
+            .collect()
     }
 
     /// Mean critical delay, in ps.
@@ -244,6 +451,31 @@ fn std(v: &[f64]) -> f64 {
     (v.iter().map(|x| (x - m).powi(2)).sum::<f64>() / v.len().max(1) as f64).sqrt()
 }
 
+/// Self-normalizes per-sample log-likelihood ratios into weights that sum
+/// to 1: the running maximum is subtracted before exponentiation (so the
+/// largest weight exponentiates exactly 0 and nothing overflows), then
+/// the exponentials are normalized by their serial sample-order sum.
+/// Every step is serial and deterministic, so the weights are identical
+/// for any thread count. Degenerate inputs (empty, or all `-inf`)
+/// produce uniform weights.
+#[must_use]
+pub fn normalize_log_weights(log_weights: &[f64]) -> Vec<f64> {
+    let n = log_weights.len();
+    let max = log_weights
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !max.is_finite() {
+        return vec![1.0 / n.max(1) as f64; n];
+    }
+    let mut w: Vec<f64> = log_weights.iter().map(|lw| (lw - max).exp()).collect();
+    let total: f64 = w.iter().sum();
+    for x in &mut w {
+        *x /= total;
+    }
+    w
+}
+
 fn validate(config: &MonteCarloConfig) -> Result<()> {
     if config.samples == 0 {
         return Err(StaError::InvalidMonteCarlo("samples must be > 0".into()));
@@ -253,6 +485,13 @@ fn validate(config: &MonteCarloConfig) -> Result<()> {
             "sigma must be finite and non-negative, got {}",
             config.sigma_nm
         )));
+    }
+    if let Sampling::TailIs { tilt } = config.sampling {
+        if !(tilt.is_finite() && tilt >= 0.0) {
+            return Err(StaError::InvalidMonteCarlo(format!(
+                "TailIs tilt must be finite and non-negative, got {tilt}"
+            )));
+        }
     }
     Ok(())
 }
@@ -335,16 +574,139 @@ pub fn run_with(
     let cells = compiled.sample_cells(&bases);
     let threads = postopc_parallel::effective_threads(config.threads);
     let plan = stratified_plan(config, bases.len());
+    let tilt = tilt_plan(compiled, &cells, config)?;
     let sampler = ShiftSampler {
         sigma_nm: config.sigma_nm,
         seed: config.seed,
         sampling: config.sampling,
         plan: plan.as_ref(),
+        mu: tilt_mu(config, tilt.as_ref()),
+        cv: tilt_cv(config, tilt.as_ref()),
     };
     match config.engine {
         McEngine::Scalar => run_scalar(compiled, &cells, &sampler, config, threads),
         McEngine::Batched => run_batched(compiled, &cells, &sampler, config, threads),
     }
+}
+
+/// The per-gate proposal means of an importance-sampled config (`None`
+/// for every other scheme).
+fn tilt_mu<'a>(config: &MonteCarloConfig, tilt: Option<&'a TiltPlan>) -> Option<&'a [f64]> {
+    match (config.sampling, tilt) {
+        (Sampling::TailIs { .. }, Some(t)) => Some(&t.mu),
+        _ => None,
+    }
+}
+
+/// The per-gate control-variate coefficients of a CV-enabled config.
+fn tilt_cv<'a>(config: &MonteCarloConfig, tilt: Option<&'a TiltPlan>) -> Option<&'a [f64]> {
+    match (config.control_variate, tilt) {
+        (true, Some(t)) => Some(&t.a),
+        _ => None,
+    }
+}
+
+/// The per-gate tilt direction of a run: proposal means `mu` (z-units,
+/// `Σ mu² = tilt²`) for importance sampling and linearization
+/// coefficients `a` (ps per z-unit of the gate's draw) for the control
+/// variate. Both point along the same criticality-weighted sensitivity
+/// direction `raw_g = softcrit_g · max(∂D/∂L, 0)`, where `softcrit`
+/// decays exponentially in the gate's slack excess over the worst slack
+/// (scale: the delay spread three sigma of CD noise produces on an
+/// average stage — gates whose slack margin exceeds what CD noise can
+/// erase contribute nothing).
+struct TiltPlan {
+    mu: Vec<f64>,
+    a: Vec<f64>,
+}
+
+/// Builds the tilt plan when the config needs one (importance sampling
+/// and/or control variate): one zero-shift baseline evaluation plus two
+/// characterizations per distinct cell
+/// ([`CompiledSta::gate_sensitivities`]), computed serially once per run
+/// so every worker and engine shares bit-identical `mu`/`a`.
+fn tilt_plan(
+    compiled: &CompiledSta<'_>,
+    cells: &SampleCells,
+    config: &MonteCarloConfig,
+) -> Result<Option<TiltPlan>> {
+    let tilt = match config.sampling {
+        Sampling::TailIs { tilt } => tilt,
+        _ if config.control_variate => 0.0,
+        _ => return Ok(None),
+    };
+    // Central-difference step: one shift-grid bin, or a fixed sub-nm step
+    // when sigma is 0 (the plan is still needed for the CV coefficients'
+    // criticality weighting, even though `a` then collapses to zeros).
+    let step_nm = if config.sigma_nm == 0.0 {
+        0.125
+    } else {
+        shift_step(config.sigma_nm)
+    };
+    let mut scratch = compiled.scratch();
+    let sens = compiled.gate_sensitivities(&mut scratch, cells, step_nm)?;
+    let n = sens.slack_ps.len();
+    let mean_abs_d = if n == 0 {
+        0.0
+    } else {
+        sens.ddelay_dl_ps_per_nm
+            .iter()
+            .map(|d| d.abs())
+            .sum::<f64>()
+            / n as f64
+    };
+    let crit_scale_ps = 3.0 * config.sigma_nm * mean_abs_d + 1e-9;
+    let mut raw = Vec::with_capacity(n);
+    for g in 0..n {
+        let excess_ps = (sens.slack_ps[g] - sens.worst_slack_ps).max(0.0);
+        let softcrit = (-excess_ps / crit_scale_ps).exp();
+        raw.push(softcrit * sens.ddelay_dl_ps_per_nm[g].max(0.0));
+    }
+    let norm = raw.iter().map(|r| r * r).sum::<f64>().sqrt();
+    let mu = if norm > 0.0 {
+        raw.iter().map(|r| tilt * r / norm).collect()
+    } else {
+        vec![0.0; n]
+    };
+    // ps of linearized worst-slack *decrease* per z-unit: a positive
+    // shift (longer channel) on a sensitivity-positive gate adds delay,
+    // so the control variate `C = Σ a_g z_g` moves with the worst slack.
+    let a = raw.iter().map(|r| -r * config.sigma_nm).collect();
+    Ok(Some(TiltPlan { mu, a }))
+}
+
+/// One gate's contribution to a sample's log-likelihood ratio against the
+/// nominal density, `log φ(z) − log φ(z − μ)` for the *post-tilt* draw
+/// `z`. Shared verbatim by the scalar stream and the batched block fill —
+/// bit-identical accumulation is what makes the engines agree.
+#[inline]
+fn logw_term(mu: f64, z: f64) -> f64 {
+    0.5 * mu * mu - mu * z
+}
+
+/// One gate's contribution to a sample's control-variate value (ps).
+#[inline]
+fn cv_term(a: f64, z: f64) -> f64 {
+    a * z
+}
+
+/// Assembles a result with the estimator state the config calls for:
+/// sampling scheme always, self-normalized weights for importance
+/// sampling, control values when the CV was attached.
+fn finish(
+    config: &MonteCarloConfig,
+    result: MonteCarloResult,
+    log_weights: &[f64],
+    control_ps: Vec<f64>,
+) -> MonteCarloResult {
+    let mut result = result.with_sampling(config.sampling);
+    if matches!(config.sampling, Sampling::TailIs { .. }) {
+        result = result.with_log_weights(log_weights);
+    }
+    if config.control_variate {
+        result = result.with_control(control_ps);
+    }
+    result
 }
 
 /// The scalar engine: one [`CompiledSta::evaluate_shifted`] per sample,
@@ -373,6 +735,8 @@ fn run_scalar(
                 .evaluate_shifted(scratch, cells, None, |gi| sampler.shift(&mut stream, gi))?;
             Ok::<_, StaError>((
                 timing,
+                stream.logw,
+                stream.cv,
                 scratch.shift_cache_hits() - before.0,
                 scratch.shift_cache_misses() - before.1,
                 scratch.shift_cache_rejected() - before.2,
@@ -384,10 +748,14 @@ fn run_scalar(
     let mut worst = Vec::with_capacity(config.samples);
     let mut delays = Vec::with_capacity(config.samples);
     let mut leaks = Vec::with_capacity(config.samples);
-    for (s, hits, misses, rejected, grown) in summaries {
+    let mut logw = Vec::with_capacity(config.samples);
+    let mut cv = Vec::with_capacity(config.samples);
+    for (s, lw, c, hits, misses, rejected, grown) in summaries {
         worst.push(s.worst_slack_ps);
         delays.push(s.critical_delay_ps);
         leaks.push(s.leakage_ua);
+        logw.push(lw);
+        cv.push(c);
         stats.hits += hits;
         stats.misses += misses;
         stats.rejected += rejected;
@@ -395,7 +763,8 @@ fn run_scalar(
         // growth telescopes to the final resident total across workers.
         stats.occupancy += grown;
     }
-    Ok(MonteCarloResult::new(worst, delays, leaks).with_cache_stats(stats))
+    let result = MonteCarloResult::new(worst, delays, leaks).with_cache_stats(stats);
+    Ok(finish(config, result, &logw, cv))
 }
 
 /// The batched engine: draw the whole run's shift bins once, prewarm
@@ -422,13 +791,24 @@ fn run_batched(
     // `block[gate * LANES + lane]` layout the evaluation hot loop reads —
     // the lockstep lane fill writes it directly, no transpose pass.
     let batch_indices: Vec<usize> = (0..n.div_ceil(LANES)).collect();
-    let blocks: Vec<Vec<i32>> = postopc_parallel::par_map_init(
+    let blocks: Vec<BinBlock> = postopc_parallel::par_map_init(
         threads,
         &batch_indices,
         FillBuffers::default,
         |buf, _, &batch| {
-            let mut block = vec![0i32; n_gates * LANES];
-            sampler.fill_bins_block(batch * LANES, n, buf, &mut block);
+            let mut block = BinBlock {
+                bins: vec![0i32; n_gates * LANES],
+                logw: [0.0; LANES],
+                cv: [0.0; LANES],
+            };
+            sampler.fill_bins_block(
+                batch * LANES,
+                n,
+                buf,
+                &mut block.bins,
+                &mut block.logw,
+                &mut block.cv,
+            );
             block
         },
     );
@@ -439,7 +819,7 @@ fn run_batched(
     let shared = {
         let (mut lo, mut hi) = (i32::MAX, i32::MIN);
         for block in &blocks {
-            for &b in block {
+            for &b in &block.bins {
                 lo = lo.min(b);
                 hi = hi.max(b);
             }
@@ -452,7 +832,7 @@ fn run_batched(
         let mut seen = vec![false; cells.distinct() * span];
         let mut keys: Vec<(u32, i32)> = Vec::new();
         for block in &blocks {
-            for (gi, lanes) in block.chunks_exact(LANES).enumerate() {
+            for (gi, lanes) in block.bins.chunks_exact(LANES).enumerate() {
                 let cell = cells.cell_of_gate()[gi];
                 for &bin in lanes {
                     let slot = cell as usize * span + (bin - lo) as usize;
@@ -482,7 +862,7 @@ fn run_batched(
                 scratch.shift_cache_rejected(),
                 scratch.shift_cache_len() as u64,
             );
-            let block = &blocks[range.start / LANES];
+            let block = &blocks[range.start / LANES].bins;
             let lanes =
                 compiled.evaluate_shifted_batch(scratch, cells, Some(&shared), |lane, gi| {
                     let bin = block[gi * LANES + lane];
@@ -527,7 +907,20 @@ fn run_batched(
         stats.rejected += rejected;
         stats.occupancy += grown;
     }
-    Ok(MonteCarloResult::new(worst, delays, leaks).with_cache_stats(stats))
+    let logw: Vec<f64> = (0..n).map(|s| blocks[s / LANES].logw[s % LANES]).collect();
+    let cv: Vec<f64> = (0..n).map(|s| blocks[s / LANES].cv[s % LANES]).collect();
+    let result = MonteCarloResult::new(worst, delays, leaks).with_cache_stats(stats);
+    Ok(finish(config, result, &logw, cv))
+}
+
+/// One [`LANES`]-wide batch of the batched engine's sampling phase: the
+/// gate-major shift bins plus each lane's accumulated log-likelihood
+/// ratio and control-variate value (both 0 for schemes that carry
+/// neither).
+struct BinBlock {
+    bins: Vec<i32>,
+    logw: [f64; LANES],
+    cv: [f64; LANES],
 }
 
 /// The naive Monte Carlo baseline: one full [`TimingModel::analyze`] —
@@ -551,11 +944,19 @@ pub fn run_reference(
     validate(config)?;
     let bases = base_records(model, systematic);
     let plan = stratified_plan(config, bases.len());
+    // The tilt plan reads sensitivities off the compiled evaluator —
+    // compile one here just for the plan (it is deterministic, so the
+    // reference sees bit-identical `mu`/`a` to the compiled engines).
+    let compiled = model.compile()?;
+    let cells = compiled.sample_cells(&bases);
+    let tilt = tilt_plan(&compiled, &cells, config)?;
     let sampler = ShiftSampler {
         sigma_nm: config.sigma_nm,
         seed: config.seed,
         sampling: config.sampling,
         plan: plan.as_ref(),
+        mu: tilt_mu(config, tilt.as_ref()),
+        cv: tilt_cv(config, tilt.as_ref()),
     };
     let sample_indices: Vec<u64> = (0..config.samples as u64).collect();
     let threads = postopc_parallel::effective_threads(config.threads);
@@ -581,17 +982,28 @@ pub fn run_reference(
             report.worst_slack_ps(),
             report.critical_delay_ps(),
             report.leakage_ua(),
+            stream.logw,
+            stream.cv,
         ))
     })?;
     let mut worst = Vec::with_capacity(config.samples);
     let mut delays = Vec::with_capacity(config.samples);
     let mut leaks = Vec::with_capacity(config.samples);
-    for (slack, delay, leakage) in reports {
+    let mut logw = Vec::with_capacity(config.samples);
+    let mut cv = Vec::with_capacity(config.samples);
+    for (slack, delay, leakage, lw, c) in reports {
         worst.push(slack);
         delays.push(delay);
         leaks.push(leakage);
+        logw.push(lw);
+        cv.push(c);
     }
-    Ok(MonteCarloResult::new(worst, delays, leaks))
+    Ok(finish(
+        config,
+        MonteCarloResult::new(worst, delays, leaks),
+        &logw,
+        cv,
+    ))
 }
 
 /// One point of a variance-reduction convergence study: the worst-slack
@@ -605,6 +1017,9 @@ pub struct ConvergencePoint {
     pub samples: usize,
     /// Mean absolute 1%-quantile worst-slack error vs the reference, ps.
     pub q01_abs_err_ps: f64,
+    /// Mean absolute 0.1%-quantile worst-slack error vs the reference,
+    /// ps — the deep-tail statistic [`Sampling::TailIs`] targets.
+    pub q001_abs_err_ps: f64,
     /// Mean absolute mean-worst-slack error vs the reference, ps. The
     /// statistic antithetic and stratified sampling actually collapse:
     /// their per-gate coverage guarantees cancel the leading error terms
@@ -649,10 +1064,12 @@ pub fn convergence_study(
         },
     )?;
     let ref_q01 = reference.worst_slack_quantile_ps(0.01);
+    let ref_q001 = reference.worst_slack_quantile_ps(0.001);
     let ref_mean = reference.mean_worst_slack_ps();
     let mut out = Vec::with_capacity(points.len());
     for &(sampling, samples) in points {
         let mut q01_err_sum = 0.0;
+        let mut q001_err_sum = 0.0;
         let mut mean_err_sum = 0.0;
         let mut wall_sum = 0.0;
         for &seed in seeds {
@@ -666,13 +1083,15 @@ pub fn convergence_study(
             let mc = run_with(compiled, systematic, &cfg)?;
             wall_sum += t0.elapsed().as_secs_f64();
             q01_err_sum += (mc.worst_slack_quantile_ps(0.01) - ref_q01).abs();
-            mean_err_sum += (mc.mean_worst_slack_ps() - ref_mean).abs();
+            q001_err_sum += (mc.worst_slack_quantile_ps(0.001) - ref_q001).abs();
+            mean_err_sum += (mc.cv_adjusted_mean_worst_slack_ps() - ref_mean).abs();
         }
         let runs = seeds.len().max(1) as f64;
         out.push(ConvergencePoint {
             sampling,
             samples,
             q01_abs_err_ps: q01_err_sum / runs,
+            q001_abs_err_ps: q001_err_sum / runs,
             mean_abs_err_ps: mean_err_sum / runs,
             mean_wall_s: wall_sum / runs,
         });
@@ -763,6 +1182,12 @@ struct ShiftSampler<'a> {
     seed: u64,
     sampling: Sampling,
     plan: Option<&'a StratifiedPlan>,
+    /// Per-gate proposal means of an importance-sampled run, z-units
+    /// ([`TiltPlan::mu`]); `None` for nominal-density schemes.
+    mu: Option<&'a [f64]>,
+    /// Per-gate control-variate coefficients ([`TiltPlan::a`]); `None`
+    /// when the run carries no control variate.
+    cv: Option<&'a [f64]>,
 }
 
 /// One sample's deterministic draw state.
@@ -772,6 +1197,11 @@ struct SampleStream {
     negate: bool,
     /// Sample index (stratum column of a stratified run).
     sample: usize,
+    /// Accumulated log-likelihood ratio vs the nominal density (0 unless
+    /// importance sampling).
+    logw: f64,
+    /// Accumulated control-variate value, ps (0 unless the CV is on).
+    cv: f64,
 }
 
 impl ShiftSampler<'_> {
@@ -781,17 +1211,21 @@ impl ShiftSampler<'_> {
     fn stream(&self, sample: u64) -> SampleStream {
         let (stream_index, negate) = match self.sampling {
             Sampling::Antithetic => (sample >> 1, sample & 1 == 1),
-            Sampling::Plain | Sampling::Stratified => (sample, false),
+            Sampling::Plain | Sampling::Stratified | Sampling::TailIs { .. } => (sample, false),
         };
         SampleStream {
             rng: StdRng::seed_from_u64(split_seed(self.seed, stream_index)),
             negate,
             sample: sample as usize,
+            logw: 0.0,
+            cv: 0.0,
         }
     }
 
     /// The `(grid bin, shift nm)` of gate `gate` in this stream — called
-    /// in gate order, consuming one uniform per gate.
+    /// in gate order, consuming one uniform per gate and accumulating the
+    /// stream's log-likelihood ratio and control-variate value as a side
+    /// effect.
     fn shift(&self, stream: &mut SampleStream, gate: usize) -> (i32, f64) {
         let u = match (self.sampling, self.plan) {
             (Sampling::Stratified, Some(plan)) => {
@@ -806,6 +1240,17 @@ impl ShiftSampler<'_> {
         let mut z = normal_quantile(u);
         if stream.negate {
             z = -z;
+        }
+        if let Some(mu_all) = self.mu {
+            // Importance tilt: draw from N(mu, 1) by shifting the nominal
+            // draw, and accumulate the exact log-likelihood ratio of the
+            // *post-tilt, pre-quantization* value.
+            let mu = mu_all[gate];
+            z += mu;
+            stream.logw += logw_term(mu, z);
+        }
+        if let Some(a) = self.cv {
+            stream.cv += cv_term(a[gate], z);
         }
         quantize(z * self.sigma_nm, self.sigma_nm)
     }
@@ -830,9 +1275,12 @@ impl ShiftSampler<'_> {
         n_samples: usize,
         buf: &mut FillBuffers,
         block: &mut [i32],
+        logw: &mut [f64; LANES],
+        cv: &mut [f64; LANES],
     ) {
-        if self.sigma_nm == 0.0 {
-            // `quantize` collapses every draw to bin 0 at zero sigma.
+        if self.sigma_nm == 0.0 && self.mu.is_none() && self.cv.is_none() {
+            // `quantize` collapses every draw to bin 0 at zero sigma, and
+            // with neither accumulator there is nothing else to compute.
             block.fill(0);
             return;
         }
@@ -846,7 +1294,9 @@ impl ShiftSampler<'_> {
             samples[l] = sample;
             let (stream_index, neg) = match self.sampling {
                 Sampling::Antithetic => ((sample as u64) >> 1, sample & 1 == 1),
-                Sampling::Plain | Sampling::Stratified => (sample as u64, false),
+                Sampling::Plain | Sampling::Stratified | Sampling::TailIs { .. } => {
+                    (sample as u64, false)
+                }
             };
             negate[l] = neg;
             seeds[l] = split_seed(self.seed, stream_index);
@@ -885,6 +1335,40 @@ impl ShiftSampler<'_> {
         for &(i, p) in &buf.tails {
             buf.p[i as usize] = normal_quantile(p);
         }
+        // Importance tilt and control variate ride the z buffer before
+        // quantization, per accumulator in gate order — each lane's sums
+        // add the exact [`logw_term`]/[`cv_term`] sequence the scalar
+        // stream adds, so the accumulators agree bit for bit. The tilt
+        // only exists for [`Sampling::TailIs`], which never negates, so
+        // adding `mu` to the pre-negation rows matches the scalar's
+        // post-negation add.
+        if let Some(mu_all) = self.mu {
+            for (gate, row) in buf.p.chunks_exact_mut(LANES).enumerate().take(n_gates) {
+                let mu = mu_all[gate];
+                for l in 0..LANES {
+                    row[l] += mu;
+                    logw[l] += logw_term(mu, row[l]);
+                }
+            }
+        }
+        if let Some(a_all) = self.cv {
+            for (gate, row) in buf.p.chunks_exact(LANES).enumerate().take(n_gates) {
+                let a = a_all[gate];
+                for l in 0..LANES {
+                    // The scalar stream sees the post-negation z; rows
+                    // hold the pre-negation value, so flip explicitly
+                    // (exact IEEE sign flip, same bits as the scalar's).
+                    let z = if negate[l] { -row[l] } else { row[l] };
+                    cv[l] += cv_term(a, z);
+                }
+            }
+        }
+        if self.sigma_nm == 0.0 {
+            // Accumulators were still needed; the bins all collapse to 0
+            // (`quantize` at zero sigma), matching the scalar path.
+            block.fill(0);
+            return;
+        }
         // `-z * s == z * -s` exactly (an IEEE sign flip either way), so
         // each lane's antithetic negation rides its sigma scale factor.
         let mut sigma = [self.sigma_nm; LANES];
@@ -909,73 +1393,6 @@ impl ShiftSampler<'_> {
 struct FillBuffers {
     p: Vec<f64>,
     tails: Vec<(u32, f64)>,
-}
-
-/// Standard-normal quantile (inverse CDF), Acklam's rational
-/// approximation: relative error below `1.2e-9` over the open unit
-/// interval — orders of magnitude under the `sigma / 16` shift grid this
-/// feeds, and far cheaper than a Box–Muller transform (one uniform, no
-/// trigonometry). Shared by all sampling schemes: plain and antithetic
-/// draws invert an unconstrained uniform, stratified draws invert a
-/// uniform confined to one stratum.
-fn normal_quantile(p: f64) -> f64 {
-    if p < P_LOW {
-        let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    } else if p > 1.0 - P_LOW {
-        let q = (-2.0 * (1.0 - p).ln()).sqrt();
-        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    } else {
-        normal_quantile_central(p)
-    }
-}
-
-/// Acklam coefficients (central-region numerator/denominator, tail
-/// numerator/denominator) and the tail boundary, shared by the scalar
-/// quantile and the batched row fill.
-const A: [f64; 6] = [
-    -3.969_683_028_665_376e1,
-    2.209_460_984_245_205e2,
-    -2.759_285_104_469_687e2,
-    1.383_577_518_672_69e2,
-    -3.066_479_806_614_716e1,
-    2.506_628_277_459_239,
-];
-const B: [f64; 5] = [
-    -5.447_609_879_822_406e1,
-    1.615_858_368_580_409e2,
-    -1.556_989_798_598_866e2,
-    6.680_131_188_771_972e1,
-    -1.328_068_155_288_572e1,
-];
-const C: [f64; 6] = [
-    -7.784_894_002_430_293e-3,
-    -3.223_964_580_411_365e-1,
-    -2.400_758_277_161_838,
-    -2.549_732_539_343_734,
-    4.374_664_141_464_968,
-    2.938_163_982_698_783,
-];
-const D: [f64; 4] = [
-    7.784_695_709_041_462e-3,
-    3.224_671_290_700_398e-1,
-    2.445_134_137_142_996,
-    3.754_408_661_907_416,
-];
-const P_LOW: f64 = 0.02425;
-
-/// The central branch of [`normal_quantile`] (`P_LOW ..= 1 - P_LOW`):
-/// pure straight-line rational arithmetic, so a loop applying it to a
-/// whole buffer autovectorizes. Outside the central region its value is
-/// meaningless — callers must overwrite through the tail branches.
-#[inline]
-fn normal_quantile_central(p: f64) -> f64 {
-    let q = p - 0.5;
-    let r = q * q;
-    (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-        / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
 }
 
 #[cfg(test)]
@@ -1020,7 +1437,12 @@ mod tests {
     fn deterministic_given_seed() {
         let d = design();
         let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
-        for sampling in [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified] {
+        for sampling in [
+            Sampling::Plain,
+            Sampling::Antithetic,
+            Sampling::Stratified,
+            Sampling::TailIs { tilt: 1.0 },
+        ] {
             let cfg = MonteCarloConfig {
                 samples: 20,
                 sigma_nm: 2.0,
@@ -1031,6 +1453,7 @@ mod tests {
             let a = run(&m, None, &cfg).expect("mc");
             let b = run(&m, None, &cfg).expect("mc");
             assert_eq!(a.worst_slacks_ps(), b.worst_slacks_ps());
+            assert_eq!(a.weights(), b.weights());
         }
     }
 
@@ -1038,7 +1461,12 @@ mod tests {
     fn thread_count_does_not_change_results() {
         let d = design();
         let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
-        for sampling in [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified] {
+        for sampling in [
+            Sampling::Plain,
+            Sampling::Antithetic,
+            Sampling::Stratified,
+            Sampling::TailIs { tilt: 1.0 },
+        ] {
             for engine in [McEngine::Scalar, McEngine::Batched] {
                 let base = MonteCarloConfig {
                     samples: 24,
@@ -1047,6 +1475,7 @@ mod tests {
                     threads: Some(1),
                     sampling,
                     engine,
+                    control_variate: true,
                 };
                 let one = run(&m, None, &base).expect("mc");
                 for threads in [2, 4, 7] {
@@ -1065,7 +1494,12 @@ mod tests {
     fn engines_agree_for_every_sampling() {
         let d = design();
         let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
-        for sampling in [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified] {
+        for sampling in [
+            Sampling::Plain,
+            Sampling::Antithetic,
+            Sampling::Stratified,
+            Sampling::TailIs { tilt: 1.2 },
+        ] {
             // Samples chosen to leave a partial tail batch.
             let scalar = MonteCarloConfig {
                 samples: LANES * 2 + 3,
@@ -1073,6 +1507,7 @@ mod tests {
                 seed: 11,
                 sampling,
                 engine: McEngine::Scalar,
+                control_variate: true,
                 ..Default::default()
             };
             let batched = MonteCarloConfig {
@@ -1181,18 +1616,6 @@ mod tests {
     }
 
     #[test]
-    fn normal_quantile_matches_known_values() {
-        // Φ⁻¹ spot checks (values from standard tables).
-        assert!((normal_quantile(0.5) - 0.0).abs() < 1e-9);
-        assert!((normal_quantile(0.975) - 1.959_963_985).abs() < 1e-6);
-        assert!((normal_quantile(0.025) + 1.959_963_985).abs() < 1e-6);
-        assert!((normal_quantile(0.841_344_746) - 1.0).abs() < 1e-6);
-        // Tail branches (beyond the 0.02425 split) stay sane and odd.
-        assert!((normal_quantile(0.001) + 3.090_232_306).abs() < 1e-6);
-        assert!((normal_quantile(0.999) - 3.090_232_306).abs() < 1e-6);
-    }
-
-    #[test]
     fn antithetic_pairs_mirror_each_other() {
         let d = design();
         let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
@@ -1210,6 +1633,8 @@ mod tests {
             seed: cfg.seed,
             sampling: cfg.sampling,
             plan: plan.as_ref(),
+            mu: None,
+            cv: None,
         };
         let mut even = sampler.stream(4);
         let mut odd = sampler.stream(5);
@@ -1285,5 +1710,200 @@ mod tests {
         assert_eq!(s.prewarmed, 0);
         assert_eq!(s.shared_hits, 0);
         assert!(s.hits > 0 && s.misses > 0);
+    }
+
+    #[test]
+    fn rejects_bad_tilt() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        for tilt in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(
+                run(
+                    &m,
+                    None,
+                    &MonteCarloConfig {
+                        sampling: Sampling::TailIs { tilt },
+                        ..Default::default()
+                    }
+                )
+                .is_err(),
+                "tilt {tilt}"
+            );
+        }
+    }
+
+    #[test]
+    fn tail_is_weights_are_normalized_and_estimates_stay_sane() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let plain = run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                samples: 400,
+                sigma_nm: 2.0,
+                seed: 13,
+                ..Default::default()
+            },
+        )
+        .expect("plain");
+        let tail = run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                samples: 400,
+                sigma_nm: 2.0,
+                seed: 13,
+                sampling: Sampling::TailIs { tilt: 1.0 },
+                ..Default::default()
+            },
+        )
+        .expect("tail");
+        let sum: f64 = tail.weights().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12, "weights sum to {sum}");
+        assert!(tail.weights().iter().all(|&w| w >= 0.0));
+        assert_eq!(tail.weights().len(), 400);
+        // Self-normalized reweighting recovers nominal-distribution
+        // statistics: mean and q01 land near the plain estimates (loose
+        // statistical bounds — both are noisy estimators of the same
+        // distribution).
+        let spread = plain.std_worst_slack_ps();
+        assert!(
+            (tail.mean_worst_slack_ps() - plain.mean_worst_slack_ps()).abs() < spread,
+            "IS mean {} vs plain {}",
+            tail.mean_worst_slack_ps(),
+            plain.mean_worst_slack_ps()
+        );
+        assert!(
+            (tail.worst_slack_quantile_ps(0.01) - plain.worst_slack_quantile_ps(0.01)).abs()
+                < 2.0 * spread,
+            "IS q01 {} vs plain {}",
+            tail.worst_slack_quantile_ps(0.01),
+            plain.worst_slack_quantile_ps(0.01)
+        );
+        // The tilt pushes samples toward the slow corner: the proposal's
+        // raw (unweighted) mean worst slack sits below the nominal one.
+        assert!(mean(tail.worst_slacks_ps()) < plain.mean_worst_slack_ps());
+    }
+
+    #[test]
+    fn control_variate_is_exact_on_linear_model() {
+        // On a synthetic result whose worst slack is exactly
+        // `c0 + C_i`, the online β is 1 and the adjusted mean recovers
+        // `c0` exactly (E[C] = 0 by construction of the estimator), for
+        // any control values.
+        let control: Vec<f64> = (0..40).map(|i| f64::from(i - 20) * 0.37).collect();
+        let worst: Vec<f64> = control.iter().map(|c| 42.0 + c).collect();
+        let n = worst.len();
+        let r = MonteCarloResult::new(worst, vec![0.0; n], vec![0.0; n]).with_control(control);
+        assert!((r.cv_adjusted_mean_worst_slack_ps() - 42.0).abs() < 1e-9);
+        // Without a control the adjusted mean is the plain mean.
+        let r2 = MonteCarloResult::new(vec![1.0, 3.0], vec![0.0; 2], vec![0.0; 2]);
+        assert_eq!(r2.cv_adjusted_mean_worst_slack_ps(), 2.0);
+    }
+
+    #[test]
+    fn control_variate_reduces_mean_error_on_real_runs() {
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        // High-sample reference for the true mean.
+        let reference = run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                samples: 4000,
+                sigma_nm: 2.0,
+                seed: 2,
+                ..Default::default()
+            },
+        )
+        .expect("reference");
+        let truth = reference.mean_worst_slack_ps();
+        let mut raw_err = 0.0;
+        let mut cv_err = 0.0;
+        for seed in [101, 202, 303, 404, 505] {
+            let mc = run(
+                &m,
+                None,
+                &MonteCarloConfig {
+                    samples: 60,
+                    sigma_nm: 2.0,
+                    seed,
+                    control_variate: true,
+                    ..Default::default()
+                },
+            )
+            .expect("mc");
+            raw_err += (mc.mean_worst_slack_ps() - truth).abs();
+            cv_err += (mc.cv_adjusted_mean_worst_slack_ps() - truth).abs();
+        }
+        assert!(
+            cv_err < raw_err,
+            "CV-adjusted error {cv_err} should beat raw {raw_err}"
+        );
+    }
+
+    #[test]
+    fn tail_caveat_fences_stratified_deep_quantiles() {
+        let r = MonteCarloResult::new(vec![1.0, 2.0], vec![0.0; 2], vec![0.0; 2]);
+        assert!(
+            r.tail_quantile_caveat(0.01).is_none(),
+            "plain has no caveat"
+        );
+        let s = MonteCarloResult::new(vec![1.0, 2.0], vec![0.0; 2], vec![0.0; 2])
+            .with_sampling(Sampling::Stratified);
+        assert!(s.tail_quantile_caveat(0.01).is_some());
+        assert!(s.tail_quantile_caveat(0.001).is_some());
+        assert!(s.tail_quantile_caveat(0.5).is_none(), "central is fine");
+        let t = MonteCarloResult::new(vec![1.0, 2.0], vec![0.0; 2], vec![0.0; 2])
+            .with_sampling(Sampling::TailIs { tilt: 1.0 });
+        assert!(t.tail_quantile_caveat(0.01).is_none(), "IS is the fix");
+    }
+
+    #[test]
+    fn normalize_log_weights_handles_degenerate_inputs() {
+        assert!(normalize_log_weights(&[]).is_empty());
+        let uniform = normalize_log_weights(&[f64::NEG_INFINITY, f64::NEG_INFINITY]);
+        assert_eq!(uniform, vec![0.5, 0.5]);
+        // Shift invariance: adding a constant to every log weight leaves
+        // the normalized weights unchanged (max-subtract at work).
+        let a = normalize_log_weights(&[0.0, 1.0, -2.0]);
+        let b = normalize_log_weights(&[700.0, 701.0, 698.0]);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-15);
+        }
+        let sum: f64 = a.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_tilt_matches_plain_up_to_weights() {
+        // tilt = 0 draws the exact plain stream; weights collapse to
+        // uniform, so every estimate matches plain sampling bit for bit.
+        let d = design();
+        let m = TimingModel::new(&d, ProcessParams::n90(), 800.0).expect("model");
+        let base = MonteCarloConfig {
+            samples: 32,
+            sigma_nm: 2.0,
+            seed: 77,
+            ..Default::default()
+        };
+        let plain = run(&m, None, &base).expect("plain");
+        let zero = run(
+            &m,
+            None,
+            &MonteCarloConfig {
+                sampling: Sampling::TailIs { tilt: 0.0 },
+                ..base
+            },
+        )
+        .expect("zero tilt");
+        assert_eq!(plain.worst_slacks_ps(), zero.worst_slacks_ps());
+        for &w in zero.weights() {
+            assert!((w - 1.0 / 32.0).abs() < 1e-15);
+        }
+        assert!(
+            (plain.worst_slack_quantile_ps(0.1) - zero.worst_slack_quantile_ps(0.1)).abs() < 1e-9
+        );
     }
 }

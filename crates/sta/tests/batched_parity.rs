@@ -28,7 +28,12 @@ fn registered_design() -> Design {
     .expect("design")
 }
 
-const ALL_SAMPLINGS: [Sampling; 3] = [Sampling::Plain, Sampling::Antithetic, Sampling::Stratified];
+const ALL_SAMPLINGS: [Sampling; 4] = [
+    Sampling::Plain,
+    Sampling::Antithetic,
+    Sampling::Stratified,
+    Sampling::TailIs { tilt: 1.0 },
+];
 
 #[test]
 fn every_lane_remainder_is_bit_identical() {
@@ -104,7 +109,11 @@ fn variance_reduced_samplers_are_thread_count_invariant() {
     // thread matrix, for both engines.
     let design = registered_design();
     let model = TimingModel::new(&design, ProcessParams::n90(), 900.0).expect("model");
-    for sampling in [Sampling::Antithetic, Sampling::Stratified] {
+    for sampling in [
+        Sampling::Antithetic,
+        Sampling::Stratified,
+        Sampling::TailIs { tilt: 1.2 },
+    ] {
         for engine in [McEngine::Scalar, McEngine::Batched] {
             let base = MonteCarloConfig {
                 samples: 3 * LANES + 5,
@@ -113,6 +122,7 @@ fn variance_reduced_samplers_are_thread_count_invariant() {
                 threads: Some(1),
                 sampling,
                 engine,
+                control_variate: true,
             };
             let one = statistical::run(&model, None, &base).expect("mc");
             for threads in [2, 3, 4, 7] {
