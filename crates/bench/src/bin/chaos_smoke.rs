@@ -1,0 +1,493 @@
+//! Chaos gate for the CI script (`scripts/check.sh`, `chaos` stage):
+//! seeded I/O fault schedules against the durable serving layer.
+//!
+//! The invariant under test is the crash-safety contract of
+//! `postopc::serve_with`: under any deterministic schedule of injected
+//! short writes, transient errors and crashes-before-rename, a serve
+//! must either
+//!
+//! 1. answer every query **bit-identically** to the fault-free run, or
+//! 2. fail with a **typed** `FlowError::Artifact` — never a panic —
+//!
+//! and the artifact on disk must at all times be either absent or
+//! loadable and bit-identical to the reference bytes (no torn artifact
+//! is ever published, no stale one ever served warm).
+//!
+//! Gates:
+//!
+//! 1. **Fault-schedule sweep** — [`SCHEDULES`] seeded schedules with all
+//!    three fault kinds at [`FAULT_RATE`], replayed over warm and cold
+//!    starts; answers and on-disk bytes checked after every serve.
+//! 2. **Torn artifact** — a truncated artifact planted at the path must
+//!    come back as a `corrupt` cold start, never a warm serve.
+//! 3. **Crash before rename** — a guaranteed crash at the rename step
+//!    leaves the previous artifact bit-identical on disk (or absent on
+//!    a first run), degrades persistence gracefully, and still answers.
+//! 4. **Query budgets** — a sample-count budget yields deterministic
+//!    `Partial` answers bit-identical to a re-scoped fault-free query.
+//! 5. **Advisory lock** — serving against a live-owner lock fails with
+//!    the typed `Locked` error; a stale (dead-pid) lock is taken over.
+//!
+//! The `chaos` stage re-runs this binary under `POSTOPC_THREADS=1,2,4`:
+//! fault schedules are keyed off operation order, not wall clock or
+//! thread count, so every gate must hold identically across the matrix.
+
+use postopc::durable::{lock_path, process_alive, tmp_path};
+use postopc::{
+    serve_with, ArtifactErrorKind, ArtifactIo, ArtifactLock, BudgetedOutcome, ColdReason,
+    FlowConfig, FlowError, IoFaultInjection, OpcMode, PersistStatus, RetryPolicy, Selection,
+    ServeOptions, ServeReport, SessionQuery, WarmArtifact,
+};
+use postopc_bench::OrExit;
+use postopc_layout::{generate, Design, TechRules};
+use postopc_sta::{Corner, MonteCarloConfig};
+use std::path::{Path, PathBuf};
+
+/// Number of seeded fault schedules the sweep replays.
+const SCHEDULES: u64 = 8;
+
+/// Per-operation fault probability of the sweep schedules.
+const FAULT_RATE: f64 = 0.35;
+
+/// Monte Carlo sample count of the query batch (kept small: the gate is
+/// about I/O behaviour, not statistics).
+const MC_SAMPLES: usize = 48;
+
+fn main() {
+    let threads = std::env::var("POSTOPC_THREADS").unwrap_or_else(|_| "unset".to_string());
+    println!("chaos_smoke: POSTOPC_THREADS={threads}");
+    let design = Design::compile(
+        generate::ripple_carry_adder(4).or_exit("netlist"),
+        TechRules::n90(),
+    )
+    .or_exit("design");
+    let cfg = config();
+    let queries = query_batch();
+
+    let mut failed = false;
+    failed |= fault_schedule_sweep(&design, &cfg, &queries);
+    failed |= torn_artifact_gate(&design, &cfg, &queries);
+    failed |= crash_before_rename_gate(&design, &cfg, &queries);
+    failed |= budget_gate(&design, &cfg);
+    failed |= lock_gate(&design, &cfg, &queries);
+    if failed {
+        std::process::exit(1);
+    }
+    println!("chaos_smoke: PASS - all chaos gates held");
+}
+
+/// A fast serve config over the small adder.
+fn config() -> FlowConfig {
+    let mut cfg = FlowConfig::standard(800.0);
+    cfg.selection = Selection::Critical { paths: 3 };
+    cfg.extraction.opc_mode = OpcMode::Rule;
+    cfg.report_paths = 5;
+    cfg
+}
+
+/// The query batch every gate answers: a corner sweep plus a seeded
+/// Monte Carlo run.
+fn query_batch() -> Vec<SessionQuery> {
+    vec![
+        SessionQuery::Corners(Corner::classic_set(6.0)),
+        SessionQuery::MonteCarlo(MonteCarloConfig {
+            samples: MC_SAMPLES,
+            sigma_nm: 1.5,
+            seed: 7,
+            ..MonteCarloConfig::default()
+        }),
+    ]
+}
+
+/// A fresh scratch directory for one gate, emptied of previous debris.
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("postopc-chaos-{tag}"));
+    std::fs::remove_dir_all(&dir).ok();
+    std::fs::create_dir_all(&dir).or_exit("scratch dir");
+    dir
+}
+
+/// Fast-retry options carrying `injection`, so injected transient storms
+/// don't stall the gate on real backoff sleeps.
+fn injected_options(injection: IoFaultInjection) -> ServeOptions {
+    ServeOptions {
+        io_fault: Some(injection),
+        retry: RetryPolicy {
+            base_delay_us: 1,
+            ..RetryPolicy::default()
+        },
+        ..ServeOptions::default()
+    }
+}
+
+/// Checks the post-serve disk state: the artifact is either absent or
+/// loads cleanly with exactly the reference bytes. Returns `true` on
+/// failure.
+fn check_disk(path: &Path, reference_bytes: &[u8], context: &str) -> bool {
+    if !path.exists() {
+        return false;
+    }
+    let bytes = match std::fs::read(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("chaos_smoke: FAIL - {context}: cannot read published artifact: {e}");
+            return true;
+        }
+    };
+    if bytes != reference_bytes {
+        eprintln!("chaos_smoke: FAIL - {context}: published artifact differs from reference bytes");
+        return true;
+    }
+    if let Err(e) = WarmArtifact::from_bytes(&bytes) {
+        eprintln!("chaos_smoke: FAIL - {context}: published artifact does not load: {e}");
+        return true;
+    }
+    false
+}
+
+/// The fault-free answers and published bytes every faulted serve is
+/// held against.
+struct Reference<'a> {
+    report: &'a ServeReport,
+    bytes: &'a [u8],
+}
+
+/// One faulted serve checked against the reference: answers bit-identical
+/// or a typed artifact error, and the disk never holds torn bytes.
+/// Returns `(failed, served_ok)`.
+fn check_faulted_serve(
+    design: &Design,
+    cfg: &FlowConfig,
+    queries: &[SessionQuery],
+    path: &Path,
+    options: &ServeOptions,
+    reference: &Reference,
+    context: &str,
+) -> (bool, bool) {
+    match serve_with(design, cfg, Some(path), queries, options) {
+        Ok(report) => {
+            let mut failed = false;
+            if report.outcomes != reference.report.outcomes {
+                eprintln!("chaos_smoke: FAIL - {context}: answers differ from fault-free run");
+                failed = true;
+            }
+            (failed | check_disk(path, reference.bytes, context), true)
+        }
+        Err(FlowError::Artifact(_)) => (check_disk(path, reference.bytes, context), false),
+        Err(other) => {
+            eprintln!("chaos_smoke: FAIL - {context}: non-artifact error {other:?}");
+            (true, false)
+        }
+    }
+}
+
+/// Gate 1: the seeded fault-schedule sweep over warm and cold starts.
+fn fault_schedule_sweep(design: &Design, cfg: &FlowConfig, queries: &[SessionQuery]) -> bool {
+    let dir = fresh_dir("sweep");
+    let path = dir.join("sweep.warm");
+    let reference = serve_with(design, cfg, Some(&path), queries, &ServeOptions::default())
+        .or_exit("reference serve");
+    let reference_bytes = std::fs::read(&path).or_exit("reference artifact bytes");
+    let reference = Reference {
+        report: &reference,
+        bytes: &reference_bytes,
+    };
+    let mut failed = false;
+    let mut served = 0usize;
+    let mut typed_errors = 0usize;
+    for seed in 1..=SCHEDULES {
+        let options = injected_options(IoFaultInjection::all(seed, FAULT_RATE));
+        // Warm start under fire: the valid artifact is on disk (unless a
+        // previous schedule's failure mode removed our ability to read
+        // it — never the artifact itself).
+        let context = format!("schedule {seed} (warm)");
+        let (bad, ok) =
+            check_faulted_serve(design, cfg, queries, &path, &options, &reference, &context);
+        failed |= bad;
+        if ok {
+            served += 1;
+        } else {
+            typed_errors += 1;
+        }
+        // Cold start under fire: remove the artifact first, so the same
+        // schedule also exercises the publish path from scratch.
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp_path(&path)).ok();
+        let context = format!("schedule {seed} (cold)");
+        let (bad, ok) =
+            check_faulted_serve(design, cfg, queries, &path, &options, &reference, &context);
+        failed |= bad;
+        if ok {
+            served += 1;
+        } else {
+            typed_errors += 1;
+        }
+        // Re-publish a clean artifact for the next schedule's warm leg.
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_file(tmp_path(&path)).ok();
+        std::fs::write(&path, &reference_bytes).or_exit("republish reference");
+    }
+    if !failed {
+        println!(
+            "chaos_smoke: PASS - {SCHEDULES} schedules x (warm+cold): {served} served \
+             bit-identically, {typed_errors} failed with typed errors, disk never torn"
+        );
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    failed
+}
+
+/// Gate 2: a torn artifact on disk is a `corrupt` cold start, never a
+/// warm serve, and is atomically replaced by a good one.
+fn torn_artifact_gate(design: &Design, cfg: &FlowConfig, queries: &[SessionQuery]) -> bool {
+    let dir = fresh_dir("torn");
+    let path = dir.join("torn.warm");
+    let reference = serve_with(design, cfg, Some(&path), queries, &ServeOptions::default())
+        .or_exit("reference serve");
+    let reference_bytes = std::fs::read(&path).or_exit("reference artifact bytes");
+    let mut failed = false;
+    // Tear the artifact at every third boundary-ish offset class: empty,
+    // header-only, mid-section, checksum-clipped.
+    for keep in [0, 9, reference_bytes.len() / 2, reference_bytes.len() - 3] {
+        std::fs::write(&path, &reference_bytes[..keep]).or_exit("plant torn artifact");
+        let report = serve_with(design, cfg, Some(&path), queries, &ServeOptions::default())
+            .or_exit("serve over torn artifact");
+        if report.warm || report.cold_reason != Some(ColdReason::Corrupt) {
+            eprintln!(
+                "chaos_smoke: FAIL - torn artifact ({keep} bytes kept) not recovered as corrupt: \
+                 warm={} reason={:?}",
+                report.warm, report.cold_reason
+            );
+            failed = true;
+        }
+        if report.outcomes != reference.outcomes {
+            eprintln!("chaos_smoke: FAIL - torn artifact ({keep} bytes kept) changed answers");
+            failed = true;
+        }
+        failed |= check_disk(&path, &reference_bytes, "torn-artifact recovery");
+    }
+    if !failed {
+        println!("chaos_smoke: PASS - torn artifacts always recovered cold as `corrupt`");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    failed
+}
+
+/// Gate 3: a crash at the rename step never damages the published
+/// artifact and never takes down the answers.
+fn crash_before_rename_gate(design: &Design, cfg: &FlowConfig, queries: &[SessionQuery]) -> bool {
+    let dir = fresh_dir("crash");
+    let path = dir.join("crash.warm");
+    let crash_all = IoFaultInjection {
+        seed: 3,
+        rate: 1.0,
+        short_write: false,
+        transient_error: false,
+        crash_before_rename: true,
+    };
+    let mut failed = false;
+    // First run: nothing on disk yet. The publish crashes, persistence
+    // degrades gracefully, the queries are still answered.
+    let first = serve_with(
+        design,
+        cfg,
+        Some(&path),
+        queries,
+        &injected_options(crash_all),
+    )
+    .or_exit("first crash serve");
+    if !matches!(first.persist, PersistStatus::Failed { .. }) {
+        eprintln!(
+            "chaos_smoke: FAIL - crashed publish not reported: {:?}",
+            first.persist
+        );
+        failed = true;
+    }
+    if path.exists() {
+        eprintln!("chaos_smoke: FAIL - crashed publish still produced an artifact");
+        failed = true;
+    }
+    if !tmp_path(&path).exists() {
+        eprintln!("chaos_smoke: FAIL - crash did not leave the orphan temporary behind");
+        failed = true;
+    }
+    // Recovery run: fault-free, with the orphan temporary still lying
+    // around. It must publish cleanly (the orphan is simply replaced).
+    let clean = serve_with(design, cfg, Some(&path), queries, &ServeOptions::default())
+        .or_exit("recovery serve");
+    if clean.cold_reason != Some(ColdReason::Missing) || clean.persist != PersistStatus::Persisted {
+        eprintln!(
+            "chaos_smoke: FAIL - recovery serve off: reason={:?} persist={:?}",
+            clean.cold_reason, clean.persist
+        );
+        failed = true;
+    }
+    if first.outcomes != clean.outcomes {
+        eprintln!("chaos_smoke: FAIL - crashed serve answered differently from clean serve");
+        failed = true;
+    }
+    let reference_bytes = std::fs::read(&path).or_exit("published artifact bytes");
+    // A config change plus a crash: the old artifact must survive the
+    // failed overwrite bit-identically (it is stale for the new config,
+    // but it is the previous caller's good data).
+    let mut other_cfg = cfg.clone();
+    other_cfg.clock_ps += 1.0;
+    let stale = serve_with(
+        design,
+        &other_cfg,
+        Some(&path),
+        queries,
+        &injected_options(crash_all),
+    )
+    .or_exit("stale crash serve");
+    if stale.warm || stale.cold_reason != Some(ColdReason::Stale) {
+        eprintln!(
+            "chaos_smoke: FAIL - stale artifact not recovered as stale-hash: warm={} reason={:?}",
+            stale.warm, stale.cold_reason
+        );
+        failed = true;
+    }
+    if std::fs::read(&path).or_exit("old artifact bytes") != reference_bytes {
+        eprintln!("chaos_smoke: FAIL - failed overwrite damaged the previous artifact");
+        failed = true;
+    }
+    if !failed {
+        println!("chaos_smoke: PASS - rename crashes degrade gracefully, old bytes intact");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    failed
+}
+
+/// Gate 4: sample-count budgets produce deterministic partial answers —
+/// bit-identical across runs and to a re-scoped fault-free query.
+fn budget_gate(design: &Design, cfg: &FlowConfig) -> bool {
+    let corners = Corner::classic_set(6.0);
+    let granted_mc = MC_SAMPLES / 2;
+    let budget = corners.len() as u64 + granted_mc as u64;
+    let queries = query_batch();
+    let options = ServeOptions {
+        budget: Some(budget),
+        ..ServeOptions::default()
+    };
+    let a = serve_with(design, cfg, None, &queries, &options).or_exit("budgeted serve");
+    let b = serve_with(design, cfg, None, &queries, &options).or_exit("budgeted serve repeat");
+    let mut failed = false;
+    if a.outcomes != b.outcomes {
+        eprintln!("chaos_smoke: FAIL - budgeted answers not deterministic across runs");
+        failed = true;
+    }
+    if !matches!(a.outcomes.first(), Some(BudgetedOutcome::Full(_))) {
+        eprintln!(
+            "chaos_smoke: FAIL - fully-funded corner sweep not Full: {:?}",
+            a.outcomes.first().map(std::mem::discriminant)
+        );
+        failed = true;
+    }
+    // The Monte Carlo query gets exactly the leftover budget, and its
+    // partial answer must equal a fault-free query scoped to that count.
+    let reduced = vec![SessionQuery::MonteCarlo(MonteCarloConfig {
+        samples: granted_mc,
+        sigma_nm: 1.5,
+        seed: 7,
+        ..MonteCarloConfig::default()
+    })];
+    let reference = serve_with(design, cfg, None, &reduced, &ServeOptions::default())
+        .or_exit("re-scoped serve");
+    match (a.outcomes.get(1), reference.outcomes.first()) {
+        (
+            Some(BudgetedOutcome::Partial {
+                completed,
+                requested,
+                outcome,
+            }),
+            Some(BudgetedOutcome::Full(expected)),
+        ) => {
+            if *completed != granted_mc || *requested != MC_SAMPLES {
+                eprintln!(
+                    "chaos_smoke: FAIL - partial accounting off: {completed}/{requested}, \
+                     expected {granted_mc}/{MC_SAMPLES}"
+                );
+                failed = true;
+            }
+            if outcome != expected {
+                eprintln!(
+                    "chaos_smoke: FAIL - partial MC differs from the re-scoped fault-free query"
+                );
+                failed = true;
+            }
+        }
+        other => {
+            eprintln!("chaos_smoke: FAIL - expected (Partial, Full), got {other:?}");
+            failed = true;
+        }
+    }
+    // An exhausted budget skips instead of hanging.
+    let starved = ServeOptions {
+        budget: Some(corners.len() as u64),
+        ..ServeOptions::default()
+    };
+    let c = serve_with(design, cfg, None, &queries, &starved).or_exit("starved serve");
+    if !matches!(
+        c.outcomes.get(1),
+        Some(BudgetedOutcome::Skipped {
+            requested: MC_SAMPLES
+        })
+    ) {
+        eprintln!(
+            "chaos_smoke: FAIL - unfunded MC query not Skipped: {:?}",
+            c.outcomes.get(1)
+        );
+        failed = true;
+    }
+    if !failed {
+        println!(
+            "chaos_smoke: PASS - budgets deterministic: partial == re-scoped, starved == skipped"
+        );
+    }
+    failed
+}
+
+/// Gate 5: advisory-lock contention is a typed error; stale locks from
+/// dead processes are taken over.
+fn lock_gate(design: &Design, cfg: &FlowConfig, queries: &[SessionQuery]) -> bool {
+    let dir = fresh_dir("lock");
+    let path = dir.join("lock.warm");
+    let mut failed = false;
+    // Hold the lock as a live owner (this very process) and serve against
+    // it: the double-serve interleave must be refused, typed.
+    let mut io = ArtifactIo::faultless();
+    let guard = ArtifactLock::acquire(&mut io, &path).or_exit("acquire lock");
+    match serve_with(design, cfg, Some(&path), queries, &ServeOptions::default()) {
+        Err(FlowError::Artifact(e)) if matches!(e.kind, ArtifactErrorKind::Locked { owner_pid } if owner_pid == std::process::id()) =>
+            {}
+        other => {
+            eprintln!(
+                "chaos_smoke: FAIL - double serve not refused with typed Locked: {:?}",
+                other.map(|r| r.warm)
+            );
+            failed = true;
+        }
+    }
+    drop(guard);
+    // A stale lock naming a dead pid must be taken over transparently.
+    let mut dead_pid = u32::MAX - 1;
+    while process_alive(dead_pid) {
+        dead_pid -= 1;
+    }
+    std::fs::write(lock_path(&path), dead_pid.to_string()).or_exit("plant stale lock");
+    let report = serve_with(design, cfg, Some(&path), queries, &ServeOptions::default())
+        .or_exit("serve past stale lock");
+    if report.outcomes.is_empty() || report.persist != PersistStatus::Persisted {
+        eprintln!("chaos_smoke: FAIL - serve past a stale lock did not run cleanly");
+        failed = true;
+    }
+    if lock_path(&path).exists() {
+        eprintln!("chaos_smoke: FAIL - lock file left behind after a clean serve");
+        failed = true;
+    }
+    if !failed {
+        println!("chaos_smoke: PASS - live locks refuse (typed), dead locks taken over");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+    failed
+}

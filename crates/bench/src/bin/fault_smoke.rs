@@ -22,6 +22,7 @@
 use postopc::{
     run_flow, FaultInjection, FaultPolicy, FlowConfig, FlowError, FlowReport, OpcMode, Selection,
 };
+use postopc_bench::OrExit;
 use postopc_layout::{generate, Design, GateId, PlacementOptions, TechRules};
 
 /// Injector seed; any value works, this one injects all three kinds.
@@ -40,14 +41,14 @@ fn main() {
 /// The farm every gate below runs on: dense, uniform, all gates tagged.
 fn farm() -> Design {
     Design::compile_with(
-        generate::inverter_chain(96).expect("netlist"),
+        generate::inverter_chain(96).or_exit("netlist"),
         TechRules::n90(),
         &PlacementOptions {
             utilization: 1.0,
             seed: 11,
         },
     )
-    .expect("design")
+    .or_exit("design")
 }
 
 fn flow_config(policy: FaultPolicy, injection: Option<FaultInjection>) -> FlowConfig {
@@ -95,12 +96,12 @@ fn gates() -> bool {
     let mut failed = false;
 
     // Gate 1: clean-run parity between the two policies.
-    let fail_clean = run_flow(&design, &flow_config(FaultPolicy::Fail, None)).expect("clean run");
+    let fail_clean = run_flow(&design, &flow_config(FaultPolicy::Fail, None)).or_exit("clean run");
     let quarantine_clean = run_flow(
         &design,
         &flow_config(FaultPolicy::Quarantine { max_fraction: 1.0 }, None),
     )
-    .expect("clean quarantine run");
+    .or_exit("clean quarantine run");
     if !reports_match(&fail_clean, &quarantine_clean) {
         eprintln!("fault_smoke: FAIL - clean Quarantine run differs from Fail run");
         failed = true;
@@ -113,7 +114,7 @@ fn gates() -> bool {
     // Gate 2: injected run completes and accounts for every fault.
     let quarantine = FaultPolicy::Quarantine { max_fraction: 1.0 };
     let injected = quiet(|| run_flow(&design, &flow_config(quarantine, Some(injection))))
-        .expect("injected quarantine run");
+        .or_exit("injected quarantine run");
     let recorded: Vec<GateId> = injected.quarantined().iter().map(|q| q.gate).collect();
     if recorded != predicted {
         eprintln!(
@@ -143,7 +144,7 @@ fn gates() -> bool {
     for threads in [1usize, 2, 4] {
         let mut cfg = flow_config(quarantine, Some(injection));
         cfg.extraction.threads = Some(threads);
-        let run = quiet(|| run_flow(&design, &cfg)).expect("injected run in thread matrix");
+        let run = quiet(|| run_flow(&design, &cfg)).or_exit("injected run in thread matrix");
         if !reports_match(&run, &injected) {
             eprintln!("fault_smoke: FAIL - injected run differs at {threads} thread(s)");
             failed = true;

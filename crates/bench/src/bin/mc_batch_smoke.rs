@@ -21,6 +21,7 @@
 //!    EXPERIMENTS.md), and a gate on it would codify noise.
 
 use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc_bench::OrExit;
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, TechRules};
 use postopc_sta::{statistical, McEngine, MonteCarloConfig, Sampling, TimingModel, LANES};
@@ -44,12 +45,12 @@ fn main() {
 /// remainders, plus warm-cache effectiveness. Returns `true` on failure.
 fn parity_gates() -> bool {
     let design = Design::compile(
-        generate::ripple_carry_adder(6).expect("netlist"),
+        generate::ripple_carry_adder(6).or_exit("netlist"),
         TechRules::n90(),
     )
-    .expect("design");
-    let model = TimingModel::new(&design, ProcessParams::n90(), 900.0).expect("model");
-    let compiled = model.compile().expect("compile");
+    .or_exit("design");
+    let model = TimingModel::new(&design, ProcessParams::n90(), 900.0).or_exit("model");
+    let compiled = model.compile().or_exit("compile");
     let mut failed = false;
     // LANES - 1 exercises the sub-batch path, 3 * LANES + 3 a partial
     // tail after full batches, 4 * LANES the exact-multiple path.
@@ -68,9 +69,10 @@ fn parity_gates() -> bool {
                 engine: McEngine::Batched,
                 ..scalar_cfg.clone()
             };
-            let naive = statistical::run_reference(&model, None, &scalar_cfg).expect("naive MC");
-            let scalar = statistical::run_with(&compiled, None, &scalar_cfg).expect("scalar MC");
-            let batched = statistical::run_with(&compiled, None, &batched_cfg).expect("batched MC");
+            let naive = statistical::run_reference(&model, None, &scalar_cfg).or_exit("naive MC");
+            let scalar = statistical::run_with(&compiled, None, &scalar_cfg).or_exit("scalar MC");
+            let batched =
+                statistical::run_with(&compiled, None, &batched_cfg).or_exit("batched MC");
             if scalar != naive {
                 eprintln!("FAIL: scalar != naive ({sampling:?}, {samples} samples)");
                 failed = true;
@@ -103,19 +105,19 @@ fn parity_gates() -> bool {
 /// Returns `true` on failure.
 fn convergence_gate() -> bool {
     let design = postopc_bench::evaluation_design(11);
-    let probe = TimingModel::new(&design, ProcessParams::n90(), 1_000_000.0).expect("probe model");
+    let probe = TimingModel::new(&design, ProcessParams::n90(), 1_000_000.0).or_exit("probe model");
     let clock = probe
         .analyze(None)
-        .expect("probe timing")
+        .or_exit("probe timing")
         .critical_delay_ps()
         * 1.10;
-    let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
-    let drawn = model.analyze(None).expect("drawn timing");
+    let model = TimingModel::new(&design, ProcessParams::n90(), clock).or_exit("model");
+    let drawn = model.analyze(None).or_exit("drawn timing");
     let tags = TagSet::from_critical_paths(&design, &drawn, 40);
     let mut cfg = ExtractionConfig::standard();
     cfg.opc_mode = OpcMode::Rule;
-    let out = extract_gates(&design, &cfg, &tags).expect("extraction");
-    let compiled = model.compile().expect("compile");
+    let out = extract_gates(&design, &cfg, &tags).or_exit("extraction");
+    let compiled = model.compile().or_exit("compile");
     let base = MonteCarloConfig {
         sigma_nm: 1.5,
         seed: 17,
@@ -133,7 +135,7 @@ fn convergence_gate() -> bool {
         ],
         &[1, 2, 3, 4, 5],
     )
-    .expect("convergence study");
+    .or_exit("convergence study");
     let plain = &points[0];
     let mut failed = false;
     for vr in &points[1..] {

@@ -27,6 +27,7 @@
 
 use postopc::{extract_gates, ExtractionConfig, OpcMode, SurrogateConfig, TagSet};
 use postopc_bench::json::{parse_accuracy, parse_speedups};
+use postopc_bench::OrExit;
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
 use postopc_sta::{
@@ -120,14 +121,14 @@ fn parity_gates() -> bool {
     // neighbourhood the context cache thrives on — the same shape as the
     // T9 uniform-farm row, scaled down for CI.
     let design = Design::compile_with(
-        generate::inverter_chain(48).expect("netlist"),
+        generate::inverter_chain(48).or_exit("netlist"),
         TechRules::n90(),
         &PlacementOptions {
             utilization: 1.0,
             seed: 11,
         },
     )
-    .expect("design");
+    .or_exit("design");
     let tags = TagSet::all(&design);
     let mut cached = ExtractionConfig::standard();
     cached.opc_mode = OpcMode::Rule;
@@ -138,11 +139,11 @@ fn parity_gates() -> bool {
     // Each engine gets one warm-up run (fills the thread-local imaging
     // workspaces) and the best of two timed runs.
     let run = |cfg: &ExtractionConfig| {
-        let warm = extract_gates(&design, cfg, &tags).expect("extraction");
+        let warm = extract_gates(&design, cfg, &tags).or_exit("extraction");
         let mut best = f64::MAX;
         for _ in 0..2 {
             let (out, secs) = postopc_bench::timing::time(|| {
-                extract_gates(&design, cfg, &tags).expect("extraction")
+                extract_gates(&design, cfg, &tags).or_exit("extraction")
             });
             assert_eq!(out, warm, "extraction must be deterministic");
             best = best.min(secs);
@@ -170,18 +171,18 @@ fn parity_gates() -> bool {
     // STA section: compiled evaluator vs naive analyze, bit for bit, with
     // one compile shared across drawn, corner and Monte Carlo analyses.
     let sta_design = Design::compile(
-        generate::ripple_carry_adder(3).expect("netlist"),
+        generate::ripple_carry_adder(3).or_exit("netlist"),
         TechRules::n90(),
     )
-    .expect("sta design");
-    let model = TimingModel::new(&sta_design, ProcessParams::n90(), 800.0).expect("model");
-    let compiled = model.compile().expect("compile");
+    .or_exit("sta design");
+    let model = TimingModel::new(&sta_design, ProcessParams::n90(), 800.0).or_exit("model");
+    let compiled = model.compile().or_exit("compile");
     let mut scratch = compiled.scratch();
 
-    let drawn_naive = model.analyze(None).expect("naive drawn");
+    let drawn_naive = model.analyze(None).or_exit("naive drawn");
     let drawn_compiled = compiled
         .evaluate(&mut scratch, None)
-        .expect("compiled drawn");
+        .or_exit("compiled drawn");
     if drawn_naive != drawn_compiled {
         eprintln!("perf_smoke: FAIL - compiled drawn report differs from naive analyze");
         failed = true;
@@ -192,10 +193,10 @@ fn parity_gates() -> bool {
         delta_l_nm: 6.0,
     };
     let ann = corner_annotation(&model, corner.delta_l_nm);
-    let corner_naive = analyze_corner(&model, &corner).expect("naive corner");
+    let corner_naive = analyze_corner(&model, &corner).or_exit("naive corner");
     let corner_compiled = compiled
         .evaluate(&mut scratch, Some(&ann))
-        .expect("compiled corner");
+        .or_exit("compiled corner");
     if corner_naive != corner_compiled {
         eprintln!("perf_smoke: FAIL - compiled corner report differs from naive analyze");
         failed = true;
@@ -209,8 +210,8 @@ fn parity_gates() -> bool {
         engine: McEngine::Scalar,
         ..MonteCarloConfig::default()
     };
-    let mc_compiled = statistical::run_with(&compiled, Some(&ann), &mc).expect("compiled MC");
-    let mc_naive = statistical::run_reference(&model, Some(&ann), &mc).expect("naive MC");
+    let mc_compiled = statistical::run_with(&compiled, Some(&ann), &mc).or_exit("compiled MC");
+    let mc_naive = statistical::run_reference(&model, Some(&ann), &mc).or_exit("naive MC");
     if mc_compiled != mc_naive {
         eprintln!("perf_smoke: FAIL - compiled Monte Carlo differs from naive engine");
         failed = true;
@@ -237,9 +238,9 @@ fn parity_gates() -> bool {
             engine: McEngine::Batched,
             ..scalar_cfg.clone()
         };
-        let scalar = statistical::run_with(&compiled, Some(&ann), &scalar_cfg).expect("scalar MC");
+        let scalar = statistical::run_with(&compiled, Some(&ann), &scalar_cfg).or_exit("scalar MC");
         let batched =
-            statistical::run_with(&compiled, Some(&ann), &batched_cfg).expect("batched MC");
+            statistical::run_with(&compiled, Some(&ann), &batched_cfg).or_exit("batched MC");
         if scalar != batched {
             eprintln!("perf_smoke: FAIL - batched Monte Carlo differs from scalar ({sampling:?})");
             failed = true;
@@ -312,14 +313,14 @@ fn bench_regression() -> bool {
     // no-cache baseline on the diverse-context workload where plain
     // dedup buys little.
     let farm = Design::compile_with(
-        generate::speed_path_farm(20, 24, 11).expect("netlist"),
+        generate::speed_path_farm(20, 24, 11).or_exit("netlist"),
         TechRules::n90(),
         &PlacementOptions {
             utilization: 1.0,
             seed: 11,
         },
     )
-    .expect("farm design");
+    .or_exit("farm design");
     let farm_tags = TagSet::all(&farm);
     let mut farm_baseline = ExtractionConfig::standard();
     farm_baseline.opc_mode = OpcMode::Rule;
@@ -330,10 +331,10 @@ fn bench_regression() -> bool {
     farm_surrogate.threads = None; // all cores
     farm_surrogate.surrogate = SurrogateConfig::standard();
     let (_, farm_baseline_s) = postopc_bench::timing::time(|| {
-        extract_gates(&farm, &farm_baseline, &farm_tags).expect("farm baseline")
+        extract_gates(&farm, &farm_baseline, &farm_tags).or_exit("farm baseline")
     });
     let (surrogate_out, farm_surrogate_s) = postopc_bench::timing::time(|| {
-        extract_gates(&farm, &farm_surrogate, &farm_tags).expect("farm surrogate")
+        extract_gates(&farm, &farm_surrogate, &farm_tags).or_exit("farm surrogate")
     });
     if surrogate_out.stats.surrogate_hits == 0 {
         eprintln!("perf_smoke: FAIL - surrogate served no contexts on the shuffled farm");
@@ -347,14 +348,14 @@ fn bench_regression() -> bool {
     // Extraction: the T9 uniform-farm row — baseline (serial, no cache)
     // vs context cache vs cache + pool, dense 240-inverter farm.
     let design = Design::compile_with(
-        generate::inverter_chain(240).expect("netlist"),
+        generate::inverter_chain(240).or_exit("netlist"),
         TechRules::n90(),
         &PlacementOptions {
             utilization: 1.0,
             seed: 11,
         },
     )
-    .expect("design");
+    .or_exit("design");
     let tags = TagSet::all(&design);
     let mut baseline = ExtractionConfig::standard();
     baseline.opc_mode = OpcMode::Rule;
@@ -364,31 +365,32 @@ fn bench_regression() -> bool {
     cached.cache = true;
     let mut pooled = cached.clone();
     pooled.threads = None; // all cores
-    let (_, baseline_s) =
-        postopc_bench::timing::time(|| extract_gates(&design, &baseline, &tags).expect("baseline"));
+    let (_, baseline_s) = postopc_bench::timing::time(|| {
+        extract_gates(&design, &baseline, &tags).or_exit("baseline")
+    });
     let (_, cached_s) =
-        postopc_bench::timing::time(|| extract_gates(&design, &cached, &tags).expect("cached"));
+        postopc_bench::timing::time(|| extract_gates(&design, &cached, &tags).or_exit("cached"));
     let (_, pooled_s) =
-        postopc_bench::timing::time(|| extract_gates(&design, &pooled, &tags).expect("pooled"));
+        postopc_bench::timing::time(|| extract_gates(&design, &pooled, &tags).or_exit("pooled"));
     failed |= check_floor(&BENCH_FLOORS[1], baseline_s / cached_s.max(1e-9));
     failed |= check_floor(&BENCH_FLOORS[2], baseline_s / pooled_s.max(1e-9));
 
     // STA: the mc_scaling 250-sample row — naive per-sample analyze vs the
     // compiled evaluator on the T6 composite workload, one thread.
     let design = postopc_bench::evaluation_design(11);
-    let probe = TimingModel::new(&design, ProcessParams::n90(), 1_000_000.0).expect("probe model");
+    let probe = TimingModel::new(&design, ProcessParams::n90(), 1_000_000.0).or_exit("probe model");
     let clock = probe
         .analyze(None)
-        .expect("probe timing")
+        .or_exit("probe timing")
         .critical_delay_ps()
         * 1.10;
-    let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
-    let drawn = model.analyze(None).expect("drawn timing");
+    let model = TimingModel::new(&design, ProcessParams::n90(), clock).or_exit("model");
+    let drawn = model.analyze(None).or_exit("drawn timing");
     let path_tags = TagSet::from_critical_paths(&design, &drawn, 40);
     let mut cfg = ExtractionConfig::standard();
     cfg.opc_mode = OpcMode::Rule;
-    let out = extract_gates(&design, &cfg, &path_tags).expect("extraction");
-    let compiled_sta = model.compile().expect("compile");
+    let out = extract_gates(&design, &cfg, &path_tags).or_exit("extraction");
+    let compiled_sta = model.compile().or_exit("compile");
     let mc = MonteCarloConfig {
         samples: 250,
         sigma_nm: 1.5,
@@ -402,14 +404,14 @@ fn bench_regression() -> bool {
         ..mc.clone()
     };
     let (naive_mc, naive_s) = postopc_bench::timing::time(|| {
-        statistical::run_reference(&model, Some(&out.annotation), &mc).expect("naive MC")
+        statistical::run_reference(&model, Some(&out.annotation), &mc).or_exit("naive MC")
     });
     let (compiled_mc, compiled_s) = postopc_bench::timing::time(|| {
-        statistical::run_with(&compiled_sta, Some(&out.annotation), &mc).expect("compiled MC")
+        statistical::run_with(&compiled_sta, Some(&out.annotation), &mc).or_exit("compiled MC")
     });
     let (batched_run, batched_s) = postopc_bench::timing::time(|| {
         statistical::run_with(&compiled_sta, Some(&out.annotation), &batched_mc)
-            .expect("batched MC")
+            .or_exit("batched MC")
     });
     if naive_mc != compiled_mc || naive_mc != batched_run {
         eprintln!("perf_smoke: FAIL - engines diverged during the bench-regression run");

@@ -31,6 +31,7 @@ use postopc::{
     WarmArtifact,
 };
 use postopc_bench::json::{parse_speedups, write_serve_rows, ServeBenchRow};
+use postopc_bench::OrExit;
 use postopc_layout::Design;
 use postopc_sta::{Corner, MonteCarloConfig, TimingModel};
 use std::path::Path;
@@ -71,10 +72,10 @@ fn main() {
 /// A serve config over `paths` critical paths with the fast OPC recipe.
 fn config(design: &Design, paths: usize) -> FlowConfig {
     let probe = TimingModel::new(design, postopc_device::ProcessParams::n90(), 1_000_000.0)
-        .expect("probe model");
+        .or_exit("probe model");
     let clock = probe
         .analyze(None)
-        .expect("probe timing")
+        .or_exit("probe timing")
         .critical_delay_ps()
         * 1.10;
     let mut cfg = FlowConfig::standard(clock);
@@ -112,11 +113,11 @@ fn parity_gates() -> bool {
 
     // --- Gate 1: cold-vs-warm bit parity through the persisted artifact.
     let dir = std::env::temp_dir().join("postopc-serve-smoke");
-    std::fs::create_dir_all(&dir).expect("temp dir");
+    std::fs::create_dir_all(&dir).or_exit("temp dir");
     let path = dir.join("t6.warm");
     std::fs::remove_file(&path).ok();
-    let cold = serve(&design, &cfg, Some(&path), &queries).expect("cold serve");
-    let warm = serve(&design, &cfg, Some(&path), &queries).expect("warm serve");
+    let cold = serve(&design, &cfg, Some(&path), &queries).or_exit("cold serve");
+    let warm = serve(&design, &cfg, Some(&path), &queries).or_exit("warm serve");
     if cold.warm || !warm.warm {
         eprintln!("serve_smoke: FAIL - artifact did not switch the session cold->warm");
         failed = true;
@@ -127,7 +128,7 @@ fn parity_gates() -> bool {
     }
 
     // Malformed artifacts must produce typed errors, never panics.
-    let bytes = std::fs::read(&path).expect("artifact bytes");
+    let bytes = std::fs::read(&path).or_exit("artifact bytes");
     let mut corrupt = bytes.clone();
     let mid = corrupt.len() / 2;
     corrupt[mid] ^= 1;
@@ -148,7 +149,7 @@ fn parity_gates() -> bool {
     let mut wrong_version = bytes.clone();
     wrong_version[8] = 0xfe;
     match WarmArtifact::from_bytes(&wrong_version) {
-        Err(FlowError::Artifact(reason)) if reason.contains("version") => {}
+        Err(FlowError::Artifact(reason)) if reason.to_string().contains("version") => {}
         other => {
             eprintln!("serve_smoke: FAIL - version mismatch not reported as such: {other:?}");
             failed = true;
@@ -158,7 +159,7 @@ fn parity_gates() -> bool {
     // wrong-answer warm one.
     let mut other_cfg = cfg.clone();
     other_cfg.clock_ps += 1.0;
-    let stale = serve(&design, &other_cfg, Some(&path), &queries).expect("stale serve");
+    let stale = serve(&design, &other_cfg, Some(&path), &queries).or_exit("stale serve");
     if stale.warm {
         eprintln!("serve_smoke: FAIL - stale artifact was served warm");
         failed = true;
@@ -166,13 +167,13 @@ fn parity_gates() -> bool {
     std::fs::remove_file(&path).ok();
 
     // --- Gate 2: incremental ECO == full re-run, touching fewer windows.
-    let model = TimingModel::new(&design, cfg.process.clone(), cfg.clock_ps).expect("model");
-    let mut session = TimingSession::new(&model, &cfg).expect("session");
+    let model = TimingModel::new(&design, cfg.process.clone(), cfg.clock_ps).or_exit("model");
+    let mut session = TimingSession::new(&model, &cfg).or_exit("session");
     let all = TagSet::all(&design);
-    let eco = session.apply_eco(&all).expect("eco");
+    let eco = session.apply_eco(&all).or_exit("eco");
     let mut full_cfg = cfg.clone();
     full_cfg.selection = Selection::All;
-    let full = postopc::run_flow(&design, &full_cfg).expect("full flow");
+    let full = postopc::run_flow(&design, &full_cfg).or_exit("full flow");
     if *session.annotation() != full.annotation || eco.report != full.comparison.annotated {
         eprintln!("serve_smoke: FAIL - incremental ECO differs from the full re-run");
         failed = true;
@@ -200,17 +201,17 @@ fn parity_gates() -> bool {
 fn measure(name: &'static str, design: &Design, paths: usize) -> (ServeBenchRow, bool) {
     let cfg = config(design, paths);
     let queries = query_batch();
-    let model = TimingModel::new(design, cfg.process.clone(), cfg.clock_ps).expect("model");
+    let model = TimingModel::new(design, cfg.process.clone(), cfg.clock_ps).or_exit("model");
     let answer =
         |session: &mut TimingSession<'_>, queries: &[SessionQuery]| -> Vec<postopc::QueryOutcome> {
             queries
                 .iter()
-                .map(|q| session.run(q).expect("query"))
+                .map(|q| session.run(q).or_exit("query"))
                 .collect()
         };
     // Cold: everything from scratch, as a one-shot pipeline would.
     let ((mut session, cold_answers), cold_s) = postopc_bench::timing::time(|| {
-        let mut session = TimingSession::new(&model, &cfg).expect("cold session");
+        let mut session = TimingSession::new(&model, &cfg).or_exit("cold session");
         let answers = answer(&mut session, &queries);
         (session, answers)
     });

@@ -23,6 +23,7 @@ use postopc::{
     extract_gates, extract_gates_with_caches, ExtractionConfig, ExtractionOutcome, OpcMode,
     SurrogateConfig, TagSet,
 };
+use postopc_bench::OrExit;
 use postopc_layout::{generate, Design, PlacementOptions, TechRules};
 use postopc_litho::SurrogateModel;
 
@@ -67,7 +68,7 @@ fn dense(netlist: postopc_layout::Netlist) -> Design {
             seed: 11,
         },
     )
-    .expect("design compiles")
+    .or_exit("design compiles")
 }
 
 /// Worst |Δl| over all annotated channel lengths between two outcomes of
@@ -78,7 +79,7 @@ fn worst_cd_delta_nm(truth: &ExtractionOutcome, fast: &ExtractionOutcome) -> f64
         let f_ann = fast
             .annotation
             .gate(*gate)
-            .expect("both runs annotate the same gates");
+            .or_exit("both runs annotate the same gates");
         for (t, f) in t_ann.transistors.iter().zip(&f_ann.transistors) {
             worst = worst
                 .max((t.l_delay_nm - f.l_delay_nm).abs())
@@ -91,7 +92,7 @@ fn worst_cd_delta_nm(truth: &ExtractionOutcome, fast: &ExtractionOutcome) -> f64
 /// Runs every gate; returns `true` on failure.
 fn gates(model_path: Option<&str>) -> bool {
     let mut failed = false;
-    let farm = dense(generate::speed_path_farm(20, 24, 11).expect("farm generates"));
+    let farm = dense(generate::speed_path_farm(20, 24, 11).or_exit("farm generates"));
     let farm_tags = TagSet::all(&farm);
 
     // Serial no-cache baseline: the denominator of the speedup gate and
@@ -101,20 +102,20 @@ fn gates(model_path: Option<&str>) -> bool {
     baseline_cfg.cache = false;
     baseline_cfg.threads = Some(1);
     let (_, baseline_s) = postopc_bench::timing::time(|| {
-        extract_gates(&farm, &baseline_cfg, &farm_tags).expect("baseline extraction")
+        extract_gates(&farm, &baseline_cfg, &farm_tags).or_exit("baseline extraction")
     });
 
     // Pure-SOCS truth (cache + pool, no surrogate) for the parity gates.
     let mut truth_cfg = ExtractionConfig::standard();
     truth_cfg.opc_mode = OpcMode::Rule;
-    let truth = extract_gates(&farm, &truth_cfg, &farm_tags).expect("truth extraction");
+    let truth = extract_gates(&farm, &truth_cfg, &farm_tags).or_exit("truth extraction");
 
     // Gate 1+4: the surrogate run — serves contexts, tracks truth, beats
     // the baseline.
     let mut surrogate_cfg = truth_cfg.clone();
     surrogate_cfg.surrogate = SurrogateConfig::standard();
     let (fast, fast_s) = postopc_bench::timing::time(|| {
-        extract_gates(&farm, &surrogate_cfg, &farm_tags).expect("surrogate extraction")
+        extract_gates(&farm, &surrogate_cfg, &farm_tags).or_exit("surrogate extraction")
     });
     let speedup = baseline_s / fast_s.max(1e-9);
     println!(
@@ -149,7 +150,7 @@ fn gates(model_path: Option<&str>) -> bool {
     // surrogate runs are bit-identical (stats included).
     let mut serial_cfg = surrogate_cfg.clone();
     serial_cfg.threads = Some(1);
-    let serial = extract_gates(&farm, &serial_cfg, &farm_tags).expect("serial surrogate");
+    let serial = extract_gates(&farm, &serial_cfg, &farm_tags).or_exit("serial surrogate");
     if serial != fast {
         eprintln!("surrogate_smoke: FAIL - surrogate outcome differs between serial and pool");
         failed = true;
@@ -161,7 +162,7 @@ fn gates(model_path: Option<&str>) -> bool {
     // decline every context of an unrelated adder layout. One giant
     // round freezes the decisions on the pretrained state, so online
     // training cannot quietly pull the layout in-distribution mid-run.
-    let chain = dense(generate::inverter_chain(240).expect("chain generates"));
+    let chain = dense(generate::inverter_chain(240).or_exit("chain generates"));
     let mut train_cfg = ExtractionConfig::standard();
     train_cfg.opc_mode = OpcMode::Rule;
     train_cfg.surrogate = SurrogateConfig {
@@ -176,12 +177,12 @@ fn gates(model_path: Option<&str>) -> bool {
         None,
         Some(&mut chain_model),
     )
-    .expect("chain training run");
+    .or_exit("chain training run");
     let ood_design = Design::compile(
-        generate::ripple_carry_adder(4).expect("adder generates"),
+        generate::ripple_carry_adder(4).or_exit("adder generates"),
         TechRules::n90(),
     )
-    .expect("adder compiles");
+    .or_exit("adder compiles");
     let mut ood_cfg = ExtractionConfig::standard();
     ood_cfg.opc_mode = OpcMode::Rule;
     ood_cfg.surrogate = SurrogateConfig {
@@ -191,7 +192,7 @@ fn gates(model_path: Option<&str>) -> bool {
         ..SurrogateConfig::standard()
     };
     let ood =
-        extract_gates(&ood_design, &ood_cfg, &TagSet::all(&ood_design)).expect("OOD extraction");
+        extract_gates(&ood_design, &ood_cfg, &TagSet::all(&ood_design)).or_exit("OOD extraction");
     println!(
         "surrogate_smoke: OOD adder: {} predicted, {} of {} unique contexts fell back",
         ood.stats.surrogate_hits, ood.stats.surrogate_fallbacks, ood.stats.windows,
@@ -225,7 +226,7 @@ fn gates(model_path: Option<&str>) -> bool {
         };
         let mut pre_cfg = surrogate_cfg.clone();
         pre_cfg.surrogate.pretrained = Some(model);
-        let pre = extract_gates(&farm, &pre_cfg, &farm_tags).expect("pretrained extraction");
+        let pre = extract_gates(&farm, &pre_cfg, &farm_tags).or_exit("pretrained extraction");
         let pre_worst = worst_cd_delta_nm(&truth, &pre);
         println!(
             "surrogate_smoke: pretrained: {} predicted (online run: {}), worst CD delta {pre_worst:.3} nm",

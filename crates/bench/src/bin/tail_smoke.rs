@@ -27,6 +27,7 @@
 //!    and a gate there would codify noise.
 
 use postopc::{extract_gates, ExtractionConfig, OpcMode, TagSet};
+use postopc_bench::OrExit;
 use postopc_device::ProcessParams;
 use postopc_layout::{generate, Design, TechRules};
 use postopc_sta::{
@@ -55,10 +56,10 @@ fn main() {
 
 fn rca_model() -> (Design, f64) {
     let design = Design::compile(
-        generate::ripple_carry_adder(6).expect("netlist"),
+        generate::ripple_carry_adder(6).or_exit("netlist"),
         TechRules::n90(),
     )
-    .expect("design");
+    .or_exit("design");
     (design, 900.0)
 }
 
@@ -67,8 +68,8 @@ fn rca_model() -> (Design, f64) {
 /// `POSTOPC_THREADS`. Returns `true` on failure.
 fn parity_gates() -> bool {
     let (design, clock) = rca_model();
-    let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
-    let compiled = model.compile().expect("compile");
+    let model = TimingModel::new(&design, ProcessParams::n90(), clock).or_exit("model");
+    let compiled = model.compile().or_exit("compile");
     let mut failed = false;
     // LANES - 1 exercises the sub-batch path, 3 * LANES + 3 a partial
     // tail after full batches, 4 * LANES the exact-multiple path.
@@ -87,9 +88,9 @@ fn parity_gates() -> bool {
             engine: McEngine::Batched,
             ..scalar_cfg.clone()
         };
-        let naive = statistical::run_reference(&model, None, &scalar_cfg).expect("naive MC");
-        let scalar = statistical::run_with(&compiled, None, &scalar_cfg).expect("scalar MC");
-        let batched = statistical::run_with(&compiled, None, &batched_cfg).expect("batched MC");
+        let naive = statistical::run_reference(&model, None, &scalar_cfg).or_exit("naive MC");
+        let scalar = statistical::run_with(&compiled, None, &scalar_cfg).or_exit("scalar MC");
+        let batched = statistical::run_with(&compiled, None, &batched_cfg).or_exit("batched MC");
         if scalar != naive {
             eprintln!("FAIL: scalar != naive (tail-IS + CV, {samples} samples)");
             failed = true;
@@ -108,8 +109,8 @@ fn parity_gates() -> bool {
             threads: Some(1),
             ..batched_cfg
         };
-        let env_run = statistical::run_with(&compiled, None, &env_cfg).expect("env MC");
-        let pinned = statistical::run_with(&compiled, None, &pinned_cfg).expect("pinned MC");
+        let env_run = statistical::run_with(&compiled, None, &env_cfg).or_exit("env MC");
+        let pinned = statistical::run_with(&compiled, None, &pinned_cfg).or_exit("pinned MC");
         if env_run != pinned {
             eprintln!(
                 "FAIL: POSTOPC_THREADS changed tail-IS results ({samples} samples, \
@@ -147,7 +148,7 @@ fn parity_gates() -> bool {
 /// on failure.
 fn weight_gates() -> bool {
     let (design, clock) = rca_model();
-    let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
+    let model = TimingModel::new(&design, ProcessParams::n90(), clock).or_exit("model");
     let mut failed = false;
 
     let cfg = MonteCarloConfig {
@@ -158,7 +159,7 @@ fn weight_gates() -> bool {
         control_variate: true,
         ..MonteCarloConfig::default()
     };
-    let run = statistical::run(&model, None, &cfg).expect("tail MC");
+    let run = statistical::run(&model, None, &cfg).or_exit("tail MC");
     let weights = run.weights();
     let sum: f64 = weights.iter().sum();
     if weights.len() != cfg.samples
@@ -184,8 +185,8 @@ fn weight_gates() -> bool {
         control_variate: false,
         ..cfg.clone()
     };
-    let zero = statistical::run(&model, None, &zero_cfg).expect("zero-tilt MC");
-    let plain = statistical::run(&model, None, &plain_cfg).expect("plain MC");
+    let zero = statistical::run(&model, None, &zero_cfg).or_exit("zero-tilt MC");
+    let plain = statistical::run(&model, None, &plain_cfg).or_exit("plain MC");
     let uniform = 1.0 / cfg.samples as f64;
     if zero
         .worst_slacks_ps()
@@ -229,19 +230,19 @@ fn weight_gates() -> bool {
 /// `true` on failure.
 fn tail_convergence_gate() -> bool {
     let design = postopc_bench::evaluation_design(11);
-    let probe = TimingModel::new(&design, ProcessParams::n90(), 1_000_000.0).expect("probe model");
+    let probe = TimingModel::new(&design, ProcessParams::n90(), 1_000_000.0).or_exit("probe model");
     let clock = probe
         .analyze(None)
-        .expect("probe timing")
+        .or_exit("probe timing")
         .critical_delay_ps()
         * 1.10;
-    let model = TimingModel::new(&design, ProcessParams::n90(), clock).expect("model");
-    let drawn = model.analyze(None).expect("drawn timing");
+    let model = TimingModel::new(&design, ProcessParams::n90(), clock).or_exit("model");
+    let drawn = model.analyze(None).or_exit("drawn timing");
     let tags = TagSet::from_critical_paths(&design, &drawn, 40);
     let mut cfg = ExtractionConfig::standard();
     cfg.opc_mode = OpcMode::Rule;
-    let out = extract_gates(&design, &cfg, &tags).expect("extraction");
-    let compiled = model.compile().expect("compile");
+    let out = extract_gates(&design, &cfg, &tags).or_exit("extraction");
+    let compiled = model.compile().or_exit("compile");
     let base = MonteCarloConfig {
         sigma_nm: 1.5,
         seed: 17,
@@ -258,7 +259,7 @@ fn tail_convergence_gate() -> bool {
         ],
         &[1, 2, 3, 4, 5, 6, 7, 8, 9, 10],
     )
-    .expect("convergence study");
+    .or_exit("convergence study");
     let plain = &points[0];
     let tail = &points[1];
     println!(

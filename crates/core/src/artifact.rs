@@ -34,7 +34,8 @@
 //! [`content_hash`] of its current inputs against the stored hash and
 //! falls back to a cold compile on mismatch.
 
-use crate::error::Result;
+use crate::durable::ArtifactIo;
+use crate::error::{ArtifactError, Result};
 use crate::extract::{artifact_err, put_u64, take_u64, ContextStore};
 use crate::fault::FaultPolicy;
 use crate::flow::FlowConfig;
@@ -180,8 +181,9 @@ impl WarmArtifact {
         ver.copy_from_slice(&bytes[cursor..cursor + 4]);
         let version = u32::from_le_bytes(ver);
         if version != ARTIFACT_VERSION {
-            return Err(artifact_err(&format!(
-                "unsupported version {version} (expected {ARTIFACT_VERSION})"
+            return Err(crate::FlowError::Artifact(ArtifactError::version(
+                version,
+                ARTIFACT_VERSION,
             )));
         }
         cursor += 4;
@@ -241,44 +243,85 @@ impl WarmArtifact {
         })
     }
 
-    /// Writes the artifact to `path` ([`Self::to_bytes`] + one `write`).
+    /// Writes the artifact to `path` atomically: the bytes are staged in
+    /// `<path>.tmp.<pid>`, fsynced, renamed into place, and the parent
+    /// directory fsynced — a crash or failure at any step leaves the
+    /// previous artifact at `path` untouched.
     ///
     /// # Errors
     ///
-    /// [`FlowError::Artifact`] carrying the rendered I/O error.
+    /// [`FlowError::Artifact`] with an
+    /// [`ArtifactErrorKind::Io`](crate::ArtifactErrorKind::Io) naming
+    /// the path and failing operation (write/fsync/rename).
     pub fn save(&self, path: &Path) -> Result<()> {
-        std::fs::write(path, self.to_bytes())
-            .map_err(|e| artifact_err(&format!("cannot write {}: {e}", path.display())))
+        self.save_with(path, &mut ArtifactIo::faultless())
+    }
+
+    /// [`Self::save`] through a caller-supplied I/O context (fault
+    /// injection and retry policy).
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::save`].
+    pub fn save_with(&self, path: &Path, io: &mut ArtifactIo) -> Result<()> {
+        io.write_atomic(path, &self.to_bytes())
     }
 
     /// Reads and parses an artifact from `path`.
     ///
     /// # Errors
     ///
-    /// [`FlowError::Artifact`] for I/O failures and, via
-    /// [`Self::from_bytes`], for any malformed content.
+    /// [`FlowError::Artifact`] for I/O failures (transient ones are
+    /// retried) and, via [`Self::from_bytes`], for any malformed
+    /// content; decode errors carry `path`.
     pub fn load(path: &Path) -> Result<WarmArtifact> {
-        let bytes = std::fs::read(path)
-            .map_err(|e| artifact_err(&format!("cannot read {}: {e}", path.display())))?;
-        WarmArtifact::from_bytes(&bytes)
+        WarmArtifact::load_with(path, &mut ArtifactIo::faultless())
     }
 
-    /// [`Self::load`] plus an invalidation check against the hash of the
-    /// consumer's current inputs.
+    /// [`Self::load`] through a caller-supplied I/O context.
     ///
     /// # Errors
     ///
-    /// [`FlowError::Artifact`] when the stored hash differs from
-    /// `expected_hash` (the inputs changed: recompile cold), plus
-    /// everything [`Self::load`] can return.
+    /// As [`Self::load`].
+    pub fn load_with(path: &Path, io: &mut ArtifactIo) -> Result<WarmArtifact> {
+        let bytes = io.read(path)?;
+        WarmArtifact::from_bytes(&bytes).map_err(|e| match e {
+            crate::FlowError::Artifact(err) => crate::FlowError::Artifact(err.with_path(path)),
+            other => other,
+        })
+    }
+
+    /// [`Self::load`] plus an invalidation check against the hash of the
+    /// consumer's current inputs — the full recovery ladder: I/O errors,
+    /// torn/partial bytes, foreign versions and stale hashes each come
+    /// back as their own [`ArtifactErrorKind`](crate::ArtifactErrorKind).
+    ///
+    /// # Errors
+    ///
+    /// [`FlowError::Artifact`] with
+    /// [`ArtifactErrorKind::StaleHash`](crate::ArtifactErrorKind::StaleHash)
+    /// when the stored hash differs from `expected_hash` (the inputs
+    /// changed: recompile cold), plus everything [`Self::load`] can
+    /// return.
     pub fn load_validated(path: &Path, expected_hash: u64) -> Result<WarmArtifact> {
-        let artifact = WarmArtifact::load(path)?;
+        WarmArtifact::load_validated_with(path, expected_hash, &mut ArtifactIo::faultless())
+    }
+
+    /// [`Self::load_validated`] through a caller-supplied I/O context.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::load_validated`].
+    pub fn load_validated_with(
+        path: &Path,
+        expected_hash: u64,
+        io: &mut ArtifactIo,
+    ) -> Result<WarmArtifact> {
+        let artifact = WarmArtifact::load_with(path, io)?;
         if artifact.content_hash != expected_hash {
-            return Err(artifact_err(&format!(
-                "content hash mismatch: artifact {:#018x}, inputs {:#018x} — \
-                 layout, process or config changed since it was built",
-                artifact.content_hash, expected_hash
-            )));
+            return Err(crate::FlowError::Artifact(
+                ArtifactError::stale(artifact.content_hash, expected_hash).with_path(path),
+            ));
         }
         Ok(artifact)
     }

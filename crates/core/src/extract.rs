@@ -635,7 +635,7 @@ impl ContextStore {
 }
 
 pub(crate) fn artifact_err(reason: &str) -> FlowError {
-    FlowError::Artifact(reason.to_string())
+    FlowError::Artifact(crate::error::ArtifactError::corrupt(reason))
 }
 
 pub(crate) fn put_u64(out: &mut Vec<u8>, v: u64) {

@@ -13,11 +13,12 @@
 
 use crate::artifact::{content_hash, WarmArtifact};
 use crate::compare::TimingComparison;
-use crate::error::Result;
+use crate::durable::{ArtifactIo, ArtifactLock, IoFaultInjection, RetryPolicy};
+use crate::error::{ArtifactErrorKind, FlowError, Result};
 use crate::extract::{extract_gates, ExtractionConfig, ExtractionStats};
 use crate::fault::FaultPolicy;
 use crate::multilayer::{extract_wires, WireExtractionConfig, WireExtractionStats};
-use crate::session::{QueryOutcome, SessionQuery, TimingSession};
+use crate::session::{BudgetedOutcome, SampleBudget, SessionQuery, TimingSession};
 use crate::tags::TagSet;
 use postopc_device::ProcessParams;
 use postopc_layout::{Design, NetId};
@@ -170,15 +171,124 @@ pub fn run_flow(design: &Design, config: &FlowConfig) -> Result<FlowReport> {
     })
 }
 
+/// Why a [`serve`] invocation came up cold instead of warm — the rung of
+/// the recovery ladder that rejected the persisted artifact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColdReason {
+    /// No artifact existed at the given path (first run, or a previous
+    /// crash before any artifact was published).
+    Missing,
+    /// The artifact bytes were torn or garbled: bad magic, truncation, a
+    /// checksum mismatch or an undecodable section.
+    Corrupt,
+    /// The artifact decoded cleanly but its content hash does not match
+    /// these inputs — the layout, process or config changed since it was
+    /// written.
+    Stale,
+    /// The artifact carries an unsupported format version (written by a
+    /// different build).
+    Version,
+    /// The artifact could not be read at all (I/O error, including an
+    /// exhausted transient-retry budget).
+    Io,
+}
+
+impl std::fmt::Display for ColdReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ColdReason::Missing => "missing",
+            ColdReason::Corrupt => "corrupt",
+            ColdReason::Stale => "stale-hash",
+            ColdReason::Version => "version",
+            ColdReason::Io => "io",
+        })
+    }
+}
+
+impl ColdReason {
+    /// Classifies a failed artifact load into its ladder rung. Non-artifact
+    /// errors (which the load path does not produce) classify as `Io`.
+    fn classify(e: &FlowError) -> ColdReason {
+        match e {
+            FlowError::Artifact(a) => match a.kind {
+                ArtifactErrorKind::Corrupt => ColdReason::Corrupt,
+                ArtifactErrorKind::Version { .. } => ColdReason::Version,
+                ArtifactErrorKind::StaleHash { .. } => ColdReason::Stale,
+                ArtifactErrorKind::Io { .. } | ArtifactErrorKind::Locked { .. } => ColdReason::Io,
+            },
+            _ => ColdReason::Io,
+        }
+    }
+}
+
+/// What happened to artifact persistence during a [`serve`] invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistStatus {
+    /// Nothing to persist: no artifact path was given, or the session
+    /// came up warm from a still-valid artifact.
+    Skipped,
+    /// A fresh artifact was atomically published for the next caller.
+    Persisted,
+    /// The save failed after retries. The serve still answered every
+    /// query (persistence is an optimization, not a correctness
+    /// dependency); the next caller pays a cold start.
+    Failed {
+        /// The rendered artifact error that aborted the save.
+        detail: String,
+    },
+}
+
+/// Durability and deadline options for [`serve_with`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeOptions {
+    /// Seeded I/O fault injection over every artifact read, write, fsync,
+    /// rename and lock this serve performs. `None` (the default) is the
+    /// plain production I/O path. Injection never changes query answers —
+    /// only whether/how persistence succeeds — so it deliberately lives
+    /// outside [`FlowConfig`] and the artifact content hash.
+    pub io_fault: Option<IoFaultInjection>,
+    /// Retry policy for the transient I/O error class.
+    pub retry: RetryPolicy,
+    /// Optional query deadline as a deterministic sample-count budget
+    /// shared by the whole batch (Monte Carlo samples, corners and
+    /// what-ifs all draw from it in evaluation-equivalents). Exhaustion
+    /// yields typed [`BudgetedOutcome::Partial`] / `Skipped` outcomes,
+    /// never a hang or a panic.
+    pub budget: Option<u64>,
+    /// Hold the sidecar advisory lock (`<path>.lock`) across the
+    /// load/save window so two serves against one artifact path cannot
+    /// interleave. On contention with a live owner the serve fails with
+    /// a typed [`ArtifactErrorKind::Locked`] error.
+    pub lock: bool,
+}
+
+impl Default for ServeOptions {
+    fn default() -> ServeOptions {
+        ServeOptions {
+            io_fault: None,
+            retry: RetryPolicy::default(),
+            budget: None,
+            lock: true,
+        }
+    }
+}
+
 /// The result of one [`serve`] invocation.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServeReport {
-    /// One outcome per submitted query, in submission order.
-    pub outcomes: Vec<QueryOutcome>,
+    /// One outcome per submitted query, in submission order. Without a
+    /// budget every entry is [`BudgetedOutcome::Full`].
+    pub outcomes: Vec<BudgetedOutcome>,
     /// Whether the session came up warm from a valid persisted artifact
     /// (false: it compiled cold, and — when a path was given — wrote a
     /// fresh artifact for the next invocation).
     pub warm: bool,
+    /// Why the session came up cold, when it did and a path was given:
+    /// the recovery-ladder rung that rejected the artifact. `None` on a
+    /// warm start or a pathless serve.
+    pub cold_reason: Option<ColdReason>,
+    /// Whether a fresh artifact was persisted for the next caller.
+    pub persist: PersistStatus,
     /// Wall-clock time to bring the session up (cold compile + extract,
     /// or artifact load + cache-hot re-evaluation).
     pub startup_time: Duration,
@@ -189,48 +299,105 @@ pub struct ServeReport {
 /// Batch-query service mode: brings up one [`TimingSession`] — warm from
 /// `artifact_path` when a valid artifact for these exact inputs exists
 /// there, cold otherwise (persisting a fresh artifact to the path for
-/// the next caller) — and answers every query against it.
+/// the next caller) — and answers every query against it. Equivalent to
+/// [`serve_with`] under [`ServeOptions::default`].
 ///
 /// A stale artifact (different content hash over the layout, process,
-/// clock, gate selection, wire config or extraction config) or a corrupt
-/// one is treated as absent: the service recompiles cold and overwrites
-/// it. Answers are bit-identical either way; only `startup_time`
-/// differs.
+/// clock, gate selection, wire config or extraction config), a corrupt
+/// one, or one that cannot be read is treated as absent: the service
+/// recompiles cold and overwrites it, recording the
+/// [`ServeReport::cold_reason`]. Answers are bit-identical either way;
+/// only `startup_time` differs.
 ///
 /// # Errors
 ///
-/// Propagates configuration, extraction, timing and artifact-write
-/// errors.
+/// Propagates configuration, extraction and timing errors, and the typed
+/// [`ArtifactErrorKind::Locked`] contention error. A failed artifact
+/// *save* is not an error: it degrades to [`PersistStatus::Failed`] and
+/// the queries are still answered.
 pub fn serve(
     design: &Design,
     config: &FlowConfig,
     artifact_path: Option<&Path>,
     queries: &[SessionQuery],
 ) -> Result<ServeReport> {
+    serve_with(
+        design,
+        config,
+        artifact_path,
+        queries,
+        &ServeOptions::default(),
+    )
+}
+
+/// [`serve`] with explicit durability and deadline options: seeded I/O
+/// fault injection, a transient-retry policy, a sample-count query
+/// budget and advisory locking. See [`ServeOptions`].
+///
+/// # Errors
+///
+/// As [`serve`]; additionally [`FlowError::InvalidConfig`] when the
+/// fault injection is malconfigured.
+pub fn serve_with(
+    design: &Design,
+    config: &FlowConfig,
+    artifact_path: Option<&Path>,
+    queries: &[SessionQuery],
+    options: &ServeOptions,
+) -> Result<ServeReport> {
+    if let Some(injection) = &options.io_fault {
+        injection.validate()?;
+    }
+    let mut io = ArtifactIo::new(options.io_fault, options.retry);
+    // The lock brackets the whole load/save window; dropping the guard
+    // (on every exit path) releases it.
+    let _lock = match artifact_path {
+        Some(path) if options.lock => Some(ArtifactLock::acquire(&mut io, path)?),
+        _ => None,
+    };
     let model = TimingModel::new(design, config.process.clone(), config.clock_ps)?;
     let t0 = Instant::now();
     let expected = content_hash(design, config);
-    let restored = artifact_path
-        .filter(|p| p.exists())
-        .and_then(|p| WarmArtifact::load_validated(p, expected).ok());
+    // The recovery ladder: missing → cold; unreadable/torn/foreign-version/
+    // stale → cold with the rung recorded; valid → warm.
+    let (restored, cold_reason) = match artifact_path {
+        None => (None, None),
+        Some(p) if !p.exists() => (None, Some(ColdReason::Missing)),
+        Some(p) => match WarmArtifact::load_validated_with(p, expected, &mut io) {
+            Ok(artifact) => (Some(artifact), None),
+            Err(e) => (None, Some(ColdReason::classify(&e))),
+        },
+    };
     let warm = restored.is_some();
     let mut session = match restored {
         Some(artifact) => TimingSession::restore(&model, config, artifact)?,
         None => TimingSession::new(&model, config)?,
     };
-    if let (Some(path), false) = (artifact_path, warm) {
-        session.artifact().save(path)?;
-    }
+    let persist = match (artifact_path, warm) {
+        (Some(path), false) => match session.artifact().save_with(path, &mut io) {
+            Ok(()) => PersistStatus::Persisted,
+            // Graceful degradation: the artifact is a warm-start
+            // optimization, so a failed save must not take down the
+            // answers. The next caller simply starts cold.
+            Err(e) => PersistStatus::Failed {
+                detail: e.to_string(),
+            },
+        },
+        _ => PersistStatus::Skipped,
+    };
     let startup_time = t0.elapsed();
     let t1 = Instant::now();
+    let mut budget = options.budget.map(SampleBudget::new);
     let outcomes = queries
         .iter()
-        .map(|q| session.run(q))
+        .map(|q| session.run_budgeted(q, budget.as_mut()))
         .collect::<Result<Vec<_>>>()?;
     let query_time = t1.elapsed();
     Ok(ServeReport {
         outcomes,
         warm,
+        cold_reason,
+        persist,
         startup_time,
         query_time,
     })

@@ -42,6 +42,7 @@
 mod artifact;
 mod compare;
 pub mod dfm;
+pub mod durable;
 mod error;
 mod extract;
 mod fault;
@@ -54,14 +55,22 @@ mod tags;
 
 pub use artifact::{content_hash, WarmArtifact, ARTIFACT_MAGIC, ARTIFACT_VERSION};
 pub use compare::TimingComparison;
-pub use error::{FlowError, Result};
+pub use durable::{
+    retry_transient, ArtifactIo, ArtifactLock, InjectedIoFault, IoFaultInjection, RetryPolicy,
+};
+pub use error::{ArtifactError, ArtifactErrorKind, ArtifactOp, FlowError, Result};
 pub use extract::{
     extract_gates, extract_gates_with_caches, extract_gates_with_store, AcrossChipMap,
     ContextStore, ExtractionConfig, ExtractionOutcome, ExtractionStats, OpcMode, SurrogateConfig,
     SURROGATE_FEATURE_DIM,
 };
 pub use fault::{FaultInjection, FaultPolicy, FaultStage, InjectedFault, QuarantinedGate};
-pub use flow::{run_flow, serve, FlowConfig, FlowReport, Selection, ServeReport};
+pub use flow::{
+    run_flow, serve, serve_with, ColdReason, FlowConfig, FlowReport, PersistStatus, Selection,
+    ServeOptions, ServeReport,
+};
 pub use multilayer::{extract_wires, WireExtractionConfig, WireExtractionStats};
-pub use session::{EcoOutcome, QueryOutcome, SessionQuery, TimingSession};
+pub use session::{
+    BudgetedOutcome, EcoOutcome, QueryOutcome, SampleBudget, SessionQuery, TimingSession,
+};
 pub use tags::TagSet;

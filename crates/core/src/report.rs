@@ -103,16 +103,75 @@ pub fn render_extraction_stats(stats: &crate::ExtractionStats) -> String {
     out
 }
 
+/// One query outcome's table row: the query kind and a one-line answer.
+fn summarize_outcome(outcome: &crate::QueryOutcome) -> (&'static str, String) {
+    match outcome {
+        crate::QueryOutcome::Guardband(g) => (
+            "guardband",
+            format!(
+                "corner {:.1} ps vs statistical {:.1} ps (recoverable {:.1} ps)",
+                g.corner_delay_ps, g.statistical_delay_ps, g.recoverable_margin_ps
+            ),
+        ),
+        crate::QueryOutcome::Corners(reports) => (
+            "corners",
+            reports
+                .iter()
+                .map(|r| format!("{:.1} ps", r.critical_delay_ps()))
+                .collect::<Vec<_>>()
+                .join(", "),
+        ),
+        crate::QueryOutcome::MonteCarlo(mc) => {
+            let scheme = match mc.sampling() {
+                postopc_sta::Sampling::Plain => String::new(),
+                postopc_sta::Sampling::Antithetic => " [antithetic]".into(),
+                postopc_sta::Sampling::Stratified => " [stratified]".into(),
+                postopc_sta::Sampling::TailIs { tilt } => {
+                    format!(" [tail-IS tilt {tilt:.2}]")
+                }
+            };
+            let mean_ps = if mc.control_values_ps().is_empty() {
+                format!("mean slack {:.1} ps", mc.mean_worst_slack_ps())
+            } else {
+                format!(
+                    "CV-adjusted mean slack {:.1} ps",
+                    mc.cv_adjusted_mean_worst_slack_ps()
+                )
+            };
+            (
+                "monte carlo",
+                format!(
+                    "{} samples{scheme}, {mean_ps}, p1 slack {:.1} ps",
+                    mc.worst_slacks_ps().len(),
+                    mc.worst_slack_quantile_ps(0.01)
+                ),
+            )
+        }
+        crate::QueryOutcome::WhatIf(r) => (
+            "what-if",
+            format!(
+                "critical {:.1} ps, worst slack {:.1} ps",
+                r.critical_delay_ps(),
+                r.worst_slack_ps()
+            ),
+        ),
+    }
+}
+
 /// Renders one [`crate::serve`] invocation: how the session came up
-/// (warm/cold), the startup-vs-query wall clock, and a one-line summary
-/// per answered query.
+/// (warm/cold, with the recovery-ladder reason on a cold start), whether
+/// a fresh artifact was persisted, the startup-vs-query wall clock, and
+/// a one-line summary per answered query — partial and skipped answers
+/// under a sample budget are flagged on their rows.
 ///
 /// ```
 /// use postopc::report::render_serve_report;
-/// use postopc::ServeReport;
+/// use postopc::{PersistStatus, ServeReport};
 /// let t = render_serve_report(&ServeReport {
 ///     outcomes: vec![],
 ///     warm: true,
+///     cold_reason: None,
+///     persist: PersistStatus::Skipped,
 ///     startup_time: std::time::Duration::from_millis(12),
 ///     query_time: std::time::Duration::from_millis(3),
 /// });
@@ -123,68 +182,51 @@ pub fn render_serve_report(report: &crate::ServeReport) -> String {
         .outcomes
         .iter()
         .enumerate()
-        .map(|(i, outcome)| {
-            let (kind, summary) = match outcome {
-                crate::QueryOutcome::Guardband(g) => (
-                    "guardband",
-                    format!(
-                        "corner {:.1} ps vs statistical {:.1} ps (recoverable {:.1} ps)",
-                        g.corner_delay_ps, g.statistical_delay_ps, g.recoverable_margin_ps
-                    ),
-                ),
-                crate::QueryOutcome::Corners(reports) => (
-                    "corners",
-                    reports
-                        .iter()
-                        .map(|r| format!("{:.1} ps", r.critical_delay_ps()))
-                        .collect::<Vec<_>>()
-                        .join(", "),
-                ),
-                crate::QueryOutcome::MonteCarlo(mc) => {
-                    let scheme = match mc.sampling() {
-                        postopc_sta::Sampling::Plain => String::new(),
-                        postopc_sta::Sampling::Antithetic => " [antithetic]".into(),
-                        postopc_sta::Sampling::Stratified => " [stratified]".into(),
-                        postopc_sta::Sampling::TailIs { tilt } => {
-                            format!(" [tail-IS tilt {tilt:.2}]")
-                        }
-                    };
-                    let mean_ps = if mc.control_values_ps().is_empty() {
-                        format!("mean slack {:.1} ps", mc.mean_worst_slack_ps())
-                    } else {
-                        format!(
-                            "CV-adjusted mean slack {:.1} ps",
-                            mc.cv_adjusted_mean_worst_slack_ps()
-                        )
-                    };
+        .map(|(i, budgeted)| {
+            let (kind, summary) = match budgeted {
+                crate::BudgetedOutcome::Full(outcome) => summarize_outcome(outcome),
+                crate::BudgetedOutcome::Partial {
+                    completed,
+                    requested,
+                    outcome,
+                } => {
+                    let (kind, summary) = summarize_outcome(outcome);
                     (
-                        "monte carlo",
-                        format!(
-                            "{} samples{scheme}, {mean_ps}, p1 slack {:.1} ps",
-                            mc.worst_slacks_ps().len(),
-                            mc.worst_slack_quantile_ps(0.01)
-                        ),
+                        kind,
+                        format!("{summary} [partial: budget granted {completed}/{requested}]"),
                     )
                 }
-                crate::QueryOutcome::WhatIf(r) => (
-                    "what-if",
-                    format!(
-                        "critical {:.1} ps, worst slack {:.1} ps",
-                        r.critical_delay_ps(),
-                        r.worst_slack_ps()
-                    ),
+                crate::BudgetedOutcome::Skipped { requested } => (
+                    "skipped",
+                    format!("budget exhausted before its {requested} requested samples"),
                 ),
             };
             vec![format!("{}", i + 1), kind.into(), summary]
         })
         .collect();
     let mut out = render_table("warm service queries", &["#", "query", "answer"], &rows);
-    for (i, outcome) in report.outcomes.iter().enumerate() {
-        if let crate::QueryOutcome::MonteCarlo(mc) = outcome {
+    for (i, budgeted) in report.outcomes.iter().enumerate() {
+        if let Some(crate::QueryOutcome::MonteCarlo(mc)) = budgeted.outcome() {
             if let Some(caveat) = mc.tail_quantile_caveat(0.01) {
                 out.push_str(&format!("warning (query {}): {caveat}\n", i + 1));
             }
         }
+    }
+    match (report.warm, report.cold_reason) {
+        (true, _) | (false, None) => {}
+        (false, Some(crate::ColdReason::Missing)) => {
+            out.push_str("recovery: cold start, no artifact at the given path yet\n");
+        }
+        (false, Some(reason)) => {
+            out.push_str(&format!(
+                "recovery: cold start, persisted artifact rejected as `{reason}`\n"
+            ));
+        }
+    }
+    if let crate::PersistStatus::Failed { detail } = &report.persist {
+        out.push_str(&format!(
+            "warning: artifact persist failed ({detail}); queries were still answered, next caller starts cold\n"
+        ));
     }
     out.push_str(&format!(
         "session: {} startup {:.3} s, {} queries in {:.3} s\n",

@@ -60,6 +60,103 @@ pub enum QueryOutcome {
     WhatIf(TimingReport),
 }
 
+/// A sample-count query budget for one batch of session queries: the
+/// deterministic analogue of a wall-clock deadline. Costs are counted in
+/// evaluation-equivalents (Monte Carlo samples, corners, what-if
+/// evaluations), so exhaustion — and therefore every answer — is a pure
+/// function of the submitted batch, never of machine speed or thread
+/// count. Checked at batch boundaries by
+/// [`TimingSession::run_budgeted`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleBudget {
+    granted: u64,
+    remaining: u64,
+}
+
+impl SampleBudget {
+    /// A budget of `samples` evaluation-equivalents.
+    #[must_use]
+    pub fn new(samples: u64) -> SampleBudget {
+        SampleBudget {
+            granted: samples,
+            remaining: samples,
+        }
+    }
+
+    /// Evaluation-equivalents left.
+    #[must_use]
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// The budget this was opened with.
+    #[must_use]
+    pub fn granted(&self) -> u64 {
+        self.granted
+    }
+
+    /// Takes up to `want` units, returning how many were available.
+    fn take(&mut self, want: u64) -> u64 {
+        let got = want.min(self.remaining);
+        self.remaining -= got;
+        got
+    }
+}
+
+/// The cost of one query in budget units (evaluation-equivalents).
+fn query_cost(query: &SessionQuery) -> u64 {
+    match query {
+        SessionQuery::MonteCarlo(mc) => mc.samples as u64,
+        SessionQuery::Guardband(g) => g.monte_carlo.samples as u64,
+        SessionQuery::Corners(corners) => corners.len() as u64,
+        SessionQuery::WhatIf(_) => 1,
+    }
+}
+
+/// The answer to one budgeted [`SessionQuery`]
+/// ([`TimingSession::run_budgeted`]): complete, truncated to the budget,
+/// or skipped outright — a runaway batch degrades gracefully instead of
+/// hanging, panicking or silently shortchanging an answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BudgetedOutcome {
+    /// The full requested work ran.
+    Full(QueryOutcome),
+    /// The budget ran out mid-query: `completed` of `requested` units
+    /// ran, deterministically (a Monte Carlo query re-scoped to
+    /// `completed` samples, a corner sweep truncated to its first
+    /// `completed` corners).
+    Partial {
+        /// Units of work actually evaluated.
+        completed: usize,
+        /// Units of work the query asked for.
+        requested: usize,
+        /// The (reduced-scope) answer.
+        outcome: QueryOutcome,
+    },
+    /// The budget was already exhausted; nothing ran.
+    Skipped {
+        /// Units of work the query asked for.
+        requested: usize,
+    },
+}
+
+impl BudgetedOutcome {
+    /// The underlying answer, when any work ran.
+    #[must_use]
+    pub fn outcome(&self) -> Option<&QueryOutcome> {
+        match self {
+            BudgetedOutcome::Full(out) | BudgetedOutcome::Partial { outcome: out, .. } => Some(out),
+            BudgetedOutcome::Skipped { .. } => None,
+        }
+    }
+
+    /// Whether the full requested work ran.
+    #[must_use]
+    pub fn is_full(&self) -> bool {
+        matches!(self, BudgetedOutcome::Full(_))
+    }
+}
+
 /// The result of one incremental ECO re-analysis
 /// ([`TimingSession::apply_eco`]).
 #[derive(Debug, Clone, PartialEq)]
@@ -215,9 +312,9 @@ impl<'m> TimingSession<'m> {
         let design = model.design();
         let expected = content_hash(design, config);
         if artifact.content_hash != expected {
-            return Err(FlowError::Artifact(format!(
-                "content hash mismatch: artifact {:#018x}, session inputs {:#018x}",
-                artifact.content_hash, expected
+            return Err(FlowError::Artifact(crate::error::ArtifactError::stale(
+                artifact.content_hash,
+                expected,
             )));
         }
         let compiled = model.compile()?;
@@ -367,6 +464,64 @@ impl<'m> TimingSession<'m> {
         }
     }
 
+    /// Answers one query under an optional [`SampleBudget`] — the
+    /// deterministic deadline discipline. Without a budget this is
+    /// exactly [`Self::run`]. With one, the query's cost (Monte Carlo
+    /// samples, corners, evaluations) is drawn from the budget first:
+    /// a fully-funded query runs unchanged, a partially-funded one runs
+    /// at reduced scope (fewer samples / corners — still deterministic,
+    /// because the reduction depends only on the budget arithmetic) and
+    /// comes back as [`BudgetedOutcome::Partial`], and an unfunded one
+    /// is [`BudgetedOutcome::Skipped`]. Never hangs, never panics.
+    ///
+    /// # Errors
+    ///
+    /// As [`Self::run`]; the session stays usable after an error.
+    pub fn run_budgeted(
+        &mut self,
+        query: &SessionQuery,
+        budget: Option<&mut SampleBudget>,
+    ) -> Result<BudgetedOutcome> {
+        let Some(budget) = budget else {
+            return Ok(BudgetedOutcome::Full(self.run(query)?));
+        };
+        let requested = query_cost(query);
+        let granted = budget.take(requested);
+        if granted == requested {
+            return Ok(BudgetedOutcome::Full(self.run(query)?));
+        }
+        if granted == 0 {
+            return Ok(BudgetedOutcome::Skipped {
+                requested: requested as usize,
+            });
+        }
+        // Deterministic graceful degradation: re-scope the query to the
+        // granted units. The reduced run is a first-class answer (same
+        // seed, same engine), just smaller.
+        let reduced = match query {
+            SessionQuery::MonteCarlo(mc) => {
+                let mut mc = mc.clone();
+                mc.samples = granted as usize;
+                SessionQuery::MonteCarlo(mc)
+            }
+            SessionQuery::Guardband(config) => {
+                let mut config = config.clone();
+                config.monte_carlo.samples = granted as usize;
+                SessionQuery::Guardband(config)
+            }
+            SessionQuery::Corners(corners) => {
+                SessionQuery::Corners(corners[..granted as usize].to_vec())
+            }
+            // Cost 1: always fully funded or skipped, never split.
+            SessionQuery::WhatIf(_) => unreachable!("what-if cost is 1"),
+        };
+        Ok(BudgetedOutcome::Partial {
+            completed: granted as usize,
+            requested: requested as usize,
+            outcome: self.run(&reduced)?,
+        })
+    }
+
     /// Applies an ECO: re-extracts for `tags` against the warm context
     /// store — only litho contexts the store has never imaged are
     /// simulated (`outcome.stats.windows` counts exactly those dirtied
@@ -377,9 +532,34 @@ impl<'m> TimingSession<'m> {
     ///
     /// # Errors
     ///
-    /// Propagates extraction and timing errors.
+    /// Propagates extraction and timing errors. A failed ECO **rolls the
+    /// session back** to the last good baseline: the context store and
+    /// surrogate model are journaled before the pass and restored on any
+    /// error (a half-trained surrogate or half-filled store must not
+    /// leak into later answers), and the warm scratch is re-established
+    /// from the unchanged baseline annotation on the next query.
     pub fn apply_eco(&mut self, tags: &TagSet) -> Result<EcoOutcome> {
         self.ensure_baseline()?;
+        // Journal everything an aborted pass can half-mutate. The
+        // annotation, tags and baseline only advance after the commit
+        // point below, so they need no journal entry.
+        let journal_store = self.store.clone();
+        let journal_surrogate = self.surrogate.clone();
+        match self.apply_eco_inner(tags) {
+            Ok(outcome) => Ok(outcome),
+            Err(e) => {
+                self.store = journal_store;
+                self.surrogate = journal_surrogate;
+                // The scratch may hold a half-applied evaluation; flag it
+                // so the next query re-establishes the (unchanged)
+                // baseline before incrementing.
+                self.scratch_dirty = true;
+                Err(e)
+            }
+        }
+    }
+
+    fn apply_eco_inner(&mut self, tags: &TagSet) -> Result<EcoOutcome> {
         let design = self.compiled.model().design();
         let outcome = extract_gates_with_caches(
             design,

@@ -25,7 +25,9 @@
 # Stages (each prints its own wall time):
 #   fmt        cargo fmt --check
 #   clippy     cargo clippy --workspace --all-targets -- -D warnings
-#   strict     library clippy with unwrap()/expect() denied outside tests
+#   strict     library + binary clippy with unwrap()/expect() denied
+#              outside tests (bench bins exit with rendered diagnostics
+#              via OrExit instead of panicking)
 #   build      tier-1: cargo build --release
 #   test       tier-1: cargo test -q
 #   wstest     cargo test --workspace -q
@@ -41,6 +43,11 @@
 #   serve      serve_smoke: cold-vs-warm artifact bit parity, typed bad-
 #              artifact errors, incremental-vs-full ECO bit parity, and
 #              the warm-query speedup floor
+#   chaos      chaos_smoke under POSTOPC_THREADS=1,2,4: seeded I/O fault
+#              schedules against the durable serving layer — every serve
+#              answers bit-identically to fault-free or fails typed,
+#              torn/crashed artifacts never get served, budgets are
+#              deterministic, lock contention is refused typed
 #   surrogate  surrogate_train + surrogate_smoke: learned-CD-surrogate
 #              parity vs SOCS, serial-vs-pool bit identity, 100% fallback
 #              on an out-of-distribution layout, the speedup floor, and
@@ -53,7 +60,7 @@ cd "$(dirname "$0")/.."
 
 # Canonical stage order; --stage never reorders, only filters.
 STAGES=(fmt clippy strict build test wstest smoke threads faults mc_batch
-  tail serve surrogate bench bench_serve)
+  tail serve chaos surrogate bench bench_serve)
 QUICK_STAGES=(fmt clippy strict build test)
 
 QUICK=0
@@ -212,11 +219,13 @@ stage() {
 
 stage fmt cargo fmt --check
 stage clippy cargo clippy --workspace --all-targets -- -D warnings
-# Library code (bench harness and #[cfg(test)] excluded) must route every
+# Library and binary code (#[cfg(test)] excluded) must route every
 # fallible path through typed errors: unwrap()/expect() are deny-by-default
 # and each surviving call carries a scoped #[allow] naming its invariant.
+# The bench *library* carries a crate-level allow (documented panic-on-
+# setup contract); its CI-gating *bins* fail via OrExit, never a panic.
 strict_stage() {
-  cargo clippy --workspace --exclude postopc-bench --lib -- \
+  cargo clippy --workspace --lib --bins -- \
     -D warnings -D clippy::unwrap_used -D clippy::expect_used
 }
 stage strict strict_stage
@@ -268,6 +277,19 @@ stage tail tail_matrix
 # incremental ECO re-analysis parity against a from-scratch run, and the
 # 10x warm-query speedup floor on the T6/T9 workloads.
 stage serve cargo run --release -p postopc-bench --bin serve_smoke
+
+# Chaos stage: seeded I/O fault schedules against the durable serving
+# layer, replayed across the thread matrix. Serves must answer
+# bit-identically to fault-free or fail with typed errors — never panic,
+# never publish a torn artifact, never serve a stale one warm.
+chaos_matrix() {
+  local t
+  for t in 1 2 4; do
+    echo "-- POSTOPC_THREADS=$t"
+    POSTOPC_THREADS="$t" cargo run --release -p postopc-bench --bin chaos_smoke
+  done
+}
+stage chaos chaos_matrix
 
 # Learned-CD-surrogate smoke: offline training via surrogate_train (the
 # POCSURR1 file write), then surrogate_smoke's gates — in-distribution
